@@ -1,0 +1,115 @@
+// Fig. 6: latency of common Linux applications (tar -x, du, grep, tar -c,
+// cp, mv) under the three Table III workloads.
+//
+// Paper shape: tar -x / tar -c show the largest overheads (scaling with
+// file count), du is ~indistinguishable once the dirnode is cached, grep
+// is x1.5-1.7, cp and mv impose small constant overheads.
+//
+// Table III is generated at 1/10 the paper's data volume (EXPERIMENTS.md);
+// the system cache is flushed before each application, as in §VII-D.
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "workloads/fsutils.hpp"
+#include "workloads/treegen.hpp"
+
+namespace nexus::bench {
+namespace {
+
+struct AppTimes {
+  double tar_x = 0, du = 0, grep = 0, tar_c = 0, cp = 0, mv = 0;
+};
+
+// Builds the workload archive once on a zero-cost scratch deployment.
+Bytes BuildArchive(const workloads::TreeSpec& spec) {
+  storage::CostModel free_cost;
+  free_cost.rtt_seconds = 0;
+  free_cost.per_op_seconds = 0;
+  free_cost.per_dirent_seconds = 0;
+  free_cost.bandwidth_bytes_per_sec = 1e15;
+  auto scratch = Setup::Baseline(free_cost);
+  Abort(scratch->fs().Mkdir("tree"), "scratch mkdir");
+  crypto::HmacDrbg rng(AsBytes("fig6-tree"));
+  Abort(workloads::GenerateTree(scratch->fs(), "tree", spec, rng).status(),
+        "scratch tree");
+  Abort(workloads::TarCreate(scratch->fs(), "tree", "archive.tar"), "scratch tar");
+  auto archive = scratch->fs().ReadWholeFile("archive.tar");
+  Abort(archive.status(), "scratch read");
+  return std::move(archive).value();
+}
+
+AppTimes RunApps(Setup& setup, const Bytes& archive) {
+  AppTimes t;
+  // Stage the archive on the mount (untimed, as in the paper's setup).
+  Abort(setup.fs().WriteWholeFile("w.tar", archive), "stage archive");
+
+  auto timed = [&](double* out, auto&& body) {
+    setup.FlushCaches(); // "we flush the system cache before running each"
+    PhaseTimer timer(setup);
+    body();
+    *out = timer.Stop().total;
+  };
+
+  timed(&t.tar_x, [&] {
+    Abort(workloads::TarExtract(setup.fs(), "w.tar", "w"), "tar -x");
+  });
+  timed(&t.du, [&] {
+    Abort(workloads::Du(setup.fs(), "w").status(), "du");
+  });
+  timed(&t.grep, [&] {
+    Abort(workloads::GrepCount(setup.fs(), "w", "javascript").status(), "grep");
+  });
+  timed(&t.tar_c, [&] {
+    Abort(workloads::TarCreate(setup.fs(), "w", "out.tar"), "tar -c");
+  });
+  timed(&t.cp, [&] {
+    Abort(workloads::Cp(setup.fs(), "w/file0.c", "w/file0.copy"), "cp");
+  });
+  timed(&t.mv, [&] {
+    Abort(workloads::Mv(setup.fs(), "w/file0.copy", "w/file0.moved"), "mv");
+  });
+  return t;
+}
+
+void PrintWorkload(const std::string& name, const AppTimes& base,
+                   const AppTimes& nexus) {
+  std::printf("\n-- workload %s --\n", name.c_str());
+  std::printf("%-8s %10s %10s %10s\n", "app", "openafs", "nexus", "overhead");
+  auto row = [](const char* app, double b, double n) {
+    std::printf("%-8s %9.2fs %9.2fs %9.2fx\n", app, b, n, n / b);
+  };
+  row("tar -x", base.tar_x, nexus.tar_x);
+  row("du", base.du, nexus.du);
+  row("grep", base.grep, nexus.grep);
+  row("tar -c", base.tar_c, nexus.tar_c);
+  row("cp", base.cp, nexus.cp);
+  row("mv", base.mv, nexus.mv);
+}
+
+} // namespace
+
+int Main() {
+  PrintHeader("Fig. 6: Latency of common Linux applications (Table III workloads)");
+
+  for (const auto& spec :
+       {workloads::LfsdSpec(), workloads::MfmdSpec(), workloads::SfldSpec()}) {
+    const Bytes archive = BuildArchive(spec);
+    AppTimes base;
+    {
+      auto baseline = Setup::Baseline();
+      base = RunApps(*baseline, archive);
+    }
+    AppTimes nexus;
+    {
+      auto setup = Setup::Nexus();
+      nexus = RunApps(*setup, archive);
+    }
+    PrintWorkload(spec.name, base, nexus);
+  }
+  return 0;
+}
+
+} // namespace nexus::bench
+
+int main() { return nexus::bench::Main(); }

@@ -1,0 +1,137 @@
+// Microbenchmarks (google-benchmark): the primitive costs behind the
+// evaluation — enclave transitions, sealing, quote generation/verification,
+// metadata encode/decode, chunk encryption throughput, key exchange.
+#include <benchmark/benchmark.h>
+
+#include "core/metadata_store.hpp"
+#include "crypto/aes.hpp"
+#include "crypto/gcm.hpp"
+#include "crypto/gcm_siv.hpp"
+#include "crypto/rng.hpp"
+#include "crypto/x25519.hpp"
+#include "enclave/metadata_codec.hpp"
+#include "sgx/attestation.hpp"
+#include "sgx/enclave.hpp"
+
+namespace nexus {
+namespace {
+
+struct MicroEnv {
+  crypto::HmacDrbg rng{AsBytes("micro")};
+  sgx::IntelAttestationService intel{AsBytes("intel")};
+  std::unique_ptr<sgx::SgxCpu> cpu = intel.ProvisionCpu(AsBytes("cpu"));
+  sgx::EnclaveRuntime runtime{*cpu, sgx::NexusEnclaveImage(), AsBytes("rng")};
+};
+
+MicroEnv& Env() {
+  static MicroEnv env;
+  return env;
+}
+
+void BM_EcallTransition(benchmark::State& state) {
+  auto& rt = Env().runtime;
+  for (auto _ : state) {
+    sgx::EnclaveRuntime::EcallScope scope(rt);
+    benchmark::DoNotOptimize(rt.ecall_count());
+  }
+}
+BENCHMARK(BM_EcallTransition);
+
+void BM_SealUnseal(benchmark::State& state) {
+  auto& env = Env();
+  const Bytes secret = env.rng.Generate(16);
+  for (auto _ : state) {
+    auto sealed = env.runtime.Seal(secret).value();
+    auto opened = env.runtime.Unseal(sealed).value();
+    benchmark::DoNotOptimize(opened);
+  }
+}
+BENCHMARK(BM_SealUnseal);
+
+void BM_QuoteGenerate(benchmark::State& state) {
+  auto& env = Env();
+  ByteArray<sgx::kReportDataSize> report{};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(env.runtime.CreateQuote(report));
+  }
+}
+BENCHMARK(BM_QuoteGenerate);
+
+void BM_QuoteVerify(benchmark::State& state) {
+  auto& env = Env();
+  const sgx::Quote quote = env.runtime.CreateQuote({});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sgx::VerifyQuote(quote, env.intel.root_public_key(),
+                                              env.runtime.measurement()));
+  }
+}
+BENCHMARK(BM_QuoteVerify);
+
+void BM_MetadataEncode(benchmark::State& state) {
+  auto& env = Env();
+  const enclave::RootKey rootkey{1, 2, 3};
+  const Bytes body = env.rng.Generate(static_cast<std::size_t>(state.range(0)));
+  const enclave::Preamble preamble{enclave::MetaType::kDirnodeMain,
+                                   env.rng.NewUuid(), 1};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        enclave::EncodeMetadata(preamble, body, rootkey, env.rng));
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_MetadataEncode)->Arg(256)->Arg(4096)->Arg(64 << 10);
+
+void BM_MetadataDecode(benchmark::State& state) {
+  auto& env = Env();
+  const enclave::RootKey rootkey{1, 2, 3};
+  const Bytes body = env.rng.Generate(static_cast<std::size_t>(state.range(0)));
+  const enclave::Preamble preamble{enclave::MetaType::kDirnodeMain,
+                                   env.rng.NewUuid(), 1};
+  const Bytes blob =
+      enclave::EncodeMetadata(preamble, body, rootkey, env.rng).value();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(enclave::DecodeMetadata(
+        blob, rootkey, enclave::MetaType::kDirnodeMain, preamble.uuid));
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_MetadataDecode)->Arg(256)->Arg(4096)->Arg(64 << 10);
+
+void BM_ChunkEncrypt1MB(benchmark::State& state) {
+  auto& env = Env();
+  const Bytes chunk = env.rng.Generate(1 << 20);
+  const Bytes key = env.rng.Generate(16);
+  const Bytes iv = env.rng.Generate(12);
+  auto aes = crypto::Aes::Create(key).value();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crypto::GcmSeal(aes, iv, {}, chunk));
+  }
+  state.SetBytesProcessed(state.iterations() * (1 << 20));
+}
+BENCHMARK(BM_ChunkEncrypt1MB);
+
+void BM_KeywrapGcmSiv(benchmark::State& state) {
+  auto& env = Env();
+  const Bytes rootkey = env.rng.Generate(16);
+  const Bytes nonce = env.rng.Generate(12);
+  const Bytes body_key = env.rng.Generate(16);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crypto::GcmSivSeal(rootkey, nonce, {}, body_key));
+  }
+}
+BENCHMARK(BM_KeywrapGcmSiv);
+
+void BM_X25519SharedSecret(benchmark::State& state) {
+  auto& env = Env();
+  const auto a = crypto::X25519ClampScalar(env.rng.Array<32>());
+  const auto b_pub = crypto::X25519BasePoint(crypto::X25519ClampScalar(env.rng.Array<32>()));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crypto::X25519(a, b_pub));
+  }
+}
+BENCHMARK(BM_X25519SharedSecret);
+
+} // namespace
+} // namespace nexus
+
+BENCHMARK_MAIN();

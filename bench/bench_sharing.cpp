@@ -1,0 +1,150 @@
+// §VII-F (takeaway discussion): the costs of providing sharing.
+//  (1) the asynchronous rootkey exchange is a handful of file writes,
+//  (2) adding/removing users is a single metadata update,
+//  (3) policy enforcement scales with ACL size but is dominated by the
+//      initial metadata fetch,
+//  (4) extra: the synchronous PFS exchange variant for comparison.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "core/user_key.hpp"
+#include "crypto/rng.hpp"
+
+namespace nexus::bench {
+namespace {
+
+struct Deployment {
+  std::unique_ptr<Setup> owner = Setup::Nexus();
+  // A second machine sharing the same server.
+  std::unique_ptr<sgx::IntelAttestationService> intel;
+  std::unique_ptr<sgx::SgxCpu> cpu;
+  std::unique_ptr<sgx::EnclaveRuntime> runtime;
+  std::unique_ptr<storage::AfsClient> afs;
+  std::unique_ptr<core::NexusClient> nexus;
+  core::UserKey alice;
+};
+
+} // namespace
+
+int Main() {
+  PrintHeader("SVII-F: Costs of sharing");
+
+  // -- (1) + (4): key exchange -------------------------------------------------
+  for (const bool pfs : {false, true}) {
+    auto owner_setup = Setup::Nexus();
+    crypto::HmacDrbg rng(AsBytes("sharing"));
+    // Second machine on the same server/world. We re-create the Intel root
+    // with the same seed Setup uses so quotes verify across machines.
+    sgx::IntelAttestationService intel(AsBytes("intel"));
+    auto cpu = intel.ProvisionCpu(AsBytes("alice-cpu"));
+    sgx::EnclaveRuntime runtime(*cpu, sgx::NexusEnclaveImage(), AsBytes("alice"));
+    storage::AfsClient alice_afs(owner_setup->server(), "alice");
+    core::NexusClient alice_nexus(runtime, alice_afs, intel.root_public_key());
+    core::UserKey alice = core::UserKey::Generate("alice", rng);
+    const core::UserKey& owner = owner_setup->user();
+    const Uuid volume_uuid = owner_setup->handle().volume_uuid;
+
+    const auto stores_before = owner_setup->afs().stats().stores +
+                               alice_afs.stats().stores;
+    PhaseTimer timer(*owner_setup);
+    Status s1, s2;
+    Result<core::NexusClient::VolumeHandle> handle =
+        Error(ErrorCode::kInternal, "unset");
+    if (!pfs) {
+      s1 = alice_nexus.PublishIdentity(alice);
+      s2 = owner_setup->nexus()->GrantAccess(owner, "alice", alice.public_key());
+      handle = alice_nexus.AcceptGrant(alice, owner.name, owner.public_key(),
+                                       volume_uuid);
+    } else {
+      s1 = alice_nexus.PublishEphemeralOffer(alice);
+      s2 = owner_setup->nexus()->GrantAccessEphemeral(owner, "alice",
+                                                      alice.public_key());
+      handle = alice_nexus.AcceptEphemeralGrant(alice, owner.name,
+                                                owner.public_key(), volume_uuid);
+    }
+    const auto sample = timer.Stop();
+    const auto file_writes = owner_setup->afs().stats().stores +
+                             alice_afs.stats().stores - stores_before;
+    Abort(s1, "publish");
+    Abort(s2, "grant");
+    if (!handle.ok()) {
+      std::fprintf(stderr, "accept failed: %s\n",
+                   handle.status().ToString().c_str());
+      std::abort();
+    }
+    std::printf("%-28s %6.1f ms end-to-end, %llu file writes on the store\n",
+                pfs ? "ephemeral (PFS) exchange:" : "async exchange (Fig. 4):",
+                sample.total * 1e3,
+                static_cast<unsigned long long>(file_writes));
+  }
+
+  // -- (2): user management ----------------------------------------------------
+  {
+    auto setup = Setup::Nexus();
+    crypto::HmacDrbg rng(AsBytes("users"));
+    const core::UserKey bob = core::UserKey::Generate("bob", rng);
+    const auto bytes_before = setup->afs().stats().bytes_stored;
+    PhaseTimer add_timer(*setup);
+    Abort(setup->nexus()->AddUser("bob", bob.public_key()), "adduser");
+    const auto add = add_timer.Stop();
+    const auto add_bytes = setup->afs().stats().bytes_stored - bytes_before;
+
+    PhaseTimer rm_timer(*setup);
+    Abort(setup->nexus()->RemoveUser("bob"), "rmuser");
+    const auto rm = rm_timer.Stop();
+    std::printf("add user:  %6.1f ms, %llu bytes re-uploaded (one supernode)\n",
+                add.total * 1e3, static_cast<unsigned long long>(add_bytes));
+    std::printf("remove user: %4.1f ms (same single metadata update)\n",
+                rm.total * 1e3);
+  }
+
+  // -- (3): policy enforcement vs ACL size --------------------------------------
+  // Measured as a NON-owner member (the owner short-circuits ACL checks):
+  // the member's entry sits at the END of the ACL, the worst case.
+  {
+    std::printf("\npolicy enforcement (warm stat, non-owner) vs ACL entries:\n");
+    std::printf("%-12s %14s\n", "ACL entries", "latency");
+    for (const int n : {1, 16, 128, 1024, 8192}) {
+      auto setup = Setup::Nexus();
+      crypto::HmacDrbg rng(AsBytes("acl"));
+      Abort(setup->fs().Mkdir("d"), "mkdir");
+      Abort(setup->fs().WriteWholeFile("d/f", Bytes(100, 1)), "write");
+      core::UserKey member = core::UserKey::Generate("member", rng);
+      for (int i = 0; i < n - 1; ++i) {
+        const core::UserKey u =
+            core::UserKey::Generate("user" + std::to_string(i), rng);
+        Abort(setup->nexus()->AddUser(u.name, u.public_key()), "add");
+        Abort(setup->nexus()->SetAcl("d", u.name, enclave::kPermRead), "acl");
+      }
+      Abort(setup->nexus()->AddUser(member.name, member.public_key()), "add");
+      Abort(setup->nexus()->SetAcl("", member.name, enclave::kPermRead), "acl");
+      Abort(setup->nexus()->SetAcl("d", member.name, enclave::kPermRead), "acl");
+
+      // The member mounts on the same machine (the sealed rootkey unseals
+      // there; authorization comes from the supernode entry, §IV-B).
+      core::NexusClient member_client(setup->runtime(), setup->afs(),
+                                      setup->intel().root_public_key());
+      Abort(setup->nexus()->Unmount(), "owner unmount");
+      Abort(member_client.Mount(member, setup->handle().volume_uuid,
+                                setup->handle().sealed_rootkey),
+            "member mount");
+
+      // Warm the caches, then time enforcement-bearing lookups.
+      auto warm = member_client.Lookup("d/f");
+      Abort(warm.status(), "warm");
+      const double t0 = static_cast<double>(MonotonicNanos());
+      constexpr int kOps = 1000;
+      for (int i = 0; i < kOps; ++i) {
+        Abort(member_client.Lookup("d/f").status(), "stat");
+      }
+      const double per_op =
+          (static_cast<double>(MonotonicNanos()) - t0) / kOps / 1e3;
+      std::printf("%-12d %11.2f us/op\n", n, per_op);
+    }
+  }
+  return 0;
+}
+
+} // namespace nexus::bench
+
+int main() { return nexus::bench::Main(); }

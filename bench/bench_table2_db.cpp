@@ -1,0 +1,244 @@
+// Table II: database benchmarks (LevelDB- and SQLite-style engines driven
+// db_bench-style: 16-byte keys, 100-byte values, 4 MB write buffer).
+//
+// Shape expected from the paper: async fill/overwrite and sequential reads
+// ~x1.0-1.6 overhead; synchronous operations ~x2.0-2.3; readseq/readreverse
+// ~x0.94-1.0 (cache-served).
+#include <cstdio>
+#include <functional>
+#include <string>
+
+#include "bench_util.hpp"
+#include "workloads/minikv.hpp"
+#include "workloads/minisql.hpp"
+
+namespace nexus::bench {
+namespace {
+
+constexpr std::size_t kKeySize = 16;
+constexpr std::size_t kValueSize = 100;
+
+Bytes MakeKey(std::uint64_t i) {
+  char buf[kKeySize + 1];
+  std::snprintf(buf, sizeof(buf), "%016llu", static_cast<unsigned long long>(i));
+  return ToBytes(std::string_view(buf, kKeySize));
+}
+
+Bytes MakeValue(std::uint64_t i, std::size_t len = kValueSize) {
+  Bytes v(len);
+  std::uint64_t state = i * 6364136223846793005ull + 1;
+  for (auto& b : v) {
+    state = state * 6364136223846793005ull + 1442695040888963407ull;
+    b = static_cast<std::uint8_t>(state >> 56);
+  }
+  return v;
+}
+
+struct OpResult {
+  double seconds = 0;
+  std::uint64_t ops = 0;
+  std::uint64_t bytes = 0;
+};
+
+/// Formats a result the way db_bench does: MB/s for bulk ops, time/op for
+/// latency-bound ops.
+std::string Format(const OpResult& r, bool per_op, bool micros = false) {
+  char buf[64];
+  if (per_op) {
+    const double per = r.seconds / static_cast<double>(r.ops);
+    if (micros) {
+      std::snprintf(buf, sizeof(buf), "%.2f us/op", per * 1e6);
+    } else {
+      std::snprintf(buf, sizeof(buf), "%.2f ms/op", per * 1e3);
+    }
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.1f MB/s",
+                  static_cast<double>(r.bytes) / r.seconds / (1 << 20));
+  }
+  return buf;
+}
+
+void PrintRow(const std::string& name, const OpResult& base,
+              const OpResult& nexus, bool per_op, bool micros = false) {
+  const double overhead = (nexus.seconds / static_cast<double>(nexus.ops)) /
+                          (base.seconds / static_cast<double>(base.ops));
+  std::printf("%-14s %16s %16s %8.2fx\n", name.c_str(),
+              Format(base, per_op, micros).c_str(),
+              Format(nexus, per_op, micros).c_str(), overhead);
+}
+
+// ---- minikv (LevelDB) section -------------------------------------------------
+
+struct KvBench {
+  Setup& setup;
+  int dir_counter = 0;
+
+  std::string FreshDir() { return "kv" + std::to_string(dir_counter++); }
+
+  OpResult Fill(std::uint64_t n, bool random, bool sync,
+                std::size_t value_size = kValueSize,
+                const std::string& reuse_dir = "") {
+    const std::string dir = reuse_dir.empty() ? FreshDir() : reuse_dir;
+    workloads::minikv::Options opts;
+    opts.sync_writes = sync;
+    auto db = workloads::minikv::DB::Open(setup.fs(), dir, opts).value();
+    PhaseTimer timer(setup);
+    for (std::uint64_t i = 0; i < n; ++i) {
+      const std::uint64_t k = random ? (i * 2654435761u) % n : i;
+      Abort(db->Put(MakeKey(k), MakeValue(k, value_size)), "kv put");
+    }
+    Abort(db->Close(), "kv close");
+    const auto s = timer.Stop();
+    return OpResult{s.total, n, n * (kKeySize + value_size)};
+  }
+
+  OpResult ReadSeq(const std::string& dir, bool reverse) {
+    auto db = workloads::minikv::DB::Open(setup.fs(), dir, {}).value();
+    PhaseTimer timer(setup);
+    std::uint64_t ops = 0, bytes = 0;
+    auto visit = [&](ByteSpan k, ByteSpan v) {
+      ++ops;
+      bytes += k.size() + v.size();
+    };
+    Abort(reverse ? db->ScanBackward(visit) : db->ScanForward(visit), "scan");
+    Abort(db->Close(), "kv close");
+    const auto s = timer.Stop();
+    return OpResult{s.total, ops, bytes};
+  }
+
+  OpResult ReadRandom(const std::string& dir, std::uint64_t n) {
+    auto db = workloads::minikv::DB::Open(setup.fs(), dir, {}).value();
+    PhaseTimer timer(setup);
+    std::uint64_t found = 0;
+    for (std::uint64_t i = 0; i < n; ++i) {
+      const std::uint64_t k = (i * 2654435761u) % n;
+      if (db->Get(MakeKey(k)).ok()) ++found;
+    }
+    Abort(db->Close(), "kv close");
+    const auto s = timer.Stop();
+    return OpResult{s.total, n, found * (kKeySize + kValueSize)};
+  }
+};
+
+// ---- minisql (SQLite) section ---------------------------------------------------
+
+struct SqlBench {
+  Setup& setup;
+  int dir_counter = 0;
+
+  std::string FreshDir() { return "sql" + std::to_string(dir_counter++); }
+
+  OpResult Fill(std::uint64_t n, bool random, bool sync, bool batch,
+                const std::string& reuse_dir = "") {
+    const std::string dir = reuse_dir.empty() ? FreshDir() : reuse_dir;
+    workloads::minisql::Options opts;
+    opts.sync = sync ? workloads::minisql::SyncMode::kFull
+                     : workloads::minisql::SyncMode::kOff;
+    auto table = workloads::minisql::Table::Open(setup.fs(), dir, opts).value();
+    PhaseTimer timer(setup);
+    constexpr std::uint64_t kBatchSize = 1000;
+    for (std::uint64_t i = 0; i < n; ++i) {
+      if (batch && i % kBatchSize == 0) Abort(table->Begin(), "begin");
+      const std::uint64_t k = random ? (i * 2654435761u) % n : i;
+      Abort(table->Put(MakeKey(k), MakeValue(k)), "sql put");
+      if (batch && (i % kBatchSize == kBatchSize - 1 || i == n - 1)) {
+        Abort(table->Commit(), "commit");
+      }
+    }
+    Abort(table->Close(), "sql close");
+    const auto s = timer.Stop();
+    return OpResult{s.total, n, n * (kKeySize + kValueSize)};
+  }
+};
+
+struct Pair {
+  OpResult base;
+  OpResult nexus;
+};
+
+} // namespace
+
+int Main() {
+  PrintHeader("Table II: Database benchmark results");
+  std::printf("%-14s %16s %16s %9s\n", "Operation", "OpenAFS", "NEXUS",
+              "Overhead");
+
+  // Fresh deployments for each system; sequence mirrors db_bench.
+  auto baseline = Setup::Baseline();
+  auto nexus = Setup::Nexus();
+  KvBench kv_base{*baseline};
+  KvBench kv_nexus{*nexus};
+
+  std::printf("-- LevelDB-style (minikv) --\n");
+  const std::uint64_t kN = 20000;
+
+  Pair fillseq{kv_base.Fill(kN, false, false), kv_nexus.Fill(kN, false, false)};
+  const std::string seq_dir_base = "kv0", seq_dir_nexus = "kv0";
+  PrintRow("fillseq", fillseq.base, fillseq.nexus, false);
+
+  Pair fillsync{kv_base.Fill(500, false, true), kv_nexus.Fill(500, false, true)};
+  PrintRow("fillsync", fillsync.base, fillsync.nexus, true);
+
+  Pair fillrandom{kv_base.Fill(kN, true, false), kv_nexus.Fill(kN, true, false)};
+  PrintRow("fillrandom", fillrandom.base, fillrandom.nexus, false);
+
+  Pair overwrite{kv_base.Fill(kN, true, false, kValueSize, seq_dir_base),
+                 kv_nexus.Fill(kN, true, false, kValueSize, seq_dir_nexus)};
+  PrintRow("overwrite", overwrite.base, overwrite.nexus, false);
+
+  Pair readseq{kv_base.ReadSeq(seq_dir_base, false),
+               kv_nexus.ReadSeq(seq_dir_nexus, false)};
+  PrintRow("readseq", readseq.base, readseq.nexus, false);
+
+  Pair readreverse{kv_base.ReadSeq(seq_dir_base, true),
+                   kv_nexus.ReadSeq(seq_dir_nexus, true)};
+  PrintRow("readreverse", readreverse.base, readreverse.nexus, false);
+
+  Pair readrandom{kv_base.ReadRandom(seq_dir_base, kN),
+                  kv_nexus.ReadRandom(seq_dir_nexus, kN)};
+  PrintRow("readrandom", readrandom.base, readrandom.nexus, true, true);
+
+  Pair fill100k{kv_base.Fill(200, false, false, 100 * 1000),
+                kv_nexus.Fill(200, false, false, 100 * 1000)};
+  PrintRow("fill100K", fill100k.base, fill100k.nexus, false);
+
+  std::printf("-- SQLite-style (minisql) --\n");
+  SqlBench sql_base{*baseline};
+  SqlBench sql_nexus{*nexus};
+  const std::uint64_t kSqlN = 5000;
+
+  Pair sfillseq{sql_base.Fill(kSqlN, false, false, false),
+                sql_nexus.Fill(kSqlN, false, false, false)};
+  PrintRow("fillseq", sfillseq.base, sfillseq.nexus, false);
+
+  Pair sfillseqsync{sql_base.Fill(300, false, true, false),
+                    sql_nexus.Fill(300, false, true, false)};
+  PrintRow("fillseqsync", sfillseqsync.base, sfillseqsync.nexus, true);
+
+  Pair sfillseqbatch{sql_base.Fill(kSqlN, false, false, true),
+                     sql_nexus.Fill(kSqlN, false, false, true)};
+  PrintRow("fillseqbatch", sfillseqbatch.base, sfillseqbatch.nexus, false);
+
+  Pair sfillrandom{sql_base.Fill(kSqlN, true, false, false),
+                   sql_nexus.Fill(kSqlN, true, false, false)};
+  PrintRow("fillrandom", sfillrandom.base, sfillrandom.nexus, false);
+
+  Pair sfillrandsync{sql_base.Fill(300, true, true, false),
+                     sql_nexus.Fill(300, true, true, false)};
+  PrintRow("fillrandsync", sfillrandsync.base, sfillrandsync.nexus, true);
+
+  Pair sfillrandbatch{sql_base.Fill(kSqlN, true, false, true),
+                      sql_nexus.Fill(kSqlN, true, false, true)};
+  PrintRow("fillrandbatch", sfillrandbatch.base, sfillrandbatch.nexus, false);
+
+  // overwrite: random writes over the fillseq database.
+  Pair soverwrite{sql_base.Fill(kSqlN, true, false, false, "sql0"),
+                  sql_nexus.Fill(kSqlN, true, false, false, "sql0")};
+  PrintRow("overwrite", soverwrite.base, soverwrite.nexus, false);
+
+  return 0;
+}
+
+} // namespace nexus::bench
+
+int main() { return nexus::bench::Main(); }

@@ -1,0 +1,82 @@
+// Table 5a: latency of basic file I/O (write then read one file of 1 / 2 /
+// 16 / 64 MB, cold caches), with the paper's breakdown rows.
+//
+//   Paper (seconds):        1 MB   2 MB   16 MB  64 MB
+//     OpenAFS               0.61   1.52   5.55   22.24
+//     NEXUS                 0.51   1.46   6.81   28.56
+//       Metadata I/O        0.09   0.12   0.14   0.80
+//       Enclave             0.02   0.09   0.58   2.07
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.hpp"
+
+namespace nexus::bench {
+namespace {
+
+struct Row {
+  std::size_t mb;
+  double openafs;
+  PhaseTimer::Sample nexus;
+};
+
+PhaseTimer::Sample RunFileIo(Setup& setup, std::size_t mb) {
+  const Bytes content = setup.rng().Generate(mb << 20);
+  setup.FlushCaches();
+  PhaseTimer timer(setup);
+  Abort(setup.fs().WriteWholeFile("testfile.bin", content), "write");
+  setup.FlushCaches(); // "we flush the AFS file cache" before the read
+  const auto back = setup.fs().ReadWholeFile("testfile.bin");
+  Abort(back.status(), "read");
+  const auto sample = timer.Stop();
+  if (back.value() != content) {
+    std::fprintf(stderr, "read-back mismatch at %zu MB\n", mb);
+    std::abort();
+  }
+  Abort(setup.fs().Remove("testfile.bin"), "cleanup");
+  return sample;
+}
+
+} // namespace
+
+int Main() {
+  PrintHeader("Table 5a: Latency (seconds) of file I/O operations");
+
+  std::vector<Row> rows;
+  for (const std::size_t mb : {1u, 2u, 16u, 64u}) {
+    Row row{mb, 0, {}};
+    {
+      auto baseline = Setup::Baseline();
+      row.openafs = RunFileIo(*baseline, mb).total;
+    }
+    {
+      auto nexus = Setup::Nexus();
+      row.nexus = RunFileIo(*nexus, mb);
+    }
+    rows.push_back(row);
+  }
+
+  std::printf("%-16s", "Prototype");
+  for (const Row& r : rows) std::printf("%8zu MB", r.mb);
+  std::printf("\n");
+  std::printf("%-16s", "OpenAFS");
+  for (const Row& r : rows) std::printf("%11.2f", r.openafs);
+  std::printf("\n");
+  std::printf("%-16s", "NEXUS");
+  for (const Row& r : rows) std::printf("%11.2f", r.nexus.total);
+  std::printf("\n");
+  std::printf("%-16s", "  Metadata I/O");
+  for (const Row& r : rows) std::printf("%11.2f", r.nexus.metadata_io);
+  std::printf("\n");
+  std::printf("%-16s", "  Enclave");
+  for (const Row& r : rows) std::printf("%11.2f", r.nexus.enclave);
+  std::printf("\n");
+  std::printf("%-16s", "overhead (x)");
+  for (const Row& r : rows) std::printf("%11.2f", r.nexus.total / r.openafs);
+  std::printf("\n");
+  return 0;
+}
+
+} // namespace nexus::bench
+
+int main() { return nexus::bench::Main(); }

@@ -1,0 +1,81 @@
+// Table 5b: latency of directory operations — create then delete N files
+// in one flat directory, N in {1024, 2048, 4096, 8192}.
+//
+//   Paper (seconds):        1024   2048   4096   8192
+//     OpenAFS               1.27   2.63   5.26   11.93
+//     NEXUS                 19.38  38.62  81.98  172.29
+//       Metadata I/O        17.44  34.63  73.66  154.34
+//       Enclave             0.38   0.79   1.67   3.55
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+
+namespace nexus::bench {
+namespace {
+
+PhaseTimer::Sample RunDirOps(Setup& setup, int n) {
+  Abort(setup.fs().Mkdir("dir"), "mkdir");
+  PhaseTimer timer(setup);
+  for (int i = 0; i < n; ++i) {
+    auto f = setup.fs().Open("dir/f" + std::to_string(i), vfs::OpenMode::kWrite);
+    Abort(f.status(), "create");
+    Abort((*f)->Close(), "close");
+  }
+  for (int i = 0; i < n; ++i) {
+    Abort(setup.fs().Remove("dir/f" + std::to_string(i)), "delete");
+  }
+  const auto sample = timer.Stop();
+  Abort(setup.fs().Remove("dir"), "rmdir");
+  return sample;
+}
+
+} // namespace
+
+int Main() {
+  PrintHeader("Table 5b: Latency (seconds) of directory operations");
+
+  struct Row {
+    int n;
+    double openafs;
+    PhaseTimer::Sample nexus;
+  };
+  std::vector<Row> rows;
+  for (const int n : {1024, 2048, 4096, 8192}) {
+    Row row{n, 0, {}};
+    {
+      auto baseline = Setup::Baseline();
+      row.openafs = RunDirOps(*baseline, n).total;
+    }
+    {
+      auto nexus = Setup::Nexus();
+      row.nexus = RunDirOps(*nexus, n);
+    }
+    rows.push_back(row);
+  }
+
+  std::printf("%-16s", "Prototype");
+  for (const Row& r : rows) std::printf("%9d", r.n);
+  std::printf("   (files)\n");
+  std::printf("%-16s", "OpenAFS");
+  for (const Row& r : rows) std::printf("%9.2f", r.openafs);
+  std::printf("\n");
+  std::printf("%-16s", "NEXUS");
+  for (const Row& r : rows) std::printf("%9.2f", r.nexus.total);
+  std::printf("\n");
+  std::printf("%-16s", "  Metadata I/O");
+  for (const Row& r : rows) std::printf("%9.2f", r.nexus.metadata_io);
+  std::printf("\n");
+  std::printf("%-16s", "  Enclave");
+  for (const Row& r : rows) std::printf("%9.2f", r.nexus.enclave);
+  std::printf("\n");
+  std::printf("%-16s", "overhead (x)");
+  for (const Row& r : rows) std::printf("%9.2f", r.nexus.total / r.openafs);
+  std::printf("\n");
+  return 0;
+}
+
+} // namespace nexus::bench
+
+int main() { return nexus::bench::Main(); }

@@ -1,0 +1,77 @@
+// Encrypted backup & restore: pack a protected directory tree into a
+// (ustar) archive stored on the same untrusted volume, damage the live
+// tree, and restore it — demonstrating the workloads library (tar, du,
+// grep) as a user-facing toolkit over the NEXUS VFS.
+//
+//   $ ./examples/backup_restore
+#include <cstdio>
+
+#include "example_util.hpp"
+#include "vfs/nexus_fs.hpp"
+#include "workloads/fsutils.hpp"
+#include "workloads/treegen.hpp"
+
+using namespace nexus;
+
+int main() {
+  std::printf("== NEXUS backup & restore ==\n\n");
+  examples::World world;
+  auto& owen = world.AddMachine("owen");
+  examples::Check(owen.nexus->CreateVolume(owen.user).status(), "create volume");
+  vfs::NexusFs fs(*owen.nexus);
+
+  // A project tree with a few dozen files.
+  std::printf("\n[1] populate project/\n");
+  examples::Check(fs.Mkdir("project"), "mkdir project");
+  workloads::TreeSpec spec{"project", 40, 6, 3, {}, 512 << 10};
+  crypto::HmacDrbg rng(AsBytes("backup"));
+  auto stats = workloads::GenerateTree(fs, "project", spec, rng);
+  examples::Check(stats.status(), "generate tree");
+  std::printf("  %llu files, %llu dirs, %llu bytes\n",
+              static_cast<unsigned long long>(stats->files),
+              static_cast<unsigned long long>(stats->dirs),
+              static_cast<unsigned long long>(stats->total_bytes));
+
+  std::printf("\n[2] tar -c project/ -> backups/project.tar (encrypted at rest)\n");
+  examples::Check(fs.Mkdir("backups"), "mkdir backups");
+  examples::Check(workloads::TarCreate(fs, "project", "backups/project.tar"),
+                  "create archive");
+  const auto archive_size = fs.Stat("backups/project.tar")->size;
+  std::printf("  archive: %llu bytes (stored as ciphertext chunks)\n",
+              static_cast<unsigned long long>(archive_size));
+
+  std::printf("\n[3] disaster: the project directory is wiped\n");
+  // Delete the whole tree (depth-first).
+  std::function<Status(const std::string&)> rm_rf =
+      [&](const std::string& dir) -> Status {
+    NEXUS_ASSIGN_OR_RETURN(std::vector<vfs::Dirent> entries, fs.ReadDir(dir));
+    for (const auto& e : entries) {
+      const std::string full = dir + "/" + e.name;
+      if (e.type == vfs::FileType::kDirectory) {
+        NEXUS_RETURN_IF_ERROR(rm_rf(full));
+      } else {
+        NEXUS_RETURN_IF_ERROR(fs.Remove(full));
+      }
+    }
+    return fs.Remove(dir);
+  };
+  examples::Check(rm_rf("project"), "rm -rf project");
+
+  std::printf("\n[4] tar -x backups/project.tar -> project/\n");
+  examples::Check(workloads::TarExtract(fs, "backups/project.tar", "project"),
+                  "extract archive");
+  const auto du = workloads::Du(fs, "project");
+  examples::Check(du.status(), "du project");
+  std::printf("  restored %llu bytes", static_cast<unsigned long long>(*du));
+  std::printf(" (%s)\n", *du == stats->total_bytes ? "bit-exact" : "MISMATCH");
+  if (*du != stats->total_bytes) return 1;
+
+  const auto hits = workloads::GrepCount(fs, "project", "javascript");
+  examples::Check(hits.status(), "grep -r javascript project/");
+  std::printf("  grep sanity: %llu files match 'javascript'\n",
+              static_cast<unsigned long long>(*hits));
+
+  std::printf("\nDone: the archive, like everything else, was never visible "
+              "to the server in plaintext.\n");
+  return 0;
+}

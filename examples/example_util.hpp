@@ -1,0 +1,71 @@
+// Shared scaffolding for the examples: a simulated world with an untrusted
+// AFS server, Intel attestation, and per-user SGX machines.
+#pragma once
+
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "core/nexus_client.hpp"
+#include "core/user_key.hpp"
+#include "crypto/rng.hpp"
+#include "sgx/attestation.hpp"
+#include "sgx/enclave.hpp"
+#include "storage/afs.hpp"
+#include "storage/backend.hpp"
+
+namespace nexus::examples {
+
+/// One user's machine: SGX CPU, enclave runtime, AFS client and the NEXUS
+/// daemon (NexusClient).
+struct Machine {
+  std::unique_ptr<sgx::SgxCpu> cpu;
+  std::unique_ptr<sgx::EnclaveRuntime> runtime;
+  std::unique_ptr<storage::AfsClient> afs;
+  std::unique_ptr<core::NexusClient> nexus;
+  core::UserKey user;
+};
+
+class World {
+ public:
+  World()
+      : rng_(AsBytes("example")),
+        intel_(AsBytes("intel")),
+        server_(std::make_unique<storage::MemBackend>(), clock_) {}
+
+  Machine& AddMachine(const std::string& username) {
+    auto m = std::make_unique<Machine>();
+    m->cpu = intel_.ProvisionCpu(AsBytes("cpu-" + username));
+    m->runtime = std::make_unique<sgx::EnclaveRuntime>(
+        *m->cpu, sgx::NexusEnclaveImage(), AsBytes("rng-" + username));
+    m->afs = std::make_unique<storage::AfsClient>(server_, username);
+    m->nexus = std::make_unique<core::NexusClient>(*m->runtime, *m->afs,
+                                                   intel_.root_public_key());
+    m->user = core::UserKey::Generate(username, rng_);
+    machines_.push_back(std::move(m));
+    return *machines_.back();
+  }
+
+  [[nodiscard]] storage::AfsServer& server() noexcept { return server_; }
+  [[nodiscard]] crypto::Rng& rng() noexcept { return rng_; }
+  [[nodiscard]] const sgx::IntelAttestationService& intel() const noexcept {
+    return intel_;
+  }
+
+ private:
+  crypto::HmacDrbg rng_;
+  sgx::IntelAttestationService intel_;
+  storage::SimClock clock_;
+  storage::AfsServer server_;
+  std::vector<std::unique_ptr<Machine>> machines_;
+};
+
+inline void Check(const Status& status, const char* what) {
+  if (!status.ok()) {
+    std::fprintf(stderr, "FAILED (%s): %s\n", what, status.ToString().c_str());
+    std::exit(1);
+  }
+  std::printf("  ok: %s\n", what);
+}
+
+} // namespace nexus::examples

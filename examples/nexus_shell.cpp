@@ -1,0 +1,215 @@
+// An interactive shell over a persistent NEXUS volume.
+//
+// State (the simulated server's object store, the sealed rootkey, the
+// sealed version table and the user identity) lives on disk, so the volume
+// survives across runs:
+//
+//   $ ./examples/nexus_shell [state-dir]        # default ./nexus-shell-state
+//   nexus> mkdir docs
+//   nexus> put docs/hello.txt Hello, sealed world!
+//   nexus> cat docs/hello.txt
+//   nexus> tree
+//   nexus> fsck
+//   nexus> server                                # what the attacker sees
+//
+// Also scriptable: echo -e "mkdir d\nput d/f hi\ncat d/f" | nexus_shell
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "core/fsck.hpp"
+#include "example_util.hpp"
+#include "storage/backend.hpp"
+
+using namespace nexus;
+
+namespace {
+
+Result<Bytes> LoadFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Error(ErrorCode::kNotFound, path);
+  return Bytes((std::istreambuf_iterator<char>(in)),
+               std::istreambuf_iterator<char>());
+}
+
+void SaveFile(const std::string& path, ByteSpan data) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(reinterpret_cast<const char*>(data.data()),
+            static_cast<std::streamsize>(data.size()));
+}
+
+void PrintTree(core::NexusClient& nexus, const std::string& dir, int depth) {
+  auto entries = nexus.ListDir(dir);
+  if (!entries.ok()) return;
+  for (const auto& e : *entries) {
+    std::printf("%*s%s%s\n", depth * 2, "", e.name.c_str(),
+                e.type == enclave::EntryType::kDirectory ? "/" : "");
+    if (e.type == enclave::EntryType::kDirectory) {
+      PrintTree(nexus, dir.empty() ? e.name : dir + "/" + e.name, depth + 1);
+    }
+  }
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+  const std::string state_dir = argc > 1 ? argv[1] : "nexus-shell-state";
+  std::filesystem::create_directories(state_dir);
+
+  // Durable world: server objects on disk, deterministic CPU/Intel.
+  storage::SimClock clock;
+  storage::AfsServer server(
+      std::make_unique<storage::DiskBackend>(
+          storage::DiskBackend::Open(state_dir + "/server").value()),
+      clock);
+  storage::AfsClient afs(server, "shell-user");
+  sgx::IntelAttestationService intel(AsBytes("intel"));
+  auto cpu = intel.ProvisionCpu(AsBytes("shell-cpu"));
+  sgx::EnclaveRuntime runtime(*cpu, sgx::NexusEnclaveImage(),
+                              crypto::SystemRng().Generate(32));
+  core::NexusClient nexus(runtime, afs, intel.root_public_key());
+
+  // Identity: generated on first run, reloaded afterwards.
+  crypto::HmacDrbg user_rng(AsBytes("shell-user-identity"));
+  core::UserKey user = core::UserKey::Generate("shell-user", user_rng);
+
+  const std::string rootkey_path = state_dir + "/sealed-rootkey";
+  const std::string uuid_path = state_dir + "/volume-uuid";
+  const std::string versions_path = state_dir + "/sealed-versions";
+
+  Uuid volume_uuid;
+  if (auto sealed = LoadFile(rootkey_path); sealed.ok()) {
+    auto uuid_hex = LoadFile(uuid_path);
+    if (!uuid_hex.ok()) {
+      std::fprintf(stderr, "state dir corrupt: missing volume uuid\n");
+      return 1;
+    }
+    volume_uuid = Uuid::Parse(ToString(*uuid_hex)).value();
+    if (auto versions = LoadFile(versions_path); versions.ok()) {
+      (void)nexus.ImportSealedVersionTable(*versions);
+    }
+    const Status s = nexus.Mount(user, volume_uuid, *sealed);
+    if (!s.ok()) {
+      std::fprintf(stderr, "mount failed: %s\n", s.ToString().c_str());
+      return 1;
+    }
+    std::printf("mounted existing volume %s\n", volume_uuid.ToString().c_str());
+  } else {
+    auto handle = nexus.CreateVolume(user);
+    if (!handle.ok()) {
+      std::fprintf(stderr, "create failed: %s\n", handle.status().ToString().c_str());
+      return 1;
+    }
+    volume_uuid = handle->volume_uuid;
+    SaveFile(rootkey_path, handle->sealed_rootkey);
+    SaveFile(uuid_path, AsBytes(volume_uuid.ToString()));
+    std::printf("created new volume %s\n", volume_uuid.ToString().c_str());
+  }
+
+  std::printf("type 'help' for commands\n");
+  std::string line;
+  const bool tty = isatty(fileno(stdin));
+  while ((tty && std::printf("nexus> ") && std::fflush(stdout) >= 0, true) &&
+         std::getline(std::cin, line)) {
+    std::istringstream ss(line);
+    std::string cmd, a, b;
+    ss >> cmd >> a;
+    std::getline(ss, b);
+    if (!b.empty() && b[0] == ' ') b.erase(0, 1);
+
+    auto report = [](const Status& s) {
+      if (!s.ok()) std::printf("error: %s\n", s.ToString().c_str());
+    };
+
+    if (cmd.empty()) continue;
+    if (cmd == "help") {
+      std::printf(
+          "  mkdir <dir>          ls [dir]        tree\n"
+          "  put <file> <text>    cat <file>      rm <path>\n"
+          "  mv <from> <to>       ln <target> <link>   stat <path>\n"
+          "  users                fsck            server\n"
+          "  quit\n");
+    } else if (cmd == "quit" || cmd == "exit") {
+      break;
+    } else if (cmd == "mkdir") {
+      report(nexus.Mkdir(a));
+    } else if (cmd == "ls") {
+      auto entries = nexus.ListDir(a);
+      if (!entries.ok()) {
+        report(entries.status());
+      } else {
+        for (const auto& e : *entries) {
+          std::printf("%s%s\n", e.name.c_str(),
+                      e.type == enclave::EntryType::kDirectory ? "/" : "");
+        }
+      }
+    } else if (cmd == "tree") {
+      PrintTree(nexus, "", 0);
+    } else if (cmd == "put") {
+      report(nexus.WriteFile(a, AsBytes(b)));
+    } else if (cmd == "cat") {
+      auto content = nexus.ReadFile(a);
+      if (!content.ok()) {
+        report(content.status());
+      } else {
+        std::printf("%s\n", ToString(*content).c_str());
+      }
+    } else if (cmd == "rm") {
+      report(nexus.Remove(a));
+    } else if (cmd == "mv") {
+      report(nexus.Rename(a, b));
+    } else if (cmd == "ln") {
+      report(nexus.Symlink(a, b));
+    } else if (cmd == "stat") {
+      auto attrs = nexus.Lookup(a);
+      if (!attrs.ok()) {
+        report(attrs.status());
+      } else {
+        const char* type = attrs->type == enclave::EntryType::kDirectory ? "dir"
+                           : attrs->type == enclave::EntryType::kSymlink ? "symlink"
+                                                                         : "file";
+        std::printf("%s  %s  %llu bytes  uuid=%s\n", a.c_str(), type,
+                    static_cast<unsigned long long>(attrs->size),
+                    attrs->uuid.ToString().c_str());
+      }
+    } else if (cmd == "users") {
+      auto users = nexus.ListUsers();
+      if (users.ok()) {
+        for (const auto& u : *users) std::printf("%u  %s\n", u.id, u.name.c_str());
+      }
+    } else if (cmd == "fsck") {
+      auto r = core::RunFsck(nexus, /*deep=*/true);
+      if (!r.ok()) {
+        report(r.status());
+      } else {
+        std::printf("ok: %llu dirs, %llu files, %llu symlinks, %llu bytes, "
+                    "%zu orphans\n",
+                    static_cast<unsigned long long>(r->audit.directories),
+                    static_cast<unsigned long long>(r->audit.files),
+                    static_cast<unsigned long long>(r->audit.symlinks),
+                    static_cast<unsigned long long>(r->audit.plaintext_bytes),
+                    r->orphaned_objects.size());
+      }
+    } else if (cmd == "server") {
+      auto names = afs.List("");
+      if (names.ok()) {
+        for (const auto& n : *names) {
+          auto st = server.AdversaryRead(n);
+          std::printf("%-40s %6zu bytes of ciphertext\n", n.c_str(),
+                      st.ok() ? st->size() : 0);
+        }
+      }
+    } else {
+      std::printf("unknown command '%s' (try 'help')\n", cmd.c_str());
+    }
+  }
+
+  // Persist the rollback-defence table before exit.
+  if (auto versions = nexus.ExportSealedVersionTable(); versions.ok()) {
+    SaveFile(versions_path, *versions);
+  }
+  if (tty) std::printf("\n");
+  return 0;
+}

@@ -1,0 +1,85 @@
+// The pure-cryptography baseline NEXUS is compared against in §VII-E.
+//
+// SiRiUS/Plutus-style client-side encryption *without* trusted hardware:
+// each file is encrypted under its own file key, and the file key is
+// wrapped (hybrid X25519 + AES-GCM "sealed box") to every authorized
+// reader's public key in a keyblock stored next to the ciphertext.
+//
+// The crucial difference from NEXUS: once a reader has decrypted a file,
+// nothing stops them from caching the file key. Revoking a reader
+// therefore requires generating a fresh file key, RE-ENCRYPTING THE WHOLE
+// FILE, and re-wrapping to the remaining readers — cost proportional to
+// the data size and the number of readers (Garrison et al. [15]).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "common/result.hpp"
+#include "crypto/rng.hpp"
+#include "storage/afs.hpp"
+
+namespace nexus::baseline {
+
+/// A user's long-term keywrap identity (X25519).
+struct BoxKeyPair {
+  std::string name;
+  ByteArray<32> public_key{};
+  ByteArray<32> private_key{};
+
+  static BoxKeyPair Generate(std::string name, crypto::Rng& rng);
+};
+
+struct Reader {
+  std::string name;
+  ByteArray<32> public_key{};
+};
+
+class PureCryptoFs {
+ public:
+  PureCryptoFs(storage::AfsClient& afs, crypto::Rng& rng)
+      : afs_(afs), rng_(rng) {}
+
+  /// Encrypts `content` under a fresh file key wrapped to every reader.
+  Status WriteFile(const std::string& path, ByteSpan content,
+                   const std::vector<Reader>& readers);
+
+  /// Decrypts with `name`'s private key (must be an authorized reader).
+  Result<Bytes> ReadFile(const std::string& path, const std::string& name,
+                         const ByteArray<32>& private_key);
+
+  /// Revokes `revoked` from every file under `dir_prefix`: each affected
+  /// file is re-encrypted under a fresh key by `actor` (who must be a
+  /// reader) and re-wrapped to the remaining readers.
+  Status Revoke(const std::string& dir_prefix, const std::string& revoked,
+                const BoxKeyPair& actor);
+
+  struct Stats {
+    std::uint64_t files_reencrypted = 0;
+    std::uint64_t bytes_reencrypted = 0;
+    std::uint64_t keyblocks_rewritten = 0;
+  };
+  [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
+  void ResetStats() { stats_ = {}; }
+
+ private:
+  [[nodiscard]] std::string DataPath(const std::string& path) const {
+    return "pc/" + path;
+  }
+  [[nodiscard]] std::string KeyPath(const std::string& path) const {
+    return "pck/" + path;
+  }
+
+  Status WriteEncrypted(const std::string& path, ByteSpan content,
+                        const std::vector<Reader>& readers);
+  Result<Key128> UnwrapFileKey(ByteSpan keyblock, const std::string& name,
+                               const ByteArray<32>& private_key,
+                               std::vector<Reader>* readers_out);
+
+  storage::AfsClient& afs_;
+  crypto::Rng& rng_;
+  Stats stats_;
+};
+
+} // namespace nexus::baseline

@@ -1,0 +1,19 @@
+// Base64 encoding/decoding (RFC 4648), used when embedding binary blobs
+// (sealed keys, quotes) in text configuration or logs.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "common/bytes.hpp"
+#include "common/result.hpp"
+
+namespace nexus {
+
+/// Standard-alphabet base64 with padding.
+std::string Base64Encode(ByteSpan data);
+
+/// Strict decoder: rejects bad characters, bad padding and bad lengths.
+Result<Bytes> Base64Decode(std::string_view text);
+
+} // namespace nexus

@@ -1,0 +1,40 @@
+// Time sources.
+//
+// NEXUS benchmarks mix two kinds of time (DESIGN.md §5.1):
+//  * simulated I/O time, advanced deterministically by the storage cost
+//    model (SimClock lives in src/storage), and
+//  * real compute time, measured around enclave execution.
+// This header provides the real-time side plus a tiny stopwatch.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace nexus {
+
+/// Monotonic nanoseconds since an arbitrary epoch.
+inline std::uint64_t MonotonicNanos() noexcept {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// Accumulating stopwatch for profiling enclave compute time.
+class Stopwatch {
+ public:
+  void Start() noexcept { start_ = MonotonicNanos(); }
+  void Stop() noexcept { total_ns_ += MonotonicNanos() - start_; }
+
+  [[nodiscard]] std::uint64_t TotalNanos() const noexcept { return total_ns_; }
+  [[nodiscard]] double TotalSeconds() const noexcept {
+    return static_cast<double>(total_ns_) * 1e-9;
+  }
+  void Reset() noexcept { total_ns_ = 0; }
+
+ private:
+  std::uint64_t start_ = 0;
+  std::uint64_t total_ns_ = 0;
+};
+
+} // namespace nexus

@@ -1,0 +1,18 @@
+// Hex encoding/decoding for UUID filenames, logging and test vectors.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "common/bytes.hpp"
+#include "common/result.hpp"
+
+namespace nexus {
+
+/// Lowercase hex encoding ("deadbeef").
+std::string HexEncode(ByteSpan data);
+
+/// Decode a hex string; rejects odd lengths and non-hex characters.
+Result<Bytes> HexDecode(std::string_view hex);
+
+} // namespace nexus

@@ -1,0 +1,58 @@
+#include "common/log.hpp"
+
+#include <atomic>
+#include <cstdarg>
+#include <cstdio>
+#include <mutex>
+
+namespace nexus {
+namespace {
+
+std::atomic<LogLevel> g_level{LogLevel::kWarn};
+std::mutex g_sink_mutex;
+
+const char* LevelName(LogLevel level) noexcept {
+  switch (level) {
+    case LogLevel::kTrace: return "TRACE";
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF";
+  }
+  return "?";
+}
+
+} // namespace
+
+void SetLogLevel(LogLevel level) noexcept { g_level.store(level); }
+LogLevel GetLogLevel() noexcept { return g_level.load(); }
+
+void LogMessage(LogLevel level, std::string_view tag,
+                std::string_view message) {
+  std::lock_guard lock(g_sink_mutex);
+  std::fprintf(stderr, "[%s] %.*s: %.*s\n", LevelName(level),
+               static_cast<int>(tag.size()), tag.data(),
+               static_cast<int>(message.size()), message.data());
+}
+
+namespace detail {
+
+std::string FormatV(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  va_list args_copy;
+  va_copy(args_copy, args);
+  const int needed = std::vsnprintf(nullptr, 0, fmt, args);
+  va_end(args);
+  std::string out;
+  if (needed > 0) {
+    out.resize(static_cast<std::size_t>(needed));
+    std::vsnprintf(out.data(), out.size() + 1, fmt, args_copy);
+  }
+  va_end(args_copy);
+  return out;
+}
+
+} // namespace detail
+} // namespace nexus

@@ -1,0 +1,38 @@
+// Minimal leveled logger. Off by default in benchmarks; tests and examples
+// raise the level to trace protocol flows.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <string_view>
+
+namespace nexus {
+
+enum class LogLevel { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
+
+/// Global minimum level; messages below it are discarded.
+void SetLogLevel(LogLevel level) noexcept;
+LogLevel GetLogLevel() noexcept;
+
+/// Core sink: writes "[LEVEL] tag: message" to stderr.
+void LogMessage(LogLevel level, std::string_view tag, std::string_view message);
+
+namespace detail {
+std::string FormatV(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+} // namespace detail
+
+#define NEXUS_LOG(level, tag, ...)                                     \
+  do {                                                                 \
+    if (static_cast<int>(level) >=                                     \
+        static_cast<int>(::nexus::GetLogLevel())) {                    \
+      ::nexus::LogMessage(level, tag, ::nexus::detail::FormatV(__VA_ARGS__)); \
+    }                                                                  \
+  } while (0)
+
+#define NEXUS_TRACE(tag, ...) NEXUS_LOG(::nexus::LogLevel::kTrace, tag, __VA_ARGS__)
+#define NEXUS_DEBUG(tag, ...) NEXUS_LOG(::nexus::LogLevel::kDebug, tag, __VA_ARGS__)
+#define NEXUS_INFO(tag, ...) NEXUS_LOG(::nexus::LogLevel::kInfo, tag, __VA_ARGS__)
+#define NEXUS_WARN(tag, ...) NEXUS_LOG(::nexus::LogLevel::kWarn, tag, __VA_ARGS__)
+#define NEXUS_ERROR(tag, ...) NEXUS_LOG(::nexus::LogLevel::kError, tag, __VA_ARGS__)
+
+} // namespace nexus

@@ -1,0 +1,31 @@
+#include "common/result.hpp"
+
+namespace nexus {
+
+std::string_view ErrorCodeName(ErrorCode code) noexcept {
+  switch (code) {
+    case ErrorCode::kOk: return "OK";
+    case ErrorCode::kInvalidArgument: return "InvalidArgument";
+    case ErrorCode::kNotFound: return "NotFound";
+    case ErrorCode::kAlreadyExists: return "AlreadyExists";
+    case ErrorCode::kPermissionDenied: return "PermissionDenied";
+    case ErrorCode::kIntegrityViolation: return "IntegrityViolation";
+    case ErrorCode::kCryptoFailure: return "CryptoFailure";
+    case ErrorCode::kIOError: return "IOError";
+    case ErrorCode::kConflict: return "Conflict";
+    case ErrorCode::kOutOfRange: return "OutOfRange";
+    case ErrorCode::kUnimplemented: return "Unimplemented";
+    case ErrorCode::kInternal: return "Internal";
+  }
+  return "Unknown";
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string out(ErrorCodeName(code_));
+  out += ": ";
+  out += message_;
+  return out;
+}
+
+} // namespace nexus

@@ -1,0 +1,123 @@
+// Result/Status error handling used across NEXUS.
+//
+// The enclave boundary (and real SGX ecall ABIs) cannot propagate C++
+// exceptions, so all fallible NEXUS APIs return Status or Result<T>.
+// Exceptions are reserved for programmer errors (contract violations).
+#pragma once
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+
+namespace nexus {
+
+/// Error category codes. Kept coarse on purpose: callers branch on these,
+/// humans read the message.
+enum class ErrorCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kPermissionDenied,   // ACL / authentication failures
+  kIntegrityViolation, // MAC mismatch, tampering, rollback, bad quote
+  kCryptoFailure,      // primitive-level failure (bad key size, etc.)
+  kIOError,            // backing-store failure
+  kConflict,           // lock contention / concurrent update
+  kOutOfRange,
+  kUnimplemented,
+  kInternal,
+};
+
+/// Human-readable name for an ErrorCode ("NotFound", ...).
+std::string_view ErrorCodeName(ErrorCode code) noexcept;
+
+/// A Status is either OK or an (ErrorCode, message) pair.
+class [[nodiscard]] Status {
+ public:
+  Status() noexcept = default; // OK
+  Status(ErrorCode code, std::string message)
+      : code_(code), message_(std::move(message)) {
+    assert(code != ErrorCode::kOk && "use Status::Ok() for success");
+  }
+
+  static Status Ok() noexcept { return {}; }
+
+  [[nodiscard]] bool ok() const noexcept { return code_ == ErrorCode::kOk; }
+  [[nodiscard]] ErrorCode code() const noexcept { return code_; }
+  [[nodiscard]] const std::string& message() const noexcept { return message_; }
+
+  /// "IntegrityViolation: dirnode MAC mismatch" or "OK".
+  [[nodiscard]] std::string ToString() const;
+
+ private:
+  ErrorCode code_ = ErrorCode::kOk;
+  std::string message_;
+};
+
+inline Status Error(ErrorCode code, std::string message) {
+  return Status(code, std::move(message));
+}
+
+/// Result<T> holds either a value or an error Status.
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  Result(T value) : state_(std::move(value)) {} // NOLINT: implicit by design
+  Result(Status status) : state_(std::move(status)) { // NOLINT
+    assert(!std::get<Status>(state_).ok() &&
+           "cannot construct Result<T> from OK status without a value");
+  }
+
+  [[nodiscard]] bool ok() const noexcept {
+    return std::holds_alternative<T>(state_);
+  }
+
+  [[nodiscard]] const Status& status() const noexcept {
+    static const Status kOk;
+    return ok() ? kOk : std::get<Status>(state_);
+  }
+
+  [[nodiscard]] T& value() & {
+    assert(ok());
+    return std::get<T>(state_);
+  }
+  [[nodiscard]] const T& value() const& {
+    assert(ok());
+    return std::get<T>(state_);
+  }
+  [[nodiscard]] T&& value() && {
+    assert(ok());
+    return std::get<T>(std::move(state_));
+  }
+
+  [[nodiscard]] T& operator*() & { return value(); }
+  [[nodiscard]] const T& operator*() const& { return value(); }
+  [[nodiscard]] T* operator->() { return &value(); }
+  [[nodiscard]] const T* operator->() const { return &value(); }
+
+ private:
+  std::variant<T, Status> state_;
+};
+
+// Propagate errors up the call stack. Usage:
+//   NEXUS_RETURN_IF_ERROR(DoThing());
+//   NEXUS_ASSIGN_OR_RETURN(auto x, ComputeThing());
+#define NEXUS_RETURN_IF_ERROR(expr)                \
+  do {                                             \
+    ::nexus::Status nexus_status_ = (expr);        \
+    if (!nexus_status_.ok()) return nexus_status_; \
+  } while (0)
+
+#define NEXUS_CONCAT_IMPL(a, b) a##b
+#define NEXUS_CONCAT(a, b) NEXUS_CONCAT_IMPL(a, b)
+
+#define NEXUS_ASSIGN_OR_RETURN(decl, expr)                            \
+  auto NEXUS_CONCAT(nexus_result_, __LINE__) = (expr);                \
+  if (!NEXUS_CONCAT(nexus_result_, __LINE__).ok())                    \
+    return NEXUS_CONCAT(nexus_result_, __LINE__).status();            \
+  decl = std::move(NEXUS_CONCAT(nexus_result_, __LINE__)).value()
+
+} // namespace nexus

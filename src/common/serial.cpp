@@ -1,0 +1,80 @@
+#include "common/serial.hpp"
+
+namespace nexus {
+
+void Writer::U16(std::uint16_t v) {
+  U8(static_cast<std::uint8_t>(v));
+  U8(static_cast<std::uint8_t>(v >> 8));
+}
+
+void Writer::U32(std::uint32_t v) {
+  U16(static_cast<std::uint16_t>(v));
+  U16(static_cast<std::uint16_t>(v >> 16));
+}
+
+void Writer::U64(std::uint64_t v) {
+  U32(static_cast<std::uint32_t>(v));
+  U32(static_cast<std::uint32_t>(v >> 32));
+}
+
+void Writer::Var(ByteSpan data) {
+  U32(static_cast<std::uint32_t>(data.size()));
+  Raw(data);
+}
+
+Result<ByteSpan> Reader::Take(std::size_t n) {
+  if (n > Remaining()) {
+    return Error(ErrorCode::kOutOfRange, "serialized data truncated");
+  }
+  ByteSpan out = data_.subspan(pos_, n);
+  pos_ += n;
+  return out;
+}
+
+Result<std::uint8_t> Reader::U8() {
+  NEXUS_ASSIGN_OR_RETURN(ByteSpan b, Take(1));
+  return b[0];
+}
+
+Result<std::uint16_t> Reader::U16() {
+  NEXUS_ASSIGN_OR_RETURN(ByteSpan b, Take(2));
+  return static_cast<std::uint16_t>(b[0] | (b[1] << 8));
+}
+
+Result<std::uint32_t> Reader::U32() {
+  NEXUS_ASSIGN_OR_RETURN(ByteSpan b, Take(4));
+  return static_cast<std::uint32_t>(b[0]) | (static_cast<std::uint32_t>(b[1]) << 8) |
+         (static_cast<std::uint32_t>(b[2]) << 16) |
+         (static_cast<std::uint32_t>(b[3]) << 24);
+}
+
+Result<std::uint64_t> Reader::U64() {
+  NEXUS_ASSIGN_OR_RETURN(std::uint32_t lo, U32());
+  NEXUS_ASSIGN_OR_RETURN(std::uint32_t hi, U32());
+  return static_cast<std::uint64_t>(lo) | (static_cast<std::uint64_t>(hi) << 32);
+}
+
+Result<Bytes> Reader::Raw(std::size_t n) {
+  NEXUS_ASSIGN_OR_RETURN(ByteSpan b, Take(n));
+  return ToBytes(b);
+}
+
+Result<Bytes> Reader::Var(std::size_t max_len) {
+  NEXUS_ASSIGN_OR_RETURN(std::uint32_t len, U32());
+  if (len > max_len) {
+    return Error(ErrorCode::kOutOfRange, "serialized field exceeds limit");
+  }
+  return Raw(len);
+}
+
+Result<std::string> Reader::Str(std::size_t max_len) {
+  NEXUS_ASSIGN_OR_RETURN(Bytes raw, Var(max_len));
+  return ToString(raw);
+}
+
+Result<Uuid> Reader::Id() {
+  NEXUS_ASSIGN_OR_RETURN(Bytes raw, Raw(Uuid::kSize));
+  return Uuid::FromBytes(raw);
+}
+
+} // namespace nexus

@@ -1,0 +1,28 @@
+#include "common/uuid.hpp"
+
+#include <algorithm>
+
+#include "common/hex.hpp"
+
+namespace nexus {
+
+Result<Uuid> Uuid::FromBytes(ByteSpan bytes) {
+  if (bytes.size() != kSize) {
+    return Error(ErrorCode::kInvalidArgument, "UUID must be 16 bytes");
+  }
+  return Uuid(ToArray<kSize>(bytes));
+}
+
+Result<Uuid> Uuid::Parse(std::string_view hex) {
+  NEXUS_ASSIGN_OR_RETURN(Bytes raw, HexDecode(hex));
+  return FromBytes(raw);
+}
+
+bool Uuid::IsNil() const noexcept {
+  return std::all_of(bytes_.begin(), bytes_.end(),
+                     [](std::uint8_t b) { return b == 0; });
+}
+
+std::string Uuid::ToString() const { return HexEncode(bytes_); }
+
+} // namespace nexus

@@ -1,0 +1,59 @@
+// 16-byte universally-unique identifiers.
+//
+// NEXUS names every data and metadata object on the untrusted store by a
+// UUID generated *inside the enclave* (paper §IV-A1), so the server only ever
+// sees obfuscated names.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "common/bytes.hpp"
+#include "common/result.hpp"
+
+namespace nexus {
+
+class Uuid {
+ public:
+  static constexpr std::size_t kSize = 16;
+
+  /// The all-zero UUID, used as "no object".
+  Uuid() noexcept : bytes_{} {}
+
+  explicit Uuid(const ByteArray<kSize>& bytes) noexcept : bytes_(bytes) {}
+
+  /// Construct from exactly 16 raw bytes.
+  static Result<Uuid> FromBytes(ByteSpan bytes);
+
+  /// Parse the 32-character hex form produced by ToString().
+  static Result<Uuid> Parse(std::string_view hex);
+
+  [[nodiscard]] bool IsNil() const noexcept;
+
+  [[nodiscard]] const ByteArray<kSize>& bytes() const noexcept {
+    return bytes_;
+  }
+  [[nodiscard]] ByteSpan span() const noexcept { return bytes_; }
+
+  /// 32-char lowercase hex; used as the object's filename on the store.
+  [[nodiscard]] std::string ToString() const;
+
+  friend auto operator<=>(const Uuid&, const Uuid&) = default;
+
+ private:
+  ByteArray<kSize> bytes_;
+};
+
+} // namespace nexus
+
+template <>
+struct std::hash<nexus::Uuid> {
+  std::size_t operator()(const nexus::Uuid& u) const noexcept {
+    // The bytes are uniformly random; fold the first 8.
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) v = (v << 8) | u.bytes()[i];
+    return std::hash<std::uint64_t>{}(v);
+  }
+};

@@ -1,0 +1,73 @@
+#include "core/metadata_store.hpp"
+
+namespace nexus::core {
+
+AfsMetadataStore::AfsMetadataStore(storage::AfsClient& afs, std::string prefix)
+    : afs_(afs), prefix_(std::move(prefix)) {}
+
+std::string AfsMetadataStore::MetaPath(const Uuid& uuid) const {
+  return prefix_ + "/" + uuid.ToString();
+}
+
+std::string AfsMetadataStore::DataPath(const Uuid& uuid) const {
+  return prefix_ + "d/" + uuid.ToString();
+}
+
+Result<enclave::ObjectBlob> AfsMetadataStore::FetchMeta(const Uuid& uuid) {
+  storage::SimClock::Attribution account(afs_.server().clock(), kMetaIoAccount);
+  NEXUS_ASSIGN_OR_RETURN(storage::AfsServer::FetchResult result,
+                         afs_.FetchVersioned(MetaPath(uuid)));
+  return enclave::ObjectBlob{std::move(result.data), result.version};
+}
+
+Result<std::uint64_t> AfsMetadataStore::StoreMeta(const Uuid& uuid,
+                                                  ByteSpan data) {
+  storage::SimClock::Attribution account(afs_.server().clock(), kMetaIoAccount);
+  return afs_.StoreVersioned(MetaPath(uuid), data);
+}
+
+Status AfsMetadataStore::RemoveMeta(const Uuid& uuid) {
+  storage::SimClock::Attribution account(afs_.server().clock(), kMetaIoAccount);
+  return afs_.Remove(MetaPath(uuid));
+}
+
+Result<enclave::ObjectBlob> AfsMetadataStore::FetchData(const Uuid& uuid) {
+  storage::SimClock::Attribution account(afs_.server().clock(), kDataIoAccount);
+  NEXUS_ASSIGN_OR_RETURN(storage::AfsServer::FetchResult result,
+                         afs_.FetchVersioned(DataPath(uuid)));
+  return enclave::ObjectBlob{std::move(result.data), result.version};
+}
+
+Status AfsMetadataStore::StoreData(const Uuid& uuid, ByteSpan data,
+                                   std::uint64_t changed_bytes) {
+  storage::SimClock::Attribution account(afs_.server().clock(), kDataIoAccount);
+  if (changed_bytes >= data.size()) {
+    return afs_.Store(DataPath(uuid), data);
+  }
+  return afs_.StorePartial(DataPath(uuid), data, changed_bytes);
+}
+
+Status AfsMetadataStore::RemoveData(const Uuid& uuid) {
+  storage::SimClock::Attribution account(afs_.server().clock(), kDataIoAccount);
+  return afs_.Remove(DataPath(uuid));
+}
+
+Status AfsMetadataStore::LockMeta(const Uuid& uuid) {
+  storage::SimClock::Attribution account(afs_.server().clock(), kMetaIoAccount);
+  return afs_.Lock(MetaPath(uuid));
+}
+
+Status AfsMetadataStore::UnlockMeta(const Uuid& uuid) {
+  storage::SimClock::Attribution account(afs_.server().clock(), kMetaIoAccount);
+  return afs_.Unlock(MetaPath(uuid));
+}
+
+bool AfsMetadataStore::CacheFresh(const Uuid& uuid,
+                                  std::uint64_t storage_version) {
+  // Revalidation may issue a FetchStatus RPC — charge it as metadata I/O.
+  storage::SimClock::Attribution account(afs_.server().clock(), kMetaIoAccount);
+  auto fresh = afs_.Revalidate(MetaPath(uuid), storage_version);
+  return fresh.ok() && *fresh;
+}
+
+} // namespace nexus::core

@@ -1,0 +1,35 @@
+// Latency accounting for the evaluation's overhead breakdown (§VII-A):
+//
+//   Enclave runtime  — real compute time spent inside ecalls, measured with
+//                      a monotonic clock (accumulated by NexusClient)
+//   Metadata I/O     — virtual time of metadata fetch/store/lock RPCs
+//   Data I/O         — virtual time of bulk data RPCs
+//
+// A workload's end-to-end latency is (virtual I/O time) + (real compute
+// time); benchmarks combine the two explicitly so nothing double-counts.
+#pragma once
+
+#include <cstdint>
+
+#include "storage/sim_clock.hpp"
+
+namespace nexus::core {
+
+struct ProfileSnapshot {
+  double io_seconds = 0; // total virtual (simulated network/server) time
+  double enclave_seconds = 0;
+  double metadata_io_seconds = 0;
+  double data_io_seconds = 0;
+
+  friend ProfileSnapshot operator-(const ProfileSnapshot& a,
+                                   const ProfileSnapshot& b) {
+    return ProfileSnapshot{
+        a.io_seconds - b.io_seconds,
+        a.enclave_seconds - b.enclave_seconds,
+        a.metadata_io_seconds - b.metadata_io_seconds,
+        a.data_io_seconds - b.data_io_seconds,
+    };
+  }
+};
+
+} // namespace nexus::core

@@ -1,0 +1,32 @@
+// Untrusted user identity: the Ed25519 keypair a user authenticates with.
+//
+// In NEXUS the user's private key lives *outside* the enclave (the enclave
+// only ever sees public keys); the user signs the auth challenge and the
+// key-exchange blobs locally (paper §IV-B).
+#pragma once
+
+#include <string>
+
+#include "crypto/ed25519.hpp"
+#include "crypto/rng.hpp"
+
+namespace nexus::core {
+
+struct UserKey {
+  std::string name;
+  crypto::Ed25519KeyPair key;
+
+  static UserKey Generate(std::string name, crypto::Rng& rng) {
+    return UserKey{std::move(name), crypto::Ed25519FromSeed(rng.Array<32>())};
+  }
+
+  [[nodiscard]] const ByteArray<32>& public_key() const noexcept {
+    return key.public_key;
+  }
+
+  [[nodiscard]] ByteArray<64> Sign(ByteSpan message) const noexcept {
+    return crypto::Ed25519Sign(key, message);
+  }
+};
+
+} // namespace nexus::core

@@ -1,0 +1,51 @@
+// AES-128/256 block cipher (FIPS 197), encryption direction only.
+//
+// Every mode NEXUS uses (CTR, GCM, GCM-SIV) is built from the forward
+// transform, so the inverse cipher is deliberately not implemented. The
+// S-box is generated from the GF(2^8) inverse + affine map at first use,
+// eliminating table-transcription errors; NIST known-answer tests pin the
+// result.
+#pragma once
+
+#include <cstdint>
+
+#include "common/bytes.hpp"
+#include "common/result.hpp"
+
+namespace nexus::crypto {
+
+class Aes {
+ public:
+  static constexpr std::size_t kBlockSize = 16;
+
+  /// Key must be 16 (AES-128) or 32 (AES-256) bytes.
+  static Result<Aes> Create(ByteSpan key);
+
+  /// Encrypts exactly one 16-byte block, in != out allowed to alias.
+  void EncryptBlock(const std::uint8_t in[16], std::uint8_t out[16]) const
+      noexcept;
+
+  [[nodiscard]] std::size_t key_size() const noexcept { return key_size_; }
+  [[nodiscard]] int rounds() const noexcept { return rounds_; }
+
+  /// Serializes the round keys in standard byte order ((rounds+1)*16
+  /// bytes) for the AES-NI fast path. `out` must hold 240 bytes.
+  void ExportRoundKeyBytes(std::uint8_t* out) const noexcept;
+
+ private:
+  Aes() = default;
+  void ExpandKey(ByteSpan key) noexcept;
+
+  // Up to 15 round keys of 16 bytes (AES-256: 14 rounds + initial).
+  std::uint32_t round_keys_[60] = {};
+  int rounds_ = 0;
+  std::size_t key_size_ = 0;
+};
+
+/// AES-CTR keystream XOR: encrypt and decrypt are the same operation.
+/// `counter_block` is the initial 16-byte counter; the final 4 bytes are
+/// interpreted as a big-endian counter (NIST/GCM convention).
+void AesCtrXor(const Aes& aes, const std::uint8_t counter_block[16],
+               ByteSpan in, MutableByteSpan out) noexcept;
+
+} // namespace nexus::crypto

@@ -1,0 +1,157 @@
+// Compiled with -maes -mpclmul -mssse3 (see CMakeLists); callers must gate
+// on HasAesHardware().
+#include "crypto/aesni.hpp"
+
+#if defined(__x86_64__)
+#include <immintrin.h>
+#include <wmmintrin.h>
+#endif
+
+namespace nexus::crypto {
+
+bool HasAesHardware() noexcept {
+#if defined(__x86_64__)
+  return __builtin_cpu_supports("aes") && __builtin_cpu_supports("pclmul") &&
+         __builtin_cpu_supports("ssse3");
+#else
+  return false;
+#endif
+}
+
+#if defined(__x86_64__)
+
+namespace {
+
+// Encrypts one block with pre-loaded round keys.
+inline __m128i EncryptBlockNi(__m128i block, const __m128i* rk,
+                              int rounds) noexcept {
+  block = _mm_xor_si128(block, rk[0]);
+  for (int r = 1; r < rounds; ++r) block = _mm_aesenc_si128(block, rk[r]);
+  return _mm_aesenclast_si128(block, rk[rounds]);
+}
+
+// GHASH operands are bit-reflected for CLMUL (Intel white paper layout).
+inline __m128i Reflect(__m128i v) noexcept {
+  const __m128i mask =
+      _mm_set_epi8(0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15);
+  return _mm_shuffle_epi8(v, mask);
+}
+
+// GF(2^128) multiply of reflected operands (Intel CLMUL white paper,
+// "gfmul" with the shift-left-1 + reduction sequence).
+inline __m128i GfMulReflected(__m128i a, __m128i b) noexcept {
+  __m128i tmp3 = _mm_clmulepi64_si128(a, b, 0x00);
+  __m128i tmp4 = _mm_clmulepi64_si128(a, b, 0x10);
+  __m128i tmp5 = _mm_clmulepi64_si128(a, b, 0x01);
+  __m128i tmp6 = _mm_clmulepi64_si128(a, b, 0x11);
+
+  tmp4 = _mm_xor_si128(tmp4, tmp5);
+  tmp5 = _mm_slli_si128(tmp4, 8);
+  tmp4 = _mm_srli_si128(tmp4, 8);
+  tmp3 = _mm_xor_si128(tmp3, tmp5);
+  tmp6 = _mm_xor_si128(tmp6, tmp4);
+
+  __m128i tmp7 = _mm_srli_epi32(tmp3, 31);
+  __m128i tmp8 = _mm_srli_epi32(tmp6, 31);
+  tmp3 = _mm_slli_epi32(tmp3, 1);
+  tmp6 = _mm_slli_epi32(tmp6, 1);
+
+  __m128i tmp9 = _mm_srli_si128(tmp7, 12);
+  tmp8 = _mm_slli_si128(tmp8, 4);
+  tmp7 = _mm_slli_si128(tmp7, 4);
+  tmp3 = _mm_or_si128(tmp3, tmp7);
+  tmp6 = _mm_or_si128(tmp6, tmp8);
+  tmp6 = _mm_or_si128(tmp6, tmp9);
+
+  tmp7 = _mm_slli_epi32(tmp3, 31);
+  tmp8 = _mm_slli_epi32(tmp3, 30);
+  tmp9 = _mm_slli_epi32(tmp3, 25);
+  tmp7 = _mm_xor_si128(tmp7, tmp8);
+  tmp7 = _mm_xor_si128(tmp7, tmp9);
+  tmp8 = _mm_srli_si128(tmp7, 4);
+  tmp7 = _mm_slli_si128(tmp7, 12);
+  tmp3 = _mm_xor_si128(tmp3, tmp7);
+
+  __m128i tmp2 = _mm_srli_epi32(tmp3, 1);
+  tmp4 = _mm_srli_epi32(tmp3, 2);
+  tmp5 = _mm_srli_epi32(tmp3, 7);
+  tmp2 = _mm_xor_si128(tmp2, tmp4);
+  tmp2 = _mm_xor_si128(tmp2, tmp5);
+  tmp2 = _mm_xor_si128(tmp2, tmp8);
+  tmp3 = _mm_xor_si128(tmp3, tmp2);
+  return _mm_xor_si128(tmp6, tmp3);
+}
+
+} // namespace
+
+void AesNiCtrXor(const std::uint8_t* round_key_bytes, int rounds,
+                 const std::uint8_t counter[16], ByteSpan in,
+                 MutableByteSpan out) noexcept {
+  __m128i rk[15];
+  for (int i = 0; i <= rounds; ++i) {
+    rk[i] = _mm_loadu_si128(
+        reinterpret_cast<const __m128i*>(round_key_bytes + 16 * i));
+  }
+
+  std::uint8_t ctr[16];
+  __builtin_memcpy(ctr, counter, 16);
+  auto bump = [&ctr]() noexcept {
+    for (int i = 15; i >= 12; --i) {
+      if (++ctr[i] != 0) break;
+    }
+  };
+
+  std::size_t pos = 0;
+  // 4-wide pipeline for the bulk.
+  while (pos + 64 <= in.size()) {
+    __m128i blocks[4];
+    for (auto& b : blocks) {
+      b = _mm_loadu_si128(reinterpret_cast<const __m128i*>(ctr));
+      bump();
+    }
+    for (auto& b : blocks) b = _mm_xor_si128(b, rk[0]);
+    for (int r = 1; r < rounds; ++r) {
+      for (auto& b : blocks) b = _mm_aesenc_si128(b, rk[r]);
+    }
+    for (auto& b : blocks) b = _mm_aesenclast_si128(b, rk[rounds]);
+    for (int j = 0; j < 4; ++j) {
+      const __m128i data = _mm_loadu_si128(
+          reinterpret_cast<const __m128i*>(in.data() + pos + 16 * j));
+      _mm_storeu_si128(reinterpret_cast<__m128i*>(out.data() + pos + 16 * j),
+                       _mm_xor_si128(data, blocks[j]));
+    }
+    pos += 64;
+  }
+  // Tail.
+  while (pos < in.size()) {
+    const __m128i ks = EncryptBlockNi(
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(ctr)), rk, rounds);
+    bump();
+    std::uint8_t keystream[16];
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(keystream), ks);
+    const std::size_t n = std::min<std::size_t>(16, in.size() - pos);
+    for (std::size_t i = 0; i < n; ++i) out[pos + i] = in[pos + i] ^ keystream[i];
+    pos += n;
+  }
+}
+
+void PclmulGhashBlock(std::uint8_t y[16], const std::uint8_t x[16],
+                      const std::uint8_t h[16]) noexcept {
+  const __m128i yv = _mm_loadu_si128(reinterpret_cast<const __m128i*>(y));
+  const __m128i xv = _mm_loadu_si128(reinterpret_cast<const __m128i*>(x));
+  const __m128i hv = _mm_loadu_si128(reinterpret_cast<const __m128i*>(h));
+  const __m128i product = GfMulReflected(Reflect(_mm_xor_si128(yv, xv)),
+                                         Reflect(hv));
+  _mm_storeu_si128(reinterpret_cast<__m128i*>(y), Reflect(product));
+}
+
+#else // !__x86_64__
+
+void AesNiCtrXor(const std::uint8_t*, int, const std::uint8_t*, ByteSpan,
+                 MutableByteSpan) noexcept {}
+void PclmulGhashBlock(std::uint8_t*, const std::uint8_t*,
+                      const std::uint8_t*) noexcept {}
+
+#endif
+
+} // namespace nexus::crypto

@@ -1,0 +1,31 @@
+// Hardware fast paths for AES-CTR (AES-NI) and GHASH (PCLMULQDQ),
+// dispatched at runtime. The paper's enclave used mbedTLS with AES-NI;
+// without this the simulated enclave's crypto throughput — and thus the
+// Table 5a "Enclave" column and the read-heavy Table II rows — would be
+// bottlenecked by the portable table implementation rather than by
+// anything NEXUS-related. The portable code remains the reference and the
+// fallback; both paths satisfy the same NIST vectors.
+#pragma once
+
+#include <cstdint>
+
+#include "common/bytes.hpp"
+
+namespace nexus::crypto {
+
+/// True when both AES-NI and PCLMULQDQ are available.
+bool HasAesHardware() noexcept;
+
+/// CTR keystream XOR using AES-NI. `round_key_bytes` is (rounds+1)*16
+/// bytes of standard-serialized round keys; `counter` uses the GCM
+/// convention (big-endian increment of the final 32 bits).
+void AesNiCtrXor(const std::uint8_t* round_key_bytes, int rounds,
+                 const std::uint8_t counter[16], ByteSpan in,
+                 MutableByteSpan out) noexcept;
+
+/// GHASH block step via carry-less multiply: y <- (y ^ x) * h in GF(2^128)
+/// with the GCM bit order.
+void PclmulGhashBlock(std::uint8_t y[16], const std::uint8_t x[16],
+                      const std::uint8_t h[16]) noexcept;
+
+} // namespace nexus::crypto

@@ -1,0 +1,16 @@
+// Constant-time helpers for secret-dependent comparisons.
+#pragma once
+
+#include "common/bytes.hpp"
+
+namespace nexus::crypto {
+
+/// Constant-time equality; returns false if sizes differ (size is public).
+inline bool ConstantTimeEqual(ByteSpan a, ByteSpan b) noexcept {
+  if (a.size() != b.size()) return false;
+  std::uint8_t diff = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) diff |= a[i] ^ b[i];
+  return diff == 0;
+}
+
+} // namespace nexus::crypto

@@ -1,0 +1,271 @@
+#include "crypto/ed25519.hpp"
+
+#include <cstring>
+
+#include "crypto/ct.hpp"
+#include "crypto/fe25519.hpp"
+#include "crypto/sha512.hpp"
+
+namespace nexus::crypto {
+
+using namespace fe;
+
+namespace {
+
+// Edwards curve constants (TweetNaCl encoding: 16 limbs of 16 bits).
+constexpr Gf kD{{0x78a3, 0x1359, 0x4dca, 0x75eb, 0xd8ab, 0x4141, 0x0a4d,
+                 0x0070, 0xe898, 0x7779, 0x4079, 0x8cc7, 0xfe73, 0x2b6f,
+                 0x6cee, 0x5203}};
+constexpr Gf kD2{{0xf159, 0x26b2, 0x9b94, 0xebd6, 0xb156, 0x8283, 0x149a,
+                  0x00e0, 0xd130, 0xeef3, 0x80f2, 0x198e, 0xfce7, 0x56df,
+                  0xd9dc, 0x2406}};
+constexpr Gf kX{{0xd51a, 0x8f25, 0x2d60, 0xc956, 0xa7b2, 0x9525, 0xc760,
+                 0x692c, 0xdc5c, 0xfdd6, 0xe231, 0xc0a4, 0x53fe, 0xcd6e,
+                 0x36d3, 0x2169}};
+constexpr Gf kY{{0x6658, 0x6666, 0x6666, 0x6666, 0x6666, 0x6666, 0x6666,
+                 0x6666, 0x6666, 0x6666, 0x6666, 0x6666, 0x6666, 0x6666,
+                 0x6666, 0x6666}};
+// sqrt(-1)
+constexpr Gf kI{{0xa0b0, 0x4a0e, 0x1b27, 0xc4ee, 0xe478, 0xad2f, 0x1806,
+                 0x2f43, 0xd7a7, 0x3dfb, 0x0099, 0x2b4d, 0xdf0b, 0x4fc1,
+                 0x2480, 0x2b83}};
+
+// Group order L (little-endian bytes), 2^252 + 27742...
+constexpr std::uint64_t kL[32] = {0xed, 0xd3, 0xf5, 0x5c, 0x1a, 0x63, 0x12,
+                                  0x58, 0xd6, 0x9c, 0xf7, 0xa2, 0xde, 0xf9,
+                                  0xde, 0x14, 0,    0,    0,    0,    0,
+                                  0,    0,    0,    0,    0,    0,    0,
+                                  0,    0,    0,    0x10};
+
+struct Point {
+  Gf x, y, z, t; // extended coordinates
+};
+
+// Unified Edwards addition, p += q.
+void PointAdd(Point& p, const Point& q) noexcept {
+  Gf a, b, c, d, t, e, f, g, h;
+  Sub(a, p.y, p.x);
+  Sub(t, q.y, q.x);
+  Mul(a, a, t);
+  Add(b, p.x, p.y);
+  Add(t, q.x, q.y);
+  Mul(b, b, t);
+  Mul(c, p.t, q.t);
+  Mul(c, c, kD2);
+  Mul(d, p.z, q.z);
+  Add(d, d, d);
+  Sub(e, b, a);
+  Sub(f, d, c);
+  Add(g, d, c);
+  Add(h, b, a);
+  Mul(p.x, e, f);
+  Mul(p.y, h, g);
+  Mul(p.z, g, f);
+  Mul(p.t, e, h);
+}
+
+void CSwap(Point& p, Point& q, int b) noexcept {
+  Sel(p.x, q.x, b);
+  Sel(p.y, q.y, b);
+  Sel(p.z, q.z, b);
+  Sel(p.t, q.t, b);
+}
+
+void PackPoint(std::uint8_t r[32], const Point& p) noexcept {
+  Gf zi, tx, ty;
+  Inv(zi, p.z);
+  Mul(tx, p.x, zi);
+  Mul(ty, p.y, zi);
+  Pack(r, ty);
+  r[31] ^= static_cast<std::uint8_t>(Par(tx) << 7);
+}
+
+// p = s * q, constant-time double-and-add over the 256-bit scalar.
+void ScalarMult(Point& p, Point q, const std::uint8_t s[32]) noexcept {
+  p.x = kZero;
+  p.y = kOne;
+  p.z = kOne;
+  p.t = kZero;
+  for (int i = 255; i >= 0; --i) {
+    const int b = (s[i / 8] >> (i & 7)) & 1;
+    CSwap(p, q, b);
+    PointAdd(q, p);
+    PointAdd(p, p);
+    CSwap(p, q, b);
+  }
+}
+
+void ScalarBase(Point& p, const std::uint8_t s[32]) noexcept {
+  Point q;
+  q.x = kX;
+  q.y = kY;
+  q.z = kOne;
+  Mul(q.t, kX, kY);
+  ScalarMult(p, q, s);
+}
+
+// r = x mod L, where x is a 64-byte little-endian integer (destroyed).
+void ModL(std::uint8_t r[32], std::int64_t x[64]) noexcept {
+  std::int64_t carry;
+  for (int i = 63; i >= 32; --i) {
+    carry = 0;
+    int j;
+    for (j = i - 32; j < i - 12; ++j) {
+      x[j] += carry - 16 * x[i] * static_cast<std::int64_t>(kL[j - (i - 32)]);
+      carry = (x[j] + 128) >> 8;
+      x[j] -= carry << 8;
+    }
+    x[j] += carry;
+    x[i] = 0;
+  }
+  carry = 0;
+  for (int j = 0; j < 32; ++j) {
+    x[j] += carry - (x[31] >> 4) * static_cast<std::int64_t>(kL[j]);
+    carry = x[j] >> 8;
+    x[j] &= 255;
+  }
+  for (int j = 0; j < 32; ++j) x[j] -= carry * static_cast<std::int64_t>(kL[j]);
+  for (int i = 0; i < 32; ++i) {
+    x[i + 1] += x[i] >> 8;
+    r[i] = static_cast<std::uint8_t>(x[i] & 255);
+  }
+}
+
+// Reduce a 64-byte hash mod L in place (result in the first 32 bytes).
+void Reduce(std::uint8_t r[64]) noexcept {
+  std::int64_t x[64];
+  for (int i = 0; i < 64; ++i) x[i] = r[i];
+  std::memset(r, 0, 64);
+  ModL(r, x);
+}
+
+// Decompresses a public key into -A (negated, as used by verification).
+int UnpackNeg(Point& r, const std::uint8_t p[32]) noexcept {
+  Gf t, chk, num, den, den2, den4, den6;
+  r.z = kOne;
+  Unpack(r.y, p);
+  Sqr(num, r.y);
+  Mul(den, num, kD);
+  Sub(num, num, r.z);
+  Add(den, r.z, den);
+
+  Sqr(den2, den);
+  Sqr(den4, den2);
+  Mul(den6, den4, den2);
+  Mul(t, den6, num);
+  Mul(t, t, den);
+
+  Pow2523(t, t);
+  Mul(t, t, num);
+  Mul(t, t, den);
+  Mul(t, t, den);
+  Mul(r.x, t, den);
+
+  Sqr(chk, r.x);
+  Mul(chk, chk, den);
+  if (Neq(chk, num)) Mul(r.x, r.x, kI);
+
+  Sqr(chk, r.x);
+  Mul(chk, chk, den);
+  if (Neq(chk, num)) return -1;
+
+  if (Par(r.x) == (p[31] >> 7)) Sub(r.x, kZero, r.x);
+
+  Mul(r.t, r.x, r.y);
+  return 0;
+}
+
+// The RFC 8032 expanded secret: SHA-512(seed), clamped.
+void ExpandSeed(const ByteArray<32>& seed, std::uint8_t d[64]) noexcept {
+  const auto h = Sha512::Hash(seed);
+  std::memcpy(d, h.data(), 64);
+  d[0] &= 248;
+  d[31] &= 127;
+  d[31] |= 64;
+}
+
+} // namespace
+
+Ed25519KeyPair Ed25519FromSeed(const ByteArray<32>& seed) noexcept {
+  std::uint8_t d[64];
+  ExpandSeed(seed, d);
+
+  Point p;
+  ScalarBase(p, d);
+
+  Ed25519KeyPair key;
+  key.seed = seed;
+  PackPoint(key.public_key.data(), p);
+  SecureZero(MutableByteSpan(d, 64));
+  return key;
+}
+
+ByteArray<64> Ed25519Sign(const Ed25519KeyPair& key, ByteSpan message) noexcept {
+  std::uint8_t d[64];
+  ExpandSeed(key.seed, d);
+
+  // r = SHA-512(prefix || M) mod L
+  Sha512 hasher;
+  hasher.Update(ByteSpan(d + 32, 32));
+  hasher.Update(message);
+  auto r_hash = hasher.Finish();
+  std::uint8_t r[64];
+  std::memcpy(r, r_hash.data(), 64);
+  Reduce(r);
+
+  Point p;
+  ScalarBase(p, r);
+  ByteArray<64> sig{};
+  PackPoint(sig.data(), p);
+
+  // k = SHA-512(R || A || M) mod L
+  hasher.Reset();
+  hasher.Update(ByteSpan(sig.data(), 32));
+  hasher.Update(key.public_key);
+  hasher.Update(message);
+  auto k_hash = hasher.Finish();
+  std::uint8_t k[64];
+  std::memcpy(k, k_hash.data(), 64);
+  Reduce(k);
+
+  // S = (r + k * s) mod L
+  std::int64_t x[64] = {};
+  for (int i = 0; i < 32; ++i) x[i] = r[i];
+  for (int i = 0; i < 32; ++i) {
+    for (int j = 0; j < 32; ++j) {
+      x[i + j] += static_cast<std::int64_t>(k[i]) * d[j];
+    }
+  }
+  ModL(sig.data() + 32, x);
+  SecureZero(MutableByteSpan(d, 64));
+  return sig;
+}
+
+bool Ed25519Verify(const ByteArray<32>& public_key, ByteSpan message,
+                   const ByteArray<64>& signature) noexcept {
+  Point q;
+  if (UnpackNeg(q, public_key.data()) != 0) return false;
+
+  // k = SHA-512(R || A || M) mod L
+  Sha512 hasher;
+  hasher.Update(ByteSpan(signature.data(), 32));
+  hasher.Update(public_key);
+  hasher.Update(message);
+  auto h = hasher.Finish();
+  std::uint8_t k[64];
+  std::memcpy(k, h.data(), 64);
+  Reduce(k);
+
+  // R' = k * (-A) + S * B ; valid iff R' == R.
+  Point p;
+  ScalarMult(p, q, k);
+  Point sb;
+  ScalarBase(sb, signature.data() + 32);
+  PointAdd(p, sb);
+
+  std::uint8_t t[32];
+  PackPoint(t, p);
+  return ConstantTimeEqual(ByteSpan(t, 32), ByteSpan(signature.data(), 32));
+}
+
+} // namespace nexus::crypto

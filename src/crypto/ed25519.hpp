@@ -1,0 +1,34 @@
+// Ed25519 signatures (RFC 8032).
+//
+// NEXUS identities are public keys (paper §IV-B): the volume supernode binds
+// usernames to Ed25519 public keys; the challenge-response login, the quote
+// signatures in the key-exchange protocol, and the simulated Intel
+// attestation root all sign with Ed25519.
+#pragma once
+
+#include "common/bytes.hpp"
+#include "common/result.hpp"
+
+namespace nexus::crypto {
+
+inline constexpr std::size_t kEd25519PublicKeySize = 32;
+inline constexpr std::size_t kEd25519SeedSize = 32;
+inline constexpr std::size_t kEd25519SignatureSize = 64;
+
+struct Ed25519KeyPair {
+  ByteArray<32> public_key;
+  ByteArray<32> seed; // RFC 8032 private seed; expanded on demand
+};
+
+/// Derives the keypair from a 32-byte uniformly random seed.
+Ed25519KeyPair Ed25519FromSeed(const ByteArray<32>& seed) noexcept;
+
+/// Detached signature over `message`.
+ByteArray<64> Ed25519Sign(const Ed25519KeyPair& key, ByteSpan message) noexcept;
+
+/// True iff `signature` is valid for `message` under `public_key`.
+[[nodiscard]] bool Ed25519Verify(const ByteArray<32>& public_key,
+                                 ByteSpan message,
+                                 const ByteArray<64>& signature) noexcept;
+
+} // namespace nexus::crypto

@@ -1,0 +1,107 @@
+#include "crypto/fe25519.hpp"
+
+#include "crypto/ct.hpp"
+
+namespace nexus::crypto::fe {
+
+void Car(Gf& o) noexcept {
+  for (int i = 0; i < 16; ++i) {
+    o.v[i] += (1LL << 16);
+    const i64 c = o.v[i] >> 16;
+    o.v[(i + 1) * (i < 15)] += c - 1 + 37 * (c - 1) * (i == 15);
+    o.v[i] -= c << 16;
+  }
+}
+
+void Sel(Gf& p, Gf& q, int b) noexcept {
+  const i64 c = ~static_cast<i64>(b - 1);
+  for (int i = 0; i < 16; ++i) {
+    const i64 t = c & (p.v[i] ^ q.v[i]);
+    p.v[i] ^= t;
+    q.v[i] ^= t;
+  }
+}
+
+void Pack(std::uint8_t o[32], const Gf& n) noexcept {
+  Gf t = n;
+  Car(t);
+  Car(t);
+  Car(t);
+  Gf m;
+  for (int j = 0; j < 2; ++j) {
+    m.v[0] = t.v[0] - 0xffed;
+    for (int i = 1; i < 15; ++i) {
+      m.v[i] = t.v[i] - 0xffff - ((m.v[i - 1] >> 16) & 1);
+      m.v[i - 1] &= 0xffff;
+    }
+    m.v[15] = t.v[15] - 0x7fff - ((m.v[14] >> 16) & 1);
+    const int b = static_cast<int>((m.v[15] >> 16) & 1);
+    m.v[14] &= 0xffff;
+    Sel(t, m, 1 - b);
+  }
+  for (int i = 0; i < 16; ++i) {
+    o[2 * i] = static_cast<std::uint8_t>(t.v[i] & 0xff);
+    o[2 * i + 1] = static_cast<std::uint8_t>(t.v[i] >> 8);
+  }
+}
+
+void Unpack(Gf& o, const std::uint8_t n[32]) noexcept {
+  for (int i = 0; i < 16; ++i) {
+    o.v[i] = n[2 * i] + (static_cast<i64>(n[2 * i + 1]) << 8);
+  }
+  o.v[15] &= 0x7fff;
+}
+
+void Add(Gf& o, const Gf& a, const Gf& b) noexcept {
+  for (int i = 0; i < 16; ++i) o.v[i] = a.v[i] + b.v[i];
+}
+
+void Sub(Gf& o, const Gf& a, const Gf& b) noexcept {
+  for (int i = 0; i < 16; ++i) o.v[i] = a.v[i] - b.v[i];
+}
+
+void Mul(Gf& o, const Gf& a, const Gf& b) noexcept {
+  i64 t[31] = {};
+  for (int i = 0; i < 16; ++i) {
+    for (int j = 0; j < 16; ++j) t[i + j] += a.v[i] * b.v[j];
+  }
+  for (int i = 0; i < 15; ++i) t[i] += 38 * t[i + 16];
+  for (int i = 0; i < 16; ++i) o.v[i] = t[i];
+  Car(o);
+  Car(o);
+}
+
+void Sqr(Gf& o, const Gf& a) noexcept { Mul(o, a, a); }
+
+void Inv(Gf& o, const Gf& in) noexcept {
+  Gf c = in;
+  for (int a = 253; a >= 0; --a) {
+    Sqr(c, c);
+    if (a != 2 && a != 4) Mul(c, c, in);
+  }
+  o = c;
+}
+
+void Pow2523(Gf& o, const Gf& in) noexcept {
+  Gf c = in;
+  for (int a = 250; a >= 0; --a) {
+    Sqr(c, c);
+    if (a != 1) Mul(c, c, in);
+  }
+  o = c;
+}
+
+int Par(const Gf& a) noexcept {
+  std::uint8_t d[32];
+  Pack(d, a);
+  return d[0] & 1;
+}
+
+int Neq(const Gf& a, const Gf& b) noexcept {
+  std::uint8_t c[32], d[32];
+  Pack(c, a);
+  Pack(d, b);
+  return ConstantTimeEqual(ByteSpan(c, 32), ByteSpan(d, 32)) ? 0 : 1;
+}
+
+} // namespace nexus::crypto::fe

@@ -1,0 +1,35 @@
+// GF(2^255 - 19) field arithmetic shared by X25519 and Ed25519.
+//
+// Representation: 16 signed 64-bit limbs of 16 bits each (TweetNaCl style).
+// Compact and easy to audit; performance is more than adequate for NEXUS's
+// handful of exchanges per volume operation.
+#pragma once
+
+#include <cstdint>
+
+#include "common/bytes.hpp"
+
+namespace nexus::crypto::fe {
+
+using i64 = std::int64_t;
+struct Gf {
+  i64 v[16];
+};
+
+inline constexpr Gf kZero{{0}};
+inline constexpr Gf kOne{{1}};
+
+void Car(Gf& o) noexcept;                           // carry propagation
+void Sel(Gf& p, Gf& q, int b) noexcept;             // constant-time swap
+void Pack(std::uint8_t o[32], const Gf& n) noexcept; // fully reduce + encode
+void Unpack(Gf& o, const std::uint8_t n[32]) noexcept;
+void Add(Gf& o, const Gf& a, const Gf& b) noexcept;
+void Sub(Gf& o, const Gf& a, const Gf& b) noexcept;
+void Mul(Gf& o, const Gf& a, const Gf& b) noexcept;
+void Sqr(Gf& o, const Gf& a) noexcept;
+void Inv(Gf& o, const Gf& i) noexcept;      // a^(p-2)
+void Pow2523(Gf& o, const Gf& i) noexcept;  // a^((p-5)/8), for sqrt
+int Par(const Gf& a) noexcept;              // parity of the canonical form
+int Neq(const Gf& a, const Gf& b) noexcept; // 0 if equal
+
+} // namespace nexus::crypto::fe

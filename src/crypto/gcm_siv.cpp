@@ -1,0 +1,178 @@
+#include "crypto/gcm_siv.hpp"
+
+#include <cstring>
+
+#include "crypto/aes.hpp"
+#include "crypto/ct.hpp"
+#include "crypto/gcm.hpp"
+
+namespace nexus::crypto {
+namespace {
+
+ByteArray<16> ByteReverse(ByteSpan b) noexcept {
+  ByteArray<16> out;
+  for (int i = 0; i < 16; ++i) out[i] = b[15 - i];
+  return out;
+}
+
+// Multiply by x in the GHASH field: one-bit right shift of the 128-bit
+// string (MSB of byte 0 first) with the 0xe1 reduction.
+ByteArray<16> MulXGhash(const ByteArray<16>& v) noexcept {
+  ByteArray<16> out;
+  const bool carry = v[15] & 1;
+  std::uint8_t prev = 0;
+  for (int i = 0; i < 16; ++i) {
+    out[i] = static_cast<std::uint8_t>((v[i] >> 1) | (prev << 7));
+    prev = v[i] & 1;
+  }
+  if (carry) out[0] ^= 0xe1;
+  return out;
+}
+
+// Derives the per-nonce message-authentication and message-encryption keys
+// (RFC 8452 §4).
+struct DerivedKeys {
+  ByteArray<16> auth_key;
+  Bytes enc_key; // 16 or 32 bytes
+};
+
+Result<DerivedKeys> DeriveKeys(ByteSpan key, ByteSpan nonce) {
+  NEXUS_ASSIGN_OR_RETURN(Aes aes, Aes::Create(key));
+  auto derive_half = [&](std::uint32_t counter, std::uint8_t* out8) {
+    std::uint8_t block[16] = {};
+    block[0] = static_cast<std::uint8_t>(counter);
+    block[1] = static_cast<std::uint8_t>(counter >> 8);
+    block[2] = static_cast<std::uint8_t>(counter >> 16);
+    block[3] = static_cast<std::uint8_t>(counter >> 24);
+    std::memcpy(block + 4, nonce.data(), kGcmSivNonceSize);
+    std::uint8_t enc[16];
+    aes.EncryptBlock(block, enc);
+    std::memcpy(out8, enc, 8);
+  };
+
+  DerivedKeys keys;
+  derive_half(0, keys.auth_key.data());
+  derive_half(1, keys.auth_key.data() + 8);
+  keys.enc_key.resize(key.size());
+  derive_half(2, keys.enc_key.data());
+  derive_half(3, keys.enc_key.data() + 8);
+  if (key.size() == 32) {
+    derive_half(4, keys.enc_key.data() + 16);
+    derive_half(5, keys.enc_key.data() + 24);
+  }
+  return keys;
+}
+
+// The SIV tag: POLYVAL over padded AAD || padded PT || length block, XORed
+// with the nonce, masked, then encrypted.
+ByteArray<16> ComputeTag(const Aes& enc, const ByteArray<16>& auth_key,
+                         ByteSpan nonce, ByteSpan aad,
+                         ByteSpan plaintext) noexcept {
+  Bytes input;
+  input.reserve(((aad.size() + 15) & ~15ULL) +
+                ((plaintext.size() + 15) & ~15ULL) + 16);
+  Append(input, aad);
+  input.resize((input.size() + 15) & ~15ULL, 0);
+  Append(input, plaintext);
+  input.resize((input.size() + 15) & ~15ULL, 0);
+  std::uint8_t len_block[16];
+  const std::uint64_t aad_bits = aad.size() * 8;
+  const std::uint64_t pt_bits = plaintext.size() * 8;
+  for (int i = 0; i < 8; ++i) {
+    len_block[i] = static_cast<std::uint8_t>(aad_bits >> (8 * i));
+    len_block[8 + i] = static_cast<std::uint8_t>(pt_bits >> (8 * i));
+  }
+  Append(input, ByteSpan(len_block, 16));
+
+  ByteArray<16> s = Polyval(auth_key, input);
+  for (std::size_t i = 0; i < kGcmSivNonceSize; ++i) s[i] ^= nonce[i];
+  s[15] &= 0x7f;
+
+  ByteArray<16> tag;
+  enc.EncryptBlock(s.data(), tag.data());
+  return tag;
+}
+
+// GCM-SIV CTR mode: 32-bit little-endian counter in the first 4 bytes,
+// initial block = tag with the top bit of the last byte forced on.
+void SivCtrXor(const Aes& enc, const ByteArray<16>& tag, ByteSpan in,
+               MutableByteSpan out) noexcept {
+  ByteArray<16> ctr = tag;
+  ctr[15] |= 0x80;
+  std::uint8_t keystream[16];
+  std::size_t pos = 0;
+  while (pos < in.size()) {
+    enc.EncryptBlock(ctr.data(), keystream);
+    const std::size_t n = std::min<std::size_t>(16, in.size() - pos);
+    for (std::size_t i = 0; i < n; ++i) out[pos + i] = in[pos + i] ^ keystream[i];
+    pos += n;
+    for (int i = 0; i < 4; ++i) {
+      if (++ctr[i] != 0) break;
+    }
+  }
+}
+
+} // namespace
+
+ByteArray<16> Polyval(const ByteArray<16>& h, ByteSpan data) {
+  const ByteArray<16> ghash_key = MulXGhash(ByteReverse(h));
+  Ghash ghash(ghash_key.data());
+  ByteArray<16> block{};
+  std::size_t pos = 0;
+  while (pos < data.size()) {
+    const std::size_t n = std::min<std::size_t>(16, data.size() - pos);
+    block.fill(0);
+    std::memcpy(block.data(), data.data() + pos, n);
+    ghash.Update(ByteReverse(block));
+    pos += n;
+  }
+  // Extract the raw GHASH state: FinishLengths would append a length block,
+  // so instead absorb nothing further and read Y via a zero-length trick.
+  ByteArray<16> y = ghash.State();
+  return ByteReverse(y);
+}
+
+Result<Bytes> GcmSivSeal(ByteSpan key, ByteSpan nonce, ByteSpan aad,
+                         ByteSpan plaintext) {
+  if (nonce.size() != kGcmSivNonceSize) {
+    return Error(ErrorCode::kCryptoFailure, "GCM-SIV nonce must be 12 bytes");
+  }
+  NEXUS_ASSIGN_OR_RETURN(DerivedKeys keys, DeriveKeys(key, nonce));
+  NEXUS_ASSIGN_OR_RETURN(Aes enc, Aes::Create(keys.enc_key));
+
+  const ByteArray<16> tag =
+      ComputeTag(enc, keys.auth_key, nonce, aad, plaintext);
+
+  Bytes out(plaintext.size() + kGcmSivTagSize);
+  SivCtrXor(enc, tag, plaintext, MutableByteSpan(out.data(), plaintext.size()));
+  std::memcpy(out.data() + plaintext.size(), tag.data(), kGcmSivTagSize);
+  return out;
+}
+
+Result<Bytes> GcmSivOpen(ByteSpan key, ByteSpan nonce, ByteSpan aad,
+                         ByteSpan sealed) {
+  if (nonce.size() != kGcmSivNonceSize) {
+    return Error(ErrorCode::kCryptoFailure, "GCM-SIV nonce must be 12 bytes");
+  }
+  if (sealed.size() < kGcmSivTagSize) {
+    return Error(ErrorCode::kIntegrityViolation, "GCM-SIV ciphertext too short");
+  }
+  NEXUS_ASSIGN_OR_RETURN(DerivedKeys keys, DeriveKeys(key, nonce));
+  NEXUS_ASSIGN_OR_RETURN(Aes enc, Aes::Create(keys.enc_key));
+
+  const ByteSpan ct = sealed.first(sealed.size() - kGcmSivTagSize);
+  const ByteSpan tag = sealed.last(kGcmSivTagSize);
+
+  Bytes plaintext(ct.size());
+  SivCtrXor(enc, ToArray<16>(tag), ct, plaintext);
+
+  const ByteArray<16> expected =
+      ComputeTag(enc, keys.auth_key, nonce, aad, plaintext);
+  if (!ConstantTimeEqual(expected, tag)) {
+    SecureZero(plaintext);
+    return Error(ErrorCode::kIntegrityViolation, "GCM-SIV tag mismatch");
+  }
+  return plaintext;
+}
+
+} // namespace nexus::crypto

@@ -1,0 +1,30 @@
+// AES-GCM-SIV (RFC 8452), the nonce-misuse-resistant AEAD NEXUS uses for
+// key wrapping (paper §IV-A2): each metadata object's fresh AES-GCM key is
+// wrapped under the volume rootkey with GCM-SIV, following Gueron & Lindell.
+//
+// POLYVAL is implemented through its RFC 8452 Appendix A relation to GHASH:
+//   POLYVAL(H, X_1..X_n) =
+//     ByteReverse(GHASH(mulX_GHASH(ByteReverse(H)), ByteReverse(X_1)..))
+#pragma once
+
+#include "common/bytes.hpp"
+#include "common/result.hpp"
+
+namespace nexus::crypto {
+
+inline constexpr std::size_t kGcmSivNonceSize = 12;
+inline constexpr std::size_t kGcmSivTagSize = 16;
+
+/// POLYVAL(H, padded data) over whole 16-byte blocks (zero-pads the tail).
+/// Exposed for test vectors.
+ByteArray<16> Polyval(const ByteArray<16>& h, ByteSpan data);
+
+/// Encrypts with AES-GCM-SIV. `key` is 16 or 32 bytes; returns ct || tag.
+Result<Bytes> GcmSivSeal(ByteSpan key, ByteSpan nonce, ByteSpan aad,
+                         ByteSpan plaintext);
+
+/// Authenticated decryption; kIntegrityViolation on tag mismatch.
+Result<Bytes> GcmSivOpen(ByteSpan key, ByteSpan nonce, ByteSpan aad,
+                         ByteSpan sealed);
+
+} // namespace nexus::crypto

@@ -1,0 +1,36 @@
+// HMAC-SHA256 (RFC 2104) and HKDF (RFC 5869).
+//
+// Used for the SGX simulator's key-derivation tree (fuse key -> sealing keys)
+// and for the HMAC-DRBG random generator.
+#pragma once
+
+#include "common/bytes.hpp"
+#include "crypto/sha256.hpp"
+
+namespace nexus::crypto {
+
+/// One-shot HMAC-SHA256.
+ByteArray<32> HmacSha256(ByteSpan key, ByteSpan message) noexcept;
+
+/// Incremental HMAC-SHA256 for multi-part messages.
+class HmacSha256Stream {
+ public:
+  explicit HmacSha256Stream(ByteSpan key) noexcept;
+  void Update(ByteSpan data) noexcept { inner_.Update(data); }
+  [[nodiscard]] ByteArray<32> Finish() noexcept;
+
+ private:
+  Sha256 inner_;
+  ByteArray<64> opad_key_{};
+};
+
+/// HKDF-Extract: PRK = HMAC(salt, ikm).
+ByteArray<32> HkdfExtract(ByteSpan salt, ByteSpan ikm) noexcept;
+
+/// HKDF-Expand: derive `length` (<= 255*32) bytes from PRK and info.
+Bytes HkdfExpand(ByteSpan prk, ByteSpan info, std::size_t length);
+
+/// Extract-then-expand convenience.
+Bytes Hkdf(ByteSpan salt, ByteSpan ikm, ByteSpan info, std::size_t length);
+
+} // namespace nexus::crypto

@@ -1,0 +1,74 @@
+#include "crypto/rng.hpp"
+
+#include <cstring>
+#include <random>
+
+#include "crypto/hmac.hpp"
+
+namespace nexus::crypto {
+
+std::uint64_t Rng::Below(std::uint64_t bound) noexcept {
+  // Rejection sampling to avoid modulo bias.
+  const std::uint64_t limit = bound * (UINT64_MAX / bound);
+  for (;;) {
+    ByteArray<8> raw = Array<8>();
+    std::uint64_t v;
+    std::memcpy(&v, raw.data(), 8);
+    if (v < limit || limit == 0) return v % bound;
+  }
+}
+
+HmacDrbg::HmacDrbg(ByteSpan seed) noexcept {
+  key_.fill(0x00);
+  value_.fill(0x01);
+  Update(seed);
+}
+
+void HmacDrbg::Update(ByteSpan provided) noexcept {
+  // K = HMAC(K, V || 0x00 || provided); V = HMAC(K, V)
+  HmacSha256Stream mac1(key_);
+  mac1.Update(value_);
+  const std::uint8_t zero = 0x00;
+  mac1.Update(ByteSpan(&zero, 1));
+  mac1.Update(provided);
+  key_ = mac1.Finish();
+  value_ = HmacSha256(key_, value_);
+
+  if (!provided.empty()) {
+    HmacSha256Stream mac2(key_);
+    mac2.Update(value_);
+    const std::uint8_t one = 0x01;
+    mac2.Update(ByteSpan(&one, 1));
+    mac2.Update(provided);
+    key_ = mac2.Finish();
+    value_ = HmacSha256(key_, value_);
+  }
+}
+
+void HmacDrbg::Fill(MutableByteSpan out) noexcept {
+  std::size_t pos = 0;
+  while (pos < out.size()) {
+    value_ = HmacSha256(key_, value_);
+    const std::size_t n = std::min(value_.size(), out.size() - pos);
+    std::memcpy(out.data() + pos, value_.data(), n);
+    pos += n;
+  }
+  Update({});
+}
+
+void HmacDrbg::Reseed(ByteSpan seed) noexcept { Update(seed); }
+
+Rng& SystemRng() {
+  static HmacDrbg* rng = [] {
+    std::random_device rd;
+    ByteArray<48> seed;
+    for (std::size_t i = 0; i < seed.size(); i += 4) {
+      const std::uint32_t v = rd();
+      std::memcpy(seed.data() + i, &v, std::min<std::size_t>(4, seed.size() - i));
+    }
+    return new HmacDrbg(seed);
+  }();
+  return *rng;
+}
+
+} // namespace nexus::crypto

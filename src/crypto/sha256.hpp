@@ -1,0 +1,37 @@
+// SHA-256 (FIPS 180-4). Used for enclave measurements, HMAC-DRBG, HKDF and
+// metadata MAC composition. Validated against NIST vectors in tests.
+#pragma once
+
+#include <cstdint>
+
+#include "common/bytes.hpp"
+
+namespace nexus::crypto {
+
+class Sha256 {
+ public:
+  static constexpr std::size_t kDigestSize = 32;
+  static constexpr std::size_t kBlockSize = 64;
+
+  Sha256() noexcept { Reset(); }
+
+  void Reset() noexcept;
+  void Update(ByteSpan data) noexcept;
+
+  /// Finalizes and returns the digest. The object must be Reset() before
+  /// further use.
+  [[nodiscard]] ByteArray<kDigestSize> Finish() noexcept;
+
+  /// One-shot convenience.
+  static ByteArray<kDigestSize> Hash(ByteSpan data) noexcept;
+
+ private:
+  void Compress(const std::uint8_t* block) noexcept;
+
+  std::uint32_t state_[8];
+  std::uint64_t total_len_ = 0;
+  std::uint8_t buffer_[kBlockSize];
+  std::size_t buffer_len_ = 0;
+};
+
+} // namespace nexus::crypto

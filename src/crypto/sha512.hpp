@@ -1,0 +1,32 @@
+// SHA-512 (FIPS 180-4). Required by Ed25519 (RFC 8032).
+#pragma once
+
+#include <cstdint>
+
+#include "common/bytes.hpp"
+
+namespace nexus::crypto {
+
+class Sha512 {
+ public:
+  static constexpr std::size_t kDigestSize = 64;
+  static constexpr std::size_t kBlockSize = 128;
+
+  Sha512() noexcept { Reset(); }
+
+  void Reset() noexcept;
+  void Update(ByteSpan data) noexcept;
+  [[nodiscard]] ByteArray<kDigestSize> Finish() noexcept;
+
+  static ByteArray<kDigestSize> Hash(ByteSpan data) noexcept;
+
+ private:
+  void Compress(const std::uint8_t* block) noexcept;
+
+  std::uint64_t state_[8];
+  std::uint64_t total_len_ = 0; // bytes; 2^64-1 bytes is plenty here
+  std::uint8_t buffer_[kBlockSize];
+  std::size_t buffer_len_ = 0;
+};
+
+} // namespace nexus::crypto

@@ -1,0 +1,69 @@
+#include "crypto/x25519.hpp"
+
+#include "crypto/fe25519.hpp"
+
+namespace nexus::crypto {
+
+using namespace fe;
+
+namespace {
+constexpr Gf k121665{{0xDB41, 1}};
+} // namespace
+
+ByteArray<32> X25519ClampScalar(ByteArray<32> scalar) noexcept {
+  scalar[0] &= 248;
+  scalar[31] &= 127;
+  scalar[31] |= 64;
+  return scalar;
+}
+
+ByteArray<32> X25519(const ByteArray<32>& scalar,
+                     const ByteArray<32>& point) noexcept {
+  const ByteArray<32> z = X25519ClampScalar(scalar);
+
+  Gf x;
+  Unpack(x, point.data());
+
+  // Montgomery ladder.
+  Gf a = kOne, b = x, c = kZero, d = kOne, e, f;
+  for (int i = 254; i >= 0; --i) {
+    const int r = (z[i >> 3] >> (i & 7)) & 1;
+    Sel(a, b, r);
+    Sel(c, d, r);
+    Add(e, a, c);
+    Sub(a, a, c);
+    Add(c, b, d);
+    Sub(b, b, d);
+    Sqr(d, e);
+    Sqr(f, a);
+    Mul(a, c, a);
+    Mul(c, b, e);
+    Add(e, a, c);
+    Sub(a, a, c);
+    Sqr(b, a);
+    Sub(c, d, f);
+    Mul(a, c, k121665);
+    Add(a, a, d);
+    Mul(c, c, a);
+    Mul(a, d, f);
+    Mul(d, b, x);
+    Sqr(b, e);
+    Sel(a, b, r);
+    Sel(c, d, r);
+  }
+
+  Gf inv_c;
+  Inv(inv_c, c);
+  Mul(a, a, inv_c);
+  ByteArray<32> out;
+  Pack(out.data(), a);
+  return out;
+}
+
+ByteArray<32> X25519BasePoint(const ByteArray<32>& scalar) noexcept {
+  ByteArray<32> base{};
+  base[0] = 9;
+  return X25519(scalar, base);
+}
+
+} // namespace nexus::crypto

@@ -1,0 +1,24 @@
+// X25519 Diffie-Hellman (RFC 7748).
+//
+// NEXUS uses ECDH for the attested rootkey-exchange protocol (paper §IV-B1):
+// enclave keypairs whose public halves are bound into SGX quotes, plus an
+// ephemeral keypair per exchange.
+#pragma once
+
+#include "common/bytes.hpp"
+#include "common/result.hpp"
+
+namespace nexus::crypto {
+
+inline constexpr std::size_t kX25519KeySize = 32;
+
+/// Computes scalar * point. `scalar` and `point` are 32 bytes each.
+ByteArray<32> X25519(const ByteArray<32>& scalar, const ByteArray<32>& point) noexcept;
+
+/// Computes the public key scalar * basepoint(9).
+ByteArray<32> X25519BasePoint(const ByteArray<32>& scalar) noexcept;
+
+/// Clamps a 32-byte random string into a valid X25519 private scalar.
+ByteArray<32> X25519ClampScalar(ByteArray<32> scalar) noexcept;
+
+} // namespace nexus::crypto

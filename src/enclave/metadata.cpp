@@ -1,0 +1,271 @@
+#include "enclave/metadata.hpp"
+
+#include <algorithm>
+
+#include "common/serial.hpp"
+
+namespace nexus::enclave {
+namespace {
+
+constexpr std::size_t kMaxUsers = 1 << 16;
+constexpr std::size_t kMaxAclEntries = 1 << 16;
+constexpr std::size_t kMaxBuckets = 1 << 20;
+constexpr std::size_t kMaxEntriesPerBucket = 1 << 16;
+constexpr std::size_t kMaxChunks = 1 << 20;
+constexpr std::size_t kMaxNameLen = 4096;
+
+} // namespace
+
+// ---- Supernode --------------------------------------------------------------
+
+Bytes Supernode::Serialize() const {
+  Writer w;
+  w.Id(volume_uuid);
+  w.Id(root_dir);
+  w.U32(config.chunk_size);
+  w.U32(config.dirnode_bucket_size);
+  w.U32(next_user_id);
+  w.U32(static_cast<std::uint32_t>(users.size()));
+  for (const UserRecord& u : users) {
+    w.U32(u.id);
+    w.Str(u.name);
+    w.Raw(u.public_key);
+  }
+  return std::move(w).Take();
+}
+
+Result<Supernode> Supernode::Deserialize(ByteSpan body) {
+  Reader r(body);
+  Supernode s;
+  NEXUS_ASSIGN_OR_RETURN(s.volume_uuid, r.Id());
+  NEXUS_ASSIGN_OR_RETURN(s.root_dir, r.Id());
+  NEXUS_ASSIGN_OR_RETURN(s.config.chunk_size, r.U32());
+  NEXUS_ASSIGN_OR_RETURN(s.config.dirnode_bucket_size, r.U32());
+  if (s.config.chunk_size == 0 || s.config.dirnode_bucket_size == 0) {
+    return Error(ErrorCode::kIntegrityViolation, "invalid volume config");
+  }
+  NEXUS_ASSIGN_OR_RETURN(s.next_user_id, r.U32());
+  NEXUS_ASSIGN_OR_RETURN(std::uint32_t n, r.U32());
+  if (n > kMaxUsers) {
+    return Error(ErrorCode::kIntegrityViolation, "user table too large");
+  }
+  s.users.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    UserRecord u;
+    NEXUS_ASSIGN_OR_RETURN(u.id, r.U32());
+    NEXUS_ASSIGN_OR_RETURN(u.name, r.Str(kMaxNameLen));
+    NEXUS_ASSIGN_OR_RETURN(Bytes pk, r.Raw(32));
+    u.public_key = ToArray<32>(pk);
+    s.users.push_back(std::move(u));
+  }
+  if (!r.AtEnd()) {
+    return Error(ErrorCode::kIntegrityViolation, "trailing supernode bytes");
+  }
+  return s;
+}
+
+const UserRecord* Supernode::FindUserByKey(const ByteArray<32>& pk) const {
+  for (const UserRecord& u : users) {
+    if (u.public_key == pk) return &u;
+  }
+  return nullptr;
+}
+
+const UserRecord* Supernode::FindUserByName(const std::string& name) const {
+  for (const UserRecord& u : users) {
+    if (u.name == name) return &u;
+  }
+  return nullptr;
+}
+
+const UserRecord* Supernode::FindUserById(UserId id) const {
+  for (const UserRecord& u : users) {
+    if (u.id == id) return &u;
+  }
+  return nullptr;
+}
+
+// ---- DirBucket --------------------------------------------------------------
+
+Bytes DirBucket::Serialize(const Uuid& dirnode_uuid) const {
+  Writer w;
+  w.Id(dirnode_uuid);
+  w.U32(static_cast<std::uint32_t>(entries.size()));
+  for (const DirEntry& e : entries) {
+    w.Str(e.name);
+    w.Id(e.uuid);
+    w.U8(static_cast<std::uint8_t>(e.type));
+    w.Str(e.symlink_target);
+  }
+  return std::move(w).Take();
+}
+
+Result<DirBucket> DirBucket::Deserialize(ByteSpan body,
+                                         const Uuid& dirnode_uuid) {
+  Reader r(body);
+  DirBucket b;
+  NEXUS_ASSIGN_OR_RETURN(Uuid owner, r.Id());
+  if (owner != dirnode_uuid) {
+    // Bucket transplanted from another directory.
+    return Error(ErrorCode::kIntegrityViolation,
+                 "bucket does not belong to this dirnode");
+  }
+  NEXUS_ASSIGN_OR_RETURN(std::uint32_t n, r.U32());
+  if (n > kMaxEntriesPerBucket) {
+    return Error(ErrorCode::kIntegrityViolation, "bucket too large");
+  }
+  b.entries.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    DirEntry e;
+    NEXUS_ASSIGN_OR_RETURN(e.name, r.Str(kMaxNameLen));
+    NEXUS_ASSIGN_OR_RETURN(e.uuid, r.Id());
+    NEXUS_ASSIGN_OR_RETURN(std::uint8_t type, r.U8());
+    if (type > 2) {
+      return Error(ErrorCode::kIntegrityViolation, "bad entry type");
+    }
+    e.type = static_cast<EntryType>(type);
+    NEXUS_ASSIGN_OR_RETURN(e.symlink_target, r.Str(kMaxNameLen));
+    b.entries.push_back(std::move(e));
+  }
+  if (!r.AtEnd()) {
+    return Error(ErrorCode::kIntegrityViolation, "trailing bucket bytes");
+  }
+  return b;
+}
+
+// ---- Dirnode ----------------------------------------------------------------
+
+Bytes Dirnode::Serialize() const {
+  Writer w;
+  w.Id(uuid);
+  w.Id(parent);
+  w.U32(static_cast<std::uint32_t>(acl.size()));
+  for (const AclEntry& a : acl) {
+    w.U32(a.user);
+    w.U8(a.perms);
+  }
+  w.U32(static_cast<std::uint32_t>(buckets.size()));
+  for (const BucketRef& b : buckets) {
+    w.Id(b.uuid);
+    w.U32(b.entry_count);
+    w.Raw(b.mac);
+  }
+  return std::move(w).Take();
+}
+
+Result<Dirnode> Dirnode::Deserialize(ByteSpan body) {
+  Reader r(body);
+  Dirnode d;
+  NEXUS_ASSIGN_OR_RETURN(d.uuid, r.Id());
+  NEXUS_ASSIGN_OR_RETURN(d.parent, r.Id());
+  NEXUS_ASSIGN_OR_RETURN(std::uint32_t na, r.U32());
+  if (na > kMaxAclEntries) {
+    return Error(ErrorCode::kIntegrityViolation, "ACL too large");
+  }
+  d.acl.reserve(na);
+  for (std::uint32_t i = 0; i < na; ++i) {
+    AclEntry a;
+    NEXUS_ASSIGN_OR_RETURN(a.user, r.U32());
+    NEXUS_ASSIGN_OR_RETURN(a.perms, r.U8());
+    d.acl.push_back(a);
+  }
+  NEXUS_ASSIGN_OR_RETURN(std::uint32_t nb, r.U32());
+  if (nb > kMaxBuckets) {
+    return Error(ErrorCode::kIntegrityViolation, "bucket table too large");
+  }
+  d.buckets.reserve(nb);
+  for (std::uint32_t i = 0; i < nb; ++i) {
+    BucketRef b;
+    NEXUS_ASSIGN_OR_RETURN(b.uuid, r.Id());
+    NEXUS_ASSIGN_OR_RETURN(b.entry_count, r.U32());
+    NEXUS_ASSIGN_OR_RETURN(Bytes mac, r.Raw(32));
+    b.mac = ToArray<32>(mac);
+    d.buckets.push_back(b);
+  }
+  if (!r.AtEnd()) {
+    return Error(ErrorCode::kIntegrityViolation, "trailing dirnode bytes");
+  }
+  return d;
+}
+
+std::uint64_t Dirnode::TotalEntries() const noexcept {
+  std::uint64_t total = 0;
+  for (const BucketRef& b : buckets) total += b.entry_count;
+  return total;
+}
+
+const AclEntry* Dirnode::FindAcl(UserId user) const {
+  for (const AclEntry& a : acl) {
+    if (a.user == user) return &a;
+  }
+  return nullptr;
+}
+
+void Dirnode::SetAcl(UserId user, std::uint8_t perms) {
+  const auto it = std::find_if(acl.begin(), acl.end(),
+                               [&](const AclEntry& a) { return a.user == user; });
+  if (perms == kPermNone) {
+    if (it != acl.end()) acl.erase(it);
+    return;
+  }
+  if (it != acl.end()) {
+    it->perms = perms;
+  } else {
+    acl.push_back(AclEntry{user, perms});
+  }
+}
+
+// ---- Filenode ---------------------------------------------------------------
+
+Bytes Filenode::Serialize() const {
+  Writer w;
+  w.Id(uuid);
+  w.Id(parent);
+  w.Id(data_uuid);
+  w.U64(size);
+  w.U32(chunk_size);
+  w.U32(link_count);
+  w.U32(static_cast<std::uint32_t>(chunks.size()));
+  for (const ChunkContext& c : chunks) {
+    w.Raw(c.key);
+    w.Raw(c.iv);
+  }
+  return std::move(w).Take();
+}
+
+Result<Filenode> Filenode::Deserialize(ByteSpan body) {
+  Reader r(body);
+  Filenode f;
+  NEXUS_ASSIGN_OR_RETURN(f.uuid, r.Id());
+  NEXUS_ASSIGN_OR_RETURN(f.parent, r.Id());
+  NEXUS_ASSIGN_OR_RETURN(f.data_uuid, r.Id());
+  NEXUS_ASSIGN_OR_RETURN(f.size, r.U64());
+  NEXUS_ASSIGN_OR_RETURN(f.chunk_size, r.U32());
+  if (f.chunk_size == 0) {
+    return Error(ErrorCode::kIntegrityViolation, "zero chunk size");
+  }
+  NEXUS_ASSIGN_OR_RETURN(f.link_count, r.U32());
+  NEXUS_ASSIGN_OR_RETURN(std::uint32_t n, r.U32());
+  if (n > kMaxChunks) {
+    return Error(ErrorCode::kIntegrityViolation, "chunk table too large");
+  }
+  if (n != f.ChunkCount()) {
+    return Error(ErrorCode::kIntegrityViolation,
+                 "chunk table inconsistent with file size");
+  }
+  f.chunks.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    ChunkContext c;
+    NEXUS_ASSIGN_OR_RETURN(Bytes key, r.Raw(16));
+    c.key = ToArray<16>(key);
+    NEXUS_ASSIGN_OR_RETURN(Bytes iv, r.Raw(12));
+    c.iv = ToArray<12>(iv);
+    f.chunks.push_back(c);
+  }
+  if (!r.AtEnd()) {
+    return Error(ErrorCode::kIntegrityViolation, "trailing filenode bytes");
+  }
+  return f;
+}
+
+} // namespace nexus::enclave

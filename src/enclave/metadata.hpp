@@ -1,0 +1,93 @@
+// In-enclave metadata structures: supernode, dirnode (bucketed), filenode.
+//
+// These correspond to the paper's Figure 3. Only their *bodies* are defined
+// here (plain serialization); encryption framing is metadata_codec.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "common/result.hpp"
+#include "common/uuid.hpp"
+#include "enclave/types.hpp"
+
+namespace nexus::enclave {
+
+/// Supernode: one per volume. Holds the root directory pointer, the owner
+/// identity and the table of authorized users (paper §IV-A1).
+struct Supernode {
+  Uuid volume_uuid;   // == the supernode object's uuid
+  Uuid root_dir;
+  VolumeConfig config;
+  std::vector<UserRecord> users; // users[0] is the immutable owner
+  UserId next_user_id = 1;
+
+  [[nodiscard]] Bytes Serialize() const;
+  static Result<Supernode> Deserialize(ByteSpan body);
+
+  [[nodiscard]] const UserRecord* FindUserByKey(const ByteArray<32>& pk) const;
+  [[nodiscard]] const UserRecord* FindUserByName(const std::string& name) const;
+  [[nodiscard]] const UserRecord* FindUserById(UserId id) const;
+};
+
+/// One overflow bucket of directory entries; an independent metadata object.
+struct DirBucket {
+  Uuid uuid;
+  std::vector<DirEntry> entries;
+
+  [[nodiscard]] Bytes Serialize(const Uuid& dirnode_uuid) const;
+  static Result<DirBucket> Deserialize(ByteSpan body, const Uuid& dirnode_uuid);
+};
+
+/// Descriptor of a bucket as recorded in the dirnode main object: identity,
+/// entry count and a MAC (SHA-256 of the bucket's encrypted blob) that
+/// pins the exact bucket version (bucket-level rollback defence, §V-B).
+struct BucketRef {
+  Uuid uuid;
+  std::uint32_t entry_count = 0;
+  ByteArray<32> mac{};
+};
+
+/// Dirnode main object: parent pointer, ACLs and the bucket table.
+struct Dirnode {
+  Uuid uuid;
+  Uuid parent; // nil for the root directory
+  std::vector<AclEntry> acl;
+  std::vector<BucketRef> buckets;
+
+  [[nodiscard]] Bytes Serialize() const;
+  static Result<Dirnode> Deserialize(ByteSpan body);
+
+  [[nodiscard]] std::uint64_t TotalEntries() const noexcept;
+  [[nodiscard]] const AclEntry* FindAcl(UserId user) const;
+  /// Sets (or removes, when perms == kPermNone) a user's ACL entry.
+  void SetAcl(UserId user, std::uint8_t perms);
+};
+
+/// Per-chunk cryptographic context (fresh key + IV per content update).
+struct ChunkContext {
+  Key128 key{};
+  ByteArray<12> iv{};
+};
+
+/// Filenode: everything needed to decrypt one file's data object.
+struct Filenode {
+  Uuid uuid;
+  Uuid parent;
+  Uuid data_uuid;         // the bulk ciphertext object
+  std::uint64_t size = 0; // plaintext size
+  std::uint32_t chunk_size = 1 << 20;
+  std::uint32_t link_count = 1; // hardlinks referencing this filenode
+  std::vector<ChunkContext> chunks;
+
+  [[nodiscard]] Bytes Serialize() const;
+  static Result<Filenode> Deserialize(ByteSpan body);
+
+  [[nodiscard]] std::size_t ChunkCount() const noexcept {
+    return (size + chunk_size - 1) / chunk_size;
+  }
+};
+
+} // namespace nexus::enclave

@@ -1,0 +1,120 @@
+#include "enclave/metadata_codec.hpp"
+
+#include "common/serial.hpp"
+#include "crypto/aes.hpp"
+#include "crypto/gcm.hpp"
+#include "crypto/gcm_siv.hpp"
+
+namespace nexus::enclave {
+namespace {
+
+constexpr std::uint32_t kMagic = 0x4e585553; // "NXUS"
+constexpr std::size_t kBodyKeySize = 16;
+// GCM-SIV wrap of a 16-byte key: 16 bytes ct + 16 bytes tag.
+constexpr std::size_t kWrappedKeySize = kBodyKeySize + crypto::kGcmSivTagSize;
+
+Bytes SerializePreamble(const Preamble& p) {
+  Writer w;
+  w.U32(kMagic);
+  w.U8(static_cast<std::uint8_t>(p.type));
+  w.Id(p.uuid);
+  w.U64(p.version);
+  return std::move(w).Take();
+}
+
+Result<Preamble> ParsePreamble(Reader& r) {
+  NEXUS_ASSIGN_OR_RETURN(std::uint32_t magic, r.U32());
+  if (magic != kMagic) {
+    return Error(ErrorCode::kIntegrityViolation, "bad metadata magic");
+  }
+  Preamble p;
+  NEXUS_ASSIGN_OR_RETURN(std::uint8_t type, r.U8());
+  if (type < 1 || type > 5) {
+    return Error(ErrorCode::kIntegrityViolation, "bad metadata type");
+  }
+  p.type = static_cast<MetaType>(type);
+  NEXUS_ASSIGN_OR_RETURN(p.uuid, r.Id());
+  NEXUS_ASSIGN_OR_RETURN(p.version, r.U64());
+  return p;
+}
+
+} // namespace
+
+Result<Bytes> EncodeMetadata(const Preamble& preamble, ByteSpan body,
+                             const RootKey& rootkey, crypto::Rng& rng) {
+  const Bytes preamble_bytes = SerializePreamble(preamble);
+
+  // Fresh cryptographic context for this update.
+  const auto body_key = rng.Array<kBodyKeySize>();
+  const auto body_iv = rng.Array<crypto::kGcmIvSize>();
+  const auto wrap_nonce = rng.Array<crypto::kGcmSivNonceSize>();
+
+  // Wrap the body key under the rootkey, binding it to this object's
+  // preamble so a context transplanted onto another object fails to open.
+  NEXUS_ASSIGN_OR_RETURN(
+      Bytes wrapped_key,
+      crypto::GcmSivSeal(rootkey, wrap_nonce, preamble_bytes, body_key));
+
+  // Section 3: encrypt the body; preamble || crypto-context are AAD.
+  const Bytes aad = Concat(preamble_bytes, wrap_nonce, wrapped_key, body_iv);
+  NEXUS_ASSIGN_OR_RETURN(crypto::Aes aes, crypto::Aes::Create(body_key));
+  NEXUS_ASSIGN_OR_RETURN(Bytes sealed_body,
+                         crypto::GcmSeal(aes, body_iv, aad, body));
+
+  Writer w;
+  w.Raw(preamble_bytes);
+  w.Raw(wrap_nonce);
+  w.Raw(wrapped_key);
+  w.Raw(body_iv);
+  w.Var(sealed_body);
+  return std::move(w).Take();
+}
+
+Result<DecodedMeta> DecodeMetadata(ByteSpan blob, const RootKey& rootkey,
+                                   MetaType expected_type,
+                                   const Uuid& expected_uuid) {
+  Reader r(blob);
+  NEXUS_ASSIGN_OR_RETURN(Preamble preamble, ParsePreamble(r));
+  const Bytes preamble_bytes = SerializePreamble(preamble);
+
+  NEXUS_ASSIGN_OR_RETURN(Bytes wrap_nonce, r.Raw(crypto::kGcmSivNonceSize));
+  NEXUS_ASSIGN_OR_RETURN(Bytes wrapped_key, r.Raw(kWrappedKeySize));
+  NEXUS_ASSIGN_OR_RETURN(Bytes body_iv, r.Raw(crypto::kGcmIvSize));
+  NEXUS_ASSIGN_OR_RETURN(Bytes sealed_body, r.Var(1 << 26));
+  if (!r.AtEnd()) {
+    return Error(ErrorCode::kIntegrityViolation, "trailing metadata bytes");
+  }
+
+  // Unwrap the body key; tampering with the preamble breaks this (AAD).
+  auto body_key =
+      crypto::GcmSivOpen(rootkey, wrap_nonce, preamble_bytes, wrapped_key);
+  if (!body_key.ok()) {
+    return Error(ErrorCode::kIntegrityViolation,
+                 "metadata keywrap verification failed");
+  }
+
+  const Bytes aad = Concat(preamble_bytes, wrap_nonce, wrapped_key, body_iv);
+  NEXUS_ASSIGN_OR_RETURN(crypto::Aes aes, crypto::Aes::Create(*body_key));
+  auto body = crypto::GcmOpen(aes, body_iv, aad, sealed_body);
+  SecureZero(*body_key);
+  if (!body.ok()) {
+    return Error(ErrorCode::kIntegrityViolation,
+                 "metadata body verification failed");
+  }
+
+  if (preamble.type != expected_type) {
+    return Error(ErrorCode::kIntegrityViolation, "metadata type mismatch");
+  }
+  if (!expected_uuid.IsNil() && preamble.uuid != expected_uuid) {
+    // File-swapping: an authentic object served under the wrong name.
+    return Error(ErrorCode::kIntegrityViolation, "metadata uuid mismatch");
+  }
+  return DecodedMeta{preamble, std::move(body).value()};
+}
+
+Result<Preamble> PeekPreamble(ByteSpan blob) {
+  Reader r(blob);
+  return ParsePreamble(r);
+}
+
+} // namespace nexus::enclave

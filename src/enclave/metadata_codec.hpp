@@ -1,0 +1,63 @@
+// The three-section encrypted metadata format (paper §IV-A2).
+//
+//   [ preamble ]              plaintext, integrity-protected as AAD
+//   [ crypto context ]        fresh per update; key GCM-SIV-wrapped under
+//                             the volume rootkey; integrity-protected
+//   [ encrypted body ]        AES-GCM(fresh key) over the serialized body
+//
+// Every update generates a fresh body key and IV, so revoking a user only
+// requires re-encrypting metadata — never file contents (§IV-C).
+#pragma once
+
+#include <cstdint>
+
+#include "common/bytes.hpp"
+#include "common/result.hpp"
+#include "common/uuid.hpp"
+#include "crypto/rng.hpp"
+
+namespace nexus::enclave {
+
+enum class MetaType : std::uint8_t {
+  kSupernode = 1,
+  kDirnodeMain = 2,
+  kDirnodeBucket = 3,
+  kFilenode = 4,
+  kUserIdentity = 5, // key-exchange identity blobs (§IV-B1 "Setup")
+};
+
+/// The plaintext, authenticated header of every metadata object.
+struct Preamble {
+  MetaType type = MetaType::kSupernode;
+  Uuid uuid;                  // the object's own identity
+  std::uint64_t version = 0;  // bumped on every update (rollback defence)
+};
+
+struct DecodedMeta {
+  Preamble preamble;
+  Bytes body;
+};
+
+/// Volume rootkey: a 128-bit AES key, generated inside the enclave at
+/// volume creation and never exposed outside enclave/sealed storage.
+using RootKey = Key128;
+
+/// Serializes and encrypts a metadata body. A fresh body key and IV are
+/// drawn from `rng` on every call.
+Result<Bytes> EncodeMetadata(const Preamble& preamble, ByteSpan body,
+                             const RootKey& rootkey, crypto::Rng& rng);
+
+/// Verifies and decrypts a metadata object. Fails with
+/// kIntegrityViolation on any tampering, wrong rootkey, or type/uuid
+/// mismatch against `expected_type`/`expected_uuid` (pass nil Uuid to skip
+/// the uuid check, e.g. when discovering the supernode).
+Result<DecodedMeta> DecodeMetadata(ByteSpan blob, const RootKey& rootkey,
+                                   MetaType expected_type,
+                                   const Uuid& expected_uuid);
+
+/// Reads just the (unauthenticated!) preamble — used by tooling/tests to
+/// inspect ciphertext the way the server sees it. Trusted code must use
+/// DecodeMetadata.
+Result<Preamble> PeekPreamble(ByteSpan blob);
+
+} // namespace nexus::enclave

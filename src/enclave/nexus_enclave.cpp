@@ -1,0 +1,1235 @@
+// Core enclave implementation: lifecycle, metadata caching, traversal and
+// the Table I filesystem operations. Authentication, administration and the
+// key-exchange protocol live in nexus_enclave_sharing.cpp.
+#include "enclave/nexus_enclave.hpp"
+
+#include <algorithm>
+
+#include "common/serial.hpp"
+#include "crypto/aes.hpp"
+#include "crypto/gcm.hpp"
+#include "crypto/sha256.hpp"
+#include "crypto/x25519.hpp"
+
+namespace nexus::enclave {
+
+namespace {
+
+// AAD binding a data chunk to its file and position, so ciphertext cannot
+// be transplanted across files or shuffled within one. Lengths/truncation
+// are enforced by the (authenticated) filenode's size and chunk table, and
+// every content update re-keys the touched chunks, so a stale data object
+// fails their tags. Deliberately excludes the file size: surviving chunks
+// must stay decryptable across partial updates that change the size.
+Bytes ChunkAad(const Uuid& file_uuid, std::uint32_t index) {
+  Writer w;
+  w.Id(file_uuid);
+  w.U32(index);
+  return std::move(w).Take();
+}
+
+} // namespace
+
+NexusEnclave::NexusEnclave(sgx::EnclaveRuntime& runtime, StorageOcalls& storage,
+                           const ByteArray<32>& intel_root_public_key)
+    : runtime_(runtime),
+      storage_(storage),
+      intel_root_public_key_(intel_root_public_key) {
+  // Enclave ECDH identity (key-exchange "Setup", §IV-B1). Generated fresh;
+  // persisted across restarts via EcallSealIdentityKey.
+  ecdh_private_ = crypto::X25519ClampScalar(runtime_.rng().Array<32>());
+  ecdh_public_ = crypto::X25519BasePoint(ecdh_private_);
+}
+
+// ---- ocall wrappers ---------------------------------------------------------
+
+Result<ObjectBlob> NexusEnclave::FetchMetaO(const Uuid& uuid) {
+  sgx::EnclaveRuntime::OcallScope scope(runtime_);
+  return storage_.FetchMeta(uuid);
+}
+
+Status NexusEnclave::StoreMetaO(const Uuid& uuid, ByteSpan data,
+                                std::uint64_t* version_out) {
+  sgx::EnclaveRuntime::OcallScope scope(runtime_);
+  NEXUS_ASSIGN_OR_RETURN(std::uint64_t version, storage_.StoreMeta(uuid, data));
+  if (version_out != nullptr) *version_out = version;
+  return Status::Ok();
+}
+
+Status NexusEnclave::RemoveMetaO(const Uuid& uuid) {
+  sgx::EnclaveRuntime::OcallScope scope(runtime_);
+  return storage_.RemoveMeta(uuid);
+}
+
+Result<ObjectBlob> NexusEnclave::FetchDataO(const Uuid& uuid) {
+  sgx::EnclaveRuntime::OcallScope scope(runtime_);
+  return storage_.FetchData(uuid);
+}
+
+Status NexusEnclave::StoreDataO(const Uuid& uuid, ByteSpan data,
+                                std::uint64_t changed_bytes) {
+  sgx::EnclaveRuntime::OcallScope scope(runtime_);
+  return storage_.StoreData(uuid, data, changed_bytes);
+}
+
+Status NexusEnclave::RemoveDataO(const Uuid& uuid) {
+  sgx::EnclaveRuntime::OcallScope scope(runtime_);
+  return storage_.RemoveData(uuid);
+}
+
+Status NexusEnclave::LockMetaO(const Uuid& uuid) {
+  sgx::EnclaveRuntime::OcallScope scope(runtime_);
+  return storage_.LockMeta(uuid);
+}
+
+Status NexusEnclave::UnlockMetaO(const Uuid& uuid) {
+  sgx::EnclaveRuntime::OcallScope scope(runtime_);
+  return storage_.UnlockMeta(uuid);
+}
+
+bool NexusEnclave::CacheFreshO(const Uuid& uuid, std::uint64_t storage_version) {
+  sgx::EnclaveRuntime::OcallScope scope(runtime_);
+  return storage_.CacheFresh(uuid, storage_version);
+}
+
+// ---- internals ----------------------------------------------------------------
+
+Status NexusEnclave::RequireMounted() const {
+  if (!session_.has_value()) {
+    return Error(ErrorCode::kPermissionDenied, "volume not mounted");
+  }
+  // Every mounted operation passes through here exactly once at its start:
+  // advance the LRU clock so cache entries touched by *this* operation are
+  // distinguishable from older ones (see EvictColdCacheEntries).
+  ++op_tick_;
+  return Status::Ok();
+}
+
+void NexusEnclave::EvictColdCacheEntries() {
+  auto evict = [&](auto& cache, std::size_t limit) {
+    while (cache.size() > limit) {
+      auto victim = cache.end();
+      for (auto it = cache.begin(); it != cache.end(); ++it) {
+        if (it->second.last_used >= op_tick_) continue; // in use right now
+        if (victim == cache.end() ||
+            it->second.last_used < victim->second.last_used) {
+          victim = it;
+        }
+      }
+      if (victim == cache.end()) return; // everything is pinned
+      cache.erase(victim);
+    }
+  };
+  evict(dirnode_cache_, max_cached_dirnodes_);
+  evict(filenode_cache_, max_cached_filenodes_);
+}
+
+void NexusEnclave::EcallSetCacheLimits(std::size_t max_dirnodes,
+                                       std::size_t max_filenodes) {
+  sgx::EnclaveRuntime::EcallScope scope(runtime_);
+  max_cached_dirnodes_ = std::max<std::size_t>(1, max_dirnodes);
+  max_cached_filenodes_ = std::max<std::size_t>(1, max_filenodes);
+  ++op_tick_;
+  EvictColdCacheEntries();
+}
+
+bool NexusEnclave::IsOwner() const {
+  return session_.has_value() && session_->user == kOwnerUserId;
+}
+
+Status NexusEnclave::CheckDirAccess(const Dirnode& dir, std::uint8_t needed) const {
+  // Owner retains full administrative control (§IV-C).
+  if (IsOwner()) return Status::Ok();
+  const AclEntry* entry = dir.FindAcl(session_->user);
+  if (entry == nullptr || (entry->perms & needed) != needed) {
+    return Error(ErrorCode::kPermissionDenied, "access denied by directory ACL");
+  }
+  return Status::Ok();
+}
+
+Status NexusEnclave::CheckAndRecordVersion(const Uuid& uuid,
+                                           std::uint64_t version) {
+  auto [it, inserted] = min_versions_.try_emplace(uuid, version);
+  if (!inserted) {
+    if (version < it->second) {
+      return Error(ErrorCode::kIntegrityViolation,
+                   "stale metadata version (rollback attack?)");
+    }
+    it->second = version;
+  }
+  return Status::Ok();
+}
+
+Result<Bytes> NexusEnclave::EncodeAndStoreMeta(MetaType type, const Uuid& uuid,
+                                               std::uint64_t version,
+                                               ByteSpan body,
+                                               std::uint64_t* storage_version_out) {
+  Preamble preamble{type, uuid, version};
+  NEXUS_ASSIGN_OR_RETURN(
+      Bytes blob, EncodeMetadata(preamble, body, session_->rootkey, runtime_.rng()));
+  // Record the version locally *before* upload (§VI-C).
+  NEXUS_RETURN_IF_ERROR(CheckAndRecordVersion(uuid, version));
+  NEXUS_RETURN_IF_ERROR(StoreMetaO(uuid, blob, storage_version_out));
+  return blob;
+}
+
+Result<NexusEnclave::DirnodeState*> NexusEnclave::LoadDirnode(
+    const Uuid& uuid, const Uuid& expected_parent) {
+  const auto cached = dirnode_cache_.find(uuid);
+  if (cached != dirnode_cache_.end() &&
+      CacheFreshO(uuid, cached->second.storage_version)) {
+    ++cache_stats_.dirnode_hits;
+    if (cached->second.main.parent != expected_parent) {
+      return Error(ErrorCode::kIntegrityViolation,
+                   "dirnode parent mismatch (file-swapping attack?)");
+    }
+    cached->second.last_used = op_tick_;
+    return &cached->second;
+  }
+  ++cache_stats_.dirnode_misses;
+
+  NEXUS_ASSIGN_OR_RETURN(ObjectBlob blob, FetchMetaO(uuid));
+  NEXUS_ASSIGN_OR_RETURN(
+      DecodedMeta meta,
+      DecodeMetadata(blob.data, session_->rootkey, MetaType::kDirnodeMain, uuid));
+  NEXUS_RETURN_IF_ERROR(CheckAndRecordVersion(uuid, meta.preamble.version));
+
+  DirnodeState state;
+  NEXUS_ASSIGN_OR_RETURN(state.main, Dirnode::Deserialize(meta.body));
+  state.meta_version = meta.preamble.version;
+  state.storage_version = blob.storage_version;
+
+  if (state.main.uuid != uuid) {
+    return Error(ErrorCode::kIntegrityViolation, "dirnode self-uuid mismatch");
+  }
+  if (state.main.parent != expected_parent) {
+    // The §IV-A3 parent-pointer check: an authentic dirnode served at the
+    // wrong place in the hierarchy is rejected.
+    return Error(ErrorCode::kIntegrityViolation,
+                 "dirnode parent mismatch (file-swapping attack?)");
+  }
+
+  // Load all buckets, verifying each against the MAC pinned in the main
+  // object (bucket-level rollback defence, §V-B).
+  state.buckets.reserve(state.main.buckets.size());
+  for (const BucketRef& ref : state.main.buckets) {
+    NEXUS_ASSIGN_OR_RETURN(ObjectBlob bucket_blob, FetchMetaO(ref.uuid));
+    if (crypto::Sha256::Hash(bucket_blob.data) != ref.mac) {
+      return Error(ErrorCode::kIntegrityViolation,
+                   "dirnode bucket MAC mismatch (bucket rollback?)");
+    }
+    NEXUS_ASSIGN_OR_RETURN(
+        DecodedMeta bucket_meta,
+        DecodeMetadata(bucket_blob.data, session_->rootkey,
+                       MetaType::kDirnodeBucket, ref.uuid));
+    NEXUS_ASSIGN_OR_RETURN(DirBucket bucket,
+                           DirBucket::Deserialize(bucket_meta.body, uuid));
+    bucket.uuid = ref.uuid;
+    if (bucket.entries.size() != ref.entry_count) {
+      return Error(ErrorCode::kIntegrityViolation, "bucket entry count mismatch");
+    }
+    state.buckets.push_back(std::move(bucket));
+  }
+
+  state.last_used = op_tick_;
+  auto [it, _] = dirnode_cache_.insert_or_assign(uuid, std::move(state));
+  EvictColdCacheEntries();
+  return &it->second;
+}
+
+Result<NexusEnclave::FilenodeState*> NexusEnclave::LoadFilenode(
+    const Uuid& uuid, const Uuid& expected_parent) {
+  const auto cached = filenode_cache_.find(uuid);
+  if (cached != filenode_cache_.end() &&
+      CacheFreshO(uuid, cached->second.storage_version)) {
+    ++cache_stats_.filenode_hits;
+    cached->second.last_used = op_tick_;
+    return &cached->second;
+  }
+  ++cache_stats_.filenode_misses;
+
+  NEXUS_ASSIGN_OR_RETURN(ObjectBlob blob, FetchMetaO(uuid));
+  NEXUS_ASSIGN_OR_RETURN(
+      DecodedMeta meta,
+      DecodeMetadata(blob.data, session_->rootkey, MetaType::kFilenode, uuid));
+  NEXUS_RETURN_IF_ERROR(CheckAndRecordVersion(uuid, meta.preamble.version));
+
+  FilenodeState state;
+  NEXUS_ASSIGN_OR_RETURN(state.node, Filenode::Deserialize(meta.body));
+  state.meta_version = meta.preamble.version;
+  state.storage_version = blob.storage_version;
+
+  if (state.node.uuid != uuid) {
+    return Error(ErrorCode::kIntegrityViolation, "filenode self-uuid mismatch");
+  }
+  // Hardlinked filenodes (link_count > 1) have a nil parent; otherwise the
+  // parent pointer must match the directory we arrived from.
+  if (!state.node.parent.IsNil() && state.node.parent != expected_parent) {
+    return Error(ErrorCode::kIntegrityViolation,
+                 "filenode parent mismatch (file-swapping attack?)");
+  }
+
+  state.last_used = op_tick_;
+  auto [it, _] = filenode_cache_.insert_or_assign(uuid, std::move(state));
+  EvictColdCacheEntries();
+  return &it->second;
+}
+
+Status NexusEnclave::ReloadSupernode() {
+  if (CacheFreshO(session_->volume_uuid, session_->supernode_storage_version)) {
+    return Status::Ok();
+  }
+  NEXUS_ASSIGN_OR_RETURN(ObjectBlob blob, FetchMetaO(session_->volume_uuid));
+  NEXUS_ASSIGN_OR_RETURN(
+      DecodedMeta meta,
+      DecodeMetadata(blob.data, session_->rootkey, MetaType::kSupernode,
+                     session_->volume_uuid));
+  NEXUS_RETURN_IF_ERROR(
+      CheckAndRecordVersion(session_->volume_uuid, meta.preamble.version));
+  NEXUS_ASSIGN_OR_RETURN(session_->supernode, Supernode::Deserialize(meta.body));
+  session_->supernode_storage_version = blob.storage_version;
+
+  // Revocation takes effect immediately: if our user was removed from the
+  // user table, the session dies here.
+  if (session_->supernode.FindUserById(session_->user) == nullptr) {
+    const Status revoked =
+        Error(ErrorCode::kPermissionDenied, "user revoked from volume");
+    (void)EcallUnmount();
+    return revoked;
+  }
+  return Status::Ok();
+}
+
+Status NexusEnclave::FlushDirnode(DirnodeState& state,
+                                  const std::vector<std::size_t>& dirty_buckets) {
+  // Crash-consistent update order: dirty buckets are written COPY-ON-WRITE
+  // under fresh UUIDs, then the main object (whose bucket table carries the
+  // new UUIDs + MACs) is stored, and only then are the superseded bucket
+  // objects deleted. A crash at any point leaves either the old or the new
+  // state fully readable — never a main/bucket MAC mismatch; at worst an
+  // orphaned bucket object remains (found by EcallVerifyVolume).
+  std::vector<Uuid> superseded;
+  for (const std::size_t i : dirty_buckets) {
+    DirBucket& bucket = state.buckets[i];
+    BucketRef& ref = state.main.buckets[i];
+    if (!ref.uuid.IsNil()) superseded.push_back(ref.uuid);
+    const Uuid fresh_uuid = runtime_.rng().NewUuid();
+    Preamble preamble{MetaType::kDirnodeBucket, fresh_uuid, /*version=*/1};
+    NEXUS_ASSIGN_OR_RETURN(
+        Bytes blob,
+        EncodeMetadata(preamble, bucket.Serialize(state.main.uuid),
+                       session_->rootkey, runtime_.rng()));
+    NEXUS_RETURN_IF_ERROR(CheckAndRecordVersion(fresh_uuid, 1));
+    NEXUS_RETURN_IF_ERROR(StoreMetaO(fresh_uuid, blob, nullptr));
+    bucket.uuid = fresh_uuid;
+    ref.uuid = fresh_uuid;
+    ref.entry_count = static_cast<std::uint32_t>(bucket.entries.size());
+    ref.mac = crypto::Sha256::Hash(blob);
+  }
+  ++state.meta_version;
+  NEXUS_ASSIGN_OR_RETURN(
+      Bytes main_blob,
+      EncodeAndStoreMeta(MetaType::kDirnodeMain, state.main.uuid,
+                         state.meta_version, state.main.Serialize(),
+                         &state.storage_version));
+  (void)main_blob;
+  for (const Uuid& old : superseded) {
+    (void)RemoveMetaO(old); // best effort: an orphan is harmless
+    min_versions_.erase(old);
+  }
+  return Status::Ok();
+}
+
+Status NexusEnclave::FlushFilenode(FilenodeState& state) {
+  ++state.meta_version;
+  NEXUS_ASSIGN_OR_RETURN(
+      Bytes blob,
+      EncodeAndStoreMeta(MetaType::kFilenode, state.node.uuid,
+                         state.meta_version, state.node.Serialize(),
+                         &state.storage_version));
+  (void)blob;
+  return Status::Ok();
+}
+
+Result<std::vector<std::string>> NexusEnclave::SplitPath(const std::string& path) {
+  std::vector<std::string> parts;
+  std::size_t start = 0;
+  while (start <= path.size()) {
+    std::size_t end = path.find('/', start);
+    if (end == std::string::npos) end = path.size();
+    const std::string part = path.substr(start, end - start);
+    if (!part.empty()) {
+      if (part == "." || part == "..") {
+        return Error(ErrorCode::kInvalidArgument,
+                     "'.'/'..' path components not supported");
+      }
+      parts.push_back(part);
+    }
+    start = end + 1;
+  }
+  return parts;
+}
+
+Result<NexusEnclave::ResolvedDir> NexusEnclave::ResolveDir(
+    const std::vector<std::string>& components) {
+  Uuid current = session_->supernode.root_dir;
+  Uuid parent; // root's parent is nil
+  for (const std::string& name : components) {
+    NEXUS_ASSIGN_OR_RETURN(DirnodeState* dir, LoadDirnode(current, parent));
+    NEXUS_RETURN_IF_ERROR(CheckDirAccess(dir->main, kPermRead));
+    const DirEntry* entry = FindEntry(*dir, name);
+    if (entry == nullptr) {
+      return Error(ErrorCode::kNotFound, "no such directory: " + name);
+    }
+    if (entry->type != EntryType::kDirectory) {
+      return Error(ErrorCode::kInvalidArgument, "not a directory: " + name);
+    }
+    parent = current;
+    current = entry->uuid;
+  }
+  return ResolvedDir{current, parent};
+}
+
+const DirEntry* NexusEnclave::FindEntry(const DirnodeState& dir,
+                                        const std::string& name,
+                                        EntryLocation* loc) {
+  for (std::size_t b = 0; b < dir.buckets.size(); ++b) {
+    const auto& entries = dir.buckets[b].entries;
+    for (std::size_t e = 0; e < entries.size(); ++e) {
+      if (entries[e].name == name) {
+        if (loc != nullptr) {
+          loc->bucket_index = b;
+          loc->entry_index = e;
+        }
+        return &entries[e];
+      }
+    }
+  }
+  return nullptr;
+}
+
+// ---- volume creation -----------------------------------------------------------
+
+Result<NexusEnclave::CreateVolumeResult> NexusEnclave::EcallCreateVolume(
+    const std::string& owner_name, const ByteArray<32>& owner_public_key,
+    const VolumeConfig& config) {
+  sgx::EnclaveRuntime::EcallScope scope(runtime_);
+  if (session_.has_value()) {
+    return Error(ErrorCode::kInvalidArgument, "a volume is already mounted");
+  }
+  if (config.chunk_size == 0 || config.dirnode_bucket_size == 0) {
+    return Error(ErrorCode::kInvalidArgument, "invalid volume config");
+  }
+
+  Session session;
+  session.rootkey = runtime_.rng().Array<16>();
+  session.user = kOwnerUserId;
+  session.volume_uuid = runtime_.rng().NewUuid();
+
+  Supernode supernode;
+  supernode.volume_uuid = session.volume_uuid;
+  supernode.root_dir = runtime_.rng().NewUuid();
+  supernode.config = config;
+  supernode.users.push_back(UserRecord{kOwnerUserId, owner_name, owner_public_key});
+  supernode.next_user_id = 1;
+  session.supernode = supernode;
+  session_ = std::move(session);
+
+  // Empty root directory.
+  Dirnode root;
+  root.uuid = supernode.root_dir;
+  root.parent = Uuid(); // nil
+  auto root_stored = EncodeAndStoreMeta(MetaType::kDirnodeMain, root.uuid,
+                                        /*version=*/1, root.Serialize(), nullptr);
+  if (!root_stored.ok()) {
+    session_.reset();
+    return root_stored.status();
+  }
+  DirnodeState root_state;
+  root_state.main = root;
+  root_state.meta_version = 1;
+  dirnode_cache_.insert_or_assign(root.uuid, std::move(root_state));
+
+  std::uint64_t supernode_sv = 0;
+  auto super_stored =
+      EncodeAndStoreMeta(MetaType::kSupernode, session_->volume_uuid,
+                         /*version=*/1, supernode.Serialize(), &supernode_sv);
+  if (!super_stored.ok()) {
+    session_.reset();
+    return super_stored.status();
+  }
+  session_->supernode_storage_version = supernode_sv;
+
+  NEXUS_ASSIGN_OR_RETURN(Bytes sealed_rootkey, runtime_.Seal(session_->rootkey));
+  return CreateVolumeResult{session_->volume_uuid, std::move(sealed_rootkey)};
+}
+
+// ---- Table I operations ----------------------------------------------------------
+
+Status NexusEnclave::CreateEntry(const std::string& path, EntryType type,
+                                 const std::string& symlink_target) {
+  NEXUS_RETURN_IF_ERROR(RequireMounted());
+  NEXUS_ASSIGN_OR_RETURN(std::vector<std::string> parts, SplitPath(path));
+  if (parts.empty()) {
+    return Error(ErrorCode::kInvalidArgument, "cannot create the root");
+  }
+  const std::string name = parts.back();
+  parts.pop_back();
+  NEXUS_ASSIGN_OR_RETURN(ResolvedDir dir_uuid_rd, ResolveDir(parts));
+  const Uuid dir_uuid = dir_uuid_rd.uuid;
+
+  // Serialize concurrent updates through the storage service's lock (§V-A);
+  // re-fetch under the lock so we mutate the latest version.
+  NEXUS_RETURN_IF_ERROR(LockMetaO(dir_uuid));
+  auto result = [&]() -> Status {
+    NEXUS_ASSIGN_OR_RETURN(DirnodeState* dir,
+                           LoadDirnode(dir_uuid, dir_uuid_rd.parent));
+    NEXUS_RETURN_IF_ERROR(CheckDirAccess(dir->main, kPermWrite));
+    if (FindEntry(*dir, name) != nullptr) {
+      return Error(ErrorCode::kAlreadyExists, "entry exists: " + name);
+    }
+
+    DirEntry entry;
+    entry.name = name;
+    entry.type = type;
+    entry.symlink_target = symlink_target;
+
+    if (type == EntryType::kFile) {
+      entry.uuid = runtime_.rng().NewUuid();
+      Filenode node;
+      node.uuid = entry.uuid;
+      node.parent = dir_uuid;
+      node.data_uuid = runtime_.rng().NewUuid();
+      node.chunk_size = session_->supernode.config.chunk_size;
+      NEXUS_ASSIGN_OR_RETURN(
+          Bytes blob, EncodeAndStoreMeta(MetaType::kFilenode, node.uuid,
+                                         /*version=*/1, node.Serialize(), nullptr));
+      (void)blob;
+      FilenodeState fstate;
+      fstate.node = std::move(node);
+      fstate.meta_version = 1;
+      filenode_cache_.insert_or_assign(entry.uuid, std::move(fstate));
+    } else if (type == EntryType::kDirectory) {
+      entry.uuid = runtime_.rng().NewUuid();
+      Dirnode child;
+      child.uuid = entry.uuid;
+      child.parent = dir_uuid;
+      NEXUS_ASSIGN_OR_RETURN(
+          Bytes blob, EncodeAndStoreMeta(MetaType::kDirnodeMain, child.uuid,
+                                         /*version=*/1, child.Serialize(), nullptr));
+      (void)blob;
+      DirnodeState dstate;
+      dstate.main = std::move(child);
+      dstate.meta_version = 1;
+      dirnode_cache_.insert_or_assign(entry.uuid, std::move(dstate));
+    }
+    // Symlinks live entirely in the dirent (no metadata object).
+
+    // Append to the last bucket with room, or open a new one.
+    const std::uint32_t bucket_cap = session_->supernode.config.dirnode_bucket_size;
+    std::size_t target = dir->buckets.size();
+    if (!dir->buckets.empty() &&
+        dir->buckets.back().entries.size() < bucket_cap) {
+      target = dir->buckets.size() - 1;
+    }
+    if (target == dir->buckets.size()) {
+      DirBucket fresh;
+      fresh.uuid = runtime_.rng().NewUuid();
+      dir->buckets.push_back(std::move(fresh));
+      BucketRef ref;
+      ref.uuid = dir->buckets.back().uuid;
+      dir->main.buckets.push_back(ref);
+    }
+    dir->buckets[target].entries.push_back(std::move(entry));
+    return FlushDirnode(*dir, {target});
+  }();
+  const Status unlock = UnlockMetaO(dir_uuid);
+  return result.ok() ? unlock : result;
+}
+
+Status NexusEnclave::EcallTouch(const std::string& path, EntryType type) {
+  sgx::EnclaveRuntime::EcallScope scope(runtime_);
+  if (type == EntryType::kSymlink) {
+    return Error(ErrorCode::kInvalidArgument, "use EcallSymlink for symlinks");
+  }
+  return CreateEntry(path, type, "");
+}
+
+Status NexusEnclave::EcallSymlink(const std::string& target,
+                                  const std::string& linkpath) {
+  sgx::EnclaveRuntime::EcallScope scope(runtime_);
+  return CreateEntry(linkpath, EntryType::kSymlink, target);
+}
+
+Status NexusEnclave::CheckRemovable(const DirEntry& entry,
+                                    const Uuid& parent_uuid) {
+  if (entry.type != EntryType::kDirectory) return Status::Ok();
+  NEXUS_ASSIGN_OR_RETURN(DirnodeState* child,
+                         LoadDirnode(entry.uuid, parent_uuid));
+  if (child->main.TotalEntries() != 0) {
+    return Error(ErrorCode::kInvalidArgument, "directory not empty");
+  }
+  return Status::Ok();
+}
+
+Status NexusEnclave::ReleaseEntryObjects(const DirEntry& entry,
+                                         const Uuid& parent_uuid) {
+  // Called AFTER the parent dirnode stopped referencing the entry: a crash
+  // in here leaks orphaned objects (harmless, EcallVerifyVolume reports
+  // them) but never leaves a dangling reference.
+  switch (entry.type) {
+    case EntryType::kFile: {
+      NEXUS_ASSIGN_OR_RETURN(FilenodeState* file,
+                             LoadFilenode(entry.uuid, parent_uuid));
+      if (file->node.link_count > 1) {
+        --file->node.link_count;
+        return FlushFilenode(*file);
+      }
+      const Uuid data_uuid = file->node.data_uuid;
+      filenode_cache_.erase(entry.uuid);
+      min_versions_.erase(entry.uuid);
+      NEXUS_RETURN_IF_ERROR(RemoveMetaO(entry.uuid));
+      // A never-written file has no data object yet.
+      (void)RemoveDataO(data_uuid);
+      return Status::Ok();
+    }
+    case EntryType::kDirectory: {
+      NEXUS_ASSIGN_OR_RETURN(DirnodeState* child,
+                             LoadDirnode(entry.uuid, parent_uuid));
+      std::vector<Uuid> buckets;
+      for (const BucketRef& ref : child->main.buckets) buckets.push_back(ref.uuid);
+      dirnode_cache_.erase(entry.uuid);
+      min_versions_.erase(entry.uuid);
+      NEXUS_RETURN_IF_ERROR(RemoveMetaO(entry.uuid));
+      for (const Uuid& uuid : buckets) {
+        (void)RemoveMetaO(uuid);
+        min_versions_.erase(uuid);
+      }
+      return Status::Ok();
+    }
+    case EntryType::kSymlink:
+      return Status::Ok();
+  }
+  return Error(ErrorCode::kInternal, "unknown entry type");
+}
+
+Status NexusEnclave::EcallRemove(const std::string& path) {
+  sgx::EnclaveRuntime::EcallScope scope(runtime_);
+  NEXUS_RETURN_IF_ERROR(RequireMounted());
+  NEXUS_ASSIGN_OR_RETURN(std::vector<std::string> parts, SplitPath(path));
+  if (parts.empty()) {
+    return Error(ErrorCode::kInvalidArgument, "cannot remove the root");
+  }
+  const std::string name = parts.back();
+  parts.pop_back();
+  NEXUS_ASSIGN_OR_RETURN(ResolvedDir dir_uuid_rd, ResolveDir(parts));
+  const Uuid dir_uuid = dir_uuid_rd.uuid;
+
+  NEXUS_RETURN_IF_ERROR(LockMetaO(dir_uuid));
+  auto result = [&]() -> Status {
+        const Uuid parent = dir_uuid_rd.parent;
+    NEXUS_ASSIGN_OR_RETURN(DirnodeState* dir,
+                           LoadDirnode(dir_uuid, parent));
+    NEXUS_RETURN_IF_ERROR(CheckDirAccess(dir->main, kPermWrite));
+
+    EntryLocation loc;
+    const DirEntry* entry = FindEntry(*dir, name, &loc);
+    if (entry == nullptr) {
+      return Error(ErrorCode::kNotFound, "no such entry: " + name);
+    }
+    NEXUS_RETURN_IF_ERROR(CheckRemovable(*entry, dir_uuid));
+    const DirEntry removed = *entry;
+
+    auto& entries = dir->buckets[loc.bucket_index].entries;
+    entries.erase(entries.begin() + static_cast<std::ptrdiff_t>(loc.entry_index));
+
+    // Drop a now-empty trailing bucket to keep the main object compact;
+    // the object itself is deleted only after the main flush commits.
+    std::vector<std::size_t> dirty = {loc.bucket_index};
+    Uuid dropped_bucket;
+    if (entries.empty() && loc.bucket_index == dir->buckets.size() - 1) {
+      dropped_bucket = dir->buckets.back().uuid;
+      dir->buckets.pop_back();
+      dir->main.buckets.pop_back();
+      dirty.clear();
+    }
+    NEXUS_RETURN_IF_ERROR(FlushDirnode(*dir, dirty));
+    if (!dropped_bucket.IsNil()) {
+      (void)RemoveMetaO(dropped_bucket);
+      min_versions_.erase(dropped_bucket);
+    }
+    return ReleaseEntryObjects(removed, dir_uuid);
+  }();
+  const Status unlock = UnlockMetaO(dir_uuid);
+  return result.ok() ? unlock : result;
+}
+
+Result<Attributes> NexusEnclave::EcallLookup(const std::string& path) {
+  sgx::EnclaveRuntime::EcallScope scope(runtime_);
+  NEXUS_RETURN_IF_ERROR(RequireMounted());
+  NEXUS_ASSIGN_OR_RETURN(std::vector<std::string> parts, SplitPath(path));
+  if (parts.empty()) {
+    return Attributes{EntryType::kDirectory, 0, session_->supernode.root_dir};
+  }
+  const std::string name = parts.back();
+  parts.pop_back();
+  NEXUS_ASSIGN_OR_RETURN(ResolvedDir dir_uuid_rd, ResolveDir(parts));
+  const Uuid dir_uuid = dir_uuid_rd.uuid;
+
+    const Uuid parent = dir_uuid_rd.parent;
+  NEXUS_ASSIGN_OR_RETURN(DirnodeState* dir, LoadDirnode(dir_uuid, parent));
+  NEXUS_RETURN_IF_ERROR(CheckDirAccess(dir->main, kPermRead));
+
+  const DirEntry* entry = FindEntry(*dir, name);
+  if (entry == nullptr) {
+    return Error(ErrorCode::kNotFound, "no such entry: " + name);
+  }
+  Attributes attrs;
+  attrs.type = entry->type;
+  attrs.uuid = entry->uuid;
+  if (entry->type == EntryType::kFile) {
+    NEXUS_ASSIGN_OR_RETURN(FilenodeState* file, LoadFilenode(entry->uuid, dir_uuid));
+    attrs.size = file->node.size;
+  } else if (entry->type == EntryType::kSymlink) {
+    attrs.size = entry->symlink_target.size();
+  }
+  return attrs;
+}
+
+Result<std::vector<DirEntry>> NexusEnclave::EcallFilldir(const std::string& path) {
+  sgx::EnclaveRuntime::EcallScope scope(runtime_);
+  NEXUS_RETURN_IF_ERROR(RequireMounted());
+  NEXUS_ASSIGN_OR_RETURN(std::vector<std::string> parts, SplitPath(path));
+  NEXUS_ASSIGN_OR_RETURN(ResolvedDir dir_uuid_rd, ResolveDir(parts));
+  const Uuid dir_uuid = dir_uuid_rd.uuid;
+
+    const Uuid parent = dir_uuid_rd.parent;
+  NEXUS_ASSIGN_OR_RETURN(DirnodeState* dir, LoadDirnode(dir_uuid, parent));
+  NEXUS_RETURN_IF_ERROR(CheckDirAccess(dir->main, kPermRead));
+
+  std::vector<DirEntry> out;
+  out.reserve(dir->main.TotalEntries());
+  for (const DirBucket& bucket : dir->buckets) {
+    out.insert(out.end(), bucket.entries.begin(), bucket.entries.end());
+  }
+  return out;
+}
+
+Result<std::string> NexusEnclave::EcallReadlink(const std::string& path) {
+  sgx::EnclaveRuntime::EcallScope scope(runtime_);
+  NEXUS_RETURN_IF_ERROR(RequireMounted());
+  NEXUS_ASSIGN_OR_RETURN(std::vector<std::string> parts, SplitPath(path));
+  if (parts.empty()) {
+    return Error(ErrorCode::kInvalidArgument, "root is not a symlink");
+  }
+  const std::string name = parts.back();
+  parts.pop_back();
+  NEXUS_ASSIGN_OR_RETURN(ResolvedDir dir_uuid_rd, ResolveDir(parts));
+  const Uuid dir_uuid = dir_uuid_rd.uuid;
+    const Uuid parent = dir_uuid_rd.parent;
+  NEXUS_ASSIGN_OR_RETURN(DirnodeState* dir, LoadDirnode(dir_uuid, parent));
+  NEXUS_RETURN_IF_ERROR(CheckDirAccess(dir->main, kPermRead));
+  const DirEntry* entry = FindEntry(*dir, name);
+  if (entry == nullptr || entry->type != EntryType::kSymlink) {
+    return Error(ErrorCode::kNotFound, "not a symlink: " + name);
+  }
+  return entry->symlink_target;
+}
+
+Status NexusEnclave::EcallHardlink(const std::string& existing,
+                                   const std::string& linkpath) {
+  sgx::EnclaveRuntime::EcallScope scope(runtime_);
+  NEXUS_RETURN_IF_ERROR(RequireMounted());
+
+  NEXUS_ASSIGN_OR_RETURN(std::vector<std::string> src_parts, SplitPath(existing));
+  if (src_parts.empty()) {
+    return Error(ErrorCode::kInvalidArgument, "cannot hardlink the root");
+  }
+  const std::string src_name = src_parts.back();
+  src_parts.pop_back();
+  NEXUS_ASSIGN_OR_RETURN(ResolvedDir src_dir_uuid_rd, ResolveDir(src_parts));
+  const Uuid src_dir_uuid = src_dir_uuid_rd.uuid;
+    const Uuid src_parent = src_dir_uuid_rd.parent;
+  NEXUS_ASSIGN_OR_RETURN(DirnodeState* src_dir, LoadDirnode(src_dir_uuid, src_parent));
+  NEXUS_RETURN_IF_ERROR(CheckDirAccess(src_dir->main, kPermRead));
+  const DirEntry* src_entry = FindEntry(*src_dir, src_name);
+  if (src_entry == nullptr) {
+    return Error(ErrorCode::kNotFound, "no such entry: " + src_name);
+  }
+  if (src_entry->type != EntryType::kFile) {
+    return Error(ErrorCode::kInvalidArgument, "hardlinks apply to files only");
+  }
+  const Uuid file_uuid = src_entry->uuid;
+
+  NEXUS_ASSIGN_OR_RETURN(std::vector<std::string> dst_parts, SplitPath(linkpath));
+  if (dst_parts.empty()) {
+    return Error(ErrorCode::kInvalidArgument, "bad link path");
+  }
+  const std::string dst_name = dst_parts.back();
+  dst_parts.pop_back();
+  NEXUS_ASSIGN_OR_RETURN(ResolvedDir dst_dir_uuid_rd, ResolveDir(dst_parts));
+  const Uuid dst_dir_uuid = dst_dir_uuid_rd.uuid;
+
+  NEXUS_RETURN_IF_ERROR(LockMetaO(dst_dir_uuid));
+  auto result = [&]() -> Status {
+        const Uuid dst_parent = dst_dir_uuid_rd.parent;
+    NEXUS_ASSIGN_OR_RETURN(DirnodeState* dst_dir,
+                           LoadDirnode(dst_dir_uuid, dst_parent));
+    NEXUS_RETURN_IF_ERROR(CheckDirAccess(dst_dir->main, kPermWrite));
+    if (FindEntry(*dst_dir, dst_name) != nullptr) {
+      return Error(ErrorCode::kAlreadyExists, "entry exists: " + dst_name);
+    }
+
+    // Bump the link count; the filenode becomes multi-parent (nil parent).
+    NEXUS_ASSIGN_OR_RETURN(FilenodeState* file, LoadFilenode(file_uuid, src_dir_uuid));
+    ++file->node.link_count;
+    file->node.parent = Uuid();
+    NEXUS_RETURN_IF_ERROR(FlushFilenode(*file));
+
+    DirEntry entry;
+    entry.name = dst_name;
+    entry.uuid = file_uuid;
+    entry.type = EntryType::kFile;
+
+    const std::uint32_t bucket_cap = session_->supernode.config.dirnode_bucket_size;
+    std::size_t target = dst_dir->buckets.size();
+    if (!dst_dir->buckets.empty() &&
+        dst_dir->buckets.back().entries.size() < bucket_cap) {
+      target = dst_dir->buckets.size() - 1;
+    }
+    if (target == dst_dir->buckets.size()) {
+      DirBucket fresh;
+      fresh.uuid = runtime_.rng().NewUuid();
+      dst_dir->buckets.push_back(std::move(fresh));
+      BucketRef ref;
+      ref.uuid = dst_dir->buckets.back().uuid;
+      dst_dir->main.buckets.push_back(ref);
+    }
+    dst_dir->buckets[target].entries.push_back(std::move(entry));
+    return FlushDirnode(*dst_dir, {target});
+  }();
+  const Status unlock = UnlockMetaO(dst_dir_uuid);
+  return result.ok() ? unlock : result;
+}
+
+Status NexusEnclave::EcallRename(const std::string& from, const std::string& to) {
+  sgx::EnclaveRuntime::EcallScope scope(runtime_);
+  NEXUS_RETURN_IF_ERROR(RequireMounted());
+
+  NEXUS_ASSIGN_OR_RETURN(std::vector<std::string> from_parts, SplitPath(from));
+  NEXUS_ASSIGN_OR_RETURN(std::vector<std::string> to_parts, SplitPath(to));
+  if (from_parts.empty() || to_parts.empty()) {
+    return Error(ErrorCode::kInvalidArgument, "cannot rename the root");
+  }
+  if (from_parts == to_parts) {
+    // POSIX: renaming a path onto itself succeeds and does nothing.
+    NEXUS_ASSIGN_OR_RETURN(std::vector<std::string> probe, SplitPath(from));
+    probe.pop_back();
+    NEXUS_ASSIGN_OR_RETURN(ResolvedDir rd, ResolveDir(probe));
+    NEXUS_ASSIGN_OR_RETURN(DirnodeState* dir, LoadDirnode(rd.uuid, rd.parent));
+    if (FindEntry(*dir, from_parts.back()) == nullptr) {
+      return Error(ErrorCode::kNotFound, "no such entry: " + from_parts.back());
+    }
+    return Status::Ok();
+  }
+  const std::string from_name = from_parts.back();
+  from_parts.pop_back();
+  const std::string to_name = to_parts.back();
+  to_parts.pop_back();
+
+  NEXUS_ASSIGN_OR_RETURN(ResolvedDir src_uuid_rd, ResolveDir(from_parts));
+  const Uuid src_uuid = src_uuid_rd.uuid;
+  NEXUS_ASSIGN_OR_RETURN(ResolvedDir dst_uuid_rd, ResolveDir(to_parts));
+  const Uuid dst_uuid = dst_uuid_rd.uuid;
+
+  // Lock in UUID order so two concurrent renames cannot deadlock.
+  std::vector<Uuid> locks = {src_uuid};
+  if (dst_uuid != src_uuid) locks.push_back(dst_uuid);
+  std::sort(locks.begin(), locks.end());
+  for (const Uuid& u : locks) NEXUS_RETURN_IF_ERROR(LockMetaO(u));
+
+  auto result = [&]() -> Status {
+        const Uuid src_parent = src_uuid_rd.parent;
+    NEXUS_ASSIGN_OR_RETURN(DirnodeState* src_dir,
+                           LoadDirnode(src_uuid, src_parent));
+    NEXUS_RETURN_IF_ERROR(CheckDirAccess(src_dir->main, kPermWrite));
+
+    DirnodeState* dst_dir = src_dir;
+    if (dst_uuid != src_uuid) {
+            const Uuid dst_parent = dst_uuid_rd.parent;
+      NEXUS_ASSIGN_OR_RETURN(dst_dir,
+                             LoadDirnode(dst_uuid, dst_parent));
+      NEXUS_RETURN_IF_ERROR(CheckDirAccess(dst_dir->main, kPermWrite));
+    }
+
+    EntryLocation src_loc;
+    const DirEntry* src_entry_ptr = FindEntry(*src_dir, from_name, &src_loc);
+    if (src_entry_ptr == nullptr) {
+      return Error(ErrorCode::kNotFound, "no such entry: " + from_name);
+    }
+    DirEntry moved = *src_entry_ptr;
+
+    // POSIX rename semantics: silently replace an existing target. Its
+    // backing objects are released only after the dirnode flushes commit.
+    EntryLocation dst_loc;
+    std::vector<std::size_t> dst_dirty;
+    std::optional<DirEntry> replaced;
+    if (const DirEntry* existing = FindEntry(*dst_dir, to_name, &dst_loc)) {
+      if (existing->type == EntryType::kDirectory && moved.type != EntryType::kDirectory) {
+        return Error(ErrorCode::kInvalidArgument, "cannot replace directory");
+      }
+      NEXUS_RETURN_IF_ERROR(CheckRemovable(*existing, dst_uuid));
+      replaced = *existing;
+      auto& entries = dst_dir->buckets[dst_loc.bucket_index].entries;
+      entries.erase(entries.begin() + static_cast<std::ptrdiff_t>(dst_loc.entry_index));
+      dst_dirty.push_back(dst_loc.bucket_index);
+      // Deleting may invalidate src_loc within the same directory: re-find.
+      if (dst_dir == src_dir) {
+        if (FindEntry(*src_dir, from_name, &src_loc) == nullptr) {
+          return Error(ErrorCode::kInternal, "entry vanished during rename");
+        }
+      }
+    }
+
+    // Remove from source.
+    auto& src_entries = src_dir->buckets[src_loc.bucket_index].entries;
+    src_entries.erase(src_entries.begin() +
+                      static_cast<std::ptrdiff_t>(src_loc.entry_index));
+
+    // Re-pin the child's parent pointer when moving across directories.
+    if (dst_uuid != src_uuid) {
+      if (moved.type == EntryType::kDirectory) {
+        NEXUS_ASSIGN_OR_RETURN(DirnodeState* child, LoadDirnode(moved.uuid, src_uuid));
+        child->main.parent = dst_uuid;
+        NEXUS_RETURN_IF_ERROR(FlushDirnode(*child, {}));
+      } else if (moved.type == EntryType::kFile) {
+        NEXUS_ASSIGN_OR_RETURN(FilenodeState* child, LoadFilenode(moved.uuid, src_uuid));
+        if (!child->node.parent.IsNil()) {
+          child->node.parent = dst_uuid;
+          NEXUS_RETURN_IF_ERROR(FlushFilenode(*child));
+        }
+      }
+    }
+
+    // Insert into destination.
+    moved.name = to_name;
+    const std::uint32_t bucket_cap = session_->supernode.config.dirnode_bucket_size;
+    std::size_t target = dst_dir->buckets.size();
+    if (!dst_dir->buckets.empty() &&
+        dst_dir->buckets.back().entries.size() < bucket_cap) {
+      target = dst_dir->buckets.size() - 1;
+    }
+    if (target == dst_dir->buckets.size()) {
+      DirBucket fresh;
+      fresh.uuid = runtime_.rng().NewUuid();
+      dst_dir->buckets.push_back(std::move(fresh));
+      BucketRef ref;
+      ref.uuid = dst_dir->buckets.back().uuid;
+      dst_dir->main.buckets.push_back(ref);
+    }
+    dst_dir->buckets[target].entries.push_back(std::move(moved));
+    dst_dirty.push_back(target);
+
+    if (dst_dir == src_dir) {
+      dst_dirty.push_back(src_loc.bucket_index);
+      std::sort(dst_dirty.begin(), dst_dirty.end());
+      dst_dirty.erase(std::unique(dst_dirty.begin(), dst_dirty.end()),
+                      dst_dirty.end());
+      NEXUS_RETURN_IF_ERROR(FlushDirnode(*dst_dir, dst_dirty));
+    } else {
+      NEXUS_RETURN_IF_ERROR(FlushDirnode(*src_dir, {src_loc.bucket_index}));
+      std::sort(dst_dirty.begin(), dst_dirty.end());
+      dst_dirty.erase(std::unique(dst_dirty.begin(), dst_dirty.end()),
+                      dst_dirty.end());
+      NEXUS_RETURN_IF_ERROR(FlushDirnode(*dst_dir, dst_dirty));
+    }
+    if (replaced.has_value()) {
+      NEXUS_RETURN_IF_ERROR(ReleaseEntryObjects(*replaced, dst_uuid));
+    }
+    return Status::Ok();
+  }();
+
+  for (const Uuid& u : locks) (void)UnlockMetaO(u);
+  return result;
+}
+
+// ---- file content (encrypt/decrypt) -----------------------------------------------
+
+Status NexusEnclave::EcallEncrypt(const std::string& path, ByteSpan plaintext) {
+  return EcallEncryptRange(path, plaintext, 0, plaintext.size());
+}
+
+Status NexusEnclave::EcallEncryptRange(const std::string& path,
+                                       ByteSpan plaintext,
+                                       std::uint64_t dirty_offset,
+                                       std::uint64_t dirty_len) {
+  sgx::EnclaveRuntime::EcallScope scope(runtime_);
+  NEXUS_RETURN_IF_ERROR(RequireMounted());
+  NEXUS_ASSIGN_OR_RETURN(std::vector<std::string> parts, SplitPath(path));
+  if (parts.empty()) {
+    return Error(ErrorCode::kInvalidArgument, "not a file");
+  }
+  const std::string name = parts.back();
+  parts.pop_back();
+  NEXUS_ASSIGN_OR_RETURN(ResolvedDir rd, ResolveDir(parts));
+  NEXUS_ASSIGN_OR_RETURN(DirnodeState* dir, LoadDirnode(rd.uuid, rd.parent));
+  NEXUS_RETURN_IF_ERROR(CheckDirAccess(dir->main, kPermWrite));
+  const DirEntry* entry = FindEntry(*dir, name);
+  if (entry == nullptr || entry->type != EntryType::kFile) {
+    return Error(ErrorCode::kNotFound, "no such file: " + name);
+  }
+  const Uuid file_uuid = entry->uuid;
+  const Uuid dir_uuid = rd.uuid;
+
+  NEXUS_RETURN_IF_ERROR(LockMetaO(file_uuid));
+  auto result = [&]() -> Status {
+    NEXUS_ASSIGN_OR_RETURN(FilenodeState* file,
+                           LoadFilenode(file_uuid, dir_uuid));
+    Filenode& node = file->node;
+    const std::uint64_t old_size = node.size;
+    const std::size_t old_chunk_count = node.chunks.size();
+    const std::size_t cs = node.chunk_size;
+    node.size = plaintext.size();
+    const std::size_t chunk_count = node.ChunkCount();
+
+    // Which chunks must be re-keyed and re-encrypted (SVI-A: fresh keys on
+    // every content update, at chunk granularity)?
+    //  * chunks overlapping the caller's dirty byte range,
+    //  * brand-new chunks past the old end,
+    //  * everything from the old final (possibly short) chunk onward when
+    //    the file size changed - their plaintext extents shifted.
+    auto needs_reencrypt = [&](std::size_t i) {
+      const std::uint64_t chunk_begin = static_cast<std::uint64_t>(i) * cs;
+      const std::uint64_t chunk_end = chunk_begin + cs;
+      if (i >= old_chunk_count) return true;
+      // On any size change the final chunk of BOTH layouts shifts extent:
+      // the old short tail (growth) or the new short tail (shrink).
+      if (node.size != old_size && old_chunk_count > 0 && chunk_count > 0 &&
+          i >= std::min(old_chunk_count, chunk_count) - 1) {
+        return true;
+      }
+      return dirty_len > 0 && dirty_offset < chunk_end &&
+             dirty_offset + dirty_len > chunk_begin;
+    };
+
+    // Untouched chunks keep their ciphertext: splice it from the current
+    // data object (a cache hit on the AFS client in the common case).
+    std::size_t surviving = 0;
+    for (std::size_t i = 0; i < chunk_count; ++i) {
+      if (!needs_reencrypt(i)) ++surviving;
+    }
+    Bytes old_ciphertext;
+    bool have_old = false;
+    if (surviving > 0) {
+      NEXUS_ASSIGN_OR_RETURN(ObjectBlob blob, FetchDataO(node.data_uuid));
+      old_ciphertext = std::move(blob.data);
+      have_old = true;
+    }
+
+    node.chunks.resize(chunk_count);
+
+    Bytes ciphertext;
+    ciphertext.reserve(plaintext.size() + chunk_count * crypto::kGcmTagSize);
+    std::uint64_t changed_bytes = 0;
+    for (std::size_t i = 0; i < chunk_count; ++i) {
+      const std::size_t pt_offset = i * cs;
+      const std::size_t pt_len =
+          std::min<std::size_t>(cs, plaintext.size() - pt_offset);
+      const std::size_t ct_len = pt_len + crypto::kGcmTagSize;
+
+      if (!needs_reencrypt(i) && have_old) {
+        // Untouched chunk: identical plaintext extent, identical layout
+        // offset (every preceding chunk is full-sized).
+        const std::size_t old_off = i * (cs + crypto::kGcmTagSize);
+        if (old_off + ct_len > old_ciphertext.size()) {
+          return Error(ErrorCode::kIntegrityViolation,
+                       "data object shorter than filenode describes");
+        }
+        Append(ciphertext, ByteSpan(old_ciphertext.data() + old_off, ct_len));
+        continue;
+      }
+
+      ChunkContext ctx;
+      ctx.key = runtime_.rng().Array<16>();
+      ctx.iv = runtime_.rng().Array<12>();
+      node.chunks[i] = ctx;
+
+      NEXUS_ASSIGN_OR_RETURN(crypto::Aes aes, crypto::Aes::Create(ctx.key));
+      NEXUS_ASSIGN_OR_RETURN(
+          Bytes sealed,
+          crypto::GcmSeal(aes, ctx.iv,
+                          ChunkAad(node.uuid, static_cast<std::uint32_t>(i)),
+                          plaintext.subspan(pt_offset, pt_len)));
+      changed_bytes += sealed.size();
+      Append(ciphertext, sealed);
+    }
+
+    NEXUS_RETURN_IF_ERROR(StoreDataO(node.data_uuid, ciphertext, changed_bytes));
+    return FlushFilenode(*file);
+  }();
+  const Status unlock = UnlockMetaO(file_uuid);
+  return result.ok() ? unlock : result;
+}
+
+Result<Bytes> NexusEnclave::EcallDecrypt(const std::string& path) {
+  sgx::EnclaveRuntime::EcallScope scope(runtime_);
+  NEXUS_RETURN_IF_ERROR(RequireMounted());
+  NEXUS_ASSIGN_OR_RETURN(std::vector<std::string> parts, SplitPath(path));
+  if (parts.empty()) {
+    return Error(ErrorCode::kInvalidArgument, "not a file");
+  }
+  const std::string name = parts.back();
+  parts.pop_back();
+  NEXUS_ASSIGN_OR_RETURN(ResolvedDir dir_uuid_rd, ResolveDir(parts));
+  const Uuid dir_uuid = dir_uuid_rd.uuid;
+    const Uuid parent = dir_uuid_rd.parent;
+  NEXUS_ASSIGN_OR_RETURN(DirnodeState* dir, LoadDirnode(dir_uuid, parent));
+  NEXUS_RETURN_IF_ERROR(CheckDirAccess(dir->main, kPermRead));
+  const DirEntry* entry = FindEntry(*dir, name);
+  if (entry == nullptr || entry->type != EntryType::kFile) {
+    return Error(ErrorCode::kNotFound, "no such file: " + name);
+  }
+
+  NEXUS_ASSIGN_OR_RETURN(FilenodeState* file, LoadFilenode(entry->uuid, dir_uuid));
+  const Filenode& node = file->node;
+  if (node.size == 0) return Bytes{};
+
+  NEXUS_ASSIGN_OR_RETURN(ObjectBlob blob, FetchDataO(node.data_uuid));
+
+  Bytes plaintext;
+  plaintext.reserve(node.size);
+  std::size_t pos = 0;
+  for (std::size_t i = 0; i < node.chunks.size(); ++i) {
+    const std::size_t pt_offset = i * node.chunk_size;
+    const std::size_t pt_len =
+        std::min<std::size_t>(node.chunk_size, node.size - pt_offset);
+    const std::size_t ct_len = pt_len + crypto::kGcmTagSize;
+    if (pos + ct_len > blob.data.size()) {
+      return Error(ErrorCode::kIntegrityViolation, "data object truncated");
+    }
+    const ChunkContext& ctx = node.chunks[i];
+    NEXUS_ASSIGN_OR_RETURN(crypto::Aes aes, crypto::Aes::Create(ctx.key));
+    auto chunk = crypto::GcmOpen(
+        aes, ctx.iv,
+        ChunkAad(node.uuid, static_cast<std::uint32_t>(i)),
+        ByteSpan(blob.data.data() + pos, ct_len));
+    if (!chunk.ok()) {
+      return Error(ErrorCode::kIntegrityViolation,
+                   "file chunk verification failed (tampering?)");
+    }
+    Append(plaintext, *chunk);
+    pos += ct_len;
+  }
+  if (pos != blob.data.size()) {
+    return Error(ErrorCode::kIntegrityViolation, "data object has trailing bytes");
+  }
+  return plaintext;
+}
+
+
+// ---- volume audit (fsck) -----------------------------------------------------
+
+Status NexusEnclave::AuditDirectory(const Uuid& dir_uuid, const Uuid& parent,
+                                    bool deep, VolumeAudit& audit) {
+  NEXUS_ASSIGN_OR_RETURN(DirnodeState* dir, LoadDirnode(dir_uuid, parent));
+  ++audit.directories;
+  audit.reachable_meta.push_back(dir_uuid);
+  audit.buckets += dir->buckets.size();
+  for (const BucketRef& ref : dir->main.buckets) {
+    audit.reachable_meta.push_back(ref.uuid);
+  }
+
+  // Copy the listing: recursion below may evict `dir` from the cache.
+  std::vector<DirEntry> entries;
+  for (const DirBucket& bucket : dir->buckets) {
+    entries.insert(entries.end(), bucket.entries.begin(), bucket.entries.end());
+  }
+
+  for (const DirEntry& entry : entries) {
+    switch (entry.type) {
+      case EntryType::kDirectory:
+        NEXUS_RETURN_IF_ERROR(
+            AuditDirectory(entry.uuid, dir_uuid, deep, audit));
+        break;
+      case EntryType::kSymlink:
+        ++audit.symlinks;
+        break;
+      case EntryType::kFile: {
+        NEXUS_ASSIGN_OR_RETURN(FilenodeState* file,
+                               LoadFilenode(entry.uuid, dir_uuid));
+        ++audit.files;
+        audit.plaintext_bytes += file->node.size;
+        audit.reachable_meta.push_back(entry.uuid);
+        audit.reachable_data.push_back(file->node.data_uuid);
+        if (deep && file->node.size > 0) {
+          const Filenode node = file->node; // stable copy across the fetch
+          NEXUS_ASSIGN_OR_RETURN(ObjectBlob blob, FetchDataO(node.data_uuid));
+          std::size_t pos = 0;
+          for (std::size_t i = 0; i < node.chunks.size(); ++i) {
+            const std::size_t pt_len = std::min<std::size_t>(
+                node.chunk_size, node.size - i * node.chunk_size);
+            const std::size_t ct_len = pt_len + crypto::kGcmTagSize;
+            if (pos + ct_len > blob.data.size()) {
+              return Error(ErrorCode::kIntegrityViolation,
+                           "audit: data object truncated");
+            }
+            NEXUS_ASSIGN_OR_RETURN(crypto::Aes aes,
+                                   crypto::Aes::Create(node.chunks[i].key));
+            auto chunk = crypto::GcmOpen(
+                aes, node.chunks[i].iv,
+                ChunkAad(node.uuid, static_cast<std::uint32_t>(i)),
+                ByteSpan(blob.data.data() + pos, ct_len));
+            if (!chunk.ok()) {
+              return Error(ErrorCode::kIntegrityViolation,
+                           "audit: file chunk verification failed");
+            }
+            pos += ct_len;
+          }
+          if (pos != blob.data.size()) {
+            return Error(ErrorCode::kIntegrityViolation,
+                         "audit: data object has trailing bytes");
+          }
+        }
+        break;
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+Result<NexusEnclave::VolumeAudit> NexusEnclave::EcallVerifyVolume(bool deep) {
+  sgx::EnclaveRuntime::EcallScope scope(runtime_);
+  NEXUS_RETURN_IF_ERROR(RequireMounted());
+  NEXUS_RETURN_IF_ERROR(ReloadSupernode());
+  VolumeAudit audit;
+  audit.reachable_meta.push_back(session_->volume_uuid);
+  NEXUS_RETURN_IF_ERROR(AuditDirectory(session_->supernode.root_dir, Uuid(),
+                                       deep, audit));
+  return audit;
+}
+
+// ---- maintenance -----------------------------------------------------------------
+
+void NexusEnclave::EcallDropCaches() {
+  sgx::EnclaveRuntime::EcallScope scope(runtime_);
+  dirnode_cache_.clear();
+  filenode_cache_.clear();
+}
+
+Status NexusEnclave::EcallUnmount() {
+  if (!session_.has_value()) {
+    return Error(ErrorCode::kInvalidArgument, "not mounted");
+  }
+  SecureZero(session_->rootkey);
+  session_.reset();
+  dirnode_cache_.clear();
+  filenode_cache_.clear();
+  return Status::Ok();
+}
+
+Result<UserId> NexusEnclave::EcallCurrentUser() const {
+  NEXUS_RETURN_IF_ERROR(RequireMounted());
+  return session_->user;
+}
+
+} // namespace nexus::enclave

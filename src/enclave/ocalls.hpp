@@ -1,0 +1,53 @@
+// The enclave's view of the untrusted world (ocall interface).
+//
+// Mirrors the paper's design (§V): ~10 ocalls that let the enclave read and
+// write opaque objects on the underlying storage service. Everything that
+// crosses this boundary is ciphertext (or object names, which are UUIDs).
+#pragma once
+
+#include <cstdint>
+
+#include "common/bytes.hpp"
+#include "common/result.hpp"
+#include "common/uuid.hpp"
+
+namespace nexus::enclave {
+
+/// An opaque stored object plus the storage service's version stamp (used
+/// only as a cache-freshness hint; it is untrusted).
+struct ObjectBlob {
+  Bytes data;
+  std::uint64_t storage_version = 0;
+};
+
+class StorageOcalls {
+ public:
+  virtual ~StorageOcalls() = default;
+
+  /// Fetches a metadata object by UUID.
+  virtual Result<ObjectBlob> FetchMeta(const Uuid& uuid) = 0;
+  /// Stores (creates or replaces) a metadata object; returns the storage
+  /// service's new version stamp.
+  virtual Result<std::uint64_t> StoreMeta(const Uuid& uuid, ByteSpan data) = 0;
+  virtual Status RemoveMeta(const Uuid& uuid) = 0;
+
+  /// Fetches/stores a bulk data object (encrypted file contents).
+  /// `changed_bytes` lets the transport ship only dirty chunks on partial
+  /// updates (pass data.size() for a full rewrite).
+  virtual Result<ObjectBlob> FetchData(const Uuid& uuid) = 0;
+  virtual Status StoreData(const Uuid& uuid, ByteSpan data,
+                           std::uint64_t changed_bytes) = 0;
+  virtual Status RemoveData(const Uuid& uuid) = 0;
+
+  /// Advisory lock on a metadata object (flock on the backing file, §V-A).
+  virtual Status LockMeta(const Uuid& uuid) = 0;
+  virtual Status UnlockMeta(const Uuid& uuid) = 0;
+
+  /// True if the locally cached copy of the object is still known-fresh
+  /// (AFS callback held). The enclave uses it only to decide whether its
+  /// *decrypted* cache can be reused — a lie cannot forge content, only
+  /// serve stale-but-authentic state within a session.
+  virtual bool CacheFresh(const Uuid& uuid, std::uint64_t storage_version) = 0;
+};
+
+} // namespace nexus::enclave

@@ -1,0 +1,63 @@
+// Shared trusted-code types: users, permissions, directory entries.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "common/uuid.hpp"
+
+namespace nexus::enclave {
+
+using UserId = std::uint32_t;
+inline constexpr UserId kOwnerUserId = 0;
+
+/// Access rights, directory-granular (paper §IV-C). Bitmask.
+enum Perm : std::uint8_t {
+  kPermNone = 0,
+  kPermRead = 1 << 0,
+  kPermWrite = 1 << 1,
+};
+
+struct AclEntry {
+  UserId user = 0;
+  std::uint8_t perms = kPermNone;
+};
+
+/// An authorized identity stored in the supernode: (name, public key).
+struct UserRecord {
+  UserId id = 0;
+  std::string name;
+  ByteArray<32> public_key{}; // Ed25519
+};
+
+enum class EntryType : std::uint8_t {
+  kFile = 0,
+  kDirectory = 1,
+  kSymlink = 2,
+};
+
+/// One name->object mapping inside a dirnode bucket.
+struct DirEntry {
+  std::string name;
+  Uuid uuid;                  // metadata object of the child (nil for symlinks)
+  EntryType type = EntryType::kFile;
+  std::string symlink_target; // only for kSymlink
+};
+
+/// Volume-wide tunables, fixed at volume creation and stored in the
+/// supernode.
+struct VolumeConfig {
+  std::uint32_t chunk_size = 1 << 20;       // 1 MB, as in the evaluation
+  std::uint32_t dirnode_bucket_size = 128;  // entries per bucket (§V-B)
+};
+
+/// Basic attributes returned by lookup.
+struct Attributes {
+  EntryType type = EntryType::kFile;
+  std::uint64_t size = 0; // plaintext bytes; 0 for directories
+  Uuid uuid;
+};
+
+} // namespace nexus::enclave

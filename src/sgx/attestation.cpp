@@ -1,0 +1,119 @@
+#include "sgx/attestation.hpp"
+
+#include "common/serial.hpp"
+#include "crypto/hmac.hpp"
+#include "crypto/rng.hpp"
+
+namespace nexus::sgx {
+
+Bytes Quote::SignedBody() const {
+  Writer w;
+  w.Raw(measurement.digest);
+  w.Raw(report_data);
+  w.Raw(cpu_id);
+  return std::move(w).Take();
+}
+
+Bytes Quote::Serialize() const {
+  Writer w;
+  w.Raw(measurement.digest);
+  w.Raw(report_data);
+  w.Raw(cpu_id);
+  w.Raw(attestation_public_key);
+  w.Raw(cpu_certificate);
+  w.Raw(signature);
+  return std::move(w).Take();
+}
+
+Result<Quote> Quote::Deserialize(ByteSpan data) {
+  Reader r(data);
+  Quote q;
+  NEXUS_ASSIGN_OR_RETURN(Bytes m, r.Raw(32));
+  q.measurement.digest = ToArray<32>(m);
+  NEXUS_ASSIGN_OR_RETURN(Bytes rd, r.Raw(kReportDataSize));
+  q.report_data = ToArray<kReportDataSize>(rd);
+  NEXUS_ASSIGN_OR_RETURN(Bytes id, r.Raw(kCpuIdSize));
+  q.cpu_id = ToArray<kCpuIdSize>(id);
+  NEXUS_ASSIGN_OR_RETURN(Bytes apk, r.Raw(32));
+  q.attestation_public_key = ToArray<32>(apk);
+  NEXUS_ASSIGN_OR_RETURN(Bytes cert, r.Raw(64));
+  q.cpu_certificate = ToArray<64>(cert);
+  NEXUS_ASSIGN_OR_RETURN(Bytes sig, r.Raw(64));
+  q.signature = ToArray<64>(sig);
+  if (!r.AtEnd()) {
+    return Error(ErrorCode::kInvalidArgument, "trailing bytes in quote");
+  }
+  return q;
+}
+
+ByteArray<32> SgxCpu::DeriveSealKey(const Measurement& m,
+                                    SealPolicy policy) const noexcept {
+  // KDF tree rooted in the fuse key; the label separates policies (and
+  // sealing keys from any other derived material).
+  crypto::HmacSha256Stream mac(fuse_key_);
+  mac.Update(AsBytes(policy == SealPolicy::kMrEnclave ? "sgx-seal-mrenclave"
+                                                      : "sgx-seal-mrsigner"));
+  mac.Update(m.digest);
+  return mac.Finish();
+}
+
+Quote SgxCpu::GenerateQuote(
+    const Measurement& m, const ByteArray<kReportDataSize>& report_data) const {
+  Quote q;
+  q.measurement = m;
+  q.report_data = report_data;
+  q.cpu_id = cpu_id_;
+  q.attestation_public_key = attestation_key_.public_key;
+  q.cpu_certificate = cpu_certificate_;
+  q.signature = crypto::Ed25519Sign(attestation_key_, q.SignedBody());
+  return q;
+}
+
+IntelAttestationService::IntelAttestationService(ByteSpan seed) {
+  crypto::HmacDrbg drbg(Concat(AsBytes("intel-root"), seed));
+  root_key_ = crypto::Ed25519FromSeed(drbg.Array<32>());
+}
+
+std::unique_ptr<SgxCpu> IntelAttestationService::ProvisionCpu(
+    ByteSpan cpu_seed) const {
+  crypto::HmacDrbg drbg(Concat(AsBytes("sgx-cpu"), cpu_seed));
+  auto cpu = std::unique_ptr<SgxCpu>(new SgxCpu());
+  cpu->cpu_id_ = drbg.Array<kCpuIdSize>();
+  cpu->fuse_key_ = drbg.Array<32>();
+  cpu->attestation_key_ = crypto::Ed25519FromSeed(drbg.Array<32>());
+
+  // The certificate binds (cpu_id, QE public key) under the Intel root.
+  Writer w;
+  w.Raw(cpu->cpu_id_);
+  w.Raw(cpu->attestation_key_.public_key);
+  cpu->cpu_certificate_ = crypto::Ed25519Sign(root_key_, w.bytes());
+  return cpu;
+}
+
+Status VerifyQuote(const Quote& quote,
+                   const ByteArray<32>& intel_root_public_key,
+                   const Measurement& expected_measurement) {
+  // 1. The per-CPU attestation key must be certified by Intel.
+  Writer w;
+  w.Raw(quote.cpu_id);
+  w.Raw(quote.attestation_public_key);
+  if (!crypto::Ed25519Verify(intel_root_public_key, w.bytes(),
+                             quote.cpu_certificate)) {
+    return Error(ErrorCode::kIntegrityViolation,
+                 "quote: CPU certificate not signed by Intel root");
+  }
+  // 2. The quote body must be signed by that certified key.
+  if (!crypto::Ed25519Verify(quote.attestation_public_key, quote.SignedBody(),
+                             quote.signature)) {
+    return Error(ErrorCode::kIntegrityViolation,
+                 "quote: signature invalid");
+  }
+  // 3. The attested enclave must be the one we expect (MRENCLAVE match).
+  if (quote.measurement != expected_measurement) {
+    return Error(ErrorCode::kIntegrityViolation,
+                 "quote: enclave measurement mismatch");
+  }
+  return Status::Ok();
+}
+
+} // namespace nexus::sgx

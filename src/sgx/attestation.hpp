@@ -1,0 +1,100 @@
+// Simulated Intel attestation infrastructure: provisioning and quotes.
+//
+// Real SGX: a CPU-fused key lets the Quoting Enclave sign reports; Intel's
+// Attestation Service (IAS) vouches for genuine CPUs. Simulation: an
+// IntelAttestationService owns an Ed25519 root key, provisions each SgxCpu
+// with a certified per-CPU attestation key, and quotes are Ed25519
+// signatures over (measurement || report_data || cpu_id). Verifiers hold
+// only Intel's root public key — exactly the trust chain of EPID quotes.
+#pragma once
+
+#include <memory>
+
+#include "common/bytes.hpp"
+#include "common/result.hpp"
+#include "crypto/ed25519.hpp"
+#include "sgx/measurement.hpp"
+
+namespace nexus::sgx {
+
+inline constexpr std::size_t kReportDataSize = 64;
+inline constexpr std::size_t kCpuIdSize = 16;
+
+/// An attestation quote: proves that an enclave with `measurement`, running
+/// on the genuine CPU `cpu_id`, produced `report_data` inside the enclave.
+struct Quote {
+  Measurement measurement;
+  ByteArray<kReportDataSize> report_data{};
+  ByteArray<kCpuIdSize> cpu_id{};
+  ByteArray<32> attestation_public_key{}; // per-CPU QE key
+  ByteArray<64> cpu_certificate{};        // Intel root's signature over the QE key
+  ByteArray<64> signature{};              // QE signature over the quote body
+
+  [[nodiscard]] Bytes Serialize() const;
+  static Result<Quote> Deserialize(ByteSpan data);
+
+  /// The signed portion: measurement || report_data || cpu_id.
+  [[nodiscard]] Bytes SignedBody() const;
+};
+
+class IntelAttestationService; // below
+
+/// One machine's SGX-enabled processor: secret fuse key (for sealing-key
+/// derivation) plus the provisioned attestation identity.
+class SgxCpu {
+ public:
+  [[nodiscard]] const ByteArray<kCpuIdSize>& cpu_id() const noexcept {
+    return cpu_id_;
+  }
+
+  enum class SealPolicy {
+    kMrEnclave, // bound to the exact enclave build
+    kMrSigner,  // bound to the vendor: survives enclave upgrades
+  };
+
+  /// Derives a sealing key: unique per (CPU, identity), never exposed
+  /// outside key derivation. With kMrEnclave pass the enclave measurement;
+  /// with kMrSigner pass the signer measurement.
+  [[nodiscard]] ByteArray<32> DeriveSealKey(const Measurement& m,
+                                            SealPolicy policy) const noexcept;
+
+  /// Quoting Enclave: signs a report produced by a local enclave.
+  [[nodiscard]] Quote GenerateQuote(
+      const Measurement& m, const ByteArray<kReportDataSize>& report_data) const;
+
+ private:
+  friend class IntelAttestationService;
+  SgxCpu() = default;
+
+  ByteArray<kCpuIdSize> cpu_id_{};
+  ByteArray<32> fuse_key_{};
+  crypto::Ed25519KeyPair attestation_key_{};
+  ByteArray<64> cpu_certificate_{};
+};
+
+/// The simulated Intel root of trust. Tests may instantiate a second,
+/// independent service to model a forged ("non-genuine") trust chain.
+class IntelAttestationService {
+ public:
+  /// Creates a service with a deterministic root key derived from `seed`.
+  explicit IntelAttestationService(ByteSpan seed);
+
+  /// Manufactures a new SGX CPU: random fuse key + certified QE key.
+  [[nodiscard]] std::unique_ptr<SgxCpu> ProvisionCpu(ByteSpan cpu_seed) const;
+
+  /// Root public key, distributed to all verifiers.
+  [[nodiscard]] const ByteArray<32>& root_public_key() const noexcept {
+    return root_key_.public_key;
+  }
+
+ private:
+  crypto::Ed25519KeyPair root_key_;
+};
+
+/// Client-side quote verification against Intel's root public key and an
+/// expected enclave measurement. This is what a NEXUS enclave runs before
+/// trusting a peer's ECDH public key (paper §IV-B1).
+Status VerifyQuote(const Quote& quote, const ByteArray<32>& intel_root_public_key,
+                   const Measurement& expected_measurement);
+
+} // namespace nexus::sgx

@@ -1,0 +1,63 @@
+#include "sgx/enclave.hpp"
+
+#include "crypto/aes.hpp"
+#include "crypto/gcm.hpp"
+
+namespace nexus::sgx {
+
+EnclaveRuntime::EnclaveRuntime(const SgxCpu& cpu, const EnclaveImage& image,
+                               ByteSpan rng_seed)
+    : cpu_(&cpu),
+      image_(&image),
+      rng_(Concat(AsBytes("enclave-rdrand"), rng_seed, cpu.cpu_id())) {}
+
+Result<Bytes> EnclaveRuntime::Seal(ByteSpan plaintext,
+                                   SgxCpu::SealPolicy policy) {
+  const Measurement& identity = policy == SgxCpu::SealPolicy::kMrEnclave
+                                    ? measurement()
+                                    : image_->signer_measurement();
+  const ByteArray<32> seal_key = cpu_->DeriveSealKey(identity, policy);
+  NEXUS_ASSIGN_OR_RETURN(crypto::Aes aes, crypto::Aes::Create(seal_key));
+  const Bytes iv = rng_.Generate(crypto::kGcmIvSize);
+  NEXUS_ASSIGN_OR_RETURN(Bytes ct,
+                         crypto::GcmSeal(aes, iv, identity.digest, plaintext));
+  const std::uint8_t policy_byte =
+      policy == SgxCpu::SealPolicy::kMrEnclave ? 0 : 1;
+  return Concat(ByteSpan(&policy_byte, 1), iv, ct);
+}
+
+Result<Bytes> EnclaveRuntime::Unseal(ByteSpan sealed) {
+  if (sealed.size() < 1 + crypto::kGcmIvSize + crypto::kGcmTagSize) {
+    return Error(ErrorCode::kIntegrityViolation, "sealed blob too short");
+  }
+  // The (authenticated) policy byte selects the key-derivation path, as the
+  // key-policy field in a real SGX sealed blob header does.
+  if (sealed[0] > 1) {
+    return Error(ErrorCode::kIntegrityViolation, "bad sealed blob policy");
+  }
+  const auto policy = sealed[0] == 0 ? SgxCpu::SealPolicy::kMrEnclave
+                                     : SgxCpu::SealPolicy::kMrSigner;
+  const Measurement& identity = policy == SgxCpu::SealPolicy::kMrEnclave
+                                    ? measurement()
+                                    : image_->signer_measurement();
+  const ByteArray<32> seal_key = cpu_->DeriveSealKey(identity, policy);
+  NEXUS_ASSIGN_OR_RETURN(crypto::Aes aes, crypto::Aes::Create(seal_key));
+  sealed = sealed.subspan(1);
+  auto result = crypto::GcmOpen(aes, sealed.first(crypto::kGcmIvSize),
+                                identity.digest,
+                                sealed.subspan(crypto::kGcmIvSize));
+  if (!result.ok()) {
+    // Wrong CPU, wrong enclave/vendor, or tampering — indistinguishable by
+    // design.
+    return Error(ErrorCode::kIntegrityViolation,
+                 "unseal failed: blob was not sealed by this enclave on this CPU");
+  }
+  return result;
+}
+
+Quote EnclaveRuntime::CreateQuote(
+    const ByteArray<kReportDataSize>& report_data) const {
+  return cpu_->GenerateQuote(measurement(), report_data);
+}
+
+} // namespace nexus::sgx

@@ -1,0 +1,108 @@
+// The enclave runtime: the simulated EENTER/EEXIT boundary.
+//
+// Trusted NEXUS code (src/enclave) only ever talks to the outside world
+// through an EnclaveRuntime. The runtime provides the services real SGX
+// provides — sealing keys, quoting, in-enclave randomness — and enforces the
+// transition discipline (no re-entry; ocalls only from inside). It is a
+// *simulated* privilege boundary: it reproduces the programming model and
+// protocol-visible semantics, not hardware memory isolation (DESIGN.md §2).
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <memory>
+
+#include "common/bytes.hpp"
+#include "common/result.hpp"
+#include "crypto/rng.hpp"
+#include "sgx/attestation.hpp"
+#include "sgx/measurement.hpp"
+
+namespace nexus::sgx {
+
+class EnclaveRuntime {
+ public:
+  /// Loads `image` on `cpu`. The CPU must outlive the runtime. `rng_seed`
+  /// seeds the enclave's DRBG (stands in for RDRAND) so simulations are
+  /// reproducible.
+  EnclaveRuntime(const SgxCpu& cpu, const EnclaveImage& image,
+                 ByteSpan rng_seed);
+
+  EnclaveRuntime(const EnclaveRuntime&) = delete;
+  EnclaveRuntime& operator=(const EnclaveRuntime&) = delete;
+
+  [[nodiscard]] const Measurement& measurement() const noexcept {
+    return image_->measurement();
+  }
+  [[nodiscard]] const ByteArray<kCpuIdSize>& cpu_id() const noexcept {
+    return cpu_->cpu_id();
+  }
+
+  // --- services available to trusted code (inside an EcallScope) ---------
+
+  /// Seals `plaintext` to this CPU. With kMrEnclave (the default, and what
+  /// NEXUS uses for rootkeys) only the exact same enclave build can unseal;
+  /// with kMrSigner any enclave from the same vendor can — the upgrade
+  /// path for migrating sealed state to a newer enclave version. Output:
+  /// policy byte || IV || AES-GCM(ct || tag) with the identity as AAD.
+  Result<Bytes> Seal(ByteSpan plaintext,
+                     SgxCpu::SealPolicy policy = SgxCpu::SealPolicy::kMrEnclave);
+  Result<Bytes> Unseal(ByteSpan sealed);
+
+  /// Asks the local Quoting Enclave to sign `report_data` for this enclave.
+  [[nodiscard]] Quote CreateQuote(const ByteArray<kReportDataSize>& report_data) const;
+
+  /// In-enclave randomness (RDRAND stand-in).
+  [[nodiscard]] crypto::Rng& rng() noexcept { return rng_; }
+
+  // --- transition discipline ---------------------------------------------
+
+  /// RAII guard entered at the top of every ecall. Asserts the enclave is
+  /// not already entered (the NEXUS enclave is single-threaded, like the
+  /// paper's prototype) and counts transitions for the profiler.
+  class EcallScope {
+   public:
+    explicit EcallScope(EnclaveRuntime& rt) noexcept : rt_(rt) {
+      assert(!rt_.inside_ && "enclave re-entry");
+      rt_.inside_ = true;
+      ++rt_.ecall_count_;
+    }
+    ~EcallScope() { rt_.inside_ = false; }
+    EcallScope(const EcallScope&) = delete;
+    EcallScope& operator=(const EcallScope&) = delete;
+
+   private:
+    EnclaveRuntime& rt_;
+  };
+
+  /// RAII guard wrapped around every ocall (untrusted callback). Legal only
+  /// while inside the enclave.
+  class OcallScope {
+   public:
+    explicit OcallScope(EnclaveRuntime& rt) noexcept : rt_(rt) {
+      assert(rt_.inside_ && "ocall from outside the enclave");
+      rt_.inside_ = false; // execution leaves the enclave for the callback
+      ++rt_.ocall_count_;
+    }
+    ~OcallScope() { rt_.inside_ = true; }
+    OcallScope(const OcallScope&) = delete;
+    OcallScope& operator=(const OcallScope&) = delete;
+
+   private:
+    EnclaveRuntime& rt_;
+  };
+
+  [[nodiscard]] std::uint64_t ecall_count() const noexcept { return ecall_count_; }
+  [[nodiscard]] std::uint64_t ocall_count() const noexcept { return ocall_count_; }
+  [[nodiscard]] bool inside() const noexcept { return inside_; }
+
+ private:
+  const SgxCpu* cpu_;
+  const EnclaveImage* image_;
+  crypto::HmacDrbg rng_;
+  bool inside_ = false;
+  std::uint64_t ecall_count_ = 0;
+  std::uint64_t ocall_count_ = 0;
+};
+
+} // namespace nexus::sgx

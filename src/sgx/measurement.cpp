@@ -1,0 +1,30 @@
+#include "sgx/measurement.hpp"
+
+#include "common/hex.hpp"
+#include "common/serial.hpp"
+#include "crypto/sha256.hpp"
+
+namespace nexus::sgx {
+
+std::string Measurement::ToString() const {
+  return HexEncode(ByteSpan(digest.data(), 8)) + "...";
+}
+
+EnclaveImage::EnclaveImage(std::string name, std::uint32_t version,
+                           std::string build_digest, std::string signer)
+    : name_(std::move(name)), version_(version) {
+  Writer w;
+  w.Str(name_);
+  w.U32(version_);
+  w.Str(build_digest);
+  measurement_.digest = crypto::Sha256::Hash(w.bytes());
+  signer_measurement_.digest = crypto::Sha256::Hash(AsBytes(signer));
+}
+
+const EnclaveImage& NexusEnclaveImage() {
+  static const EnclaveImage image("nexus-enclave", 1,
+                                  "nexus-enclave-build-2019-dsn");
+  return image;
+}
+
+} // namespace nexus::sgx

@@ -1,0 +1,53 @@
+// Enclave identity (MRENCLAVE analogue).
+//
+// Real SGX measures enclave pages as they are loaded into the EPC and
+// hashes them into MRENCLAVE. In the simulator an EnclaveImage carries a
+// "code identity" (name + version + build digest) and the measurement is
+// the SHA-256 of that identity — deterministic, so the same image measured
+// on two machines yields the same MRENCLAVE, exactly like real SGX.
+#pragma once
+
+#include <compare>
+#include <string>
+
+#include "common/bytes.hpp"
+
+namespace nexus::sgx {
+
+struct Measurement {
+  ByteArray<32> digest{};
+
+  friend auto operator<=>(const Measurement&, const Measurement&) = default;
+  [[nodiscard]] std::string ToString() const;
+};
+
+/// A loadable enclave binary. `code_identity` stands in for the page
+/// contents of a real enclave; two images with the same identity measure
+/// identically. `signer` is the vendor signing key identity (MRSIGNER):
+/// different versions of the same product share it.
+class EnclaveImage {
+ public:
+  EnclaveImage(std::string name, std::uint32_t version,
+               std::string build_digest, std::string signer = "nexus-vendor");
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] std::uint32_t version() const noexcept { return version_; }
+  [[nodiscard]] const Measurement& measurement() const noexcept {
+    return measurement_;
+  }
+  /// MRSIGNER: hash of the vendor identity, shared across versions.
+  [[nodiscard]] const Measurement& signer_measurement() const noexcept {
+    return signer_measurement_;
+  }
+
+ private:
+  std::string name_;
+  std::uint32_t version_;
+  Measurement measurement_;
+  Measurement signer_measurement_;
+};
+
+/// The image of the production NEXUS enclave that ships with this library.
+const EnclaveImage& NexusEnclaveImage();
+
+} // namespace nexus::sgx

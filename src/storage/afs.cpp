@@ -1,0 +1,340 @@
+#include "storage/afs.hpp"
+
+#include <algorithm>
+
+#include "common/log.hpp"
+
+namespace nexus::storage {
+
+AfsServer::AfsServer(std::unique_ptr<StorageBackend> backend, SimClock& clock,
+                     CostModel cost)
+    : backend_(std::move(backend)), clock_(clock), cost_(cost) {}
+
+void AfsServer::ChargeRpc(std::uint64_t payload_bytes) {
+  ++rpc_count_;
+  clock_.Advance(cost_.RpcSeconds(payload_bytes));
+}
+
+void AfsServer::BreakCallbacksExcept(const std::string& path,
+                                     const std::string& keep) {
+  auto it = callbacks_.find(path);
+  if (it == callbacks_.end()) return;
+  std::unordered_set<std::string> kept;
+  if (it->second.contains(keep)) kept.insert(keep);
+  it->second = std::move(kept);
+}
+
+Result<AfsServer::FetchResult> AfsServer::RpcFetch(const std::string& client,
+                                                   const std::string& path) {
+  auto data = backend_->Get(path);
+  if (!data.ok()) {
+    ChargeRpc(0);
+    return data.status();
+  }
+  ChargeRpc(data->size());
+  callbacks_[path].insert(client);
+  return FetchResult{std::move(data).value(), versions_[path]};
+}
+
+Result<std::uint64_t> AfsServer::RpcStore(const std::string& client,
+                                          const std::string& path,
+                                          ByteSpan data) {
+  ChargeRpc(data.size());
+  NEXUS_RETURN_IF_ERROR(backend_->Put(path, data));
+  const std::uint64_t version = ++versions_[path];
+  BreakCallbacksExcept(path, client);
+  callbacks_[path].insert(client);
+  return version;
+}
+
+Result<std::uint64_t> AfsServer::RpcStorePartial(const std::string& client,
+                                                 const std::string& path,
+                                                 ByteSpan data,
+                                                 std::uint64_t changed_bytes) {
+  ChargeRpc(std::min<std::uint64_t>(changed_bytes, data.size()));
+  NEXUS_RETURN_IF_ERROR(backend_->Put(path, data));
+  const std::uint64_t version = ++versions_[path];
+  BreakCallbacksExcept(path, client);
+  callbacks_[path].insert(client);
+  return version;
+}
+
+Result<AfsServer::StatResult> AfsServer::RpcStat(const std::string& client,
+                                                 const std::string& path) {
+  (void)client;
+  ChargeRpc(0);
+  if (!backend_->Exists(path)) return StatResult{false, 0};
+  NEXUS_ASSIGN_OR_RETURN(Bytes data, backend_->Get(path));
+  return StatResult{true, data.size()};
+}
+
+Result<std::uint64_t> AfsServer::RpcGetVersion(const std::string& client,
+                                               const std::string& path) {
+  ChargeRpc(0);
+  if (!backend_->Exists(path)) {
+    return Error(ErrorCode::kNotFound, "object not found: " + path);
+  }
+  callbacks_[path].insert(client);
+  return versions_[path];
+}
+
+Result<std::vector<AfsServer::ChildEntry>> AfsServer::RpcListDir(
+    const std::string& client, const std::string& prefix) {
+  (void)client;
+  std::vector<ChildEntry> out;
+  for (const std::string& name : backend_->List(prefix)) {
+    std::string child = name.substr(prefix.size());
+    const std::size_t slash = child.find('/');
+    const bool nested = slash != std::string::npos;
+    if (nested) child.resize(slash);
+    if (out.empty() || out.back().name != child) {
+      out.push_back(ChildEntry{child, false, false});
+    }
+    if (nested) {
+      out.back().has_children = true;
+    } else {
+      out.back().is_exact = true;
+    }
+  }
+  ++rpc_count_;
+  clock_.Advance(cost_.RpcSeconds(0) +
+                 cost_.per_dirent_seconds * static_cast<double>(out.size()));
+  return out;
+}
+
+Status AfsServer::RpcRename(const std::string& client, const std::string& from,
+                            const std::string& to) {
+  ChargeRpc(0);
+  bool moved_any = false;
+  // Exact object.
+  if (backend_->Exists(from)) {
+    NEXUS_ASSIGN_OR_RETURN(Bytes data, backend_->Get(from));
+    NEXUS_RETURN_IF_ERROR(backend_->Put(to, data));
+    NEXUS_RETURN_IF_ERROR(backend_->Delete(from));
+    versions_[to] = ++versions_[from];
+    versions_.erase(from);
+    BreakCallbacksExcept(from, "");
+    BreakCallbacksExcept(to, "");
+    moved_any = true;
+  }
+  // Subtree (directory rename): server-side, no extra transfer cost.
+  for (const std::string& name : backend_->List(from + "/")) {
+    const std::string target = to + name.substr(from.size());
+    NEXUS_ASSIGN_OR_RETURN(Bytes data, backend_->Get(name));
+    NEXUS_RETURN_IF_ERROR(backend_->Put(target, data));
+    NEXUS_RETURN_IF_ERROR(backend_->Delete(name));
+    versions_[target] = ++versions_[name];
+    versions_.erase(name);
+    BreakCallbacksExcept(name, "");
+    BreakCallbacksExcept(target, "");
+    moved_any = true;
+  }
+  (void)client;
+  if (!moved_any) {
+    return Error(ErrorCode::kNotFound, "rename source missing: " + from);
+  }
+  return Status::Ok();
+}
+
+Status AfsServer::RpcRemove(const std::string& client, const std::string& path) {
+  ChargeRpc(0);
+  NEXUS_RETURN_IF_ERROR(backend_->Delete(path));
+  versions_.erase(path);
+  BreakCallbacksExcept(path, /*keep=*/"");
+  (void)client;
+  return Status::Ok();
+}
+
+Result<bool> AfsServer::RpcExists(const std::string& client,
+                                  const std::string& path) {
+  (void)client;
+  ChargeRpc(0);
+  return backend_->Exists(path);
+}
+
+Result<std::vector<std::string>> AfsServer::RpcList(const std::string& client,
+                                                    const std::string& prefix) {
+  (void)client;
+  auto names = backend_->List(prefix);
+  ++rpc_count_;
+  clock_.Advance(cost_.RpcSeconds(0) +
+                 cost_.per_dirent_seconds * static_cast<double>(names.size()));
+  return names;
+}
+
+Status AfsServer::RpcLock(const std::string& client, const std::string& path) {
+  ChargeRpc(0);
+  auto [it, inserted] = locks_.try_emplace(path, client);
+  if (!inserted && it->second != client) {
+    return Error(ErrorCode::kConflict,
+                 "lock on " + path + " held by " + it->second);
+  }
+  it->second = client;
+  // Acquiring the lock revalidates the file: the client must re-fetch
+  // before mutating (OpenAFS semantics — a lock implies fresh status).
+  const auto cb = callbacks_.find(path);
+  if (cb != callbacks_.end()) cb->second.erase(client);
+  return Status::Ok();
+}
+
+Status AfsServer::RpcUnlock(const std::string& client, const std::string& path) {
+  ChargeRpc(0);
+  const auto it = locks_.find(path);
+  if (it == locks_.end() || it->second != client) {
+    return Error(ErrorCode::kConflict, "lock on " + path + " not held");
+  }
+  locks_.erase(it);
+  return Status::Ok();
+}
+
+bool AfsServer::CallbackValid(const std::string& client,
+                              const std::string& path) const {
+  const auto it = callbacks_.find(path);
+  return it != callbacks_.end() && it->second.contains(client);
+}
+
+Result<Bytes> AfsServer::AdversaryRead(const std::string& path) {
+  return backend_->Get(path);
+}
+
+Status AfsServer::AdversaryWrite(const std::string& path, ByteSpan data) {
+  return backend_->Put(path, data);
+}
+
+Status AfsServer::AdversarySwap(const std::string& a, const std::string& b) {
+  NEXUS_ASSIGN_OR_RETURN(Bytes da, backend_->Get(a));
+  NEXUS_ASSIGN_OR_RETURN(Bytes db, backend_->Get(b));
+  NEXUS_RETURN_IF_ERROR(backend_->Put(a, db));
+  return backend_->Put(b, da);
+}
+
+Result<Bytes> AfsServer::AdversarySnapshot(const std::string& path) {
+  return backend_->Get(path);
+}
+
+Status AfsServer::AdversaryRollback(const std::string& path, ByteSpan snapshot) {
+  return backend_->Put(path, snapshot);
+}
+
+void AfsServer::AdversaryInvalidateCallbacks(const std::string& path) {
+  callbacks_.erase(path);
+}
+
+// ---- AfsClient --------------------------------------------------------------
+
+AfsClient::AfsClient(AfsServer& server, std::string client_id)
+    : server_(server), id_(std::move(client_id)) {}
+
+Result<AfsServer::FetchResult> AfsClient::FetchVersioned(const std::string& path) {
+  const auto cached = cache_.find(path);
+  if (cached != cache_.end() && server_.CallbackValid(id_, path)) {
+    ++stats_.cache_hits;
+    return AfsServer::FetchResult{cached->second.data, cached->second.version};
+  }
+  NEXUS_ASSIGN_OR_RETURN(AfsServer::FetchResult result,
+                         server_.RpcFetch(id_, path));
+  ++stats_.fetches;
+  stats_.bytes_fetched += result.data.size();
+  cache_[path] = CacheEntry{result.data, result.version};
+  return result;
+}
+
+Result<Bytes> AfsClient::Fetch(const std::string& path) {
+  NEXUS_ASSIGN_OR_RETURN(AfsServer::FetchResult result, FetchVersioned(path));
+  return std::move(result.data);
+}
+
+Result<std::uint64_t> AfsClient::StoreVersioned(const std::string& path,
+                                                ByteSpan data) {
+  NEXUS_ASSIGN_OR_RETURN(std::uint64_t version, server_.RpcStore(id_, path, data));
+  ++stats_.stores;
+  stats_.bytes_stored += data.size();
+  cache_[path] = CacheEntry{ToBytes(data), version};
+  return version;
+}
+
+Status AfsClient::Store(const std::string& path, ByteSpan data) {
+  NEXUS_ASSIGN_OR_RETURN(std::uint64_t version, StoreVersioned(path, data));
+  (void)version;
+  return Status::Ok();
+}
+
+Status AfsClient::StorePartial(const std::string& path, ByteSpan data,
+                               std::uint64_t changed_bytes) {
+  NEXUS_ASSIGN_OR_RETURN(
+      std::uint64_t version,
+      server_.RpcStorePartial(id_, path, data, changed_bytes));
+  ++stats_.stores;
+  stats_.bytes_stored += changed_bytes;
+  cache_[path] = CacheEntry{ToBytes(data), version};
+  return Status::Ok();
+}
+
+Result<AfsServer::StatResult> AfsClient::Stat(const std::string& path) {
+  const auto cached = cache_.find(path);
+  if (cached != cache_.end() && server_.CallbackValid(id_, path)) {
+    ++stats_.cache_hits;
+    return AfsServer::StatResult{true, cached->second.data.size()};
+  }
+  return server_.RpcStat(id_, path);
+}
+
+Result<std::vector<AfsServer::ChildEntry>> AfsClient::ListDir(
+    const std::string& prefix) {
+  return server_.RpcListDir(id_, prefix);
+}
+
+Status AfsClient::RenameObject(const std::string& from, const std::string& to) {
+  cache_.erase(from);
+  cache_.erase(to);
+  return server_.RpcRename(id_, from, to);
+}
+
+bool AfsClient::CacheFresh(const std::string& path, std::uint64_t version) const {
+  const auto cached = cache_.find(path);
+  return cached != cache_.end() && cached->second.version == version &&
+         server_.CallbackValid(id_, path);
+}
+
+Result<bool> AfsClient::Revalidate(const std::string& path,
+                                   std::uint64_t version) {
+  const auto cached = cache_.find(path);
+  if (cached == cache_.end() || cached->second.version != version) {
+    return false;
+  }
+  if (server_.CallbackValid(id_, path)) return true;
+  if (!revalidation_enabled_) return false;
+  auto server_version = server_.RpcGetVersion(id_, path);
+  if (!server_version.ok() || *server_version != version) {
+    // Stale (or deleted): drop the local copy so the next Fetch really
+    // goes to the server — RpcGetVersion re-promised a callback for the
+    // *current* server version, not for our stale bytes.
+    cache_.erase(path);
+    return false;
+  }
+  return true;
+}
+
+Status AfsClient::Remove(const std::string& path) {
+  cache_.erase(path);
+  return server_.RpcRemove(id_, path);
+}
+
+Result<bool> AfsClient::Exists(const std::string& path) {
+  if (cache_.contains(path) && server_.CallbackValid(id_, path)) return true;
+  return server_.RpcExists(id_, path);
+}
+
+Result<std::vector<std::string>> AfsClient::List(const std::string& prefix) {
+  return server_.RpcList(id_, prefix);
+}
+
+Status AfsClient::Lock(const std::string& path) {
+  return server_.RpcLock(id_, path);
+}
+
+Status AfsClient::Unlock(const std::string& path) {
+  return server_.RpcUnlock(id_, path);
+}
+
+} // namespace nexus::storage

@@ -1,0 +1,151 @@
+#include "storage/backend.hpp"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+
+#include "common/hex.hpp"
+
+namespace nexus::storage {
+
+// ---- MemBackend ------------------------------------------------------------
+
+Result<Bytes> MemBackend::Get(const std::string& name) {
+  const auto it = objects_.find(name);
+  if (it == objects_.end()) {
+    return Error(ErrorCode::kNotFound, "object not found: " + name);
+  }
+  return it->second;
+}
+
+Status MemBackend::Put(const std::string& name, ByteSpan data) {
+  objects_[name] = ToBytes(data);
+  return Status::Ok();
+}
+
+Status MemBackend::Delete(const std::string& name) {
+  if (objects_.erase(name) == 0) {
+    return Error(ErrorCode::kNotFound, "object not found: " + name);
+  }
+  return Status::Ok();
+}
+
+bool MemBackend::Exists(const std::string& name) {
+  return objects_.contains(name);
+}
+
+std::vector<std::string> MemBackend::List(const std::string& prefix) {
+  std::vector<std::string> out;
+  for (const auto& [name, data] : objects_) {
+    if (name.starts_with(prefix)) out.push_back(name);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::uint64_t MemBackend::total_bytes() const noexcept {
+  std::uint64_t total = 0;
+  for (const auto& [name, data] : objects_) total += data.size();
+  return total;
+}
+
+// ---- DiskBackend -----------------------------------------------------------
+
+namespace {
+
+// Escapes object names into flat, safe filenames: alphanumerics, '-', '_'
+// and '.' pass through; everything else (incl. '/') becomes %XX.
+std::string EscapeName(const std::string& name) {
+  std::string out;
+  out.reserve(name.size());
+  for (const char c : name) {
+    const bool safe = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                      (c >= '0' && c <= '9') || c == '-' || c == '_' ||
+                      c == '.';
+    if (safe) {
+      out.push_back(c);
+    } else {
+      const auto b = static_cast<std::uint8_t>(c);
+      out.push_back('%');
+      out += HexEncode(ByteSpan(&b, 1));
+    }
+  }
+  return out;
+}
+
+std::string UnescapeName(const std::string& file) {
+  std::string out;
+  for (std::size_t i = 0; i < file.size(); ++i) {
+    if (file[i] == '%' && i + 2 < file.size()) {
+      const auto decoded = HexDecode(file.substr(i + 1, 2));
+      if (decoded.ok() && decoded.value().size() == 1) {
+        out.push_back(static_cast<char>(decoded.value()[0]));
+        i += 2;
+        continue;
+      }
+    }
+    out.push_back(file[i]);
+  }
+  return out;
+}
+
+} // namespace
+
+Result<DiskBackend> DiskBackend::Open(const std::string& root) {
+  std::error_code ec;
+  std::filesystem::create_directories(root, ec);
+  if (ec) {
+    return Error(ErrorCode::kIOError,
+                 "cannot create backend root: " + ec.message());
+  }
+  return DiskBackend(root);
+}
+
+std::string DiskBackend::PathFor(const std::string& name) const {
+  return root_ + "/" + EscapeName(name);
+}
+
+Result<Bytes> DiskBackend::Get(const std::string& name) {
+  std::ifstream in(PathFor(name), std::ios::binary);
+  if (!in) return Error(ErrorCode::kNotFound, "object not found: " + name);
+  Bytes data((std::istreambuf_iterator<char>(in)),
+             std::istreambuf_iterator<char>());
+  if (in.bad()) return Error(ErrorCode::kIOError, "read failed: " + name);
+  return data;
+}
+
+Status DiskBackend::Put(const std::string& name, ByteSpan data) {
+  std::ofstream out(PathFor(name), std::ios::binary | std::ios::trunc);
+  if (!out) return Error(ErrorCode::kIOError, "cannot open for write: " + name);
+  out.write(reinterpret_cast<const char*>(data.data()),
+            static_cast<std::streamsize>(data.size()));
+  out.flush();
+  if (!out) return Error(ErrorCode::kIOError, "write failed: " + name);
+  return Status::Ok();
+}
+
+Status DiskBackend::Delete(const std::string& name) {
+  std::error_code ec;
+  if (!std::filesystem::remove(PathFor(name), ec) || ec) {
+    return Error(ErrorCode::kNotFound, "object not found: " + name);
+  }
+  return Status::Ok();
+}
+
+bool DiskBackend::Exists(const std::string& name) {
+  std::error_code ec;
+  return std::filesystem::exists(PathFor(name), ec);
+}
+
+std::vector<std::string> DiskBackend::List(const std::string& prefix) {
+  std::vector<std::string> out;
+  std::error_code ec;
+  for (const auto& entry : std::filesystem::directory_iterator(root_, ec)) {
+    const std::string name = UnescapeName(entry.path().filename().string());
+    if (name.starts_with(prefix)) out.push_back(name);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+} // namespace nexus::storage

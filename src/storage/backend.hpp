@@ -1,0 +1,66 @@
+// Raw object-store backends.
+//
+// The AFS server persists its objects through this interface. MemBackend
+// backs simulations and tests; DiskBackend persists volumes across runs
+// (used by the examples). Neither charges simulated cost — that is the
+// server's job.
+#pragma once
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "common/result.hpp"
+
+namespace nexus::storage {
+
+class StorageBackend {
+ public:
+  virtual ~StorageBackend() = default;
+
+  virtual Result<Bytes> Get(const std::string& name) = 0;
+  virtual Status Put(const std::string& name, ByteSpan data) = 0;
+  virtual Status Delete(const std::string& name) = 0;
+  [[nodiscard]] virtual bool Exists(const std::string& name) = 0;
+  /// All object names with the given prefix, sorted.
+  [[nodiscard]] virtual std::vector<std::string> List(const std::string& prefix) = 0;
+};
+
+/// Volatile in-memory store.
+class MemBackend final : public StorageBackend {
+ public:
+  Result<Bytes> Get(const std::string& name) override;
+  Status Put(const std::string& name, ByteSpan data) override;
+  Status Delete(const std::string& name) override;
+  bool Exists(const std::string& name) override;
+  std::vector<std::string> List(const std::string& prefix) override;
+
+  [[nodiscard]] std::size_t object_count() const noexcept { return objects_.size(); }
+  [[nodiscard]] std::uint64_t total_bytes() const noexcept;
+
+ private:
+  std::unordered_map<std::string, Bytes> objects_;
+};
+
+/// Durable store: one file per object under `root`, object names
+/// percent-escaped into filenames.
+class DiskBackend final : public StorageBackend {
+ public:
+  /// Creates `root` if needed.
+  static Result<DiskBackend> Open(const std::string& root);
+
+  Result<Bytes> Get(const std::string& name) override;
+  Status Put(const std::string& name, ByteSpan data) override;
+  Status Delete(const std::string& name) override;
+  bool Exists(const std::string& name) override;
+  std::vector<std::string> List(const std::string& prefix) override;
+
+ private:
+  explicit DiskBackend(std::string root) : root_(std::move(root)) {}
+  [[nodiscard]] std::string PathFor(const std::string& name) const;
+
+  std::string root_;
+};
+
+} // namespace nexus::storage

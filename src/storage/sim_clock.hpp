@@ -1,0 +1,56 @@
+// Deterministic virtual clock.
+//
+// All simulated I/O latency is accumulated here; enclave compute time is
+// measured with a real clock and added by the profiler (DESIGN.md §5.1).
+// Scoped accounts let callers attribute slices of virtual time to
+// categories (e.g. "metadata I/O" vs "data I/O" in Table 5a).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+
+namespace nexus::storage {
+
+class SimClock {
+ public:
+  /// Advances virtual time; attributed to the active account, if any.
+  void Advance(double seconds) noexcept {
+    now_seconds_ += seconds;
+    if (active_account_ != nullptr) *active_account_ += seconds;
+  }
+
+  [[nodiscard]] double Now() const noexcept { return now_seconds_; }
+
+  /// Named accumulator for attributing time.
+  [[nodiscard]] double Account(const std::string& name) const {
+    const auto it = accounts_.find(name);
+    return it == accounts_.end() ? 0.0 : it->second;
+  }
+
+  void ResetAccounts() { accounts_.clear(); }
+
+  /// While alive, all Advance() time is also credited to `name`.
+  /// Non-nesting by design: metadata and data I/O never overlap in NEXUS.
+  class Attribution {
+   public:
+    Attribution(SimClock& clock, const std::string& name) noexcept
+        : clock_(clock), saved_(clock.active_account_) {
+      clock_.active_account_ = &clock_.accounts_[name];
+    }
+    ~Attribution() { clock_.active_account_ = saved_; }
+    Attribution(const Attribution&) = delete;
+    Attribution& operator=(const Attribution&) = delete;
+
+   private:
+    SimClock& clock_;
+    double* saved_;
+  };
+
+ private:
+  double now_seconds_ = 0.0;
+  double* active_account_ = nullptr;
+  std::unordered_map<std::string, double> accounts_;
+};
+
+} // namespace nexus::storage

@@ -1,0 +1,48 @@
+// The baseline mount: the VFS interface directly on the AFS client, with
+// no NEXUS layer. This is the evaluation's "unmodified OpenAFS".
+//
+// Layout on the storage service (all plaintext — the baseline provides no
+// confidentiality):
+//   afs/<path>           file content
+//   afs/<path>/.dirmark  directory marker
+//   afssym/<path>        symlink target
+//
+// Simplification (documented): Stat() reports symlinks as files unless the
+// caller uses Readlink; GNU-utility workloads in the evaluation do not
+// depend on baseline symlink stat semantics.
+#pragma once
+
+#include "storage/afs.hpp"
+#include "vfs/vfs.hpp"
+
+namespace nexus::vfs {
+
+class AfsPassthroughFs final : public FileSystem {
+ public:
+  explicit AfsPassthroughFs(storage::AfsClient& afs) : afs_(afs) {}
+
+  Result<std::unique_ptr<OpenFile>> Open(const std::string& path,
+                                         OpenMode mode) override;
+  Status Mkdir(const std::string& path) override;
+  Status Remove(const std::string& path) override;
+  Result<std::vector<Dirent>> ReadDir(const std::string& path) override;
+  Result<FileStat> Stat(const std::string& path) override;
+  Status Rename(const std::string& from, const std::string& to) override;
+  Status Symlink(const std::string& target, const std::string& linkpath) override;
+  Result<std::string> Readlink(const std::string& path) override;
+
+ private:
+  [[nodiscard]] std::string FilePath(const std::string& path) const {
+    return "afs/" + path;
+  }
+  [[nodiscard]] std::string DirMark(const std::string& path) const {
+    return path.empty() ? "afs/.dirmark" : "afs/" + path + "/.dirmark";
+  }
+  [[nodiscard]] std::string SymPath(const std::string& path) const {
+    return "afssym/" + path;
+  }
+
+  storage::AfsClient& afs_;
+};
+
+} // namespace nexus::vfs

@@ -1,0 +1,111 @@
+// Shared open-file implementation: a local whole-file buffer with dirty
+// extent tracking, flushed through a mount-specific callback. Models AFS
+// open-to-close semantics for both the baseline and NEXUS mounts.
+#pragma once
+
+#include <functional>
+
+#include "vfs/vfs.hpp"
+
+namespace nexus::vfs {
+
+class BufferedFile final : public OpenFile {
+ public:
+  /// Flush callback: (full content, dirty_offset, dirty_len). dirty_len ==
+  /// content.size() with dirty_offset == 0 means "assume everything
+  /// changed".
+  using FlushFn =
+      std::function<Status(ByteSpan, std::uint64_t, std::uint64_t)>;
+
+  BufferedFile(Bytes initial_content, FlushFn flush, bool created)
+      : buffer_(std::move(initial_content)),
+        flush_(std::move(flush)),
+        // Freshly created (or truncated) files must flush even when empty
+        // so the object appears on the storage service.
+        dirty_(created) {}
+
+  ~BufferedFile() override {
+    // Last-resort flush, mirroring close() on process exit. Errors are
+    // swallowed here; call Close() to observe them.
+    if (!closed_) (void)Close();
+  }
+
+  Result<std::size_t> Read(std::uint64_t offset, MutableByteSpan out) override {
+    NEXUS_RETURN_IF_ERROR(CheckOpen());
+    if (offset >= buffer_.size()) return std::size_t{0};
+    const std::size_t n =
+        std::min<std::size_t>(out.size(), buffer_.size() - offset);
+    std::copy_n(buffer_.begin() + static_cast<std::ptrdiff_t>(offset), n,
+                out.begin());
+    return n;
+  }
+
+  Status Write(std::uint64_t offset, ByteSpan data) override {
+    NEXUS_RETURN_IF_ERROR(CheckOpen());
+    if (offset + data.size() > buffer_.size()) {
+      buffer_.resize(offset + data.size());
+    }
+    std::copy(data.begin(), data.end(),
+              buffer_.begin() + static_cast<std::ptrdiff_t>(offset));
+    MarkDirty(offset, data.size());
+    return Status::Ok();
+  }
+
+  Status Append(ByteSpan data) override { return Write(buffer_.size(), data); }
+
+  Status Truncate(std::uint64_t new_size) override {
+    NEXUS_RETURN_IF_ERROR(CheckOpen());
+    if (new_size == buffer_.size()) return Status::Ok();
+    buffer_.resize(new_size);
+    MarkDirty(new_size, 0); // size change alone dirties the tail chunk
+    dirty_ = true;
+    return Status::Ok();
+  }
+
+  [[nodiscard]] std::uint64_t Size() const override { return buffer_.size(); }
+
+  Status Sync() override {
+    NEXUS_RETURN_IF_ERROR(CheckOpen());
+    if (!dirty_) return Status::Ok();
+    const std::uint64_t len = dirty_end_ > dirty_begin_ ? dirty_end_ - dirty_begin_
+                                                        : 0;
+    NEXUS_RETURN_IF_ERROR(flush_(buffer_, dirty_begin_, len));
+    dirty_ = false;
+    dirty_begin_ = 0;
+    dirty_end_ = 0;
+    return Status::Ok();
+  }
+
+  Status Close() override {
+    if (closed_) return Error(ErrorCode::kInvalidArgument, "already closed");
+    const Status s = dirty_ ? Sync() : Status::Ok();
+    closed_ = true;
+    return s;
+  }
+
+ private:
+  Status CheckOpen() const {
+    if (closed_) return Error(ErrorCode::kInvalidArgument, "file is closed");
+    return Status::Ok();
+  }
+
+  void MarkDirty(std::uint64_t offset, std::uint64_t len) {
+    if (!dirty_ || dirty_end_ == 0) {
+      dirty_begin_ = offset;
+      dirty_end_ = offset + len;
+    } else {
+      dirty_begin_ = std::min(dirty_begin_, offset);
+      dirty_end_ = std::max(dirty_end_, offset + len);
+    }
+    dirty_ = true;
+  }
+
+  Bytes buffer_;
+  FlushFn flush_;
+  bool dirty_ = false;
+  bool closed_ = false;
+  std::uint64_t dirty_begin_ = 0;
+  std::uint64_t dirty_end_ = 0;
+};
+
+} // namespace nexus::vfs

@@ -1,0 +1,44 @@
+#include "vfs/vfs.hpp"
+
+namespace nexus::vfs {
+
+Status FileSystem::WriteWholeFile(const std::string& path, ByteSpan content) {
+  NEXUS_ASSIGN_OR_RETURN(std::unique_ptr<OpenFile> file,
+                         Open(path, OpenMode::kWrite));
+  NEXUS_RETURN_IF_ERROR(file->Write(0, content));
+  return file->Close();
+}
+
+Result<Bytes> FileSystem::ReadWholeFile(const std::string& path) {
+  NEXUS_ASSIGN_OR_RETURN(std::unique_ptr<OpenFile> file,
+                         Open(path, OpenMode::kRead));
+  Bytes out(file->Size());
+  NEXUS_ASSIGN_OR_RETURN(std::size_t n, file->Read(0, out));
+  out.resize(n);
+  NEXUS_RETURN_IF_ERROR(file->Close());
+  return out;
+}
+
+Status FileSystem::MkdirAll(const std::string& path) {
+  std::string partial;
+  std::size_t start = 0;
+  while (start <= path.size()) {
+    std::size_t end = path.find('/', start);
+    if (end == std::string::npos) end = path.size();
+    const std::string part = path.substr(start, end - start);
+    start = end + 1;
+    if (part.empty()) continue;
+    partial = partial.empty() ? part : partial + "/" + part;
+    auto st = Stat(partial);
+    if (st.ok() && st->type == FileType::kDirectory) continue;
+    if (st.ok()) {
+      return Error(ErrorCode::kAlreadyExists, partial + " exists, not a dir");
+    }
+    NEXUS_RETURN_IF_ERROR(Mkdir(partial));
+  }
+  return Status::Ok();
+}
+
+bool FileSystem::Exists(const std::string& path) { return Stat(path).ok(); }
+
+} // namespace nexus::vfs

@@ -1,0 +1,247 @@
+#include "workloads/fsutils.hpp"
+
+#include <cstdio>
+#include <cstring>
+
+namespace nexus::workloads {
+namespace {
+
+constexpr std::size_t kBlock = 512;
+
+// ---- ustar header (POSIX.1-1988) --------------------------------------------
+
+struct UstarHeader {
+  char name[100];
+  char mode[8];
+  char uid[8];
+  char gid[8];
+  char size[12];
+  char mtime[12];
+  char chksum[8];
+  char typeflag;
+  char linkname[100];
+  char magic[6];
+  char version[2];
+  char uname[32];
+  char gname[32];
+  char devmajor[8];
+  char devminor[8];
+  char prefix[155];
+  char pad[12];
+};
+static_assert(sizeof(UstarHeader) == kBlock, "ustar header must be 512 bytes");
+
+void Octal(char* field, std::size_t len, std::uint64_t value) {
+  std::snprintf(field, len, "%0*llo", static_cast<int>(len - 1),
+                static_cast<unsigned long long>(value));
+}
+
+Result<std::uint64_t> ParseOctal(const char* field, std::size_t len) {
+  std::uint64_t value = 0;
+  for (std::size_t i = 0; i < len && field[i] != '\0' && field[i] != ' '; ++i) {
+    if (field[i] < '0' || field[i] > '7') {
+      return Error(ErrorCode::kInvalidArgument, "bad octal field in tar header");
+    }
+    value = value * 8 + static_cast<std::uint64_t>(field[i] - '0');
+  }
+  return value;
+}
+
+UstarHeader MakeHeader(const std::string& name, std::uint64_t size,
+                       char typeflag, const std::string& linkname) {
+  UstarHeader h;
+  std::memset(&h, 0, sizeof(h));
+  std::snprintf(h.name, sizeof(h.name), "%s", name.c_str());
+  Octal(h.mode, sizeof(h.mode), typeflag == '5' ? 0755 : 0644);
+  Octal(h.uid, sizeof(h.uid), 1000);
+  Octal(h.gid, sizeof(h.gid), 1000);
+  Octal(h.size, sizeof(h.size), typeflag == '0' ? size : 0);
+  Octal(h.mtime, sizeof(h.mtime), 1546300800); // fixed epoch: deterministic
+  h.typeflag = typeflag;
+  std::snprintf(h.linkname, sizeof(h.linkname), "%s", linkname.c_str());
+  std::memcpy(h.magic, "ustar", 6);
+  std::memcpy(h.version, "00", 2);
+  std::snprintf(h.uname, sizeof(h.uname), "nexus");
+  std::snprintf(h.gname, sizeof(h.gname), "nexus");
+
+  // Checksum: sum of all header bytes with chksum itself read as spaces.
+  std::memset(h.chksum, ' ', sizeof(h.chksum));
+  const auto* bytes = reinterpret_cast<const unsigned char*>(&h);
+  std::uint64_t sum = 0;
+  for (std::size_t i = 0; i < sizeof(h); ++i) sum += bytes[i];
+  Octal(h.chksum, 7, sum);
+  h.chksum[7] = ' ';
+  return h;
+}
+
+Result<bool> VerifyChecksum(const UstarHeader& h) {
+  NEXUS_ASSIGN_OR_RETURN(std::uint64_t stored, ParseOctal(h.chksum, 8));
+  UstarHeader copy = h;
+  std::memset(copy.chksum, ' ', sizeof(copy.chksum));
+  const auto* bytes = reinterpret_cast<const unsigned char*>(&copy);
+  std::uint64_t sum = 0;
+  for (std::size_t i = 0; i < sizeof(copy); ++i) sum += bytes[i];
+  return sum == stored;
+}
+
+Status ArchiveTree(vfs::FileSystem& fs, const std::string& dir,
+                   const std::string& rel, vfs::OpenFile& archive) {
+  NEXUS_ASSIGN_OR_RETURN(std::vector<vfs::Dirent> entries, fs.ReadDir(dir));
+  for (const vfs::Dirent& e : entries) {
+    const std::string full = dir.empty() ? e.name : dir + "/" + e.name;
+    const std::string arc = rel.empty() ? e.name : rel + "/" + e.name;
+    switch (e.type) {
+      case vfs::FileType::kDirectory: {
+        const UstarHeader h = MakeHeader(arc + "/", 0, '5', "");
+        NEXUS_RETURN_IF_ERROR(
+            archive.Append(ByteSpan(reinterpret_cast<const std::uint8_t*>(&h),
+                                    sizeof(h))));
+        NEXUS_RETURN_IF_ERROR(ArchiveTree(fs, full, arc, archive));
+        break;
+      }
+      case vfs::FileType::kSymlink: {
+        NEXUS_ASSIGN_OR_RETURN(std::string target, fs.Readlink(full));
+        const UstarHeader h = MakeHeader(arc, 0, '2', target);
+        NEXUS_RETURN_IF_ERROR(
+            archive.Append(ByteSpan(reinterpret_cast<const std::uint8_t*>(&h),
+                                    sizeof(h))));
+        break;
+      }
+      case vfs::FileType::kFile: {
+        NEXUS_ASSIGN_OR_RETURN(Bytes content, fs.ReadWholeFile(full));
+        const UstarHeader h = MakeHeader(arc, content.size(), '0', "");
+        NEXUS_RETURN_IF_ERROR(
+            archive.Append(ByteSpan(reinterpret_cast<const std::uint8_t*>(&h),
+                                    sizeof(h))));
+        NEXUS_RETURN_IF_ERROR(archive.Append(content));
+        const std::size_t partial = content.size() % kBlock;
+        if (partial != 0) {
+          NEXUS_RETURN_IF_ERROR(archive.Append(Bytes(kBlock - partial, 0)));
+        }
+        break;
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+} // namespace
+
+Status TarCreate(vfs::FileSystem& fs, const std::string& src_dir,
+                 const std::string& archive_path) {
+  NEXUS_ASSIGN_OR_RETURN(std::unique_ptr<vfs::OpenFile> archive,
+                         fs.Open(archive_path, vfs::OpenMode::kWrite));
+  NEXUS_RETURN_IF_ERROR(ArchiveTree(fs, src_dir, "", *archive));
+  // End-of-archive: two zero blocks.
+  NEXUS_RETURN_IF_ERROR(archive->Append(Bytes(2 * kBlock, 0)));
+  return archive->Close();
+}
+
+Status TarExtract(vfs::FileSystem& fs, const std::string& archive_path,
+                  const std::string& dst_dir) {
+  NEXUS_ASSIGN_OR_RETURN(Bytes archive, fs.ReadWholeFile(archive_path));
+  if (!dst_dir.empty() && !fs.Exists(dst_dir)) {
+    NEXUS_RETURN_IF_ERROR(fs.MkdirAll(dst_dir));
+  }
+
+  std::size_t pos = 0;
+  while (pos + kBlock <= archive.size()) {
+    UstarHeader h;
+    std::memcpy(&h, archive.data() + pos, kBlock);
+    pos += kBlock;
+
+    // Two zero blocks terminate the archive; one suffices to stop.
+    bool all_zero = true;
+    for (std::size_t i = 0; i < kBlock && all_zero; ++i) {
+      all_zero = reinterpret_cast<const std::uint8_t*>(&h)[i] == 0;
+    }
+    if (all_zero) break;
+
+    if (std::memcmp(h.magic, "ustar", 5) != 0) {
+      return Error(ErrorCode::kInvalidArgument, "not a ustar archive");
+    }
+    NEXUS_ASSIGN_OR_RETURN(bool checksum_ok, VerifyChecksum(h));
+    if (!checksum_ok) {
+      return Error(ErrorCode::kInvalidArgument, "tar header checksum mismatch");
+    }
+
+    std::string name(h.name, strnlen(h.name, sizeof(h.name)));
+    if (!name.empty() && name.back() == '/') name.pop_back();
+    const std::string out =
+        dst_dir.empty() ? name : dst_dir + "/" + name;
+
+    switch (h.typeflag) {
+      case '5':
+        NEXUS_RETURN_IF_ERROR(fs.MkdirAll(out));
+        break;
+      case '2': {
+        const std::string target(h.linkname,
+                                 strnlen(h.linkname, sizeof(h.linkname)));
+        NEXUS_RETURN_IF_ERROR(fs.Symlink(target, out));
+        break;
+      }
+      case '0':
+      case '\0': {
+        NEXUS_ASSIGN_OR_RETURN(std::uint64_t size,
+                               ParseOctal(h.size, sizeof(h.size)));
+        if (pos + size > archive.size()) {
+          return Error(ErrorCode::kInvalidArgument, "tar archive truncated");
+        }
+        NEXUS_RETURN_IF_ERROR(
+            fs.WriteWholeFile(out, ByteSpan(archive.data() + pos, size)));
+        pos += (size + kBlock - 1) / kBlock * kBlock;
+        break;
+      }
+      default:
+        return Error(ErrorCode::kUnimplemented,
+                     std::string("tar entry type not supported: ") + h.typeflag);
+    }
+  }
+  return Status::Ok();
+}
+
+Result<std::uint64_t> Du(vfs::FileSystem& fs, const std::string& path) {
+  std::uint64_t total = 0;
+  NEXUS_ASSIGN_OR_RETURN(std::vector<vfs::Dirent> entries, fs.ReadDir(path));
+  for (const vfs::Dirent& e : entries) {
+    const std::string full = path.empty() ? e.name : path + "/" + e.name;
+    if (e.type == vfs::FileType::kDirectory) {
+      NEXUS_ASSIGN_OR_RETURN(std::uint64_t sub, Du(fs, full));
+      total += sub;
+    } else if (e.type == vfs::FileType::kFile) {
+      NEXUS_ASSIGN_OR_RETURN(vfs::FileStat st, fs.Stat(full));
+      total += st.size;
+    }
+  }
+  return total;
+}
+
+Result<std::uint64_t> GrepCount(vfs::FileSystem& fs, const std::string& path,
+                                const std::string& term) {
+  std::uint64_t hits = 0;
+  NEXUS_ASSIGN_OR_RETURN(std::vector<vfs::Dirent> entries, fs.ReadDir(path));
+  for (const vfs::Dirent& e : entries) {
+    const std::string full = path.empty() ? e.name : path + "/" + e.name;
+    if (e.type == vfs::FileType::kDirectory) {
+      NEXUS_ASSIGN_OR_RETURN(std::uint64_t sub, GrepCount(fs, full, term));
+      hits += sub;
+    } else if (e.type == vfs::FileType::kFile) {
+      NEXUS_ASSIGN_OR_RETURN(Bytes content, fs.ReadWholeFile(full));
+      const std::string_view haystack(
+          reinterpret_cast<const char*>(content.data()), content.size());
+      if (haystack.find(term) != std::string_view::npos) ++hits;
+    }
+  }
+  return hits;
+}
+
+Status Cp(vfs::FileSystem& fs, const std::string& src, const std::string& dst) {
+  NEXUS_ASSIGN_OR_RETURN(Bytes content, fs.ReadWholeFile(src));
+  return fs.WriteWholeFile(dst, content);
+}
+
+Status Mv(vfs::FileSystem& fs, const std::string& src, const std::string& dst) {
+  return fs.Rename(src, dst);
+}
+
+} // namespace nexus::workloads

@@ -1,0 +1,37 @@
+// Reimplementations of the Linux utilities from §VII-D, operating on the
+// VFS so they issue the same operation streams to the baseline and NEXUS
+// mounts: tar -x / tar -c (real ustar format), du, recursive grep, cp, mv.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/result.hpp"
+#include "vfs/vfs.hpp"
+
+namespace nexus::workloads {
+
+/// tar -c: packs `src_dir` (recursively) into a ustar archive at
+/// `archive_path`. Directories and regular files are archived; symlinks
+/// are stored as type '2' entries.
+Status TarCreate(vfs::FileSystem& fs, const std::string& src_dir,
+                 const std::string& archive_path);
+
+/// tar -x: unpacks a ustar archive into `dst_dir` (created if missing).
+Status TarExtract(vfs::FileSystem& fs, const std::string& archive_path,
+                  const std::string& dst_dir);
+
+/// du -s: total file bytes under `path` (recursive stat walk).
+Result<std::uint64_t> Du(vfs::FileSystem& fs, const std::string& path);
+
+/// grep -r: number of files under `path` whose content contains `term`.
+Result<std::uint64_t> GrepCount(vfs::FileSystem& fs, const std::string& path,
+                                const std::string& term);
+
+/// cp: duplicate one file.
+Status Cp(vfs::FileSystem& fs, const std::string& src, const std::string& dst);
+
+/// mv: rename.
+Status Mv(vfs::FileSystem& fs, const std::string& src, const std::string& dst);
+
+} // namespace nexus::workloads

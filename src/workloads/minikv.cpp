@@ -1,0 +1,274 @@
+#include "workloads/minikv.hpp"
+
+#include <algorithm>
+
+#include "common/serial.hpp"
+
+namespace nexus::workloads::minikv {
+namespace {
+
+// Cheap per-record checksum so a torn WAL tail is detected during replay.
+std::uint32_t RecordSum(bool is_delete, ByteSpan key, ByteSpan value) {
+  std::uint32_t sum = is_delete ? 0x9e3779b9u : 0x85ebca6bu;
+  for (const std::uint8_t b : key) sum = sum * 31 + b;
+  for (const std::uint8_t b : value) sum = sum * 31 + b;
+  return sum;
+}
+
+} // namespace
+
+Result<std::unique_ptr<DB>> DB::Open(vfs::FileSystem& fs,
+                                     const std::string& dir, Options options) {
+  auto db = std::unique_ptr<DB>(new DB(fs, dir, options));
+  if (!fs.Exists(dir)) {
+    NEXUS_RETURN_IF_ERROR(fs.MkdirAll(dir));
+  }
+  NEXUS_RETURN_IF_ERROR(db->LoadManifest());
+  NEXUS_RETURN_IF_ERROR(db->ReplayWal());
+  NEXUS_ASSIGN_OR_RETURN(
+      db->wal_, fs.Open(db->WalPath(), db->memtable_.empty()
+                                           ? vfs::OpenMode::kWrite
+                                           : vfs::OpenMode::kReadWrite));
+  db->open_ = true;
+  return db;
+}
+
+DB::~DB() {
+  if (open_) (void)Close();
+}
+
+Status DB::LoadManifest() {
+  if (!fs_.Exists(ManifestPath())) return Status::Ok();
+  NEXUS_ASSIGN_OR_RETURN(Bytes raw, fs_.ReadWholeFile(ManifestPath()));
+  Reader r(raw);
+  NEXUS_ASSIGN_OR_RETURN(next_run_id_, r.U64());
+  NEXUS_ASSIGN_OR_RETURN(std::uint32_t n, r.U32());
+  runs_.clear();
+  for (std::uint32_t i = 0; i < n; ++i) {
+    NEXUS_ASSIGN_OR_RETURN(std::string name, r.Str());
+    runs_.push_back(std::move(name));
+  }
+  run_cache_.assign(runs_.size(), std::nullopt);
+  return Status::Ok();
+}
+
+Status DB::StoreManifest() {
+  Writer w;
+  w.U64(next_run_id_);
+  w.U32(static_cast<std::uint32_t>(runs_.size()));
+  for (const std::string& name : runs_) w.Str(name);
+  return fs_.WriteWholeFile(ManifestPath(), w.bytes());
+}
+
+Status DB::ReplayWal() {
+  if (!fs_.Exists(WalPath())) return Status::Ok();
+  NEXUS_ASSIGN_OR_RETURN(Bytes raw, fs_.ReadWholeFile(WalPath()));
+  Reader r(raw);
+  while (!r.AtEnd()) {
+    // A torn tail (crash mid-append) simply ends replay.
+    auto sum = r.U32();
+    if (!sum.ok()) break;
+    auto is_delete = r.U8();
+    if (!is_delete.ok()) break;
+    auto key = r.Var(1 << 20);
+    if (!key.ok()) break;
+    auto value = r.Var(1 << 26);
+    if (!value.ok()) break;
+    if (RecordSum(*is_delete != 0, *key, *value) != *sum) break;
+
+    memtable_bytes_ += key->size() + value->size();
+    if (*is_delete != 0) {
+      memtable_[*key] = std::nullopt;
+    } else {
+      memtable_[*key] = *value;
+    }
+  }
+  return Status::Ok();
+}
+
+Status DB::AppendWalRecord(bool is_delete, ByteSpan key, ByteSpan value) {
+  Writer w;
+  w.U32(RecordSum(is_delete, key, value));
+  w.U8(is_delete ? 1 : 0);
+  w.Var(key);
+  w.Var(value);
+  NEXUS_RETURN_IF_ERROR(wal_->Append(w.bytes()));
+  if (options_.sync_writes) {
+    NEXUS_RETURN_IF_ERROR(wal_->Sync());
+  }
+  return Status::Ok();
+}
+
+Status DB::Put(ByteSpan key, ByteSpan value) {
+  if (!open_) return Error(ErrorCode::kInvalidArgument, "db closed");
+  NEXUS_RETURN_IF_ERROR(AppendWalRecord(false, key, value));
+  memtable_bytes_ += key.size() + value.size();
+  memtable_[ToBytes(key)] = ToBytes(value);
+  if (memtable_bytes_ >= options_.write_buffer_size) {
+    return Flush();
+  }
+  return Status::Ok();
+}
+
+Status DB::Delete(ByteSpan key) {
+  if (!open_) return Error(ErrorCode::kInvalidArgument, "db closed");
+  NEXUS_RETURN_IF_ERROR(AppendWalRecord(true, key, {}));
+  memtable_bytes_ += key.size();
+  memtable_[ToBytes(key)] = std::nullopt;
+  if (memtable_bytes_ >= options_.write_buffer_size) {
+    return Flush();
+  }
+  return Status::Ok();
+}
+
+Status DB::Flush() {
+  if (memtable_.empty()) return Status::Ok();
+
+  // Serialize the sorted memtable into an immutable run.
+  Writer w;
+  w.U32(static_cast<std::uint32_t>(memtable_.size()));
+  for (const auto& [key, value] : memtable_) {
+    w.U8(value.has_value() ? 0 : 1);
+    w.Var(key);
+    w.Var(value.has_value() ? *value : Bytes{});
+  }
+  const std::string name = "run-" + std::to_string(next_run_id_++) + ".sst";
+  NEXUS_RETURN_IF_ERROR(fs_.WriteWholeFile(RunPath(name), w.bytes()));
+  runs_.push_back(name);
+  run_cache_.emplace_back(std::nullopt);
+  NEXUS_RETURN_IF_ERROR(StoreManifest());
+
+  // The WAL's contents are now durable in the run: start a fresh log.
+  NEXUS_RETURN_IF_ERROR(wal_->Close());
+  NEXUS_ASSIGN_OR_RETURN(wal_, fs_.Open(WalPath(), vfs::OpenMode::kWrite));
+  NEXUS_RETURN_IF_ERROR(wal_->Sync());
+  memtable_.clear();
+  memtable_bytes_ = 0;
+
+  if (runs_.size() > options_.max_runs) {
+    return Compact();
+  }
+  return Status::Ok();
+}
+
+Status DB::Compact() {
+  if (runs_.size() <= 1) return Status::Ok();
+
+  // Full compaction: newest version wins; tombstones can be dropped
+  // because no older run survives to resurrect the key.
+  std::map<Bytes, std::optional<Bytes>> merged;
+  for (std::size_t i = 0; i < runs_.size(); ++i) {
+    NEXUS_ASSIGN_OR_RETURN(const auto* entries, LoadRun(i));
+    for (const auto& [key, value] : *entries) merged[key] = value;
+  }
+
+  Writer w;
+  std::uint32_t live = 0;
+  for (const auto& [key, value] : merged) {
+    if (value.has_value()) ++live;
+  }
+  w.U32(live);
+  for (const auto& [key, value] : merged) {
+    if (!value.has_value()) continue;
+    w.U8(0);
+    w.Var(key);
+    w.Var(*value);
+  }
+
+  const std::string name = "run-" + std::to_string(next_run_id_++) + ".sst";
+  NEXUS_RETURN_IF_ERROR(fs_.WriteWholeFile(RunPath(name), w.bytes()));
+
+  // Commit point: the manifest switches to the compacted run before the
+  // inputs are deleted (a crash in between leaves reclaimable garbage,
+  // never a broken database).
+  const std::vector<std::string> old_runs = std::move(runs_);
+  runs_ = {name};
+  run_cache_.clear();
+  run_cache_.emplace_back(std::nullopt);
+  NEXUS_RETURN_IF_ERROR(StoreManifest());
+  for (const std::string& old : old_runs) {
+    (void)fs_.Remove(RunPath(old));
+  }
+  return Status::Ok();
+}
+
+Result<const std::vector<std::pair<Bytes, std::optional<Bytes>>>*> DB::LoadRun(
+    std::size_t index) {
+  if (run_cache_[index].has_value()) return &*run_cache_[index];
+  NEXUS_ASSIGN_OR_RETURN(Bytes raw, fs_.ReadWholeFile(RunPath(runs_[index])));
+  Reader r(raw);
+  NEXUS_ASSIGN_OR_RETURN(std::uint32_t n, r.U32());
+  std::vector<std::pair<Bytes, std::optional<Bytes>>> entries;
+  entries.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    NEXUS_ASSIGN_OR_RETURN(std::uint8_t tombstone, r.U8());
+    NEXUS_ASSIGN_OR_RETURN(Bytes key, r.Var(1 << 20));
+    NEXUS_ASSIGN_OR_RETURN(Bytes value, r.Var(1 << 26));
+    entries.emplace_back(std::move(key),
+                         tombstone != 0 ? std::nullopt
+                                        : std::optional<Bytes>(std::move(value)));
+  }
+  run_cache_[index] = std::move(entries);
+  return &*run_cache_[index];
+}
+
+Result<Bytes> DB::Get(ByteSpan key) {
+  if (!open_) return Error(ErrorCode::kInvalidArgument, "db closed");
+  const Bytes k = ToBytes(key);
+  const auto hit = memtable_.find(k);
+  if (hit != memtable_.end()) {
+    if (!hit->second.has_value()) {
+      return Error(ErrorCode::kNotFound, "key deleted");
+    }
+    return *hit->second;
+  }
+  for (std::size_t i = runs_.size(); i-- > 0;) {
+    NEXUS_ASSIGN_OR_RETURN(const auto* entries, LoadRun(i));
+    const auto it = std::lower_bound(
+        entries->begin(), entries->end(), k,
+        [](const auto& entry, const Bytes& target) { return entry.first < target; });
+    if (it != entries->end() && it->first == k) {
+      if (!it->second.has_value()) {
+        return Error(ErrorCode::kNotFound, "key deleted");
+      }
+      return *it->second;
+    }
+  }
+  return Error(ErrorCode::kNotFound, "key not found");
+}
+
+Status DB::CollectMerged(Memtable& merged) {
+  // Oldest runs first so newer versions overwrite.
+  for (std::size_t i = 0; i < runs_.size(); ++i) {
+    NEXUS_ASSIGN_OR_RETURN(const auto* entries, LoadRun(i));
+    for (const auto& [key, value] : *entries) merged[key] = value;
+  }
+  for (const auto& [key, value] : memtable_) merged[key] = value;
+  return Status::Ok();
+}
+
+Status DB::ScanForward(const Visitor& visit) {
+  Memtable merged;
+  NEXUS_RETURN_IF_ERROR(CollectMerged(merged));
+  for (const auto& [key, value] : merged) {
+    if (value.has_value()) visit(key, *value);
+  }
+  return Status::Ok();
+}
+
+Status DB::ScanBackward(const Visitor& visit) {
+  Memtable merged;
+  NEXUS_RETURN_IF_ERROR(CollectMerged(merged));
+  for (auto it = merged.rbegin(); it != merged.rend(); ++it) {
+    if (it->second.has_value()) visit(it->first, *it->second);
+  }
+  return Status::Ok();
+}
+
+Status DB::Close() {
+  if (!open_) return Error(ErrorCode::kInvalidArgument, "db closed");
+  open_ = false;
+  return wal_->Close();
+}
+
+} // namespace nexus::workloads::minikv

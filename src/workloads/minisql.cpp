@@ -1,0 +1,406 @@
+#include "workloads/minisql.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/serial.hpp"
+
+namespace nexus::workloads::minisql {
+namespace {
+
+constexpr std::uint8_t kLeaf = 1;
+constexpr std::uint8_t kInterior = 2;
+constexpr std::uint32_t kMagic = 0x4d534c51; // "MSLQ"
+
+// ---- page codecs -------------------------------------------------------------
+// Leaf:     [u8 kLeaf][u16 n][(u16 klen, u16 vlen, key, value) * n]
+// Interior: [u8 kInterior][u16 n][u32 child0][(u16 klen, key, u32 child) * n]
+
+struct LeafView {
+  std::vector<std::pair<Bytes, Bytes>> entries;
+
+  [[nodiscard]] std::size_t SerializedSize() const {
+    std::size_t size = 3;
+    for (const auto& [k, v] : entries) size += 4 + k.size() + v.size();
+    return size;
+  }
+
+  void Encode(Bytes& page) const {
+    Writer w;
+    w.U8(kLeaf);
+    w.U16(static_cast<std::uint16_t>(entries.size()));
+    for (const auto& [k, v] : entries) {
+      w.U16(static_cast<std::uint16_t>(k.size()));
+      w.U16(static_cast<std::uint16_t>(v.size()));
+      w.Raw(k);
+      w.Raw(v);
+    }
+    page.assign(kPageSize, 0);
+    std::memcpy(page.data(), w.bytes().data(), w.bytes().size());
+  }
+
+  static Result<LeafView> Decode(const Bytes& page) {
+    Reader r(page);
+    NEXUS_ASSIGN_OR_RETURN(std::uint8_t type, r.U8());
+    if (type != kLeaf) return Error(ErrorCode::kInternal, "not a leaf page");
+    NEXUS_ASSIGN_OR_RETURN(std::uint16_t n, r.U16());
+    LeafView view;
+    view.entries.reserve(n);
+    for (std::uint16_t i = 0; i < n; ++i) {
+      NEXUS_ASSIGN_OR_RETURN(std::uint16_t klen, r.U16());
+      NEXUS_ASSIGN_OR_RETURN(std::uint16_t vlen, r.U16());
+      NEXUS_ASSIGN_OR_RETURN(Bytes k, r.Raw(klen));
+      NEXUS_ASSIGN_OR_RETURN(Bytes v, r.Raw(vlen));
+      view.entries.emplace_back(std::move(k), std::move(v));
+    }
+    return view;
+  }
+};
+
+struct InteriorView {
+  std::uint32_t child0 = 0;
+  std::vector<std::pair<Bytes, std::uint32_t>> entries; // key -> right child
+
+  [[nodiscard]] std::size_t SerializedSize() const {
+    std::size_t size = 3 + 4;
+    for (const auto& [k, c] : entries) size += 2 + k.size() + 4;
+    return size;
+  }
+
+  void Encode(Bytes& page) const {
+    Writer w;
+    w.U8(kInterior);
+    w.U16(static_cast<std::uint16_t>(entries.size()));
+    w.U32(child0);
+    for (const auto& [k, c] : entries) {
+      w.U16(static_cast<std::uint16_t>(k.size()));
+      w.Raw(k);
+      w.U32(c);
+    }
+    page.assign(kPageSize, 0);
+    std::memcpy(page.data(), w.bytes().data(), w.bytes().size());
+  }
+
+  static Result<InteriorView> Decode(const Bytes& page) {
+    Reader r(page);
+    NEXUS_ASSIGN_OR_RETURN(std::uint8_t type, r.U8());
+    if (type != kInterior) {
+      return Error(ErrorCode::kInternal, "not an interior page");
+    }
+    NEXUS_ASSIGN_OR_RETURN(std::uint16_t n, r.U16());
+    InteriorView view;
+    NEXUS_ASSIGN_OR_RETURN(view.child0, r.U32());
+    view.entries.reserve(n);
+    for (std::uint16_t i = 0; i < n; ++i) {
+      NEXUS_ASSIGN_OR_RETURN(std::uint16_t klen, r.U16());
+      NEXUS_ASSIGN_OR_RETURN(Bytes k, r.Raw(klen));
+      NEXUS_ASSIGN_OR_RETURN(std::uint32_t c, r.U32());
+      view.entries.emplace_back(std::move(k), c);
+    }
+    return view;
+  }
+
+  /// Child to descend into for `key`.
+  [[nodiscard]] std::uint32_t ChildFor(ByteSpan key) const {
+    std::uint32_t child = child0;
+    for (const auto& [k, c] : entries) {
+      if (ByteSpan(k).size() == 0) break;
+      if (std::lexicographical_compare(key.begin(), key.end(), k.begin(),
+                                       k.end())) {
+        break;
+      }
+      child = c;
+    }
+    return child;
+  }
+};
+
+bool Less(ByteSpan a, ByteSpan b) {
+  return std::lexicographical_compare(a.begin(), a.end(), b.begin(), b.end());
+}
+
+} // namespace
+
+// ---- lifecycle ----------------------------------------------------------------
+
+Result<std::unique_ptr<Table>> Table::Open(vfs::FileSystem& fs,
+                                           const std::string& dir,
+                                           Options options) {
+  auto table = std::unique_ptr<Table>(new Table(fs, dir, options));
+  if (!fs.Exists(dir)) {
+    NEXUS_RETURN_IF_ERROR(fs.MkdirAll(dir));
+  }
+  NEXUS_RETURN_IF_ERROR(table->Recover());
+  NEXUS_RETURN_IF_ERROR(table->LoadOrInit());
+  table->open_ = true;
+  return table;
+}
+
+Table::~Table() {
+  if (open_) (void)Close();
+}
+
+Status Table::Recover() {
+  // A leftover journal means a crash mid-commit: restore the pre-images.
+  if (!fs_.Exists(JournalPath())) return Status::Ok();
+  NEXUS_ASSIGN_OR_RETURN(Bytes journal, fs_.ReadWholeFile(JournalPath()));
+  if (!journal.empty() && fs_.Exists(DbPath())) {
+    NEXUS_ASSIGN_OR_RETURN(Bytes db, fs_.ReadWholeFile(DbPath()));
+    Reader r(journal);
+    NEXUS_ASSIGN_OR_RETURN(std::uint32_t n, r.U32());
+    for (std::uint32_t i = 0; i < n; ++i) {
+      NEXUS_ASSIGN_OR_RETURN(std::uint32_t page_id, r.U32());
+      NEXUS_ASSIGN_OR_RETURN(Bytes image, r.Raw(kPageSize));
+      const std::size_t offset = static_cast<std::size_t>(page_id) * kPageSize;
+      if (offset + kPageSize <= db.size()) {
+        std::memcpy(db.data() + offset, image.data(), kPageSize);
+      }
+    }
+    // Pages appended by the aborted txn beyond the journalled extent are
+    // trimmed on next header read (page_count is part of page 0).
+    NEXUS_RETURN_IF_ERROR(fs_.WriteWholeFile(DbPath(), db));
+  }
+  return fs_.Remove(JournalPath());
+}
+
+void Table::WriteHeader() {
+  Writer w;
+  w.U32(kMagic);
+  w.U32(root_);
+  w.U32(static_cast<std::uint32_t>(pages_.size()));
+  pages_[0].data.assign(kPageSize, 0);
+  std::memcpy(pages_[0].data.data(), w.bytes().data(), w.bytes().size());
+}
+
+Status Table::ReadHeader() {
+  Reader r(pages_[0].data);
+  NEXUS_ASSIGN_OR_RETURN(std::uint32_t magic, r.U32());
+  if (magic != kMagic) {
+    return Error(ErrorCode::kIOError, "bad minisql database header");
+  }
+  NEXUS_ASSIGN_OR_RETURN(root_, r.U32());
+  NEXUS_ASSIGN_OR_RETURN(std::uint32_t page_count, r.U32());
+  if (page_count < pages_.size()) pages_.resize(page_count);
+  return Status::Ok();
+}
+
+Status Table::LoadOrInit() {
+  const bool fresh = !fs_.Exists(DbPath());
+  NEXUS_ASSIGN_OR_RETURN(
+      db_file_, fs_.Open(DbPath(), fresh ? vfs::OpenMode::kWrite
+                                         : vfs::OpenMode::kReadWrite));
+  if (fresh) {
+    pages_.resize(2);
+    root_ = 1;
+    LeafView empty;
+    empty.Encode(pages_[1].data);
+    WriteHeader();
+    NEXUS_RETURN_IF_ERROR(db_file_->Write(0, pages_[0].data));
+    NEXUS_RETURN_IF_ERROR(db_file_->Write(kPageSize, pages_[1].data));
+    return db_file_->Sync();
+  }
+  const std::uint64_t size = db_file_->Size();
+  pages_.resize(size / kPageSize);
+  for (std::size_t i = 0; i < pages_.size(); ++i) {
+    pages_[i].data.resize(kPageSize);
+    NEXUS_ASSIGN_OR_RETURN(std::size_t n,
+                           db_file_->Read(i * kPageSize, pages_[i].data));
+    if (n != kPageSize) {
+      return Error(ErrorCode::kIOError, "short page read");
+    }
+  }
+  return ReadHeader();
+}
+
+// ---- pager --------------------------------------------------------------------
+
+Table::PageId Table::AllocatePage() {
+  pages_.emplace_back();
+  pages_.back().data.assign(kPageSize, 0);
+  const auto id = static_cast<PageId>(pages_.size() - 1);
+  dirty_.push_back(id);
+  return id;
+}
+
+void Table::TouchPage(PageId id) {
+  if (options_.sync == SyncMode::kFull && !preimages_.contains(id)) {
+    preimages_[id] = pages_[id].data;
+  }
+  dirty_.push_back(id);
+}
+
+Status Table::CommitTxn() {
+  // 1. Rollback journal (sync mode only; async trusts the cache, as
+  //    SQLite synchronous=OFF does).
+  if (options_.sync == SyncMode::kFull && !preimages_.empty()) {
+    Writer w;
+    w.U32(static_cast<std::uint32_t>(preimages_.size()));
+    for (const auto& [id, image] : preimages_) {
+      w.U32(id);
+      w.Raw(image);
+    }
+    NEXUS_RETURN_IF_ERROR(fs_.WriteWholeFile(JournalPath(), w.bytes()));
+  }
+
+  // 2. Dirty pages into the database file.
+  std::sort(dirty_.begin(), dirty_.end());
+  dirty_.erase(std::unique(dirty_.begin(), dirty_.end()), dirty_.end());
+  WriteHeader();
+  NEXUS_RETURN_IF_ERROR(db_file_->Write(0, pages_[0].data));
+  for (const PageId id : dirty_) {
+    NEXUS_RETURN_IF_ERROR(
+        db_file_->Write(static_cast<std::uint64_t>(id) * kPageSize,
+                        pages_[id].data));
+  }
+
+  // 3. fsync + journal delete (sync mode).
+  if (options_.sync == SyncMode::kFull) {
+    NEXUS_RETURN_IF_ERROR(db_file_->Sync());
+    if (!preimages_.empty()) {
+      NEXUS_RETURN_IF_ERROR(fs_.Remove(JournalPath()));
+    }
+  }
+
+  preimages_.clear();
+  dirty_.clear();
+  in_txn_ = false;
+  return Status::Ok();
+}
+
+// ---- B+tree -------------------------------------------------------------------
+
+Result<Table::SplitResult> Table::InsertInto(PageId node, ByteSpan key,
+                                             ByteSpan value) {
+  const std::uint8_t type = pages_[node].data[0];
+  if (type == kLeaf) {
+    NEXUS_ASSIGN_OR_RETURN(LeafView leaf, LeafView::Decode(pages_[node].data));
+    const auto it = std::lower_bound(
+        leaf.entries.begin(), leaf.entries.end(), key,
+        [](const auto& entry, ByteSpan target) { return Less(entry.first, target); });
+    if (it != leaf.entries.end() && ByteSpan(it->first).size() == key.size() &&
+        std::equal(key.begin(), key.end(), it->first.begin())) {
+      it->second = ToBytes(value);
+    } else {
+      leaf.entries.insert(it, {ToBytes(key), ToBytes(value)});
+    }
+
+    TouchPage(node);
+    if (leaf.SerializedSize() <= kPageSize) {
+      leaf.Encode(pages_[node].data);
+      return SplitResult{};
+    }
+    // Split: right half moves to a fresh page.
+    const std::size_t mid = leaf.entries.size() / 2;
+    LeafView right;
+    right.entries.assign(leaf.entries.begin() + static_cast<std::ptrdiff_t>(mid),
+                         leaf.entries.end());
+    leaf.entries.resize(mid);
+    const PageId right_id = AllocatePage();
+    leaf.Encode(pages_[node].data);
+    right.Encode(pages_[right_id].data);
+    return SplitResult{true, right.entries.front().first, right_id};
+  }
+
+  NEXUS_ASSIGN_OR_RETURN(InteriorView interior,
+                         InteriorView::Decode(pages_[node].data));
+  const std::uint32_t child = interior.ChildFor(key);
+  NEXUS_ASSIGN_OR_RETURN(SplitResult child_split, InsertInto(child, key, value));
+  if (!child_split.split) return SplitResult{};
+
+  const auto it = std::lower_bound(
+      interior.entries.begin(), interior.entries.end(), child_split.separator,
+      [](const auto& entry, const Bytes& target) {
+        return Less(entry.first, target);
+      });
+  interior.entries.insert(it, {child_split.separator, child_split.right});
+
+  TouchPage(node);
+  if (interior.SerializedSize() <= kPageSize) {
+    interior.Encode(pages_[node].data);
+    return SplitResult{};
+  }
+  const std::size_t mid = interior.entries.size() / 2;
+  InteriorView right;
+  right.child0 = interior.entries[mid].second;
+  right.entries.assign(
+      interior.entries.begin() + static_cast<std::ptrdiff_t>(mid) + 1,
+      interior.entries.end());
+  Bytes separator = interior.entries[mid].first;
+  interior.entries.resize(mid);
+  const PageId right_id = AllocatePage();
+  interior.Encode(pages_[node].data);
+  right.Encode(pages_[right_id].data);
+  return SplitResult{true, std::move(separator), right_id};
+}
+
+Result<std::optional<Bytes>> Table::FindIn(PageId node, ByteSpan key) {
+  const std::uint8_t type = pages_[node].data[0];
+  if (type == kLeaf) {
+    NEXUS_ASSIGN_OR_RETURN(LeafView leaf, LeafView::Decode(pages_[node].data));
+    const auto it = std::lower_bound(
+        leaf.entries.begin(), leaf.entries.end(), key,
+        [](const auto& entry, ByteSpan target) { return Less(entry.first, target); });
+    if (it != leaf.entries.end() && it->first.size() == key.size() &&
+        std::equal(key.begin(), key.end(), it->first.begin())) {
+      return std::optional<Bytes>(it->second);
+    }
+    return std::optional<Bytes>();
+  }
+  NEXUS_ASSIGN_OR_RETURN(InteriorView interior,
+                         InteriorView::Decode(pages_[node].data));
+  return FindIn(interior.ChildFor(key), key);
+}
+
+// ---- public API ----------------------------------------------------------------
+
+Status Table::Begin() {
+  if (explicit_txn_) return Error(ErrorCode::kInvalidArgument, "txn active");
+  explicit_txn_ = true;
+  in_txn_ = true;
+  return Status::Ok();
+}
+
+Status Table::Commit() {
+  if (!explicit_txn_) return Error(ErrorCode::kInvalidArgument, "no txn");
+  explicit_txn_ = false;
+  return CommitTxn();
+}
+
+Status Table::Put(ByteSpan key, ByteSpan value) {
+  if (!open_) return Error(ErrorCode::kInvalidArgument, "table closed");
+  if (key.size() > 512 || value.size() > 2048) {
+    return Error(ErrorCode::kInvalidArgument, "key/value too large for page");
+  }
+  in_txn_ = true;
+  NEXUS_ASSIGN_OR_RETURN(SplitResult split, InsertInto(root_, key, value));
+  if (split.split) {
+    InteriorView new_root;
+    new_root.child0 = root_;
+    new_root.entries.emplace_back(split.separator, split.right);
+    const PageId id = AllocatePage();
+    new_root.Encode(pages_[id].data);
+    root_ = id;
+  }
+  if (!explicit_txn_) return CommitTxn();
+  return Status::Ok();
+}
+
+Result<Bytes> Table::Get(ByteSpan key) {
+  if (!open_) return Error(ErrorCode::kInvalidArgument, "table closed");
+  NEXUS_ASSIGN_OR_RETURN(std::optional<Bytes> value, FindIn(root_, key));
+  if (!value.has_value()) {
+    return Error(ErrorCode::kNotFound, "key not found");
+  }
+  return *value;
+}
+
+Status Table::Close() {
+  if (!open_) return Error(ErrorCode::kInvalidArgument, "table closed");
+  open_ = false;
+  if (in_txn_ || !dirty_.empty()) {
+    NEXUS_RETURN_IF_ERROR(CommitTxn());
+  }
+  return db_file_->Close();
+}
+
+} // namespace nexus::workloads::minisql

@@ -1,0 +1,106 @@
+// minisql: a SQLite-style single-table storage engine for Table II.
+//
+// What matters for the evaluation is SQLite's I/O pattern, which this
+// reproduces faithfully: a fixed-size-page file updated through a page
+// cache, a rollback journal holding pre-images, and per-transaction
+// flush/fsync behaviour that differs across the benchmark's sync / async /
+// batch modes:
+//   * sync  — per txn: journal written + fsync, pages written + fsync,
+//             journal deleted (SQLite journal_mode=DELETE, synchronous=FULL)
+//   * async — pages written to the open handle, flushed on close
+//             (synchronous=OFF: the OS/AFS cache absorbs writes)
+//   * batch — explicit Begin/Commit around many ops, no fsync
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.hpp"
+#include "vfs/vfs.hpp"
+
+namespace nexus::workloads::minisql {
+
+inline constexpr std::size_t kPageSize = 4096;
+
+enum class SyncMode { kOff, kFull };
+
+struct Options {
+  SyncMode sync = SyncMode::kOff;
+};
+
+class Table {
+ public:
+  static Result<std::unique_ptr<Table>> Open(vfs::FileSystem& fs,
+                                             const std::string& dir,
+                                             Options options);
+  ~Table();
+
+  /// Insert-or-replace. Auto-commits unless inside Begin()/Commit().
+  Status Put(ByteSpan key, ByteSpan value);
+  Result<Bytes> Get(ByteSpan key);
+
+  /// Explicit transaction (batch mode).
+  Status Begin();
+  Status Commit();
+
+  Status Close();
+
+  [[nodiscard]] std::size_t page_count() const noexcept {
+    return pages_.size();
+  }
+
+ private:
+  Table(vfs::FileSystem& fs, std::string dir, Options options)
+      : fs_(fs), dir_(std::move(dir)), options_(options) {}
+
+  using PageId = std::uint32_t;
+  struct Page {
+    Bytes data;
+  };
+
+  [[nodiscard]] std::string DbPath() const { return dir_ + "/table.db"; }
+  [[nodiscard]] std::string JournalPath() const { return dir_ + "/journal"; }
+
+  Status LoadOrInit();
+  Status Recover();
+
+  PageId AllocatePage();
+  Bytes& PageData(PageId id) { return pages_[id].data; }
+  /// Records the pre-image (once per txn) and marks the page dirty.
+  void TouchPage(PageId id);
+
+  Status CommitTxn();
+
+  // ---- B+tree ----------------------------------------------------------
+  struct LeafEntry {
+    Bytes key;
+    Bytes value;
+  };
+  struct SplitResult {
+    bool split = false;
+    Bytes separator;
+    PageId right = 0;
+  };
+  Result<SplitResult> InsertInto(PageId node, ByteSpan key, ByteSpan value);
+  Result<std::optional<Bytes>> FindIn(PageId node, ByteSpan key);
+
+  void WriteHeader();
+  Status ReadHeader();
+
+  vfs::FileSystem& fs_;
+  std::string dir_;
+  Options options_;
+  std::unique_ptr<vfs::OpenFile> db_file_;
+  std::vector<Page> pages_; // page cache: entire file (4 MB default cache
+                            // in the benchmark; our tables stay within it)
+  PageId root_ = 0;
+  bool in_txn_ = false;
+  bool explicit_txn_ = false;
+  std::unordered_map<PageId, Bytes> preimages_; // journal content
+  std::vector<PageId> dirty_;
+  bool open_ = false;
+};
+
+} // namespace nexus::workloads::minisql

@@ -1,0 +1,152 @@
+#include "workloads/treegen.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace nexus::workloads {
+namespace {
+
+// Deterministic filler text with "javascript" tokens sprinkled in (~every
+// 40 lines) so the grep workload has realistic hit rates.
+Bytes MakeContent(std::uint64_t size, std::uint32_t seed) {
+  static constexpr std::string_view kWords[] = {
+      "static", "return", "include", "buffer", "packet", "stream",
+      "config", "module", "javascript", "handler", "object", "render",
+  };
+  Bytes out;
+  out.reserve(size);
+  std::uint32_t state = seed * 2654435761u + 1;
+  while (out.size() < size) {
+    state = state * 1664525u + 1013904223u;
+    const std::string_view word = kWords[(state >> 16) % std::size(kWords)];
+    for (const char c : word) {
+      if (out.size() >= size) break;
+      out.push_back(static_cast<std::uint8_t>(c));
+    }
+    if (out.size() < size) {
+      out.push_back(state % 13 == 0 ? '\n' : ' ');
+    }
+  }
+  return out;
+}
+
+} // namespace
+
+Result<TreeStats> GenerateTree(vfs::FileSystem& fs, const std::string& root,
+                               const TreeSpec& spec, crypto::Rng& rng) {
+  TreeStats stats;
+
+  auto join = [&](const std::string& dir, const std::string& name) {
+    if (dir.empty()) return name;
+    return dir + "/" + name;
+  };
+
+  // 1. Directory skeleton: grow by attaching subdirectories to random
+  //    existing directories, preferring deeper parents until max_depth is
+  //    reached so the requested depth actually materializes.
+  std::vector<std::string> dirs = {root};
+  std::vector<std::uint32_t> depth = {0};
+  std::uint32_t created_dirs = 1;
+  while (created_dirs < spec.dir_count) {
+    std::size_t parent;
+    if (stats.max_depth < spec.max_depth) {
+      // Extend the deepest chain first.
+      parent = static_cast<std::size_t>(
+          std::max_element(depth.begin(), depth.end()) - depth.begin());
+      if (depth[parent] >= spec.max_depth) parent = rng.Below(dirs.size());
+    } else {
+      parent = rng.Below(dirs.size());
+    }
+    if (depth[parent] >= spec.max_depth) continue;
+    const std::string path =
+        join(dirs[parent], "dir" + std::to_string(created_dirs));
+    NEXUS_RETURN_IF_ERROR(fs.Mkdir(path));
+    dirs.push_back(path);
+    depth.push_back(depth[parent] + 1);
+    stats.max_depth = std::max(stats.max_depth, depth.back());
+    ++created_dirs;
+  }
+  stats.dirs = dirs.size();
+
+  // 2. Assign per-directory file counts: hot directories first, the rest
+  //    spread uniformly.
+  std::vector<std::uint32_t> files_in(dirs.size(), 0);
+  std::uint32_t assigned = 0;
+  for (std::size_t h = 0; h < spec.hot_dir_files.size() && h + 1 < dirs.size();
+       ++h) {
+    files_in[h + 1] = spec.hot_dir_files[h];
+    assigned += spec.hot_dir_files[h];
+  }
+  while (assigned < spec.file_count) {
+    ++files_in[rng.Below(dirs.size())];
+    ++assigned;
+  }
+
+  // 3. File sizes: log-uniform, scaled to hit total_bytes.
+  std::vector<std::uint64_t> sizes;
+  sizes.reserve(spec.file_count);
+  long double sum = 0;
+  const double lo = std::log(64.0);
+  const double hi =
+      std::log(std::max<double>(128.0, static_cast<double>(spec.total_bytes) /
+                                           std::max(1u, spec.file_count) * 8));
+  for (std::uint32_t i = 0; i < spec.file_count; ++i) {
+    const double u = static_cast<double>(rng.Below(1u << 20)) / (1u << 20);
+    const auto size =
+        static_cast<std::uint64_t>(std::exp(lo + u * (hi - lo)));
+    sizes.push_back(size);
+    sum += static_cast<long double>(size);
+  }
+  if (sum > 0 && spec.total_bytes > 0) {
+    const long double scale = static_cast<long double>(spec.total_bytes) / sum;
+    for (auto& s : sizes) {
+      s = std::max<std::uint64_t>(
+          1, static_cast<std::uint64_t>(static_cast<long double>(s) * scale));
+    }
+  }
+
+  // 4. Write the files.
+  std::size_t file_index = 0;
+  for (std::size_t d = 0; d < dirs.size(); ++d) {
+    for (std::uint32_t i = 0; i < files_in[d]; ++i, ++file_index) {
+      const std::string path =
+          join(dirs[d], "file" + std::to_string(file_index) + ".c");
+      const Bytes content = MakeContent(
+          sizes[std::min(file_index, sizes.size() - 1)],
+          static_cast<std::uint32_t>(file_index));
+      NEXUS_RETURN_IF_ERROR(fs.WriteWholeFile(path, content));
+      ++stats.files;
+      stats.total_bytes += content.size();
+    }
+  }
+  return stats;
+}
+
+TreeSpec RedisSpec() {
+  return TreeSpec{"redis", 618, 60, 4, {}, 8ull << 20};
+}
+
+TreeSpec JuliaSpec() {
+  return TreeSpec{"julia", 1096, 110, 6, {}, 14ull << 20};
+}
+
+TreeSpec NodeJsSpec() {
+  return TreeSpec{"nodejs", 19912, 1600, 13, {1458, 762, 783}, 96ull << 20};
+}
+
+TreeSpec LfsdSpec() {
+  // Paper: 32 files / 3.2 GB. Scaled 10x down: 32 x ~10 MB = 320 MB.
+  return TreeSpec{"LFSD", 32, 1, 1, {}, 320ull << 20};
+}
+
+TreeSpec MfmdSpec() {
+  // Paper: 256 files / 2.5 GB. Scaled 10x down: 256 x ~1 MB = 250 MB.
+  return TreeSpec{"MFMD", 256, 1, 1, {}, 250ull << 20};
+}
+
+TreeSpec SfldSpec() {
+  // Paper-exact: 1024 files / 10 MB, one flat directory.
+  return TreeSpec{"SFLD", 1024, 1, 1, {}, 10ull << 20};
+}
+
+} // namespace nexus::workloads

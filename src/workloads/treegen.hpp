@@ -1,0 +1,55 @@
+// Deterministic synthetic file trees for the evaluation workloads.
+//
+// Fig. 5c clones real repositories; we reproduce their published shape
+// characteristics (file count, directory depth, hot directories) with
+// deterministic synthetic trees. Table III's LFSD/MFMD/SFLD workloads are
+// generated directly (sizes scaled down ~10x from the paper to keep the
+// simulation in memory; the cost model is linear in bytes so ratios are
+// unaffected — see EXPERIMENTS.md).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.hpp"
+#include "crypto/rng.hpp"
+#include "vfs/vfs.hpp"
+
+namespace nexus::workloads {
+
+struct TreeSpec {
+  std::string name;
+  std::uint32_t file_count = 0;
+  std::uint32_t dir_count = 1; // including the root of the tree
+  std::uint32_t max_depth = 1;
+  /// File counts pinned to the largest directories (e.g. nodejs's
+  /// 1458/762/783); remaining files spread uniformly.
+  std::vector<std::uint32_t> hot_dir_files;
+  std::uint64_t total_bytes = 0; // approximate, log-uniform sizes
+};
+
+struct TreeStats {
+  std::uint64_t files = 0;
+  std::uint64_t dirs = 0;
+  std::uint64_t total_bytes = 0;
+  std::uint32_t max_depth = 0;
+};
+
+/// Creates the tree under `root` (must already exist or be ""). Contents
+/// are ASCII text with occasional "javascript" tokens so grep finds
+/// matches, as in §VII-D.
+Result<TreeStats> GenerateTree(vfs::FileSystem& fs, const std::string& root,
+                               const TreeSpec& spec, crypto::Rng& rng);
+
+// ---- Fig. 5c repository shapes (file counts from §VII-C) --------------------
+TreeSpec RedisSpec();  // 618 files
+TreeSpec JuliaSpec();  // 1096 files
+TreeSpec NodeJsSpec(); // 19912 files, depth 13, top dirs 1458/762/783
+
+// ---- Table III workloads (sizes scaled; see EXPERIMENTS.md) ------------------
+TreeSpec LfsdSpec(); // Large Files, Small Directory: 32 files, flat
+TreeSpec MfmdSpec(); // Medium Files, Medium Directory: 256 files
+TreeSpec SfldSpec(); // Small Files, Large Directory: 1024 files, 10 MB total
+
+} // namespace nexus::workloads

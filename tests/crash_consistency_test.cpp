@@ -1,0 +1,230 @@
+// Crash-consistency sweep: a client "crashes" after its k-th storage
+// mutation, for every k in the operation's mutation sequence. Whatever the
+// crash point, a fresh victim session must find the volume fully readable
+// — every directory listable, every committed file intact. At worst the
+// in-flight operation is wholly absent (orphaned objects are allowed;
+// dangling references and MAC mismatches are not).
+#include <gtest/gtest.h>
+
+#include "test_env.hpp"
+
+namespace nexus {
+namespace {
+
+/// Wraps the real ocall bridge; after `fail_after` mutations every storage
+/// operation fails (the process died — nothing further reaches the wire).
+class CrashingStore final : public enclave::StorageOcalls {
+ public:
+  CrashingStore(storage::AfsClient& afs, int fail_after)
+      : inner_(afs), fail_after_(fail_after) {}
+
+  [[nodiscard]] int mutations() const noexcept { return mutations_; }
+  [[nodiscard]] bool crashed() const noexcept { return crashed_; }
+
+  Result<enclave::ObjectBlob> FetchMeta(const Uuid& uuid) override {
+    if (crashed_) return Dead();
+    return inner_.FetchMeta(uuid);
+  }
+  Result<std::uint64_t> StoreMeta(const Uuid& uuid, ByteSpan data) override {
+    if (Mutate()) return Dead<std::uint64_t>();
+    return inner_.StoreMeta(uuid, data);
+  }
+  Status RemoveMeta(const Uuid& uuid) override {
+    if (Mutate()) return DeadStatus();
+    return inner_.RemoveMeta(uuid);
+  }
+  Result<enclave::ObjectBlob> FetchData(const Uuid& uuid) override {
+    if (crashed_) return Dead();
+    return inner_.FetchData(uuid);
+  }
+  Status StoreData(const Uuid& uuid, ByteSpan data,
+                   std::uint64_t changed_bytes) override {
+    if (Mutate()) return DeadStatus();
+    return inner_.StoreData(uuid, data, changed_bytes);
+  }
+  Status RemoveData(const Uuid& uuid) override {
+    if (Mutate()) return DeadStatus();
+    return inner_.RemoveData(uuid);
+  }
+  Status LockMeta(const Uuid& uuid) override {
+    if (crashed_) return DeadStatus();
+    return inner_.LockMeta(uuid);
+  }
+  Status UnlockMeta(const Uuid& uuid) override {
+    if (crashed_) return DeadStatus();
+    return inner_.UnlockMeta(uuid);
+  }
+  bool CacheFresh(const Uuid& uuid, std::uint64_t v) override {
+    return !crashed_ && inner_.CacheFresh(uuid, v);
+  }
+
+ private:
+  bool Mutate() {
+    if (crashed_) return true;
+    ++mutations_;
+    if (fail_after_ >= 0 && mutations_ > fail_after_) crashed_ = true;
+    return crashed_;
+  }
+  static Status DeadStatus() {
+    return Error(ErrorCode::kIOError, "simulated crash");
+  }
+  template <typename T = enclave::ObjectBlob>
+  static Result<T> Dead() {
+    return Error(ErrorCode::kIOError, "simulated crash");
+  }
+
+  core::AfsMetadataStore inner_;
+  int fail_after_;
+  int mutations_ = 0;
+  bool crashed_ = false;
+};
+
+class CrashConsistencyTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    machine_ = &world_.AddMachine("owen");
+    auto handle = machine_->nexus->CreateVolume(machine_->user);
+    ASSERT_TRUE(handle.ok());
+    handle_ = std::move(handle).value();
+
+    // A volume with some committed state the crash must never corrupt.
+    auto& fs = *machine_->nexus;
+    ASSERT_TRUE(fs.Mkdir("stable").ok());
+    for (int i = 0; i < 5; ++i) {
+      ASSERT_TRUE(
+          fs.WriteFile("stable/f" + std::to_string(i), Bytes(100, 7)).ok());
+    }
+    ASSERT_TRUE(fs.Mkdir("work").ok());
+    ASSERT_TRUE(fs.WriteFile("work/victim", Bytes(100, 9)).ok());
+    ASSERT_TRUE(machine_->nexus->Unmount().ok());
+    // Release any locks a failed run may hold? None yet.
+  }
+
+  /// Mounts a short-lived enclave over a CrashingStore and runs `op`.
+  /// Returns the number of mutations the op performs when unobstructed.
+  int RunWithCrash(int fail_after,
+                   const std::function<void(enclave::NexusEnclave&)>& op) {
+    CrashingStore store(*machine_->afs, fail_after);
+    sgx::EnclaveRuntime runtime(*machine_->cpu, sgx::NexusEnclaveImage(),
+                                AsBytes("crash-run"));
+    enclave::NexusEnclave enclave(runtime, store,
+                                  world_.intel().root_public_key());
+    // Manual mount (the helper client always uses the real store).
+    auto nonce = enclave.EcallAuthChallenge(machine_->user.public_key(),
+                                            handle_.sealed_rootkey,
+                                            handle_.volume_uuid);
+    EXPECT_TRUE(nonce.ok());
+    const Bytes supernode =
+        machine_->afs->Fetch("nx/" + handle_.volume_uuid.ToString()).value();
+    const auto sig = machine_->user.Sign(Concat(*nonce, supernode));
+    EXPECT_TRUE(enclave.EcallAuthResponse(sig).ok());
+
+    op(enclave);
+    // Crash: the enclave object is simply dropped; locks die with the
+    // client in AFS (we release them here to model lease expiry).
+    ReleaseAllLocks();
+    return store.mutations();
+  }
+
+  void ReleaseAllLocks() {
+    // Advisory locks are leases in AFS; model expiry by force-unlocking.
+    const auto names = machine_->afs->List("nx").value();
+    for (const auto& name : names) {
+      (void)machine_->afs->Unlock(name);
+    }
+  }
+
+  /// Full-volume readability check from a pristine session.
+  void VerifyVolumeReadable(std::size_t min_stable_files) {
+    machine_->afs->FlushCache();
+    core::NexusClient fresh(*machine_->runtime, *machine_->afs,
+                            world_.intel().root_public_key());
+    ASSERT_TRUE(
+        fresh.Mount(machine_->user, handle_.volume_uuid, handle_.sealed_rootkey)
+            .ok());
+    std::size_t files_seen = 0;
+    std::function<void(const std::string&)> walk = [&](const std::string& dir) {
+      auto entries = fresh.ListDir(dir);
+      ASSERT_TRUE(entries.ok()) << dir << ": " << entries.status().ToString();
+      for (const auto& e : *entries) {
+        const std::string full = dir.empty() ? e.name : dir + "/" + e.name;
+        if (e.type == enclave::EntryType::kDirectory) {
+          walk(full);
+        } else if (e.type == enclave::EntryType::kFile) {
+          auto content = fresh.ReadFile(full);
+          ASSERT_TRUE(content.ok()) << full << ": " << content.status().ToString();
+          ++files_seen;
+        }
+      }
+    };
+    walk("");
+    EXPECT_GE(files_seen, min_stable_files);
+    ASSERT_TRUE(fresh.Unmount().ok());
+  }
+
+  /// Sweeps every crash point of `op` and verifies consistency after each.
+  void SweepCrashPoints(const std::function<void(enclave::NexusEnclave&)>& op,
+                        std::size_t min_stable_files) {
+    const int total = RunWithCrash(-1, op); // unobstructed baseline
+    ASSERT_GT(total, 0);
+    VerifyVolumeReadable(min_stable_files);
+    for (int k = 0; k < total; ++k) {
+      SCOPED_TRACE("crash after mutation " + std::to_string(k));
+      RunWithCrash(k, op);
+      VerifyVolumeReadable(min_stable_files);
+    }
+  }
+
+  test::World world_;
+  test::Machine* machine_ = nullptr;
+  core::NexusClient::VolumeHandle handle_;
+};
+
+TEST_F(CrashConsistencyTest, CreateFile) {
+  SweepCrashPoints(
+      [](enclave::NexusEnclave& e) {
+        (void)e.EcallTouch("work/new-file", enclave::EntryType::kFile);
+      },
+      /*min_stable_files=*/6);
+}
+
+TEST_F(CrashConsistencyTest, CreateDirectory) {
+  SweepCrashPoints(
+      [](enclave::NexusEnclave& e) {
+        (void)e.EcallTouch("work/new-dir", enclave::EntryType::kDirectory);
+      },
+      6);
+}
+
+TEST_F(CrashConsistencyTest, RemoveFile) {
+  SweepCrashPoints(
+      [](enclave::NexusEnclave& e) { (void)e.EcallRemove("work/victim"); }, 5);
+}
+
+TEST_F(CrashConsistencyTest, WriteContent) {
+  SweepCrashPoints(
+      [](enclave::NexusEnclave& e) {
+        const Bytes content(5000, 0x42);
+        (void)e.EcallEncrypt("work/victim", content);
+      },
+      5);
+}
+
+TEST_F(CrashConsistencyTest, RenameAcrossDirectories) {
+  SweepCrashPoints(
+      [](enclave::NexusEnclave& e) {
+        (void)e.EcallRename("work/victim", "stable/moved");
+      },
+      5);
+}
+
+TEST_F(CrashConsistencyTest, RenameReplacingTarget) {
+  SweepCrashPoints(
+      [](enclave::NexusEnclave& e) {
+        (void)e.EcallRename("work/victim", "stable/f0");
+      },
+      4); // f0 may legitimately be replaced mid-flight
+}
+
+} // namespace
+} // namespace nexus

@@ -1,0 +1,143 @@
+// X25519 (RFC 7748) and Ed25519 (RFC 8032) known-answer + property tests.
+#include <gtest/gtest.h>
+
+#include "common/hex.hpp"
+#include "crypto/ed25519.hpp"
+#include "crypto/rng.hpp"
+#include "crypto/x25519.hpp"
+
+namespace nexus::crypto {
+namespace {
+
+ByteArray<32> Arr32(std::string_view hex) {
+  return ToArray<32>(HexDecode(hex).value());
+}
+std::string HexOf(ByteSpan b) { return HexEncode(b); }
+
+// RFC 7748 §5.2 test vector 1.
+TEST(X25519, Rfc7748Vector1) {
+  const auto scalar = Arr32(
+      "a546e36bf0527c9d3b16154b82465edd62144c0ac1fc5a18506a2244ba449ac4");
+  const auto point = Arr32(
+      "e6db6867583030db3594c1a424b15f7c726624ec26b3353b10a903a6d0ab1c4c");
+  EXPECT_EQ(HexOf(X25519(scalar, point)),
+            "c3da55379de9c6908e94ea4df28d084f32eccf03491c71f754b4075577a28552");
+}
+
+// RFC 7748 §5.2 test vector 2.
+TEST(X25519, Rfc7748Vector2) {
+  const auto scalar = Arr32(
+      "4b66e9d4d1b4673c5ad22691957d6af5c11b6421e0ea01d42ca4169e7918ba0d");
+  const auto point = Arr32(
+      "e5210f12786811d3f4b7959d0538ae2c31dbe7106fc03c3efc4cd549c715a493");
+  EXPECT_EQ(HexOf(X25519(scalar, point)),
+            "95cbde9476e8907d7aade45cb4b873f88b595a68799fa152e6f8f7647aac7957");
+}
+
+// RFC 7748 §6.1 Diffie-Hellman vector.
+TEST(X25519, Rfc7748DiffieHellman) {
+  const auto alice_priv = Arr32(
+      "77076d0a7318a57d3c16c17251b26645df4c2f87ebc0992ab177fba51db92c2a");
+  const auto bob_priv = Arr32(
+      "5dab087e624a8a4b79e17f8b83800ee66f3bb1292618b6fd1c2f8b27ff88e0eb");
+
+  const auto alice_pub = X25519BasePoint(alice_priv);
+  EXPECT_EQ(HexOf(alice_pub),
+            "8520f0098930a754748b7ddcb43ef75a0dbf3a0d26381af4eba4a98eaa9b4e6a");
+  const auto bob_pub = X25519BasePoint(bob_priv);
+  EXPECT_EQ(HexOf(bob_pub),
+            "de9edb7d7b7dc1b4d35b61c2ece435373f8343c85b78674dadfc7e146f882b4f");
+
+  const auto k1 = X25519(alice_priv, bob_pub);
+  const auto k2 = X25519(bob_priv, alice_pub);
+  EXPECT_EQ(k1, k2);
+  EXPECT_EQ(HexOf(k1),
+            "4a5d9d5ba4ce2de1728e3bf480350f25e07e21c947d19e3376f09b3c1e161742");
+}
+
+TEST(X25519, SharedSecretAgreementIsSymmetricForRandomKeys) {
+  HmacDrbg rng(AsBytes("x25519"));
+  for (int i = 0; i < 8; ++i) {
+    const auto a = X25519ClampScalar(rng.Array<32>());
+    const auto b = X25519ClampScalar(rng.Array<32>());
+    const auto k_ab = X25519(a, X25519BasePoint(b));
+    const auto k_ba = X25519(b, X25519BasePoint(a));
+    EXPECT_EQ(k_ab, k_ba) << i;
+  }
+}
+
+// RFC 8032 §7.1 TEST 1 (empty message).
+TEST(Ed25519, Rfc8032Test1) {
+  const auto seed = Arr32(
+      "9d61b19deffd5a60ba844af492ec2cc44449c5697b326919703bac031cae7f60");
+  const auto key = Ed25519FromSeed(seed);
+  EXPECT_EQ(HexOf(key.public_key),
+            "d75a980182b10ab7d54bfed3c964073a0ee172f3daa62325af021a68f707511a");
+  const auto sig = Ed25519Sign(key, {});
+  EXPECT_EQ(HexOf(sig),
+            "e5564300c360ac729086e2cc806e828a84877f1eb8e5d974d873e06522490155"
+            "5fb8821590a33bacc61e39701cf9b46bd25bf5f0595bbe24655141438e7a100b");
+  EXPECT_TRUE(Ed25519Verify(key.public_key, {}, sig));
+}
+
+// RFC 8032 §7.1 TEST 2 (one-byte message 0x72).
+TEST(Ed25519, Rfc8032Test2) {
+  const auto seed = Arr32(
+      "4ccd089b28ff96da9db6c346ec114e0f5b8a319f35aba624da8cf6ed4fb8a6fb");
+  const auto key = Ed25519FromSeed(seed);
+  EXPECT_EQ(HexOf(key.public_key),
+            "3d4017c3e843895a92b70aa74d1b7ebc9c982ccf2ec4968cc0cd55f12af4660c");
+  const Bytes msg = HexDecode("72").value();
+  const auto sig = Ed25519Sign(key, msg);
+  EXPECT_EQ(HexOf(sig),
+            "92a009a9f0d4cab8720e820b5f642540a2b27b5416503f8fb3762223ebdb69da"
+            "085ac1e43e15996e458f3613d0f11d8c387b2eaeb4302aeeb00d291612bb0c00");
+  EXPECT_TRUE(Ed25519Verify(key.public_key, msg, sig));
+}
+
+// RFC 8032 §7.1 TEST 3 (two-byte message af82).
+TEST(Ed25519, Rfc8032Test3) {
+  const auto seed = Arr32(
+      "c5aa8df43f9f837bedb7442f31dcb7b166d38535076f094b85ce3a2e0b4458f7");
+  const auto key = Ed25519FromSeed(seed);
+  const Bytes msg = HexDecode("af82").value();
+  const auto sig = Ed25519Sign(key, msg);
+  EXPECT_EQ(HexOf(sig),
+            "6291d657deec24024827e69c3abe01a30ce548a284743a445e3680d7db5ac3ac"
+            "18ff9b538d16f290ae67f760984dc6594a7c15e9716ed28dc027beceea1ec40a");
+  EXPECT_TRUE(Ed25519Verify(key.public_key, msg, sig));
+}
+
+TEST(Ed25519, RejectsTamperedSignatureAndMessage) {
+  HmacDrbg rng(AsBytes("ed25519"));
+  const auto key = Ed25519FromSeed(rng.Array<32>());
+  const Bytes msg = rng.Generate(100);
+  const auto sig = Ed25519Sign(key, msg);
+  ASSERT_TRUE(Ed25519Verify(key.public_key, msg, sig));
+
+  // Tampered message.
+  Bytes bad_msg = msg;
+  bad_msg[3] ^= 1;
+  EXPECT_FALSE(Ed25519Verify(key.public_key, bad_msg, sig));
+
+  // Tampered signature (R half and S half).
+  auto bad_sig = sig;
+  bad_sig[0] ^= 1;
+  EXPECT_FALSE(Ed25519Verify(key.public_key, msg, bad_sig));
+  bad_sig = sig;
+  bad_sig[40] ^= 1;
+  EXPECT_FALSE(Ed25519Verify(key.public_key, msg, bad_sig));
+
+  // Wrong public key.
+  const auto other = Ed25519FromSeed(rng.Array<32>());
+  EXPECT_FALSE(Ed25519Verify(other.public_key, msg, sig));
+}
+
+TEST(Ed25519, SignaturesAreDeterministic) {
+  const auto key = Ed25519FromSeed(ByteArray<32>{1, 2, 3});
+  const Bytes msg = ToBytes(std::string_view("determinism"));
+  EXPECT_EQ(Ed25519Sign(key, msg), Ed25519Sign(key, msg));
+}
+
+} // namespace
+} // namespace nexus::crypto

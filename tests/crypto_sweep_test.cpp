@@ -1,0 +1,197 @@
+// Broad parameterized sweeps and robustness tests for the crypto layer:
+// portable-vs-hardware GHASH equivalence, AEAD round trips across many
+// lengths, and fuzz-ish inputs into every deserializer (hostile bytes must
+// produce errors, never crashes or huge allocations).
+#include <gtest/gtest.h>
+
+#include "common/serial.hpp"
+#include "crypto/aes.hpp"
+#include "crypto/aesni.hpp"
+#include "crypto/gcm.hpp"
+#include "crypto/gcm_siv.hpp"
+#include "crypto/rng.hpp"
+#include "enclave/metadata.hpp"
+#include "enclave/metadata_codec.hpp"
+#include "sgx/attestation.hpp"
+
+namespace nexus::crypto {
+namespace {
+
+TEST(GhashEquivalence, PortableAndPclmulAgree) {
+  if (!HasAesHardware()) GTEST_SKIP() << "no PCLMUL on this machine";
+  HmacDrbg rng(AsBytes("ghash-eq"));
+  for (int trial = 0; trial < 50; ++trial) {
+    const auto h = rng.Array<16>();
+    const Bytes data = rng.Generate(1 + rng.Below(512));
+
+    Ghash fast(h.data());
+    Ghash slow(h.data(), /*force_portable=*/true);
+    fast.Update(data);
+    slow.Update(data);
+    std::uint8_t out_fast[16], out_slow[16];
+    fast.FinishLengths(0, data.size(), out_fast);
+    slow.FinishLengths(0, data.size(), out_slow);
+    EXPECT_EQ(Bytes(out_fast, out_fast + 16), Bytes(out_slow, out_slow + 16))
+        << "trial " << trial << " len " << data.size();
+  }
+}
+
+class GcmLengthSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(GcmLengthSweep, RoundTripEveryLength) {
+  const std::size_t len = GetParam();
+  HmacDrbg rng(AsBytes("gcm-sweep"));
+  const auto aes = Aes::Create(rng.Generate(16)).value();
+  const Bytes iv = rng.Generate(12);
+  const Bytes aad = rng.Generate(len % 48);
+  const Bytes pt = rng.Generate(len);
+
+  const Bytes sealed = GcmSeal(aes, iv, aad, pt).value();
+  EXPECT_EQ(sealed.size(), len + kGcmTagSize);
+  EXPECT_EQ(GcmOpen(aes, iv, aad, sealed).value(), pt);
+}
+
+INSTANTIATE_TEST_SUITE_P(Lengths, GcmLengthSweep,
+                         ::testing::Values(0, 1, 15, 16, 17, 31, 32, 33, 47,
+                                           48, 63, 64, 65, 127, 128, 129, 255,
+                                           256, 1000, 4096, 65537));
+
+class GcmSivLengthSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(GcmSivLengthSweep, RoundTripEveryLength) {
+  const std::size_t len = GetParam();
+  HmacDrbg rng(AsBytes("siv-sweep"));
+  const Bytes key = rng.Generate(len % 2 == 0 ? 16 : 32);
+  const Bytes nonce = rng.Generate(12);
+  const Bytes aad = rng.Generate((len * 7) % 33);
+  const Bytes pt = rng.Generate(len);
+
+  const Bytes sealed = GcmSivSeal(key, nonce, aad, pt).value();
+  EXPECT_EQ(GcmSivOpen(key, nonce, aad, sealed).value(), pt);
+}
+
+INSTANTIATE_TEST_SUITE_P(Lengths, GcmSivLengthSweep,
+                         ::testing::Values(0, 1, 15, 16, 17, 32, 33, 100, 255,
+                                           256, 1000, 5000));
+
+// ---- hostile-input robustness ---------------------------------------------------
+// Deserializers run on attacker bytes inside the enclave: any input must
+// yield a clean error. We fuzz with (a) random bytes, (b) truncations of
+// valid encodings, (c) single-byte corruptions of valid encodings.
+
+template <typename ParseFn>
+void FuzzParser(const Bytes& valid, ParseFn parse, const char* what) {
+  HmacDrbg rng(Concat(AsBytes("fuzz-"), AsBytes(what)));
+  // Random garbage of assorted sizes.
+  for (const std::size_t len :
+       {std::size_t{0}, std::size_t{1}, std::size_t{8}, std::size_t{64},
+        valid.size(), valid.size() * 2}) {
+    const Bytes junk = rng.Generate(len);
+    (void)parse(junk); // must not crash / OOM
+  }
+  // Truncations.
+  for (std::size_t cut = 0; cut < valid.size(); cut += 1 + valid.size() / 37) {
+    (void)parse(ByteSpan(valid.data(), cut));
+  }
+  // Bit flips.
+  for (std::size_t i = 0; i < valid.size(); i += 1 + valid.size() / 53) {
+    Bytes mutated = valid;
+    mutated[i] ^= 0xff;
+    (void)parse(mutated);
+  }
+  SUCCEED();
+}
+
+TEST(HostileInput, QuoteDeserialize) {
+  sgx::IntelAttestationService intel(AsBytes("intel"));
+  auto cpu = intel.ProvisionCpu(AsBytes("cpu"));
+  const sgx::Quote quote =
+      cpu->GenerateQuote(sgx::NexusEnclaveImage().measurement(), {});
+  FuzzParser(quote.Serialize(),
+             [](ByteSpan b) { return sgx::Quote::Deserialize(b).ok(); },
+             "quote");
+}
+
+TEST(HostileInput, SupernodeDeserialize) {
+  HmacDrbg rng(AsBytes("sn"));
+  enclave::Supernode sn;
+  sn.volume_uuid = rng.NewUuid();
+  sn.root_dir = rng.NewUuid();
+  sn.users.push_back({0, "owner", rng.Array<32>()});
+  sn.users.push_back({1, "alice", rng.Array<32>()});
+  FuzzParser(sn.Serialize(),
+             [](ByteSpan b) { return enclave::Supernode::Deserialize(b).ok(); },
+             "supernode");
+}
+
+TEST(HostileInput, DirnodeAndBucketDeserialize) {
+  HmacDrbg rng(AsBytes("dn"));
+  enclave::Dirnode d;
+  d.uuid = rng.NewUuid();
+  d.parent = rng.NewUuid();
+  d.SetAcl(1, enclave::kPermRead);
+  d.buckets.push_back({rng.NewUuid(), 2, rng.Array<32>()});
+  FuzzParser(d.Serialize(),
+             [](ByteSpan b) { return enclave::Dirnode::Deserialize(b).ok(); },
+             "dirnode");
+
+  enclave::DirBucket bucket;
+  bucket.entries.push_back({"a", rng.NewUuid(), enclave::EntryType::kFile, ""});
+  bucket.entries.push_back(
+      {"s", Uuid(), enclave::EntryType::kSymlink, "target"});
+  const Uuid owner = d.uuid;
+  FuzzParser(bucket.Serialize(owner),
+             [owner](ByteSpan b) {
+               return enclave::DirBucket::Deserialize(b, owner).ok();
+             },
+             "bucket");
+}
+
+TEST(HostileInput, FilenodeDeserialize) {
+  HmacDrbg rng(AsBytes("fn"));
+  enclave::Filenode f;
+  f.uuid = rng.NewUuid();
+  f.parent = rng.NewUuid();
+  f.data_uuid = rng.NewUuid();
+  f.chunk_size = 4096;
+  f.size = 10000;
+  for (int i = 0; i < 3; ++i) {
+    f.chunks.push_back({rng.Array<16>(), rng.Array<12>()});
+  }
+  FuzzParser(f.Serialize(),
+             [](ByteSpan b) { return enclave::Filenode::Deserialize(b).ok(); },
+             "filenode");
+}
+
+TEST(HostileInput, MetadataBlobDecode) {
+  HmacDrbg rng(AsBytes("blob"));
+  const enclave::RootKey rootkey{1, 2, 3};
+  const enclave::Preamble p{enclave::MetaType::kFilenode, rng.NewUuid(), 1};
+  const Bytes blob =
+      enclave::EncodeMetadata(p, rng.Generate(200), rootkey, rng).value();
+  FuzzParser(blob,
+             [&](ByteSpan b) {
+               return enclave::DecodeMetadata(b, rootkey,
+                                              enclave::MetaType::kFilenode,
+                                              p.uuid)
+                   .ok();
+             },
+             "metadata-blob");
+}
+
+TEST(HostileInput, GcmOpenNeverCrashes) {
+  HmacDrbg rng(AsBytes("open"));
+  const auto aes = Aes::Create(rng.Generate(16)).value();
+  const Bytes iv = rng.Generate(12);
+  for (const std::size_t len : {0u, 1u, 15u, 16u, 17u, 100u}) {
+    EXPECT_FALSE(GcmOpen(aes, iv, {}, rng.Generate(len)).ok());
+  }
+  // Wrong IV length.
+  EXPECT_FALSE(GcmOpen(aes, rng.Generate(11), {}, rng.Generate(32)).ok());
+  EXPECT_FALSE(GcmSivOpen(rng.Generate(16), rng.Generate(13), {},
+                          rng.Generate(32))
+                   .ok());
+}
+
+} // namespace
+} // namespace nexus::crypto

@@ -1,0 +1,222 @@
+// Metadata structure serialization and the three-section encryption format.
+#include <gtest/gtest.h>
+
+#include "crypto/rng.hpp"
+#include "enclave/metadata.hpp"
+#include "enclave/metadata_codec.hpp"
+
+namespace nexus::enclave {
+namespace {
+
+crypto::HmacDrbg& Rng() {
+  static crypto::HmacDrbg rng(AsBytes("metadata-test"));
+  return rng;
+}
+
+RootKey TestRootkey() { return ByteArray<16>{1, 2, 3, 4, 5}; }
+
+Uuid NewUuid() { return Rng().NewUuid(); }
+
+// ---- structure round trips ---------------------------------------------------
+
+TEST(Supernode, SerializationRoundTrip) {
+  Supernode s;
+  s.volume_uuid = NewUuid();
+  s.root_dir = NewUuid();
+  s.config.chunk_size = 1 << 20;
+  s.config.dirnode_bucket_size = 128;
+  s.next_user_id = 3;
+  s.users.push_back(UserRecord{0, "owen", Rng().Array<32>()});
+  s.users.push_back(UserRecord{2, "alice", Rng().Array<32>()});
+
+  auto back = Supernode::Deserialize(s.Serialize());
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->volume_uuid, s.volume_uuid);
+  EXPECT_EQ(back->root_dir, s.root_dir);
+  EXPECT_EQ(back->next_user_id, 3u);
+  ASSERT_EQ(back->users.size(), 2u);
+  EXPECT_EQ(back->users[1].name, "alice");
+  EXPECT_EQ(back->users[1].public_key, s.users[1].public_key);
+
+  EXPECT_NE(back->FindUserByName("owen"), nullptr);
+  EXPECT_EQ(back->FindUserByName("nobody"), nullptr);
+  EXPECT_NE(back->FindUserByKey(s.users[1].public_key), nullptr);
+  EXPECT_NE(back->FindUserById(2), nullptr);
+  EXPECT_EQ(back->FindUserById(1), nullptr);
+}
+
+TEST(Supernode, RejectsTruncation) {
+  Supernode s;
+  s.volume_uuid = NewUuid();
+  s.root_dir = NewUuid();
+  s.users.push_back(UserRecord{0, "owen", Rng().Array<32>()});
+  const Bytes body = s.Serialize();
+  for (std::size_t cut : {body.size() - 1, body.size() / 2, std::size_t{3}}) {
+    EXPECT_FALSE(Supernode::Deserialize(ByteSpan(body.data(), cut)).ok());
+  }
+}
+
+TEST(Dirnode, SerializationAndAcl) {
+  Dirnode d;
+  d.uuid = NewUuid();
+  d.parent = NewUuid();
+  d.SetAcl(3, kPermRead);
+  d.SetAcl(4, kPermRead | kPermWrite);
+  BucketRef ref;
+  ref.uuid = NewUuid();
+  ref.entry_count = 7;
+  ref.mac = crypto::HmacDrbg(AsBytes("m")).Array<32>();
+  d.buckets.push_back(ref);
+
+  auto back = Dirnode::Deserialize(d.Serialize());
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->parent, d.parent);
+  ASSERT_EQ(back->buckets.size(), 1u);
+  EXPECT_EQ(back->buckets[0].mac, ref.mac);
+  EXPECT_EQ(back->TotalEntries(), 7u);
+  ASSERT_NE(back->FindAcl(3), nullptr);
+  EXPECT_EQ(back->FindAcl(3)->perms, kPermRead);
+  EXPECT_EQ(back->FindAcl(99), nullptr);
+
+  // ACL updates: overwrite and revoke.
+  back->SetAcl(3, kPermRead | kPermWrite);
+  EXPECT_EQ(back->FindAcl(3)->perms, kPermRead | kPermWrite);
+  back->SetAcl(3, kPermNone);
+  EXPECT_EQ(back->FindAcl(3), nullptr);
+}
+
+TEST(DirBucket, RoundTripAndOwnershipCheck) {
+  const Uuid owner = NewUuid();
+  DirBucket b;
+  b.entries.push_back(DirEntry{"a.txt", NewUuid(), EntryType::kFile, ""});
+  b.entries.push_back(DirEntry{"docs", NewUuid(), EntryType::kDirectory, ""});
+  b.entries.push_back(DirEntry{"link", Uuid(), EntryType::kSymlink, "a.txt"});
+
+  const Bytes body = b.Serialize(owner);
+  auto back = DirBucket::Deserialize(body, owner);
+  ASSERT_TRUE(back.ok());
+  ASSERT_EQ(back->entries.size(), 3u);
+  EXPECT_EQ(back->entries[2].symlink_target, "a.txt");
+
+  // A bucket presented under another dirnode is rejected.
+  EXPECT_FALSE(DirBucket::Deserialize(body, NewUuid()).ok());
+}
+
+TEST(Filenode, RoundTripAndChunkConsistency) {
+  Filenode f;
+  f.uuid = NewUuid();
+  f.parent = NewUuid();
+  f.data_uuid = NewUuid();
+  f.chunk_size = 1 << 20;
+  f.size = (2 << 20) + 5; // 3 chunks
+  f.link_count = 2;
+  for (int i = 0; i < 3; ++i) {
+    f.chunks.push_back(ChunkContext{Rng().Array<16>(), Rng().Array<12>()});
+  }
+
+  auto back = Filenode::Deserialize(f.Serialize());
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->size, f.size);
+  EXPECT_EQ(back->link_count, 2u);
+  ASSERT_EQ(back->chunks.size(), 3u);
+  EXPECT_EQ(back->chunks[1].key, f.chunks[1].key);
+
+  // Chunk table size must match the file size.
+  f.chunks.pop_back();
+  EXPECT_FALSE(Filenode::Deserialize(f.Serialize()).ok());
+}
+
+TEST(Filenode, ChunkCountMath) {
+  Filenode f;
+  f.chunk_size = 1024;
+  f.size = 0;
+  EXPECT_EQ(f.ChunkCount(), 0u);
+  f.size = 1;
+  EXPECT_EQ(f.ChunkCount(), 1u);
+  f.size = 1024;
+  EXPECT_EQ(f.ChunkCount(), 1u);
+  f.size = 1025;
+  EXPECT_EQ(f.ChunkCount(), 2u);
+}
+
+// ---- encrypted framing ---------------------------------------------------------
+
+TEST(MetadataCodec, RoundTrip) {
+  const Preamble p{MetaType::kDirnodeMain, NewUuid(), 7};
+  const Bytes body = ToBytes(std::string_view("hello metadata"));
+  auto blob = EncodeMetadata(p, body, TestRootkey(), Rng());
+  ASSERT_TRUE(blob.ok());
+
+  auto decoded = DecodeMetadata(*blob, TestRootkey(), MetaType::kDirnodeMain, p.uuid);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->preamble.version, 7u);
+  EXPECT_EQ(decoded->body, body);
+}
+
+TEST(MetadataCodec, BodyIsActuallyEncrypted) {
+  const Preamble p{MetaType::kSupernode, NewUuid(), 1};
+  const std::string secret = "SECRET-FILENAME-cake.c";
+  auto blob = EncodeMetadata(p, AsBytes(secret), TestRootkey(), Rng()).value();
+  const std::string haystack(reinterpret_cast<const char*>(blob.data()), blob.size());
+  EXPECT_EQ(haystack.find(secret), std::string::npos);
+}
+
+TEST(MetadataCodec, FreshKeysEveryEncode) {
+  const Preamble p{MetaType::kFilenode, NewUuid(), 1};
+  const Bytes body(64, 0x42);
+  auto a = EncodeMetadata(p, body, TestRootkey(), Rng()).value();
+  auto b = EncodeMetadata(p, body, TestRootkey(), Rng()).value();
+  EXPECT_NE(a, b); // re-keyed on every update
+}
+
+TEST(MetadataCodec, WrongRootkeyRejected) {
+  const Preamble p{MetaType::kSupernode, NewUuid(), 1};
+  auto blob = EncodeMetadata(p, Bytes(32, 1), TestRootkey(), Rng()).value();
+  const RootKey other{9, 9, 9};
+  auto r = DecodeMetadata(blob, other, MetaType::kSupernode, p.uuid);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), ErrorCode::kIntegrityViolation);
+}
+
+TEST(MetadataCodec, EveryByteFlipDetected) {
+  const Preamble p{MetaType::kFilenode, NewUuid(), 3};
+  auto blob = EncodeMetadata(p, Bytes(40, 7), TestRootkey(), Rng()).value();
+  // Exhaustive single-byte tamper sweep across the whole object: preamble,
+  // crypto context and body must all be protected.
+  for (std::size_t i = 0; i < blob.size(); ++i) {
+    Bytes bad = blob;
+    bad[i] ^= 0x01;
+    EXPECT_FALSE(DecodeMetadata(bad, TestRootkey(), MetaType::kFilenode, p.uuid).ok())
+        << "byte " << i << " flip was not detected";
+  }
+}
+
+TEST(MetadataCodec, TypeConfusionRejected) {
+  // A filenode blob presented where a dirnode is expected must fail even
+  // though it authenticates correctly.
+  const Preamble p{MetaType::kFilenode, NewUuid(), 1};
+  auto blob = EncodeMetadata(p, Bytes(8, 1), TestRootkey(), Rng()).value();
+  EXPECT_FALSE(DecodeMetadata(blob, TestRootkey(), MetaType::kDirnodeMain, p.uuid).ok());
+}
+
+TEST(MetadataCodec, UuidMismatchRejected) {
+  // File-swapping: object stored under a different UUID than it claims.
+  const Preamble p{MetaType::kDirnodeMain, NewUuid(), 1};
+  auto blob = EncodeMetadata(p, Bytes(8, 1), TestRootkey(), Rng()).value();
+  EXPECT_FALSE(
+      DecodeMetadata(blob, TestRootkey(), MetaType::kDirnodeMain, NewUuid()).ok());
+  // Nil expected uuid skips the check (supernode discovery).
+  EXPECT_TRUE(DecodeMetadata(blob, TestRootkey(), MetaType::kDirnodeMain, Uuid()).ok());
+}
+
+TEST(MetadataCodec, PeekPreambleReadsPlaintextHeader) {
+  const Preamble p{MetaType::kSupernode, NewUuid(), 42};
+  auto blob = EncodeMetadata(p, Bytes(8, 1), TestRootkey(), Rng()).value();
+  auto peek = PeekPreamble(blob);
+  ASSERT_TRUE(peek.ok());
+  EXPECT_EQ(peek->version, 42u);
+  EXPECT_EQ(peek->uuid, p.uuid);
+}
+
+} // namespace
+} // namespace nexus::enclave

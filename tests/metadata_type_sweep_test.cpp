@@ -1,0 +1,78 @@
+// Parameterized sweep of the metadata encryption framing across every
+// object type and a spread of body sizes, plus cross-type/uuid confusion
+// checks for each combination.
+#include <gtest/gtest.h>
+
+#include "crypto/rng.hpp"
+#include "enclave/metadata_codec.hpp"
+
+namespace nexus::enclave {
+namespace {
+
+struct SweepCase {
+  MetaType type;
+  std::size_t body_size;
+};
+
+std::string CaseName(const ::testing::TestParamInfo<SweepCase>& info) {
+  const char* type = "";
+  switch (info.param.type) {
+    case MetaType::kSupernode: type = "Supernode"; break;
+    case MetaType::kDirnodeMain: type = "DirnodeMain"; break;
+    case MetaType::kDirnodeBucket: type = "DirnodeBucket"; break;
+    case MetaType::kFilenode: type = "Filenode"; break;
+    case MetaType::kUserIdentity: type = "UserIdentity"; break;
+  }
+  return std::string(type) + "_" + std::to_string(info.param.body_size);
+}
+
+class MetadataTypeSweep : public ::testing::TestWithParam<SweepCase> {};
+
+TEST_P(MetadataTypeSweep, EncodeDecodeAndConfusionChecks) {
+  const SweepCase& p = GetParam();
+  crypto::HmacDrbg rng(AsBytes("type-sweep"));
+  const RootKey rootkey{0xaa, 0xbb};
+  const Preamble preamble{p.type, rng.NewUuid(), 3};
+  const Bytes body = rng.Generate(p.body_size);
+
+  const Bytes blob = EncodeMetadata(preamble, body, rootkey, rng).value();
+
+  // Round trip under the right expectations.
+  auto decoded = DecodeMetadata(blob, rootkey, p.type, preamble.uuid);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->body, body);
+  EXPECT_EQ(decoded->preamble.version, 3u);
+
+  // Every OTHER expected type must be rejected (type confusion).
+  for (const MetaType other :
+       {MetaType::kSupernode, MetaType::kDirnodeMain, MetaType::kDirnodeBucket,
+        MetaType::kFilenode, MetaType::kUserIdentity}) {
+    if (other == p.type) continue;
+    EXPECT_FALSE(DecodeMetadata(blob, rootkey, other, preamble.uuid).ok());
+  }
+
+  // Wrong uuid and wrong rootkey must be rejected.
+  EXPECT_FALSE(DecodeMetadata(blob, rootkey, p.type, rng.NewUuid()).ok());
+  const RootKey other_key{0x11};
+  EXPECT_FALSE(DecodeMetadata(blob, other_key, p.type, preamble.uuid).ok());
+
+  // Ciphertext expansion is bounded and fixed: preamble(29) + context(56)
+  // + length prefix(4) + body + tag(16).
+  EXPECT_EQ(blob.size(), 29 + 56 + 4 + p.body_size + 16);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllTypesAndSizes, MetadataTypeSweep,
+    ::testing::Values(SweepCase{MetaType::kSupernode, 0},
+                      SweepCase{MetaType::kSupernode, 300},
+                      SweepCase{MetaType::kDirnodeMain, 64},
+                      SweepCase{MetaType::kDirnodeMain, 4096},
+                      SweepCase{MetaType::kDirnodeBucket, 1},
+                      SweepCase{MetaType::kDirnodeBucket, 9000},
+                      SweepCase{MetaType::kFilenode, 128},
+                      SweepCase{MetaType::kFilenode, 65536},
+                      SweepCase{MetaType::kUserIdentity, 100}),
+    CaseName);
+
+} // namespace
+} // namespace nexus::enclave

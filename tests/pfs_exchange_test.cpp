@@ -1,0 +1,154 @@
+// The synchronous mutual-attestation exchange (§VI-B): both parties
+// online, fresh quoted ephemeral keys per exchange, forward secrecy.
+#include <gtest/gtest.h>
+
+#include "common/serial.hpp"
+#include "crypto/x25519.hpp"
+#include "test_env.hpp"
+
+namespace nexus {
+namespace {
+
+class PfsExchangeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    owen_ = &world_.AddMachine("owen");
+    alice_ = &world_.AddMachine("alice");
+    auto handle = owen_->nexus->CreateVolume(owen_->user);
+    ASSERT_TRUE(handle.ok());
+    handle_ = std::move(handle).value();
+  }
+
+  test::World world_;
+  test::Machine* owen_ = nullptr;
+  test::Machine* alice_ = nullptr;
+  core::NexusClient::VolumeHandle handle_;
+};
+
+TEST_F(PfsExchangeTest, FullExchangeGrantsAccess) {
+  ASSERT_TRUE(owen_->nexus->WriteFile("f", Bytes{1, 2}).ok());
+
+  ASSERT_TRUE(alice_->nexus->PublishEphemeralOffer(alice_->user).ok());
+  ASSERT_TRUE(owen_->nexus
+                  ->GrantAccessEphemeral(owen_->user, "alice",
+                                         alice_->user.public_key())
+                  .ok());
+  auto handle = alice_->nexus->AcceptEphemeralGrant(
+      alice_->user, "owen", owen_->user.public_key(), handle_.volume_uuid);
+  ASSERT_TRUE(handle.ok()) << handle.status().ToString();
+
+  ASSERT_TRUE(alice_->nexus
+                  ->Mount(alice_->user, handle_.volume_uuid, handle->sealed_rootkey)
+                  .ok());
+  ASSERT_TRUE(owen_->nexus
+                  ->SetAcl("", "alice", enclave::kPermRead)
+                  .ok());
+  EXPECT_EQ(alice_->nexus->ReadFile("f").value(), (Bytes{1, 2}));
+}
+
+TEST_F(PfsExchangeTest, OfferIsOneShot) {
+  ASSERT_TRUE(alice_->nexus->PublishEphemeralOffer(alice_->user).ok());
+  ASSERT_TRUE(owen_->nexus
+                  ->GrantAccessEphemeral(owen_->user, "alice",
+                                         alice_->user.public_key())
+                  .ok());
+  auto first = alice_->nexus->AcceptEphemeralGrant(
+      alice_->user, "owen", owen_->user.public_key(), handle_.volume_uuid);
+  ASSERT_TRUE(first.ok());
+  // The ephemeral private key was destroyed on accept: replaying the same
+  // grant file yields nothing.
+  auto replay = alice_->nexus->AcceptEphemeralGrant(
+      alice_->user, "owen", owen_->user.public_key(), handle_.volume_uuid);
+  EXPECT_FALSE(replay.ok());
+}
+
+TEST_F(PfsExchangeTest, FreshOfferInvalidatesOldGrant) {
+  ASSERT_TRUE(alice_->nexus->PublishEphemeralOffer(alice_->user).ok());
+  ASSERT_TRUE(owen_->nexus
+                  ->GrantAccessEphemeral(owen_->user, "alice",
+                                         alice_->user.public_key())
+                  .ok());
+  // Alice publishes a NEW offer before accepting: the pending key rotated,
+  // so the old grant (addressed to the previous ephemeral key) is dead.
+  ASSERT_TRUE(alice_->nexus->PublishEphemeralOffer(alice_->user).ok());
+  auto stale = alice_->nexus->AcceptEphemeralGrant(
+      alice_->user, "owen", owen_->user.public_key(), handle_.volume_uuid);
+  EXPECT_FALSE(stale.ok());
+  EXPECT_EQ(stale.status().code(), ErrorCode::kPermissionDenied);
+}
+
+TEST_F(PfsExchangeTest, GrantRejectsForgedOfferSignature) {
+  ASSERT_TRUE(alice_->nexus->PublishEphemeralOffer(alice_->user).ok());
+  const core::UserKey mallory = core::UserKey::Generate("mallory", world_.rng());
+  EXPECT_FALSE(owen_->nexus
+                   ->GrantAccessEphemeral(owen_->user, "alice",
+                                          mallory.public_key())
+                   .ok());
+}
+
+TEST_F(PfsExchangeTest, GrantRejectsOfferFromWrongEnclave) {
+  // An offer quoting a non-NEXUS enclave on a genuine CPU must fail the
+  // measurement check inside EcallEphemeralGrant.
+  auto cpu = world_.intel().ProvisionCpu(AsBytes("evil-cpu"));
+  const sgx::EnclaveImage evil("evil", 1, "x");
+  sgx::EnclaveRuntime evil_rt(*cpu, evil, AsBytes("evil"));
+
+  ByteArray<32> eph_priv = crypto::X25519ClampScalar(world_.rng().Array<32>());
+  const ByteArray<32> eph_pub = crypto::X25519BasePoint(eph_priv);
+  ByteArray<sgx::kReportDataSize> report{};
+  std::copy(eph_pub.begin(), eph_pub.end(), report.begin());
+  const sgx::Quote quote = evil_rt.CreateQuote(report);
+
+  Writer w;
+  w.Var(quote.Serialize());
+  w.Raw(eph_pub);
+  const Bytes offer = std::move(w).Take();
+  const core::UserKey mallory = core::UserKey::Generate("mallory", world_.rng());
+  const auto sig = mallory.Sign(offer);
+  Writer file;
+  file.Var(offer);
+  file.Raw(sig);
+  ASSERT_TRUE(owen_->afs->Store("keyx/mallory.offer", file.bytes()).ok());
+
+  const Status s = owen_->nexus->GrantAccessEphemeral(owen_->user, "mallory",
+                                                      mallory.public_key());
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), ErrorCode::kIntegrityViolation);
+}
+
+TEST_F(PfsExchangeTest, AcceptRejectsTamperedGrant) {
+  ASSERT_TRUE(alice_->nexus->PublishEphemeralOffer(alice_->user).ok());
+  ASSERT_TRUE(owen_->nexus
+                  ->GrantAccessEphemeral(owen_->user, "alice",
+                                         alice_->user.public_key())
+                  .ok());
+  // Server flips a byte in the published grant file.
+  const std::string path = "keyx/owen~alice.pfs-grant";
+  Bytes blob = world_.server().AdversaryRead(path).value();
+  blob[blob.size() / 2] ^= 1;
+  ASSERT_TRUE(world_.server().AdversaryWrite(path, blob).ok());
+  alice_->afs->FlushCache();
+
+  auto r = alice_->nexus->AcceptEphemeralGrant(
+      alice_->user, "owen", owen_->user.public_key(), handle_.volume_uuid);
+  EXPECT_FALSE(r.ok());
+}
+
+TEST_F(PfsExchangeTest, GrantsUselessToThirdParty) {
+  ASSERT_TRUE(alice_->nexus->PublishEphemeralOffer(alice_->user).ok());
+  ASSERT_TRUE(owen_->nexus
+                  ->GrantAccessEphemeral(owen_->user, "alice",
+                                         alice_->user.public_key())
+                  .ok());
+  // Eve steals the grant file; her enclave never held Alice's ephemeral
+  // private key.
+  auto& eve = world_.AddMachine("eve");
+  ASSERT_TRUE(eve.nexus->PublishEphemeralOffer(eve.user).ok()); // own pending key
+  core::UserKey eve_as_alice{"alice", eve.user.key};
+  auto r = eve.nexus->AcceptEphemeralGrant(
+      eve_as_alice, "owen", owen_->user.public_key(), handle_.volume_uuid);
+  EXPECT_FALSE(r.ok());
+}
+
+} // namespace
+} // namespace nexus

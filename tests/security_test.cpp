@@ -1,0 +1,246 @@
+// The §VI attack suite: every malicious-server manipulation must be
+// *detected* by the enclave (tamper-evidence), and confidentiality must
+// hold against a server that reads everything.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "test_env.hpp"
+
+namespace nexus {
+namespace {
+
+class AttackTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    machine_ = &world_.AddMachine("owen");
+    auto handle = machine_->nexus->CreateVolume(machine_->user);
+    ASSERT_TRUE(handle.ok());
+    handle_ = std::move(handle).value();
+    fs_ = machine_->nexus.get();
+  }
+
+  /// The attacker-visible name of a path's metadata object.
+  std::string MetaObjectOf(const std::string& path) {
+    return "nx/" + fs_->Lookup(path)->uuid.ToString();
+  }
+
+  /// Re-mounts with a completely cold enclave (fresh session, as a victim
+  /// coming back online would).
+  void ColdRestart() {
+    ASSERT_TRUE(fs_->Unmount().ok());
+    machine_->afs->FlushCache();
+    fresh_ = std::make_unique<core::NexusClient>(*machine_->runtime,
+                                                 *machine_->afs,
+                                                 world_.intel().root_public_key());
+    ASSERT_TRUE(
+        fresh_->Mount(machine_->user, handle_.volume_uuid, handle_.sealed_rootkey)
+            .ok());
+    fs_ = fresh_.get();
+  }
+
+  test::World world_;
+  test::Machine* machine_ = nullptr;
+  core::NexusClient* fs_ = nullptr;
+  std::unique_ptr<core::NexusClient> fresh_;
+  core::NexusClient::VolumeHandle handle_;
+};
+
+TEST_F(AttackTest, MetadataCiphertextTamperDetected) {
+  ASSERT_TRUE(fs_->Mkdir("d").ok());
+  ASSERT_TRUE(fs_->WriteFile("d/f", Bytes{1}).ok());
+  const std::string obj = MetaObjectOf("d");
+
+  Bytes blob = world_.server().AdversaryRead(obj).value();
+  blob[blob.size() / 2] ^= 0x01;
+  ASSERT_TRUE(world_.server().AdversaryWrite(obj, blob).ok());
+
+  ColdRestart();
+  const auto r = fs_->ReadFile("d/f");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), ErrorCode::kIntegrityViolation);
+}
+
+TEST_F(AttackTest, DataObjectTamperDetected) {
+  ASSERT_TRUE(fs_->WriteFile("f", Bytes(100000, 0x55)).ok());
+  // Find the (single) bulk data object.
+  const auto names = machine_->afs->List("nxd/").value();
+  ASSERT_EQ(names.size(), 1u);
+  Bytes blob = world_.server().AdversaryRead(names[0]).value();
+  blob[12345] ^= 0x80;
+  ASSERT_TRUE(world_.server().AdversaryWrite(names[0], blob).ok());
+
+  ColdRestart();
+  const auto r = fs_->ReadFile("f");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), ErrorCode::kIntegrityViolation);
+}
+
+TEST_F(AttackTest, DataObjectTruncationDetected) {
+  ASSERT_TRUE(fs_->WriteFile("f", Bytes(100000, 0x55)).ok());
+  const auto names = machine_->afs->List("nxd/").value();
+  ASSERT_EQ(names.size(), 1u);
+  Bytes blob = world_.server().AdversaryRead(names[0]).value();
+  blob.resize(blob.size() / 2);
+  ASSERT_TRUE(world_.server().AdversaryWrite(names[0], blob).ok());
+  ColdRestart();
+  EXPECT_FALSE(fs_->ReadFile("f").ok());
+}
+
+TEST_F(AttackTest, DirectorySwapDetected) {
+  // §VI-C: swapping two equivalently-encrypted directories must trip the
+  // parent-uuid / self-uuid verification.
+  ASSERT_TRUE(fs_->Mkdir("a").ok());
+  ASSERT_TRUE(fs_->Mkdir("a/inner").ok());
+  ASSERT_TRUE(fs_->Mkdir("b").ok());
+  ASSERT_TRUE(fs_->WriteFile("a/inner/secret", Bytes{7}).ok());
+
+  const std::string obj_a = MetaObjectOf("a/inner");
+  const std::string obj_b = MetaObjectOf("b");
+  ASSERT_TRUE(world_.server().AdversarySwap(obj_a, obj_b).ok());
+
+  ColdRestart();
+  EXPECT_FALSE(fs_->ListDir("b").ok());
+  EXPECT_FALSE(fs_->ListDir("a/inner").ok());
+}
+
+TEST_F(AttackTest, DataObjectSwapDetected) {
+  // Swapping two files' *data* objects: chunk AAD binds ciphertext to its
+  // filenode uuid, so both reads must fail.
+  ASSERT_TRUE(fs_->WriteFile("x", Bytes(5000, 1)).ok());
+  ASSERT_TRUE(fs_->WriteFile("y", Bytes(5000, 2)).ok());
+  const auto names = machine_->afs->List("nxd/").value();
+  ASSERT_EQ(names.size(), 2u);
+  ASSERT_TRUE(world_.server().AdversarySwap(names[0], names[1]).ok());
+
+  ColdRestart();
+  EXPECT_FALSE(fs_->ReadFile("x").ok());
+  EXPECT_FALSE(fs_->ReadFile("y").ok());
+}
+
+TEST_F(AttackTest, MetadataRollbackDetectedWithinSession) {
+  ASSERT_TRUE(fs_->Mkdir("d").ok());
+  ASSERT_TRUE(fs_->Touch("d/v1").ok());
+  const std::string obj = MetaObjectOf("d");
+  const Bytes old_main = world_.server().AdversarySnapshot(obj).value();
+
+  ASSERT_TRUE(fs_->Touch("d/v2").ok());
+  // Server rolls the dirnode main object back to the pre-v2 state and
+  // breaks callbacks so the client re-fetches.
+  ASSERT_TRUE(world_.server().AdversaryRollback(obj, old_main).ok());
+  world_.server().AdversaryInvalidateCallbacks(obj);
+  fs_->enclave().EcallDropCaches();
+
+  const auto r = fs_->ListDir("d");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), ErrorCode::kIntegrityViolation);
+}
+
+TEST_F(AttackTest, BucketRollbackDetectedAcrossSessions) {
+  // Bucket-level rollback is caught even by a *cold* enclave because the
+  // main object pins each bucket's MAC (§V-B). Buckets are copy-on-write,
+  // so the attack is: serve an EARLIER bucket generation's bytes under the
+  // current bucket object's name, keeping the fresh main in place.
+  ASSERT_TRUE(fs_->Mkdir("d").ok());
+  ASSERT_TRUE(fs_->Touch("d/file-one").ok());
+
+  // Identify and snapshot the current (single) bucket of d: it is the one
+  // metadata object that is neither d's main, the root structures, nor a
+  // filenode — find it by diffing the object set before/after the touch.
+  auto object_set = [&] {
+    std::set<std::string> out;
+    const auto names = machine_->afs->List("nx/").value();
+    out.insert(names.begin(), names.end());
+    return out;
+  };
+  const auto before = object_set();
+  ASSERT_TRUE(fs_->Touch("d/file-two").ok());
+  const auto after = object_set();
+
+  // The touch rewrote d's bucket under a new UUID. Find the new bucket:
+  // present now, absent before, and not a filenode (filenodes also got
+  // created — exclude file-two's metadata object via its uuid).
+  const std::string file_two_obj = MetaObjectOf("d/file-two");
+  std::string new_bucket;
+  for (const auto& name : after) {
+    if (!before.contains(name) && name != file_two_obj) {
+      new_bucket = name;
+    }
+  }
+  ASSERT_FALSE(new_bucket.empty());
+
+  // Snapshot the current bucket's bytes (the adversary keeps a copy), make
+  // one more change — which rewrites the bucket under yet another UUID —
+  // then serve the stale generation under the then-current bucket's name.
+  const Bytes stale_bucket = world_.server().AdversaryRead(new_bucket).value();
+  ASSERT_TRUE(fs_->Touch("d/file-three").ok());
+  const auto final_set = object_set();
+  const std::string file_three_obj = MetaObjectOf("d/file-three");
+  std::string current_bucket;
+  for (const auto& name : final_set) {
+    if (!after.contains(name) && name != file_three_obj) current_bucket = name;
+  }
+  ASSERT_FALSE(current_bucket.empty());
+  ASSERT_TRUE(
+      world_.server().AdversaryWrite(current_bucket, stale_bucket).ok());
+
+  ColdRestart();
+  const auto r = fs_->ListDir("d");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), ErrorCode::kIntegrityViolation);
+}
+
+TEST_F(AttackTest, ServerLearnsNoPlaintext) {
+  // Confidentiality sweep: write a recognizable corpus, then grep every
+  // byte the server stores.
+  const std::string needle = "CONFIDENTIAL-MARKER-0xDEADBEEF";
+  ASSERT_TRUE(fs_->Mkdir("secret-project").ok());
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(fs_->WriteFile("secret-project/report-" + std::to_string(i),
+                               AsBytes(needle + std::to_string(i)))
+                    .ok());
+  }
+  const auto all_names = machine_->afs->List("").value();
+  for (const auto& name : all_names) {
+    EXPECT_EQ(name.find("secret"), std::string::npos) << name;
+    const Bytes raw = world_.server().AdversaryRead(name).value();
+    const std::string s(reinterpret_cast<const char*>(raw.data()), raw.size());
+    EXPECT_EQ(s.find("CONFIDENTIAL"), std::string::npos) << name;
+    EXPECT_EQ(s.find("report-"), std::string::npos) << name;
+  }
+}
+
+TEST_F(AttackTest, StolenCiphertextUselessWithoutUserKey) {
+  // The full attacker bundle from §VI: every server object + Owen's sealed
+  // rootkey, replayed on the attacker's own SGX machine with a genuine
+  // NEXUS enclave. Without a private key listed in the supernode, the
+  // enclave refuses to mount — and the sealed rootkey doesn't unseal there.
+  ASSERT_TRUE(fs_->WriteFile("crown-jewels", Bytes(1000, 7)).ok());
+  auto& attacker = world_.AddMachine("attacker");
+  const Status s = attacker.nexus->Mount(attacker.user, handle_.volume_uuid,
+                                         handle_.sealed_rootkey);
+  EXPECT_FALSE(s.ok());
+}
+
+TEST_F(AttackTest, ReplayedGrantDoesNotRestoreRevokedUser) {
+  // Alice is granted access, then revoked. Replaying her old grant file
+  // yields a rootkey, but mounting fails the user-table check (§VI).
+  auto& alice = world_.AddMachine("alice");
+  ASSERT_TRUE(alice.nexus->PublishIdentity(alice.user).ok());
+  ASSERT_TRUE(
+      fs_->GrantAccess(machine_->user, "alice", alice.user.public_key()).ok());
+  auto alice_handle = alice.nexus->AcceptGrant(
+      alice.user, "owen", machine_->user.public_key(), handle_.volume_uuid);
+  ASSERT_TRUE(alice_handle.ok());
+
+  ASSERT_TRUE(fs_->RemoveUser("alice").ok());
+
+  // Replay: the sealed rootkey still unseals on Alice's machine, but the
+  // challenge-response mount is refused.
+  const Status s = alice.nexus->Mount(alice.user, handle_.volume_uuid,
+                                      alice_handle->sealed_rootkey);
+  EXPECT_EQ(s.code(), ErrorCode::kPermissionDenied);
+}
+
+} // namespace
+} // namespace nexus

@@ -1,0 +1,207 @@
+// SGX simulator tests: measurement, sealing policy, quotes and forgeries.
+#include <gtest/gtest.h>
+
+#include "sgx/attestation.hpp"
+#include "sgx/enclave.hpp"
+#include "sgx/measurement.hpp"
+
+namespace nexus::sgx {
+namespace {
+
+TEST(Measurement, DeterministicAcrossLoads) {
+  const EnclaveImage a("nexus-enclave", 1, "build-x");
+  const EnclaveImage b("nexus-enclave", 1, "build-x");
+  EXPECT_EQ(a.measurement(), b.measurement());
+}
+
+TEST(Measurement, SensitiveToIdentity) {
+  const EnclaveImage base("nexus-enclave", 1, "build-x");
+  EXPECT_NE(base.measurement(), EnclaveImage("other", 1, "build-x").measurement());
+  EXPECT_NE(base.measurement(), EnclaveImage("nexus-enclave", 2, "build-x").measurement());
+  EXPECT_NE(base.measurement(), EnclaveImage("nexus-enclave", 1, "build-y").measurement());
+}
+
+class SealingTest : public ::testing::Test {
+ protected:
+  IntelAttestationService intel_{AsBytes("intel")};
+  std::unique_ptr<SgxCpu> cpu_a_ = intel_.ProvisionCpu(AsBytes("cpu-a"));
+  std::unique_ptr<SgxCpu> cpu_b_ = intel_.ProvisionCpu(AsBytes("cpu-b"));
+};
+
+TEST_F(SealingTest, RoundTripOnSameCpuAndEnclave) {
+  EnclaveRuntime rt(*cpu_a_, NexusEnclaveImage(), AsBytes("seed"));
+  const Bytes secret = ToBytes(std::string_view("rootkey-material"));
+  auto sealed = rt.Seal(secret);
+  ASSERT_TRUE(sealed.ok());
+  EXPECT_NE(*sealed, secret); // actually encrypted
+  auto unsealed = rt.Unseal(*sealed);
+  ASSERT_TRUE(unsealed.ok());
+  EXPECT_EQ(*unsealed, secret);
+}
+
+TEST_F(SealingTest, SealedBlobIsMachineBound) {
+  EnclaveRuntime rt_a(*cpu_a_, NexusEnclaveImage(), AsBytes("seed-a"));
+  EnclaveRuntime rt_b(*cpu_b_, NexusEnclaveImage(), AsBytes("seed-b"));
+  auto sealed = rt_a.Seal(ToBytes(std::string_view("secret"))).value();
+  auto result = rt_b.Unseal(sealed);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), ErrorCode::kIntegrityViolation);
+}
+
+TEST_F(SealingTest, SealedBlobIsEnclaveBound) {
+  const EnclaveImage other("malicious-enclave", 1, "evil");
+  EnclaveRuntime rt_good(*cpu_a_, NexusEnclaveImage(), AsBytes("s"));
+  EnclaveRuntime rt_evil(*cpu_a_, other, AsBytes("s"));
+  auto sealed = rt_good.Seal(ToBytes(std::string_view("secret"))).value();
+  EXPECT_FALSE(rt_evil.Unseal(sealed).ok());
+}
+
+TEST_F(SealingTest, TamperedBlobRejected) {
+  EnclaveRuntime rt(*cpu_a_, NexusEnclaveImage(), AsBytes("seed"));
+  auto sealed = rt.Seal(ToBytes(std::string_view("secret"))).value();
+  sealed[sealed.size() / 2] ^= 1;
+  EXPECT_FALSE(rt.Unseal(sealed).ok());
+}
+
+TEST_F(SealingTest, SameEnclaveNewInstanceUnseals) {
+  // Persistence across enclave restarts on the same machine.
+  Bytes sealed;
+  {
+    EnclaveRuntime rt(*cpu_a_, NexusEnclaveImage(), AsBytes("run-1"));
+    sealed = rt.Seal(ToBytes(std::string_view("persistent"))).value();
+  }
+  EnclaveRuntime rt2(*cpu_a_, NexusEnclaveImage(), AsBytes("run-2"));
+  EXPECT_EQ(rt2.Unseal(sealed).value(), ToBytes(std::string_view("persistent")));
+}
+
+
+TEST_F(SealingTest, MrSignerPolicySurvivesEnclaveUpgrade) {
+  // Sealed state migration across versions: v2 of the enclave (different
+  // MRENCLAVE, same vendor signer) can unseal MRSIGNER-policy blobs.
+  const EnclaveImage v1("nexus-enclave", 1, "build-1", "acme");
+  const EnclaveImage v2("nexus-enclave", 2, "build-2", "acme");
+  ASSERT_NE(v1.measurement(), v2.measurement());
+  ASSERT_EQ(v1.signer_measurement(), v2.signer_measurement());
+
+  EnclaveRuntime rt_v1(*cpu_a_, v1, AsBytes("s1"));
+  EnclaveRuntime rt_v2(*cpu_a_, v2, AsBytes("s2"));
+  const Bytes secret = ToBytes(std::string_view("rootkey"));
+
+  const Bytes signer_sealed =
+      rt_v1.Seal(secret, SgxCpu::SealPolicy::kMrSigner).value();
+  EXPECT_EQ(rt_v2.Unseal(signer_sealed).value(), secret);
+
+  // ...while MRENCLAVE-policy blobs stay version-bound.
+  const Bytes enclave_sealed =
+      rt_v1.Seal(secret, SgxCpu::SealPolicy::kMrEnclave).value();
+  EXPECT_FALSE(rt_v2.Unseal(enclave_sealed).ok());
+  EXPECT_EQ(rt_v1.Unseal(enclave_sealed).value(), secret);
+}
+
+TEST_F(SealingTest, MrSignerPolicyRejectsOtherVendor) {
+  const EnclaveImage acme("app", 1, "b", "acme");
+  const EnclaveImage evil("app", 1, "b-evil", "evilcorp");
+  EnclaveRuntime rt_acme(*cpu_a_, acme, AsBytes("s"));
+  EnclaveRuntime rt_evil(*cpu_a_, evil, AsBytes("s"));
+  const Bytes sealed =
+      rt_acme.Seal(ToBytes(std::string_view("x")), SgxCpu::SealPolicy::kMrSigner)
+          .value();
+  EXPECT_FALSE(rt_evil.Unseal(sealed).ok());
+}
+
+TEST_F(SealingTest, MrSignerPolicyStillMachineBound) {
+  const EnclaveImage img("app", 1, "b", "acme");
+  EnclaveRuntime rt_a(*cpu_a_, img, AsBytes("s"));
+  EnclaveRuntime rt_b(*cpu_b_, img, AsBytes("s"));
+  const Bytes sealed =
+      rt_a.Seal(ToBytes(std::string_view("x")), SgxCpu::SealPolicy::kMrSigner)
+          .value();
+  EXPECT_FALSE(rt_b.Unseal(sealed).ok());
+}
+
+TEST_F(SealingTest, PolicyByteIsAuthenticated) {
+  // Flipping the policy byte must not redirect to a different (valid) key.
+  EnclaveRuntime rt(*cpu_a_, NexusEnclaveImage(), AsBytes("s"));
+  Bytes sealed = rt.Seal(ToBytes(std::string_view("x"))).value();
+  sealed[0] ^= 1;
+  EXPECT_FALSE(rt.Unseal(sealed).ok());
+  sealed[0] = 7; // out-of-range policy
+  EXPECT_FALSE(rt.Unseal(sealed).ok());
+}
+
+class QuoteTest : public ::testing::Test {
+ protected:
+  IntelAttestationService intel_{AsBytes("intel")};
+  std::unique_ptr<SgxCpu> cpu_ = intel_.ProvisionCpu(AsBytes("cpu"));
+  Measurement nexus_m_ = NexusEnclaveImage().measurement();
+};
+
+TEST_F(QuoteTest, ValidQuoteVerifies) {
+  EnclaveRuntime rt(*cpu_, NexusEnclaveImage(), AsBytes("s"));
+  ByteArray<kReportDataSize> report{};
+  report[0] = 42;
+  const Quote quote = rt.CreateQuote(report);
+  EXPECT_TRUE(VerifyQuote(quote, intel_.root_public_key(), nexus_m_).ok());
+}
+
+TEST_F(QuoteTest, SerializationRoundTrip) {
+  EnclaveRuntime rt(*cpu_, NexusEnclaveImage(), AsBytes("s"));
+  const Quote quote = rt.CreateQuote(ByteArray<kReportDataSize>{1, 2, 3});
+  auto parsed = Quote::Deserialize(quote.Serialize());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_TRUE(VerifyQuote(*parsed, intel_.root_public_key(), nexus_m_).ok());
+  // Truncated and padded forms must be rejected.
+  Bytes raw = quote.Serialize();
+  EXPECT_FALSE(Quote::Deserialize(ByteSpan(raw.data(), raw.size() - 1)).ok());
+  raw.push_back(0);
+  EXPECT_FALSE(Quote::Deserialize(raw).ok());
+}
+
+TEST_F(QuoteTest, WrongMeasurementRejected) {
+  const EnclaveImage evil("evil-enclave", 1, "x");
+  EnclaveRuntime rt(*cpu_, evil, AsBytes("s"));
+  const Quote quote = rt.CreateQuote(ByteArray<kReportDataSize>{});
+  const Status s = VerifyQuote(quote, intel_.root_public_key(), nexus_m_);
+  EXPECT_FALSE(s.ok());
+}
+
+TEST_F(QuoteTest, TamperedReportDataRejected) {
+  EnclaveRuntime rt(*cpu_, NexusEnclaveImage(), AsBytes("s"));
+  Quote quote = rt.CreateQuote(ByteArray<kReportDataSize>{9});
+  quote.report_data[0] = 10; // attacker swaps the bound key
+  EXPECT_FALSE(VerifyQuote(quote, intel_.root_public_key(), nexus_m_).ok());
+}
+
+TEST_F(QuoteTest, ForgedTrustChainRejected) {
+  // A CPU provisioned by a *different* root ("fake Intel") must not verify
+  // against the genuine root key.
+  IntelAttestationService fake_intel(AsBytes("fake-intel"));
+  auto fake_cpu = fake_intel.ProvisionCpu(AsBytes("fake-cpu"));
+  EnclaveRuntime rt(*fake_cpu, NexusEnclaveImage(), AsBytes("s"));
+  const Quote quote = rt.CreateQuote(ByteArray<kReportDataSize>{});
+  EXPECT_FALSE(VerifyQuote(quote, intel_.root_public_key(), nexus_m_).ok());
+  // ... while verifying fine against its own root.
+  EXPECT_TRUE(VerifyQuote(quote, fake_intel.root_public_key(), nexus_m_).ok());
+}
+
+TEST(EnclaveRuntime, TransitionCounting) {
+  IntelAttestationService intel(AsBytes("intel"));
+  auto cpu = intel.ProvisionCpu(AsBytes("cpu"));
+  EnclaveRuntime rt(*cpu, NexusEnclaveImage(), AsBytes("s"));
+  EXPECT_EQ(rt.ecall_count(), 0u);
+  {
+    EnclaveRuntime::EcallScope ecall(rt);
+    EXPECT_TRUE(rt.inside());
+    {
+      EnclaveRuntime::OcallScope ocall(rt);
+      EXPECT_FALSE(rt.inside()); // execution left the enclave
+    }
+    EXPECT_TRUE(rt.inside());
+  }
+  EXPECT_FALSE(rt.inside());
+  EXPECT_EQ(rt.ecall_count(), 1u);
+  EXPECT_EQ(rt.ocall_count(), 1u);
+}
+
+} // namespace
+} // namespace nexus::sgx

@@ -1,0 +1,309 @@
+// Multi-user tests: the §IV-B authentication protocol, the §IV-B1 attested
+// rootkey exchange (two machines, in-band over the shared store), directory
+// ACLs and revocation semantics.
+#include <gtest/gtest.h>
+
+#include "common/serial.hpp"
+#include "crypto/x25519.hpp"
+#include "test_env.hpp"
+
+namespace nexus {
+namespace {
+
+using enclave::kPermNone;
+using enclave::kPermRead;
+using enclave::kPermWrite;
+
+class SharingTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    owen_ = &world_.AddMachine("owen");
+    alice_ = &world_.AddMachine("alice");
+    auto handle = owen_->nexus->CreateVolume(owen_->user);
+    ASSERT_TRUE(handle.ok());
+    handle_ = std::move(handle).value();
+  }
+
+  /// Runs the full Fig. 4 protocol: Alice publishes her identity, Owen
+  /// grants, Alice extracts + mounts.
+  void ShareWithAlice() {
+    ASSERT_TRUE(alice_->nexus->PublishIdentity(alice_->user).ok());
+    ASSERT_TRUE(owen_->nexus
+                    ->GrantAccess(owen_->user, "alice", alice_->user.public_key())
+                    .ok());
+    auto handle = alice_->nexus->AcceptGrant(alice_->user, "owen",
+                                             owen_->user.public_key(),
+                                             handle_.volume_uuid);
+    ASSERT_TRUE(handle.ok()) << handle.status().ToString();
+    alice_handle_ = std::move(handle).value();
+    ASSERT_TRUE(alice_->nexus
+                    ->Mount(alice_->user, handle_.volume_uuid,
+                            alice_handle_.sealed_rootkey)
+                    .ok());
+  }
+
+  test::World world_;
+  test::Machine* owen_ = nullptr;
+  test::Machine* alice_ = nullptr;
+  core::NexusClient::VolumeHandle handle_;
+  core::NexusClient::VolumeHandle alice_handle_;
+};
+
+// ---- authentication --------------------------------------------------------
+
+TEST_F(SharingTest, MountRejectsWrongPrivateKey) {
+  ASSERT_TRUE(owen_->nexus->Unmount().ok());
+  // Mallory holds Owen's *sealed rootkey* (it lives on Owen's disk) but not
+  // his private key. Challenge-response must fail on the signature.
+  const core::UserKey mallory = core::UserKey::Generate("mallory", world_.rng());
+  core::UserKey fake_owen{"owen", mallory.key}; // wrong key, right name
+  const Status s = owen_->nexus->Mount(fake_owen, handle_.volume_uuid,
+                                       handle_.sealed_rootkey);
+  EXPECT_EQ(s.code(), ErrorCode::kPermissionDenied);
+  EXPECT_FALSE(owen_->nexus->mounted());
+}
+
+TEST_F(SharingTest, MountRejectsUnknownUserKey) {
+  ASSERT_TRUE(owen_->nexus->Unmount().ok());
+  // A self-consistent signature from a key that is not in the supernode.
+  const core::UserKey stranger = core::UserKey::Generate("stranger", world_.rng());
+  const Status s = owen_->nexus->Mount(stranger, handle_.volume_uuid,
+                                       handle_.sealed_rootkey);
+  EXPECT_EQ(s.code(), ErrorCode::kPermissionDenied);
+}
+
+TEST_F(SharingTest, SealedRootkeyUselessOnAnotherMachine) {
+  // Copying Owen's sealed rootkey to Alice's machine must not mount.
+  const Status s = alice_->nexus->Mount(alice_->user, handle_.volume_uuid,
+                                        handle_.sealed_rootkey);
+  EXPECT_FALSE(s.ok());
+}
+
+// ---- key exchange -----------------------------------------------------------
+
+TEST_F(SharingTest, FullExchangeGrantsAccess) {
+  ASSERT_TRUE(owen_->nexus->WriteFile("shared.txt", Bytes{1, 2, 3}).ok());
+  ShareWithAlice();
+  // Volume access alone is not enough (default deny): grant ACLs too.
+  ASSERT_TRUE(owen_->nexus
+                  ->SetAcl("", "alice",
+                           enclave::kPermRead | enclave::kPermWrite)
+                  .ok());
+  EXPECT_EQ(alice_->nexus->ReadFile("shared.txt").value(), (Bytes{1, 2, 3}));
+
+  // And Alice can write; Owen sees it (single shared server).
+  ASSERT_TRUE(alice_->nexus->WriteFile("from-alice.txt", Bytes{9}).ok());
+  EXPECT_EQ(owen_->nexus->ReadFile("from-alice.txt").value(), Bytes{9});
+}
+
+TEST_F(SharingTest, GrantRejectsForgedIdentitySignature) {
+  ASSERT_TRUE(alice_->nexus->PublishIdentity(alice_->user).ok());
+  // Owen was given the wrong public key for Alice (MITM on the out-of-band
+  // channel): the identity signature check must fail.
+  const core::UserKey mallory = core::UserKey::Generate("mallory", world_.rng());
+  const Status s =
+      owen_->nexus->GrantAccess(owen_->user, "alice", mallory.public_key());
+  EXPECT_FALSE(s.ok());
+}
+
+TEST_F(SharingTest, GrantRejectsQuoteFromWrongEnclave) {
+  // Mallory runs a *different* (malicious) enclave on a genuine CPU and
+  // publishes its identity under her own signature. The measurement check
+  // must reject the grant even though the quote chain is genuine.
+  auto mallory_cpu = world_.intel().ProvisionCpu(AsBytes("mallory-cpu"));
+  const sgx::EnclaveImage evil("exfiltrator", 1, "evil-build");
+  sgx::EnclaveRuntime evil_rt(*mallory_cpu, evil, AsBytes("evil"));
+  const core::UserKey mallory = core::UserKey::Generate("mallory", world_.rng());
+
+  // Build an identity blob the way NEXUS would, but quoting the evil image.
+  ByteArray<32> evil_priv = crypto::X25519ClampScalar(world_.rng().Array<32>());
+  const ByteArray<32> evil_pub = crypto::X25519BasePoint(evil_priv);
+  ByteArray<sgx::kReportDataSize> report{};
+  std::copy(evil_pub.begin(), evil_pub.end(), report.begin());
+  const sgx::Quote quote = evil_rt.CreateQuote(report);
+  Writer w;
+  w.Var(quote.Serialize());
+  w.Raw(evil_pub);
+  const Bytes identity = std::move(w).Take();
+  const auto sig = mallory.Sign(identity);
+  ASSERT_TRUE(owen_->afs->Store("keyx/mallory.id", Concat([&] {
+                Writer f;
+                f.Var(identity);
+                f.Raw(sig);
+                return f.bytes();
+              }())).ok());
+
+  const Status s =
+      owen_->nexus->GrantAccess(owen_->user, "mallory", mallory.public_key());
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), ErrorCode::kIntegrityViolation);
+}
+
+TEST_F(SharingTest, GrantForAliceUselessToEve) {
+  // Eve (another NEXUS machine) steals Alice's grant file. Her enclave has
+  // a different ECDH key, so extraction must fail.
+  ASSERT_TRUE(alice_->nexus->PublishIdentity(alice_->user).ok());
+  ASSERT_TRUE(owen_->nexus
+                  ->GrantAccess(owen_->user, "alice", alice_->user.public_key())
+                  .ok());
+  auto& eve = world_.AddMachine("eve");
+  // Eve reads the grant addressed to Alice by impersonating the file path.
+  auto grant_file = eve.afs->Fetch("keyx/owen~alice.grant");
+  ASSERT_TRUE(grant_file.ok());
+  core::UserKey eve_as_alice{"alice", eve.user.key};
+  auto r = eve.nexus->AcceptGrant(eve_as_alice, "owen", owen_->user.public_key(),
+                                  handle_.volume_uuid);
+  EXPECT_FALSE(r.ok());
+}
+
+TEST_F(SharingTest, IdentityKeySurvivesEnclaveRestart) {
+  // Alice publishes, seals her ECDH identity, restarts her enclave, loads
+  // the sealed identity, and can still extract a grant created in between.
+  ASSERT_TRUE(alice_->nexus->PublishIdentity(alice_->user).ok());
+  auto sealed_id = alice_->nexus->enclave().EcallSealIdentityKey();
+  ASSERT_TRUE(sealed_id.ok());
+
+  ASSERT_TRUE(owen_->nexus
+                  ->GrantAccess(owen_->user, "alice", alice_->user.public_key())
+                  .ok());
+
+  core::NexusClient fresh(*alice_->runtime, *alice_->afs,
+                          world_.intel().root_public_key());
+  ASSERT_TRUE(fresh.enclave().EcallLoadIdentityKey(*sealed_id).ok());
+  auto handle = fresh.AcceptGrant(alice_->user, "owen", owen_->user.public_key(),
+                                  handle_.volume_uuid);
+  ASSERT_TRUE(handle.ok()) << handle.status().ToString();
+  EXPECT_TRUE(
+      fresh.Mount(alice_->user, handle_.volume_uuid, handle->sealed_rootkey).ok());
+}
+
+// ---- ACLs ----------------------------------------------------------------------
+
+TEST_F(SharingTest, DefaultDenyForNonOwners) {
+  ASSERT_TRUE(owen_->nexus->Mkdir("private").ok());
+  ASSERT_TRUE(owen_->nexus->WriteFile("private/s.txt", Bytes{1}).ok());
+  ShareWithAlice();
+  // Alice is an authorized *volume* user but has no ACL entry: deny.
+  const auto r = alice_->nexus->ReadFile("private/s.txt");
+  EXPECT_EQ(r.status().code(), ErrorCode::kPermissionDenied);
+  EXPECT_EQ(alice_->nexus->ListDir("private").status().code(),
+            ErrorCode::kPermissionDenied);
+}
+
+TEST_F(SharingTest, ReadOnlyAclAllowsReadDeniesWrite) {
+  ASSERT_TRUE(owen_->nexus->Mkdir("docs").ok());
+  ASSERT_TRUE(owen_->nexus->WriteFile("docs/f", Bytes{1}).ok());
+  ShareWithAlice();
+  // Reading a subdirectory requires traversal rights on every level (§IV-A).
+  ASSERT_TRUE(owen_->nexus->SetAcl("", "alice", kPermRead).ok());
+  ASSERT_TRUE(owen_->nexus->SetAcl("docs", "alice", kPermRead).ok());
+
+  EXPECT_EQ(alice_->nexus->ReadFile("docs/f").value(), Bytes{1});
+  EXPECT_EQ(alice_->nexus->WriteFile("docs/f", Bytes{2}).code(),
+            ErrorCode::kPermissionDenied);
+  EXPECT_EQ(alice_->nexus->Touch("docs/new").code(),
+            ErrorCode::kPermissionDenied);
+  EXPECT_EQ(alice_->nexus->Remove("docs/f").code(),
+            ErrorCode::kPermissionDenied);
+}
+
+TEST_F(SharingTest, WriteAclAllowsMutation) {
+  ASSERT_TRUE(owen_->nexus->Mkdir("shared").ok());
+  ShareWithAlice();
+  ASSERT_TRUE(owen_->nexus->SetAcl("", "alice", kPermRead).ok());
+  ASSERT_TRUE(owen_->nexus->SetAcl("shared", "alice", kPermRead | kPermWrite).ok());
+
+  EXPECT_TRUE(alice_->nexus->WriteFile("shared/a", Bytes{1}).ok());
+  EXPECT_TRUE(alice_->nexus->Rename("shared/a", "shared/b").ok());
+  EXPECT_TRUE(alice_->nexus->Remove("shared/b").ok());
+}
+
+TEST_F(SharingTest, AclRevocationTakesEffect) {
+  ASSERT_TRUE(owen_->nexus->Mkdir("docs").ok());
+  ASSERT_TRUE(owen_->nexus->WriteFile("docs/f", Bytes{1}).ok());
+  ShareWithAlice();
+  ASSERT_TRUE(owen_->nexus->SetAcl("", "alice", kPermRead).ok());
+  ASSERT_TRUE(owen_->nexus->SetAcl("docs", "alice", kPermRead).ok());
+  ASSERT_TRUE(alice_->nexus->ReadFile("docs/f").ok());
+
+  // Revocation: one metadata update, no file re-encryption (§IV-C).
+  ASSERT_TRUE(owen_->nexus->SetAcl("docs", "alice", kPermNone).ok());
+  EXPECT_EQ(alice_->nexus->ReadFile("docs/f").status().code(),
+            ErrorCode::kPermissionDenied);
+}
+
+TEST_F(SharingTest, NonOwnerCannotAdministrate) {
+  ShareWithAlice();
+  const core::UserKey bob = core::UserKey::Generate("bob", world_.rng());
+  EXPECT_EQ(alice_->nexus->AddUser("bob", bob.public_key()).code(),
+            ErrorCode::kPermissionDenied);
+  EXPECT_EQ(alice_->nexus->RemoveUser("owen").code(),
+            ErrorCode::kPermissionDenied);
+  EXPECT_EQ(alice_->nexus->SetAcl("", "alice", kPermRead | kPermWrite).code(),
+            ErrorCode::kPermissionDenied);
+}
+
+TEST_F(SharingTest, UserRevocationBlocksRemount) {
+  ShareWithAlice();
+  ASSERT_TRUE(alice_->nexus->Unmount().ok());
+  ASSERT_TRUE(owen_->nexus->RemoveUser("alice").ok());
+  // Alice still has her sealed rootkey, but the supernode no longer lists
+  // her key: the mount must be denied (§VI-B).
+  const Status s = alice_->nexus->Mount(alice_->user, handle_.volume_uuid,
+                                        alice_handle_.sealed_rootkey);
+  EXPECT_EQ(s.code(), ErrorCode::kPermissionDenied);
+}
+
+TEST_F(SharingTest, UserRevocationEndsLiveSession) {
+  ShareWithAlice();
+  ASSERT_TRUE(owen_->nexus->Mkdir("d").ok());
+  ASSERT_TRUE(owen_->nexus->SetAcl("", "alice", kPermRead).ok());
+  ASSERT_TRUE(owen_->nexus->RemoveUser("alice").ok());
+  // Alice's next supernode refresh notices the revocation and unmounts.
+  auto r = alice_->nexus->ListUsers();
+  EXPECT_FALSE(r.ok());
+  EXPECT_FALSE(alice_->nexus->mounted());
+}
+
+TEST_F(SharingTest, OwnerIsImmutable) {
+  EXPECT_FALSE(owen_->nexus->RemoveUser("owen").ok());
+}
+
+TEST_F(SharingTest, ListUsersShowsTable) {
+  ShareWithAlice();
+  const auto users = owen_->nexus->ListUsers().value();
+  ASSERT_EQ(users.size(), 2u);
+  EXPECT_EQ(users[0].name, "owen");
+  EXPECT_EQ(users[0].id, enclave::kOwnerUserId);
+  EXPECT_EQ(users[1].name, "alice");
+}
+
+// ---- concurrent multi-client behaviour ---------------------------------------
+
+TEST_F(SharingTest, TwoClientsSeeEachOthersMetadataUpdates) {
+  ShareWithAlice();
+  ASSERT_TRUE(owen_->nexus->SetAcl("", "alice", kPermRead | kPermWrite).ok());
+
+  // Interleaved creates in the same directory: the flock + reload-under-
+  // lock discipline must keep the dirnode consistent.
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(owen_->nexus->Touch("o-" + std::to_string(i)).ok()) << i;
+    ASSERT_TRUE(alice_->nexus->Touch("a-" + std::to_string(i)).ok()) << i;
+  }
+  EXPECT_EQ(owen_->nexus->ListDir("").value().size(), 20u);
+  EXPECT_EQ(alice_->nexus->ListDir("").value().size(), 20u);
+}
+
+TEST_F(SharingTest, LockContentionSurfacesAsConflict) {
+  ShareWithAlice();
+  ASSERT_TRUE(owen_->nexus->SetAcl("", "alice", kPermRead | kPermWrite).ok());
+  // Owen's client holds the root dirnode lock (simulating a stalled update).
+  const auto root_attrs = owen_->nexus->Lookup("").value();
+  ASSERT_TRUE(owen_->afs->Lock("nx/" + root_attrs.uuid.ToString()).ok());
+  EXPECT_EQ(alice_->nexus->Touch("contended").code(), ErrorCode::kConflict);
+  ASSERT_TRUE(owen_->afs->Unlock("nx/" + root_attrs.uuid.ToString()).ok());
+  EXPECT_TRUE(alice_->nexus->Touch("contended").ok());
+}
+
+} // namespace
+} // namespace nexus

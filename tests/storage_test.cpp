@@ -1,0 +1,314 @@
+// Storage substrate tests: backend contract (parameterized over Mem/Disk),
+// AFS caching semantics, locking, cost accounting and the adversary API.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "storage/afs.hpp"
+#include "storage/backend.hpp"
+
+namespace nexus::storage {
+namespace {
+
+// ---- backend contract, parameterized over implementations -------------------
+
+enum class BackendKind { kMem, kDisk };
+
+class BackendContractTest : public ::testing::TestWithParam<BackendKind> {
+ protected:
+  void SetUp() override {
+    if (GetParam() == BackendKind::kMem) {
+      backend_ = std::make_unique<MemBackend>();
+    } else {
+      dir_ = std::filesystem::temp_directory_path() /
+             ("nexus-test-" + std::to_string(::getpid()) + "-" +
+              ::testing::UnitTest::GetInstance()->current_test_info()->name());
+      backend_ = std::make_unique<DiskBackend>(
+          DiskBackend::Open(dir_.string()).value());
+    }
+  }
+  void TearDown() override {
+    backend_.reset();
+    if (!dir_.empty()) std::filesystem::remove_all(dir_);
+  }
+
+  std::unique_ptr<StorageBackend> backend_;
+  std::filesystem::path dir_;
+};
+
+TEST_P(BackendContractTest, PutGetRoundTrip) {
+  const Bytes data = {1, 2, 3, 0, 255};
+  ASSERT_TRUE(backend_->Put("obj", data).ok());
+  EXPECT_EQ(backend_->Get("obj").value(), data);
+}
+
+TEST_P(BackendContractTest, GetMissingFails) {
+  auto r = backend_->Get("nope");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), ErrorCode::kNotFound);
+}
+
+TEST_P(BackendContractTest, OverwriteReplaces) {
+  ASSERT_TRUE(backend_->Put("obj", Bytes{1}).ok());
+  ASSERT_TRUE(backend_->Put("obj", Bytes{2, 3}).ok());
+  EXPECT_EQ(backend_->Get("obj").value(), (Bytes{2, 3}));
+}
+
+TEST_P(BackendContractTest, DeleteRemoves) {
+  ASSERT_TRUE(backend_->Put("obj", Bytes{1}).ok());
+  EXPECT_TRUE(backend_->Exists("obj"));
+  ASSERT_TRUE(backend_->Delete("obj").ok());
+  EXPECT_FALSE(backend_->Exists("obj"));
+  EXPECT_FALSE(backend_->Delete("obj").ok());
+}
+
+TEST_P(BackendContractTest, EmptyObjectAllowed) {
+  ASSERT_TRUE(backend_->Put("empty", {}).ok());
+  EXPECT_TRUE(backend_->Exists("empty"));
+  EXPECT_TRUE(backend_->Get("empty").value().empty());
+}
+
+TEST_P(BackendContractTest, ListByPrefixSorted) {
+  ASSERT_TRUE(backend_->Put("nx/b", Bytes{1}).ok());
+  ASSERT_TRUE(backend_->Put("nx/a", Bytes{1}).ok());
+  ASSERT_TRUE(backend_->Put("other/c", Bytes{1}).ok());
+  const auto names = backend_->List("nx/");
+  ASSERT_EQ(names.size(), 2u);
+  EXPECT_EQ(names[0], "nx/a");
+  EXPECT_EQ(names[1], "nx/b");
+}
+
+TEST_P(BackendContractTest, AwkwardNamesSurvive) {
+  for (const std::string name :
+       {"with/slash", "with space", "uni\xc3\xa9", "%percent", "..dots"}) {
+    ASSERT_TRUE(backend_->Put(name, Bytes{7}).ok()) << name;
+    EXPECT_EQ(backend_->Get(name).value(), Bytes{7}) << name;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBackends, BackendContractTest,
+                         ::testing::Values(BackendKind::kMem, BackendKind::kDisk),
+                         [](const auto& info) {
+                           return info.param == BackendKind::kMem ? "Mem" : "Disk";
+                         });
+
+// ---- AFS semantics ------------------------------------------------------------
+
+class AfsTest : public ::testing::Test {
+ protected:
+  SimClock clock_;
+  AfsServer server_{std::make_unique<MemBackend>(), clock_};
+  AfsClient alice_{server_, "alice"};
+  AfsClient bob_{server_, "bob"};
+};
+
+TEST_F(AfsTest, StoreFetchRoundTrip) {
+  const Bytes data(1000, 0xab);
+  ASSERT_TRUE(alice_.Store("f", data).ok());
+  EXPECT_EQ(bob_.Fetch("f").value(), data);
+}
+
+TEST_F(AfsTest, FetchMissingFails) {
+  EXPECT_EQ(alice_.Fetch("nope").status().code(), ErrorCode::kNotFound);
+}
+
+TEST_F(AfsTest, CacheHitIsFree) {
+  ASSERT_TRUE(alice_.Store("f", Bytes(1 << 20, 1)).ok());
+  ASSERT_TRUE(alice_.Fetch("f").ok()); // warm (own store already cached it)
+  const double t0 = clock_.Now();
+  ASSERT_TRUE(alice_.Fetch("f").ok());
+  EXPECT_EQ(clock_.Now(), t0); // zero cost: callback held
+  EXPECT_GT(alice_.stats().cache_hits, 0u);
+}
+
+TEST_F(AfsTest, RemoteWriteInvalidatesCallback) {
+  ASSERT_TRUE(alice_.Store("f", Bytes{1}).ok());
+  ASSERT_TRUE(bob_.Fetch("f").ok());
+  // Alice updates; Bob's cached copy must be refetched.
+  ASSERT_TRUE(alice_.Store("f", Bytes{2}).ok());
+  const auto before = bob_.stats().fetches;
+  EXPECT_EQ(bob_.Fetch("f").value(), Bytes{2});
+  EXPECT_EQ(bob_.stats().fetches, before + 1);
+}
+
+TEST_F(AfsTest, FlushCacheForcesRefetch) {
+  ASSERT_TRUE(alice_.Store("f", Bytes{1}).ok());
+  alice_.FlushCache();
+  const double t0 = clock_.Now();
+  ASSERT_TRUE(alice_.Fetch("f").ok());
+  EXPECT_GT(clock_.Now(), t0);
+}
+
+TEST_F(AfsTest, TransferCostScalesWithSize) {
+  ASSERT_TRUE(alice_.Store("small", Bytes(1024, 1)).ok());
+  const double t0 = clock_.Now();
+  ASSERT_TRUE(alice_.Store("big", Bytes(10 << 20, 1)).ok());
+  const double big_cost = clock_.Now() - t0;
+  const CostModel& cost = server_.cost();
+  EXPECT_NEAR(big_cost, cost.RpcSeconds(10 << 20), 1e-9);
+  EXPECT_GT(big_cost, cost.RpcSeconds(1024));
+}
+
+TEST_F(AfsTest, LockExclusion) {
+  ASSERT_TRUE(alice_.Store("f", Bytes{1}).ok());
+  ASSERT_TRUE(alice_.Lock("f").ok());
+  EXPECT_EQ(bob_.Lock("f").code(), ErrorCode::kConflict);
+  ASSERT_TRUE(alice_.Unlock("f").ok());
+  EXPECT_TRUE(bob_.Lock("f").ok());
+  EXPECT_TRUE(bob_.Unlock("f").ok());
+}
+
+TEST_F(AfsTest, UnlockRequiresHolder) {
+  ASSERT_TRUE(alice_.Lock("f").ok());
+  EXPECT_FALSE(bob_.Unlock("f").ok());
+  EXPECT_TRUE(alice_.Unlock("f").ok());
+  EXPECT_FALSE(alice_.Unlock("f").ok()); // double unlock
+}
+
+TEST_F(AfsTest, LockForcesRevalidation) {
+  ASSERT_TRUE(alice_.Store("f", Bytes{1}).ok());
+  ASSERT_TRUE(alice_.Fetch("f").ok());
+  ASSERT_TRUE(alice_.Lock("f").ok());
+  // After taking the lock, the cached copy is no longer trusted.
+  const auto before = alice_.stats().fetches;
+  ASSERT_TRUE(alice_.Fetch("f").ok());
+  EXPECT_EQ(alice_.stats().fetches, before + 1);
+  ASSERT_TRUE(alice_.Unlock("f").ok());
+}
+
+TEST_F(AfsTest, VersionsIncrement) {
+  const auto v1 = alice_.StoreVersioned("f", Bytes{1}).value();
+  const auto v2 = alice_.StoreVersioned("f", Bytes{2}).value();
+  EXPECT_GT(v2, v1);
+  EXPECT_TRUE(alice_.CacheFresh("f", v2));
+  EXPECT_FALSE(alice_.CacheFresh("f", v1));
+}
+
+TEST_F(AfsTest, AdversaryTamperIsInvisibleAtTransport) {
+  ASSERT_TRUE(alice_.Store("f", Bytes{1, 2, 3}).ok());
+  ASSERT_TRUE(server_.AdversaryWrite("f", Bytes{9, 9, 9}).ok());
+  // Alice's callback was NOT broken: she sees her stale cache...
+  EXPECT_EQ(alice_.Fetch("f").value(), (Bytes{1, 2, 3}));
+  // ...but a cold client sees the tampered bytes with no transport error.
+  EXPECT_EQ(bob_.Fetch("f").value(), (Bytes{9, 9, 9}));
+}
+
+TEST_F(AfsTest, AdversaryRollbackAndSwap) {
+  ASSERT_TRUE(alice_.Store("a", Bytes{1}).ok());
+  ASSERT_TRUE(alice_.Store("b", Bytes{2}).ok());
+  const Bytes snapshot = server_.AdversarySnapshot("a").value();
+  ASSERT_TRUE(alice_.Store("a", Bytes{3}).ok());
+  ASSERT_TRUE(server_.AdversaryRollback("a", snapshot).ok());
+  EXPECT_EQ(bob_.Fetch("a").value(), Bytes{1}); // old state served
+
+  ASSERT_TRUE(server_.AdversarySwap("a", "b").ok());
+  EXPECT_EQ(bob_.Fetch("b").value(), Bytes{1});
+}
+
+TEST_F(AfsTest, RpcCountsAccumulate) {
+  const auto rpcs0 = server_.rpc_count();
+  ASSERT_TRUE(alice_.Store("f", Bytes{1}).ok());
+  ASSERT_TRUE(bob_.Fetch("f").ok());
+  EXPECT_EQ(server_.rpc_count(), rpcs0 + 2);
+}
+
+
+TEST_F(AfsTest, PartialStoreChargesOnlyChangedBytes) {
+  const Bytes big(10 << 20, 1);
+  ASSERT_TRUE(alice_.Store("f", big).ok());
+  const double t0 = clock_.Now();
+  ASSERT_TRUE(alice_.StorePartial("f", big, 4096).ok());
+  const double partial = clock_.Now() - t0;
+  EXPECT_NEAR(partial, server_.cost().RpcSeconds(4096), 1e-9);
+  // Content is still fully replaced.
+  EXPECT_EQ(bob_.Fetch("f").value().size(), big.size());
+}
+
+TEST_F(AfsTest, GetVersionReestablishesCallback) {
+  ASSERT_TRUE(alice_.Store("f", Bytes{1}).ok());
+  ASSERT_TRUE(bob_.Fetch("f").ok());
+  ASSERT_TRUE(alice_.Store("f", Bytes{2}).ok()); // breaks bob's callback
+  EXPECT_FALSE(server_.CallbackValid("bob", "f"));
+  ASSERT_TRUE(server_.RpcGetVersion("bob", "f").ok());
+  EXPECT_TRUE(server_.CallbackValid("bob", "f"));
+}
+
+TEST_F(AfsTest, RevalidateOutcomes) {
+  const auto v1 = alice_.StoreVersioned("f", Bytes{1}).value();
+  // Fresh callback: true without an RPC.
+  const auto rpcs0 = server_.rpc_count();
+  EXPECT_TRUE(alice_.Revalidate("f", v1).value());
+  EXPECT_EQ(server_.rpc_count(), rpcs0);
+
+  // Broken callback, unchanged version: one status RPC, true.
+  server_.AdversaryInvalidateCallbacks("f");
+  EXPECT_TRUE(alice_.Revalidate("f", v1).value());
+  EXPECT_EQ(server_.rpc_count(), rpcs0 + 1);
+
+  // Changed version: false, and the stale cache entry is dropped.
+  ASSERT_TRUE(bob_.Store("f", Bytes{2}).ok());
+  EXPECT_FALSE(alice_.Revalidate("f", v1).value());
+  EXPECT_EQ(alice_.Fetch("f").value(), Bytes{2});
+
+  // Deleted object: false, no crash.
+  ASSERT_TRUE(bob_.Remove("f").ok());
+  EXPECT_FALSE(alice_.Revalidate("f", v1).value());
+}
+
+TEST_F(AfsTest, ListDirDistinguishesFilesAndSubtrees) {
+  ASSERT_TRUE(alice_.Store("p/file", Bytes{1}).ok());
+  ASSERT_TRUE(alice_.Store("p/dir/nested", Bytes{1}).ok());
+  ASSERT_TRUE(alice_.Store("p/both", Bytes{1}).ok());
+  ASSERT_TRUE(alice_.Store("p/both/child", Bytes{1}).ok());
+
+  const auto children = alice_.ListDir("p/").value();
+  ASSERT_EQ(children.size(), 3u);
+  auto find = [&](const std::string& name) {
+    for (const auto& c : children) {
+      if (c.name == name) return c;
+    }
+    return storage::AfsServer::ChildEntry{};
+  };
+  EXPECT_TRUE(find("file").is_exact);
+  EXPECT_FALSE(find("file").has_children);
+  EXPECT_FALSE(find("dir").is_exact);
+  EXPECT_TRUE(find("dir").has_children);
+  EXPECT_TRUE(find("both").is_exact);
+  EXPECT_TRUE(find("both").has_children);
+}
+
+TEST_F(AfsTest, ServerSideRenameMovesSubtreeInOneRpc) {
+  ASSERT_TRUE(alice_.Store("src", Bytes{0}).ok());
+  ASSERT_TRUE(alice_.Store("src/a", Bytes{1}).ok());
+  ASSERT_TRUE(alice_.Store("src/deep/b", Bytes{2}).ok());
+  const auto rpcs0 = server_.rpc_count();
+  ASSERT_TRUE(alice_.RenameObject("src", "dst").ok());
+  EXPECT_EQ(server_.rpc_count(), rpcs0 + 1);
+  EXPECT_EQ(bob_.Fetch("dst/deep/b").value(), Bytes{2});
+  EXPECT_FALSE(bob_.Fetch("src/a").ok());
+  // Renaming a missing path fails cleanly.
+  EXPECT_FALSE(alice_.RenameObject("ghost", "x").ok());
+}
+
+TEST_F(AfsTest, RevalidationDisableForcesRefetch) {
+  const auto v1 = alice_.StoreVersioned("f", Bytes(1 << 20, 1)).value();
+  alice_.set_revalidation_enabled(false);
+  server_.AdversaryInvalidateCallbacks("f");
+  EXPECT_FALSE(alice_.Revalidate("f", v1).value()); // would be true otherwise
+}
+
+TEST(SimClock, AttributionAccounts) {
+  SimClock clock;
+  clock.Advance(1.0);
+  {
+    SimClock::Attribution a(clock, "meta");
+    clock.Advance(2.0);
+  }
+  clock.Advance(4.0);
+  EXPECT_DOUBLE_EQ(clock.Now(), 7.0);
+  EXPECT_DOUBLE_EQ(clock.Account("meta"), 2.0);
+  EXPECT_DOUBLE_EQ(clock.Account("other"), 0.0);
+}
+
+} // namespace
+} // namespace nexus::storage

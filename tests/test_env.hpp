@@ -1,0 +1,64 @@
+// Shared test fixture: a simulated world with Intel, SGX machines, an AFS
+// deployment and NEXUS clients.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "core/nexus_client.hpp"
+#include "core/user_key.hpp"
+#include "crypto/rng.hpp"
+#include "sgx/attestation.hpp"
+#include "sgx/enclave.hpp"
+#include "storage/afs.hpp"
+#include "storage/backend.hpp"
+
+namespace nexus::test {
+
+/// One user's machine: SGX CPU + enclave runtime + AFS client + NEXUS.
+struct Machine {
+  std::unique_ptr<sgx::SgxCpu> cpu;
+  std::unique_ptr<sgx::EnclaveRuntime> runtime;
+  std::unique_ptr<storage::AfsClient> afs;
+  std::unique_ptr<core::NexusClient> nexus;
+  core::UserKey user;
+};
+
+/// A complete simulated deployment sharing one untrusted AFS server.
+class World {
+ public:
+  explicit World(std::string seed = "world")
+      : seed_(std::move(seed)),
+        rng_(AsBytes(seed_)),
+        intel_(AsBytes("intel")),
+        server_(std::make_unique<storage::MemBackend>(), clock_) {}
+
+  /// Provisions a machine for `username` with its own CPU and enclave.
+  Machine& AddMachine(const std::string& username) {
+    auto m = std::make_unique<Machine>();
+    m->cpu = intel_.ProvisionCpu(AsBytes(seed_ + "-cpu-" + username));
+    m->runtime = std::make_unique<sgx::EnclaveRuntime>(
+        *m->cpu, sgx::NexusEnclaveImage(), AsBytes(seed_ + "-rng-" + username));
+    m->afs = std::make_unique<storage::AfsClient>(server_, username);
+    m->nexus = std::make_unique<core::NexusClient>(*m->runtime, *m->afs,
+                                                   intel_.root_public_key());
+    m->user = core::UserKey::Generate(username, rng_);
+    machines_.push_back(std::move(m));
+    return *machines_.back();
+  }
+
+  [[nodiscard]] storage::AfsServer& server() noexcept { return server_; }
+  [[nodiscard]] storage::SimClock& clock() noexcept { return clock_; }
+  [[nodiscard]] sgx::IntelAttestationService& intel() noexcept { return intel_; }
+  [[nodiscard]] crypto::Rng& rng() noexcept { return rng_; }
+
+ private:
+  std::string seed_;
+  crypto::HmacDrbg rng_;
+  sgx::IntelAttestationService intel_;
+  storage::SimClock clock_;
+  storage::AfsServer server_;
+  std::vector<std::unique_ptr<Machine>> machines_;
+};
+
+} // namespace nexus::test
