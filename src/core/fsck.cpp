@@ -2,6 +2,8 @@
 
 #include <unordered_set>
 
+#include "journal/journal.hpp"
+
 namespace nexus::core {
 
 Result<FsckReport> RunFsck(NexusClient& client, bool deep) {
@@ -28,6 +30,17 @@ Result<FsckReport> RunFsck(NexusClient& client, bool deep) {
   }
   for (const auto& name : data_objects) {
     if (!reachable.contains(name)) report.orphaned_objects.push_back(name);
+  }
+
+  // Journal objects live under their own namespace and are reachable by
+  // construction (the recovery pass consumes them) — report them, but never
+  // as orphans. Record objects other than the anchor are committed
+  // transactions awaiting checkpoint.
+  NEXUS_ASSIGN_OR_RETURN(report.journal_objects, client.afs().List("nxj/"));
+  for (const auto& name : report.journal_objects) {
+    if (name != std::string("nxj/") + journal::kAnchorName) {
+      ++report.uncheckpointed_records;
+    }
   }
   return report;
 }

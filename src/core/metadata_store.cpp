@@ -13,6 +13,10 @@ std::string AfsMetadataStore::DataPath(const Uuid& uuid) const {
   return prefix_ + "d/" + uuid.ToString();
 }
 
+std::string AfsMetadataStore::JournalPath(const std::string& name) const {
+  return prefix_ + "j/" + name;
+}
+
 Result<enclave::ObjectBlob> AfsMetadataStore::FetchMeta(const Uuid& uuid) {
   storage::SimClock::Attribution account(afs_.server().clock(), kMetaIoAccount);
   NEXUS_ASSIGN_OR_RETURN(storage::AfsServer::FetchResult result,
@@ -68,6 +72,33 @@ bool AfsMetadataStore::CacheFresh(const Uuid& uuid,
   storage::SimClock::Attribution account(afs_.server().clock(), kMetaIoAccount);
   auto fresh = afs_.Revalidate(MetaPath(uuid), storage_version);
   return fresh.ok() && *fresh;
+}
+
+Result<Bytes> AfsMetadataStore::FetchJournal(const std::string& name) {
+  storage::SimClock::Attribution account(afs_.server().clock(),
+                                         kJournalIoAccount);
+  return afs_.Fetch(JournalPath(name));
+}
+
+Status AfsMetadataStore::StoreJournal(const std::string& name, ByteSpan data) {
+  storage::SimClock::Attribution account(afs_.server().clock(),
+                                         kJournalIoAccount);
+  return afs_.Store(JournalPath(name), data);
+}
+
+Status AfsMetadataStore::RemoveJournal(const std::string& name) {
+  storage::SimClock::Attribution account(afs_.server().clock(),
+                                         kJournalIoAccount);
+  return afs_.Remove(JournalPath(name));
+}
+
+Result<std::vector<std::string>> AfsMetadataStore::ListJournal() {
+  storage::SimClock::Attribution account(afs_.server().clock(),
+                                         kJournalIoAccount);
+  const std::string prefix = prefix_ + "j/";
+  NEXUS_ASSIGN_OR_RETURN(std::vector<std::string> names, afs_.List(prefix));
+  for (std::string& name : names) name.erase(0, prefix.size());
+  return names;
 }
 
 } // namespace nexus::core

@@ -17,6 +17,7 @@ namespace nexus::core {
 
 inline constexpr const char* kMetaIoAccount = "meta-io";
 inline constexpr const char* kDataIoAccount = "data-io";
+inline constexpr const char* kJournalIoAccount = "journal-io";
 
 class AfsMetadataStore final : public enclave::StorageOcalls {
  public:
@@ -33,9 +34,14 @@ class AfsMetadataStore final : public enclave::StorageOcalls {
   Status LockMeta(const Uuid& uuid) override;
   Status UnlockMeta(const Uuid& uuid) override;
   bool CacheFresh(const Uuid& uuid, std::uint64_t storage_version) override;
+  Result<Bytes> FetchJournal(const std::string& name) override;
+  Status StoreJournal(const std::string& name, ByteSpan data) override;
+  Status RemoveJournal(const std::string& name) override;
+  Result<std::vector<std::string>> ListJournal() override;
 
   [[nodiscard]] std::string MetaPath(const Uuid& uuid) const;
   [[nodiscard]] std::string DataPath(const Uuid& uuid) const;
+  [[nodiscard]] std::string JournalPath(const std::string& name) const;
 
  private:
   storage::AfsClient& afs_;

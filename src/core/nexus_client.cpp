@@ -144,6 +144,23 @@ Status NexusClient::SetAcl(const std::string& dirpath,
       [&] { return enclave_->EcallSetAcl(dirpath, username, perms); });
 }
 
+// ---- write-ahead journal ------------------------------------------------------------
+
+Status NexusClient::ConfigureJournal(bool enabled,
+                                     std::uint64_t checkpoint_interval_ops) {
+  return TimedEcall([&] {
+    return enclave_->EcallConfigureJournal(enabled, checkpoint_interval_ops);
+  });
+}
+
+Status NexusClient::BeginBatch() {
+  return TimedEcall([&] { return enclave_->EcallBeginBatch(); });
+}
+
+Status NexusClient::CommitBatch() {
+  return TimedEcall([&] { return enclave_->EcallCommitBatch(); });
+}
+
 // ---- key exchange -------------------------------------------------------------------
 
 std::string NexusClient::IdentityPath(const std::string& user) {

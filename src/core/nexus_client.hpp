@@ -74,6 +74,24 @@ class NexusClient {
   Status SetAcl(const std::string& dirpath, const std::string& username,
                 std::uint8_t perms);
 
+  // ---- write-ahead journal / group commit -------------------------------------
+
+  /// Enables or disables write-ahead journaling of metadata stores, and
+  /// sets the checkpoint threshold (committed ops buffered before they are
+  /// applied to the main objects; 0 = checkpoint after every commit).
+  /// Recovery of committed-but-uncheckpointed records still runs at every
+  /// mount even when journaling is disabled.
+  Status ConfigureJournal(bool enabled, std::uint64_t checkpoint_interval_ops);
+
+  /// Opens an explicit batch: metadata writes from subsequent operations
+  /// accumulate in the enclave and become durable as ONE journal record at
+  /// CommitBatch (group commit). The batch is all-or-nothing under crashes.
+  /// Requires journaling to be enabled; single writer per volume while a
+  /// batch is open.
+  Status BeginBatch();
+  /// Seals and commits every metadata write since BeginBatch.
+  Status CommitBatch();
+
   // ---- in-band attested key exchange (§IV-B1) --------------------------------
   // All blobs travel as files on the shared storage service; the two users
   // never need to be online simultaneously.
@@ -128,9 +146,18 @@ class NexusClient {
   [[nodiscard]] storage::AfsClient& afs() noexcept { return afs_; }
   [[nodiscard]] ProfileSnapshot Profile() const {
     const storage::SimClock& clock = afs_.server().clock();
-    return ProfileSnapshot{clock.Now(), enclave_seconds_,
-                           clock.Account(kMetaIoAccount),
-                           clock.Account(kDataIoAccount)};
+    const journal::Stats& js = enclave_->journal_stats();
+    ProfileSnapshot snap;
+    snap.io_seconds = clock.Now();
+    snap.enclave_seconds = enclave_seconds_;
+    snap.metadata_io_seconds = clock.Account(kMetaIoAccount);
+    snap.data_io_seconds = clock.Account(kDataIoAccount);
+    snap.journal_io_seconds = clock.Account(kJournalIoAccount);
+    snap.journal = JournalCounters{
+        js.records_committed, js.ops_committed,   js.ops_deduped,
+        js.checkpoints,       js.ops_checkpointed, js.records_replayed,
+        js.ops_replayed,      js.torn_records_discarded};
+    return snap;
   }
   /// Drops the in-enclave and AFS caches (cold-start measurements).
   void DropAllCaches();

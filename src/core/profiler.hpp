@@ -4,9 +4,12 @@
 //                      a monotonic clock (accumulated by NexusClient)
 //   Metadata I/O     — virtual time of metadata fetch/store/lock RPCs
 //   Data I/O         — virtual time of bulk data RPCs
+//   Journal I/O      — virtual time of commit-journal record/anchor RPCs
 //
 // A workload's end-to-end latency is (virtual I/O time) + (real compute
 // time); benchmarks combine the two explicitly so nothing double-counts.
+// The journal counters come from the enclave's own statistics and let
+// benchmarks report the group-commit batching factor (ops per record).
 #pragma once
 
 #include <cstdint>
@@ -15,11 +18,38 @@
 
 namespace nexus::core {
 
+struct JournalCounters {
+  std::uint64_t records_committed = 0;
+  std::uint64_t ops_committed = 0;
+  std::uint64_t ops_deduped = 0;
+  std::uint64_t checkpoints = 0;
+  std::uint64_t ops_checkpointed = 0;
+  std::uint64_t records_replayed = 0;
+  std::uint64_t ops_replayed = 0;
+  std::uint64_t torn_records_discarded = 0;
+
+  friend JournalCounters operator-(const JournalCounters& a,
+                                   const JournalCounters& b) {
+    return JournalCounters{
+        a.records_committed - b.records_committed,
+        a.ops_committed - b.ops_committed,
+        a.ops_deduped - b.ops_deduped,
+        a.checkpoints - b.checkpoints,
+        a.ops_checkpointed - b.ops_checkpointed,
+        a.records_replayed - b.records_replayed,
+        a.ops_replayed - b.ops_replayed,
+        a.torn_records_discarded - b.torn_records_discarded,
+    };
+  }
+};
+
 struct ProfileSnapshot {
   double io_seconds = 0; // total virtual (simulated network/server) time
   double enclave_seconds = 0;
   double metadata_io_seconds = 0;
   double data_io_seconds = 0;
+  double journal_io_seconds = 0;
+  JournalCounters journal;
 
   friend ProfileSnapshot operator-(const ProfileSnapshot& a,
                                    const ProfileSnapshot& b) {
@@ -28,6 +58,8 @@ struct ProfileSnapshot {
         a.enclave_seconds - b.enclave_seconds,
         a.metadata_io_seconds - b.metadata_io_seconds,
         a.data_io_seconds - b.data_io_seconds,
+        a.journal_io_seconds - b.journal_io_seconds,
+        a.journal - b.journal,
     };
   }
 };

@@ -42,21 +42,55 @@ NexusEnclave::NexusEnclave(sgx::EnclaveRuntime& runtime, StorageOcalls& storage,
 }
 
 // ---- ocall wrappers ---------------------------------------------------------
+// When a journal session is engaged, metadata stores/removes are deferred
+// into the pending transaction instead of crossing the enclave boundary;
+// fetches are answered from the transaction buffers first so the enclave
+// reads its own uncommitted writes. Bulk data and locks always pass through.
+
+namespace {
+// storage_version stamped on journaled (not yet checkpointed) objects.
+// Real stamps start at 1 and increment, so this value is unreachable.
+constexpr std::uint64_t kJournaledStorageVersion = ~0ull;
+} // namespace
 
 Result<ObjectBlob> NexusEnclave::FetchMetaO(const Uuid& uuid) {
+  if (const journal::Op* op = JournalFind(uuid)) {
+    if (op->kind == journal::OpKind::kRemove) {
+      return Error(ErrorCode::kNotFound, "object removed in pending transaction");
+    }
+    return ObjectBlob{op->blob, kJournaledStorageVersion};
+  }
   sgx::EnclaveRuntime::OcallScope scope(runtime_);
   return storage_.FetchMeta(uuid);
 }
 
 Status NexusEnclave::StoreMetaO(const Uuid& uuid, ByteSpan data,
                                 std::uint64_t* version_out) {
+  if (journal_.has_value()) {
+    journal_->pending.Put(uuid, ToBytes(data));
+    if (version_out != nullptr) *version_out = kJournaledStorageVersion;
+    return Status::Ok();
+  }
+  return StoreMetaDirect(uuid, data, version_out);
+}
+
+Status NexusEnclave::RemoveMetaO(const Uuid& uuid) {
+  if (journal_.has_value()) {
+    journal_->pending.Remove(uuid);
+    return Status::Ok();
+  }
+  return RemoveMetaDirect(uuid);
+}
+
+Status NexusEnclave::StoreMetaDirect(const Uuid& uuid, ByteSpan data,
+                                     std::uint64_t* version_out) {
   sgx::EnclaveRuntime::OcallScope scope(runtime_);
   NEXUS_ASSIGN_OR_RETURN(std::uint64_t version, storage_.StoreMeta(uuid, data));
   if (version_out != nullptr) *version_out = version;
   return Status::Ok();
 }
 
-Status NexusEnclave::RemoveMetaO(const Uuid& uuid) {
+Status NexusEnclave::RemoveMetaDirect(const Uuid& uuid) {
   sgx::EnclaveRuntime::OcallScope scope(runtime_);
   return storage_.RemoveMeta(uuid);
 }
@@ -73,6 +107,13 @@ Status NexusEnclave::StoreDataO(const Uuid& uuid, ByteSpan data,
 }
 
 Status NexusEnclave::RemoveDataO(const Uuid& uuid) {
+  if (journal_.has_value()) {
+    // Defer the delete until the transaction that stopped referencing the
+    // object has committed: until then the on-store filenode still points
+    // at it, and a crash must leave that state fully readable.
+    journal_->deferred_data_removes.push_back(uuid);
+    return Status::Ok();
+  }
   sgx::EnclaveRuntime::OcallScope scope(runtime_);
   return storage_.RemoveData(uuid);
 }
@@ -88,8 +129,291 @@ Status NexusEnclave::UnlockMetaO(const Uuid& uuid) {
 }
 
 bool NexusEnclave::CacheFreshO(const Uuid& uuid, std::uint64_t storage_version) {
+  if (const journal::Op* op = JournalFind(uuid)) {
+    // A cached decrypt is fresh iff it was decoded from the journaled blob
+    // (sentinel stamp). A pending remove can never validate a cache entry.
+    return op->kind == journal::OpKind::kPut &&
+           storage_version == kJournaledStorageVersion;
+  }
   sgx::EnclaveRuntime::OcallScope scope(runtime_);
   return storage_.CacheFresh(uuid, storage_version);
+}
+
+Result<Bytes> NexusEnclave::FetchJournalO(const std::string& name) {
+  sgx::EnclaveRuntime::OcallScope scope(runtime_);
+  return storage_.FetchJournal(name);
+}
+
+Status NexusEnclave::StoreJournalO(const std::string& name, ByteSpan data) {
+  sgx::EnclaveRuntime::OcallScope scope(runtime_);
+  return storage_.StoreJournal(name, data);
+}
+
+Status NexusEnclave::RemoveJournalO(const std::string& name) {
+  sgx::EnclaveRuntime::OcallScope scope(runtime_);
+  return storage_.RemoveJournal(name);
+}
+
+Result<std::vector<std::string>> NexusEnclave::ListJournalO() {
+  sgx::EnclaveRuntime::OcallScope scope(runtime_);
+  return storage_.ListJournal();
+}
+
+// ---- write-ahead journal ----------------------------------------------------
+
+const journal::Op* NexusEnclave::JournalFind(const Uuid& uuid) const {
+  if (!journal_.has_value()) return nullptr;
+  // Pending shadows committed: within one transaction the newest write wins.
+  if (const journal::Op* op = journal_->pending.Find(uuid)) return op;
+  return journal_->committed.Find(uuid);
+}
+
+void NexusEnclave::EngageJournal(std::uint64_t next_seq,
+                                 const ByteArray<32>& chain_hash) {
+  JournalState state;
+  state.key = journal::DeriveJournalKey(session_->rootkey);
+  state.next_seq = next_seq;
+  state.chain_hash = chain_hash;
+  journal_ = std::move(state);
+}
+
+Status NexusEnclave::CommitPending() {
+  if (!journal_.has_value()) return Status::Ok();
+  JournalState& j = *journal_;
+  if (!j.pending.empty()) {
+    NEXUS_ASSIGN_OR_RETURN(
+        Bytes record,
+        journal::EncodeRecord(j.next_seq, j.chain_hash, j.pending.ops(), j.key,
+                              session_->volume_uuid, runtime_.rng()));
+    // The single durability point of the whole transaction: one object
+    // store. Until it succeeds everything stays pending (retryable).
+    NEXUS_RETURN_IF_ERROR(StoreJournalO(journal::ObjectName(j.next_seq), record));
+    j.chain_hash = journal::ChainHash(record);
+    j.committed_seqs.push_back(j.next_seq);
+    ++j.next_seq;
+    journal_stats_.ops_deduped += j.pending.deduped();
+    journal_stats_.ops_committed += j.pending.size();
+    ++journal_stats_.records_committed;
+    for (journal::Op& op : j.pending.TakeOps()) j.committed.Apply(std::move(op));
+  }
+  // Data objects unreferenced by this transaction are now safe to delete.
+  for (const Uuid& uuid : j.deferred_data_removes) {
+    sgx::EnclaveRuntime::OcallScope scope(runtime_);
+    (void)storage_.RemoveData(uuid); // best effort: an orphan is harmless
+  }
+  j.deferred_data_removes.clear();
+  if (j.committed.size() >= checkpoint_interval_ops_ ||
+      checkpoint_interval_ops_ == 0) {
+    return CheckpointJournal();
+  }
+  return Status::Ok();
+}
+
+Status NexusEnclave::CheckpointJournal() {
+  if (!journal_.has_value()) return Status::Ok();
+  JournalState& j = *journal_;
+  if (j.committed.empty() && j.committed_seqs.empty()) return Status::Ok();
+
+  // Apply committed ops onto the main objects. Order across objects is
+  // irrelevant (each op carries the whole blob); a crash mid-apply is fine
+  // because the records survive until the anchor below moves past them, so
+  // mount-time recovery re-applies the remainder idempotently.
+  for (const journal::Op& op : j.committed.ops()) {
+    if (op.kind == journal::OpKind::kPut) {
+      std::uint64_t version = 0;
+      NEXUS_RETURN_IF_ERROR(StoreMetaDirect(op.uuid, op.blob, &version));
+      PatchCachedStorageVersion(op.uuid, version);
+    } else {
+      const Status removed = RemoveMetaDirect(op.uuid);
+      // Tolerated: the object may never have been checkpointed (created
+      // and deleted within the journaled window) or a previous partial
+      // checkpoint already removed it.
+      if (!removed.ok() && removed.code() != ErrorCode::kNotFound) {
+        return removed;
+      }
+    }
+  }
+  journal_stats_.ops_checkpointed += j.committed.size();
+  j.committed.Clear();
+
+  // Truncate: persist the new chain position FIRST, then drop the records
+  // it supersedes. A crash in between leaves stale records below the
+  // anchor, which recovery deletes without replaying.
+  NEXUS_ASSIGN_OR_RETURN(
+      Bytes anchor,
+      journal::EncodeAnchor(journal::Anchor{j.next_seq, j.chain_hash}, j.key,
+                            session_->volume_uuid, runtime_.rng()));
+  NEXUS_RETURN_IF_ERROR(StoreJournalO(journal::kAnchorName, anchor));
+  for (const std::uint64_t seq : j.committed_seqs) {
+    (void)RemoveJournalO(journal::ObjectName(seq));
+  }
+  j.committed_seqs.clear();
+  ++journal_stats_.checkpoints;
+  return Status::Ok();
+}
+
+Status NexusEnclave::FinishMutation(Status result) {
+  if (!journal_.has_value()) return result;
+  if (journal_->explicit_batch) return result;
+  // Commit even when the operation failed: whatever it already stored is
+  // exactly what the non-journaled write-through path would have made
+  // durable, and the version table has already recorded those writes.
+  const Status committed = CommitPending();
+  return result.ok() ? committed : result;
+}
+
+void NexusEnclave::PatchCachedStorageVersion(const Uuid& uuid,
+                                             std::uint64_t version) {
+  if (const auto it = dirnode_cache_.find(uuid); it != dirnode_cache_.end() &&
+      it->second.storage_version == kJournaledStorageVersion) {
+    it->second.storage_version = version;
+  }
+  if (const auto it = filenode_cache_.find(uuid); it != filenode_cache_.end() &&
+      it->second.storage_version == kJournaledStorageVersion) {
+    it->second.storage_version = version;
+  }
+  if (session_.has_value() && uuid == session_->volume_uuid &&
+      session_->supernode_storage_version == kJournaledStorageVersion) {
+    session_->supernode_storage_version = version;
+  }
+}
+
+Result<journal::Anchor> NexusEnclave::RecoverJournal(
+    const journal::JournalKey& key, const Uuid& volume_uuid) {
+  journal::Anchor anchor; // default: chain starts at seq 0, zero hash
+  auto anchor_blob = FetchJournalO(journal::kAnchorName);
+  if (anchor_blob.ok()) {
+    NEXUS_ASSIGN_OR_RETURN(anchor,
+                           journal::DecodeAnchor(*anchor_blob, key, volume_uuid));
+  } else if (anchor_blob.status().code() != ErrorCode::kNotFound) {
+    return anchor_blob.status();
+  }
+
+  NEXUS_ASSIGN_OR_RETURN(std::vector<std::string> names, ListJournalO());
+  std::vector<std::uint64_t> seqs;
+  std::vector<std::string> stale;
+  for (const std::string& name : names) {
+    if (name == journal::kAnchorName) continue;
+    const auto seq = journal::ParseObjectName(name);
+    if (!seq.has_value() || *seq < anchor.next_seq) {
+      // Foreign garbage, or a record a finished checkpoint superseded but
+      // did not get to delete: drop it without replaying.
+      stale.push_back(name);
+      continue;
+    }
+    seqs.push_back(*seq);
+  }
+  std::sort(seqs.begin(), seqs.end());
+
+  // Replay the contiguous, authenticated chain extension; the first gap,
+  // decode failure or chain break ends the committed prefix and everything
+  // from there on is a torn tail to discard.
+  std::vector<std::uint64_t> replayed;
+  std::vector<std::uint64_t> torn;
+  bool chain_ok = true;
+  for (const std::uint64_t seq : seqs) {
+    if (!chain_ok || seq != anchor.next_seq) {
+      chain_ok = false;
+      torn.push_back(seq);
+      continue;
+    }
+    auto blob = FetchJournalO(journal::ObjectName(seq));
+    if (!blob.ok()) {
+      chain_ok = false;
+      torn.push_back(seq);
+      continue;
+    }
+    auto ops = journal::DecodeRecord(*blob, seq, anchor.chain_hash, key,
+                                     volume_uuid);
+    if (!ops.ok()) {
+      chain_ok = false;
+      torn.push_back(seq);
+      continue;
+    }
+    for (const journal::Op& op : *ops) {
+      if (op.kind == journal::OpKind::kPut) {
+        NEXUS_RETURN_IF_ERROR(StoreMetaDirect(op.uuid, op.blob, nullptr));
+      } else {
+        const Status removed = RemoveMetaDirect(op.uuid);
+        if (!removed.ok() && removed.code() != ErrorCode::kNotFound) {
+          return removed;
+        }
+      }
+      ++journal_stats_.ops_replayed;
+    }
+    anchor.chain_hash = journal::ChainHash(*blob);
+    anchor.next_seq = seq + 1;
+    replayed.push_back(seq);
+    ++journal_stats_.records_replayed;
+  }
+  journal_stats_.torn_records_discarded += torn.size();
+
+  // Truncate what we consumed: anchor first, then the record objects.
+  if (!replayed.empty() || !torn.empty() || !stale.empty()) {
+    NEXUS_ASSIGN_OR_RETURN(
+        Bytes anchor_out,
+        journal::EncodeAnchor(anchor, key, volume_uuid, runtime_.rng()));
+    NEXUS_RETURN_IF_ERROR(StoreJournalO(journal::kAnchorName, anchor_out));
+    for (const std::uint64_t seq : replayed) {
+      (void)RemoveJournalO(journal::ObjectName(seq));
+    }
+    for (const std::uint64_t seq : torn) {
+      (void)RemoveJournalO(journal::ObjectName(seq));
+    }
+    for (const std::string& name : stale) (void)RemoveJournalO(name);
+  }
+  return anchor;
+}
+
+Status NexusEnclave::EcallConfigureJournal(
+    bool enabled, std::uint64_t checkpoint_interval_ops) {
+  sgx::EnclaveRuntime::EcallScope scope(runtime_);
+  if (journal_.has_value() && journal_->explicit_batch) {
+    return Error(ErrorCode::kInvalidArgument,
+                 "cannot reconfigure journal inside an open batch");
+  }
+  checkpoint_interval_ops_ = checkpoint_interval_ops;
+  journal_enabled_ = enabled;
+  if (!session_.has_value()) return Status::Ok(); // applies at next mount
+  if (enabled && !journal_.has_value()) {
+    // Engaging mid-session: fold any on-store journal leftovers in first
+    // so the chain position is authoritative.
+    const journal::JournalKey key =
+        journal::DeriveJournalKey(session_->rootkey);
+    NEXUS_ASSIGN_OR_RETURN(journal::Anchor anchor,
+                           RecoverJournal(key, session_->volume_uuid));
+    EngageJournal(anchor.next_seq, anchor.chain_hash);
+  } else if (!enabled && journal_.has_value()) {
+    // Disabling flushes everything through to the main objects.
+    NEXUS_RETURN_IF_ERROR(CommitPending());
+    NEXUS_RETURN_IF_ERROR(CheckpointJournal());
+    journal_.reset();
+  }
+  return Status::Ok();
+}
+
+Status NexusEnclave::EcallBeginBatch() {
+  sgx::EnclaveRuntime::EcallScope scope(runtime_);
+  NEXUS_RETURN_IF_ERROR(RequireMounted());
+  if (!journal_.has_value()) {
+    return Error(ErrorCode::kInvalidArgument,
+                 "journaling is disabled; no batch mode");
+  }
+  if (journal_->explicit_batch) {
+    return Error(ErrorCode::kInvalidArgument, "a batch is already open");
+  }
+  journal_->explicit_batch = true;
+  return Status::Ok();
+}
+
+Status NexusEnclave::EcallCommitBatch() {
+  sgx::EnclaveRuntime::EcallScope scope(runtime_);
+  NEXUS_RETURN_IF_ERROR(RequireMounted());
+  if (!journal_.has_value() || !journal_->explicit_batch) {
+    return Error(ErrorCode::kInvalidArgument, "no batch is open");
+  }
+  journal_->explicit_batch = false;
+  return CommitPending();
 }
 
 // ---- internals ----------------------------------------------------------------
@@ -434,6 +758,10 @@ Result<NexusEnclave::CreateVolumeResult> NexusEnclave::EcallCreateVolume(
   supernode.next_user_id = 1;
   session.supernode = supernode;
   session_ = std::move(session);
+  if (journal_enabled_) {
+    // Fresh volume: the journal chain starts at sequence 0.
+    EngageJournal(0, ByteArray<32>{});
+  }
 
   // Empty root directory.
   Dirnode root;
@@ -443,6 +771,7 @@ Result<NexusEnclave::CreateVolumeResult> NexusEnclave::EcallCreateVolume(
                                         /*version=*/1, root.Serialize(), nullptr);
   if (!root_stored.ok()) {
     session_.reset();
+    journal_.reset();
     return root_stored.status();
   }
   DirnodeState root_state;
@@ -456,9 +785,24 @@ Result<NexusEnclave::CreateVolumeResult> NexusEnclave::EcallCreateVolume(
                          /*version=*/1, supernode.Serialize(), &supernode_sv);
   if (!super_stored.ok()) {
     session_.reset();
+    journal_.reset();
     return super_stored.status();
   }
   session_->supernode_storage_version = supernode_sv;
+
+  // A new volume must exist concretely on the store before the sealed
+  // rootkey is handed out: commit and fully checkpoint the creation.
+  if (journal_.has_value()) {
+    const Status flushed = [&] {
+      NEXUS_RETURN_IF_ERROR(CommitPending());
+      return CheckpointJournal();
+    }();
+    if (!flushed.ok()) {
+      session_.reset();
+      journal_.reset();
+      return flushed;
+    }
+  }
 
   NEXUS_ASSIGN_OR_RETURN(Bytes sealed_rootkey, runtime_.Seal(session_->rootkey));
   return CreateVolumeResult{session_->volume_uuid, std::move(sealed_rootkey)};
@@ -543,6 +887,9 @@ Status NexusEnclave::CreateEntry(const std::string& path, EntryType type,
     dir->buckets[target].entries.push_back(std::move(entry));
     return FlushDirnode(*dir, {target});
   }();
+  // Commit the deferred metadata writes while still holding the directory
+  // lock, so no other client can read-modify-write the pre-commit state.
+  result = FinishMutation(result);
   const Status unlock = UnlockMetaO(dir_uuid);
   return result.ok() ? unlock : result;
 }
@@ -660,6 +1007,7 @@ Status NexusEnclave::EcallRemove(const std::string& path) {
     }
     return ReleaseEntryObjects(removed, dir_uuid);
   }();
+  result = FinishMutation(result);
   const Status unlock = UnlockMetaO(dir_uuid);
   return result.ok() ? unlock : result;
 }
@@ -808,6 +1156,7 @@ Status NexusEnclave::EcallHardlink(const std::string& existing,
     dst_dir->buckets[target].entries.push_back(std::move(entry));
     return FlushDirnode(*dst_dir, {target});
   }();
+  result = FinishMutation(result);
   const Status unlock = UnlockMetaO(dst_dir_uuid);
   return result.ok() ? unlock : result;
 }
@@ -948,6 +1297,7 @@ Status NexusEnclave::EcallRename(const std::string& from, const std::string& to)
     }
     return Status::Ok();
   }();
+  result = FinishMutation(result);
 
   for (const Uuid& u : locks) (void)UnlockMetaO(u);
   return result;
@@ -986,6 +1336,7 @@ Status NexusEnclave::EcallEncryptRange(const std::string& path,
     NEXUS_ASSIGN_OR_RETURN(FilenodeState* file,
                            LoadFilenode(file_uuid, dir_uuid));
     Filenode& node = file->node;
+    const Uuid old_data_uuid = node.data_uuid;
     const std::uint64_t old_size = node.size;
     const std::size_t old_chunk_count = node.chunks.size();
     const std::size_t cs = node.chunk_size;
@@ -1021,7 +1372,7 @@ Status NexusEnclave::EcallEncryptRange(const std::string& path,
     Bytes old_ciphertext;
     bool have_old = false;
     if (surviving > 0) {
-      NEXUS_ASSIGN_OR_RETURN(ObjectBlob blob, FetchDataO(node.data_uuid));
+      NEXUS_ASSIGN_OR_RETURN(ObjectBlob blob, FetchDataO(old_data_uuid));
       old_ciphertext = std::move(blob.data);
       have_old = true;
     }
@@ -1064,9 +1415,26 @@ Status NexusEnclave::EcallEncryptRange(const std::string& path,
       Append(ciphertext, sealed);
     }
 
+    // Full rewrites are copy-on-write: the new ciphertext goes to a fresh
+    // UUID, the filenode flips to it atomically (journaled with everything
+    // else this operation touched), and the superseded object is deleted
+    // only after that commit — a crash at any prefix leaves the on-store
+    // filenode pointing at a data object that still fully matches it.
+    // Partial updates stay in place so only the dirty chunks ship (§VII's
+    // bandwidth property); their torn-write window is confined to the
+    // rewritten chunks and the old keys stay valid until commit.
+    const bool full_rewrite = (surviving == 0);
+    if (full_rewrite) {
+      node.data_uuid = runtime_.rng().NewUuid();
+    }
     NEXUS_RETURN_IF_ERROR(StoreDataO(node.data_uuid, ciphertext, changed_bytes));
-    return FlushFilenode(*file);
+    NEXUS_RETURN_IF_ERROR(FlushFilenode(*file));
+    if (full_rewrite && (have_old || old_size > 0)) {
+      (void)RemoveDataO(old_data_uuid); // deferred until commit when journaled
+    }
+    return Status::Ok();
   }();
+  result = FinishMutation(result);
   const Status unlock = UnlockMetaO(file_uuid);
   return result.ok() ? unlock : result;
 }
@@ -1219,6 +1587,19 @@ void NexusEnclave::EcallDropCaches() {
 Status NexusEnclave::EcallUnmount() {
   if (!session_.has_value()) {
     return Error(ErrorCode::kInvalidArgument, "not mounted");
+  }
+  // Called both as a top-level ecall and internally (revocation path, where
+  // we are already inside the enclave) — enter only if not already in.
+  std::optional<sgx::EnclaveRuntime::EcallScope> scope;
+  if (!runtime_.inside()) scope.emplace(runtime_);
+  if (journal_.has_value()) {
+    // Best-effort flush: commit whatever is pending and checkpoint it all.
+    // On failure the journal records stay behind and the next mount's
+    // recovery finishes the job.
+    journal_->explicit_batch = false;
+    (void)CommitPending();
+    (void)CheckpointJournal();
+    journal_.reset();
   }
   SecureZero(session_->rootkey);
   session_.reset();

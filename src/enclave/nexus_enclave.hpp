@@ -24,6 +24,7 @@
 #include "enclave/metadata_codec.hpp"
 #include "enclave/ocalls.hpp"
 #include "enclave/types.hpp"
+#include "journal/journal.hpp"
 #include "sgx/enclave.hpp"
 
 namespace nexus::enclave {
@@ -215,6 +216,37 @@ class NexusEnclave {
     return filenode_cache_.size();
   }
 
+  // ---- write-ahead metadata journal (group commit + crash recovery) --------
+  // When journaling is on (the default), every metadata store/remove an
+  // operation performs is deferred into an in-enclave pending transaction
+  // and made durable by ONE sealed journal record per operation — or per
+  // explicit batch — before being checkpointed back onto the main "nx/"
+  // objects. Mount-time recovery replays committed records and discards
+  // torn tails, so a crash can never leave a half-applied operation.
+
+  /// Reconfigures journaling. `checkpoint_interval_ops` bounds how many
+  /// committed (journaled but not yet checkpointed) ops may accumulate
+  /// before an automatic checkpoint; 0 checkpoints right after every
+  /// commit, which preserves cross-client visibility through the store.
+  /// Disabling while mounted flushes (commit + checkpoint) first.
+  Status EcallConfigureJournal(bool enabled,
+                               std::uint64_t checkpoint_interval_ops);
+
+  /// Opens an explicit batch: subsequent operations accumulate in the
+  /// pending transaction instead of committing individually. Single-writer
+  /// only — other clients do not see batched updates until CommitBatch.
+  Status EcallBeginBatch();
+  /// Seals the whole batch into one journal record (atomic group commit),
+  /// then checkpoints per the configured interval.
+  Status EcallCommitBatch();
+
+  [[nodiscard]] bool journal_enabled() const noexcept {
+    return journal_enabled_;
+  }
+  [[nodiscard]] const journal::Stats& journal_stats() const noexcept {
+    return journal_stats_;
+  }
+
  private:
   // ---- in-enclave decrypted caches ---------------------------------------
 
@@ -246,6 +278,25 @@ class NexusEnclave {
     RootKey rootkey{};
     Uuid volume_uuid;
     ByteArray<16> nonce{};
+    // Journal chain state recovered during the challenge, handed to the
+    // session once authentication completes.
+    std::uint64_t journal_next_seq = 0;
+    ByteArray<32> journal_chain_hash{};
+  };
+
+  /// Per-session journal state: the sealing key, the chain position, the
+  /// pending (uncommitted) transaction and the committed-but-not-yet-
+  /// checkpointed set, plus data objects whose removal is deferred until
+  /// the transaction that stops referencing them has committed.
+  struct JournalState {
+    journal::JournalKey key{};
+    std::uint64_t next_seq = 0;
+    ByteArray<32> chain_hash{};
+    journal::TxnBuffer pending;
+    journal::TxnBuffer committed;
+    std::vector<std::uint64_t> committed_seqs;
+    std::vector<Uuid> deferred_data_removes;
+    bool explicit_batch = false;
   };
 
   // ---- ocall wrappers (transition accounting) -----------------------------
@@ -259,6 +310,50 @@ class NexusEnclave {
   Status LockMetaO(const Uuid& uuid);
   Status UnlockMetaO(const Uuid& uuid);
   bool CacheFreshO(const Uuid& uuid, std::uint64_t storage_version);
+  Result<Bytes> FetchJournalO(const std::string& name);
+  Status StoreJournalO(const std::string& name, ByteSpan data);
+  Status RemoveJournalO(const std::string& name);
+  Result<std::vector<std::string>> ListJournalO();
+
+  // Journal-bypassing variants used by checkpoint apply and recovery
+  // replay; everything else must go through StoreMetaO/RemoveMetaO.
+  Status StoreMetaDirect(const Uuid& uuid, ByteSpan data,
+                         std::uint64_t* version_out);
+  Status RemoveMetaDirect(const Uuid& uuid);
+
+  // ---- journal internals ---------------------------------------------------
+
+  /// Looks up `uuid` in the pending then committed buffers.
+  [[nodiscard]] const journal::Op* JournalFind(const Uuid& uuid) const;
+
+  /// Engages journaling for the current session at a given chain position.
+  void EngageJournal(std::uint64_t next_seq, const ByteArray<32>& chain_hash);
+
+  /// Seals the pending transaction into one journal record, merges it into
+  /// the committed set and executes deferred data removes; checkpoints per
+  /// the configured interval. No-op when the transaction is empty.
+  Status CommitPending();
+
+  /// Applies the committed set onto the main objects, writes the anchor and
+  /// truncates the journal records it covers.
+  Status CheckpointJournal();
+
+  /// Per-operation epilogue for every mutating ecall: in auto mode commits
+  /// (and per config checkpoints) what the operation deferred; in explicit
+  /// batch mode leaves it pending. Partial state from a failed operation is
+  /// still committed — exactly the durability the non-journaled write-through
+  /// path had — so the version table never runs ahead of the store.
+  Status FinishMutation(Status result);
+
+  /// After a checkpoint stored `uuid` for real, stamps the true storage
+  /// version into any cache entry still carrying the journal sentinel.
+  void PatchCachedStorageVersion(const Uuid& uuid, std::uint64_t version);
+
+  /// Mount-time recovery: replays every complete record past the anchor,
+  /// discards the torn tail (if any) and truncates the journal. Returns
+  /// the chain position a new session should continue from.
+  Result<journal::Anchor> RecoverJournal(const journal::JournalKey& key,
+                                         const Uuid& volume_uuid);
 
   // ---- internals -----------------------------------------------------------
   Status RequireMounted() const;
@@ -340,6 +435,12 @@ class NexusEnclave {
   std::unordered_map<Uuid, DirnodeState> dirnode_cache_;
   std::unordered_map<Uuid, FilenodeState> filenode_cache_;
   std::unordered_map<Uuid, std::uint64_t> min_versions_;
+
+  std::optional<JournalState> journal_;
+  bool journal_enabled_ = true;
+  std::uint64_t checkpoint_interval_ops_ = 0;
+  journal::Stats journal_stats_;
+
   CacheStats cache_stats_;
   std::size_t max_cached_dirnodes_ = 4096;
   std::size_t max_cached_filenodes_ = 16384;

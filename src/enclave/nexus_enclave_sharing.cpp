@@ -42,6 +42,18 @@ Result<ByteArray<16>> NexusEnclave::EcallAuthChallenge(
   SecureZero(rootkey);
   pending.volume_uuid = volume_uuid;
   pending.nonce = runtime_.rng().Array<16>();
+
+  // Crash recovery happens here — after the rootkey is proven, before the
+  // supernode is fetched — so an uncheckpointed supernode update from a
+  // crashed session is replayed onto the store before authentication reads
+  // it. Recovery is unconditional (even with write-journaling configured
+  // off): committed transactions must never be lost.
+  auto recovered = RecoverJournal(journal::DeriveJournalKey(pending.rootkey),
+                                  pending.volume_uuid);
+  if (!recovered.ok()) return recovered.status();
+  pending.journal_next_seq = recovered->next_seq;
+  pending.journal_chain_hash = recovered->chain_hash;
+
   pending_auth_ = pending;
   return pending.nonce;
 }
@@ -84,6 +96,9 @@ Status NexusEnclave::EcallAuthResponse(const ByteArray<64>& signature) {
   session.supernode = std::move(supernode);
   session.supernode_storage_version = blob.storage_version;
   session_ = std::move(session);
+  if (journal_enabled_) {
+    EngageJournal(pending.journal_next_seq, pending.journal_chain_hash);
+  }
   return Status::Ok();
 }
 
@@ -112,6 +127,7 @@ Status NexusEnclave::EcallAddUser(const std::string& name,
     (void)blob;
     return Status::Ok();
   }();
+  result = FinishMutation(result);
   const Status unlock = UnlockMetaO(session_->volume_uuid);
   return result.ok() ? unlock : result;
 }
@@ -146,6 +162,7 @@ Status NexusEnclave::EcallRemoveUser(const std::string& name) {
     (void)blob;
     return Status::Ok();
   }();
+  result = FinishMutation(result);
   const Status unlock = UnlockMetaO(session_->volume_uuid);
   return result.ok() ? unlock : result;
 }
@@ -185,6 +202,7 @@ Status NexusEnclave::EcallSetAcl(const std::string& dirpath,
     // of the amount of file data underneath (§VII-E).
     return FlushDirnode(*dir, {});
   }();
+  result = FinishMutation(result);
   const Status unlock = UnlockMetaO(dir_uuid);
   return result.ok() ? unlock : result;
 }

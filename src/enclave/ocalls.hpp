@@ -6,6 +6,8 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
+#include <vector>
 
 #include "common/bytes.hpp"
 #include "common/result.hpp"
@@ -48,6 +50,17 @@ class StorageOcalls {
   /// *decrypted* cache can be reused — a lie cannot forge content, only
   /// serve stale-but-authentic state within a session.
   virtual bool CacheFresh(const Uuid& uuid, std::uint64_t storage_version) = 0;
+
+  /// Journal objects: sealed write-ahead records named inside a flat
+  /// journal namespace ("nxj/<name>" on the store). Names are chosen by
+  /// the enclave (journal::ObjectName / journal::kAnchorName); contents
+  /// are ciphertext chained and authenticated under the journal key, so
+  /// the store can at worst drop or roll back whole suffixes.
+  virtual Result<Bytes> FetchJournal(const std::string& name) = 0;
+  virtual Status StoreJournal(const std::string& name, ByteSpan data) = 0;
+  virtual Status RemoveJournal(const std::string& name) = 0;
+  /// Lists journal object names (relative to the journal namespace).
+  virtual Result<std::vector<std::string>> ListJournal() = 0;
 };
 
 } // namespace nexus::enclave

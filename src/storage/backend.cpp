@@ -75,8 +75,13 @@ std::string EscapeName(const std::string& name) {
 
 std::string UnescapeName(const std::string& file) {
   std::string out;
+  out.reserve(file.size());
   for (std::size_t i = 0; i < file.size(); ++i) {
-    if (file[i] == '%' && i + 2 < file.size()) {
+    // A "%XX" escape occupies indices [i, i+2]; it fits (including one at
+    // the very end of the name) exactly when i + 3 <= size. Anything that
+    // is not a well-formed escape passes through verbatim.
+    const bool escape_fits = file[i] == '%' && i + 3 <= file.size();
+    if (escape_fits) {
       const auto decoded = HexDecode(file.substr(i + 1, 2));
       if (decoded.ok() && decoded.value().size() == 1) {
         out.push_back(static_cast<char>(decoded.value()[0]));
@@ -115,12 +120,35 @@ Result<Bytes> DiskBackend::Get(const std::string& name) {
 }
 
 Status DiskBackend::Put(const std::string& name, ByteSpan data) {
-  std::ofstream out(PathFor(name), std::ios::binary | std::ios::trunc);
-  if (!out) return Error(ErrorCode::kIOError, "cannot open for write: " + name);
-  out.write(reinterpret_cast<const char*>(data.data()),
-            static_cast<std::streamsize>(data.size()));
-  out.flush();
-  if (!out) return Error(ErrorCode::kIOError, "write failed: " + name);
+  // Write-to-temp + rename so a host crash mid-Put can never leave a
+  // truncated object under the final name — readers see the old bytes or
+  // the new bytes, nothing in between. The ".%tmp-" prefix cannot collide
+  // with any escaped object name: EscapeName only emits '%' followed by
+  // two hex digits.
+  const std::string final_path = PathFor(name);
+  const std::string tmp_path = root_ + "/.%tmp-" + EscapeName(name);
+  {
+    std::ofstream out(tmp_path, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      return Error(ErrorCode::kIOError, "cannot open for write: " + name);
+    }
+    out.write(reinterpret_cast<const char*>(data.data()),
+              static_cast<std::streamsize>(data.size()));
+    out.flush();
+    if (!out) {
+      std::error_code ec;
+      std::filesystem::remove(tmp_path, ec);
+      return Error(ErrorCode::kIOError, "write failed: " + name);
+    }
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp_path, final_path, ec); // atomic: same directory
+  if (ec) {
+    std::error_code rm;
+    std::filesystem::remove(tmp_path, rm);
+    return Error(ErrorCode::kIOError,
+                 "rename failed: " + name + ": " + ec.message());
+  }
   return Status::Ok();
 }
 
@@ -141,7 +169,9 @@ std::vector<std::string> DiskBackend::List(const std::string& prefix) {
   std::vector<std::string> out;
   std::error_code ec;
   for (const auto& entry : std::filesystem::directory_iterator(root_, ec)) {
-    const std::string name = UnescapeName(entry.path().filename().string());
+    const std::string file = entry.path().filename().string();
+    if (file.starts_with(".%tmp-")) continue; // leftover of a crashed Put
+    const std::string name = UnescapeName(file);
     if (name.starts_with(prefix)) out.push_back(name);
   }
   std::sort(out.begin(), out.end());

@@ -72,6 +72,14 @@ class FileSystem {
   virtual Status Symlink(const std::string& target, const std::string& linkpath) = 0;
   virtual Result<std::string> Readlink(const std::string& path) = 0;
 
+  // ---- group commit ---------------------------------------------------------
+  // Mounts with a write-ahead journal can batch the metadata effects of
+  // many operations into one commit. The base implementation is a no-op so
+  // workloads can bracket phases unconditionally; the baseline passthrough
+  // mount simply ignores the hints.
+  virtual Status BeginBatch() { return Status::Ok(); }
+  virtual Status CommitBatch() { return Status::Ok(); }
+
   // ---- whole-file conveniences (open/transfer/close) ----------------------
   Status WriteWholeFile(const std::string& path, ByteSpan content);
   Result<Bytes> ReadWholeFile(const std::string& path);

@@ -57,6 +57,22 @@ class CrashingStore final : public enclave::StorageOcalls {
   bool CacheFresh(const Uuid& uuid, std::uint64_t v) override {
     return !crashed_ && inner_.CacheFresh(uuid, v);
   }
+  Result<Bytes> FetchJournal(const std::string& name) override {
+    if (crashed_) return Dead<Bytes>();
+    return inner_.FetchJournal(name);
+  }
+  Status StoreJournal(const std::string& name, ByteSpan data) override {
+    if (Mutate()) return DeadStatus();
+    return inner_.StoreJournal(name, data);
+  }
+  Status RemoveJournal(const std::string& name) override {
+    if (Mutate()) return DeadStatus();
+    return inner_.RemoveJournal(name);
+  }
+  Result<std::vector<std::string>> ListJournal() override {
+    if (crashed_) return Dead<std::vector<std::string>>();
+    return inner_.ListJournal();
+  }
 
  private:
   bool Mutate() {
@@ -102,11 +118,15 @@ class CrashConsistencyTest : public ::testing::Test {
 
   /// Mounts a short-lived enclave over a CrashingStore and runs `op`.
   /// Returns the number of mutations the op performs when unobstructed.
+  /// Every run gets a distinct RNG seed: a crashed run must never be able
+  /// to masquerade as the committed run by regenerating identical keys,
+  /// IVs, and object UUIDs.
   int RunWithCrash(int fail_after,
                    const std::function<void(enclave::NexusEnclave&)>& op) {
     CrashingStore store(*machine_->afs, fail_after);
+    const std::string seed = "crash-run-" + std::to_string(run_counter_++);
     sgx::EnclaveRuntime runtime(*machine_->cpu, sgx::NexusEnclaveImage(),
-                                AsBytes("crash-run"));
+                                AsBytes(seed));
     enclave::NexusEnclave enclave(runtime, store,
                                   world_.intel().root_public_key());
     // Manual mount (the helper client always uses the real store).
@@ -175,9 +195,28 @@ class CrashConsistencyTest : public ::testing::Test {
     }
   }
 
+  /// Like VerifyVolumeReadable, but additionally asserts the two files of
+  /// a batched transaction landed atomically: both present or both absent.
+  void VerifyBatchAtomic(const std::string& a, const std::string& b,
+                         std::size_t min_stable_files) {
+    machine_->afs->FlushCache();
+    core::NexusClient fresh(*machine_->runtime, *machine_->afs,
+                            world_.intel().root_public_key());
+    ASSERT_TRUE(
+        fresh.Mount(machine_->user, handle_.volume_uuid, handle_.sealed_rootkey)
+            .ok());
+    const bool have_a = fresh.ReadFile(a).ok();
+    const bool have_b = fresh.ReadFile(b).ok();
+    EXPECT_EQ(have_a, have_b)
+        << "torn batch: " << a << "=" << have_a << " " << b << "=" << have_b;
+    ASSERT_TRUE(fresh.Unmount().ok());
+    VerifyVolumeReadable(min_stable_files);
+  }
+
   test::World world_;
   test::Machine* machine_ = nullptr;
   core::NexusClient::VolumeHandle handle_;
+  int run_counter_ = 0;
 };
 
 TEST_F(CrashConsistencyTest, CreateFile) {
@@ -224,6 +263,70 @@ TEST_F(CrashConsistencyTest, RenameReplacingTarget) {
         (void)e.EcallRename("work/victim", "stable/f0");
       },
       4); // f0 may legitimately be replaced mid-flight
+}
+
+// A batched transaction touches several files; the group-commit journal
+// record makes the whole batch one durability point. Crashing after any
+// prefix of the backend writes must leave either the entire batch or none
+// of it — never a torn half-batch. Each crash run uses distinct file names
+// so every run exercises a genuine full batch attempt rather than failing
+// early against leftovers of the previous run.
+TEST_F(CrashConsistencyTest, BatchedCommitAllOrNothing) {
+  int run = 0;
+  const auto make_op = [&run]() {
+    const std::string a = "work/batch-" + std::to_string(run) + "-a";
+    const std::string b = "work/batch-" + std::to_string(run) + "-b";
+    ++run;
+    return [a, b](enclave::NexusEnclave& e) {
+      if (!e.EcallBeginBatch().ok()) return;
+      (void)e.EcallTouch(a, enclave::EntryType::kFile);
+      (void)e.EcallEncrypt(a, Bytes(256, 0x11));
+      (void)e.EcallTouch(b, enclave::EntryType::kFile);
+      (void)e.EcallEncrypt(b, Bytes(256, 0x22));
+      (void)e.EcallCommitBatch();
+    };
+  };
+
+  // Unobstructed baseline fixes the mutation count for the sweep.
+  auto baseline = make_op();
+  const std::string a0 = "work/batch-0-a";
+  const std::string b0 = "work/batch-0-b";
+  const int total = RunWithCrash(-1, baseline);
+  ASSERT_GT(total, 0);
+  VerifyBatchAtomic(a0, b0, /*min_stable_files=*/6);
+
+  for (int k = 0; k < total; ++k) {
+    SCOPED_TRACE("crash after mutation " + std::to_string(k));
+    const std::string a = "work/batch-" + std::to_string(run) + "-a";
+    const std::string b = "work/batch-" + std::to_string(run) + "-b";
+    RunWithCrash(k, make_op());
+    VerifyBatchAtomic(a, b, 6);
+  }
+}
+
+// The journal must also be torn-proof for the implicit per-operation
+// batches: crash immediately after the journal record is durable but
+// before any checkpoint write, then verify a remount replays the record
+// and the operation's effect is fully visible.
+TEST_F(CrashConsistencyTest, ReplayAfterCrashBeforeCheckpoint) {
+  // A journaled touch defers all metadata stores, so its first backend
+  // mutation is the journal record itself. fail_after=1 lets that record
+  // land and kills the very next write — the first checkpoint store.
+  RunWithCrash(1, [](enclave::NexusEnclave& e) {
+    (void)e.EcallTouch("work/replayed", enclave::EntryType::kFile);
+  });
+  machine_->afs->FlushCache();
+  core::NexusClient fresh(*machine_->runtime, *machine_->afs,
+                          world_.intel().root_public_key());
+  ASSERT_TRUE(
+      fresh.Mount(machine_->user, handle_.volume_uuid, handle_.sealed_rootkey)
+          .ok());
+  auto entries = fresh.ListDir("work");
+  ASSERT_TRUE(entries.ok());
+  bool found = false;
+  for (const auto& e : *entries) found |= (e.name == "replayed");
+  EXPECT_TRUE(found) << "journal record was durable but not replayed";
+  ASSERT_TRUE(fresh.Unmount().ok());
 }
 
 } // namespace

@@ -1,0 +1,188 @@
+// Journal integration tests at the client level: group commit batches many
+// operations into one record, checkpoints truncate the journal, a second
+// session replays committed-but-uncheckpointed records at mount, and fsck
+// surfaces the journal's state.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/fsck.hpp"
+#include "test_env.hpp"
+
+namespace nexus {
+namespace {
+
+class JournalRecoveryTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    machine_ = &world_.AddMachine("owen");
+    auto handle = machine_->nexus->CreateVolume(machine_->user);
+    ASSERT_TRUE(handle.ok());
+    handle_ = std::move(handle).value();
+  }
+
+  /// Journal record objects currently on the store (anchor excluded),
+  /// as "a,b,c" so assertion failures name the leftovers.
+  std::string RecordsOnStore() {
+    std::string joined;
+    const std::vector<std::string> names = machine_->afs->List("nxj/").value();
+    for (const auto& name : names) {
+      if (name == "nxj/anchor") continue;
+      if (!joined.empty()) joined += ",";
+      joined += name;
+    }
+    return joined;
+  }
+
+  std::size_t RecordCount() {
+    const std::string joined = RecordsOnStore();
+    return joined.empty()
+               ? 0
+               : 1 + static_cast<std::size_t>(
+                         std::count(joined.begin(), joined.end(), ','));
+  }
+
+  test::World world_;
+  test::Machine* machine_ = nullptr;
+  core::NexusClient::VolumeHandle handle_;
+};
+
+TEST_F(JournalRecoveryTest, PerOpCommitsCheckpointImmediately) {
+  auto& nexus = *machine_->nexus;
+  const auto before = nexus.Profile();
+  ASSERT_TRUE(nexus.Mkdir("d").ok());
+  ASSERT_TRUE(nexus.WriteFile("d/f", Bytes(100, 1)).ok());
+  const auto delta = nexus.Profile() - before;
+
+  // Default configuration: every operation is its own transaction and is
+  // checkpointed as soon as it commits, so the journal stays truncated.
+  EXPECT_GE(delta.journal.records_committed, 2u);
+  EXPECT_EQ(delta.journal.checkpoints, delta.journal.records_committed);
+  EXPECT_EQ(RecordsOnStore(), "");
+  EXPECT_GT(delta.journal_io_seconds, 0.0);
+}
+
+TEST_F(JournalRecoveryTest, GroupCommitProducesOneRecordForTheWholeBatch) {
+  auto& nexus = *machine_->nexus;
+  // Large checkpoint interval keeps the committed record on the store so
+  // we can observe it before any checkpoint applies it.
+  ASSERT_TRUE(nexus.ConfigureJournal(true, 1 << 20).ok());
+
+  const auto before = nexus.Profile();
+  ASSERT_TRUE(nexus.BeginBatch().ok());
+  ASSERT_TRUE(nexus.Mkdir("batch").ok());
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_TRUE(
+        nexus.WriteFile("batch/f" + std::to_string(i), Bytes(64, 3)).ok());
+  }
+  ASSERT_TRUE(nexus.CommitBatch().ok());
+  const auto delta = nexus.Profile() - before;
+
+  EXPECT_EQ(delta.journal.records_committed, 1u);
+  EXPECT_GT(delta.journal.ops_committed, 8u); // dirnode + bucket + filenodes
+  EXPECT_EQ(delta.journal.checkpoints, 0u);
+  EXPECT_EQ(RecordCount(), 1u) << RecordsOnStore();
+
+  // The uncommitted-to-main state is fully readable through the journal
+  // overlay, and a deep fsck sees a consistent volume plus the pending
+  // record.
+  EXPECT_EQ(nexus.ReadFile("batch/f3").value(), Bytes(64, 3));
+  auto fsck = core::RunFsck(*machine_->nexus, /*deep=*/true);
+  ASSERT_TRUE(fsck.ok()) << fsck.status().ToString();
+  EXPECT_EQ(fsck->audit.files, 8u);
+  EXPECT_TRUE(fsck->orphaned_objects.empty());
+  EXPECT_EQ(fsck->uncheckpointed_records, 1u);
+
+  // Unmount flushes: checkpoint applies the record and truncates.
+  ASSERT_TRUE(nexus.Unmount().ok());
+  EXPECT_EQ(RecordsOnStore(), "");
+  ASSERT_TRUE(
+      nexus.Mount(machine_->user, handle_.volume_uuid, handle_.sealed_rootkey)
+          .ok());
+  EXPECT_EQ(nexus.ReadFile("batch/f7").value(), Bytes(64, 3));
+}
+
+TEST_F(JournalRecoveryTest, BatchDedupCollapsesRepeatedMetadataStores) {
+  auto& nexus = *machine_->nexus;
+  ASSERT_TRUE(nexus.ConfigureJournal(true, 1 << 20).ok());
+  const auto before = nexus.Profile();
+  ASSERT_TRUE(nexus.BeginBatch().ok());
+  // Every create rewrites the same parent dirnode: without dedup the
+  // record would hold one dirnode copy per file.
+  for (int i = 0; i < 6; ++i) {
+    ASSERT_TRUE(nexus.Touch("f" + std::to_string(i)).ok());
+  }
+  ASSERT_TRUE(nexus.CommitBatch().ok());
+  const auto delta = nexus.Profile() - before;
+  EXPECT_GT(delta.journal.ops_deduped, 0u);
+  // The record holds one op per distinct object, not one per store call.
+  EXPECT_LT(delta.journal.ops_committed, 6u + delta.journal.ops_deduped);
+}
+
+TEST_F(JournalRecoveryTest, SecondSessionReplaysCommittedRecordsAtMount) {
+  auto& nexus = *machine_->nexus;
+  ASSERT_TRUE(nexus.ConfigureJournal(true, 1 << 20).ok());
+  ASSERT_TRUE(nexus.BeginBatch().ok());
+  ASSERT_TRUE(nexus.Mkdir("d").ok());
+  ASSERT_TRUE(nexus.WriteFile("d/replayed", Bytes(32, 9)).ok());
+  ASSERT_TRUE(nexus.CommitBatch().ok());
+  ASSERT_EQ(RecordCount(), 1u) << RecordsOnStore();
+  // The first session now "dies" without unmounting (no checkpoint).
+
+  machine_->afs->FlushCache();
+  core::NexusClient second(*machine_->runtime, *machine_->afs,
+                           world_.intel().root_public_key());
+  ASSERT_TRUE(
+      second.Mount(machine_->user, handle_.volume_uuid, handle_.sealed_rootkey)
+          .ok());
+  const auto profile = second.Profile();
+  EXPECT_GE(profile.journal.records_replayed, 1u);
+  EXPECT_GE(profile.journal.ops_replayed, 2u);
+  EXPECT_EQ(second.ReadFile("d/replayed").value(), Bytes(32, 9));
+  // Replay checkpointed the chain: the journal is truncated again.
+  EXPECT_EQ(RecordsOnStore(), "");
+  ASSERT_TRUE(second.Unmount().ok());
+}
+
+TEST_F(JournalRecoveryTest, RecoveryRunsEvenWithJournalingDisabled) {
+  auto& nexus = *machine_->nexus;
+  ASSERT_TRUE(nexus.ConfigureJournal(true, 1 << 20).ok());
+  ASSERT_TRUE(nexus.BeginBatch().ok());
+  ASSERT_TRUE(nexus.WriteFile("precrash", Bytes(16, 4)).ok());
+  ASSERT_TRUE(nexus.CommitBatch().ok());
+  ASSERT_EQ(RecordCount(), 1u) << RecordsOnStore();
+
+  machine_->afs->FlushCache();
+  core::NexusClient second(*machine_->runtime, *machine_->afs,
+                           world_.intel().root_public_key());
+  // Journaling off for the new session — but the committed transaction on
+  // the store must still be applied, or durable writes would be lost.
+  ASSERT_TRUE(second.ConfigureJournal(false, 0).ok());
+  ASSERT_TRUE(
+      second.Mount(machine_->user, handle_.volume_uuid, handle_.sealed_rootkey)
+          .ok());
+  EXPECT_EQ(second.ReadFile("precrash").value(), Bytes(16, 4));
+  EXPECT_EQ(RecordsOnStore(), "");
+
+  // With journaling off, subsequent writes go straight to the main
+  // objects: no new records, no commits.
+  const auto before = second.Profile();
+  ASSERT_TRUE(second.WriteFile("direct", Bytes(16, 5)).ok());
+  const auto delta = second.Profile() - before;
+  EXPECT_EQ(delta.journal.records_committed, 0u);
+  EXPECT_EQ(RecordsOnStore(), "");
+  ASSERT_TRUE(second.Unmount().ok());
+}
+
+TEST_F(JournalRecoveryTest, BatchRequiresJournalingEnabled) {
+  auto& nexus = *machine_->nexus;
+  ASSERT_TRUE(nexus.ConfigureJournal(false, 0).ok());
+  EXPECT_FALSE(nexus.BeginBatch().ok());
+  ASSERT_TRUE(nexus.ConfigureJournal(true, 0).ok());
+  ASSERT_TRUE(nexus.BeginBatch().ok());
+  EXPECT_FALSE(nexus.BeginBatch().ok()); // no nesting
+  ASSERT_TRUE(nexus.CommitBatch().ok());
+}
+
+} // namespace
+} // namespace nexus

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <filesystem>
+#include <fstream>
 
 #include "storage/afs.hpp"
 #include "storage/backend.hpp"
@@ -86,11 +87,89 @@ TEST_P(BackendContractTest, AwkwardNamesSurvive) {
   }
 }
 
+// Regression pin for the name-unescaping bound: an escaped character at
+// the very END of a name ("nx/" escapes to "nx%2f") must survive the
+// Put → List round trip. The decode bound is i + 3 <= size, which admits
+// a trailing %XX — this test keeps it that way.
+TEST_P(BackendContractTest, TrailingEscapedCharacterRoundTrips) {
+  for (const std::string name : {"nx/", "trailing%", "q?", "a/b/"}) {
+    ASSERT_TRUE(backend_->Put(name, Bytes{9}).ok()) << name;
+    EXPECT_EQ(backend_->Get(name).value(), Bytes{9}) << name;
+    const auto listed = backend_->List(name);
+    ASSERT_EQ(listed.size(), 1u) << name;
+    EXPECT_EQ(listed[0], name);
+  }
+}
+
+// Names containing a literal '%' round-trip: escaping re-encodes the '%'
+// itself, so unescaping can never misread it as the start of an escape.
+TEST_P(BackendContractTest, MalformedEscapesListVerbatim) {
+  for (const std::string name : {"100%", "50%off", "a%zz"}) {
+    ASSERT_TRUE(backend_->Put(name, Bytes{3}).ok()) << name;
+    const auto listed = backend_->List(name);
+    ASSERT_EQ(listed.size(), 1u) << name;
+    EXPECT_EQ(listed[0], name);
+  }
+}
+
 INSTANTIATE_TEST_SUITE_P(AllBackends, BackendContractTest,
                          ::testing::Values(BackendKind::kMem, BackendKind::kDisk),
                          [](const auto& info) {
                            return info.param == BackendKind::kMem ? "Mem" : "Disk";
                          });
+
+// ---- DiskBackend atomic Put -------------------------------------------------
+
+class DiskBackendAtomicityTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("nexus-atomic-" + std::to_string(::getpid()) + "-" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    backend_ = std::make_unique<DiskBackend>(
+        DiskBackend::Open(dir_.string()).value());
+  }
+  void TearDown() override {
+    backend_.reset();
+    std::filesystem::remove_all(dir_);
+  }
+
+  std::size_t TempFileCount() const {
+    std::size_t n = 0;
+    for (const auto& entry : std::filesystem::directory_iterator(dir_)) {
+      if (entry.path().filename().string().starts_with(".%tmp-")) ++n;
+    }
+    return n;
+  }
+
+  std::unique_ptr<DiskBackend> backend_;
+  std::filesystem::path dir_;
+};
+
+// Put goes through a same-directory temp file + rename; a completed Put
+// must leave no temp behind (a leftover would mean the visible object
+// could have been a torn direct write).
+TEST_F(DiskBackendAtomicityTest, PutLeavesNoTempFiles) {
+  ASSERT_TRUE(backend_->Put("nx/a", Bytes(100, 1)).ok());
+  ASSERT_TRUE(backend_->Put("nx/a", Bytes(5000, 2)).ok()); // overwrite
+  EXPECT_EQ(TempFileCount(), 0u);
+  EXPECT_EQ(backend_->Get("nx/a").value(), Bytes(5000, 2));
+}
+
+// A temp file orphaned by a host crash mid-Put is invisible to the object
+// namespace: List skips it, and it shadows nothing.
+TEST_F(DiskBackendAtomicityTest, LeftoverTempFilesAreInvisible) {
+  ASSERT_TRUE(backend_->Put("nx/real", Bytes{1}).ok());
+  {
+    std::ofstream junk(dir_ / ".%tmp-nx%2fghost", std::ios::binary);
+    junk << "torn write";
+  }
+  const auto names = backend_->List("nx/");
+  ASSERT_EQ(names.size(), 1u);
+  EXPECT_EQ(names[0], "nx/real");
+  EXPECT_FALSE(backend_->Exists("nx/ghost"));
+  EXPECT_FALSE(backend_->Get("nx/ghost").ok());
+}
 
 // ---- AFS semantics ------------------------------------------------------------
 

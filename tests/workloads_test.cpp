@@ -11,8 +11,27 @@
 #include "workloads/minisql.hpp"
 #include "workloads/treegen.hpp"
 
+#if defined(__SANITIZE_ADDRESS__)
+#include <sanitizer/lsan_interface.h>
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#include <sanitizer/lsan_interface.h>
+#define __SANITIZE_ADDRESS__ 1
+#endif
+#endif
+
 namespace nexus::workloads {
 namespace {
+
+// Simulated crash: abandon the DB with no destructor and no Close(). The
+// leak is the point of the test — exempt it from LeakSanitizer.
+template <typename T>
+void CrashWithoutClosing(std::unique_ptr<T> db) {
+  [[maybe_unused]] T* leaked = db.release();
+#if defined(__SANITIZE_ADDRESS__)
+  __lsan_ignore_object(leaked);
+#endif
+}
 
 Bytes Key(int i) {
   char buf[17];
@@ -99,8 +118,7 @@ TEST_F(WorkloadTest, MinikvWalRecoveryAfterCrash) {
     for (int i = 0; i < 20; ++i) ASSERT_TRUE(db->Put(Key(i), Value(i)).ok());
     // Crash: drop the DB object without Close(); the WAL handle flushed
     // each record via Sync, so the server has everything.
-    auto* leaked = db.release();
-    (void)leaked; // simulated crash: no destructor, no close
+    CrashWithoutClosing(std::move(db));
   }
   auto db = minikv::DB::Open(*fs_, "db", {}).value();
   for (int i = 0; i < 20; ++i) {
@@ -115,8 +133,7 @@ TEST_F(WorkloadTest, MinikvTornWalTailIgnored) {
     opts.sync_writes = true;
     auto db = minikv::DB::Open(*fs_, "db", opts).value();
     for (int i = 0; i < 10; ++i) ASSERT_TRUE(db->Put(Key(i), Value(i)).ok());
-    auto* leaked = db.release();
-    (void)leaked;
+    CrashWithoutClosing(std::move(db));
   }
   // The server tears the WAL tail (partial final record).
   Bytes wal = world_.server().AdversaryRead("afs/db/wal.log").value();
