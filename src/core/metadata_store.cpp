@@ -51,6 +51,38 @@ Status AfsMetadataStore::StoreData(const Uuid& uuid, ByteSpan data,
   return afs_.StorePartial(DataPath(uuid), data, changed_bytes);
 }
 
+Result<std::uint64_t> AfsMetadataStore::BeginDataStream(
+    const Uuid& uuid, std::uint64_t total_bytes) {
+  storage::SimClock::Attribution account(afs_.server().clock(), kDataIoAccount);
+  return afs_.StoreStreamBegin(DataPath(uuid), total_bytes);
+}
+
+Status AfsMetadataStore::StoreDataSegment(std::uint64_t handle,
+                                          ByteSpan segment) {
+  storage::SimClock::Attribution account(afs_.server().clock(), kDataIoAccount);
+  return afs_.StoreStreamSegment(handle, segment);
+}
+
+Status AfsMetadataStore::CommitDataStream(std::uint64_t handle,
+                                          std::uint64_t changed_bytes) {
+  storage::SimClock::Attribution account(afs_.server().clock(), kDataIoAccount);
+  return afs_.StoreStreamCommit(handle, changed_bytes);
+}
+
+Status AfsMetadataStore::AbortDataStream(std::uint64_t handle) {
+  storage::SimClock::Attribution account(afs_.server().clock(), kDataIoAccount);
+  return afs_.StoreStreamAbort(handle);
+}
+
+Result<enclave::RangeBlob> AfsMetadataStore::FetchDataRange(
+    const Uuid& uuid, std::uint64_t offset, std::uint64_t len) {
+  storage::SimClock::Attribution account(afs_.server().clock(), kDataIoAccount);
+  NEXUS_ASSIGN_OR_RETURN(storage::AfsClient::RangeResult range,
+                         afs_.FetchRange(DataPath(uuid), offset, len));
+  return enclave::RangeBlob{std::move(range.data), range.object_size,
+                            range.version};
+}
+
 Status AfsMetadataStore::RemoveData(const Uuid& uuid) {
   storage::SimClock::Attribution account(afs_.server().clock(), kDataIoAccount);
   return afs_.Remove(DataPath(uuid));

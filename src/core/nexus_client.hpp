@@ -157,7 +157,19 @@ class NexusClient {
         js.records_committed, js.ops_committed,   js.ops_deduped,
         js.checkpoints,       js.ops_checkpointed, js.records_replayed,
         js.ops_replayed,      js.torn_records_discarded};
+    const enclave::NexusEnclave::ParallelStats& ps = enclave_->parallel_stats();
+    snap.parallel = ParallelCounters{
+        ps.chunks_encrypted,    ps.chunks_decrypted,
+        ps.parallel_batches,    ps.segments_streamed,
+        ps.tasks_stolen,        ps.peak_queue_depth,
+        ps.worker_busy_seconds, ps.critical_path_seconds,
+        ps.saved_seconds};
     return snap;
+  }
+
+  /// Reconfigures the enclave's crypto worker pool (0 = serial path).
+  Status SetCryptoWorkers(std::size_t workers) {
+    return enclave_->EcallSetCryptoWorkers(workers);
   }
   /// Drops the in-enclave and AFS caches (cold-start measurements).
   void DropAllCaches();

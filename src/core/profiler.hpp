@@ -43,6 +43,41 @@ struct JournalCounters {
   }
 };
 
+/// Counters from the enclave's parallel chunk-crypto engine. The timing
+/// fields are thread-CPU seconds: `worker_busy_seconds` sums every crypto
+/// task, `critical_path_seconds` sums each batch's slowest worker — the
+/// batch wall time an unloaded machine with as many cores as workers would
+/// observe. `saved_seconds` is the surplus (measured wall − critical path)
+/// already subtracted from `enclave_seconds`, i.e. how much the worker
+/// pool shortened the modeled enclave runtime.
+struct ParallelCounters {
+  std::uint64_t chunks_encrypted = 0;
+  std::uint64_t chunks_decrypted = 0;
+  std::uint64_t parallel_batches = 0;
+  std::uint64_t segments_streamed = 0;
+  std::uint64_t tasks_stolen = 0;
+  std::uint64_t peak_queue_depth = 0;
+  double worker_busy_seconds = 0;
+  double critical_path_seconds = 0;
+  double saved_seconds = 0;
+
+  friend ParallelCounters operator-(const ParallelCounters& a,
+                                    const ParallelCounters& b) {
+    return ParallelCounters{
+        a.chunks_encrypted - b.chunks_encrypted,
+        a.chunks_decrypted - b.chunks_decrypted,
+        a.parallel_batches - b.parallel_batches,
+        a.segments_streamed - b.segments_streamed,
+        a.tasks_stolen - b.tasks_stolen,
+        // Gauge, not a counter: deltas keep the later sample's peak.
+        a.peak_queue_depth,
+        a.worker_busy_seconds - b.worker_busy_seconds,
+        a.critical_path_seconds - b.critical_path_seconds,
+        a.saved_seconds - b.saved_seconds,
+    };
+  }
+};
+
 struct ProfileSnapshot {
   double io_seconds = 0; // total virtual (simulated network/server) time
   double enclave_seconds = 0;
@@ -50,6 +85,7 @@ struct ProfileSnapshot {
   double data_io_seconds = 0;
   double journal_io_seconds = 0;
   JournalCounters journal;
+  ParallelCounters parallel;
 
   friend ProfileSnapshot operator-(const ProfileSnapshot& a,
                                    const ProfileSnapshot& b) {
@@ -60,6 +96,7 @@ struct ProfileSnapshot {
         a.data_io_seconds - b.data_io_seconds,
         a.journal_io_seconds - b.journal_io_seconds,
         a.journal - b.journal,
+        a.parallel - b.parallel,
     };
   }
 };

@@ -2,6 +2,13 @@
 // on HasAesHardware().
 #include "crypto/aesni.hpp"
 
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+#include "crypto/aes.hpp"
+#include "crypto/gcm.hpp"
+
 #if defined(__x86_64__)
 #include <immintrin.h>
 #include <wmmintrin.h>
@@ -9,13 +16,99 @@
 
 namespace nexus::crypto {
 
-bool HasAesHardware() noexcept {
+namespace {
+
+std::atomic<bool> g_force_fallback{false};
+
+// NEXUS_NO_AESNI set (non-empty, not "0") disables the fast paths — used
+// by CI to keep the scalar implementations exercised on AES-NI machines.
+bool DisabledByEnv() noexcept {
+  const char* v = std::getenv("NEXUS_NO_AESNI");
+  return v != nullptr && v[0] != '\0' && !(v[0] == '0' && v[1] == '\0');
+}
+
+bool CpuidSupportsAesni() noexcept {
 #if defined(__x86_64__)
   return __builtin_cpu_supports("aes") && __builtin_cpu_supports("pclmul") &&
          __builtin_cpu_supports("ssse3");
 #else
   return false;
 #endif
+}
+
+} // namespace
+
+bool AesniSelfTest() noexcept {
+  if (!CpuidSupportsAesni()) return false;
+
+  // CTR keystream: 80 bytes so both the 4-wide pipeline (64) and the
+  // scalar tail (16) run, with the counter placed just below a multi-byte
+  // carry so the big-endian increment is verified too. The reference is
+  // built directly from the portable Aes::EncryptBlock — NOT AesCtrXor,
+  // whose dispatch consults the HasAesHardware() static this self-test
+  // initializes.
+  static constexpr std::uint8_t kKey[16] = {
+      0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae, 0xd2, 0xa6,
+      0xab, 0xf7, 0x15, 0x88, 0x09, 0xcf, 0x4f, 0x3c};
+  auto aes = Aes::Create(ByteSpan(kKey, 16));
+  if (!aes.ok()) return false;
+
+  std::uint8_t counter[16] = {0xca, 0xfe, 0xba, 0xbe, 0xfa, 0xce,
+                              0xdb, 0xad, 0xde, 0xca, 0xf8, 0x88,
+                              0x00, 0x00, 0xff, 0xfd};
+  std::uint8_t input[80];
+  for (std::size_t i = 0; i < sizeof(input); ++i) {
+    input[i] = static_cast<std::uint8_t>(i * 7 + 1);
+  }
+
+  std::uint8_t rk[240];
+  aes->ExportRoundKeyBytes(rk);
+  std::uint8_t got[80];
+  AesNiCtrXor(rk, aes->rounds(), counter, ByteSpan(input, sizeof(input)),
+              MutableByteSpan(got, sizeof(got)));
+
+  std::uint8_t want[80];
+  std::uint8_t ctr[16];
+  std::memcpy(ctr, counter, 16);
+  for (std::size_t pos = 0; pos < sizeof(input); pos += 16) {
+    std::uint8_t keystream[16];
+    aes->EncryptBlock(ctr, keystream);
+    for (int i = 15; i >= 12; --i) {
+      if (++ctr[i] != 0) break;
+    }
+    for (std::size_t i = 0; i < 16; ++i) {
+      want[pos + i] = input[pos + i] ^ keystream[i];
+    }
+  }
+  if (std::memcmp(got, want, sizeof(want)) != 0) return false;
+
+  // GHASH block step: y <- (0 ^ x) * h, PCLMUL vs the forced-portable
+  // table implementation (force_portable short-circuits its dispatch, so
+  // this cannot recurse into HasAesHardware()).
+  std::uint8_t h[16];
+  std::uint8_t x[16];
+  for (std::size_t i = 0; i < 16; ++i) {
+    h[i] = static_cast<std::uint8_t>(0xa3 ^ (i * 29));
+    x[i] = static_cast<std::uint8_t>(0x5c + i * 13);
+  }
+  Ghash reference(h, /*force_portable=*/true);
+  reference.Update(ByteSpan(x, 16));
+  const ByteArray<16> want_y = reference.State();
+  std::uint8_t y[16] = {};
+  PclmulGhashBlock(y, x, h);
+  return std::memcmp(y, want_y.data(), 16) == 0;
+}
+
+bool HasAesHardware() noexcept {
+  // Detection runs once: CPUID gate, env knob, then the known-answer
+  // verification — a fast path that cannot prove it matches the portable
+  // reference is never dispatched to.
+  static const bool enabled = !DisabledByEnv() && AesniSelfTest();
+  return enabled && !g_force_fallback.load(std::memory_order_relaxed);
+}
+
+void ForceAesFallbackForTesting(bool disabled) noexcept {
+  g_force_fallback.store(disabled, std::memory_order_relaxed);
 }
 
 #if defined(__x86_64__)

@@ -13,8 +13,26 @@
 
 namespace nexus::crypto {
 
-/// True when both AES-NI and PCLMULQDQ are available.
+/// True when the AES-NI/PCLMUL fast paths are in use. Evaluated once:
+///  1. CPUID must report aes + pclmul + ssse3,
+///  2. NEXUS_NO_AESNI must not be set (non-empty, != "0") in the
+///     environment — the CI knob that keeps the scalar path tested,
+///  3. a known-answer self-test must pass: the hardware CTR keystream and
+///     PCLMUL GHASH step are checked against the portable reference, so a
+///     mis-dispatched or miscompiled fast path degrades to the (correct)
+///     scalar code instead of producing wrong ciphertext.
+/// The result is cached; ForceAesFallbackForTesting overrides it at runtime.
 bool HasAesHardware() noexcept;
+
+/// Runtime override for equivalence tests: while `disabled` is true,
+/// HasAesHardware() reports false and every GCM/CTR call takes the
+/// portable path. Thread-safe; affects only subsequently-created Ghash
+/// instances and future AesCtrXor calls.
+void ForceAesFallbackForTesting(bool disabled) noexcept;
+
+/// Re-runs the dispatch-verification KAT (the check HasAesHardware caches).
+/// False on non-x86 builds or when the CPU lacks the instructions.
+bool AesniSelfTest() noexcept;
 
 /// CTR keystream XOR using AES-NI. `round_key_bytes` is (rounds+1)*16
 /// bytes of standard-serialized round keys; `counter` uses the GCM

@@ -29,7 +29,11 @@ void StoreBe64(std::uint64_t v, std::uint8_t* p) noexcept {
 
 Ghash::Ghash(const std::uint8_t h[16], bool force_portable) noexcept {
   std::memcpy(h_, h, 16);
-  use_pclmul_ = HasAesHardware() && !force_portable;
+  // force_portable is checked FIRST: the AES-NI dispatch self-test builds
+  // its reference with a forced-portable Ghash while HasAesHardware()'s
+  // own initialization is in flight — short-circuiting here keeps that
+  // from recursing into the in-progress static.
+  use_pclmul_ = !force_portable && HasAesHardware();
 
   std::uint64_t vh = LoadBe64(h);
   std::uint64_t vl = LoadBe64(h + 8);
@@ -155,12 +159,14 @@ void ComputeTag(const Aes& aes, ByteSpan iv, ByteSpan aad, ByteSpan ct,
 
 } // namespace
 
-Result<Bytes> GcmSeal(const Aes& aes, ByteSpan iv, ByteSpan aad,
-                      ByteSpan plaintext) {
+Status GcmSealInto(const Aes& aes, ByteSpan iv, ByteSpan aad,
+                   ByteSpan plaintext, MutableByteSpan out) {
   if (iv.size() != kGcmIvSize) {
     return Error(ErrorCode::kCryptoFailure, "GCM IV must be 12 bytes");
   }
-  Bytes out(plaintext.size() + kGcmTagSize);
+  if (out.size() != plaintext.size() + kGcmTagSize) {
+    return Error(ErrorCode::kCryptoFailure, "GCM output buffer size mismatch");
+  }
 
   // CTR starts at J0 + 1.
   std::uint8_t ctr[16] = {};
@@ -170,11 +176,18 @@ Result<Bytes> GcmSeal(const Aes& aes, ByteSpan iv, ByteSpan aad,
 
   ComputeTag(aes, iv, aad, ByteSpan(out.data(), plaintext.size()),
              out.data() + plaintext.size());
+  return Status::Ok();
+}
+
+Result<Bytes> GcmSeal(const Aes& aes, ByteSpan iv, ByteSpan aad,
+                      ByteSpan plaintext) {
+  Bytes out(plaintext.size() + kGcmTagSize);
+  NEXUS_RETURN_IF_ERROR(GcmSealInto(aes, iv, aad, plaintext, out));
   return out;
 }
 
-Result<Bytes> GcmOpen(const Aes& aes, ByteSpan iv, ByteSpan aad,
-                      ByteSpan sealed) {
+Status GcmOpenInto(const Aes& aes, ByteSpan iv, ByteSpan aad, ByteSpan sealed,
+                   MutableByteSpan out) {
   if (iv.size() != kGcmIvSize) {
     return Error(ErrorCode::kCryptoFailure, "GCM IV must be 12 bytes");
   }
@@ -183,6 +196,9 @@ Result<Bytes> GcmOpen(const Aes& aes, ByteSpan iv, ByteSpan aad,
   }
   const ByteSpan ct = sealed.first(sealed.size() - kGcmTagSize);
   const ByteSpan tag = sealed.last(kGcmTagSize);
+  if (out.size() != ct.size()) {
+    return Error(ErrorCode::kCryptoFailure, "GCM output buffer size mismatch");
+  }
 
   std::uint8_t expected[16];
   ComputeTag(aes, iv, aad, ct, expected);
@@ -190,11 +206,20 @@ Result<Bytes> GcmOpen(const Aes& aes, ByteSpan iv, ByteSpan aad,
     return Error(ErrorCode::kIntegrityViolation, "GCM tag mismatch");
   }
 
-  Bytes out(ct.size());
   std::uint8_t ctr[16] = {};
   std::memcpy(ctr, iv.data(), kGcmIvSize);
   ctr[15] = 2;
   AesCtrXor(aes, ctr, ct, out);
+  return Status::Ok();
+}
+
+Result<Bytes> GcmOpen(const Aes& aes, ByteSpan iv, ByteSpan aad,
+                      ByteSpan sealed) {
+  if (sealed.size() < kGcmTagSize) {
+    return Error(ErrorCode::kIntegrityViolation, "GCM ciphertext too short");
+  }
+  Bytes out(sealed.size() - kGcmTagSize);
+  NEXUS_RETURN_IF_ERROR(GcmOpenInto(aes, iv, aad, sealed, out));
   return out;
 }
 

@@ -57,4 +57,16 @@ Result<Bytes> GcmSeal(const Aes& aes, ByteSpan iv, ByteSpan aad,
 Result<Bytes> GcmOpen(const Aes& aes, ByteSpan iv, ByteSpan aad,
                       ByteSpan sealed);
 
+/// In-place variant for the parallel chunk engine: seals into `out`, which
+/// must be exactly plaintext.size() + kGcmTagSize bytes (a disjoint slice
+/// of a shared ciphertext buffer — no allocation, no copies). Produces
+/// bytes identical to GcmSeal. `out` must not alias `plaintext`.
+Status GcmSealInto(const Aes& aes, ByteSpan iv, ByteSpan aad,
+                   ByteSpan plaintext, MutableByteSpan out);
+
+/// In-place open: verifies then decrypts into `out`, which must be exactly
+/// sealed.size() - kGcmTagSize bytes. `out` must not alias `sealed`.
+Status GcmOpenInto(const Aes& aes, ByteSpan iv, ByteSpan aad, ByteSpan sealed,
+                   MutableByteSpan out);
+
 } // namespace nexus::crypto

@@ -5,7 +5,9 @@
 // crosses this boundary is ciphertext (or object names, which are UUIDs).
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -19,6 +21,16 @@ namespace nexus::enclave {
 /// only as a cache-freshness hint; it is untrusted).
 struct ObjectBlob {
   Bytes data;
+  std::uint64_t storage_version = 0;
+};
+
+/// A slice of a stored object plus the object's (untrusted) total size —
+/// the enclave cross-checks it against the authenticated filenode, so a
+/// lying transport is caught as an integrity violation, not silently
+/// truncated data.
+struct RangeBlob {
+  Bytes data;
+  std::uint64_t object_size = 0;
   std::uint64_t storage_version = 0;
 };
 
@@ -51,6 +63,37 @@ class StorageOcalls {
   /// serve stale-but-authentic state within a session.
   virtual bool CacheFresh(const Uuid& uuid, std::uint64_t storage_version) = 0;
 
+  // ---- pipelined (segmented) data transfer --------------------------------
+  // The parallel chunk-crypto engine overlaps backend I/O with in-enclave
+  // crypto: on writes it hands each completed run of chunk ciphertext to
+  // the transport while later chunks are still encrypting, and on reads it
+  // verifies already-fetched ranges while the rest of the object is in
+  // flight. Segments of one stream arrive in order; NOTHING becomes
+  // visible under the object's name until CommitDataStream — transports
+  // must apply the atomicity at commit (temp+rename for disk-backed
+  // stores), never per segment. The default implementations buffer and
+  // delegate to the whole-object calls, so existing StorageOcalls
+  // implementations (test fakes included) keep working unchanged.
+
+  /// Opens a segmented store of `total_bytes` to `uuid`; returns a stream
+  /// handle.
+  virtual Result<std::uint64_t> BeginDataStream(const Uuid& uuid,
+                                                std::uint64_t total_bytes);
+  /// Appends the next `segment` of the stream (segments are contiguous).
+  virtual Status StoreDataSegment(std::uint64_t handle, ByteSpan segment);
+  /// Atomically publishes the streamed object. `changed_bytes` mirrors
+  /// StoreData's transfer-accounting contract.
+  virtual Status CommitDataStream(std::uint64_t handle,
+                                  std::uint64_t changed_bytes);
+  /// Discards the stream; the stored object (if any) is untouched.
+  virtual Status AbortDataStream(std::uint64_t handle);
+
+  /// Fetches bytes [offset, offset+len) of a data object (clamped to the
+  /// object's end) plus its total size. Default: whole fetch + slice.
+  virtual Result<RangeBlob> FetchDataRange(const Uuid& uuid,
+                                           std::uint64_t offset,
+                                           std::uint64_t len);
+
   /// Journal objects: sealed write-ahead records named inside a flat
   /// journal namespace ("nxj/<name>" on the store). Names are chosen by
   /// the enclave (journal::ObjectName / journal::kAnchorName); contents
@@ -61,6 +104,68 @@ class StorageOcalls {
   virtual Status RemoveJournal(const std::string& name) = 0;
   /// Lists journal object names (relative to the journal namespace).
   virtual Result<std::vector<std::string>> ListJournal() = 0;
+
+ private:
+  // State for the default (buffered) streaming implementations. Overriding
+  // transports never touch it.
+  struct PendingStream {
+    Uuid uuid;
+    Bytes buffered;
+  };
+  std::map<std::uint64_t, PendingStream> default_streams_;
+  std::uint64_t next_stream_handle_ = 1;
 };
+
+inline Result<std::uint64_t> StorageOcalls::BeginDataStream(
+    const Uuid& uuid, std::uint64_t total_bytes) {
+  const std::uint64_t handle = next_stream_handle_++;
+  PendingStream& stream = default_streams_[handle];
+  stream.uuid = uuid;
+  stream.buffered.reserve(total_bytes);
+  return handle;
+}
+
+inline Status StorageOcalls::StoreDataSegment(std::uint64_t handle,
+                                              ByteSpan segment) {
+  const auto it = default_streams_.find(handle);
+  if (it == default_streams_.end()) {
+    return Error(ErrorCode::kInvalidArgument, "unknown data stream handle");
+  }
+  Append(it->second.buffered, segment);
+  return Status::Ok();
+}
+
+inline Status StorageOcalls::CommitDataStream(std::uint64_t handle,
+                                              std::uint64_t changed_bytes) {
+  const auto it = default_streams_.find(handle);
+  if (it == default_streams_.end()) {
+    return Error(ErrorCode::kInvalidArgument, "unknown data stream handle");
+  }
+  const Status result =
+      StoreData(it->second.uuid, it->second.buffered, changed_bytes);
+  default_streams_.erase(it);
+  return result;
+}
+
+inline Status StorageOcalls::AbortDataStream(std::uint64_t handle) {
+  default_streams_.erase(handle);
+  return Status::Ok();
+}
+
+inline Result<RangeBlob> StorageOcalls::FetchDataRange(const Uuid& uuid,
+                                                       std::uint64_t offset,
+                                                       std::uint64_t len) {
+  NEXUS_ASSIGN_OR_RETURN(ObjectBlob blob, FetchData(uuid));
+  RangeBlob out;
+  out.object_size = blob.data.size();
+  out.storage_version = blob.storage_version;
+  if (offset < blob.data.size()) {
+    const std::uint64_t take =
+        std::min<std::uint64_t>(len, blob.data.size() - offset);
+    out.data.assign(blob.data.begin() + static_cast<std::ptrdiff_t>(offset),
+                    blob.data.begin() + static_cast<std::ptrdiff_t>(offset + take));
+  }
+  return out;
+}
 
 } // namespace nexus::enclave

@@ -59,6 +59,59 @@ Result<std::uint64_t> AfsServer::RpcStorePartial(const std::string& client,
   return version;
 }
 
+Result<std::uint64_t> AfsServer::RpcStoreBegin(const std::string& client,
+                                               const std::string& path,
+                                               std::uint64_t total_bytes) {
+  (void)total_bytes; // advisory; the backend stream sizes itself
+  ChargeRpc(0); // control round-trip
+  NEXUS_ASSIGN_OR_RETURN(std::unique_ptr<StorageBackend::PutStream> sink,
+                         backend_->OpenPutStream(path));
+  const std::uint64_t handle = next_store_handle_++;
+  pending_stores_.emplace(handle, PendingStore{client, path, std::move(sink)});
+  return handle;
+}
+
+Status AfsServer::RpcStoreSegment(std::uint64_t handle, ByteSpan segment) {
+  const auto it = pending_stores_.find(handle);
+  if (it == pending_stores_.end()) {
+    return Error(ErrorCode::kInvalidArgument, "unknown store stream");
+  }
+  // A frame of the open store RPC: transfer time only, no extra round trip.
+  clock_.Advance(static_cast<double>(segment.size()) /
+                 cost_.bandwidth_bytes_per_sec);
+  const Status result = it->second.sink->Append(segment);
+  if (!result.ok()) {
+    it->second.sink->Abort();
+    pending_stores_.erase(it);
+  }
+  return result;
+}
+
+Result<std::uint64_t> AfsServer::RpcStoreCommit(std::uint64_t handle) {
+  const auto it = pending_stores_.find(handle);
+  if (it == pending_stores_.end()) {
+    return Error(ErrorCode::kInvalidArgument, "unknown store stream");
+  }
+  ChargeRpc(0); // closing acknowledgement
+  PendingStore store = std::move(it->second);
+  pending_stores_.erase(it);
+  NEXUS_RETURN_IF_ERROR(store.sink->Commit());
+  const std::uint64_t version = ++versions_[store.path];
+  BreakCallbacksExcept(store.path, store.client);
+  callbacks_[store.path].insert(store.client);
+  return version;
+}
+
+Status AfsServer::RpcStoreAbort(std::uint64_t handle) {
+  const auto it = pending_stores_.find(handle);
+  if (it == pending_stores_.end()) {
+    return Error(ErrorCode::kInvalidArgument, "unknown store stream");
+  }
+  it->second.sink->Abort();
+  pending_stores_.erase(it);
+  return Status::Ok();
+}
+
 Result<AfsServer::StatResult> AfsServer::RpcStat(const std::string& client,
                                                  const std::string& path) {
   (void)client;
@@ -225,18 +278,44 @@ void AfsServer::AdversaryInvalidateCallbacks(const std::string& path) {
 AfsClient::AfsClient(AfsServer& server, std::string client_id)
     : server_(server), id_(std::move(client_id)) {}
 
-Result<AfsServer::FetchResult> AfsClient::FetchVersioned(const std::string& path) {
+Result<const AfsClient::CacheEntry*> AfsClient::FetchCached(
+    const std::string& path) {
   const auto cached = cache_.find(path);
   if (cached != cache_.end() && server_.CallbackValid(id_, path)) {
     ++stats_.cache_hits;
-    return AfsServer::FetchResult{cached->second.data, cached->second.version};
+    return &cached->second;
   }
   NEXUS_ASSIGN_OR_RETURN(AfsServer::FetchResult result,
                          server_.RpcFetch(id_, path));
   ++stats_.fetches;
   stats_.bytes_fetched += result.data.size();
-  cache_[path] = CacheEntry{result.data, result.version};
-  return result;
+  CacheEntry& entry = cache_[path];
+  entry = CacheEntry{std::move(result.data), result.version};
+  return &entry;
+}
+
+Result<AfsServer::FetchResult> AfsClient::FetchVersioned(const std::string& path) {
+  NEXUS_ASSIGN_OR_RETURN(const CacheEntry* entry, FetchCached(path));
+  return AfsServer::FetchResult{entry->data, entry->version};
+}
+
+Result<AfsClient::RangeResult> AfsClient::FetchRange(const std::string& path,
+                                                     std::uint64_t offset,
+                                                     std::uint64_t len) {
+  // Whole-file caching (OpenAFS): the first range of an uncached object
+  // pays one full fetch; every further range is a free local slice.
+  NEXUS_ASSIGN_OR_RETURN(const CacheEntry* entry, FetchCached(path));
+  RangeResult out;
+  out.object_size = entry->data.size();
+  out.version = entry->version;
+  if (offset < entry->data.size()) {
+    const std::uint64_t take =
+        std::min<std::uint64_t>(len, entry->data.size() - offset);
+    out.data.assign(
+        entry->data.begin() + static_cast<std::ptrdiff_t>(offset),
+        entry->data.begin() + static_cast<std::ptrdiff_t>(offset + take));
+  }
+  return out;
 }
 
 Result<Bytes> AfsClient::Fetch(const std::string& path) {
@@ -268,6 +347,51 @@ Status AfsClient::StorePartial(const std::string& path, ByteSpan data,
   stats_.bytes_stored += changed_bytes;
   cache_[path] = CacheEntry{ToBytes(data), version};
   return Status::Ok();
+}
+
+Result<std::uint64_t> AfsClient::StoreStreamBegin(const std::string& path,
+                                                  std::uint64_t total_bytes) {
+  NEXUS_ASSIGN_OR_RETURN(std::uint64_t handle,
+                         server_.RpcStoreBegin(id_, path, total_bytes));
+  PendingStream& pending = pending_streams_[handle];
+  pending.path = path;
+  pending.buffered.reserve(total_bytes);
+  return handle;
+}
+
+Status AfsClient::StoreStreamSegment(std::uint64_t handle, ByteSpan segment) {
+  const auto it = pending_streams_.find(handle);
+  if (it == pending_streams_.end()) {
+    return Error(ErrorCode::kInvalidArgument, "unknown store stream");
+  }
+  const Status result = server_.RpcStoreSegment(handle, segment);
+  if (!result.ok()) {
+    pending_streams_.erase(it);
+    return result;
+  }
+  Append(it->second.buffered, segment);
+  return Status::Ok();
+}
+
+Status AfsClient::StoreStreamCommit(std::uint64_t handle,
+                                    std::uint64_t changed_bytes) {
+  const auto it = pending_streams_.find(handle);
+  if (it == pending_streams_.end()) {
+    return Error(ErrorCode::kInvalidArgument, "unknown store stream");
+  }
+  PendingStream pending = std::move(it->second);
+  pending_streams_.erase(it);
+  NEXUS_ASSIGN_OR_RETURN(std::uint64_t version,
+                         server_.RpcStoreCommit(handle));
+  ++stats_.stores;
+  stats_.bytes_stored += changed_bytes;
+  cache_[pending.path] = CacheEntry{std::move(pending.buffered), version};
+  return Status::Ok();
+}
+
+Status AfsClient::StoreStreamAbort(std::uint64_t handle) {
+  pending_streams_.erase(handle);
+  return server_.RpcStoreAbort(handle);
 }
 
 Result<AfsServer::StatResult> AfsClient::Stat(const std::string& path) {

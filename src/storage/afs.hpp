@@ -47,6 +47,22 @@ class AfsServer {
   Result<std::uint64_t> RpcStorePartial(const std::string& client,
                                         const std::string& path, ByteSpan data,
                                         std::uint64_t changed_bytes);
+  // ---- segmented store (pipelined writes) -------------------------------
+  // One logical store RPC split into frames so the client can ship chunk
+  // ciphertext while later chunks are still being produced. Begin charges
+  // the control round-trip, each segment charges its transfer time, and
+  // Commit charges the closing acknowledgement. Content, version bump and
+  // callback breaks apply atomically at Commit via the backend's
+  // PutStream (temp+rename on disk stores) — a crash or Abort mid-stream
+  // leaves the stored object untouched.
+
+  Result<std::uint64_t> RpcStoreBegin(const std::string& client,
+                                      const std::string& path,
+                                      std::uint64_t total_bytes);
+  Status RpcStoreSegment(std::uint64_t handle, ByteSpan segment);
+  Result<std::uint64_t> RpcStoreCommit(std::uint64_t handle);
+  Status RpcStoreAbort(std::uint64_t handle);
+
   Status RpcRemove(const std::string& client, const std::string& path);
   /// Cheap existence probe (a FetchStatus RPC in AFS).
   Result<bool> RpcExists(const std::string& client, const std::string& path);
@@ -117,6 +133,14 @@ class AfsServer {
   std::unordered_map<std::string, std::string> locks_; // path -> holder
   // path -> clients holding a callback promise
   std::unordered_map<std::string, std::unordered_set<std::string>> callbacks_;
+  // In-flight segmented stores (handle -> stream state).
+  struct PendingStore {
+    std::string client;
+    std::string path;
+    std::unique_ptr<StorageBackend::PutStream> sink;
+  };
+  std::unordered_map<std::uint64_t, PendingStore> pending_stores_;
+  std::uint64_t next_store_handle_ = 1;
   std::uint64_t rpc_count_ = 0;
 };
 
@@ -145,6 +169,29 @@ class AfsClient {
   /// transfer (fsync of dirty chunks).
   Status StorePartial(const std::string& path, ByteSpan data,
                       std::uint64_t changed_bytes);
+
+  // ---- segmented store (pipelined writes) --------------------------------
+  // The client mirrors the streamed bytes into a pending buffer and
+  // installs them in its cache at commit, exactly as a whole-file Store
+  // would (AFS writeback semantics). `changed_bytes` at commit is the
+  // transfer-accounting figure recorded in stats (segments already paid
+  // their wire time on the virtual clock).
+  Result<std::uint64_t> StoreStreamBegin(const std::string& path,
+                                         std::uint64_t total_bytes);
+  Status StoreStreamSegment(std::uint64_t handle, ByteSpan segment);
+  Status StoreStreamCommit(std::uint64_t handle, std::uint64_t changed_bytes);
+  Status StoreStreamAbort(std::uint64_t handle);
+
+  /// Bytes [offset, offset+len) of an object plus its total size. AFS
+  /// transfers whole files: the first access fetches (and caches) the full
+  /// object at full cost; subsequent ranges are free cache slices.
+  struct RangeResult {
+    Bytes data;
+    std::uint64_t object_size = 0;
+    std::uint64_t version = 0;
+  };
+  Result<RangeResult> FetchRange(const std::string& path, std::uint64_t offset,
+                                 std::uint64_t len);
   Status Remove(const std::string& path);
   Result<bool> Exists(const std::string& path);
   Result<AfsServer::StatResult> Stat(const std::string& path);
@@ -182,10 +229,19 @@ class AfsClient {
     std::uint64_t version = 0;
   };
 
+  /// Cached entry when fresh, else fetches (and caches) from the server.
+  Result<const CacheEntry*> FetchCached(const std::string& path);
+
+  struct PendingStream {
+    std::string path;
+    Bytes buffered;
+  };
+
   AfsServer& server_;
   std::string id_;
   bool revalidation_enabled_ = true;
   std::unordered_map<std::string, CacheEntry> cache_;
+  std::unordered_map<std::uint64_t, PendingStream> pending_streams_;
   Stats stats_;
 };
 

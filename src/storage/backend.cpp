@@ -49,6 +49,37 @@ std::uint64_t MemBackend::total_bytes() const noexcept {
   return total;
 }
 
+// ---- default (buffered) PutStream ------------------------------------------
+
+namespace {
+
+// Accumulates segments in memory and forwards one whole-object Put at
+// commit; inherits Put's atomicity.
+class BufferedPutStream final : public StorageBackend::PutStream {
+ public:
+  BufferedPutStream(StorageBackend& backend, std::string name)
+      : backend_(backend), name_(std::move(name)) {}
+
+  Status Append(ByteSpan data) override {
+    nexus::Append(buffered_, data);
+    return Status::Ok();
+  }
+  Status Commit() override { return backend_.Put(name_, buffered_); }
+  void Abort() override { buffered_.clear(); }
+
+ private:
+  StorageBackend& backend_;
+  std::string name_;
+  Bytes buffered_;
+};
+
+} // namespace
+
+Result<std::unique_ptr<StorageBackend::PutStream>> StorageBackend::OpenPutStream(
+    const std::string& name) {
+  return std::unique_ptr<PutStream>(new BufferedPutStream(*this, name));
+}
+
 // ---- DiskBackend -----------------------------------------------------------
 
 namespace {
@@ -150,6 +181,78 @@ Status DiskBackend::Put(const std::string& name, ByteSpan data) {
                  "rename failed: " + name + ": " + ec.message());
   }
   return Status::Ok();
+}
+
+namespace {
+
+// Spills segments to the same ".%tmp-" file Put uses and publishes it with
+// one rename at Commit. A crash (or Abort) at any point leaves only the
+// temp file, which List hides and the next Put of the same name truncates.
+class DiskPutStream final : public StorageBackend::PutStream {
+ public:
+  DiskPutStream(std::string tmp_path, std::string final_path)
+      : tmp_path_(std::move(tmp_path)), final_path_(std::move(final_path)),
+        out_(tmp_path_, std::ios::binary | std::ios::trunc) {}
+
+  ~DiskPutStream() override {
+    if (!finished_) Abort();
+  }
+
+  Status Append(ByteSpan data) override {
+    if (finished_ || !out_) {
+      return Error(ErrorCode::kIOError, "stream not writable: " + final_path_);
+    }
+    out_.write(reinterpret_cast<const char*>(data.data()),
+               static_cast<std::streamsize>(data.size()));
+    if (!out_) return Error(ErrorCode::kIOError, "write failed: " + final_path_);
+    return Status::Ok();
+  }
+
+  Status Commit() override {
+    if (finished_) {
+      return Error(ErrorCode::kIOError, "stream already finished");
+    }
+    out_.flush();
+    const bool write_ok = static_cast<bool>(out_);
+    out_.close();
+    if (!write_ok) {
+      Abort();
+      return Error(ErrorCode::kIOError, "flush failed: " + final_path_);
+    }
+    finished_ = true;
+    std::error_code ec;
+    std::filesystem::rename(tmp_path_, final_path_, ec); // atomic: same dir
+    if (ec) {
+      std::error_code rm;
+      std::filesystem::remove(tmp_path_, rm);
+      return Error(ErrorCode::kIOError,
+                   "rename failed: " + final_path_ + ": " + ec.message());
+    }
+    return Status::Ok();
+  }
+
+  void Abort() override {
+    if (finished_) return;
+    finished_ = true;
+    out_.close();
+    std::error_code ec;
+    std::filesystem::remove(tmp_path_, ec);
+  }
+
+ private:
+  std::string tmp_path_;
+  std::string final_path_;
+  std::ofstream out_;
+  bool finished_ = false;
+};
+
+} // namespace
+
+Result<std::unique_ptr<StorageBackend::PutStream>> DiskBackend::OpenPutStream(
+    const std::string& name) {
+  auto stream = std::make_unique<DiskPutStream>(
+      root_ + "/.%tmp-" + EscapeName(name), PathFor(name));
+  return std::unique_ptr<PutStream>(std::move(stream));
 }
 
 Status DiskBackend::Delete(const std::string& name) {

@@ -6,6 +6,7 @@
 // server's job.
 #pragma once
 
+#include <memory>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -25,6 +26,26 @@ class StorageBackend {
   [[nodiscard]] virtual bool Exists(const std::string& name) = 0;
   /// All object names with the given prefix, sorted.
   [[nodiscard]] virtual std::vector<std::string> List(const std::string& prefix) = 0;
+
+  /// An in-progress segmented Put. Append() receives the object's bytes in
+  /// order; the object becomes visible under its name only at Commit(),
+  /// atomically — readers see the old content or the new content, never a
+  /// prefix. Dropping the stream without Commit (or calling Abort) leaves
+  /// the store untouched.
+  class PutStream {
+   public:
+    virtual ~PutStream() = default;
+    virtual Status Append(ByteSpan data) = 0;
+    virtual Status Commit() = 0;
+    virtual void Abort() = 0;
+  };
+
+  /// Opens a segmented Put of `name`. The default implementation buffers
+  /// and delegates to Put() at commit (atomic for in-memory stores);
+  /// DiskBackend overrides it to spill segments straight to its temp file
+  /// so a large streamed object never needs a second in-memory copy.
+  virtual Result<std::unique_ptr<PutStream>> OpenPutStream(
+      const std::string& name);
 };
 
 /// Volatile in-memory store.
@@ -55,6 +76,11 @@ class DiskBackend final : public StorageBackend {
   Status Delete(const std::string& name) override;
   bool Exists(const std::string& name) override;
   std::vector<std::string> List(const std::string& prefix) override;
+  /// Streams segments into the ".%tmp-" file and renames at Commit — the
+  /// same crash-atomicity as Put, applied at commit rather than per
+  /// segment.
+  Result<std::unique_ptr<PutStream>> OpenPutStream(
+      const std::string& name) override;
 
  private:
   explicit DiskBackend(std::string root) : root_(std::move(root)) {}

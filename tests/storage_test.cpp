@@ -171,6 +171,41 @@ TEST_F(DiskBackendAtomicityTest, LeftoverTempFilesAreInvisible) {
   EXPECT_FALSE(backend_->Get("nx/ghost").ok());
 }
 
+// A streamed Put buffers in the same-directory temp file: nothing is
+// visible mid-stream, the object appears atomically at Commit, and the
+// temp is gone afterwards.
+TEST_F(DiskBackendAtomicityTest, PutStreamInvisibleUntilCommit) {
+  auto stream = backend_->OpenPutStream("nx/s").value();
+  ASSERT_TRUE(stream->Append(Bytes(4096, 0x11)).ok());
+  ASSERT_TRUE(stream->Append(Bytes(100, 0x22)).ok());
+  EXPECT_FALSE(backend_->Exists("nx/s")); // mid-stream: not an object yet
+  EXPECT_EQ(TempFileCount(), 1u);
+
+  ASSERT_TRUE(stream->Commit().ok());
+  EXPECT_EQ(TempFileCount(), 0u);
+  Bytes want(4096, 0x11);
+  want.insert(want.end(), 100, 0x22);
+  EXPECT_EQ(backend_->Get("nx/s").value(), want);
+}
+
+// Abort (and destruction without Commit) must leave neither the object
+// nor the temp file behind — including when it would have overwritten.
+TEST_F(DiskBackendAtomicityTest, PutStreamAbortLeavesOldContent) {
+  ASSERT_TRUE(backend_->Put("nx/s", Bytes{7}).ok());
+  {
+    auto stream = backend_->OpenPutStream("nx/s").value();
+    ASSERT_TRUE(stream->Append(Bytes(1000, 0xEE)).ok());
+    stream->Abort();
+  }
+  {
+    auto dropped = backend_->OpenPutStream("nx/s").value();
+    ASSERT_TRUE(dropped->Append(Bytes(10, 0xDD)).ok());
+    // Destructor without Commit == Abort.
+  }
+  EXPECT_EQ(TempFileCount(), 0u);
+  EXPECT_EQ(backend_->Get("nx/s").value(), Bytes{7});
+}
+
 // ---- AFS semantics ------------------------------------------------------------
 
 class AfsTest : public ::testing::Test {
@@ -301,6 +336,87 @@ TEST_F(AfsTest, PartialStoreChargesOnlyChangedBytes) {
   EXPECT_NEAR(partial, server_.cost().RpcSeconds(4096), 1e-9);
   // Content is still fully replaced.
   EXPECT_EQ(bob_.Fetch("f").value().size(), big.size());
+}
+
+// ---- segmented (pipelined) stores -------------------------------------------
+
+TEST_F(AfsTest, StreamedStoreAppliesAtomicallyAtCommit) {
+  ASSERT_TRUE(alice_.Store("f", Bytes{1}).ok());
+  ASSERT_TRUE(bob_.Fetch("f").ok()); // bob holds a callback
+
+  const auto handle = alice_.StoreStreamBegin("f", 300).value();
+  ASSERT_TRUE(alice_.StoreStreamSegment(handle, Bytes(200, 0xAA)).ok());
+  // Mid-stream: nothing visible, bob's callback intact.
+  EXPECT_EQ(bob_.Fetch("f").value(), Bytes{1});
+  EXPECT_TRUE(server_.CallbackValid("bob", "f"));
+
+  ASSERT_TRUE(alice_.StoreStreamSegment(handle, Bytes(100, 0xBB)).ok());
+  ASSERT_TRUE(alice_.StoreStreamCommit(handle, 300).ok());
+
+  // Commit: version bumped, bob's callback broken, content whole.
+  EXPECT_FALSE(server_.CallbackValid("bob", "f"));
+  Bytes want(200, 0xAA);
+  want.insert(want.end(), 100, 0xBB);
+  EXPECT_EQ(bob_.Fetch("f").value(), want);
+  // Alice's own cache was updated at commit (writeback semantics).
+  const double t0 = clock_.Now();
+  EXPECT_EQ(alice_.Fetch("f").value(), want);
+  EXPECT_EQ(clock_.Now(), t0); // served locally, no RPC cost
+}
+
+TEST_F(AfsTest, StreamedStoreAbortLeavesObjectUntouched) {
+  ASSERT_TRUE(alice_.Store("f", Bytes{7, 7}).ok());
+  const auto handle = alice_.StoreStreamBegin("f", 100).value();
+  ASSERT_TRUE(alice_.StoreStreamSegment(handle, Bytes(100, 0xEE)).ok());
+  ASSERT_TRUE(alice_.StoreStreamAbort(handle).ok());
+  EXPECT_EQ(bob_.Fetch("f").value(), (Bytes{7, 7}));
+  // The handle is dead after abort.
+  EXPECT_FALSE(alice_.StoreStreamSegment(handle, Bytes{1}).ok());
+}
+
+TEST_F(AfsTest, StreamedStoreCostMatchesWholeStorePlusOneRtt) {
+  const std::size_t total = 4 << 20;
+  const double t0 = clock_.Now();
+  ASSERT_TRUE(alice_.Store("w", Bytes(total, 1)).ok());
+  const double whole = clock_.Now() - t0;
+
+  const double t1 = clock_.Now();
+  const auto handle = alice_.StoreStreamBegin("s", total).value();
+  for (std::size_t off = 0; off < total; off += 1 << 20) {
+    ASSERT_TRUE(alice_.StoreStreamSegment(handle, Bytes(1 << 20, 2)).ok());
+  }
+  ASSERT_TRUE(alice_.StoreStreamCommit(handle, total).ok());
+  const double streamed = clock_.Now() - t1;
+
+  // Segments ride one logical RPC: only the closing acknowledgement adds
+  // a control round-trip over the whole-object store.
+  EXPECT_NEAR(streamed - whole,
+              server_.cost().rtt_seconds + server_.cost().per_op_seconds, 1e-9);
+}
+
+TEST_F(AfsTest, FetchRangeUsesWholeFileCache) {
+  const std::size_t size = 2 << 20;
+  Bytes data(size);
+  for (std::size_t i = 0; i < size; ++i) {
+    data[i] = static_cast<std::uint8_t>(i);
+  }
+  ASSERT_TRUE(alice_.Store("f", data).ok());
+
+  // Cold client: the first range pays a full whole-file fetch (OpenAFS
+  // transfers files, not ranges)...
+  const double t0 = clock_.Now();
+  const auto first = bob_.FetchRange("f", 100, 1000).value();
+  const double first_cost = clock_.Now() - t0;
+  EXPECT_EQ(first.object_size, size);
+  EXPECT_EQ(first.data, Bytes(data.begin() + 100, data.begin() + 1100));
+  EXPECT_NEAR(first_cost, server_.cost().RpcSeconds(size), 1e-9);
+
+  // ...and every later range is a free cache slice.
+  const double t1 = clock_.Now();
+  const auto tail = bob_.FetchRange("f", size - 50, 500).value();
+  EXPECT_EQ(clock_.Now(), t1);
+  EXPECT_EQ(tail.data.size(), 50u); // clamped at EOF
+  EXPECT_EQ(tail.data, Bytes(data.end() - 50, data.end()));
 }
 
 TEST_F(AfsTest, GetVersionReestablishesCallback) {
