@@ -5,13 +5,18 @@
 //  3. chunk-granular re-encryption — ranged fsync vs whole-file rewrite,
 //  4. FetchStatus revalidation under metadata locks,
 //  5. metadata journal group-commit batch sizes,
-//  6. parallel chunk-crypto worker counts (modeled N-core scaling).
+//  6. parallel chunk-crypto worker counts (modeled N-core scaling),
+//  7. the untrusted store in-process vs behind a loopback nexusd daemon.
 #include <cstdio>
 #include <cstdint>
+#include <filesystem>
 #include <string>
 #include <vector>
 
 #include "bench_util.hpp"
+#include "net/net_counters.hpp"
+#include "net/remote_backend.hpp"
+#include "net/server.hpp"
 
 namespace nexus::bench {
 namespace {
@@ -261,6 +266,128 @@ void ParallelCryptoSweep() {
   }
 }
 
+// Table-5a style 16 MB write + cold read with the object store (a real
+// DiskBackend in both configs) either linked in-process or served by a
+// live nexusd over a loopback socket through RemoteBackend. The virtual
+// clock is identical across configs, so the delta in REAL wall time is
+// the protocol's added cost; NetCounters break it into RPCs, bytes and
+// per-RPC latency percentiles. Emits BENCH_net.json.
+void NetworkAblation() {
+  constexpr std::size_t kFileBytes = 16 << 20;
+  PrintHeader(
+      "Ablation 7: in-process store vs nexusd over loopback (16 MB write + cold read)");
+
+  struct Row {
+    const char* config;
+    double write_wall_s = 0, read_wall_s = 0;
+    net::NetCounters net;
+  };
+  std::vector<Row> rows;
+
+  for (const bool remote : {false, true}) {
+    const std::string dir =
+        std::string("bench-net-store-") + (remote ? "remote" : "local");
+    std::filesystem::remove_all(dir);
+    auto disk = std::make_unique<storage::DiskBackend>(
+        storage::DiskBackend::Open(dir).value());
+
+    std::unique_ptr<storage::DiskBackend> served; // daemon's store (remote)
+    std::unique_ptr<net::NexusdServer> daemon;
+    std::unique_ptr<storage::StorageBackend> store;
+    if (remote) {
+      served = std::move(disk);
+      net::NexusdOptions options;
+      options.workers = 8;
+      daemon = net::NexusdServer::Start(*served, options).value();
+      auto client = net::RemoteBackend::Connect("127.0.0.1", daemon->port());
+      Abort(client.status(), "connect nexusd");
+      store = std::move(client).value();
+    } else {
+      store = std::move(disk);
+    }
+
+    auto setup = Setup::Nexus({}, {}, std::move(store));
+    const Bytes content = setup->rng().Generate(kFileBytes);
+    setup->FlushCaches();
+    net::ResetGlobalNetCounters(); // scope counters to the measured phase
+
+    std::uint64_t t0 = MonotonicNanos();
+    Abort(setup->nexus()->WriteFile("big", content), "write");
+    const double write_wall =
+        static_cast<double>(MonotonicNanos() - t0) * 1e-9;
+
+    setup->FlushCaches();
+    t0 = MonotonicNanos();
+    auto back = setup->nexus()->ReadFile("big");
+    Abort(back.status(), "read");
+    const double read_wall = static_cast<double>(MonotonicNanos() - t0) * 1e-9;
+    if (back.value() != content) {
+      Abort(Error(ErrorCode::kIntegrityViolation, "readback mismatch"),
+            "verify");
+    }
+
+    rows.push_back(
+        {remote ? "remote" : "local", write_wall, read_wall,
+         net::GlobalNetSnapshot()});
+    setup.reset(); // drop pooled connections before stopping the daemon
+    if (daemon) daemon->Stop();
+    std::filesystem::remove_all(dir);
+  }
+
+  const Row& local = rows[0];
+  const Row& over_net = rows[1];
+  std::printf("%-8s %12s %12s %8s %8s %12s %10s %10s\n", "config", "write wall",
+              "read wall", "rpcs", "retries", "bytes sent", "p50 ms", "p99 ms");
+  for (const Row& r : rows) {
+    std::printf("%-8s %11.3fs %11.3fs %8llu %8llu %12llu %10.3f %10.3f\n",
+                r.config, r.write_wall_s, r.read_wall_s,
+                static_cast<unsigned long long>(r.net.rpcs),
+                static_cast<unsigned long long>(r.net.retries),
+                static_cast<unsigned long long>(r.net.bytes_sent),
+                r.net.rpc_p50_ms, r.net.rpc_p99_ms);
+  }
+  const double added_wall = (over_net.write_wall_s + over_net.read_wall_s) -
+                            (local.write_wall_s + local.read_wall_s);
+  const double per_rpc_ms =
+      over_net.net.rpcs > 0
+          ? added_wall * 1e3 / static_cast<double>(over_net.net.rpcs)
+          : 0;
+  std::printf("network overhead: %+.3fs wall over %llu rpcs (%+.3f ms/rpc)\n",
+              added_wall, static_cast<unsigned long long>(over_net.net.rpcs),
+              per_rpc_ms);
+
+  std::FILE* json = std::fopen("BENCH_net.json", "w");
+  if (json != nullptr) {
+    std::fprintf(json,
+                 "{\n  \"workload\": \"table5a_16mb_write_read\",\n"
+                 "  \"configs\": [\n");
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      const Row& r = rows[i];
+      std::fprintf(
+          json,
+          "    {\"config\": \"%s\", \"write_wall_s\": %.6f, "
+          "\"read_wall_s\": %.6f, \"rpcs\": %llu, \"retries\": %llu, "
+          "\"reconnects\": %llu, \"bytes_sent\": %llu, "
+          "\"bytes_received\": %llu, \"rpc_p50_ms\": %.4f, "
+          "\"rpc_p99_ms\": %.4f}%s\n",
+          r.config, r.write_wall_s, r.read_wall_s,
+          static_cast<unsigned long long>(r.net.rpcs),
+          static_cast<unsigned long long>(r.net.retries),
+          static_cast<unsigned long long>(r.net.reconnects),
+          static_cast<unsigned long long>(r.net.bytes_sent),
+          static_cast<unsigned long long>(r.net.bytes_received),
+          r.net.rpc_p50_ms, r.net.rpc_p99_ms,
+          i + 1 < rows.size() ? "," : "");
+    }
+    std::fprintf(json,
+                 "  ],\n  \"added_wall_s\": %.6f,\n"
+                 "  \"added_ms_per_rpc\": %.4f\n}\n",
+                 added_wall, per_rpc_ms);
+    std::fclose(json);
+    std::printf("wrote BENCH_net.json\n");
+  }
+}
+
 } // namespace
 
 int Main() {
@@ -270,6 +397,7 @@ int Main() {
   RevalidationAblation();
   JournalBatchAblation();
   ParallelCryptoSweep();
+  NetworkAblation();
   return 0;
 }
 

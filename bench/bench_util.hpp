@@ -32,9 +32,12 @@ class Setup {
   }
 
   /// NEXUS stacked on the same AFS deployment, volume created and mounted.
-  static std::unique_ptr<Setup> Nexus(storage::CostModel cost = {},
-                                      enclave::VolumeConfig config = {}) {
-    auto s = std::unique_ptr<Setup>(new Setup(cost));
+  /// `backend` overrides the AFS server's object store (default: in-memory)
+  /// — e.g. a DiskBackend, or a net::RemoteBackend dialing a live nexusd.
+  static std::unique_ptr<Setup> Nexus(
+      storage::CostModel cost = {}, enclave::VolumeConfig config = {},
+      std::unique_ptr<storage::StorageBackend> backend = nullptr) {
+    auto s = std::unique_ptr<Setup>(new Setup(cost, std::move(backend)));
     s->cpu_ = s->intel_->ProvisionCpu(AsBytes("bench-cpu"));
     s->runtime_ = std::make_unique<sgx::EnclaveRuntime>(
         *s->cpu_, sgx::NexusEnclaveImage(), AsBytes("bench-rng"));
@@ -81,10 +84,14 @@ class Setup {
   }
 
  private:
-  explicit Setup(storage::CostModel cost)
+  explicit Setup(storage::CostModel cost,
+                 std::unique_ptr<storage::StorageBackend> backend = nullptr)
       : rng_(AsBytes("bench-seed")),
         intel_(std::make_unique<sgx::IntelAttestationService>(AsBytes("intel"))),
-        server_(std::make_unique<storage::MemBackend>(), clock_, cost) {
+        server_(backend != nullptr
+                    ? std::move(backend)
+                    : std::make_unique<storage::MemBackend>(),
+                clock_, cost) {
     afs_ = std::make_unique<storage::AfsClient>(server_, "bench-client");
   }
 

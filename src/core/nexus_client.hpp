@@ -164,6 +164,7 @@ class NexusClient {
         ps.tasks_stolen,        ps.peak_queue_depth,
         ps.worker_busy_seconds, ps.critical_path_seconds,
         ps.saved_seconds};
+    snap.net = net::GlobalNetSnapshot();
     return snap;
   }
 

@@ -14,6 +14,7 @@
 
 #include <cstdint>
 
+#include "net/net_counters.hpp"
 #include "storage/sim_clock.hpp"
 
 namespace nexus::core {
@@ -86,6 +87,9 @@ struct ProfileSnapshot {
   double journal_io_seconds = 0;
   JournalCounters journal;
   ParallelCounters parallel;
+  /// Real-network RPC counters (process-global, nonzero only when the run
+  /// talks to nexusd through a RemoteBackend). Percentiles are gauges.
+  net::NetCounters net;
 
   friend ProfileSnapshot operator-(const ProfileSnapshot& a,
                                    const ProfileSnapshot& b) {
@@ -97,6 +101,7 @@ struct ProfileSnapshot {
         a.journal_io_seconds - b.journal_io_seconds,
         a.journal - b.journal,
         a.parallel - b.parallel,
+        a.net - b.net,
     };
   }
 };

@@ -1,0 +1,79 @@
+// Deterministic fault injection between RemoteBackend and nexusd.
+//
+// FaultyTransport wraps a live TcpTransport and, per request frame, draws
+// from a seeded PRNG to decide whether the frame travels cleanly or
+// suffers one of four failures an unreliable untrusted server can inflict:
+//
+//   drop_request   — the request never reaches the server; the client
+//                    waits out its deadline (reported instantly: the
+//                    deadline expiry is SIMULATED, no real sleep, which
+//                    keeps the fault suite fast and flake-free),
+//   drop_response  — the server RECEIVES AND APPLIES the RPC but the
+//                    response is swallowed; client sees a deadline expiry
+//                    with the outcome genuinely ambiguous,
+//   truncate       — a torn frame then close: the server observes a
+//                    mid-frame EOF (crash mid-write) and drops the
+//                    connection; any server-side stream state is aborted,
+//   reset          — connection reset before the request is sent.
+//
+// Decisions depend only on (seed, frame index), so a fixed seed replays
+// the exact same fault schedule — assertions on retry counts and final
+// state are deterministic.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "net/transport.hpp"
+
+namespace nexus::net {
+
+/// Per-frame fault probabilities in [0,1]; evaluated in the order below
+/// from one uniform draw, so their sum must stay <= 1.
+struct FaultSpec {
+  double drop_request = 0;
+  double drop_response = 0;
+  double truncate = 0;
+  double reset = 0;
+};
+
+/// Injection tallies, shared across reconnections of one test scenario.
+struct FaultStats {
+  std::uint64_t clean = 0;
+  std::uint64_t dropped_requests = 0;
+  std::uint64_t dropped_responses = 0;
+  std::uint64_t truncated = 0;
+  std::uint64_t resets = 0;
+
+  [[nodiscard]] std::uint64_t injected() const noexcept {
+    return dropped_requests + dropped_responses + truncated + resets;
+  }
+};
+
+class FaultyTransport final : public Transport {
+ public:
+  /// `seed` fixes the fault schedule; mix the reconnect attempt number
+  /// into it (factory side) so every fresh connection draws a distinct
+  /// but reproducible schedule. `stats` may be shared across connections.
+  FaultyTransport(std::unique_ptr<TcpTransport> inner, FaultSpec spec,
+                  std::uint64_t seed,
+                  std::shared_ptr<FaultStats> stats = nullptr);
+
+  Status SendFrame(ByteSpan payload) override;
+  Result<Bytes> RecvFrame() override;
+  void Close() override;
+
+ private:
+  enum class Pending { kNone, kTimeout };
+
+  double NextUnit(); // uniform in [0,1), deterministic
+
+  std::unique_ptr<TcpTransport> inner_;
+  FaultSpec spec_;
+  std::uint64_t prng_state_;
+  std::shared_ptr<FaultStats> stats_;
+  Pending pending_ = Pending::kNone;
+  bool broken_ = false;
+};
+
+} // namespace nexus::net

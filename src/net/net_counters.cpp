@@ -1,0 +1,78 @@
+#include "net/net_counters.hpp"
+
+#include <algorithm>
+#include <mutex>
+#include <vector>
+
+namespace nexus::net {
+
+namespace {
+
+// One mutex for the whole aggregate: RPC rates here are thousands per
+// second at most (each carries a network round trip), so contention is
+// irrelevant next to the I/O being measured.
+struct GlobalState {
+  std::mutex mu;
+  NetCounters totals;
+  std::vector<double> latency_ms; // bounded reservoir, newest overwrite
+  std::size_t next_slot = 0;
+};
+
+constexpr std::size_t kReservoirSize = 4096;
+
+GlobalState& State() {
+  static GlobalState state;
+  return state;
+}
+
+double Percentile(std::vector<double> sorted_scratch, double p) {
+  if (sorted_scratch.empty()) return 0;
+  std::sort(sorted_scratch.begin(), sorted_scratch.end());
+  const double rank = p * static_cast<double>(sorted_scratch.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, sorted_scratch.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted_scratch[lo] * (1 - frac) + sorted_scratch[hi] * frac;
+}
+
+} // namespace
+
+NetCounters GlobalNetSnapshot() {
+  GlobalState& g = State();
+  const std::lock_guard<std::mutex> lock(g.mu);
+  NetCounters out = g.totals;
+  out.rpc_p50_ms = Percentile(g.latency_ms, 0.50);
+  out.rpc_p99_ms = Percentile(g.latency_ms, 0.99);
+  return out;
+}
+
+void ResetGlobalNetCounters() {
+  GlobalState& g = State();
+  const std::lock_guard<std::mutex> lock(g.mu);
+  g.totals = {};
+  g.latency_ms.clear();
+  g.next_slot = 0;
+}
+
+void GlobalNetAdd(const NetCounters& delta) {
+  GlobalState& g = State();
+  const std::lock_guard<std::mutex> lock(g.mu);
+  g.totals.rpcs += delta.rpcs;
+  g.totals.retries += delta.retries;
+  g.totals.reconnects += delta.reconnects;
+  g.totals.bytes_sent += delta.bytes_sent;
+  g.totals.bytes_received += delta.bytes_received;
+}
+
+void GlobalNetRecordLatencyMs(double ms) {
+  GlobalState& g = State();
+  const std::lock_guard<std::mutex> lock(g.mu);
+  if (g.latency_ms.size() < kReservoirSize) {
+    g.latency_ms.push_back(ms);
+  } else {
+    g.latency_ms[g.next_slot] = ms;
+    g.next_slot = (g.next_slot + 1) % kReservoirSize;
+  }
+}
+
+} // namespace nexus::net

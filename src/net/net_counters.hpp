@@ -1,0 +1,50 @@
+// Client-side network instrumentation for the remote-store data path.
+//
+// Every RemoteBackend feeds two sinks: its own per-instance counters and
+// a process-wide aggregate. The aggregate exists because the backend sits
+// several layers below NexusClient (NexusClient -> AfsClient -> AfsServer
+// -> RemoteBackend) with no plumbing for instance handles through the
+// simulator; ProfileSnapshot reads the global and benchmark deltas work
+// the same way as every other counter group.
+#pragma once
+
+#include <cstdint>
+
+namespace nexus::net {
+
+struct NetCounters {
+  std::uint64_t rpcs = 0;       // completed request/response exchanges
+  std::uint64_t retries = 0;    // re-attempts after a transport failure
+  std::uint64_t reconnects = 0; // fresh dials replacing a broken connection
+  std::uint64_t bytes_sent = 0;
+  std::uint64_t bytes_received = 0;
+  // Latency of successful RPC attempts (send -> response decoded), from a
+  // bounded reservoir of recent samples. Gauges, not counters: a delta
+  // keeps the later snapshot's value, mirroring peak_queue_depth.
+  double rpc_p50_ms = 0;
+  double rpc_p99_ms = 0;
+
+  friend NetCounters operator-(const NetCounters& a, const NetCounters& b) {
+    return NetCounters{
+        a.rpcs - b.rpcs,
+        a.retries - b.retries,
+        a.reconnects - b.reconnects,
+        a.bytes_sent - b.bytes_sent,
+        a.bytes_received - b.bytes_received,
+        a.rpc_p50_ms,
+        a.rpc_p99_ms,
+    };
+  }
+};
+
+/// Process-wide aggregate across every RemoteBackend, percentiles included.
+NetCounters GlobalNetSnapshot();
+
+/// Zeroes the global aggregate (benchmark phase boundaries).
+void ResetGlobalNetCounters();
+
+// Accumulation entry points (called by RemoteBackend).
+void GlobalNetAdd(const NetCounters& delta);
+void GlobalNetRecordLatencyMs(double ms);
+
+} // namespace nexus::net

@@ -1,0 +1,429 @@
+#include "net/remote_backend.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+#include "common/clock.hpp"
+
+namespace nexus::net {
+
+namespace {
+
+std::uint64_t Mix(std::uint64_t& state) {
+  state += 0x9e3779b97f4a7c15ull;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+/// Replayed stream segments go out in pieces this size — the same shape
+/// the enclave's pipelined writer produces, so the server's code path is
+/// identical for first transmission and replay.
+constexpr std::size_t kReplaySegmentBytes = 1u << 20;
+
+} // namespace
+
+RemoteBackend::RemoteBackend(TransportFactory factory,
+                             RemoteBackendOptions options)
+    : factory_(std::move(factory)), options_(options),
+      jitter_state_(options.jitter_seed) {}
+
+Result<std::unique_ptr<RemoteBackend>> RemoteBackend::Connect(
+    const std::string& host, std::uint16_t port, RemoteBackendOptions options) {
+  const int connect_ms = options.connect_deadline_ms;
+  const int rpc_ms = options.rpc_deadline_ms;
+  auto factory = [host, port, connect_ms, rpc_ms]()
+      -> Result<std::unique_ptr<Transport>> {
+    NEXUS_ASSIGN_OR_RETURN(std::unique_ptr<TcpTransport> t,
+                           TcpTransport::Dial(host, port, connect_ms, rpc_ms));
+    return std::unique_ptr<Transport>(std::move(t));
+  };
+  auto backend =
+      std::make_unique<RemoteBackend>(std::move(factory), options);
+  NEXUS_RETURN_IF_ERROR(backend->Ping());
+  return backend;
+}
+
+void RemoteBackend::Backoff(int failed_attempts) {
+  // Bounded exponential with jitter in [0.5, 1.0): attempt k sleeps
+  // roughly base * 2^(k-1), capped, and jittered so a fleet of clients
+  // hammered by the same outage does not retry in lockstep.
+  int delay = options_.backoff_base_ms;
+  for (int i = 1; i < failed_attempts && delay < options_.backoff_cap_ms; ++i) {
+    delay *= 2;
+  }
+  delay = std::min(delay, options_.backoff_cap_ms);
+  double jitter;
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    jitter = 0.5 + 0.5 * (static_cast<double>(Mix(jitter_state_) >> 11) *
+                          0x1.0p-53);
+  }
+  const int ms = std::max(1, static_cast<int>(delay * jitter));
+  if (options_.sleep_ms) {
+    options_.sleep_ms(ms);
+  } else {
+    std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+  }
+}
+
+void RemoteBackend::CountRetryAndReconnect() {
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    ++counters_.retries;
+  }
+  GlobalNetAdd(NetCounters{0, 1, 0, 0, 0, 0, 0});
+}
+
+Result<std::unique_ptr<Transport>> RemoteBackend::Checkout(bool is_retry) {
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    if (!idle_.empty()) {
+      std::unique_ptr<Transport> t = std::move(idle_.back());
+      idle_.pop_back();
+      return t;
+    }
+  }
+  NEXUS_ASSIGN_OR_RETURN(std::unique_ptr<Transport> fresh, factory_());
+  if (is_retry) {
+    const std::lock_guard<std::mutex> lock(mu_);
+    ++counters_.reconnects;
+    GlobalNetAdd(NetCounters{0, 0, 1, 0, 0, 0, 0});
+  }
+  return fresh;
+}
+
+void RemoteBackend::Checkin(std::unique_ptr<Transport> transport) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  if (idle_.size() < options_.max_pooled_connections) {
+    idle_.push_back(std::move(transport));
+  }
+  // else: dropped, destructor closes the socket.
+}
+
+Result<Bytes> RemoteBackend::Call(const Writer& request, bool* ambiguous) {
+  Status last = Error(ErrorCode::kIOError, "rpc never attempted");
+  bool ambig = false;
+  for (int attempt = 0; attempt < options_.max_attempts; ++attempt) {
+    if (attempt > 0) {
+      CountRetryAndReconnect();
+      Backoff(attempt);
+    }
+    auto conn = Checkout(attempt > 0);
+    if (!conn.ok()) {
+      last = conn.status();
+      continue;
+    }
+    std::unique_ptr<Transport> transport = std::move(conn).value();
+
+    const std::uint64_t start = MonotonicNanos();
+    const Status sent = transport->SendFrame(request.bytes());
+    if (!sent.ok()) {
+      last = sent; // connection is dead; destructor closes it
+      continue;
+    }
+    // From here the request may have reached the server: a later failure
+    // leaves the RPC's outcome unknown.
+    auto response = transport->RecvFrame();
+    if (!response.ok()) {
+      ambig = true;
+      last = response.status();
+      continue;
+    }
+    Reader reader(response.value());
+    Status verdict = Status::Ok();
+    const Status parsed = ParseResponseHead(reader, &verdict);
+    if (!parsed.ok()) {
+      // Malformed response: protocol desync, kill the connection.
+      ambig = true;
+      last = parsed;
+      continue;
+    }
+
+    const double ms =
+        static_cast<double>(MonotonicNanos() - start) * 1e-6;
+    {
+      const std::lock_guard<std::mutex> lock(mu_);
+      ++counters_.rpcs;
+      counters_.bytes_sent += request.bytes().size() + 4;
+      counters_.bytes_received += response.value().size() + 4;
+    }
+    GlobalNetAdd(NetCounters{1, 0, 0, request.bytes().size() + 4,
+                             response.value().size() + 4, 0, 0});
+    GlobalNetRecordLatencyMs(ms);
+    Checkin(std::move(transport));
+
+    if (ambiguous != nullptr) *ambiguous = ambig;
+    // The server's verdict — success or not — is authoritative.
+    NEXUS_RETURN_IF_ERROR(verdict);
+    return reader.Raw(reader.Remaining());
+  }
+  if (ambiguous != nullptr) *ambiguous = ambig;
+  return last;
+}
+
+Status RemoteBackend::Ping() {
+  return Call(BeginRequest(Rpc::kPing)).status();
+}
+
+Result<Bytes> RemoteBackend::Get(const std::string& name) {
+  Writer req = BeginRequest(Rpc::kGet);
+  req.Str(name);
+  NEXUS_ASSIGN_OR_RETURN(Bytes payload, Call(req));
+  Reader reader(payload);
+  NEXUS_ASSIGN_OR_RETURN(Bytes data, reader.Var(kMaxObjectBytes));
+  return data;
+}
+
+Status RemoteBackend::Put(const std::string& name, ByteSpan data) {
+  if (data.size() > kMaxObjectBytes) {
+    return Error(ErrorCode::kInvalidArgument, "object too large: " + name);
+  }
+  Writer req = BeginRequest(Rpc::kPut);
+  req.Str(name);
+  req.Var(data);
+  return Call(req).status();
+}
+
+Status RemoteBackend::Delete(const std::string& name) {
+  Writer req = BeginRequest(Rpc::kDelete);
+  req.Str(name);
+  bool ambiguous = false;
+  const Status verdict = Call(req, &ambiguous).status();
+  if (verdict.code() == ErrorCode::kNotFound && ambiguous) {
+    // An earlier attempt with unknown outcome plus "not found" now means
+    // OUR delete (or a concurrent one) already won; either way the
+    // object is gone, which is what the caller asked for.
+    return Status::Ok();
+  }
+  return verdict;
+}
+
+bool RemoteBackend::Exists(const std::string& name) {
+  Writer req = BeginRequest(Rpc::kExists);
+  req.Str(name);
+  auto payload = Call(req);
+  // The StorageBackend contract cannot express transport failure here;
+  // an unreachable server reports "absent", matching a store that lost
+  // the object — callers treat both as a re-fetch/recreate signal.
+  if (!payload.ok()) return false;
+  Reader reader(payload.value());
+  auto flag = reader.U8();
+  return flag.ok() && flag.value() != 0;
+}
+
+std::vector<std::string> RemoteBackend::List(const std::string& prefix) {
+  Writer req = BeginRequest(Rpc::kList);
+  req.Str(prefix);
+  auto payload = Call(req);
+  std::vector<std::string> names;
+  if (!payload.ok()) return names;
+  Reader reader(payload.value());
+  auto count = reader.U32();
+  if (!count.ok()) return names;
+  names.reserve(count.value());
+  for (std::uint32_t i = 0; i < count.value(); ++i) {
+    auto name = reader.Str();
+    if (!name.ok()) {
+      names.clear();
+      return names;
+    }
+    names.push_back(std::move(name).value());
+  }
+  return names;
+}
+
+NetCounters RemoteBackend::counters() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return counters_;
+}
+
+// ---- streamed puts ----------------------------------------------------------
+
+// Client half of the streaming RPC. Keeps every appended byte so a broken
+// connection can restart the stream from scratch on a fresh one — the
+// server publishes nothing before Commit, so a replay can never produce a
+// partial object, only delay the atomic publish.
+class RemotePutStream final : public storage::StorageBackend::PutStream {
+ public:
+  RemotePutStream(RemoteBackend& backend, std::string name)
+      : backend_(backend), name_(std::move(name)) {}
+
+  ~RemotePutStream() override {
+    if (!finished_) Abort();
+  }
+
+  Status Append(ByteSpan data) override {
+    if (finished_) {
+      return Error(ErrorCode::kInvalidArgument,
+                   "append on finished stream: " + name_);
+    }
+    nexus::Append(replay_, data);
+    if (conn_ != nullptr) {
+      Writer req = BeginRequest(Rpc::kStreamAppend);
+      req.U64(handle_);
+      req.Var(data);
+      Status verdict = Status::Ok();
+      auto ack = Exchange(req, &verdict);
+      if (ack.ok() && verdict.ok()) return Status::Ok();
+      DropConnection();
+    }
+    // First segment, or the connection just broke: (re)establish and
+    // replay everything buffered so far (current segment included).
+    return RestartWithRetries();
+  }
+
+  Status Commit() override {
+    if (finished_) {
+      return Error(ErrorCode::kInvalidArgument,
+                   "commit on finished stream: " + name_);
+    }
+    Status last = Error(ErrorCode::kIOError, "commit never attempted");
+    for (int attempt = 0; attempt < backend_.options_.max_attempts;
+         ++attempt) {
+      if (attempt > 0) {
+        backend_.CountRetryAndReconnect();
+        backend_.Backoff(attempt);
+      }
+      if (conn_ == nullptr) {
+        const Status restarted = Restart();
+        if (!restarted.ok()) {
+          last = restarted;
+          continue;
+        }
+      }
+      Writer req = BeginRequest(Rpc::kStreamCommit);
+      req.U64(handle_);
+      Status verdict = Status::Ok();
+      auto payload = Exchange(req, &verdict);
+      if (payload.ok()) {
+        // Well-formed server verdict: final, success or not.
+        finished_ = true;
+        DropConnection();
+        return verdict;
+      }
+      // Transport failure: the commit outcome is unknown. Re-running the
+      // whole stream and committing again is safe — publishing the same
+      // bytes twice is idempotent (last writer wins, identical content).
+      DropConnection();
+      last = payload.status();
+    }
+    finished_ = true;
+    return last;
+  }
+
+  void Abort() override {
+    if (finished_) return;
+    finished_ = true;
+    if (conn_ != nullptr) {
+      Writer req = BeginRequest(Rpc::kStreamAbort);
+      req.U64(handle_);
+      Status verdict = Status::Ok();
+      (void)Exchange(req, &verdict); // best effort; disconnect also aborts
+      DropConnection();
+    }
+    replay_.clear();
+  }
+
+ private:
+  /// One request/response on the stream's dedicated connection. The OUTER
+  /// result is transport/protocol health (error => drop the connection);
+  /// on outer success `verdict` holds the server's authoritative answer
+  /// and the returned bytes are the response payload after the head.
+  Result<Bytes> Exchange(const Writer& request, Status* verdict) {
+    const std::uint64_t start = MonotonicNanos();
+    NEXUS_RETURN_IF_ERROR(conn_->SendFrame(request.bytes()));
+    NEXUS_ASSIGN_OR_RETURN(Bytes response, conn_->RecvFrame());
+    Reader reader(response);
+    Status server = Status::Ok();
+    NEXUS_RETURN_IF_ERROR(ParseResponseHead(reader, &server));
+    const double ms = static_cast<double>(MonotonicNanos() - start) * 1e-6;
+    {
+      const std::lock_guard<std::mutex> lock(backend_.mu_);
+      ++backend_.counters_.rpcs;
+      backend_.counters_.bytes_sent += request.bytes().size() + 4;
+      backend_.counters_.bytes_received += response.size() + 4;
+    }
+    GlobalNetAdd(NetCounters{1, 0, 0, request.bytes().size() + 4,
+                             response.size() + 4, 0, 0});
+    GlobalNetRecordLatencyMs(ms);
+    *verdict = std::move(server);
+    return reader.Raw(reader.Remaining());
+  }
+
+  void DropConnection() {
+    conn_.reset();
+    handle_ = 0;
+  }
+
+  /// Fresh connection + StreamBegin + full replay of the bytes so far.
+  /// Any failure (transport or server verdict) fails this attempt; the
+  /// caller's retry budget decides whether to try again.
+  Status Restart() {
+    DropConnection();
+    NEXUS_ASSIGN_OR_RETURN(conn_, backend_.factory_());
+
+    Writer begin = BeginRequest(Rpc::kStreamBegin);
+    begin.Str(name_);
+    Status verdict = Status::Ok();
+    auto payload = Exchange(begin, &verdict);
+    if (!payload.ok() || !verdict.ok()) {
+      DropConnection();
+      return payload.ok() ? verdict : payload.status();
+    }
+    Reader reader(payload.value());
+    auto handle = reader.U64();
+    if (!handle.ok()) {
+      DropConnection();
+      return Error(ErrorCode::kIOError, "malformed stream-begin response");
+    }
+    handle_ = handle.value();
+
+    for (std::size_t off = 0; off < replay_.size();
+         off += kReplaySegmentBytes) {
+      const std::size_t n =
+          std::min(kReplaySegmentBytes, replay_.size() - off);
+      Writer append = BeginRequest(Rpc::kStreamAppend);
+      append.U64(handle_);
+      append.Var(ByteSpan(replay_.data() + off, n));
+      Status segment_verdict = Status::Ok();
+      auto ack = Exchange(append, &segment_verdict);
+      if (!ack.ok() || !segment_verdict.ok()) {
+        DropConnection();
+        return ack.ok() ? segment_verdict : ack.status();
+      }
+    }
+    return Status::Ok();
+  }
+
+  Status RestartWithRetries() {
+    Status last = Error(ErrorCode::kIOError, "stream restart never attempted");
+    for (int attempt = 0; attempt < backend_.options_.max_attempts;
+         ++attempt) {
+      if (attempt > 0) {
+        backend_.CountRetryAndReconnect();
+        backend_.Backoff(attempt);
+      }
+      const Status restarted = Restart();
+      if (restarted.ok()) return Status::Ok();
+      last = restarted;
+    }
+    return last;
+  }
+
+  RemoteBackend& backend_;
+  std::string name_;
+  Bytes replay_;
+  std::unique_ptr<Transport> conn_;
+  std::uint64_t handle_ = 0;
+  bool finished_ = false;
+};
+
+Result<std::unique_ptr<storage::StorageBackend::PutStream>>
+RemoteBackend::OpenPutStream(const std::string& name) {
+  return std::unique_ptr<PutStream>(new RemotePutStream(*this, name));
+}
+
+} // namespace nexus::net

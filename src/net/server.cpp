@@ -1,0 +1,321 @@
+#include "net/server.hpp"
+
+#include <algorithm>
+#include <arpa/inet.h>
+#include <cerrno>
+#include <cstring>
+#include <map>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "net/transport.hpp"
+#include "net/wire.hpp"
+
+namespace nexus::net {
+
+namespace {
+
+Status Errno(const std::string& what) {
+  return Error(ErrorCode::kIOError, what + ": " + std::strerror(errno));
+}
+
+} // namespace
+
+NexusdServer::NexusdServer(storage::StorageBackend& backend,
+                           NexusdOptions options)
+    : backend_(backend), options_(std::move(options)) {}
+
+NexusdServer::~NexusdServer() { Stop(); }
+
+Result<std::unique_ptr<NexusdServer>> NexusdServer::Start(
+    storage::StorageBackend& backend, NexusdOptions options) {
+  auto server = std::unique_ptr<NexusdServer>(
+      new NexusdServer(backend, std::move(options)));
+
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Errno("socket");
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(server->options_.port);
+  if (::inet_pton(AF_INET, server->options_.bind_address.c_str(),
+                  &addr.sin_addr) != 1) {
+    ::close(fd);
+    return Error(ErrorCode::kInvalidArgument,
+                 "bad bind address: " + server->options_.bind_address);
+  }
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const Status err = Errno("bind");
+    ::close(fd);
+    return err;
+  }
+  if (::listen(fd, 64) != 0) {
+    const Status err = Errno("listen");
+    ::close(fd);
+    return err;
+  }
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+    const Status err = Errno("getsockname");
+    ::close(fd);
+    return err;
+  }
+
+  server->listen_fd_ = fd;
+  server->port_ = ntohs(addr.sin_port);
+  server->pool_ = std::make_unique<parallel::ThreadPool>(
+      std::max<std::size_t>(1, server->options_.workers));
+  server->connections_ =
+      std::make_unique<parallel::TaskGroup>(server->pool_.get());
+  server->accept_thread_ = std::thread([s = server.get()] { s->AcceptLoop(); });
+  return server;
+}
+
+void NexusdServer::Stop() {
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+    if (listen_fd_ >= 0) {
+      ::shutdown(listen_fd_, SHUT_RDWR);
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+    }
+    // Unblock every worker parked in a read on a live connection.
+    for (const int fd : live_fds_) ::shutdown(fd, SHUT_RDWR);
+  }
+  if (accept_thread_.joinable()) accept_thread_.join();
+  if (connections_) connections_->WaitAll();
+}
+
+NexusdServer::Stats NexusdServer::stats() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+void NexusdServer::AcceptLoop() {
+  for (;;) {
+    int listen_fd;
+    {
+      const std::lock_guard<std::mutex> lock(mu_);
+      if (stopping_) return;
+      listen_fd = listen_fd_;
+    }
+    const int fd = ::accept(listen_fd, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      return; // listener closed (Stop) or fatal: stop accepting
+    }
+    {
+      const std::lock_guard<std::mutex> lock(mu_);
+      if (stopping_) {
+        ::close(fd);
+        return;
+      }
+      ++stats_.connections_accepted;
+      live_fds_.push_back(fd);
+    }
+    connections_->Submit(
+        [this, fd](parallel::WorkerContext&) { ServeConnection(fd); });
+  }
+}
+
+void NexusdServer::ServeConnection(int fd) {
+  // Block-forever reads: Stop() shutdown()s the fd, which surfaces as a
+  // clean "closed by peer" and ends the loop.
+  TcpTransport transport(fd, /*io_deadline_ms=*/-1);
+
+  // In-flight put streams, scoped to this connection. Destruction aborts
+  // whatever the client never committed (DiskPutStream removes its temp
+  // file), so a dropped connection leaves the store untouched.
+  std::map<std::uint64_t, std::unique_ptr<storage::StorageBackend::PutStream>>
+      streams;
+  std::uint64_t next_stream_handle = 1;
+
+  for (;;) {
+    auto frame = transport.RecvFrame();
+    if (!frame.ok()) break; // disconnect, reset, or Stop()
+
+    Reader reader(frame.value());
+    Writer response;
+    bool close_connection = false;
+
+    auto rpc = ParseRequestHead(reader);
+    if (!rpc.ok()) {
+      // Malformed head: the byte stream cannot be trusted any more.
+      const std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.protocol_errors;
+      break;
+    }
+
+    switch (rpc.value()) {
+      case Rpc::kPing: {
+        response = BeginResponse(Status::Ok());
+        break;
+      }
+      case Rpc::kGet: {
+        auto name = reader.Str();
+        if (!name.ok()) {
+          close_connection = true;
+          break;
+        }
+        auto data = backend_.Get(name.value());
+        if (data.ok()) {
+          response = BeginResponse(Status::Ok());
+          response.Var(data.value());
+        } else {
+          response = BeginResponse(data.status());
+        }
+        break;
+      }
+      case Rpc::kPut: {
+        auto name = reader.Str();
+        if (!name.ok()) {
+          close_connection = true;
+          break;
+        }
+        auto data = reader.Var(kMaxObjectBytes);
+        if (!data.ok()) {
+          close_connection = true;
+          break;
+        }
+        response = BeginResponse(backend_.Put(name.value(), data.value()));
+        break;
+      }
+      case Rpc::kDelete: {
+        auto name = reader.Str();
+        if (!name.ok()) {
+          close_connection = true;
+          break;
+        }
+        response = BeginResponse(backend_.Delete(name.value()));
+        break;
+      }
+      case Rpc::kExists: {
+        auto name = reader.Str();
+        if (!name.ok()) {
+          close_connection = true;
+          break;
+        }
+        response = BeginResponse(Status::Ok());
+        response.U8(backend_.Exists(name.value()) ? 1 : 0);
+        break;
+      }
+      case Rpc::kList: {
+        auto prefix = reader.Str();
+        if (!prefix.ok()) {
+          close_connection = true;
+          break;
+        }
+        const std::vector<std::string> names = backend_.List(prefix.value());
+        std::size_t payload = 0;
+        for (const auto& n : names) payload += n.size() + 4;
+        if (payload > kMaxObjectBytes) {
+          response = BeginResponse(
+              Error(ErrorCode::kOutOfRange, "listing exceeds frame bound"));
+        } else {
+          response = BeginResponse(Status::Ok());
+          response.U32(static_cast<std::uint32_t>(names.size()));
+          for (const auto& n : names) response.Str(n);
+        }
+        break;
+      }
+      case Rpc::kStreamBegin: {
+        auto name = reader.Str();
+        if (!name.ok()) {
+          close_connection = true;
+          break;
+        }
+        auto stream = backend_.OpenPutStream(name.value());
+        if (stream.ok()) {
+          const std::uint64_t handle = next_stream_handle++;
+          streams[handle] = std::move(stream).value();
+          response = BeginResponse(Status::Ok());
+          response.U64(handle);
+        } else {
+          response = BeginResponse(stream.status());
+        }
+        break;
+      }
+      case Rpc::kStreamAppend: {
+        auto handle = reader.U64();
+        if (!handle.ok()) {
+          close_connection = true;
+          break;
+        }
+        auto segment = reader.Var(kMaxObjectBytes);
+        if (!segment.ok()) {
+          close_connection = true;
+          break;
+        }
+        const auto it = streams.find(handle.value());
+        if (it == streams.end()) {
+          response = BeginResponse(
+              Error(ErrorCode::kInvalidArgument, "unknown stream handle"));
+        } else {
+          response = BeginResponse(it->second->Append(segment.value()));
+        }
+        break;
+      }
+      case Rpc::kStreamCommit: {
+        auto handle = reader.U64();
+        if (!handle.ok()) {
+          close_connection = true;
+          break;
+        }
+        const auto it = streams.find(handle.value());
+        if (it == streams.end()) {
+          response = BeginResponse(
+              Error(ErrorCode::kInvalidArgument, "unknown stream handle"));
+        } else {
+          response = BeginResponse(it->second->Commit());
+          streams.erase(it);
+        }
+        break;
+      }
+      case Rpc::kStreamAbort: {
+        auto handle = reader.U64();
+        if (!handle.ok()) {
+          close_connection = true;
+          break;
+        }
+        const auto it = streams.find(handle.value());
+        if (it == streams.end()) {
+          response = BeginResponse(
+              Error(ErrorCode::kInvalidArgument, "unknown stream handle"));
+        } else {
+          it->second->Abort();
+          streams.erase(it);
+          response = BeginResponse(Status::Ok());
+        }
+        break;
+      }
+    }
+
+    if (close_connection) {
+      const std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.protocol_errors;
+      break;
+    }
+
+    {
+      const std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.rpcs_served;
+      stats_.bytes_received += frame.value().size() + 4;
+      stats_.bytes_sent += response.bytes().size() + 4;
+    }
+    if (!transport.SendFrame(response.bytes()).ok()) break;
+  }
+
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    stats_.streams_aborted_on_disconnect += streams.size();
+    live_fds_.erase(std::remove(live_fds_.begin(), live_fds_.end(), fd),
+                    live_fds_.end());
+  }
+  // `transport` closes the fd; `streams` aborts anything uncommitted.
+}
+
+} // namespace nexus::net

@@ -1,0 +1,87 @@
+// nexusd server library: serves any StorageBackend over the wire protocol.
+//
+// One listener thread accepts TCP connections and hands each one to the
+// parallel::ThreadPool as a long-lived task; a worker owns the connection
+// for its lifetime (requests on one connection are processed in order,
+// which the streaming RPC relies on). The pool's worker count therefore
+// bounds the number of SIMULTANEOUSLY SERVED connections — further
+// accepted connections queue until a worker frees up.
+//
+// The daemon is the paper's untrusted storage service: it sees only
+// ciphertext and opaque names, so it does no authentication and keeps no
+// per-client state beyond in-flight put streams. Those streams are scoped
+// to their connection and aborted when it dies — a client crash or
+// mid-stream reset can never leave a partially visible object (the
+// backend's PutStream publishes atomically at Commit).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/result.hpp"
+#include "parallel/thread_pool.hpp"
+#include "storage/backend.hpp"
+
+namespace nexus::net {
+
+struct NexusdOptions {
+  std::string bind_address = "127.0.0.1";
+  /// 0 picks an ephemeral port; read the actual one from port().
+  std::uint16_t port = 0;
+  /// Thread-pool workers == max concurrently served connections.
+  std::size_t workers = 4;
+};
+
+class NexusdServer {
+ public:
+  /// Binds, listens and starts serving. `backend` must outlive the server
+  /// and obey the StorageBackend thread-safety contract.
+  static Result<std::unique_ptr<NexusdServer>> Start(
+      storage::StorageBackend& backend, NexusdOptions options = {});
+
+  ~NexusdServer();
+
+  NexusdServer(const NexusdServer&) = delete;
+  NexusdServer& operator=(const NexusdServer&) = delete;
+
+  /// Stops accepting, unblocks and drains every in-flight connection,
+  /// joins all threads. Idempotent.
+  void Stop();
+
+  [[nodiscard]] std::uint16_t port() const noexcept { return port_; }
+
+  struct Stats {
+    std::uint64_t connections_accepted = 0;
+    std::uint64_t rpcs_served = 0;
+    std::uint64_t protocol_errors = 0; // malformed frames / bad rpc ids
+    std::uint64_t streams_aborted_on_disconnect = 0;
+    std::uint64_t bytes_received = 0;
+    std::uint64_t bytes_sent = 0;
+  };
+  [[nodiscard]] Stats stats() const;
+
+ private:
+  NexusdServer(storage::StorageBackend& backend, NexusdOptions options);
+
+  void AcceptLoop();
+  void ServeConnection(int fd);
+
+  storage::StorageBackend& backend_;
+  NexusdOptions options_;
+  std::uint16_t port_ = 0;
+  int listen_fd_ = -1;
+
+  std::unique_ptr<parallel::ThreadPool> pool_;
+  std::unique_ptr<parallel::TaskGroup> connections_;
+  std::thread accept_thread_;
+
+  mutable std::mutex mu_;
+  std::vector<int> live_fds_; // shutdown() on Stop unblocks workers
+  bool stopping_ = false;
+  Stats stats_;
+};
+
+} // namespace nexus::net

@@ -1,0 +1,60 @@
+#include "net/wire.hpp"
+
+namespace nexus::net {
+
+Writer BeginRequest(Rpc rpc) {
+  Writer w;
+  w.U8(kProtocolVersion);
+  w.U8(static_cast<std::uint8_t>(rpc));
+  return w;
+}
+
+Result<Rpc> ParseRequestHead(Reader& reader) {
+  NEXUS_ASSIGN_OR_RETURN(const std::uint8_t version, reader.U8());
+  if (version != kProtocolVersion) {
+    return Error(ErrorCode::kInvalidArgument,
+                 "unsupported protocol version " + std::to_string(version));
+  }
+  NEXUS_ASSIGN_OR_RETURN(const std::uint8_t rpc, reader.U8());
+  if (rpc < static_cast<std::uint8_t>(Rpc::kPing) ||
+      rpc > static_cast<std::uint8_t>(Rpc::kStreamAbort)) {
+    return Error(ErrorCode::kInvalidArgument,
+                 "unknown rpc id " + std::to_string(rpc));
+  }
+  return static_cast<Rpc>(rpc);
+}
+
+Writer BeginResponse(const Status& status) {
+  Writer w;
+  w.U8(kProtocolVersion);
+  w.U8(CodeToWire(status.code()));
+  w.Str(status.message());
+  return w;
+}
+
+Status ParseResponseHead(Reader& reader, Status* verdict) {
+  NEXUS_ASSIGN_OR_RETURN(const std::uint8_t version, reader.U8());
+  if (version != kProtocolVersion) {
+    return Error(ErrorCode::kInvalidArgument,
+                 "unsupported protocol version " + std::to_string(version));
+  }
+  NEXUS_ASSIGN_OR_RETURN(const std::uint8_t code, reader.U8());
+  NEXUS_ASSIGN_OR_RETURN(std::string message, reader.Str());
+  const ErrorCode decoded = CodeFromWire(code);
+  *verdict = decoded == ErrorCode::kOk ? Status::Ok()
+                                       : Status(decoded, std::move(message));
+  return Status::Ok();
+}
+
+std::uint8_t CodeToWire(ErrorCode code) noexcept {
+  return static_cast<std::uint8_t>(code);
+}
+
+ErrorCode CodeFromWire(std::uint8_t wire) noexcept {
+  if (wire > static_cast<std::uint8_t>(ErrorCode::kInternal)) {
+    return ErrorCode::kInternal;
+  }
+  return static_cast<ErrorCode>(wire);
+}
+
+} // namespace nexus::net

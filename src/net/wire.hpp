@@ -1,0 +1,73 @@
+// NEXUS remote-store wire protocol (nexusd <-> RemoteBackend).
+//
+// Every message is one length-prefixed binary frame on a byte stream:
+//
+//   [u32 LE payload length][payload]
+//
+// Request payload:   u8 version, u8 rpc id, arguments (serial.hpp format)
+// Response payload:  u8 version, u8 error code, Str message, results
+//
+// The server is untrusted in the NEXUS threat model, so nothing here is
+// authenticated — the protocol only moves ciphertext and opaque object
+// names, and the enclave's MACs catch any tampering above this layer. What
+// the framing DOES defend against is resource abuse and desync: lengths
+// are bounded before allocation, every decode is bounds-checked (the
+// decoder also runs client-side on attacker-controlled response bytes),
+// and a malformed frame kills the connection rather than resynchronizing.
+#pragma once
+
+#include <cstdint>
+
+#include "common/bytes.hpp"
+#include "common/result.hpp"
+#include "common/serial.hpp"
+
+namespace nexus::net {
+
+inline constexpr std::uint8_t kProtocolVersion = 1;
+
+/// Largest object the protocol moves (bulk data chunks are ≤1 MiB today;
+/// whole journal records and streamed segments stay far below this).
+inline constexpr std::size_t kMaxObjectBytes = 64u << 20;
+/// Frame-size sanity bound: one max object plus framing/name slack. A
+/// length prefix above this is a protocol violation, not an allocation.
+inline constexpr std::size_t kMaxFrameBytes = kMaxObjectBytes + (1u << 16);
+
+/// RPC surface: the StorageBackend interface verbatim, plus the segmented
+/// OpenPutStream as a four-message streaming RPC and a Ping for liveness.
+enum class Rpc : std::uint8_t {
+  kPing = 1,
+  kGet = 2,
+  kPut = 3,
+  kDelete = 4,
+  kExists = 5,
+  kList = 6,
+  kStreamBegin = 7,   // name -> u64 stream handle
+  kStreamAppend = 8,  // handle, segment bytes
+  kStreamCommit = 9,  // handle; object becomes visible atomically
+  kStreamAbort = 10,  // handle; store untouched
+};
+
+/// Starts a request: version + rpc id. Callers append arguments and hand
+/// the bytes to Transport::SendFrame.
+Writer BeginRequest(Rpc rpc);
+
+/// Parses (and validates) a request head; the reader is left at the first
+/// argument.
+Result<Rpc> ParseRequestHead(Reader& reader);
+
+/// Starts a response carrying `status` (OK responses append results).
+Writer BeginResponse(const Status& status);
+
+/// Parses a response head. The RETURNED Status is a protocol violation
+/// (malformed frame — treat the connection as broken); on success,
+/// `verdict` receives the server's verdict for the RPC, which is
+/// authoritative and final (never retried).
+Status ParseResponseHead(Reader& reader, Status* verdict);
+
+/// ErrorCode <-> wire byte. Unknown bytes decode to kInternal so a rogue
+/// server cannot smuggle an out-of-range enum into client code.
+std::uint8_t CodeToWire(ErrorCode code) noexcept;
+ErrorCode CodeFromWire(std::uint8_t wire) noexcept;
+
+} // namespace nexus::net

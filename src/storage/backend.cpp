@@ -11,6 +11,7 @@ namespace nexus::storage {
 // ---- MemBackend ------------------------------------------------------------
 
 Result<Bytes> MemBackend::Get(const std::string& name) {
+  const std::lock_guard<std::mutex> lock(mu_);
   const auto it = objects_.find(name);
   if (it == objects_.end()) {
     return Error(ErrorCode::kNotFound, "object not found: " + name);
@@ -19,11 +20,14 @@ Result<Bytes> MemBackend::Get(const std::string& name) {
 }
 
 Status MemBackend::Put(const std::string& name, ByteSpan data) {
-  objects_[name] = ToBytes(data);
+  Bytes copy = ToBytes(data);
+  const std::lock_guard<std::mutex> lock(mu_);
+  objects_[name] = std::move(copy);
   return Status::Ok();
 }
 
 Status MemBackend::Delete(const std::string& name) {
+  const std::lock_guard<std::mutex> lock(mu_);
   if (objects_.erase(name) == 0) {
     return Error(ErrorCode::kNotFound, "object not found: " + name);
   }
@@ -31,19 +35,29 @@ Status MemBackend::Delete(const std::string& name) {
 }
 
 bool MemBackend::Exists(const std::string& name) {
+  const std::lock_guard<std::mutex> lock(mu_);
   return objects_.contains(name);
 }
 
 std::vector<std::string> MemBackend::List(const std::string& prefix) {
   std::vector<std::string> out;
-  for (const auto& [name, data] : objects_) {
-    if (name.starts_with(prefix)) out.push_back(name);
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& [name, data] : objects_) {
+      if (name.starts_with(prefix)) out.push_back(name);
+    }
   }
   std::sort(out.begin(), out.end());
   return out;
 }
 
+std::size_t MemBackend::object_count() const noexcept {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return objects_.size();
+}
+
 std::uint64_t MemBackend::total_bytes() const noexcept {
+  const std::lock_guard<std::mutex> lock(mu_);
   std::uint64_t total = 0;
   for (const auto& [name, data] : objects_) total += data.size();
   return total;
@@ -54,23 +68,40 @@ std::uint64_t MemBackend::total_bytes() const noexcept {
 namespace {
 
 // Accumulates segments in memory and forwards one whole-object Put at
-// commit; inherits Put's atomicity.
+// commit; inherits Put's atomicity. Abort (or a completed Commit) kills
+// the stream: any later Append/Commit fails instead of silently
+// committing an empty or partial object.
 class BufferedPutStream final : public StorageBackend::PutStream {
  public:
   BufferedPutStream(StorageBackend& backend, std::string name)
       : backend_(backend), name_(std::move(name)) {}
 
   Status Append(ByteSpan data) override {
+    if (finished_) {
+      return Error(ErrorCode::kInvalidArgument,
+                   "append on finished stream: " + name_);
+    }
     nexus::Append(buffered_, data);
     return Status::Ok();
   }
-  Status Commit() override { return backend_.Put(name_, buffered_); }
-  void Abort() override { buffered_.clear(); }
+  Status Commit() override {
+    if (finished_) {
+      return Error(ErrorCode::kInvalidArgument,
+                   "commit on finished stream: " + name_);
+    }
+    finished_ = true;
+    return backend_.Put(name_, buffered_);
+  }
+  void Abort() override {
+    finished_ = true;
+    buffered_.clear();
+  }
 
  private:
   StorageBackend& backend_;
   std::string name_;
   Bytes buffered_;
+  bool finished_ = false;
 };
 
 } // namespace
@@ -82,17 +113,19 @@ Result<std::unique_ptr<StorageBackend::PutStream>> StorageBackend::OpenPutStream
 
 // ---- DiskBackend -----------------------------------------------------------
 
-namespace {
-
 // Escapes object names into flat, safe filenames: alphanumerics, '-', '_'
-// and '.' pass through; everything else (incl. '/') becomes %XX.
+// and '.' pass through; everything else (incl. '/') becomes %XX. A LEADING
+// dot is escaped too, so "." and ".." can never alias the directory
+// entries and no object file ever starts with '.' (the ".%tmp-" namespace
+// stays reserved for in-flight writes).
 std::string EscapeName(const std::string& name) {
   std::string out;
   out.reserve(name.size());
-  for (const char c : name) {
+  for (std::size_t i = 0; i < name.size(); ++i) {
+    const char c = name[i];
     const bool safe = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
                       (c >= '0' && c <= '9') || c == '-' || c == '_' ||
-                      c == '.';
+                      (c == '.' && i > 0);
     if (safe) {
       out.push_back(c);
     } else {
@@ -125,8 +158,6 @@ std::string UnescapeName(const std::string& file) {
   return out;
 }
 
-} // namespace
-
 Result<DiskBackend> DiskBackend::Open(const std::string& root) {
   std::error_code ec;
   std::filesystem::create_directories(root, ec);
@@ -141,6 +172,15 @@ std::string DiskBackend::PathFor(const std::string& name) const {
   return root_ + "/" + EscapeName(name);
 }
 
+std::string DiskBackend::TempPathFor(const std::string& name) {
+  // The sequence number keeps concurrent writers of the SAME name on
+  // distinct temp files; the final rename stays last-writer-wins. The
+  // ".%tmp-" prefix cannot collide with any escaped object name:
+  // EscapeName only emits '%' followed by two hex digits.
+  const std::uint64_t seq = temp_seq_.fetch_add(1, std::memory_order_relaxed);
+  return root_ + "/.%tmp-" + std::to_string(seq) + "-" + EscapeName(name);
+}
+
 Result<Bytes> DiskBackend::Get(const std::string& name) {
   std::ifstream in(PathFor(name), std::ios::binary);
   if (!in) return Error(ErrorCode::kNotFound, "object not found: " + name);
@@ -153,11 +193,9 @@ Result<Bytes> DiskBackend::Get(const std::string& name) {
 Status DiskBackend::Put(const std::string& name, ByteSpan data) {
   // Write-to-temp + rename so a host crash mid-Put can never leave a
   // truncated object under the final name — readers see the old bytes or
-  // the new bytes, nothing in between. The ".%tmp-" prefix cannot collide
-  // with any escaped object name: EscapeName only emits '%' followed by
-  // two hex digits.
+  // the new bytes, nothing in between.
   const std::string final_path = PathFor(name);
-  const std::string tmp_path = root_ + "/.%tmp-" + EscapeName(name);
+  const std::string tmp_path = TempPathFor(name);
   {
     std::ofstream out(tmp_path, std::ios::binary | std::ios::trunc);
     if (!out) {
@@ -199,7 +237,11 @@ class DiskPutStream final : public StorageBackend::PutStream {
   }
 
   Status Append(ByteSpan data) override {
-    if (finished_ || !out_) {
+    if (finished_) {
+      return Error(ErrorCode::kInvalidArgument,
+                   "append on finished stream: " + final_path_);
+    }
+    if (!out_) {
       return Error(ErrorCode::kIOError, "stream not writable: " + final_path_);
     }
     out_.write(reinterpret_cast<const char*>(data.data()),
@@ -210,7 +252,8 @@ class DiskPutStream final : public StorageBackend::PutStream {
 
   Status Commit() override {
     if (finished_) {
-      return Error(ErrorCode::kIOError, "stream already finished");
+      return Error(ErrorCode::kInvalidArgument,
+                   "commit on finished stream: " + final_path_);
     }
     out_.flush();
     const bool write_ok = static_cast<bool>(out_);
@@ -250,8 +293,8 @@ class DiskPutStream final : public StorageBackend::PutStream {
 
 Result<std::unique_ptr<StorageBackend::PutStream>> DiskBackend::OpenPutStream(
     const std::string& name) {
-  auto stream = std::make_unique<DiskPutStream>(
-      root_ + "/.%tmp-" + EscapeName(name), PathFor(name));
+  auto stream =
+      std::make_unique<DiskPutStream>(TempPathFor(name), PathFor(name));
   return std::unique_ptr<PutStream>(std::move(stream));
 }
 

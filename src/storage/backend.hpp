@@ -6,7 +6,9 @@
 // server's job.
 #pragma once
 
+#include <atomic>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -16,6 +18,16 @@
 
 namespace nexus::storage {
 
+// Thread-safety contract. A StorageBackend may be shared by concurrent
+// callers (nexusd serves one backend to many connections off a thread
+// pool), so implementations MUST make the whole-object operations (Get /
+// Put / Delete / Exists / List / OpenPutStream) safe to call from any
+// thread, including concurrently on the same object name — last writer
+// wins, and readers observe some previously committed whole object, never
+// a torn one. A PutStream instance, by contrast, is NOT thread-safe: it
+// belongs to the single caller that opened it (Append/Commit/Abort must
+// be externally serialized), though distinct PutStreams — even for the
+// same name — may be driven from different threads concurrently.
 class StorageBackend {
  public:
   virtual ~StorageBackend() = default;
@@ -48,7 +60,8 @@ class StorageBackend {
       const std::string& name);
 };
 
-/// Volatile in-memory store.
+/// Volatile in-memory store. Thread-safe per the contract above (one
+/// mutex around the object map).
 class MemBackend final : public StorageBackend {
  public:
   Result<Bytes> Get(const std::string& name) override;
@@ -57,12 +70,20 @@ class MemBackend final : public StorageBackend {
   bool Exists(const std::string& name) override;
   std::vector<std::string> List(const std::string& prefix) override;
 
-  [[nodiscard]] std::size_t object_count() const noexcept { return objects_.size(); }
+  [[nodiscard]] std::size_t object_count() const noexcept;
   [[nodiscard]] std::uint64_t total_bytes() const noexcept;
 
  private:
+  mutable std::mutex mu_;
   std::unordered_map<std::string, Bytes> objects_;
 };
+
+/// Escapes an object name into a flat, filesystem-safe filename:
+/// alphanumerics, '-', '_' and '.' pass through; everything else
+/// (including '/') becomes %XX. Exposed for DiskBackend tests and tools.
+std::string EscapeName(const std::string& name);
+/// Inverse of EscapeName. Malformed escapes pass through verbatim.
+std::string UnescapeName(const std::string& file);
 
 /// Durable store: one file per object under `root`, object names
 /// percent-escaped into filenames.
@@ -70,6 +91,9 @@ class DiskBackend final : public StorageBackend {
  public:
   /// Creates `root` if needed.
   static Result<DiskBackend> Open(const std::string& root);
+
+  DiskBackend(DiskBackend&& other) noexcept
+      : root_(std::move(other.root_)), temp_seq_(other.temp_seq_.load()) {}
 
   Result<Bytes> Get(const std::string& name) override;
   Status Put(const std::string& name, ByteSpan data) override;
@@ -85,8 +109,12 @@ class DiskBackend final : public StorageBackend {
  private:
   explicit DiskBackend(std::string root) : root_(std::move(root)) {}
   [[nodiscard]] std::string PathFor(const std::string& name) const;
+  [[nodiscard]] std::string TempPathFor(const std::string& name);
 
   std::string root_;
+  // Distinguishes concurrent in-flight writes to the same name so their
+  // temp files never collide (thread-safety contract above).
+  std::atomic<std::uint64_t> temp_seq_{0};
 };
 
 } // namespace nexus::storage

@@ -1,0 +1,119 @@
+// Wire-protocol codec tests: request/response heads, error-code mapping,
+// and rejection of malformed or hostile frames.
+#include <gtest/gtest.h>
+
+#include "net/wire.hpp"
+
+namespace nexus::net {
+namespace {
+
+TEST(WireRequest, HeadRoundTripsEveryRpc) {
+  for (const Rpc rpc :
+       {Rpc::kPing, Rpc::kGet, Rpc::kPut, Rpc::kDelete, Rpc::kExists,
+        Rpc::kList, Rpc::kStreamBegin, Rpc::kStreamAppend, Rpc::kStreamCommit,
+        Rpc::kStreamAbort}) {
+    Writer w = BeginRequest(rpc);
+    w.Str("arg");
+    Reader r(w.bytes());
+    auto parsed = ParseRequestHead(r);
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(parsed.value(), rpc);
+    EXPECT_EQ(r.Str().value(), "arg"); // reader left at first argument
+  }
+}
+
+TEST(WireRequest, RejectsWrongVersion) {
+  Writer w;
+  w.U8(kProtocolVersion + 1);
+  w.U8(static_cast<std::uint8_t>(Rpc::kPing));
+  Reader r(w.bytes());
+  EXPECT_FALSE(ParseRequestHead(r).ok());
+}
+
+TEST(WireRequest, RejectsUnknownRpcId) {
+  for (const std::uint8_t id : {std::uint8_t{0}, std::uint8_t{11},
+                                std::uint8_t{200}}) {
+    Writer w;
+    w.U8(kProtocolVersion);
+    w.U8(id);
+    Reader r(w.bytes());
+    EXPECT_FALSE(ParseRequestHead(r).ok()) << unsigned{id};
+  }
+}
+
+TEST(WireRequest, RejectsEmptyFrame) {
+  Reader r(ByteSpan{});
+  EXPECT_FALSE(ParseRequestHead(r).ok());
+}
+
+TEST(WireResponse, OkHeadRoundTrips) {
+  Writer w = BeginResponse(Status::Ok());
+  w.U64(42);
+  Reader r(w.bytes());
+  Status verdict = Error(ErrorCode::kInternal, "sentinel");
+  ASSERT_TRUE(ParseResponseHead(r, &verdict).ok());
+  EXPECT_TRUE(verdict.ok());
+  EXPECT_EQ(r.U64().value(), 42u); // results follow the head
+}
+
+TEST(WireResponse, ErrorVerdictCarriesCodeAndMessage) {
+  Writer w = BeginResponse(Error(ErrorCode::kNotFound, "no such object"));
+  Reader r(w.bytes());
+  Status verdict = Status::Ok();
+  ASSERT_TRUE(ParseResponseHead(r, &verdict).ok());
+  EXPECT_EQ(verdict.code(), ErrorCode::kNotFound);
+  EXPECT_EQ(verdict.message(), "no such object");
+}
+
+TEST(WireResponse, EveryErrorCodeRoundTrips) {
+  for (const ErrorCode code :
+       {ErrorCode::kInvalidArgument, ErrorCode::kNotFound,
+        ErrorCode::kAlreadyExists, ErrorCode::kPermissionDenied,
+        ErrorCode::kIntegrityViolation, ErrorCode::kCryptoFailure,
+        ErrorCode::kIOError, ErrorCode::kConflict, ErrorCode::kOutOfRange,
+        ErrorCode::kUnimplemented, ErrorCode::kInternal}) {
+    Writer w = BeginResponse(Error(code, "m"));
+    Reader r(w.bytes());
+    Status verdict = Status::Ok();
+    ASSERT_TRUE(ParseResponseHead(r, &verdict).ok());
+    EXPECT_EQ(verdict.code(), code);
+  }
+}
+
+TEST(WireResponse, TruncatedHeadIsProtocolViolation) {
+  Writer w = BeginResponse(Error(ErrorCode::kIOError, "message"));
+  for (std::size_t keep = 0; keep + 1 < w.bytes().size(); ++keep) {
+    Reader r(ByteSpan(w.bytes().data(), keep));
+    Status verdict = Status::Ok();
+    EXPECT_FALSE(ParseResponseHead(r, &verdict).ok()) << keep;
+  }
+}
+
+TEST(WireResponse, WrongVersionIsProtocolViolation) {
+  Writer w;
+  w.U8(kProtocolVersion + 7);
+  w.U8(0);
+  w.Str("");
+  Reader r(w.bytes());
+  Status verdict = Status::Ok();
+  EXPECT_FALSE(ParseResponseHead(r, &verdict).ok());
+}
+
+// A rogue server cannot smuggle an out-of-range enum value into client
+// branches: unknown code bytes decode as kInternal.
+TEST(WireCodes, UnknownWireByteDecodesAsInternal) {
+  EXPECT_EQ(CodeFromWire(255), ErrorCode::kInternal);
+  EXPECT_EQ(CodeFromWire(static_cast<std::uint8_t>(ErrorCode::kInternal) + 1),
+            ErrorCode::kInternal);
+  EXPECT_EQ(CodeFromWire(CodeToWire(ErrorCode::kConflict)),
+            ErrorCode::kConflict);
+  EXPECT_EQ(CodeFromWire(0), ErrorCode::kOk);
+}
+
+TEST(WireBounds, FrameBoundAdmitsMaxObjectPlusSlack) {
+  EXPECT_GT(kMaxFrameBytes, kMaxObjectBytes);
+  EXPECT_LE(kMaxFrameBytes - kMaxObjectBytes, std::size_t{1} << 20);
+}
+
+} // namespace
+} // namespace nexus::net

@@ -1,10 +1,14 @@
-// Storage substrate tests: backend contract (parameterized over Mem/Disk),
+// Storage substrate tests: backend contract (parameterized over Mem/Disk,
+// plus a live RemoteBackend when NEXUS_REMOTE_ADDR points at a nexusd),
 // AFS caching semantics, locking, cost accounting and the adversary API.
 #include <gtest/gtest.h>
 
+#include <cstdlib>
 #include <filesystem>
 #include <fstream>
+#include <thread>
 
+#include "net/remote_backend.hpp"
 #include "storage/afs.hpp"
 #include "storage/backend.hpp"
 
@@ -13,19 +17,48 @@ namespace {
 
 // ---- backend contract, parameterized over implementations -------------------
 
-enum class BackendKind { kMem, kDisk };
+enum class BackendKind { kMem, kDisk, kRemote };
+
+/// Mem and Disk always run; Remote joins when NEXUS_REMOTE_ADDR=host:port
+/// names a live nexusd (the CI loopback smoke step sets it).
+std::vector<BackendKind> BackendsUnderTest() {
+  std::vector<BackendKind> kinds = {BackendKind::kMem, BackendKind::kDisk};
+  if (std::getenv("NEXUS_REMOTE_ADDR") != nullptr) {
+    kinds.push_back(BackendKind::kRemote);
+  }
+  return kinds;
+}
 
 class BackendContractTest : public ::testing::TestWithParam<BackendKind> {
  protected:
   void SetUp() override {
-    if (GetParam() == BackendKind::kMem) {
-      backend_ = std::make_unique<MemBackend>();
-    } else {
-      dir_ = std::filesystem::temp_directory_path() /
-             ("nexus-test-" + std::to_string(::getpid()) + "-" +
-              ::testing::UnitTest::GetInstance()->current_test_info()->name());
-      backend_ = std::make_unique<DiskBackend>(
-          DiskBackend::Open(dir_.string()).value());
+    switch (GetParam()) {
+      case BackendKind::kMem:
+        backend_ = std::make_unique<MemBackend>();
+        break;
+      case BackendKind::kDisk:
+        dir_ = std::filesystem::temp_directory_path() /
+               ("nexus-test-" + std::to_string(::getpid()) + "-" +
+                ::testing::UnitTest::GetInstance()->current_test_info()->name());
+        backend_ = std::make_unique<DiskBackend>(
+            DiskBackend::Open(dir_.string()).value());
+        break;
+      case BackendKind::kRemote: {
+        const std::string addr = std::getenv("NEXUS_REMOTE_ADDR");
+        const auto colon = addr.rfind(':');
+        ASSERT_NE(colon, std::string::npos) << "NEXUS_REMOTE_ADDR=" << addr;
+        auto remote = net::RemoteBackend::Connect(
+            addr.substr(0, colon),
+            static_cast<std::uint16_t>(std::stoi(addr.substr(colon + 1))));
+        ASSERT_TRUE(remote.ok()) << remote.status().ToString();
+        backend_ = std::move(remote).value();
+        // The daemon's store outlives individual tests: start each from a
+        // clean namespace.
+        for (const auto& name : backend_->List("")) {
+          ASSERT_TRUE(backend_->Delete(name).ok()) << name;
+        }
+        break;
+      }
     }
   }
   void TearDown() override {
@@ -112,11 +145,109 @@ TEST_P(BackendContractTest, MalformedEscapesListVerbatim) {
   }
 }
 
+// A PutStream is single-shot: after Commit or Abort the stream is dead and
+// every further call fails kInvalidArgument instead of silently writing.
+TEST_P(BackendContractTest, StreamDeadAfterCommit) {
+  auto stream = backend_->OpenPutStream("s").value();
+  ASSERT_TRUE(stream->Append(Bytes(10, 1)).ok());
+  ASSERT_TRUE(stream->Commit().ok());
+  EXPECT_EQ(stream->Append(Bytes{2}).code(), ErrorCode::kInvalidArgument);
+  EXPECT_EQ(stream->Commit().code(), ErrorCode::kInvalidArgument);
+  EXPECT_EQ(backend_->Get("s").value(), Bytes(10, 1)); // unchanged
+}
+
+TEST_P(BackendContractTest, StreamDeadAfterAbort) {
+  auto stream = backend_->OpenPutStream("s").value();
+  ASSERT_TRUE(stream->Append(Bytes(10, 1)).ok());
+  stream->Abort();
+  EXPECT_EQ(stream->Append(Bytes{2}).code(), ErrorCode::kInvalidArgument);
+  EXPECT_EQ(stream->Commit().code(), ErrorCode::kInvalidArgument);
+  stream->Abort(); // double abort is harmless
+  EXPECT_FALSE(backend_->Exists("s"));
+}
+
+// Whole-object calls are thread-safe per the StorageBackend contract; in
+// particular concurrent same-name writers must serialize to one winner's
+// complete content, never interleave.
+TEST_P(BackendContractTest, ConcurrentSameNameWritersLeaveOneWinner) {
+  constexpr int kWriters = 4;
+  std::vector<std::thread> threads;
+  for (int w = 0; w < kWriters; ++w) {
+    threads.emplace_back([this, w] {
+      for (int i = 0; i < 8; ++i) {
+        ASSERT_TRUE(
+            backend_->Put("contended", Bytes(512, static_cast<std::uint8_t>(w)))
+                .ok());
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  const Bytes final = backend_->Get("contended").value();
+  ASSERT_EQ(final.size(), 512u);
+  for (const auto byte : final) EXPECT_EQ(byte, final[0]); // no interleaving
+}
+
 INSTANTIATE_TEST_SUITE_P(AllBackends, BackendContractTest,
-                         ::testing::Values(BackendKind::kMem, BackendKind::kDisk),
+                         ::testing::ValuesIn(BackendsUnderTest()),
                          [](const auto& info) {
-                           return info.param == BackendKind::kMem ? "Mem" : "Disk";
+                           switch (info.param) {
+                             case BackendKind::kMem: return "Mem";
+                             case BackendKind::kDisk: return "Disk";
+                             case BackendKind::kRemote: return "Remote";
+                           }
+                           return "Unknown";
                          });
+
+// ---- DiskBackend name escaping ----------------------------------------------
+
+TEST(DiskNameEscaping, RoundTripsTrickyNames) {
+  for (const std::string name :
+       {"plain", "a/b/c", "100%", "%", "%%", "trailing%2f", "%2f", "a%zz",
+        "uni\xc3\xa9\xe2\x82\xac", "with space", "..", ".", "?q=1&r=2"}) {
+    const std::string escaped = EscapeName(name);
+    EXPECT_EQ(UnescapeName(escaped), name) << name << " via " << escaped;
+    // Escaped form is a safe flat filename: no separators, no traversal.
+    EXPECT_EQ(escaped.find('/'), std::string::npos) << escaped;
+    EXPECT_NE(escaped, "..") << name;
+  }
+}
+
+TEST(DiskNameEscaping, EscapingIsInjectiveOnCollidingInputs) {
+  // Pairs that would collide if '%' were not itself escaped.
+  EXPECT_NE(EscapeName("a/b"), EscapeName("a%2fb"));
+  EXPECT_NE(EscapeName("100%"), EscapeName("100%25"));
+  EXPECT_NE(EscapeName("nx/"), EscapeName("nx%2f"));
+}
+
+TEST(DiskNameEscaping, ListPrefixMatchesLogicalNamesAcrossEscapedBoundaries) {
+  const std::filesystem::path dir =
+      std::filesystem::temp_directory_path() /
+      ("nexus-escape-" + std::to_string(::getpid()));
+  std::filesystem::remove_all(dir);
+  {
+    DiskBackend backend = DiskBackend::Open(dir.string()).value();
+    // "a/" and "a%" escape to different leaders ("a%2f" vs "a%25"): prefix
+    // filtering happens on LOGICAL names, so "a/" must match only the
+    // slash family even though both share the escaped prefix "a%2".
+    for (const std::string name :
+         {"a/x", "a/y", "a%x", "a%2fz", "ab", "a"}) {
+      ASSERT_TRUE(backend.Put(name, Bytes{1}).ok()) << name;
+    }
+    const auto slash_family = backend.List("a/");
+    ASSERT_EQ(slash_family.size(), 2u);
+    EXPECT_EQ(slash_family[0], "a/x");
+    EXPECT_EQ(slash_family[1], "a/y");
+
+    const auto percent_family = backend.List("a%");
+    ASSERT_EQ(percent_family.size(), 2u);
+    EXPECT_EQ(percent_family[0], "a%2fz");
+    EXPECT_EQ(percent_family[1], "a%x");
+
+    EXPECT_EQ(backend.List("a").size(), 6u);
+    EXPECT_EQ(backend.List("").size(), 6u);
+  }
+  std::filesystem::remove_all(dir);
+}
 
 // ---- DiskBackend atomic Put -------------------------------------------------
 

@@ -28,10 +28,15 @@ struct Machine {
 class World {
  public:
   explicit World(std::string seed = "world")
+      : World(std::move(seed), std::make_unique<storage::MemBackend>()) {}
+
+  /// Deployment whose AFS server stores objects in `backend` — e.g. a
+  /// DiskBackend, or a net::RemoteBackend talking to a live nexusd.
+  World(std::string seed, std::unique_ptr<storage::StorageBackend> backend)
       : seed_(std::move(seed)),
         rng_(AsBytes(seed_)),
         intel_(AsBytes("intel")),
-        server_(std::make_unique<storage::MemBackend>(), clock_) {}
+        server_(std::move(backend), clock_) {}
 
   /// Provisions a machine for `username` with its own CPU and enclave.
   Machine& AddMachine(const std::string& username) {
