@@ -15,6 +15,7 @@
 #include "sgx/enclave.hpp"
 #include "storage/afs.hpp"
 #include "storage/backend.hpp"
+#include "trace/trace.hpp"
 #include "vfs/afs_passthrough_fs.hpp"
 #include "vfs/nexus_fs.hpp"
 
@@ -113,8 +114,9 @@ class Setup {
 /// time; the virtual clock holds only simulated network/server cost).
 class PhaseTimer {
  public:
-  explicit PhaseTimer(Setup& setup)
-      : setup_(setup),
+  explicit PhaseTimer(Setup& setup, const char* label = "bench:phase")
+      : span_(label, "bench"),
+        setup_(setup),
         wall_start_(MonotonicNanos()),
         io_start_(setup.clock().Now()),
         meta_start_(setup.MetaIoSeconds()),
@@ -137,6 +139,7 @@ class PhaseTimer {
   }
 
  private:
+  trace::Span span_; // declared first: covers the whole phase lifetime
   Setup& setup_;
   std::uint64_t wall_start_;
   double io_start_;

@@ -1,5 +1,7 @@
 #include "common/serial.hpp"
 
+#include <cstring>
+
 namespace nexus {
 
 void Writer::U16(std::uint16_t v) {
@@ -15,6 +17,13 @@ void Writer::U32(std::uint32_t v) {
 void Writer::U64(std::uint64_t v) {
   U32(static_cast<std::uint32_t>(v));
   U32(static_cast<std::uint32_t>(v >> 32));
+}
+
+void Writer::F64(double v) {
+  std::uint64_t bits = 0;
+  static_assert(sizeof(bits) == sizeof(v));
+  std::memcpy(&bits, &v, sizeof(bits));
+  U64(bits);
 }
 
 void Writer::Var(ByteSpan data) {
@@ -52,6 +61,13 @@ Result<std::uint64_t> Reader::U64() {
   NEXUS_ASSIGN_OR_RETURN(std::uint32_t lo, U32());
   NEXUS_ASSIGN_OR_RETURN(std::uint32_t hi, U32());
   return static_cast<std::uint64_t>(lo) | (static_cast<std::uint64_t>(hi) << 32);
+}
+
+Result<double> Reader::F64() {
+  NEXUS_ASSIGN_OR_RETURN(const std::uint64_t bits, U64());
+  double v = 0;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
 }
 
 Result<Bytes> Reader::Raw(std::size_t n) {

@@ -24,6 +24,8 @@ class Writer {
   void U16(std::uint16_t v);
   void U32(std::uint32_t v);
   void U64(std::uint64_t v);
+  /// IEEE-754 double as its little-endian bit pattern (round-trips exactly).
+  void F64(double v);
 
   /// Raw bytes, no length prefix (fixed-size fields: keys, tags, UUIDs).
   void Raw(ByteSpan data) { Append(buf_, data); }
@@ -49,6 +51,7 @@ class Reader {
   Result<std::uint16_t> U16();
   Result<std::uint32_t> U32();
   Result<std::uint64_t> U64();
+  Result<double> F64();
 
   /// Read exactly n raw bytes.
   Result<Bytes> Raw(std::size_t n);

@@ -1,5 +1,7 @@
 #include "core/metadata_store.hpp"
 
+#include "trace/trace.hpp"
+
 namespace nexus::core {
 
 AfsMetadataStore::AfsMetadataStore(storage::AfsClient& afs, std::string prefix)
@@ -18,6 +20,7 @@ std::string AfsMetadataStore::JournalPath(const std::string& name) const {
 }
 
 Result<enclave::ObjectBlob> AfsMetadataStore::FetchMeta(const Uuid& uuid) {
+  trace::Span io_span("io:fetch_meta", kMetaIoAccount);
   storage::SimClock::Attribution account(afs_.server().clock(), kMetaIoAccount);
   NEXUS_ASSIGN_OR_RETURN(storage::AfsServer::FetchResult result,
                          afs_.FetchVersioned(MetaPath(uuid)));
@@ -26,16 +29,19 @@ Result<enclave::ObjectBlob> AfsMetadataStore::FetchMeta(const Uuid& uuid) {
 
 Result<std::uint64_t> AfsMetadataStore::StoreMeta(const Uuid& uuid,
                                                   ByteSpan data) {
+  trace::Span io_span("io:store_meta", kMetaIoAccount);
   storage::SimClock::Attribution account(afs_.server().clock(), kMetaIoAccount);
   return afs_.StoreVersioned(MetaPath(uuid), data);
 }
 
 Status AfsMetadataStore::RemoveMeta(const Uuid& uuid) {
+  trace::Span io_span("io:remove_meta", kMetaIoAccount);
   storage::SimClock::Attribution account(afs_.server().clock(), kMetaIoAccount);
   return afs_.Remove(MetaPath(uuid));
 }
 
 Result<enclave::ObjectBlob> AfsMetadataStore::FetchData(const Uuid& uuid) {
+  trace::Span io_span("io:fetch_data", kDataIoAccount);
   storage::SimClock::Attribution account(afs_.server().clock(), kDataIoAccount);
   NEXUS_ASSIGN_OR_RETURN(storage::AfsServer::FetchResult result,
                          afs_.FetchVersioned(DataPath(uuid)));
@@ -44,6 +50,7 @@ Result<enclave::ObjectBlob> AfsMetadataStore::FetchData(const Uuid& uuid) {
 
 Status AfsMetadataStore::StoreData(const Uuid& uuid, ByteSpan data,
                                    std::uint64_t changed_bytes) {
+  trace::Span io_span("io:store_data", kDataIoAccount);
   storage::SimClock::Attribution account(afs_.server().clock(), kDataIoAccount);
   if (changed_bytes >= data.size()) {
     return afs_.Store(DataPath(uuid), data);
@@ -53,29 +60,34 @@ Status AfsMetadataStore::StoreData(const Uuid& uuid, ByteSpan data,
 
 Result<std::uint64_t> AfsMetadataStore::BeginDataStream(
     const Uuid& uuid, std::uint64_t total_bytes) {
+  trace::Span io_span("io:begin_data_stream", kDataIoAccount);
   storage::SimClock::Attribution account(afs_.server().clock(), kDataIoAccount);
   return afs_.StoreStreamBegin(DataPath(uuid), total_bytes);
 }
 
 Status AfsMetadataStore::StoreDataSegment(std::uint64_t handle,
                                           ByteSpan segment) {
+  trace::Span io_span("io:store_data_segment", kDataIoAccount);
   storage::SimClock::Attribution account(afs_.server().clock(), kDataIoAccount);
   return afs_.StoreStreamSegment(handle, segment);
 }
 
 Status AfsMetadataStore::CommitDataStream(std::uint64_t handle,
                                           std::uint64_t changed_bytes) {
+  trace::Span io_span("io:commit_data_stream", kDataIoAccount);
   storage::SimClock::Attribution account(afs_.server().clock(), kDataIoAccount);
   return afs_.StoreStreamCommit(handle, changed_bytes);
 }
 
 Status AfsMetadataStore::AbortDataStream(std::uint64_t handle) {
+  trace::Span io_span("io:abort_data_stream", kDataIoAccount);
   storage::SimClock::Attribution account(afs_.server().clock(), kDataIoAccount);
   return afs_.StoreStreamAbort(handle);
 }
 
 Result<enclave::RangeBlob> AfsMetadataStore::FetchDataRange(
     const Uuid& uuid, std::uint64_t offset, std::uint64_t len) {
+  trace::Span io_span("io:fetch_data_range", kDataIoAccount);
   storage::SimClock::Attribution account(afs_.server().clock(), kDataIoAccount);
   NEXUS_ASSIGN_OR_RETURN(storage::AfsClient::RangeResult range,
                          afs_.FetchRange(DataPath(uuid), offset, len));
@@ -84,16 +96,19 @@ Result<enclave::RangeBlob> AfsMetadataStore::FetchDataRange(
 }
 
 Status AfsMetadataStore::RemoveData(const Uuid& uuid) {
+  trace::Span io_span("io:remove_data", kDataIoAccount);
   storage::SimClock::Attribution account(afs_.server().clock(), kDataIoAccount);
   return afs_.Remove(DataPath(uuid));
 }
 
 Status AfsMetadataStore::LockMeta(const Uuid& uuid) {
+  trace::Span io_span("io:lock_meta", kMetaIoAccount);
   storage::SimClock::Attribution account(afs_.server().clock(), kMetaIoAccount);
   return afs_.Lock(MetaPath(uuid));
 }
 
 Status AfsMetadataStore::UnlockMeta(const Uuid& uuid) {
+  trace::Span io_span("io:unlock_meta", kMetaIoAccount);
   storage::SimClock::Attribution account(afs_.server().clock(), kMetaIoAccount);
   return afs_.Unlock(MetaPath(uuid));
 }
@@ -101,30 +116,35 @@ Status AfsMetadataStore::UnlockMeta(const Uuid& uuid) {
 bool AfsMetadataStore::CacheFresh(const Uuid& uuid,
                                   std::uint64_t storage_version) {
   // Revalidation may issue a FetchStatus RPC — charge it as metadata I/O.
+  trace::Span io_span("io:cache_fresh", kMetaIoAccount);
   storage::SimClock::Attribution account(afs_.server().clock(), kMetaIoAccount);
   auto fresh = afs_.Revalidate(MetaPath(uuid), storage_version);
   return fresh.ok() && *fresh;
 }
 
 Result<Bytes> AfsMetadataStore::FetchJournal(const std::string& name) {
+  trace::Span io_span("io:fetch_journal", kJournalIoAccount);
   storage::SimClock::Attribution account(afs_.server().clock(),
                                          kJournalIoAccount);
   return afs_.Fetch(JournalPath(name));
 }
 
 Status AfsMetadataStore::StoreJournal(const std::string& name, ByteSpan data) {
+  trace::Span io_span("io:store_journal", kJournalIoAccount);
   storage::SimClock::Attribution account(afs_.server().clock(),
                                          kJournalIoAccount);
   return afs_.Store(JournalPath(name), data);
 }
 
 Status AfsMetadataStore::RemoveJournal(const std::string& name) {
+  trace::Span io_span("io:remove_journal", kJournalIoAccount);
   storage::SimClock::Attribution account(afs_.server().clock(),
                                          kJournalIoAccount);
   return afs_.Remove(JournalPath(name));
 }
 
 Result<std::vector<std::string>> AfsMetadataStore::ListJournal() {
+  trace::Span io_span("io:list_journal", kJournalIoAccount);
   storage::SimClock::Attribution account(afs_.server().clock(),
                                          kJournalIoAccount);
   const std::string prefix = prefix_ + "j/";

@@ -15,7 +15,8 @@ NexusClient::NexusClient(sgx::EnclaveRuntime& runtime,
       runtime_(runtime) {}
 
 template <typename F>
-auto NexusClient::TimedEcall(F&& f) {
+auto NexusClient::TimedEcall(const char* name, F&& f) {
+  trace::Span span(name, "ecall");
   const std::uint64_t t0 = MonotonicNanos();
   auto result = f();
   // Enclave runtime is *real* compute time, accumulated separately from
@@ -28,7 +29,14 @@ auto NexusClient::TimedEcall(F&& f) {
   // (wall − per-batch critical path, measured via thread-CPU time); on a
   // host with enough cores it is ~0 and this is a no-op.
   seconds -= enclave_->TakeParallelSavedSeconds();
-  enclave_seconds_ += seconds > 0 ? seconds : 0;
+  const double adjusted = seconds > 0 ? seconds : 0;
+  enclave_seconds_ += adjusted;
+  // Per-ecall latency distributions, cheap enough to be always on. The
+  // aggregate feeds ProfileSnapshot.ecall_latency; the named one lets
+  // tests and tools drill into a single operation.
+  static trace::Histogram& all_ecalls = trace::GlobalHistogram("ecall");
+  all_ecalls.RecordSeconds(adjusted);
+  trace::GlobalHistogram(name).RecordSeconds(adjusted);
   return result;
 }
 
@@ -38,7 +46,7 @@ Result<NexusClient::VolumeHandle> NexusClient::CreateVolume(
     const UserKey& owner, const enclave::VolumeConfig& config) {
   NEXUS_ASSIGN_OR_RETURN(
       enclave::NexusEnclave::CreateVolumeResult result,
-      TimedEcall([&] {
+      TimedEcall("ecall:create_volume", [&] {
         return enclave_->EcallCreateVolume(owner.name, owner.public_key(), config);
       }));
   return VolumeHandle{result.volume_uuid, std::move(result.sealed_rootkey)};
@@ -47,7 +55,7 @@ Result<NexusClient::VolumeHandle> NexusClient::CreateVolume(
 Status NexusClient::Mount(const UserKey& user, const Uuid& volume_uuid,
                           ByteSpan sealed_rootkey) {
   // Step 1-2: present key + sealed rootkey, receive nonce.
-  NEXUS_ASSIGN_OR_RETURN(ByteArray<16> nonce, TimedEcall([&] {
+  NEXUS_ASSIGN_OR_RETURN(ByteArray<16> nonce, TimedEcall("ecall:auth_challenge", [&] {
     return enclave_->EcallAuthChallenge(user.public_key(), sealed_rootkey,
                                         volume_uuid);
   }));
@@ -57,115 +65,118 @@ Status NexusClient::Mount(const UserKey& user, const Uuid& volume_uuid,
                          afs_.Fetch(store_.MetaPath(volume_uuid)));
   const ByteArray<64> signature = user.Sign(Concat(nonce, supernode_blob));
   // Steps 4-5: the enclave verifies and mounts.
-  return TimedEcall([&] { return enclave_->EcallAuthResponse(signature); });
+  return TimedEcall("ecall:auth_response", [&] { return enclave_->EcallAuthResponse(signature); });
 }
 
 Status NexusClient::Unmount() {
-  return TimedEcall([&] { return enclave_->EcallUnmount(); });
+  return TimedEcall("ecall:unmount", [&] { return enclave_->EcallUnmount(); });
 }
 
 // ---- filesystem ------------------------------------------------------------------
 
 Status NexusClient::Touch(const std::string& path) {
-  return TimedEcall(
-      [&] { return enclave_->EcallTouch(path, enclave::EntryType::kFile); });
+  return TimedEcall("ecall:touch", [&] {
+    return enclave_->EcallTouch(path, enclave::EntryType::kFile);
+  });
 }
 
 Status NexusClient::Mkdir(const std::string& path) {
-  return TimedEcall(
-      [&] { return enclave_->EcallTouch(path, enclave::EntryType::kDirectory); });
+  return TimedEcall("ecall:mkdir", [&] {
+    return enclave_->EcallTouch(path, enclave::EntryType::kDirectory);
+  });
 }
 
 Status NexusClient::Remove(const std::string& path) {
-  return TimedEcall([&] { return enclave_->EcallRemove(path); });
+  return TimedEcall("ecall:remove", [&] { return enclave_->EcallRemove(path); });
 }
 
 Result<enclave::Attributes> NexusClient::Lookup(const std::string& path) {
-  return TimedEcall([&] { return enclave_->EcallLookup(path); });
+  return TimedEcall("ecall:lookup", [&] { return enclave_->EcallLookup(path); });
 }
 
 Result<std::vector<enclave::DirEntry>> NexusClient::ListDir(
     const std::string& path) {
-  return TimedEcall([&] { return enclave_->EcallFilldir(path); });
+  return TimedEcall("ecall:filldir", [&] { return enclave_->EcallFilldir(path); });
 }
 
 Status NexusClient::Symlink(const std::string& target,
                             const std::string& linkpath) {
-  return TimedEcall([&] { return enclave_->EcallSymlink(target, linkpath); });
+  return TimedEcall("ecall:symlink", [&] { return enclave_->EcallSymlink(target, linkpath); });
 }
 
 Status NexusClient::Hardlink(const std::string& existing,
                              const std::string& linkpath) {
-  return TimedEcall([&] { return enclave_->EcallHardlink(existing, linkpath); });
+  return TimedEcall("ecall:hardlink", [&] { return enclave_->EcallHardlink(existing, linkpath); });
 }
 
 Result<std::string> NexusClient::Readlink(const std::string& path) {
-  return TimedEcall([&] { return enclave_->EcallReadlink(path); });
+  return TimedEcall("ecall:readlink", [&] { return enclave_->EcallReadlink(path); });
 }
 
 Status NexusClient::Rename(const std::string& from, const std::string& to) {
-  return TimedEcall([&] { return enclave_->EcallRename(from, to); });
+  return TimedEcall("ecall:rename", [&] { return enclave_->EcallRename(from, to); });
 }
 
 Status NexusClient::WriteFile(const std::string& path, ByteSpan content) {
-  auto attrs = TimedEcall([&] { return enclave_->EcallLookup(path); });
+  auto attrs = TimedEcall("ecall:lookup", [&] { return enclave_->EcallLookup(path); });
   if (!attrs.ok()) {
     if (attrs.status().code() != ErrorCode::kNotFound) return attrs.status();
     NEXUS_RETURN_IF_ERROR(Touch(path));
   } else if (attrs->type != enclave::EntryType::kFile) {
     return Error(ErrorCode::kInvalidArgument, "not a file: " + path);
   }
-  return TimedEcall([&] { return enclave_->EcallEncrypt(path, content); });
+  return TimedEcall("ecall:encrypt", [&] { return enclave_->EcallEncrypt(path, content); });
 }
 
 Status NexusClient::WriteFileRange(const std::string& path, ByteSpan content,
                                    std::uint64_t dirty_offset,
                                    std::uint64_t dirty_len) {
-  return TimedEcall([&] {
+  return TimedEcall("ecall:encrypt_range", [&] {
     return enclave_->EcallEncryptRange(path, content, dirty_offset, dirty_len);
   });
 }
 
 Result<Bytes> NexusClient::ReadFile(const std::string& path) {
-  return TimedEcall([&] { return enclave_->EcallDecrypt(path); });
+  return TimedEcall("ecall:decrypt", [&] { return enclave_->EcallDecrypt(path); });
 }
 
 // ---- access control ---------------------------------------------------------------
 
 Status NexusClient::AddUser(const std::string& name,
                             const ByteArray<32>& public_key) {
-  return TimedEcall([&] { return enclave_->EcallAddUser(name, public_key); });
+  return TimedEcall("ecall:add_user", [&] { return enclave_->EcallAddUser(name, public_key); });
 }
 
 Status NexusClient::RemoveUser(const std::string& name) {
-  return TimedEcall([&] { return enclave_->EcallRemoveUser(name); });
+  return TimedEcall("ecall:remove_user", [&] { return enclave_->EcallRemoveUser(name); });
 }
 
 Result<std::vector<enclave::UserRecord>> NexusClient::ListUsers() {
-  return TimedEcall([&] { return enclave_->EcallListUsers(); });
+  return TimedEcall("ecall:list_users", [&] { return enclave_->EcallListUsers(); });
 }
 
 Status NexusClient::SetAcl(const std::string& dirpath,
                            const std::string& username, std::uint8_t perms) {
-  return TimedEcall(
-      [&] { return enclave_->EcallSetAcl(dirpath, username, perms); });
+  return TimedEcall("ecall:set_acl", [&] {
+    return enclave_->EcallSetAcl(dirpath, username, perms);
+  });
 }
 
 // ---- write-ahead journal ------------------------------------------------------------
 
 Status NexusClient::ConfigureJournal(bool enabled,
                                      std::uint64_t checkpoint_interval_ops) {
-  return TimedEcall([&] {
+  return TimedEcall("ecall:configure_journal", [&] {
     return enclave_->EcallConfigureJournal(enabled, checkpoint_interval_ops);
   });
 }
 
 Status NexusClient::BeginBatch() {
-  return TimedEcall([&] { return enclave_->EcallBeginBatch(); });
+  return TimedEcall("ecall:begin_batch", [&] { return enclave_->EcallBeginBatch(); });
 }
 
 Status NexusClient::CommitBatch() {
-  return TimedEcall([&] { return enclave_->EcallCommitBatch(); });
+  return TimedEcall("ecall:commit_batch", [&] { return enclave_->EcallCommitBatch(); });
 }
 
 // ---- key exchange -------------------------------------------------------------------
@@ -181,7 +192,7 @@ std::string NexusClient::GrantPath(const std::string& granter,
 
 Status NexusClient::PublishIdentity(const UserKey& user) {
   NEXUS_ASSIGN_OR_RETURN(Bytes identity,
-                         TimedEcall([&] { return enclave_->EcallExportIdentity(); }));
+                         TimedEcall("ecall:export_identity", [&] { return enclave_->EcallExportIdentity(); }));
   // m1 = SIGN(sk_user, quote-blob) | blob — the signature is produced
   // outside the enclave with the user's identity key.
   const ByteArray<64> signature = user.Sign(identity);
@@ -204,7 +215,7 @@ Status NexusClient::GrantAccess(const UserKey& granter,
   }
 
   // The enclave verifies signature + quote and produces the wrapped key.
-  NEXUS_ASSIGN_OR_RETURN(Bytes grant, TimedEcall([&] {
+  NEXUS_ASSIGN_OR_RETURN(Bytes grant, TimedEcall("ecall:grant_rootkey", [&] {
     return enclave_->EcallGrantRootkey(identity, ToArray<64>(sig_raw),
                                        recipient_public_key);
   }));
@@ -232,7 +243,7 @@ Result<NexusClient::VolumeHandle> NexusClient::AcceptGrant(
     return Error(ErrorCode::kInvalidArgument, "trailing grant-file bytes");
   }
 
-  NEXUS_ASSIGN_OR_RETURN(Bytes sealed_rootkey, TimedEcall([&] {
+  NEXUS_ASSIGN_OR_RETURN(Bytes sealed_rootkey, TimedEcall("ecall:accept_rootkey", [&] {
     return enclave_->EcallAcceptRootkey(grant, ToArray<64>(sig_raw),
                                         granter_public_key);
   }));
@@ -251,7 +262,7 @@ std::string EphemeralGrantPath(const std::string& granter,
 
 Status NexusClient::PublishEphemeralOffer(const UserKey& user) {
   NEXUS_ASSIGN_OR_RETURN(Bytes offer,
-                         TimedEcall([&] { return enclave_->EcallEphemeralOffer(); }));
+                         TimedEcall("ecall:ephemeral_offer", [&] { return enclave_->EcallEphemeralOffer(); }));
   const ByteArray<64> signature = user.Sign(offer);
   Writer w;
   w.Var(offer);
@@ -270,7 +281,7 @@ Status NexusClient::GrantAccessEphemeral(
     return Error(ErrorCode::kInvalidArgument, "trailing offer-file bytes");
   }
 
-  NEXUS_ASSIGN_OR_RETURN(Bytes grant, TimedEcall([&] {
+  NEXUS_ASSIGN_OR_RETURN(Bytes grant, TimedEcall("ecall:ephemeral_grant", [&] {
     return enclave_->EcallEphemeralGrant(offer, ToArray<64>(sig_raw),
                                          recipient_public_key);
   }));
@@ -294,7 +305,7 @@ Result<NexusClient::VolumeHandle> NexusClient::AcceptEphemeralGrant(
   if (!r.AtEnd()) {
     return Error(ErrorCode::kInvalidArgument, "trailing grant-file bytes");
   }
-  NEXUS_ASSIGN_OR_RETURN(Bytes sealed_rootkey, TimedEcall([&] {
+  NEXUS_ASSIGN_OR_RETURN(Bytes sealed_rootkey, TimedEcall("ecall:ephemeral_accept", [&] {
     return enclave_->EcallEphemeralAccept(grant, ToArray<64>(sig_raw),
                                           granter_public_key);
   }));
@@ -302,11 +313,11 @@ Result<NexusClient::VolumeHandle> NexusClient::AcceptEphemeralGrant(
 }
 
 Result<Bytes> NexusClient::ExportSealedVersionTable() {
-  return TimedEcall([&] { return enclave_->EcallSealVersionTable(); });
+  return TimedEcall("ecall:seal_version_table", [&] { return enclave_->EcallSealVersionTable(); });
 }
 
 Status NexusClient::ImportSealedVersionTable(ByteSpan sealed) {
-  return TimedEcall([&] { return enclave_->EcallLoadVersionTable(sealed); });
+  return TimedEcall("ecall:load_version_table", [&] { return enclave_->EcallLoadVersionTable(sealed); });
 }
 
 void NexusClient::DropAllCaches() {

@@ -19,6 +19,7 @@
 #include "core/user_key.hpp"
 #include "enclave/nexus_enclave.hpp"
 #include "storage/afs.hpp"
+#include "trace/trace.hpp"
 
 namespace nexus::core {
 
@@ -165,6 +166,17 @@ class NexusClient {
         ps.worker_busy_seconds, ps.critical_path_seconds,
         ps.saved_seconds};
     snap.net = net::GlobalNetSnapshot();
+    {
+      const trace::Histogram& ecalls = trace::GlobalHistogram("ecall");
+      snap.ecall_latency = LatencySummary{
+          ecalls.Count(), ecalls.PercentileMs(0.50), ecalls.PercentileMs(0.99)};
+      const trace::Histogram& commits =
+          trace::GlobalHistogram("journal.commit");
+      snap.journal_commit_latency =
+          LatencySummary{commits.Count(), commits.PercentileMs(0.50),
+                         commits.PercentileMs(0.99)};
+    }
+    snap.trace_spans = trace::CompletedSpanCount();
     return snap;
   }
 
@@ -177,9 +189,10 @@ class NexusClient {
 
  private:
   /// Runs an ecall, folding its real compute time into the virtual clock
-  /// under the "enclave" account.
+  /// under the "enclave" account, recording it in the per-ecall latency
+  /// histograms, and opening a trace span named after the operation.
   template <typename F>
-  auto TimedEcall(F&& f);
+  auto TimedEcall(const char* name, F&& f);
 
   static std::string IdentityPath(const std::string& user);
   static std::string GrantPath(const std::string& granter,

@@ -19,6 +19,20 @@
 
 namespace nexus::core {
 
+/// Count + percentiles of one latency distribution (from a
+/// trace::Histogram). The count is a counter; percentiles are gauges, so a
+/// delta keeps the later snapshot's values.
+struct LatencySummary {
+  std::uint64_t count = 0;
+  double p50_ms = 0;
+  double p99_ms = 0;
+
+  friend LatencySummary operator-(const LatencySummary& a,
+                                  const LatencySummary& b) {
+    return LatencySummary{a.count - b.count, a.p50_ms, a.p99_ms};
+  }
+};
+
 struct JournalCounters {
   std::uint64_t records_committed = 0;
   std::uint64_t ops_committed = 0;
@@ -90,6 +104,14 @@ struct ProfileSnapshot {
   /// Real-network RPC counters (process-global, nonzero only when the run
   /// talks to nexusd through a RemoteBackend). Percentiles are gauges.
   net::NetCounters net;
+  /// Wall-time distribution of every timed ecall (process-global
+  /// trace::GlobalHistogram("ecall")).
+  LatencySummary ecall_latency;
+  /// Wall-time distribution of durable journal record commits
+  /// (trace::GlobalHistogram("journal.commit")).
+  LatencySummary journal_commit_latency;
+  /// Spans completed by the tracer (0 unless tracing is enabled).
+  std::uint64_t trace_spans = 0;
 
   friend ProfileSnapshot operator-(const ProfileSnapshot& a,
                                    const ProfileSnapshot& b) {
@@ -102,6 +124,9 @@ struct ProfileSnapshot {
         a.journal - b.journal,
         a.parallel - b.parallel,
         a.net - b.net,
+        a.ecall_latency - b.ecall_latency,
+        a.journal_commit_latency - b.journal_commit_latency,
+        a.trace_spans - b.trace_spans,
     };
   }
 };

@@ -8,6 +8,7 @@
 #include <thread>
 
 #include "common/clock.hpp"
+#include "trace/trace.hpp"
 #include "common/serial.hpp"
 #include "crypto/aes.hpp"
 #include "crypto/aesni.hpp"
@@ -94,6 +95,14 @@ parallel::ThreadPool* NexusEnclave::EnsurePool() {
 
 void NexusEnclave::RecordParallelBatch(const parallel::TaskGroup& group,
                                        double batch_wall_seconds) {
+  // The batch already ran; record it as a completed span ending now.
+  if (trace::Enabled() && batch_wall_seconds > 0) {
+    const auto wall_ns =
+        static_cast<std::uint64_t>(batch_wall_seconds * 1e9 + 0.5);
+    const std::uint64_t now = MonotonicNanos();
+    trace::CompleteSpan("parallel:batch", "parallel",
+                        now > wall_ns ? now - wall_ns : 0, wall_ns);
+  }
   ++parallel_stats_.parallel_batches;
   parallel_stats_.worker_busy_seconds += group.busy_seconds();
   parallel_stats_.critical_path_seconds += group.critical_path_seconds();
@@ -135,6 +144,7 @@ Result<ObjectBlob> NexusEnclave::FetchMetaO(const Uuid& uuid) {
     }
     return ObjectBlob{op->blob, kJournaledStorageVersion};
   }
+  trace::Span ocall_span("ocall:fetch_meta", "ocall");
   sgx::EnclaveRuntime::OcallScope scope(runtime_);
   return storage_.FetchMeta(uuid);
 }
@@ -159,6 +169,7 @@ Status NexusEnclave::RemoveMetaO(const Uuid& uuid) {
 
 Status NexusEnclave::StoreMetaDirect(const Uuid& uuid, ByteSpan data,
                                      std::uint64_t* version_out) {
+  trace::Span ocall_span("ocall:store_meta", "ocall");
   sgx::EnclaveRuntime::OcallScope scope(runtime_);
   NEXUS_ASSIGN_OR_RETURN(std::uint64_t version, storage_.StoreMeta(uuid, data));
   if (version_out != nullptr) *version_out = version;
@@ -166,17 +177,20 @@ Status NexusEnclave::StoreMetaDirect(const Uuid& uuid, ByteSpan data,
 }
 
 Status NexusEnclave::RemoveMetaDirect(const Uuid& uuid) {
+  trace::Span ocall_span("ocall:remove_meta", "ocall");
   sgx::EnclaveRuntime::OcallScope scope(runtime_);
   return storage_.RemoveMeta(uuid);
 }
 
 Result<ObjectBlob> NexusEnclave::FetchDataO(const Uuid& uuid) {
+  trace::Span ocall_span("ocall:fetch_data", "ocall");
   sgx::EnclaveRuntime::OcallScope scope(runtime_);
   return storage_.FetchData(uuid);
 }
 
 Status NexusEnclave::StoreDataO(const Uuid& uuid, ByteSpan data,
                                 std::uint64_t changed_bytes) {
+  trace::Span ocall_span("ocall:store_data", "ocall");
   sgx::EnclaveRuntime::OcallScope scope(runtime_);
   return storage_.StoreData(uuid, data, changed_bytes);
 }
@@ -188,22 +202,26 @@ Status NexusEnclave::StoreDataO(const Uuid& uuid, ByteSpan data,
 
 Result<std::uint64_t> NexusEnclave::BeginDataStreamO(const Uuid& uuid,
                                                      std::uint64_t total_bytes) {
+  trace::Span ocall_span("ocall:begin_data_stream", "ocall");
   sgx::EnclaveRuntime::OcallScope scope(runtime_);
   return storage_.BeginDataStream(uuid, total_bytes);
 }
 
 Status NexusEnclave::StoreDataSegmentO(std::uint64_t handle, ByteSpan segment) {
+  trace::Span ocall_span("ocall:store_data_segment", "ocall");
   sgx::EnclaveRuntime::OcallScope scope(runtime_);
   return storage_.StoreDataSegment(handle, segment);
 }
 
 Status NexusEnclave::CommitDataStreamO(std::uint64_t handle,
                                        std::uint64_t changed_bytes) {
+  trace::Span ocall_span("ocall:commit_data_stream", "ocall");
   sgx::EnclaveRuntime::OcallScope scope(runtime_);
   return storage_.CommitDataStream(handle, changed_bytes);
 }
 
 Status NexusEnclave::AbortDataStreamO(std::uint64_t handle) {
+  trace::Span ocall_span("ocall:abort_data_stream", "ocall");
   sgx::EnclaveRuntime::OcallScope scope(runtime_);
   return storage_.AbortDataStream(handle);
 }
@@ -211,6 +229,7 @@ Status NexusEnclave::AbortDataStreamO(std::uint64_t handle) {
 Result<RangeBlob> NexusEnclave::FetchDataRangeO(const Uuid& uuid,
                                                 std::uint64_t offset,
                                                 std::uint64_t len) {
+  trace::Span ocall_span("ocall:fetch_data_range", "ocall");
   sgx::EnclaveRuntime::OcallScope scope(runtime_);
   return storage_.FetchDataRange(uuid, offset, len);
 }
@@ -223,16 +242,19 @@ Status NexusEnclave::RemoveDataO(const Uuid& uuid) {
     journal_->deferred_data_removes.push_back(uuid);
     return Status::Ok();
   }
+  trace::Span ocall_span("ocall:remove_data", "ocall");
   sgx::EnclaveRuntime::OcallScope scope(runtime_);
   return storage_.RemoveData(uuid);
 }
 
 Status NexusEnclave::LockMetaO(const Uuid& uuid) {
+  trace::Span ocall_span("ocall:lock_meta", "ocall");
   sgx::EnclaveRuntime::OcallScope scope(runtime_);
   return storage_.LockMeta(uuid);
 }
 
 Status NexusEnclave::UnlockMetaO(const Uuid& uuid) {
+  trace::Span ocall_span("ocall:unlock_meta", "ocall");
   sgx::EnclaveRuntime::OcallScope scope(runtime_);
   return storage_.UnlockMeta(uuid);
 }
@@ -244,26 +266,31 @@ bool NexusEnclave::CacheFreshO(const Uuid& uuid, std::uint64_t storage_version) 
     return op->kind == journal::OpKind::kPut &&
            storage_version == kJournaledStorageVersion;
   }
+  trace::Span ocall_span("ocall:cache_fresh", "ocall");
   sgx::EnclaveRuntime::OcallScope scope(runtime_);
   return storage_.CacheFresh(uuid, storage_version);
 }
 
 Result<Bytes> NexusEnclave::FetchJournalO(const std::string& name) {
+  trace::Span ocall_span("ocall:fetch_journal", "ocall");
   sgx::EnclaveRuntime::OcallScope scope(runtime_);
   return storage_.FetchJournal(name);
 }
 
 Status NexusEnclave::StoreJournalO(const std::string& name, ByteSpan data) {
+  trace::Span ocall_span("ocall:store_journal", "ocall");
   sgx::EnclaveRuntime::OcallScope scope(runtime_);
   return storage_.StoreJournal(name, data);
 }
 
 Status NexusEnclave::RemoveJournalO(const std::string& name) {
+  trace::Span ocall_span("ocall:remove_journal", "ocall");
   sgx::EnclaveRuntime::OcallScope scope(runtime_);
   return storage_.RemoveJournal(name);
 }
 
 Result<std::vector<std::string>> NexusEnclave::ListJournalO() {
+  trace::Span ocall_span("ocall:list_journal", "ocall");
   sgx::EnclaveRuntime::OcallScope scope(runtime_);
   return storage_.ListJournal();
 }
@@ -290,6 +317,8 @@ Status NexusEnclave::CommitPending() {
   if (!journal_.has_value()) return Status::Ok();
   JournalState& j = *journal_;
   if (!j.pending.empty()) {
+    trace::Span commit_span("journal:commit", "journal");
+    const std::uint64_t commit_t0 = MonotonicNanos();
     NEXUS_ASSIGN_OR_RETURN(
         Bytes record,
         journal::EncodeRecord(j.next_seq, j.chain_hash, j.pending.ops(), j.key,
@@ -297,6 +326,9 @@ Status NexusEnclave::CommitPending() {
     // The single durability point of the whole transaction: one object
     // store. Until it succeeds everything stays pending (retryable).
     NEXUS_RETURN_IF_ERROR(StoreJournalO(journal::ObjectName(j.next_seq), record));
+    // Encode -> durable-store wall time of the record (group commit cost).
+    trace::GlobalHistogram("journal.commit")
+        .Record(MonotonicNanos() - commit_t0);
     j.chain_hash = journal::ChainHash(record);
     j.committed_seqs.push_back(j.next_seq);
     ++j.next_seq;
@@ -307,6 +339,7 @@ Status NexusEnclave::CommitPending() {
   }
   // Data objects unreferenced by this transaction are now safe to delete.
   for (const Uuid& uuid : j.deferred_data_removes) {
+    trace::Span ocall_span("ocall:remove_data", "ocall");
     sgx::EnclaveRuntime::OcallScope scope(runtime_);
     (void)storage_.RemoveData(uuid); // best effort: an orphan is harmless
   }
@@ -322,6 +355,7 @@ Status NexusEnclave::CheckpointJournal() {
   if (!journal_.has_value()) return Status::Ok();
   JournalState& j = *journal_;
   if (j.committed.empty() && j.committed_seqs.empty()) return Status::Ok();
+  trace::Span checkpoint_span("journal:checkpoint", "journal");
 
   // Apply committed ops onto the main objects. Order across objects is
   // irrelevant (each op carries the whole blob); a crash mid-apply is fine

@@ -1,48 +1,40 @@
 #include "net/net_counters.hpp"
 
-#include <algorithm>
 #include <mutex>
-#include <vector>
+
+#include "trace/histogram.hpp"
 
 namespace nexus::net {
 
 namespace {
 
-// One mutex for the whole aggregate: RPC rates here are thousands per
+// One mutex for the scalar aggregate: RPC rates here are thousands per
 // second at most (each carries a network round trip), so contention is
-// irrelevant next to the I/O being measured.
+// irrelevant next to the I/O being measured. Latency lives in a shared
+// log-bucket histogram (trace::Histogram), which records lock-free and,
+// unlike the old 4096-sample reservoir, never forgets early samples.
 struct GlobalState {
   std::mutex mu;
   NetCounters totals;
-  std::vector<double> latency_ms; // bounded reservoir, newest overwrite
-  std::size_t next_slot = 0;
+  trace::Histogram latency;
 };
-
-constexpr std::size_t kReservoirSize = 4096;
 
 GlobalState& State() {
   static GlobalState state;
   return state;
 }
 
-double Percentile(std::vector<double> sorted_scratch, double p) {
-  if (sorted_scratch.empty()) return 0;
-  std::sort(sorted_scratch.begin(), sorted_scratch.end());
-  const double rank = p * static_cast<double>(sorted_scratch.size() - 1);
-  const std::size_t lo = static_cast<std::size_t>(rank);
-  const std::size_t hi = std::min(lo + 1, sorted_scratch.size() - 1);
-  const double frac = rank - static_cast<double>(lo);
-  return sorted_scratch[lo] * (1 - frac) + sorted_scratch[hi] * frac;
-}
-
 } // namespace
 
 NetCounters GlobalNetSnapshot() {
   GlobalState& g = State();
-  const std::lock_guard<std::mutex> lock(g.mu);
-  NetCounters out = g.totals;
-  out.rpc_p50_ms = Percentile(g.latency_ms, 0.50);
-  out.rpc_p99_ms = Percentile(g.latency_ms, 0.99);
+  NetCounters out;
+  {
+    const std::lock_guard<std::mutex> lock(g.mu);
+    out = g.totals;
+  }
+  out.rpc_p50_ms = g.latency.PercentileMs(0.50);
+  out.rpc_p99_ms = g.latency.PercentileMs(0.99);
   return out;
 }
 
@@ -50,8 +42,7 @@ void ResetGlobalNetCounters() {
   GlobalState& g = State();
   const std::lock_guard<std::mutex> lock(g.mu);
   g.totals = {};
-  g.latency_ms.clear();
-  g.next_slot = 0;
+  g.latency.Reset();
 }
 
 void GlobalNetAdd(const NetCounters& delta) {
@@ -64,15 +55,6 @@ void GlobalNetAdd(const NetCounters& delta) {
   g.totals.bytes_received += delta.bytes_received;
 }
 
-void GlobalNetRecordLatencyMs(double ms) {
-  GlobalState& g = State();
-  const std::lock_guard<std::mutex> lock(g.mu);
-  if (g.latency_ms.size() < kReservoirSize) {
-    g.latency_ms.push_back(ms);
-  } else {
-    g.latency_ms[g.next_slot] = ms;
-    g.next_slot = (g.next_slot + 1) % kReservoirSize;
-  }
-}
+void GlobalNetRecordLatencyMs(double ms) { State().latency.RecordMs(ms); }
 
 } // namespace nexus::net

@@ -19,8 +19,9 @@ struct NetCounters {
   std::uint64_t bytes_sent = 0;
   std::uint64_t bytes_received = 0;
   // Latency of successful RPC attempts (send -> response decoded), from a
-  // bounded reservoir of recent samples. Gauges, not counters: a delta
-  // keeps the later snapshot's value, mirroring peak_queue_depth.
+  // process-wide log-bucket histogram (trace::Histogram). Gauges, not
+  // counters: a delta keeps the later snapshot's value, mirroring
+  // peak_queue_depth.
   double rpc_p50_ms = 0;
   double rpc_p99_ms = 0;
 

@@ -1,0 +1,89 @@
+// nexus-stat: one-shot introspection client for a running nexusd.
+//
+//   nexus-stat [--host ADDR] --port N
+//
+// Issues a Stats RPC through the normal RemoteBackend machinery (so it
+// exercises the same retry/deadline path as real clients) and prints the
+// daemon's lifetime counters plus per-op count/bytes/p50/p99 rows.
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "net/remote_backend.hpp"
+#include "net/wire.hpp"
+
+namespace {
+
+void Usage(const char* argv0) {
+  std::fprintf(stderr, "usage: %s [--host ADDR] --port N\n", argv0);
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+  std::string host = "127.0.0.1";
+  int port = 0;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        Usage(argv[0]);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--host") {
+      host = next();
+    } else if (arg == "--port") {
+      port = std::atoi(next());
+    } else {
+      Usage(argv[0]);
+      return 2;
+    }
+  }
+  if (port <= 0 || port > 65535) {
+    Usage(argv[0]);
+    return 2;
+  }
+
+  auto backend = nexus::net::RemoteBackend::Connect(
+      host, static_cast<std::uint16_t>(port));
+  if (!backend.ok()) {
+    std::fprintf(stderr, "nexus-stat: cannot reach %s:%d: %s\n", host.c_str(),
+                 port, backend.status().message().c_str());
+    return 1;
+  }
+  auto stats = backend.value()->Stats();
+  if (!stats.ok()) {
+    std::fprintf(stderr, "nexus-stat: stats rpc failed: %s\n",
+                 stats.status().ToString().c_str());
+    return 1;
+  }
+
+  const nexus::net::ServerStats& s = stats.value();
+  std::printf("nexusd %s:%d\n", host.c_str(), port);
+  std::printf("  connections   %llu accepted, %llu active\n",
+              static_cast<unsigned long long>(s.connections_accepted),
+              static_cast<unsigned long long>(s.active_connections));
+  std::printf("  rpcs served   %llu (%llu protocol errors)\n",
+              static_cast<unsigned long long>(s.rpcs_served),
+              static_cast<unsigned long long>(s.protocol_errors));
+  std::printf("  streams       %llu open, %llu aborted on disconnect\n",
+              static_cast<unsigned long long>(s.open_streams),
+              static_cast<unsigned long long>(s.streams_aborted_on_disconnect));
+  std::printf("  bytes         %llu in, %llu out\n",
+              static_cast<unsigned long long>(s.bytes_received),
+              static_cast<unsigned long long>(s.bytes_sent));
+  std::printf("  %-13s %10s %12s %12s %10s %10s\n", "op", "count", "bytes_in",
+              "bytes_out", "p50_ms", "p99_ms");
+  for (const nexus::net::RpcOpStats& op : s.per_op) {
+    std::printf("  %-13s %10llu %12llu %12llu %10.3f %10.3f\n",
+                nexus::net::RpcName(static_cast<nexus::net::Rpc>(op.rpc)),
+                static_cast<unsigned long long>(op.count),
+                static_cast<unsigned long long>(op.bytes_in),
+                static_cast<unsigned long long>(op.bytes_out), op.p50_ms,
+                op.p99_ms);
+  }
+  return 0;
+}

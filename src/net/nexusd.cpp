@@ -111,5 +111,11 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(stats.rpcs_served),
               static_cast<unsigned long long>(stats.connections_accepted),
               static_cast<unsigned long long>(stats.protocol_errors));
+  for (const auto& op : server.value()->WireStats().per_op) {
+    std::printf("nexusd:   %-13s %8llu calls  p50 %.3f ms  p99 %.3f ms\n",
+                nexus::net::RpcName(static_cast<nexus::net::Rpc>(op.rpc)),
+                static_cast<unsigned long long>(op.count), op.p50_ms,
+                op.p99_ms);
+  }
   return 0;
 }

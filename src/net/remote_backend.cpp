@@ -5,6 +5,7 @@
 #include <thread>
 
 #include "common/clock.hpp"
+#include "trace/trace.hpp"
 
 namespace nexus::net {
 
@@ -104,6 +105,10 @@ void RemoteBackend::Checkin(std::unique_ptr<Transport> transport) {
 }
 
 Result<Bytes> RemoteBackend::Call(const Writer& request, bool* ambiguous) {
+  const std::uint64_t corr = RequestCorrelation(request.bytes());
+  trace::Span span(RpcName(RequestRpc(request.bytes())), "net.client");
+  span.SetCorrelation(corr);
+
   Status last = Error(ErrorCode::kIOError, "rpc never attempted");
   bool ambig = false;
   for (int attempt = 0; attempt < options_.max_attempts; ++attempt) {
@@ -134,11 +139,22 @@ Result<Bytes> RemoteBackend::Call(const Writer& request, bool* ambiguous) {
     }
     Reader reader(response.value());
     Status verdict = Status::Ok();
-    const Status parsed = ParseResponseHead(reader, &verdict);
+    std::uint64_t echoed = 0;
+    const Status parsed = ParseResponseHead(reader, &verdict, &echoed);
     if (!parsed.ok()) {
       // Malformed response: protocol desync, kill the connection.
       ambig = true;
       last = parsed;
+      continue;
+    }
+    if (echoed != corr) {
+      // A well-formed response to some OTHER request: the byte stream is
+      // desynchronized. Our request's fate is unknown — drop the
+      // connection and retry on a fresh one.
+      ambig = true;
+      last = Error(ErrorCode::kIOError,
+                   "correlation mismatch: sent " + std::to_string(corr) +
+                       ", got " + std::to_string(echoed));
       continue;
     }
 
@@ -166,6 +182,16 @@ Result<Bytes> RemoteBackend::Call(const Writer& request, bool* ambiguous) {
 
 Status RemoteBackend::Ping() {
   return Call(BeginRequest(Rpc::kPing)).status();
+}
+
+Result<ServerStats> RemoteBackend::Stats() {
+  NEXUS_ASSIGN_OR_RETURN(Bytes payload, Call(BeginRequest(Rpc::kStats)));
+  Reader reader(payload);
+  NEXUS_ASSIGN_OR_RETURN(ServerStats stats, DecodeServerStats(reader));
+  if (!reader.AtEnd()) {
+    return Error(ErrorCode::kInvalidArgument, "trailing bytes after stats");
+  }
+  return stats;
 }
 
 Result<Bytes> RemoteBackend::Get(const std::string& name) {
@@ -333,12 +359,21 @@ class RemotePutStream final : public storage::StorageBackend::PutStream {
   /// on outer success `verdict` holds the server's authoritative answer
   /// and the returned bytes are the response payload after the head.
   Result<Bytes> Exchange(const Writer& request, Status* verdict) {
+    const std::uint64_t corr = RequestCorrelation(request.bytes());
+    trace::Span span(RpcName(RequestRpc(request.bytes())), "net.client");
+    span.SetCorrelation(corr);
+
     const std::uint64_t start = MonotonicNanos();
     NEXUS_RETURN_IF_ERROR(conn_->SendFrame(request.bytes()));
     NEXUS_ASSIGN_OR_RETURN(Bytes response, conn_->RecvFrame());
     Reader reader(response);
     Status server = Status::Ok();
-    NEXUS_RETURN_IF_ERROR(ParseResponseHead(reader, &server));
+    std::uint64_t echoed = 0;
+    NEXUS_RETURN_IF_ERROR(ParseResponseHead(reader, &server, &echoed));
+    if (echoed != corr) {
+      return Error(ErrorCode::kIOError,
+                   "correlation mismatch on stream connection");
+    }
     const double ms = static_cast<double>(MonotonicNanos() - start) * 1e-6;
     {
       const std::lock_guard<std::mutex> lock(backend_.mu_);

@@ -82,6 +82,10 @@ class RemoteBackend final : public storage::StorageBackend {
   /// Liveness probe through the full RPC machinery (retries included).
   Status Ping();
 
+  /// Fetches the server's lifetime counters and per-op latency summary
+  /// (Rpc::kStats), through the same retry machinery as every other RPC.
+  Result<ServerStats> Stats();
+
   [[nodiscard]] NetCounters counters() const;
 
  private:

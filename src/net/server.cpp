@@ -9,8 +9,10 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include "common/clock.hpp"
 #include "net/transport.hpp"
 #include "net/wire.hpp"
+#include "trace/trace.hpp"
 
 namespace nexus::net {
 
@@ -92,7 +94,41 @@ void NexusdServer::Stop() {
 
 NexusdServer::Stats NexusdServer::stats() const {
   const std::lock_guard<std::mutex> lock(mu_);
-  return stats_;
+  Stats out = stats_;
+  out.active_connections = live_fds_.size();
+  return out;
+}
+
+ServerStats NexusdServer::WireStats() const {
+  ServerStats out;
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    out.connections_accepted = stats_.connections_accepted;
+    out.active_connections = live_fds_.size();
+    out.rpcs_served = stats_.rpcs_served;
+    out.protocol_errors = stats_.protocol_errors;
+    out.open_streams = stats_.open_streams;
+    out.streams_aborted_on_disconnect = stats_.streams_aborted_on_disconnect;
+    out.bytes_received = stats_.bytes_received;
+    out.bytes_sent = stats_.bytes_sent;
+    for (std::size_t i = static_cast<std::size_t>(Rpc::kPing); i < kRpcSlots;
+         ++i) {
+      if (per_op_[i].count == 0) continue;
+      RpcOpStats row;
+      row.rpc = static_cast<std::uint8_t>(i);
+      row.count = per_op_[i].count;
+      row.bytes_in = per_op_[i].bytes_in;
+      row.bytes_out = per_op_[i].bytes_out;
+      out.per_op.push_back(row);
+    }
+  }
+  // Histograms are internally synchronized; read them outside mu_.
+  for (RpcOpStats& row : out.per_op) {
+    const trace::Histogram& h = op_latency_ns_[row.rpc];
+    row.p50_ms = h.PercentileMs(0.50);
+    row.p99_ms = h.PercentileMs(0.99);
+  }
+  return out;
 }
 
 void NexusdServer::AcceptLoop() {
@@ -137,12 +173,14 @@ void NexusdServer::ServeConnection(int fd) {
   for (;;) {
     auto frame = transport.RecvFrame();
     if (!frame.ok()) break; // disconnect, reset, or Stop()
+    const std::uint64_t service_start_ns = MonotonicNanos();
 
     Reader reader(frame.value());
     Writer response;
     bool close_connection = false;
 
-    auto rpc = ParseRequestHead(reader);
+    std::uint64_t corr = 0;
+    auto rpc = ParseRequestHead(reader, &corr);
     if (!rpc.ok()) {
       // Malformed head: the byte stream cannot be trusted any more.
       const std::lock_guard<std::mutex> lock(mu_);
@@ -150,9 +188,14 @@ void NexusdServer::ServeConnection(int fd) {
       break;
     }
 
+    // One span per served request, tagged with the client's correlation id
+    // so client-side and server-side spans can be matched up.
+    trace::Span span(RpcName(rpc.value()), "net.server");
+    span.SetCorrelation(corr);
+
     switch (rpc.value()) {
       case Rpc::kPing: {
-        response = BeginResponse(Status::Ok());
+        response = BeginResponse(Status::Ok(), corr);
         break;
       }
       case Rpc::kGet: {
@@ -163,10 +206,10 @@ void NexusdServer::ServeConnection(int fd) {
         }
         auto data = backend_.Get(name.value());
         if (data.ok()) {
-          response = BeginResponse(Status::Ok());
+          response = BeginResponse(Status::Ok(), corr);
           response.Var(data.value());
         } else {
-          response = BeginResponse(data.status());
+          response = BeginResponse(data.status(), corr);
         }
         break;
       }
@@ -181,7 +224,8 @@ void NexusdServer::ServeConnection(int fd) {
           close_connection = true;
           break;
         }
-        response = BeginResponse(backend_.Put(name.value(), data.value()));
+        response =
+            BeginResponse(backend_.Put(name.value(), data.value()), corr);
         break;
       }
       case Rpc::kDelete: {
@@ -190,7 +234,7 @@ void NexusdServer::ServeConnection(int fd) {
           close_connection = true;
           break;
         }
-        response = BeginResponse(backend_.Delete(name.value()));
+        response = BeginResponse(backend_.Delete(name.value()), corr);
         break;
       }
       case Rpc::kExists: {
@@ -199,7 +243,7 @@ void NexusdServer::ServeConnection(int fd) {
           close_connection = true;
           break;
         }
-        response = BeginResponse(Status::Ok());
+        response = BeginResponse(Status::Ok(), corr);
         response.U8(backend_.Exists(name.value()) ? 1 : 0);
         break;
       }
@@ -214,9 +258,10 @@ void NexusdServer::ServeConnection(int fd) {
         for (const auto& n : names) payload += n.size() + 4;
         if (payload > kMaxObjectBytes) {
           response = BeginResponse(
-              Error(ErrorCode::kOutOfRange, "listing exceeds frame bound"));
+              Error(ErrorCode::kOutOfRange, "listing exceeds frame bound"),
+              corr);
         } else {
-          response = BeginResponse(Status::Ok());
+          response = BeginResponse(Status::Ok(), corr);
           response.U32(static_cast<std::uint32_t>(names.size()));
           for (const auto& n : names) response.Str(n);
         }
@@ -232,10 +277,12 @@ void NexusdServer::ServeConnection(int fd) {
         if (stream.ok()) {
           const std::uint64_t handle = next_stream_handle++;
           streams[handle] = std::move(stream).value();
-          response = BeginResponse(Status::Ok());
+          response = BeginResponse(Status::Ok(), corr);
           response.U64(handle);
+          const std::lock_guard<std::mutex> lock(mu_);
+          ++stats_.open_streams;
         } else {
-          response = BeginResponse(stream.status());
+          response = BeginResponse(stream.status(), corr);
         }
         break;
       }
@@ -253,9 +300,10 @@ void NexusdServer::ServeConnection(int fd) {
         const auto it = streams.find(handle.value());
         if (it == streams.end()) {
           response = BeginResponse(
-              Error(ErrorCode::kInvalidArgument, "unknown stream handle"));
+              Error(ErrorCode::kInvalidArgument, "unknown stream handle"),
+              corr);
         } else {
-          response = BeginResponse(it->second->Append(segment.value()));
+          response = BeginResponse(it->second->Append(segment.value()), corr);
         }
         break;
       }
@@ -268,10 +316,13 @@ void NexusdServer::ServeConnection(int fd) {
         const auto it = streams.find(handle.value());
         if (it == streams.end()) {
           response = BeginResponse(
-              Error(ErrorCode::kInvalidArgument, "unknown stream handle"));
+              Error(ErrorCode::kInvalidArgument, "unknown stream handle"),
+              corr);
         } else {
-          response = BeginResponse(it->second->Commit());
+          response = BeginResponse(it->second->Commit(), corr);
           streams.erase(it);
+          const std::lock_guard<std::mutex> lock(mu_);
+          --stats_.open_streams;
         }
         break;
       }
@@ -284,12 +335,20 @@ void NexusdServer::ServeConnection(int fd) {
         const auto it = streams.find(handle.value());
         if (it == streams.end()) {
           response = BeginResponse(
-              Error(ErrorCode::kInvalidArgument, "unknown stream handle"));
+              Error(ErrorCode::kInvalidArgument, "unknown stream handle"),
+              corr);
         } else {
           it->second->Abort();
           streams.erase(it);
-          response = BeginResponse(Status::Ok());
+          response = BeginResponse(Status::Ok(), corr);
+          const std::lock_guard<std::mutex> lock(mu_);
+          --stats_.open_streams;
         }
+        break;
+      }
+      case Rpc::kStats: {
+        response = BeginResponse(Status::Ok(), corr);
+        EncodeServerStats(response, WireStats());
         break;
       }
     }
@@ -300,18 +359,25 @@ void NexusdServer::ServeConnection(int fd) {
       break;
     }
 
+    const auto op = static_cast<std::size_t>(rpc.value());
     {
       const std::lock_guard<std::mutex> lock(mu_);
       ++stats_.rpcs_served;
       stats_.bytes_received += frame.value().size() + 4;
       stats_.bytes_sent += response.bytes().size() + 4;
+      ++per_op_[op].count;
+      per_op_[op].bytes_in += frame.value().size();
+      per_op_[op].bytes_out += response.bytes().size();
     }
-    if (!transport.SendFrame(response.bytes()).ok()) break;
+    const bool sent = transport.SendFrame(response.bytes()).ok();
+    op_latency_ns_[op].Record(MonotonicNanos() - service_start_ns);
+    if (!sent) break;
   }
 
   {
     const std::lock_guard<std::mutex> lock(mu_);
     stats_.streams_aborted_on_disconnect += streams.size();
+    stats_.open_streams -= streams.size();
     live_fds_.erase(std::remove(live_fds_.begin(), live_fds_.end(), fd),
                     live_fds_.end());
   }

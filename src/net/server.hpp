@@ -22,8 +22,10 @@
 #include <vector>
 
 #include "common/result.hpp"
+#include "net/wire.hpp"
 #include "parallel/thread_pool.hpp"
 #include "storage/backend.hpp"
+#include "trace/histogram.hpp"
 
 namespace nexus::net {
 
@@ -60,10 +62,27 @@ class NexusdServer {
     std::uint64_t streams_aborted_on_disconnect = 0;
     std::uint64_t bytes_received = 0;
     std::uint64_t bytes_sent = 0;
+    std::uint64_t active_connections = 0; // gauge
+    std::uint64_t open_streams = 0;       // gauge
   };
   [[nodiscard]] Stats stats() const;
 
+  /// Snapshot served over Rpc::kStats: stats() plus one row per RPC id
+  /// actually served, with p50/p99 service latency from the per-op
+  /// histograms.
+  [[nodiscard]] ServerStats WireStats() const;
+
  private:
+  /// Dense per-RPC slot array; index = static_cast<std::size_t>(Rpc).
+  static constexpr std::size_t kRpcSlots =
+      static_cast<std::size_t>(Rpc::kStats) + 1;
+
+  struct PerOpCounters {
+    std::uint64_t count = 0;
+    std::uint64_t bytes_in = 0;
+    std::uint64_t bytes_out = 0;
+  };
+
   NexusdServer(storage::StorageBackend& backend, NexusdOptions options);
 
   void AcceptLoop();
@@ -81,7 +100,9 @@ class NexusdServer {
   mutable std::mutex mu_;
   std::vector<int> live_fds_; // shutdown() on Stop unblocks workers
   bool stopping_ = false;
-  Stats stats_;
+  Stats stats_;                     // open_streams maintained, active derived
+  PerOpCounters per_op_[kRpcSlots]; // under mu_
+  trace::Histogram op_latency_ns_[kRpcSlots]; // internally synchronized
 };
 
 } // namespace nexus::net

@@ -4,8 +4,17 @@
 //
 //   [u32 LE payload length][payload]
 //
-// Request payload:   u8 version, u8 rpc id, arguments (serial.hpp format)
-// Response payload:  u8 version, u8 error code, Str message, results
+// Request payload:   u8 version, u8 rpc id, u64 correlation id, arguments
+//                    (serial.hpp format)
+// Response payload:  u8 version, u64 correlation id, u8 error code,
+//                    Str message, results
+//
+// The correlation id (protocol v2) is drawn by the client per request and
+// echoed verbatim by the server. It serves two jobs: the client verifies
+// the echo to detect a desynchronized byte stream (a mismatch means the
+// response belongs to some other request — the connection is dropped, the
+// call treated as ambiguous), and both sides stamp it on their trace spans
+// so a client span can be matched to the server span that served it.
 //
 // The server is untrusted in the NEXUS threat model, so nothing here is
 // authenticated — the protocol only moves ciphertext and opaque object
@@ -17,6 +26,7 @@
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
 #include "common/bytes.hpp"
 #include "common/result.hpp"
@@ -24,7 +34,7 @@
 
 namespace nexus::net {
 
-inline constexpr std::uint8_t kProtocolVersion = 1;
+inline constexpr std::uint8_t kProtocolVersion = 2;
 
 /// Largest object the protocol moves (bulk data chunks are ≤1 MiB today;
 /// whole journal records and streamed segments stay far below this).
@@ -34,7 +44,8 @@ inline constexpr std::size_t kMaxObjectBytes = 64u << 20;
 inline constexpr std::size_t kMaxFrameBytes = kMaxObjectBytes + (1u << 16);
 
 /// RPC surface: the StorageBackend interface verbatim, plus the segmented
-/// OpenPutStream as a four-message streaming RPC and a Ping for liveness.
+/// OpenPutStream as a four-message streaming RPC, a Ping for liveness, and
+/// a Stats introspection call (nexus-stat).
 enum class Rpc : std::uint8_t {
   kPing = 1,
   kGet = 2,
@@ -46,28 +57,89 @@ enum class Rpc : std::uint8_t {
   kStreamAppend = 8,  // handle, segment bytes
   kStreamCommit = 9,  // handle; object becomes visible atomically
   kStreamAbort = 10,  // handle; store untouched
+  kStats = 11,        // -> ServerStats (counters, per-op latency)
 };
 
-/// Starts a request: version + rpc id. Callers append arguments and hand
-/// the bytes to Transport::SendFrame.
+/// Stable lowercase name for an RPC id ("get", "stream_begin", ...). Used
+/// as span names and in nexus-stat output.
+const char* RpcName(Rpc rpc) noexcept;
+
+/// Offset of the correlation id within a request payload (after version
+/// and rpc bytes) — lets middle layers read it from raw frame bytes.
+inline constexpr std::size_t kRequestCorrelationOffset = 2;
+
+/// Process-unique correlation ids, starting at 1 (0 means "none").
+std::uint64_t NextCorrelationId() noexcept;
+
+/// Starts a request: version + rpc id + fresh correlation id. Callers
+/// append arguments and hand the bytes to Transport::SendFrame.
 Writer BeginRequest(Rpc rpc);
+/// Same, with an explicit correlation id (tests, retransmissions).
+Writer BeginRequest(Rpc rpc, std::uint64_t correlation);
+
+/// Reads the rpc id out of raw request bytes (0 if too short / pre-v2).
+Rpc RequestRpc(ByteSpan request) noexcept;
+/// Reads the correlation id out of raw request bytes (0 if too short).
+std::uint64_t RequestCorrelation(ByteSpan request) noexcept;
 
 /// Parses (and validates) a request head; the reader is left at the first
-/// argument.
-Result<Rpc> ParseRequestHead(Reader& reader);
+/// argument. When `correlation` is non-null it receives the request's
+/// correlation id.
+Result<Rpc> ParseRequestHead(Reader& reader,
+                             std::uint64_t* correlation = nullptr);
 
-/// Starts a response carrying `status` (OK responses append results).
-Writer BeginResponse(const Status& status);
+/// Starts a response carrying `status`, echoing the request's correlation
+/// id (OK responses append results).
+Writer BeginResponse(const Status& status, std::uint64_t correlation);
 
 /// Parses a response head. The RETURNED Status is a protocol violation
 /// (malformed frame — treat the connection as broken); on success,
 /// `verdict` receives the server's verdict for the RPC, which is
-/// authoritative and final (never retried).
-Status ParseResponseHead(Reader& reader, Status* verdict);
+/// authoritative and final (never retried), and `correlation` (when
+/// non-null) the echoed correlation id for the caller to verify.
+Status ParseResponseHead(Reader& reader, Status* verdict,
+                         std::uint64_t* correlation = nullptr);
 
 /// ErrorCode <-> wire byte. Unknown bytes decode to kInternal so a rogue
 /// server cannot smuggle an out-of-range enum into client code.
 std::uint8_t CodeToWire(ErrorCode code) noexcept;
 ErrorCode CodeFromWire(std::uint8_t wire) noexcept;
+
+// ---- Stats RPC payload ------------------------------------------------------
+
+/// Per-RPC slice of a nexusd's lifetime counters.
+struct RpcOpStats {
+  std::uint8_t rpc = 0; // Rpc id this row describes
+  std::uint64_t count = 0;
+  std::uint64_t bytes_in = 0;  // request payload bytes
+  std::uint64_t bytes_out = 0; // response payload bytes
+  double p50_ms = 0;           // server-side service latency
+  double p99_ms = 0;
+
+  bool operator==(const RpcOpStats&) const = default;
+};
+
+/// Everything a nexusd reports through Rpc::kStats.
+struct ServerStats {
+  std::uint64_t connections_accepted = 0;
+  std::uint64_t active_connections = 0; // gauge
+  std::uint64_t rpcs_served = 0;
+  std::uint64_t protocol_errors = 0;
+  std::uint64_t open_streams = 0; // gauge
+  std::uint64_t streams_aborted_on_disconnect = 0;
+  std::uint64_t bytes_received = 0;
+  std::uint64_t bytes_sent = 0;
+  std::vector<RpcOpStats> per_op; // ascending rpc id, served ops only
+
+  bool operator==(const ServerStats&) const = default;
+};
+
+/// Upper bound on per_op rows a decoder accepts — there are only that many
+/// RPC ids, so anything larger is malformed.
+inline constexpr std::size_t kMaxStatsEntries =
+    static_cast<std::size_t>(Rpc::kStats);
+
+void EncodeServerStats(Writer& writer, const ServerStats& stats);
+Result<ServerStats> DecodeServerStats(Reader& reader);
 
 } // namespace nexus::net

@@ -4,6 +4,8 @@
 
 #include <algorithm>
 
+#include "trace/trace.hpp"
+
 namespace nexus::parallel {
 
 double ThreadCpuSeconds() noexcept {
@@ -86,7 +88,10 @@ void ThreadPool::WorkerMain(std::size_t index) {
       ++stats_.tasks_executed;
       lock.unlock();
       const double cpu0 = ThreadCpuSeconds();
-      task.fn(ctx);
+      {
+        trace::Span task_span("parallel:task", "parallel");
+        task.fn(ctx);
+      }
       const double cpu = ThreadCpuSeconds() - cpu0;
       task.group->OnComplete(task.slot, index, cpu);
       lock.lock();
@@ -117,7 +122,10 @@ std::size_t TaskGroup::Submit(ThreadPool::Task fn) {
     // the threads. CPU accounting still happens so busy == critical path
     // and the profiler reports zero modeled savings.
     const double cpu0 = ThreadCpuSeconds();
-    fn(inline_context_);
+    {
+      trace::Span task_span("parallel:task", "parallel");
+      fn(inline_context_);
+    }
     OnComplete(slot, inline_context_.worker_index, ThreadCpuSeconds() - cpu0);
     return slot;
   }

@@ -3,12 +3,24 @@
 #include <algorithm>
 
 #include "common/log.hpp"
+#include "trace/trace.hpp"
 
 namespace nexus::storage {
 
 AfsServer::AfsServer(std::unique_ptr<StorageBackend> backend, SimClock& clock,
                      CostModel cost)
-    : backend_(std::move(backend)), clock_(clock), cost_(cost) {}
+    : backend_(std::move(backend)), clock_(clock), cost_(cost) {
+  // Publish this deployment's virtual clock to the tracer so spans carry
+  // sim-time stamps alongside the monotonic clock. Last-constructed wins;
+  // tests that run several Worlds trace against the newest one.
+  trace::SetSimSource(
+      [](const void* ctx) {
+        return static_cast<const SimClock*>(ctx)->Now();
+      },
+      &clock_);
+}
+
+AfsServer::~AfsServer() { trace::ClearSimSource(&clock_); }
 
 void AfsServer::ChargeRpc(std::uint64_t payload_bytes) {
   ++rpc_count_;

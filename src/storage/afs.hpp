@@ -31,6 +31,8 @@ class AfsServer {
  public:
   AfsServer(std::unique_ptr<StorageBackend> backend, SimClock& clock,
             CostModel cost = {});
+  /// Unregisters this server's clock from the tracer's sim-time source.
+  ~AfsServer();
 
   // ---- RPCs (cost charged on the virtual clock) -------------------------
 

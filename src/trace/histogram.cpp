@@ -1,0 +1,169 @@
+#include "trace/histogram.hpp"
+
+#include <algorithm>
+#include <bit>
+
+namespace nexus::trace {
+
+namespace {
+
+void AtomicMin(std::atomic<std::uint64_t>& slot, std::uint64_t v) noexcept {
+  std::uint64_t cur = slot.load(std::memory_order_relaxed);
+  while (v < cur &&
+         !slot.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+void AtomicMax(std::atomic<std::uint64_t>& slot, std::uint64_t v) noexcept {
+  std::uint64_t cur = slot.load(std::memory_order_relaxed);
+  while (v > cur &&
+         !slot.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+} // namespace
+
+std::size_t Histogram::BucketIndex(std::uint64_t value_ns) noexcept {
+  if (value_ns == 0) return 0;
+  // bit_width(1) == 1, so value 1 lands in bucket 1 = [1, 2).
+  return std::min<std::size_t>(std::bit_width(value_ns), kBuckets - 1);
+}
+
+std::uint64_t Histogram::BucketLo(std::size_t index) noexcept {
+  return index == 0 ? 0 : std::uint64_t{1} << (index - 1);
+}
+
+std::uint64_t Histogram::BucketHi(std::size_t index) noexcept {
+  if (index == 0) return 1;
+  if (index >= kBuckets - 1) return ~0ull;
+  return std::uint64_t{1} << index;
+}
+
+void Histogram::Record(std::uint64_t value_ns) noexcept {
+  counts_[BucketIndex(value_ns)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(value_ns, std::memory_order_relaxed);
+  AtomicMin(min_, value_ns);
+  AtomicMax(max_, value_ns);
+}
+
+void Histogram::RecordSeconds(double seconds) noexcept {
+  Record(seconds <= 0 ? 0 : static_cast<std::uint64_t>(seconds * 1e9 + 0.5));
+}
+
+void Histogram::RecordMs(double ms) noexcept {
+  Record(ms <= 0 ? 0 : static_cast<std::uint64_t>(ms * 1e6 + 0.5));
+}
+
+std::uint64_t Histogram::Count() const noexcept {
+  return count_.load(std::memory_order_relaxed);
+}
+
+std::uint64_t Histogram::SumNs() const noexcept {
+  return sum_.load(std::memory_order_relaxed);
+}
+
+std::uint64_t Histogram::MinNs() const noexcept {
+  const std::uint64_t v = min_.load(std::memory_order_relaxed);
+  return v == ~0ull ? 0 : v;
+}
+
+std::uint64_t Histogram::MaxNs() const noexcept {
+  return max_.load(std::memory_order_relaxed);
+}
+
+double Histogram::MeanNs() const noexcept {
+  const std::uint64_t n = Count();
+  return n == 0 ? 0.0 : static_cast<double>(SumNs()) / static_cast<double>(n);
+}
+
+double Histogram::PercentileNs(double p) const noexcept {
+  const std::uint64_t n = count_.load(std::memory_order_relaxed);
+  if (n == 0) return 0.0;
+  const auto mn = static_cast<double>(MinNs());
+  const auto mx = static_cast<double>(MaxNs());
+  if (p <= 0) return mn;
+  if (p >= 1) return mx;
+  const double rank = p * static_cast<double>(n - 1);
+  std::uint64_t cum = 0;
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    const std::uint64_t c = counts_[i].load(std::memory_order_relaxed);
+    if (c == 0) continue;
+    if (rank < static_cast<double>(cum + c)) {
+      // Spread the bucket's samples uniformly over [lo, hi), then clamp to
+      // the observed range — a bucket holding every sample of one value
+      // therefore reports that value exactly.
+      const auto lo = static_cast<double>(BucketLo(i));
+      const auto hi = static_cast<double>(BucketHi(i));
+      const double frac =
+          (rank - static_cast<double>(cum)) / static_cast<double>(c);
+      return std::clamp(lo + (hi - lo) * frac, mn, mx);
+    }
+    cum += c;
+  }
+  return mx;
+}
+
+double Histogram::PercentileMs(double p) const noexcept {
+  return PercentileNs(p) * 1e-6;
+}
+
+void Histogram::MergeFrom(const Histogram& other) noexcept {
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    const std::uint64_t c = other.counts_[i].load(std::memory_order_relaxed);
+    if (c != 0) counts_[i].fetch_add(c, std::memory_order_relaxed);
+  }
+  const std::uint64_t n = other.count_.load(std::memory_order_relaxed);
+  if (n == 0) return;
+  count_.fetch_add(n, std::memory_order_relaxed);
+  sum_.fetch_add(other.sum_.load(std::memory_order_relaxed),
+                 std::memory_order_relaxed);
+  AtomicMin(min_, other.min_.load(std::memory_order_relaxed));
+  AtomicMax(max_, other.max_.load(std::memory_order_relaxed));
+}
+
+void Histogram::Reset() noexcept {
+  for (auto& c : counts_) c.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+  min_.store(~0ull, std::memory_order_relaxed);
+  max_.store(0, std::memory_order_relaxed);
+}
+
+// ---- Reservoir --------------------------------------------------------------
+
+Reservoir::Reservoir(std::size_t capacity)
+    : capacity_(std::max<std::size_t>(1, capacity)) {}
+
+void Reservoir::Record(double sample) {
+  ++recorded_;
+  if (samples_.size() < capacity_) {
+    samples_.push_back(sample);
+    return;
+  }
+  samples_[next_slot_] = sample;
+  next_slot_ = (next_slot_ + 1) % capacity_;
+}
+
+double Reservoir::Percentile(double p) const {
+  return ExactPercentile(samples_, p);
+}
+
+void Reservoir::Reset() {
+  samples_.clear();
+  next_slot_ = 0;
+  recorded_ = 0;
+}
+
+double ExactPercentile(std::vector<double> samples, double p) {
+  if (samples.empty()) return 0;
+  std::sort(samples.begin(), samples.end());
+  const double rank =
+      std::clamp(p, 0.0, 1.0) * static_cast<double>(samples.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, samples.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return samples[lo] * (1 - frac) + samples[hi] * frac;
+}
+
+} // namespace nexus::trace

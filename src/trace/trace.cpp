@@ -1,0 +1,575 @@
+#include "trace/trace.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <mutex>
+
+#include "common/clock.hpp"
+
+namespace nexus::trace {
+
+namespace {
+
+// ---- span buffers -----------------------------------------------------------
+
+/// Cap per thread: a runaway workload degrades to dropped spans (counted),
+/// never unbounded memory. 1M spans ~= 72 MiB worst case across a process.
+constexpr std::size_t kMaxSpansPerThread = 1u << 20;
+
+struct ThreadBuffer {
+  std::mutex mu; // uncontended except during Snapshot/Reset
+  std::vector<SpanRecord> records;
+  std::uint32_t thread_id = 0;
+};
+
+/// Owns every thread's buffer for the process lifetime. Buffers are never
+/// erased (threads hold raw pointers); Reset only clears their contents.
+struct Registry {
+  std::mutex mu;
+  std::vector<std::unique_ptr<ThreadBuffer>> buffers;
+  std::uint32_t next_thread_id = 1;
+};
+
+Registry& TheRegistry() {
+  static Registry registry;
+  return registry;
+}
+
+std::atomic<bool> g_enabled{false};
+std::atomic<std::uint64_t> g_completed{0};
+std::atomic<std::uint64_t> g_dropped{0};
+std::atomic<SimNowFn> g_sim_fn{nullptr};
+std::atomic<const void*> g_sim_ctx{nullptr};
+
+thread_local std::uint32_t t_depth = 0;
+
+ThreadBuffer& LocalBuffer() {
+  thread_local ThreadBuffer* buffer = [] {
+    Registry& registry = TheRegistry();
+    const std::lock_guard<std::mutex> lock(registry.mu);
+    registry.buffers.push_back(std::make_unique<ThreadBuffer>());
+    registry.buffers.back()->thread_id = registry.next_thread_id++;
+    return registry.buffers.back().get();
+  }();
+  return *buffer;
+}
+
+void AppendRecord(const SpanRecord& record) {
+  ThreadBuffer& buffer = LocalBuffer();
+  const std::lock_guard<std::mutex> lock(buffer.mu);
+  if (buffer.records.size() >= kMaxSpansPerThread) {
+    g_dropped.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  SpanRecord stamped = record;
+  stamped.thread_id = buffer.thread_id;
+  buffer.records.push_back(stamped);
+  g_completed.fetch_add(1, std::memory_order_relaxed);
+}
+
+double SimNow() noexcept {
+  const SimNowFn fn = g_sim_fn.load(std::memory_order_acquire);
+  if (fn == nullptr) return 0;
+  return fn(g_sim_ctx.load(std::memory_order_acquire));
+}
+
+// ---- NEXUS_TRACE startup hook -----------------------------------------------
+
+void DumpAtExit();
+
+/// Constructed before main via the namespace-scope instance below; forces
+/// the registry into existence FIRST so its destructor runs after the
+/// atexit dump.
+struct EnvInit {
+  std::string path;
+  EnvInit() {
+    (void)TheRegistry();
+    const char* env = std::getenv("NEXUS_TRACE");
+    if (env != nullptr && env[0] != '\0') {
+      path = env;
+      g_enabled.store(true, std::memory_order_relaxed);
+      std::atexit(DumpAtExit);
+    }
+  }
+};
+
+EnvInit& Env() {
+  static EnvInit env;
+  return env;
+}
+
+[[maybe_unused]] const EnvInit& g_env_init = Env();
+
+void DumpAtExit() {
+  const Status written = WriteChromeTrace(Env().path);
+  if (!written.ok()) {
+    std::fprintf(stderr, "NEXUS_TRACE: dump to %s failed: %s\n",
+                 Env().path.c_str(), written.ToString().c_str());
+  }
+}
+
+// ---- minimal JSON -----------------------------------------------------------
+
+void EscapeJson(std::string_view in, std::string& out) {
+  for (const char c : in) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+/// Tiny JSON DOM, enough to read back ChromeTraceJson output (and to
+/// validate externally supplied trace files in the CI checker). Depth is
+/// bounded; numbers are doubles.
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0;
+  std::string str;
+  std::vector<JsonValue> array;
+  std::vector<std::pair<std::string, JsonValue>> object;
+
+  [[nodiscard]] const JsonValue* Get(std::string_view key) const {
+    for (const auto& [k, v] : object) {
+      if (k == key) return &v;
+    }
+    return nullptr;
+  }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(std::string_view text) : text_(text) {}
+
+  Result<JsonValue> Parse() {
+    NEXUS_ASSIGN_OR_RETURN(JsonValue value, ParseValue(0));
+    SkipWs();
+    if (pos_ != text_.size()) {
+      return Error(ErrorCode::kInvalidArgument, "trailing JSON bytes");
+    }
+    return value;
+  }
+
+ private:
+  static constexpr int kMaxDepth = 32;
+
+  void SkipWs() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  bool Eat(char c) {
+    SkipWs();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Status Fail(const char* what) const {
+    return Error(ErrorCode::kInvalidArgument,
+                 std::string("bad JSON: ") + what + " at offset " +
+                     std::to_string(pos_));
+  }
+
+  Result<JsonValue> ParseValue(int depth) { // NOLINT(misc-no-recursion)
+    if (depth > kMaxDepth) return Fail("nesting too deep");
+    SkipWs();
+    if (pos_ >= text_.size()) return Fail("unexpected end");
+    const char c = text_[pos_];
+    if (c == '{') return ParseObject(depth);
+    if (c == '[') return ParseArray(depth);
+    if (c == '"') return ParseString();
+    if (c == 't' || c == 'f') return ParseBool();
+    if (c == 'n') return ParseNull();
+    return ParseNumber();
+  }
+
+  Result<JsonValue> ParseObject(int depth) { // NOLINT(misc-no-recursion)
+    JsonValue out;
+    out.kind = JsonValue::Kind::kObject;
+    if (!Eat('{')) return Fail("expected '{'");
+    if (Eat('}')) return out;
+    for (;;) {
+      NEXUS_ASSIGN_OR_RETURN(JsonValue key, ParseString());
+      if (!Eat(':')) return Fail("expected ':'");
+      NEXUS_ASSIGN_OR_RETURN(JsonValue value, ParseValue(depth + 1));
+      out.object.emplace_back(std::move(key.str), std::move(value));
+      if (Eat(',')) continue;
+      if (Eat('}')) return out;
+      return Fail("expected ',' or '}'");
+    }
+  }
+
+  Result<JsonValue> ParseArray(int depth) { // NOLINT(misc-no-recursion)
+    JsonValue out;
+    out.kind = JsonValue::Kind::kArray;
+    if (!Eat('[')) return Fail("expected '['");
+    if (Eat(']')) return out;
+    for (;;) {
+      NEXUS_ASSIGN_OR_RETURN(JsonValue value, ParseValue(depth + 1));
+      out.array.push_back(std::move(value));
+      if (Eat(',')) continue;
+      if (Eat(']')) return out;
+      return Fail("expected ',' or ']'");
+    }
+  }
+
+  Result<JsonValue> ParseString() {
+    SkipWs();
+    if (pos_ >= text_.size() || text_[pos_] != '"') {
+      return Fail("expected string");
+    }
+    ++pos_;
+    JsonValue out;
+    out.kind = JsonValue::Kind::kString;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        out.str += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) return Fail("dangling escape");
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out.str += '"'; break;
+        case '\\': out.str += '\\'; break;
+        case '/': out.str += '/'; break;
+        case 'n': out.str += '\n'; break;
+        case 't': out.str += '\t'; break;
+        case 'r': out.str += '\r'; break;
+        case 'b': out.str += '\b'; break;
+        case 'f': out.str += '\f'; break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) return Fail("truncated \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+            else return Fail("bad \\u escape");
+          }
+          // ASCII only — sufficient for span names; others pass through
+          // as '?' rather than growing a full UTF-16 decoder here.
+          out.str += code < 0x80 ? static_cast<char>(code) : '?';
+          break;
+        }
+        default:
+          return Fail("unknown escape");
+      }
+    }
+    return Fail("unterminated string");
+  }
+
+  Result<JsonValue> ParseBool() {
+    JsonValue out;
+    out.kind = JsonValue::Kind::kBool;
+    if (text_.substr(pos_, 4) == "true") {
+      pos_ += 4;
+      out.boolean = true;
+      return out;
+    }
+    if (text_.substr(pos_, 5) == "false") {
+      pos_ += 5;
+      return out;
+    }
+    return Fail("expected bool");
+  }
+
+  Result<JsonValue> ParseNull() {
+    if (text_.substr(pos_, 4) != "null") return Fail("expected null");
+    pos_ += 4;
+    return JsonValue{};
+  }
+
+  Result<JsonValue> ParseNumber() {
+    const std::size_t start = pos_;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if ((c >= '0' && c <= '9') || c == '-' || c == '+' || c == '.' ||
+          c == 'e' || c == 'E') {
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    if (pos_ == start) return Fail("expected number");
+    const std::string token(text_.substr(start, pos_ - start));
+    char* end = nullptr;
+    const double v = std::strtod(token.c_str(), &end);
+    if (end != token.c_str() + token.size()) return Fail("malformed number");
+    JsonValue out;
+    out.kind = JsonValue::Kind::kNumber;
+    out.number = v;
+    return out;
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+// ---- global histogram registry ----------------------------------------------
+
+struct HistRegistry {
+  std::mutex mu;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> map;
+};
+
+HistRegistry& Hists() {
+  static HistRegistry registry;
+  return registry;
+}
+
+} // namespace
+
+// ---- enable / sim source ----------------------------------------------------
+
+bool Enabled() noexcept { return g_enabled.load(std::memory_order_relaxed); }
+
+void SetEnabled(bool on) noexcept {
+  g_enabled.store(on, std::memory_order_relaxed);
+}
+
+void SetSimSource(SimNowFn fn, const void* ctx) noexcept {
+  g_sim_ctx.store(ctx, std::memory_order_release);
+  g_sim_fn.store(fn, std::memory_order_release);
+}
+
+void ClearSimSource(const void* ctx) noexcept {
+  if (g_sim_ctx.load(std::memory_order_acquire) == ctx) {
+    g_sim_fn.store(nullptr, std::memory_order_release);
+    g_sim_ctx.store(nullptr, std::memory_order_release);
+  }
+}
+
+// ---- spans ------------------------------------------------------------------
+
+Span::Span(const char* name, const char* category) noexcept
+    : name_(name), category_(category), active_(Enabled()) {
+  if (!active_) return;
+  ++t_depth;
+  start_ns_ = MonotonicNanos();
+  sim_start_ = SimNow();
+}
+
+Span::~Span() {
+  if (!active_) return;
+  SpanRecord record;
+  record.name = name_;
+  record.category = category_;
+  record.start_ns = start_ns_;
+  record.dur_ns = MonotonicNanos() - start_ns_;
+  record.sim_start_s = sim_start_;
+  record.sim_dur_s = SimNow() - sim_start_;
+  record.correlation = correlation_;
+  record.depth = --t_depth;
+  AppendRecord(record);
+}
+
+void CompleteSpan(const char* name, const char* category,
+                  std::uint64_t start_ns, std::uint64_t dur_ns,
+                  std::uint64_t correlation) {
+  if (!Enabled()) return;
+  SpanRecord record;
+  record.name = name;
+  record.category = category;
+  record.start_ns = start_ns;
+  record.dur_ns = dur_ns;
+  record.correlation = correlation;
+  record.depth = t_depth;
+  AppendRecord(record);
+}
+
+std::vector<SpanRecord> TraceSnapshot() {
+  std::vector<SpanRecord> out;
+  Registry& registry = TheRegistry();
+  const std::lock_guard<std::mutex> lock(registry.mu);
+  for (const auto& buffer : registry.buffers) {
+    const std::lock_guard<std::mutex> buffer_lock(buffer->mu);
+    out.insert(out.end(), buffer->records.begin(), buffer->records.end());
+  }
+  return out;
+}
+
+void ResetTrace() {
+  Registry& registry = TheRegistry();
+  const std::lock_guard<std::mutex> lock(registry.mu);
+  for (const auto& buffer : registry.buffers) {
+    const std::lock_guard<std::mutex> buffer_lock(buffer->mu);
+    buffer->records.clear();
+  }
+  g_completed.store(0, std::memory_order_relaxed);
+  g_dropped.store(0, std::memory_order_relaxed);
+}
+
+std::uint64_t CompletedSpanCount() noexcept {
+  return g_completed.load(std::memory_order_relaxed);
+}
+
+std::uint64_t DroppedSpanCount() noexcept {
+  return g_dropped.load(std::memory_order_relaxed);
+}
+
+// ---- Chrome trace-event JSON ------------------------------------------------
+
+std::string ChromeTraceJson() {
+  const std::vector<SpanRecord> spans = TraceSnapshot();
+  std::uint64_t t0 = ~0ull;
+  for (const SpanRecord& s : spans) t0 = std::min(t0, s.start_ns);
+  if (spans.empty()) t0 = 0;
+
+  std::string out = "{\"traceEvents\":[";
+  char buf[192];
+  bool first = true;
+  for (const SpanRecord& s : spans) {
+    if (!first) out += ',';
+    first = false;
+    out += "{\"name\":\"";
+    EscapeJson(s.name, out);
+    out += "\",\"cat\":\"";
+    EscapeJson(s.category, out);
+    out += "\",\"ph\":\"X\",\"pid\":1";
+    std::snprintf(buf, sizeof(buf),
+                  ",\"tid\":%u,\"ts\":%.3f,\"dur\":%.3f", s.thread_id,
+                  static_cast<double>(s.start_ns - t0) * 1e-3,
+                  static_cast<double>(s.dur_ns) * 1e-3);
+    out += buf;
+    std::snprintf(buf, sizeof(buf),
+                  ",\"args\":{\"sim_ts_us\":%.6f,\"sim_dur_us\":%.6f,"
+                  "\"corr\":%llu,\"depth\":%u}}",
+                  s.sim_start_s * 1e6, s.sim_dur_s * 1e6,
+                  static_cast<unsigned long long>(s.correlation), s.depth);
+    out += buf;
+  }
+  out += "],\"displayTimeUnit\":\"ms\"}";
+  return out;
+}
+
+Status WriteChromeTrace(const std::string& path) {
+  const std::string json = ChromeTraceJson();
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return Error(ErrorCode::kIOError, "cannot open trace file: " + path);
+  }
+  const std::size_t written = std::fwrite(json.data(), 1, json.size(), f);
+  const int closed = std::fclose(f);
+  if (written != json.size() || closed != 0) {
+    return Error(ErrorCode::kIOError, "short write to trace file: " + path);
+  }
+  return Status::Ok();
+}
+
+Result<std::vector<ParsedSpan>> ParseChromeTrace(std::string_view json) {
+  JsonParser parser(json);
+  NEXUS_ASSIGN_OR_RETURN(JsonValue root, parser.Parse());
+  if (root.kind != JsonValue::Kind::kObject) {
+    return Error(ErrorCode::kInvalidArgument, "trace root is not an object");
+  }
+  const JsonValue* events = root.Get("traceEvents");
+  if (events == nullptr || events->kind != JsonValue::Kind::kArray) {
+    return Error(ErrorCode::kInvalidArgument, "missing traceEvents array");
+  }
+  std::vector<ParsedSpan> out;
+  out.reserve(events->array.size());
+  for (const JsonValue& event : events->array) {
+    if (event.kind != JsonValue::Kind::kObject) {
+      return Error(ErrorCode::kInvalidArgument, "trace event is not an object");
+    }
+    const JsonValue* ph = event.Get("ph");
+    if (ph != nullptr && ph->str != "X") continue; // tolerate metadata events
+    ParsedSpan span;
+    const JsonValue* name = event.Get("name");
+    const JsonValue* cat = event.Get("cat");
+    const JsonValue* ts = event.Get("ts");
+    const JsonValue* dur = event.Get("dur");
+    const JsonValue* tid = event.Get("tid");
+    if (name == nullptr || name->kind != JsonValue::Kind::kString ||
+        ts == nullptr || ts->kind != JsonValue::Kind::kNumber ||
+        dur == nullptr || dur->kind != JsonValue::Kind::kNumber) {
+      return Error(ErrorCode::kInvalidArgument,
+                   "trace event missing name/ts/dur");
+    }
+    span.name = name->str;
+    if (cat != nullptr) span.category = cat->str;
+    span.ts_us = ts->number;
+    span.dur_us = dur->number;
+    if (tid != nullptr) span.thread_id = static_cast<std::uint32_t>(tid->number);
+    if (const JsonValue* args = event.Get("args");
+        args != nullptr && args->kind == JsonValue::Kind::kObject) {
+      if (const JsonValue* v = args->Get("sim_ts_us")) span.sim_ts_us = v->number;
+      if (const JsonValue* v = args->Get("sim_dur_us")) span.sim_dur_us = v->number;
+      if (const JsonValue* v = args->Get("corr")) {
+        span.correlation = static_cast<std::uint64_t>(v->number);
+      }
+      if (const JsonValue* v = args->Get("depth")) {
+        span.depth = static_cast<std::uint32_t>(v->number);
+      }
+    }
+    out.push_back(std::move(span));
+  }
+  return out;
+}
+
+// ---- named global histograms ------------------------------------------------
+
+Histogram& GlobalHistogram(std::string_view name) {
+  HistRegistry& registry = Hists();
+  const std::lock_guard<std::mutex> lock(registry.mu);
+  const auto it = registry.map.find(name);
+  if (it != registry.map.end()) return *it->second;
+  auto [inserted, _] =
+      registry.map.emplace(std::string(name), std::make_unique<Histogram>());
+  return *inserted->second;
+}
+
+void ResetGlobalHistograms() {
+  HistRegistry& registry = Hists();
+  const std::lock_guard<std::mutex> lock(registry.mu);
+  for (const auto& [name, hist] : registry.map) hist->Reset();
+}
+
+HistogramSummary Summarize(std::string_view name, const Histogram& hist) {
+  HistogramSummary out;
+  out.name = std::string(name);
+  out.count = hist.Count();
+  out.p50_ms = hist.PercentileMs(0.50);
+  out.p99_ms = hist.PercentileMs(0.99);
+  return out;
+}
+
+std::vector<HistogramSummary> GlobalHistogramSummaries() {
+  HistRegistry& registry = Hists();
+  const std::lock_guard<std::mutex> lock(registry.mu);
+  std::vector<HistogramSummary> out;
+  out.reserve(registry.map.size());
+  for (const auto& [name, hist] : registry.map) {
+    out.push_back(Summarize(name, *hist));
+  }
+  return out;
+}
+
+} // namespace nexus::trace

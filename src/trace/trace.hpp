@@ -1,0 +1,139 @@
+// Low-overhead structured tracing (DESIGN.md §7).
+//
+// A span is one timed region on one thread, stamped with BOTH clock
+// domains the evaluation uses: the real monotonic clock (enclave compute,
+// network RPCs) and the virtual SimClock (simulated storage I/O). Spans
+// nest: the per-thread depth counter records how deep each span sat, so a
+// consumer can rebuild the ecall -> ocall -> storage timeline.
+//
+// Recording is designed to cost nothing when disabled (one relaxed atomic
+// load, no TLS touch, no allocation — asserted by tests/trace_test.cpp)
+// and little when enabled: completed spans append to a per-thread buffer
+// behind an uncontended mutex. Buffers are owned by a process-wide
+// registry and never deallocated mid-run, so thread-local pointers stay
+// valid for the thread's lifetime.
+//
+// Enabling:
+//  * NEXUS_TRACE=<path> in the environment enables tracing at startup and
+//    dumps Chrome trace-event JSON to <path> at exit (open it in
+//    chrome://tracing or Perfetto), or
+//  * SetEnabled(true) + TraceSnapshot() / ChromeTraceJson() in-process.
+//
+// Span names are expected to be string literals (the tracer stores the
+// pointers, not copies).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.hpp"
+#include "trace/histogram.hpp"
+
+namespace nexus::trace {
+
+struct SpanRecord {
+  const char* name = "";
+  const char* category = "";
+  std::uint64_t start_ns = 0; // MonotonicNanos at open
+  std::uint64_t dur_ns = 0;
+  double sim_start_s = 0; // SimClock at open (0 when no source registered)
+  double sim_dur_s = 0;   // virtual time that elapsed inside the span
+  std::uint64_t correlation = 0; // wire correlation id; 0 = none
+  std::uint32_t thread_id = 0;   // small per-process id, 1-based
+  std::uint32_t depth = 0;       // enclosing live spans on this thread
+};
+
+[[nodiscard]] bool Enabled() noexcept;
+void SetEnabled(bool on) noexcept;
+
+/// Virtual-clock source for sim timestamps. Registered by the storage
+/// layer (AfsServer) for its SimClock; the tracer itself depends only on
+/// common/. Not safe to swap while spans are concurrently opening — in
+/// practice registration happens at deployment construction.
+using SimNowFn = double (*)(const void* ctx);
+void SetSimSource(SimNowFn fn, const void* ctx) noexcept;
+/// Unregisters iff `ctx` is the current source (destructor discipline).
+void ClearSimSource(const void* ctx) noexcept;
+
+/// RAII span guard. When tracing is disabled, construction and destruction
+/// are a single atomic load each — no buffer, no allocation.
+class Span {
+ public:
+  Span(const char* name, const char* category) noexcept;
+  ~Span();
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  /// Tags the span with a wire correlation id (client/server matching).
+  void SetCorrelation(std::uint64_t id) noexcept { correlation_ = id; }
+
+ private:
+  const char* name_;
+  const char* category_;
+  std::uint64_t start_ns_ = 0;
+  double sim_start_ = 0;
+  std::uint64_t correlation_ = 0;
+  bool active_ = false;
+};
+
+/// Records an already-timed region (e.g. a parallel crypto batch whose
+/// wall time was measured externally). `start_ns` is MonotonicNanos.
+void CompleteSpan(const char* name, const char* category,
+                  std::uint64_t start_ns, std::uint64_t dur_ns,
+                  std::uint64_t correlation = 0);
+
+/// Copy of every completed span across all threads, in per-thread order.
+[[nodiscard]] std::vector<SpanRecord> TraceSnapshot();
+/// Drops all buffered spans and zeroes the completed/dropped counters.
+void ResetTrace();
+/// Spans appended since process start / last ResetTrace.
+[[nodiscard]] std::uint64_t CompletedSpanCount() noexcept;
+/// Spans discarded because a thread buffer hit its cap.
+[[nodiscard]] std::uint64_t DroppedSpanCount() noexcept;
+
+// ---- Chrome trace-event JSON ------------------------------------------------
+
+/// Serializes the current snapshot as Chrome trace-event JSON ("X" phase
+/// events; ts/dur in microseconds relative to the earliest span; sim-clock
+/// stamps, correlation and depth in args).
+[[nodiscard]] std::string ChromeTraceJson();
+Status WriteChromeTrace(const std::string& path);
+
+struct ParsedSpan {
+  std::string name;
+  std::string category;
+  double ts_us = 0;
+  double dur_us = 0;
+  double sim_ts_us = 0;
+  double sim_dur_us = 0;
+  std::uint64_t correlation = 0;
+  std::uint32_t thread_id = 0;
+  std::uint32_t depth = 0;
+};
+
+/// Parses ChromeTraceJson output back (round-trip tests, the CI trace
+/// checker). Bounds-checked; rejects structurally invalid JSON.
+Result<std::vector<ParsedSpan>> ParseChromeTrace(std::string_view json);
+
+// ---- named global histograms ------------------------------------------------
+
+/// Process-wide histogram registry ("ecall", "journal.commit", ...). The
+/// returned reference is valid for the process lifetime; Reset zeroes
+/// contents but never invalidates references.
+Histogram& GlobalHistogram(std::string_view name);
+void ResetGlobalHistograms();
+
+struct HistogramSummary {
+  std::string name;
+  std::uint64_t count = 0;
+  double p50_ms = 0;
+  double p99_ms = 0;
+};
+[[nodiscard]] HistogramSummary Summarize(std::string_view name,
+                                         const Histogram& hist);
+[[nodiscard]] std::vector<HistogramSummary> GlobalHistogramSummaries();
+
+} // namespace nexus::trace

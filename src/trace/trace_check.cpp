@@ -1,0 +1,54 @@
+// CI trace checker: validates a Chrome trace-event JSON file emitted via
+// NEXUS_TRACE. Exits 0 iff the file parses, contains at least one span,
+// and every span is structurally sane (nonempty name, nonnegative times).
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+
+#include "trace/trace.hpp"
+
+int main(int argc, char** argv) {
+  if (argc != 2) {
+    std::fprintf(stderr, "usage: trace_check <trace.json>\n");
+    return 2;
+  }
+  std::ifstream in(argv[1], std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "trace_check: cannot open %s\n", argv[1]);
+    return 1;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const std::string json = buf.str();
+
+  const auto parsed = nexus::trace::ParseChromeTrace(json);
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "trace_check: %s\n",
+                 parsed.status().ToString().c_str());
+    return 1;
+  }
+  if (parsed->empty()) {
+    std::fprintf(stderr, "trace_check: no spans in %s\n", argv[1]);
+    return 1;
+  }
+  std::map<std::string, std::size_t> per_category;
+  for (const nexus::trace::ParsedSpan& span : *parsed) {
+    if (span.name.empty()) {
+      std::fprintf(stderr, "trace_check: span with empty name\n");
+      return 1;
+    }
+    if (span.ts_us < 0 || span.dur_us < 0 || span.sim_dur_us < 0) {
+      std::fprintf(stderr, "trace_check: span '%s' has negative time\n",
+                   span.name.c_str());
+      return 1;
+    }
+    ++per_category[span.category];
+  }
+  std::printf("trace_check: %zu spans OK in %s\n", parsed->size(), argv[1]);
+  for (const auto& [category, count] : per_category) {
+    std::printf("  %-12s %zu\n", category.c_str(), count);
+  }
+  return 0;
+}

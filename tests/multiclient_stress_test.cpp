@@ -10,6 +10,7 @@
 #include <map>
 
 #include "test_env.hpp"
+#include "trace/trace.hpp"
 
 namespace nexus {
 namespace {
@@ -137,6 +138,84 @@ TEST_F(StressTest, InterleavedClientsConverge) {
   ASSERT_TRUE(
       cold.Mount(owen_->user, handle_.volume_uuid, handle_.sealed_rootkey).ok());
   EXPECT_EQ(Snapshot(cold), model_);
+}
+
+// Soak with tracing enabled: the observability layer must never disturb
+// correctness, every ProfileSnapshot counter must be monotone across
+// rounds (gauges exempt), and the snapshot delta semantics are pinned.
+TEST_F(StressTest, TracedSoakKeepsProfileCountersMonotone) {
+  struct TracingGuard {
+    TracingGuard() {
+      trace::SetEnabled(true);
+      trace::ResetTrace();
+      trace::ResetGlobalHistograms();
+    }
+    ~TracingGuard() {
+      trace::SetEnabled(false);
+      trace::ResetTrace();
+      trace::ResetGlobalHistograms();
+    }
+  } tracing;
+
+  auto prev = owen_->nexus->Profile();
+  for (int round = 0; round < 4; ++round) {
+    RandomOps(60);
+    const auto cur = owen_->nexus->Profile();
+
+    // Counters only ever grow.
+    EXPECT_GE(cur.io_seconds, prev.io_seconds) << round;
+    EXPECT_GE(cur.enclave_seconds, prev.enclave_seconds) << round;
+    EXPECT_GE(cur.metadata_io_seconds, prev.metadata_io_seconds) << round;
+    EXPECT_GE(cur.data_io_seconds, prev.data_io_seconds) << round;
+    EXPECT_GE(cur.journal_io_seconds, prev.journal_io_seconds) << round;
+    EXPECT_GE(cur.journal.records_committed, prev.journal.records_committed);
+    EXPECT_GE(cur.journal.ops_committed, prev.journal.ops_committed);
+    EXPECT_GE(cur.journal.checkpoints, prev.journal.checkpoints);
+    EXPECT_GE(cur.parallel.chunks_encrypted, prev.parallel.chunks_encrypted);
+    EXPECT_GE(cur.parallel.chunks_decrypted, prev.parallel.chunks_decrypted);
+    EXPECT_GE(cur.parallel.parallel_batches, prev.parallel.parallel_batches);
+    EXPECT_GE(cur.parallel.worker_busy_seconds,
+              prev.parallel.worker_busy_seconds);
+    EXPECT_GE(cur.net.rpcs, prev.net.rpcs);
+    EXPECT_GE(cur.net.retries, prev.net.retries);
+    EXPECT_GE(cur.ecall_latency.count, prev.ecall_latency.count);
+    EXPECT_GE(cur.journal_commit_latency.count,
+              prev.journal_commit_latency.count);
+    EXPECT_GE(cur.trace_spans, prev.trace_spans);
+    EXPECT_GT(cur.ecall_latency.count, prev.ecall_latency.count) << round;
+    EXPECT_GT(cur.trace_spans, prev.trace_spans) << round;
+
+    // Delta semantics: counters subtract, gauges keep the later sample.
+    const auto delta = cur - prev;
+    EXPECT_EQ(delta.ecall_latency.count,
+              cur.ecall_latency.count - prev.ecall_latency.count);
+    EXPECT_EQ(delta.ecall_latency.p50_ms, cur.ecall_latency.p50_ms);
+    EXPECT_EQ(delta.ecall_latency.p99_ms, cur.ecall_latency.p99_ms);
+    EXPECT_EQ(delta.journal_commit_latency.p50_ms,
+              cur.journal_commit_latency.p50_ms);
+    EXPECT_EQ(delta.parallel.peak_queue_depth, cur.parallel.peak_queue_depth);
+    EXPECT_EQ(delta.net.rpc_p50_ms, cur.net.rpc_p50_ms);
+    EXPECT_EQ(delta.net.rpc_p99_ms, cur.net.rpc_p99_ms);
+    EXPECT_EQ(delta.trace_spans, cur.trace_spans - prev.trace_spans);
+
+    prev = cur;
+  }
+
+  // The tracer agrees with the profiler: the snapshot field mirrors the
+  // span counter, and ecall spans match the ecall histogram one-to-one
+  // (both clients record into the same process-wide registry).
+  EXPECT_EQ(prev.trace_spans, trace::CompletedSpanCount());
+  const auto spans = trace::TraceSnapshot();
+  std::uint64_t ecall_spans = 0;
+  for (const auto& s : spans) {
+    if (std::string_view(s.category) == "ecall") ++ecall_spans;
+  }
+  EXPECT_EQ(ecall_spans, trace::GlobalHistogram("ecall").Count());
+  EXPECT_EQ(trace::DroppedSpanCount(), 0u);
+
+  // And tracing never disturbed convergence.
+  EXPECT_EQ(Snapshot(*owen_->nexus), model_);
+  EXPECT_EQ(Snapshot(*alice_->nexus), model_);
 }
 
 TEST_F(StressTest, ConvergesUnderTinyCaches) {

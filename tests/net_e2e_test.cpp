@@ -7,9 +7,23 @@
 #include "net/remote_backend.hpp"
 #include "net/server.hpp"
 #include "test_env.hpp"
+#include "trace/trace.hpp"
 
 namespace nexus {
 namespace {
+
+/// Enables tracing for one test and cleans up even on assertion failure.
+class ScopedTracing {
+ public:
+  ScopedTracing() {
+    trace::SetEnabled(true);
+    trace::ResetTrace();
+  }
+  ~ScopedTracing() {
+    trace::SetEnabled(false);
+    trace::ResetTrace();
+  }
+};
 
 class NetE2eTest : public ::testing::Test {
  protected:
@@ -21,6 +35,7 @@ class NetE2eTest : public ::testing::Test {
 
     auto remote = net::RemoteBackend::Connect("127.0.0.1", server_->port());
     ASSERT_TRUE(remote.ok()) << remote.status().ToString();
+    remote_ = remote.value().get(); // observed below; owned by the World
     world_ = std::make_unique<test::World>("net-e2e", std::move(remote).value());
 
     machine_ = &world_->AddMachine("owen");
@@ -38,6 +53,7 @@ class NetE2eTest : public ::testing::Test {
 
   storage::MemBackend store_; // nexusd's actual object store
   std::unique_ptr<net::NexusdServer> server_;
+  net::RemoteBackend* remote_ = nullptr; // the World's storage backend
   std::unique_ptr<test::World> world_;
   test::Machine* machine_ = nullptr;
   core::NexusClient::VolumeHandle handle_;
@@ -105,6 +121,83 @@ TEST_F(NetE2eTest, JournalRecoveryAcrossSessionsOverTheWire) {
   EXPECT_GE(profile.journal.records_replayed, 1u);
   EXPECT_EQ(second.ReadFile("d/replayed").value(), Bytes(32, 9));
   ASSERT_TRUE(second.Unmount().ok());
+}
+
+TEST_F(NetE2eTest, StatsRpcAgreesWithClientCounters) {
+  ASSERT_TRUE(fs().WriteFile("stats-probe", Bytes(8192, 1)).ok());
+  ASSERT_TRUE(fs().ReadFile("stats-probe").ok());
+
+  // All traffic on this daemon came from this one backend, the loopback is
+  // clean (no retries), and the server increments its counters before each
+  // response leaves — so at rest the two sides agree exactly. The Stats
+  // payload is built before the stats exchange itself is counted.
+  const net::NetCounters client = remote_->counters();
+  auto stats = remote_->Stats();
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  const net::ServerStats& s = stats.value();
+
+  EXPECT_EQ(s.rpcs_served, client.rpcs);
+  EXPECT_EQ(s.bytes_received, client.bytes_sent);
+  EXPECT_EQ(s.bytes_sent, client.bytes_received);
+  EXPECT_GE(s.connections_accepted, 1u);
+  EXPECT_GE(s.active_connections, 1u); // our pooled connection is live
+  EXPECT_EQ(s.open_streams, 0u);       // nothing in flight at rest
+  EXPECT_EQ(s.protocol_errors, 0u);
+
+  // The per-op table partitions the totals and carries sane latency rows.
+  std::uint64_t per_op_total = 0;
+  for (const auto& row : s.per_op) {
+    EXPECT_GT(row.count, 0u) << unsigned{row.rpc};
+    EXPECT_GE(row.p99_ms, row.p50_ms) << unsigned{row.rpc};
+    EXPECT_GE(row.p50_ms, 0.0);
+    per_op_total += row.count;
+  }
+  EXPECT_EQ(per_op_total, s.rpcs_served);
+
+  // A second snapshot counts the first Stats exchange.
+  auto again = remote_->Stats();
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(again.value().rpcs_served, s.rpcs_served + 1);
+}
+
+TEST_F(NetE2eTest, ClientAndServerSpansShareCorrelationIds) {
+  ScopedTracing tracing;
+  ASSERT_TRUE(fs().WriteFile("traced", Bytes(4096, 2)).ok());
+  machine_->afs->FlushCache();
+  ASSERT_TRUE(fs().ReadFile("traced").ok());
+
+  // Quiesce both sides so every span (client and server, all worker
+  // threads) is flushed before the snapshot.
+  world_.reset();
+  server_->Stop();
+  server_.reset();
+
+  const auto spans = trace::TraceSnapshot();
+  std::vector<const trace::SpanRecord*> client_spans;
+  std::vector<const trace::SpanRecord*> server_spans;
+  for (const auto& s : spans) {
+    if (std::string_view(s.category) == "net.client") client_spans.push_back(&s);
+    if (std::string_view(s.category) == "net.server") server_spans.push_back(&s);
+  }
+  ASSERT_FALSE(client_spans.empty());
+  ASSERT_FALSE(server_spans.empty());
+
+  // Every client RPC span carries a correlation id, and the server span
+  // that served it carries the same id (same process here, so both sides
+  // land in one trace).
+  for (const auto* c : client_spans) {
+    EXPECT_NE(c->correlation, 0u) << c->name;
+    bool matched = false;
+    for (const auto* s : server_spans) {
+      if (s->correlation == c->correlation) {
+        matched = true;
+        // Matched spans describe the same RPC.
+        EXPECT_STREQ(s->name, c->name);
+        break;
+      }
+    }
+    EXPECT_TRUE(matched) << c->name << " corr=" << c->correlation;
+  }
 }
 
 TEST_F(NetE2eTest, RemountSeesDataWrittenThroughTheDaemon) {

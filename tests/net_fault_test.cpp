@@ -215,6 +215,27 @@ TEST(NetFault, StreamedPutSurvivesFaultsOrFailsWithoutPartialObject) {
   EXPECT_GT(scenario.fault_stats().injected(), 0u);
 }
 
+// The Stats RPC rides the same retry machinery as storage RPCs: with
+// responses being dropped it still completes within the retry budget and
+// reports a coherent snapshot.
+TEST(NetFault, StatsRpcRetriesThroughDroppedResponses) {
+  FaultSpec spec;
+  spec.drop_response = 0.5;
+  FaultScenario scenario(spec, 31337, /*max_attempts=*/10);
+
+  ASSERT_TRUE(scenario.remote().Put("a", Bytes{1}).ok());
+  auto stats = scenario.remote().Stats();
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  // The server applied (and counted) every attempt that reached it — at
+  // minimum the successful Put.
+  EXPECT_GE(stats.value().rpcs_served, 1u);
+  EXPECT_GE(stats.value().connections_accepted, 1u);
+  std::uint64_t per_op_total = 0;
+  for (const auto& row : stats.value().per_op) per_op_total += row.count;
+  EXPECT_EQ(per_op_total, stats.value().rpcs_served);
+  EXPECT_GT(scenario.fault_stats().dropped_responses, 0u);
+}
+
 // Identical seeds replay identical schedules: fault tallies, retry
 // counters and backoff sequences all match between two runs.
 TEST(NetFault, FixedSeedReplaysExactSchedule) {

@@ -1,0 +1,298 @@
+// Deterministic unit tests for the observability-layer latency
+// distributions: the log2-bucket Histogram (lock-free, mergeable) and the
+// exact-percentile Reservoir it replaced on cold paths.
+#include "trace/histogram.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+namespace nexus::trace {
+namespace {
+
+// ---- bucket geometry --------------------------------------------------------
+
+TEST(HistogramBuckets, ZeroHasItsOwnBucket) {
+  EXPECT_EQ(Histogram::BucketIndex(0), 0u);
+  EXPECT_EQ(Histogram::BucketLo(0), 0u);
+  EXPECT_EQ(Histogram::BucketHi(0), 1u); // exclusive upper bound: [0, 1)
+}
+
+TEST(HistogramBuckets, PowersOfTwoLandOnBucketBoundaries) {
+  // Bucket i >= 1 holds [2^(i-1), 2^i).
+  EXPECT_EQ(Histogram::BucketIndex(1), 1u);
+  EXPECT_EQ(Histogram::BucketIndex(2), 2u);
+  EXPECT_EQ(Histogram::BucketIndex(3), 2u);
+  EXPECT_EQ(Histogram::BucketIndex(4), 3u);
+  EXPECT_EQ(Histogram::BucketIndex(1024), 11u);
+  EXPECT_EQ(Histogram::BucketIndex(1025), 11u);
+  EXPECT_EQ(Histogram::BucketIndex(2047), 11u);
+  EXPECT_EQ(Histogram::BucketIndex(2048), 12u);
+}
+
+TEST(HistogramBuckets, EverySampleFallsInsideItsBucketRange) {
+  for (std::uint64_t v : {0ull, 1ull, 7ull, 100ull, 999ull, 123456789ull,
+                          ~0ull >> 1, ~0ull}) {
+    const std::size_t b = Histogram::BucketIndex(v);
+    EXPECT_GE(v, Histogram::BucketLo(b)) << "value " << v;
+    EXPECT_LE(v, Histogram::BucketHi(b)) << "value " << v;
+  }
+}
+
+// ---- recording and summary stats --------------------------------------------
+
+TEST(Histogram, EmptyHistogramIsAllZeros) {
+  Histogram h;
+  EXPECT_EQ(h.Count(), 0u);
+  EXPECT_EQ(h.SumNs(), 0u);
+  EXPECT_EQ(h.MinNs(), 0u);
+  EXPECT_EQ(h.MaxNs(), 0u);
+  EXPECT_EQ(h.MeanNs(), 0.0);
+  EXPECT_EQ(h.PercentileNs(0.5), 0.0);
+  EXPECT_EQ(h.PercentileNs(0.99), 0.0);
+}
+
+TEST(Histogram, SingleSampleIsExactAtEveryPercentile) {
+  Histogram h;
+  h.Record(12345);
+  EXPECT_EQ(h.Count(), 1u);
+  EXPECT_EQ(h.MinNs(), 12345u);
+  EXPECT_EQ(h.MaxNs(), 12345u);
+  for (double p : {0.0, 0.01, 0.5, 0.99, 1.0}) {
+    EXPECT_DOUBLE_EQ(h.PercentileNs(p), 12345.0) << "p=" << p;
+  }
+}
+
+TEST(Histogram, AllEqualSamplesAreExactViaMinMaxClamp) {
+  // 1000 copies of one value: interpolation within the bucket is clamped
+  // to the observed [min, max], so the result is exact.
+  Histogram h;
+  for (int i = 0; i < 1000; ++i) h.Record(777777);
+  EXPECT_EQ(h.Count(), 1000u);
+  EXPECT_DOUBLE_EQ(h.PercentileNs(0.5), 777777.0);
+  EXPECT_DOUBLE_EQ(h.PercentileNs(0.99), 777777.0);
+}
+
+TEST(Histogram, MixedSamplesBoundedByOneBucket) {
+  // Log2 buckets guarantee the percentile estimate lies within the
+  // sample's bucket — at worst a factor of two off the true value.
+  Histogram h;
+  std::vector<std::uint64_t> samples;
+  for (std::uint64_t v = 1; v <= 1000; ++v) {
+    h.Record(v * 1000); // 1us .. 1ms
+    samples.push_back(v * 1000);
+  }
+  for (double p : {0.5, 0.9, 0.99}) {
+    const double exact =
+        static_cast<double>(samples[static_cast<std::size_t>(
+            p * static_cast<double>(samples.size() - 1))]);
+    const double est = h.PercentileNs(p);
+    EXPECT_GE(est, exact / 2.0) << "p=" << p;
+    EXPECT_LE(est, exact * 2.0) << "p=" << p;
+  }
+}
+
+TEST(Histogram, PercentileNeverLeavesObservedRange) {
+  Histogram h;
+  h.Record(100);
+  h.Record(1000000);
+  for (double p : {0.0, 0.25, 0.5, 0.75, 1.0}) {
+    EXPECT_GE(h.PercentileNs(p), 100.0);
+    EXPECT_LE(h.PercentileNs(p), 1000000.0);
+  }
+}
+
+TEST(Histogram, SumAndMeanTrackExactly) {
+  Histogram h;
+  h.Record(10);
+  h.Record(20);
+  h.Record(30);
+  EXPECT_EQ(h.SumNs(), 60u);
+  EXPECT_DOUBLE_EQ(h.MeanNs(), 20.0);
+}
+
+TEST(Histogram, UnitConversionsRoundTrip) {
+  Histogram h;
+  h.RecordMs(1.5); // 1.5ms = 1'500'000 ns
+  EXPECT_EQ(h.Count(), 1u);
+  EXPECT_EQ(h.MinNs(), 1500000u);
+  EXPECT_DOUBLE_EQ(h.PercentileMs(0.5), 1.5);
+
+  Histogram s;
+  s.RecordSeconds(0.25); // 250ms
+  EXPECT_EQ(s.MinNs(), 250000000u);
+  EXPECT_DOUBLE_EQ(s.PercentileMs(0.5), 250.0);
+}
+
+TEST(Histogram, NegativeDurationsClampToZero) {
+  Histogram h;
+  h.RecordSeconds(-1.0);
+  h.RecordMs(-5.0);
+  EXPECT_EQ(h.Count(), 2u);
+  EXPECT_EQ(h.MaxNs(), 0u);
+}
+
+TEST(Histogram, ResetClearsEverything) {
+  Histogram h;
+  h.Record(1);
+  h.Record(1u << 20);
+  h.Reset();
+  EXPECT_EQ(h.Count(), 0u);
+  EXPECT_EQ(h.SumNs(), 0u);
+  EXPECT_EQ(h.MinNs(), 0u);
+  EXPECT_EQ(h.MaxNs(), 0u);
+  EXPECT_EQ(h.PercentileNs(0.99), 0.0);
+  // And it keeps working after the reset.
+  h.Record(42);
+  EXPECT_EQ(h.Count(), 1u);
+  EXPECT_DOUBLE_EQ(h.PercentileNs(0.5), 42.0);
+}
+
+// ---- merge ------------------------------------------------------------------
+
+void Expect_same_distribution(const Histogram& a, const Histogram& b) {
+  EXPECT_EQ(a.Count(), b.Count());
+  EXPECT_EQ(a.SumNs(), b.SumNs());
+  EXPECT_EQ(a.MinNs(), b.MinNs());
+  EXPECT_EQ(a.MaxNs(), b.MaxNs());
+  for (double p : {0.1, 0.5, 0.9, 0.99}) {
+    EXPECT_DOUBLE_EQ(a.PercentileNs(p), b.PercentileNs(p)) << "p=" << p;
+  }
+}
+
+TEST(Histogram, MergeEqualsRecordingIntoOne) {
+  Histogram shard_a;
+  Histogram shard_b;
+  Histogram combined;
+  for (std::uint64_t v = 1; v <= 500; ++v) {
+    shard_a.Record(v * 17);
+    combined.Record(v * 17);
+  }
+  for (std::uint64_t v = 1; v <= 300; ++v) {
+    shard_b.Record(v * 9001);
+    combined.Record(v * 9001);
+  }
+  Histogram merged;
+  merged.MergeFrom(shard_a);
+  merged.MergeFrom(shard_b);
+  Expect_same_distribution(merged, combined);
+}
+
+TEST(Histogram, MergeIsAssociative) {
+  Histogram a;
+  Histogram b;
+  Histogram c;
+  for (std::uint64_t v = 1; v <= 100; ++v) a.Record(v);
+  for (std::uint64_t v = 1000; v <= 1100; ++v) b.Record(v);
+  for (std::uint64_t v = 1u << 20; v <= (1u << 20) + 50; ++v) c.Record(v);
+
+  // (a + b) + c
+  Histogram left;
+  left.MergeFrom(a);
+  left.MergeFrom(b);
+  left.MergeFrom(c);
+  // a + (b + c)
+  Histogram bc;
+  bc.MergeFrom(b);
+  bc.MergeFrom(c);
+  Histogram right;
+  right.MergeFrom(a);
+  right.MergeFrom(bc);
+
+  Expect_same_distribution(left, right);
+}
+
+TEST(Histogram, MergeFromEmptyIsIdentity) {
+  Histogram h;
+  h.Record(5);
+  h.Record(500);
+  Histogram empty;
+  h.MergeFrom(empty);
+  EXPECT_EQ(h.Count(), 2u);
+  EXPECT_EQ(h.MinNs(), 5u);
+  EXPECT_EQ(h.MaxNs(), 500u);
+}
+
+// ---- Reservoir --------------------------------------------------------------
+
+TEST(Reservoir, EmptyPercentileIsZero) {
+  Reservoir r;
+  EXPECT_EQ(r.size(), 0u);
+  EXPECT_EQ(r.Percentile(0.5), 0.0);
+}
+
+TEST(Reservoir, SingleSample) {
+  Reservoir r;
+  r.Record(3.5);
+  EXPECT_EQ(r.size(), 1u);
+  EXPECT_DOUBLE_EQ(r.Percentile(0.0), 3.5);
+  EXPECT_DOUBLE_EQ(r.Percentile(0.5), 3.5);
+  EXPECT_DOUBLE_EQ(r.Percentile(1.0), 3.5);
+}
+
+TEST(Reservoir, ExactPercentilesOnKnownSet) {
+  // 1..100: p50 at rank 0.5 * 99 = 49.5 -> 50.5; p99 at rank 98.01 -> 99.01.
+  Reservoir r;
+  for (int v = 1; v <= 100; ++v) r.Record(static_cast<double>(v));
+  EXPECT_DOUBLE_EQ(r.Percentile(0.5), 50.5);
+  EXPECT_NEAR(r.Percentile(0.99), 99.01, 1e-9);
+  EXPECT_DOUBLE_EQ(r.Percentile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(r.Percentile(1.0), 100.0);
+}
+
+TEST(Reservoir, OrderInsensitive) {
+  Reservoir fwd;
+  Reservoir rev;
+  for (int v = 1; v <= 100; ++v) fwd.Record(static_cast<double>(v));
+  for (int v = 100; v >= 1; --v) rev.Record(static_cast<double>(v));
+  EXPECT_DOUBLE_EQ(fwd.Percentile(0.5), rev.Percentile(0.5));
+  EXPECT_DOUBLE_EQ(fwd.Percentile(0.99), rev.Percentile(0.99));
+}
+
+TEST(Reservoir, WrapAroundOverwritesOldest) {
+  Reservoir r(4);
+  for (int v = 1; v <= 4; ++v) r.Record(static_cast<double>(v));
+  EXPECT_EQ(r.size(), 4u);
+  EXPECT_EQ(r.recorded(), 4u);
+  // Fifth sample overwrites slot 0 (the oldest retained).
+  r.Record(100.0);
+  EXPECT_EQ(r.size(), 4u);      // still full, not grown
+  EXPECT_EQ(r.recorded(), 5u);  // but all offers counted
+  // Retained set is now {100, 2, 3, 4}: max reflects the new sample.
+  EXPECT_DOUBLE_EQ(r.Percentile(1.0), 100.0);
+  EXPECT_DOUBLE_EQ(r.Percentile(0.0), 2.0);
+}
+
+TEST(Reservoir, FullWrapReplacesEntireWindow) {
+  Reservoir r(8);
+  for (int v = 0; v < 8; ++v) r.Record(1.0);
+  for (int v = 0; v < 8; ++v) r.Record(9.0); // full second lap
+  EXPECT_EQ(r.recorded(), 16u);
+  EXPECT_DOUBLE_EQ(r.Percentile(0.0), 9.0);
+  EXPECT_DOUBLE_EQ(r.Percentile(1.0), 9.0);
+}
+
+TEST(Reservoir, ResetEmptiesAndReuses) {
+  Reservoir r(4);
+  for (int v = 1; v <= 10; ++v) r.Record(static_cast<double>(v));
+  r.Reset();
+  EXPECT_EQ(r.size(), 0u);
+  EXPECT_EQ(r.recorded(), 0u);
+  r.Record(2.0);
+  EXPECT_DOUBLE_EQ(r.Percentile(0.5), 2.0);
+}
+
+TEST(ExactPercentileFn, MatchesReservoirConvention) {
+  std::vector<double> v{4.0, 1.0, 3.0, 2.0};
+  EXPECT_DOUBLE_EQ(ExactPercentile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(ExactPercentile(v, 0.5), 2.5); // rank 1.5
+  EXPECT_DOUBLE_EQ(ExactPercentile(v, 1.0), 4.0);
+  EXPECT_EQ(ExactPercentile({}, 0.5), 0.0);
+  // Out-of-range p clamps.
+  EXPECT_DOUBLE_EQ(ExactPercentile(v, -1.0), 1.0);
+  EXPECT_DOUBLE_EQ(ExactPercentile(v, 2.0), 4.0);
+}
+
+} // namespace
+} // namespace nexus::trace
