@@ -89,10 +89,32 @@ Result<enclave::RangeBlob> AfsMetadataStore::FetchDataRange(
     const Uuid& uuid, std::uint64_t offset, std::uint64_t len) {
   trace::Span io_span("io:fetch_data_range", kDataIoAccount);
   storage::SimClock::Attribution account(afs_.server().clock(), kDataIoAccount);
+  bool arm = false;
+  {
+    const std::lock_guard<std::mutex> lock(seq_mu_);
+    SeqState& state = seq_[uuid.ToString()];
+    if (offset == state.next_off && offset > 0) {
+      arm = ++state.streak >= 1;
+    } else {
+      state.streak = 0;
+    }
+    state.next_off = offset + len;
+  }
+  if (arm) PrefetchData(uuid, offset + len, len);
   NEXUS_ASSIGN_OR_RETURN(storage::AfsClient::RangeResult range,
                          afs_.FetchRange(DataPath(uuid), offset, len));
   return enclave::RangeBlob{std::move(range.data), range.object_size,
                             range.version};
+}
+
+void AfsMetadataStore::PrefetchData(const Uuid& uuid, std::uint64_t offset,
+                                    std::uint64_t len) {
+  // Hints are free on the virtual clock — no Attribution scope. The span
+  // still records them so traces show where readahead was armed.
+  (void)offset;
+  (void)len;
+  trace::Span io_span("io:prefetch_data", kDataIoAccount);
+  afs_.Prefetch(DataPath(uuid));
 }
 
 Status AfsMetadataStore::RemoveData(const Uuid& uuid) {
@@ -141,6 +163,17 @@ Status AfsMetadataStore::RemoveJournal(const std::string& name) {
   storage::SimClock::Attribution account(afs_.server().clock(),
                                          kJournalIoAccount);
   return afs_.Remove(JournalPath(name));
+}
+
+std::vector<Result<Bytes>> AfsMetadataStore::FetchJournalBatch(
+    const std::vector<std::string>& names) {
+  trace::Span io_span("io:fetch_journal_batch", kJournalIoAccount);
+  storage::SimClock::Attribution account(afs_.server().clock(),
+                                         kJournalIoAccount);
+  std::vector<std::string> paths;
+  paths.reserve(names.size());
+  for (const std::string& name : names) paths.push_back(JournalPath(name));
+  return afs_.FetchMany(paths);
 }
 
 Result<std::vector<std::string>> AfsMetadataStore::ListJournal() {

@@ -8,7 +8,9 @@
 // "data-io" clock accounts so benchmarks can report the paper's breakdown.
 #pragma once
 
+#include <mutex>
 #include <string>
+#include <unordered_map>
 
 #include "enclave/ocalls.hpp"
 #include "storage/afs.hpp"
@@ -42,6 +44,8 @@ class AfsMetadataStore final : public enclave::StorageOcalls {
   Result<enclave::RangeBlob> FetchDataRange(const Uuid& uuid,
                                             std::uint64_t offset,
                                             std::uint64_t len) override;
+  void PrefetchData(const Uuid& uuid, std::uint64_t offset,
+                    std::uint64_t len) override;
   Status LockMeta(const Uuid& uuid) override;
   Status UnlockMeta(const Uuid& uuid) override;
   bool CacheFresh(const Uuid& uuid, std::uint64_t storage_version) override;
@@ -49,6 +53,8 @@ class AfsMetadataStore final : public enclave::StorageOcalls {
   Status StoreJournal(const std::string& name, ByteSpan data) override;
   Status RemoveJournal(const std::string& name) override;
   Result<std::vector<std::string>> ListJournal() override;
+  std::vector<Result<Bytes>> FetchJournalBatch(
+      const std::vector<std::string>& names) override;
 
   [[nodiscard]] std::string MetaPath(const Uuid& uuid) const;
   [[nodiscard]] std::string DataPath(const Uuid& uuid) const;
@@ -57,6 +63,17 @@ class AfsMetadataStore final : public enclave::StorageOcalls {
  private:
   storage::AfsClient& afs_;
   std::string prefix_;
+
+  // Sequential-scan detector: a range read that starts exactly where the
+  // previous one on the same object ended arms a readahead hint for that
+  // object (cheap no-op while the whole-file cache is warm; re-warms the
+  // transport's async window after an invalidation mid-scan).
+  struct SeqState {
+    std::uint64_t next_off = 0;
+    std::uint32_t streak = 0;
+  };
+  std::mutex seq_mu_;
+  std::unordered_map<std::string, SeqState> seq_;
 };
 
 } // namespace nexus::core

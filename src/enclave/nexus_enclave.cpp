@@ -234,6 +234,13 @@ Result<RangeBlob> NexusEnclave::FetchDataRangeO(const Uuid& uuid,
   return storage_.FetchDataRange(uuid, offset, len);
 }
 
+void NexusEnclave::PrefetchDataO(const Uuid& uuid, std::uint64_t offset,
+                                 std::uint64_t len) {
+  trace::Span ocall_span("ocall:prefetch_data", "ocall");
+  sgx::EnclaveRuntime::OcallScope scope(runtime_);
+  storage_.PrefetchData(uuid, offset, len);
+}
+
 Status NexusEnclave::RemoveDataO(const Uuid& uuid) {
   if (journal_.has_value()) {
     // Defer the delete until the transaction that stopped referencing the
@@ -293,6 +300,13 @@ Result<std::vector<std::string>> NexusEnclave::ListJournalO() {
   trace::Span ocall_span("ocall:list_journal", "ocall");
   sgx::EnclaveRuntime::OcallScope scope(runtime_);
   return storage_.ListJournal();
+}
+
+std::vector<Result<Bytes>> NexusEnclave::FetchJournalBatchO(
+    const std::vector<std::string>& names) {
+  trace::Span ocall_span("ocall:fetch_journal_batch", "ocall");
+  sgx::EnclaveRuntime::OcallScope scope(runtime_);
+  return storage_.FetchJournalBatch(names);
 }
 
 // ---- write-ahead journal ----------------------------------------------------
@@ -448,19 +462,32 @@ Result<journal::Anchor> NexusEnclave::RecoverJournal(
   }
   std::sort(seqs.begin(), seqs.end());
 
+  // One batched fetch for every candidate record: recovery latency is one
+  // round-trip instead of one per record, and a remote store coalesces the
+  // whole set into a single MultiGet frame. Each record still fails
+  // independently — a missing blob is a chain break for ITS sequence, not
+  // a fatal error for the batch.
+  std::vector<std::string> record_names;
+  record_names.reserve(seqs.size());
+  for (const std::uint64_t seq : seqs) {
+    record_names.push_back(journal::ObjectName(seq));
+  }
+  std::vector<Result<Bytes>> blobs = FetchJournalBatchO(record_names);
+
   // Replay the contiguous, authenticated chain extension; the first gap,
   // decode failure or chain break ends the committed prefix and everything
   // from there on is a torn tail to discard.
   std::vector<std::uint64_t> replayed;
   std::vector<std::uint64_t> torn;
   bool chain_ok = true;
-  for (const std::uint64_t seq : seqs) {
+  for (std::size_t i = 0; i < seqs.size(); ++i) {
+    const std::uint64_t seq = seqs[i];
     if (!chain_ok || seq != anchor.next_seq) {
       chain_ok = false;
       torn.push_back(seq);
       continue;
     }
-    auto blob = FetchJournalO(journal::ObjectName(seq));
+    const Result<Bytes>& blob = blobs[i];
     if (!blob.ok()) {
       chain_ok = false;
       torn.push_back(seq);
@@ -1738,6 +1765,11 @@ Result<Bytes> NexusEnclave::EcallDecrypt(const std::string& path) {
       (chunk_count + 2 * pool->worker_count() - 1) /
       (2 * pool->worker_count());
   seg_chunks = std::max<std::size_t>(1, std::min(seg_chunks, spread));
+
+  // Announce the sequential scan before the first blocking fetch: the
+  // transport can start pulling ciphertext through its async readahead
+  // window while the enclave is still decrypting earlier segments.
+  PrefetchDataO(node.data_uuid, 0, expected_ct);
 
   std::vector<Status> open_status(chunk_count, Status::Ok());
   std::vector<RangeBlob> segments; // keeps ciphertext alive until WaitAll

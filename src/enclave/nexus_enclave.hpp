@@ -361,6 +361,8 @@ class NexusEnclave {
   Status AbortDataStreamO(std::uint64_t handle);
   Result<RangeBlob> FetchDataRangeO(const Uuid& uuid, std::uint64_t offset,
                                     std::uint64_t len);
+  void PrefetchDataO(const Uuid& uuid, std::uint64_t offset,
+                     std::uint64_t len);
   Status RemoveDataO(const Uuid& uuid);
   Status LockMetaO(const Uuid& uuid);
   Status UnlockMetaO(const Uuid& uuid);
@@ -369,6 +371,8 @@ class NexusEnclave {
   Status StoreJournalO(const std::string& name, ByteSpan data);
   Status RemoveJournalO(const std::string& name);
   Result<std::vector<std::string>> ListJournalO();
+  std::vector<Result<Bytes>> FetchJournalBatchO(
+      const std::vector<std::string>& names);
 
   // Journal-bypassing variants used by checkpoint apply and recovery
   // replay; everything else must go through StoreMetaO/RemoveMetaO.

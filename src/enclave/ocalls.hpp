@@ -94,6 +94,19 @@ class StorageOcalls {
                                            std::uint64_t offset,
                                            std::uint64_t len);
 
+  /// Readahead hint: the enclave expects to read bytes around
+  /// [offset, offset+len) of `uuid`'s data object soon (it detected a
+  /// sequential scan, or is about to start one). Purely advisory — the
+  /// transport may start pulling ciphertext toward the client through its
+  /// async window, or ignore it entirely. Never blocks; correctness never
+  /// depends on it, only latency. Default: no-op.
+  virtual void PrefetchData(const Uuid& uuid, std::uint64_t offset,
+                            std::uint64_t len) {
+    (void)uuid;
+    (void)offset;
+    (void)len;
+  }
+
   /// Journal objects: sealed write-ahead records named inside a flat
   /// journal namespace ("nxj/<name>" on the store). Names are chosen by
   /// the enclave (journal::ObjectName / journal::kAnchorName); contents
@@ -104,6 +117,17 @@ class StorageOcalls {
   virtual Status RemoveJournal(const std::string& name) = 0;
   /// Lists journal object names (relative to the journal namespace).
   virtual Result<std::vector<std::string>> ListJournal() = 0;
+  /// Fetches several journal objects in one trip: one result per name,
+  /// order preserved, each failing independently (recovery replay treats
+  /// a missing record as a chain break, not a fatal error). Default: a
+  /// loop of FetchJournal, so existing implementations keep working.
+  virtual std::vector<Result<Bytes>> FetchJournalBatch(
+      const std::vector<std::string>& names) {
+    std::vector<Result<Bytes>> out;
+    out.reserve(names.size());
+    for (const std::string& name : names) out.push_back(FetchJournal(name));
+    return out;
+  }
 
  private:
   // State for the default (buffered) streaming implementations. Overriding

@@ -28,6 +28,7 @@ double FaultyTransport::NextUnit() {
 }
 
 Status FaultyTransport::SendFrame(ByteSpan payload) {
+  const std::lock_guard<std::mutex> lock(mu_);
   if (broken_) return Error(ErrorCode::kIOError, "connection reset (injected)");
 
   const double u = NextUnit();
@@ -64,7 +65,7 @@ Status FaultyTransport::SendFrame(ByteSpan payload) {
   if (u < bound) {
     ++stats_->resets;
     broken_ = true;
-    inner_->Close();
+    inner_->Shutdown(); // not Close: a reader may be blocked on the fd
     return Error(ErrorCode::kIOError, "connection reset (injected)");
   }
 
@@ -73,22 +74,36 @@ Status FaultyTransport::SendFrame(ByteSpan payload) {
 }
 
 Result<Bytes> FaultyTransport::RecvFrame() {
-  if (pending_ == Pending::kTimeout) {
-    pending_ = Pending::kNone;
-    // The connection's framing is now out of sync with the server (an
-    // unread response may be in flight), so the transport is dead — the
-    // client must reconnect, exactly as after a real deadline expiry.
-    broken_ = true;
-    inner_->Close();
-    return Error(ErrorCode::kIOError, "recv deadline exceeded (injected)");
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    if (pending_ == Pending::kTimeout) {
+      pending_ = Pending::kNone;
+      // The connection's framing is now out of sync with the server (an
+      // unread response may be in flight), so the transport is dead — the
+      // client must reconnect, exactly as after a real deadline expiry.
+      broken_ = true;
+      inner_->Shutdown();
+      return Error(ErrorCode::kIOError, "recv deadline exceeded (injected)");
+    }
+    if (broken_)
+      return Error(ErrorCode::kIOError, "connection reset (injected)");
   }
-  if (broken_) return Error(ErrorCode::kIOError, "connection reset (injected)");
+  // Blocking read outside mu_: SendFrame (and Shutdown) stay callable
+  // while the demux thread is parked here.
   return inner_->RecvFrame();
 }
 
 void FaultyTransport::Close() {
+  const std::lock_guard<std::mutex> lock(mu_);
   broken_ = true;
   inner_->Close();
+}
+
+void FaultyTransport::Shutdown() {
+  // No mu_: Shutdown must be callable while another thread blocks inside
+  // SendFrame/RecvFrame. The inner transport makes it safe lock-free, and
+  // the next operation observes the dead socket even without broken_.
+  inner_->Shutdown();
 }
 
 } // namespace nexus::net

@@ -21,8 +21,10 @@
 // state are deterministic.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 
 #include "net/transport.hpp"
 
@@ -38,12 +40,14 @@ struct FaultSpec {
 };
 
 /// Injection tallies, shared across reconnections of one test scenario.
+/// Atomics: with the multiplexed client several pooled connections (each
+/// its own FaultyTransport) may tally into one shared FaultStats at once.
 struct FaultStats {
-  std::uint64_t clean = 0;
-  std::uint64_t dropped_requests = 0;
-  std::uint64_t dropped_responses = 0;
-  std::uint64_t truncated = 0;
-  std::uint64_t resets = 0;
+  std::atomic<std::uint64_t> clean{0};
+  std::atomic<std::uint64_t> dropped_requests{0};
+  std::atomic<std::uint64_t> dropped_responses{0};
+  std::atomic<std::uint64_t> truncated{0};
+  std::atomic<std::uint64_t> resets{0};
 
   [[nodiscard]] std::uint64_t injected() const noexcept {
     return dropped_requests + dropped_responses + truncated + resets;
@@ -62,14 +66,20 @@ class FaultyTransport final : public Transport {
   Status SendFrame(ByteSpan payload) override;
   Result<Bytes> RecvFrame() override;
   void Close() override;
+  void Shutdown() override;
 
  private:
   enum class Pending { kNone, kTimeout };
 
-  double NextUnit(); // uniform in [0,1), deterministic
+  double NextUnit(); // uniform in [0,1), deterministic; callers hold mu_
 
   std::unique_ptr<TcpTransport> inner_;
   FaultSpec spec_;
+  // The multiplexer calls SendFrame and RecvFrame from different threads;
+  // mu_ guards the schedule state (PRNG, pending timeout, broken flag)
+  // while the inner blocking I/O runs outside it. Determinism holds
+  // because all draws happen in SendFrame, which the mux serializes.
+  std::mutex mu_;
   std::uint64_t prng_state_;
   std::shared_ptr<FaultStats> stats_;
   Pending pending_ = Pending::kNone;

@@ -1,0 +1,215 @@
+#include "net/mux.hpp"
+
+#include <utility>
+#include <vector>
+
+#include "common/clock.hpp"
+#include "net/wire.hpp"
+
+namespace nexus::net {
+
+Result<Bytes> MuxConnection::Slot::Wait() {
+  std::unique_lock<std::mutex> lock(mu);
+  cv.wait(lock, [this] { return done; });
+  if (!failure.ok()) return failure;
+  return std::move(response);
+}
+
+void MuxConnection::Complete(Slot& slot, Status failure, Bytes response) {
+  {
+    const std::lock_guard<std::mutex> lock(slot.mu);
+    slot.failure = std::move(failure);
+    slot.response = std::move(response);
+  }
+  // Hook first, completion flag second: by the time any waiter observes
+  // `done`, readahead accounting for this slot has already happened.
+  if (slot.on_done) slot.on_done(slot.failure, slot.response.size());
+  {
+    const std::lock_guard<std::mutex> lock(slot.mu);
+    slot.done = true;
+  }
+  slot.cv.notify_all();
+}
+
+MuxConnection::MuxConnection(std::unique_ptr<Transport> transport,
+                             std::size_t window, DeliveryHook on_delivery)
+    : transport_(std::move(transport)), on_delivery_(std::move(on_delivery)),
+      window_(window == 0 ? 1 : window) {
+  demux_ = std::thread([this] { DemuxLoop(); });
+}
+
+MuxConnection::~MuxConnection() {
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    closing_ = true;
+  }
+  demux_cv_.notify_all();
+  window_cv_.notify_all();
+  transport_->Shutdown(); // unblocks a demux thread parked in RecvFrame
+  if (demux_.joinable()) demux_.join();
+  Fail(Error(ErrorCode::kIOError, "connection closed"));
+}
+
+bool MuxConnection::broken() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return broken_;
+}
+
+std::size_t MuxConnection::inflight() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return pending_.size();
+}
+
+std::size_t MuxConnection::window() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return window_;
+}
+
+void MuxConnection::SetWindow(std::size_t window) {
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    window_ = window == 0 ? 1 : window;
+  }
+  window_cv_.notify_all();
+}
+
+std::shared_ptr<MuxConnection::Slot> MuxConnection::Submit(
+    ByteSpan request, CompletionHook on_done) {
+  return DoSubmit(request, /*blocking=*/true, std::move(on_done));
+}
+
+std::shared_ptr<MuxConnection::Slot> MuxConnection::TrySubmit(
+    ByteSpan request, CompletionHook on_done) {
+  return DoSubmit(request, /*blocking=*/false, std::move(on_done));
+}
+
+std::shared_ptr<MuxConnection::Slot> MuxConnection::DoSubmit(
+    ByteSpan request, bool blocking, CompletionHook on_done) {
+  auto slot = std::make_shared<Slot>();
+  slot->correlation = RequestCorrelation(request);
+  slot->request_bytes = request.size();
+  slot->on_done = std::move(on_done);
+  if (slot->correlation == 0) return nullptr; // not a valid request frame
+  // Stamped before the slot is published to the demux thread (the mutex
+  // below is the only happens-before edge between the two threads).
+  slot->start_ns = MonotonicNanos();
+
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (blocking) {
+      window_cv_.wait(lock, [this] {
+        return broken_ || closing_ || pending_.size() < window_;
+      });
+    } else if (pending_.size() >= window_) {
+      return nullptr;
+    }
+    if (broken_ || closing_) return nullptr;
+    // Register BEFORE sending so a response that races back faster than
+    // this thread resumes is still routable.
+    pending_[slot->correlation] = slot;
+  }
+
+  Status sent;
+  {
+    const std::lock_guard<std::mutex> lock(send_mu_);
+    sent = transport_->SendFrame(request);
+  }
+  if (!sent.ok()) {
+    // The frame may be partially written: the stream is desynchronized,
+    // so the whole connection fails. This slot is NOT ambiguous (the
+    // server never saw a complete frame); siblings that were fully sent
+    // are, and each retries independently.
+    {
+      const std::lock_guard<std::mutex> lock(mu_);
+      pending_.erase(slot->correlation);
+    }
+    Fail(sent);
+    Complete(*slot, sent, {});
+    return slot;
+  }
+
+  slot->sent.store(true, std::memory_order_release);
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    const auto it = pending_.find(slot->correlation);
+    if (it != pending_.end() && it->second == slot) {
+      // Still pending: the demux thread now owes us a wakeup. If the
+      // response already arrived (or the connection already failed), the
+      // slot left the map and must not count toward sent_inflight_.
+      slot->counted = true;
+      ++sent_inflight_;
+    }
+  }
+  demux_cv_.notify_one();
+  return slot;
+}
+
+void MuxConnection::Fail(const Status& reason) {
+  std::vector<std::shared_ptr<Slot>> victims;
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    broken_ = true;
+    victims.reserve(pending_.size());
+    for (auto& [corr, slot] : pending_) victims.push_back(std::move(slot));
+    pending_.clear();
+    sent_inflight_ = 0;
+  }
+  window_cv_.notify_all();
+  demux_cv_.notify_all();
+  transport_->Shutdown();
+  for (const auto& slot : victims) Complete(*slot, reason, {});
+}
+
+void MuxConnection::Poison(const Status& reason) { Fail(reason); }
+
+void MuxConnection::DemuxLoop() {
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      // Park while nothing is owed: blocking in RecvFrame on an idle
+      // connection would trip the I/O deadline and kill a healthy pooled
+      // connection.
+      demux_cv_.wait(lock, [this] {
+        return closing_ || broken_ || sent_inflight_ > 0;
+      });
+      if (broken_) return;
+      if (closing_) break;
+    }
+
+    auto frame = transport_->RecvFrame();
+    if (!frame.ok()) {
+      Fail(frame.status());
+      return;
+    }
+
+    const std::uint64_t corr = ResponseCorrelation(frame.value());
+    std::shared_ptr<Slot> slot;
+    {
+      const std::lock_guard<std::mutex> lock(mu_);
+      const auto it = corr != 0 ? pending_.find(corr) : pending_.end();
+      if (it != pending_.end()) {
+        slot = std::move(it->second);
+        pending_.erase(it);
+        if (slot->counted) --sent_inflight_;
+      }
+    }
+    if (!slot) {
+      // A response nobody asked for: the stream is desynchronized (or the
+      // server hostile). Every sibling fails and retries independently —
+      // none of them can trust this connection's framing any more.
+      Fail(Error(ErrorCode::kIOError,
+                 "unroutable response correlation " + std::to_string(corr)));
+      return;
+    }
+    window_cv_.notify_one();
+    if (on_delivery_) {
+      on_delivery_(slot->request_bytes, frame.value().size(), slot->start_ns);
+    }
+    Complete(*slot, Status::Ok(), std::move(frame).value());
+  }
+
+  // Clean close: fail whatever is still pending so no waiter hangs.
+  Fail(Error(ErrorCode::kIOError, "connection closed"));
+}
+
+} // namespace nexus::net

@@ -53,6 +53,9 @@ void GlobalNetAdd(const NetCounters& delta) {
   g.totals.reconnects += delta.reconnects;
   g.totals.bytes_sent += delta.bytes_sent;
   g.totals.bytes_received += delta.bytes_received;
+  g.totals.prefetch_issued += delta.prefetch_issued;
+  g.totals.prefetch_hits += delta.prefetch_hits;
+  g.totals.prefetch_wasted_bytes += delta.prefetch_wasted_bytes;
 }
 
 void GlobalNetRecordLatencyMs(double ms) { State().latency.RecordMs(ms); }

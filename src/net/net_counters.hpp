@@ -18,6 +18,13 @@ struct NetCounters {
   std::uint64_t reconnects = 0; // fresh dials replacing a broken connection
   std::uint64_t bytes_sent = 0;
   std::uint64_t bytes_received = 0;
+  // Speculative readahead traffic (counters, PR 4 delta semantics):
+  // issued = Gets sent ahead of demand, hits = demand reads served from a
+  // prefetched object, wasted = prefetched bytes evicted or invalidated
+  // before any demand read consumed them.
+  std::uint64_t prefetch_issued = 0;
+  std::uint64_t prefetch_hits = 0;
+  std::uint64_t prefetch_wasted_bytes = 0;
   // Latency of successful RPC attempts (send -> response decoded), from a
   // process-wide log-bucket histogram (trace::Histogram). Gauges, not
   // counters: a delta keeps the later snapshot's value, mirroring
@@ -26,15 +33,18 @@ struct NetCounters {
   double rpc_p99_ms = 0;
 
   friend NetCounters operator-(const NetCounters& a, const NetCounters& b) {
-    return NetCounters{
-        a.rpcs - b.rpcs,
-        a.retries - b.retries,
-        a.reconnects - b.reconnects,
-        a.bytes_sent - b.bytes_sent,
-        a.bytes_received - b.bytes_received,
-        a.rpc_p50_ms,
-        a.rpc_p99_ms,
-    };
+    NetCounters out;
+    out.rpcs = a.rpcs - b.rpcs;
+    out.retries = a.retries - b.retries;
+    out.reconnects = a.reconnects - b.reconnects;
+    out.bytes_sent = a.bytes_sent - b.bytes_sent;
+    out.bytes_received = a.bytes_received - b.bytes_received;
+    out.prefetch_issued = a.prefetch_issued - b.prefetch_issued;
+    out.prefetch_hits = a.prefetch_hits - b.prefetch_hits;
+    out.prefetch_wasted_bytes = a.prefetch_wasted_bytes - b.prefetch_wasted_bytes;
+    out.rpc_p50_ms = a.rpc_p50_ms; // gauges keep the later snapshot
+    out.rpc_p99_ms = a.rpc_p99_ms;
+    return out;
   }
 };
 

@@ -6,6 +6,7 @@
 // authentication and no SGX — all security machinery lives in the clients.
 //
 //   nexusd [--mem | --root DIR] [--bind ADDR] [--port N] [--workers N]
+//          [--rpc-workers N]
 //
 // Prints "nexusd listening on ADDR:PORT" once serving (port 0 picks an
 // ephemeral port; scripts parse this line), then runs until SIGINT or
@@ -26,7 +27,7 @@ namespace {
 void Usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--mem | --root DIR] [--bind ADDR] [--port N] "
-               "[--workers N]\n",
+               "[--workers N] [--rpc-workers N]\n",
                argv0);
 }
 
@@ -60,6 +61,8 @@ int main(int argc, char** argv) {
       options.port = static_cast<std::uint16_t>(std::atoi(next()));
     } else if (arg == "--workers") {
       options.workers = static_cast<std::size_t>(std::atoi(next()));
+    } else if (arg == "--rpc-workers") {
+      options.rpc_workers = static_cast<std::size_t>(std::atoi(next()));
     } else {
       Usage(argv[0]);
       return 2;

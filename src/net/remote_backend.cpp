@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdlib>
 #include <thread>
 
 #include "common/clock.hpp"
@@ -24,12 +25,59 @@ std::uint64_t Mix(std::uint64_t& state) {
 /// identical for first transmission and replay.
 constexpr std::size_t kReplaySegmentBytes = 1u << 20;
 
+std::size_t EnvSize(const char* name, std::size_t fallback, bool* found) {
+  if (found != nullptr) *found = false;
+  const char* env = std::getenv(name);
+  if (env == nullptr || *env == '\0') return fallback;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(env, &end, 10);
+  if (end == env || *end != '\0') return fallback;
+  if (found != nullptr) *found = true;
+  return static_cast<std::size_t>(v);
+}
+
 } // namespace
+
+std::size_t DefaultRpcWindow() {
+  const std::size_t w = EnvSize("NEXUS_RPC_WINDOW", 8, nullptr);
+  return std::clamp<std::size_t>(w, 1, 256);
+}
+
+std::size_t DefaultReadaheadBudgetBytes() {
+  bool found = false;
+  const std::size_t b = EnvSize("NEXUS_READAHEAD_BUDGET", 0, &found);
+  return found ? b : (32u << 20); // explicit 0 disables readahead
+}
 
 RemoteBackend::RemoteBackend(TransportFactory factory,
                              RemoteBackendOptions options)
     : factory_(std::move(factory)), options_(options),
+      rpc_window_(options.rpc_window != 0
+                      ? std::clamp<std::size_t>(options.rpc_window, 1, 256)
+                      : DefaultRpcWindow()),
+      readahead_budget_(options.readahead_budget_bytes != 0
+                            ? options.readahead_budget_bytes
+                            : DefaultReadaheadBudgetBytes()),
       jitter_state_(options.jitter_seed) {}
+
+RemoteBackend::~RemoteBackend() {
+  // Tear down every connection FIRST: their demux threads run delivery
+  // and readahead hooks that touch this object's counters and cache.
+  std::vector<std::shared_ptr<MuxConnection>> conns;
+  {
+    const std::lock_guard<std::mutex> lock(pool_mu_);
+    conns.swap(pool_);
+  }
+  {
+    const std::lock_guard<std::mutex> lock(prefetch_mu_);
+    for (auto& [name, entry] : prefetch_) {
+      conns.push_back(std::move(entry->conn));
+    }
+    prefetch_.clear();
+    prefetch_fifo_.clear();
+  }
+  conns.clear(); // joins each demux thread still referencing this object
+}
 
 Result<std::unique_ptr<RemoteBackend>> RemoteBackend::Connect(
     const std::string& host, std::uint16_t port, RemoteBackendOptions options) {
@@ -43,16 +91,34 @@ Result<std::unique_ptr<RemoteBackend>> RemoteBackend::Connect(
   };
   auto backend =
       std::make_unique<RemoteBackend>(std::move(factory), options);
+  // The eager Ping doubles as version negotiation: after it, the pooled
+  // connections run at the full window and batch RPCs are available.
   NEXUS_RETURN_IF_ERROR(backend->Ping());
   return backend;
 }
 
-void RemoteBackend::Backoff(int failed_attempts) {
-  // Bounded exponential with jitter in [0.5, 1.0): attempt k sleeps
-  // roughly base * 2^(k-1), capped, and jittered so a fleet of clients
-  // hammered by the same outage does not retry in lockstep.
+// ---- retry discipline -------------------------------------------------------
+
+void RemoteBackend::NoteFailure() {
+  failure_streak_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void RemoteBackend::NoteSuccess() {
+  // Any delivered, well-formed response proves the path works again, so
+  // the NEXT failure backs off from the base delay — one transient blip
+  // must not inflate every later retry on a long-lived backend.
+  failure_streak_.store(0, std::memory_order_relaxed);
+}
+
+void RemoteBackend::Backoff() {
+  // Bounded exponential with jitter in [0.5, 1.0): a streak of k
+  // consecutive failures sleeps roughly base * 2^(k-1), capped, and
+  // jittered so a fleet of clients hammered by the same outage does not
+  // retry in lockstep.
+  const int streak =
+      std::max(1, failure_streak_.load(std::memory_order_relaxed));
   int delay = options_.backoff_base_ms;
-  for (int i = 1; i < failed_attempts && delay < options_.backoff_cap_ms; ++i) {
+  for (int i = 1; i < streak && delay < options_.backoff_cap_ms; ++i) {
     delay *= 2;
   }
   delay = std::min(delay, options_.backoff_cap_ms);
@@ -70,39 +136,120 @@ void RemoteBackend::Backoff(int failed_attempts) {
   }
 }
 
-void RemoteBackend::CountRetryAndReconnect() {
+void RemoteBackend::CountRetry() {
   {
     const std::lock_guard<std::mutex> lock(mu_);
     ++counters_.retries;
   }
-  GlobalNetAdd(NetCounters{0, 1, 0, 0, 0, 0, 0});
+  NetCounters delta;
+  delta.retries = 1;
+  GlobalNetAdd(delta);
 }
 
-Result<std::unique_ptr<Transport>> RemoteBackend::Checkout(bool is_retry) {
+// ---- connection pool --------------------------------------------------------
+
+std::uint8_t RemoteBackend::peer_version() const noexcept {
+  return peer_version_.load(std::memory_order_acquire);
+}
+
+bool RemoteBackend::peer_speaks_v3() const noexcept {
+  return options_.max_protocol_version >= 3 && peer_version() >= 3;
+}
+
+std::uint8_t RemoteBackend::wire_version() const noexcept {
+  return peer_speaks_v3() ? std::uint8_t{3} : std::uint8_t{2};
+}
+
+std::size_t RemoteBackend::effective_window() const noexcept {
+  // Until a Ping proves the peer speaks v3, stay lock-step: a window of 1
+  // over v2 heads is exactly the wire behavior every v2 server expects.
+  return peer_speaks_v3() ? rpc_window_ : 1;
+}
+
+Writer RemoteBackend::Req(Rpc rpc) const {
+  return BeginRequest(rpc, NextCorrelationId(), wire_version());
+}
+
+std::shared_ptr<MuxConnection> RemoteBackend::NewConnection(
+    std::unique_ptr<Transport> transport) {
+  // Client rpcs/bytes/latency are counted at DELIVERY time on the demux
+  // thread — the one place every response passes, demand and speculative
+  // alike — so the client's view stays in exact agreement with the
+  // server's rpcs_served even while prefetched responses sit unconsumed.
+  auto hook = [this](std::size_t request_bytes, std::size_t response_bytes,
+                     std::uint64_t start_ns) {
+    const double ms =
+        static_cast<double>(MonotonicNanos() - start_ns) * 1e-6;
+    {
+      const std::lock_guard<std::mutex> lock(mu_);
+      ++counters_.rpcs;
+      counters_.bytes_sent += request_bytes + 4;
+      counters_.bytes_received += response_bytes + 4;
+    }
+    NetCounters delta;
+    delta.rpcs = 1;
+    delta.bytes_sent = request_bytes + 4;
+    delta.bytes_received = response_bytes + 4;
+    GlobalNetAdd(delta);
+    GlobalNetRecordLatencyMs(ms);
+  };
+  return std::make_shared<MuxConnection>(std::move(transport),
+                                         effective_window(), std::move(hook));
+}
+
+Result<std::shared_ptr<MuxConnection>> RemoteBackend::AcquireConnection(
+    bool is_retry) {
   {
-    const std::lock_guard<std::mutex> lock(mu_);
-    if (!idle_.empty()) {
-      std::unique_ptr<Transport> t = std::move(idle_.back());
-      idle_.pop_back();
-      return t;
+    const std::lock_guard<std::mutex> lock(pool_mu_);
+    // Prune broken connections so their demux threads wind down and a
+    // retry never lands back on the transport that just failed it.
+    std::erase_if(pool_, [](const auto& conn) { return conn->broken(); });
+    std::shared_ptr<MuxConnection> spare;    // least-loaded with room
+    std::shared_ptr<MuxConnection> fallback; // least-loaded overall
+    std::size_t spare_load = 0;
+    std::size_t fallback_load = 0;
+    for (const auto& conn : pool_) {
+      const std::size_t load = conn->inflight();
+      if (fallback == nullptr || load < fallback_load) {
+        fallback = conn;
+        fallback_load = load;
+      }
+      if (load < conn->window() && (spare == nullptr || load < spare_load)) {
+        spare = conn;
+        spare_load = load;
+      }
+    }
+    if (spare != nullptr) return spare;
+    if (pool_.size() >= options_.max_pooled_connections &&
+        fallback != nullptr) {
+      // Every window is full and the pool is at capacity: share the
+      // least-loaded connection; Submit blocks until a slot frees up.
+      return fallback;
     }
   }
+  // Dial outside the lock — a slow handshake must not stall siblings.
   NEXUS_ASSIGN_OR_RETURN(std::unique_ptr<Transport> fresh, factory_());
   if (is_retry) {
-    const std::lock_guard<std::mutex> lock(mu_);
-    ++counters_.reconnects;
-    GlobalNetAdd(NetCounters{0, 0, 1, 0, 0, 0, 0});
+    {
+      const std::lock_guard<std::mutex> lock(mu_);
+      ++counters_.reconnects;
+    }
+    NetCounters delta;
+    delta.reconnects = 1;
+    GlobalNetAdd(delta);
   }
-  return fresh;
+  auto conn = NewConnection(std::move(fresh));
+  {
+    const std::lock_guard<std::mutex> lock(pool_mu_);
+    if (pool_.size() < options_.max_pooled_connections) pool_.push_back(conn);
+    // max_pooled_connections == 0: never pooled — the caller's shared_ptr
+    // keeps the connection alive for exactly one call (fault tests rely
+    // on one fault schedule per RPC).
+  }
+  return conn;
 }
 
-void RemoteBackend::Checkin(std::unique_ptr<Transport> transport) {
-  const std::lock_guard<std::mutex> lock(mu_);
-  if (idle_.size() < options_.max_pooled_connections) {
-    idle_.push_back(std::move(transport));
-  }
-  // else: dropped, destructor closes the socket.
-}
+// ---- the RPC engine ---------------------------------------------------------
 
 Result<Bytes> RemoteBackend::Call(const Writer& request, bool* ambiguous) {
   const std::uint64_t corr = RequestCorrelation(request.bytes());
@@ -113,27 +260,32 @@ Result<Bytes> RemoteBackend::Call(const Writer& request, bool* ambiguous) {
   bool ambig = false;
   for (int attempt = 0; attempt < options_.max_attempts; ++attempt) {
     if (attempt > 0) {
-      CountRetryAndReconnect();
-      Backoff(attempt);
+      CountRetry();
+      Backoff();
     }
-    auto conn = Checkout(attempt > 0);
-    if (!conn.ok()) {
-      last = conn.status();
+    auto acquired = AcquireConnection(attempt > 0);
+    if (!acquired.ok()) {
+      NoteFailure();
+      last = acquired.status();
       continue;
     }
-    std::unique_ptr<Transport> transport = std::move(conn).value();
+    std::shared_ptr<MuxConnection> conn = std::move(acquired).value();
 
-    const std::uint64_t start = MonotonicNanos();
-    const Status sent = transport->SendFrame(request.bytes());
-    if (!sent.ok()) {
-      last = sent; // connection is dead; destructor closes it
+    auto slot = conn->Submit(request.bytes());
+    if (slot == nullptr) {
+      // The connection broke between acquisition and send; nothing of
+      // ours hit the wire.
+      NoteFailure();
+      last = Error(ErrorCode::kIOError, "connection broke before send");
       continue;
     }
-    // From here the request may have reached the server: a later failure
-    // leaves the RPC's outcome unknown.
-    auto response = transport->RecvFrame();
+    auto response = slot->Wait();
     if (!response.ok()) {
-      ambig = true;
+      // Whole-connection failure. Ambiguous only if OUR frame was fully
+      // sent — a sibling's failure mid-window does not put this request
+      // on the server.
+      ambig |= slot->sent.load(std::memory_order_acquire);
+      NoteFailure();
       last = response.status();
       continue;
     }
@@ -141,36 +293,22 @@ Result<Bytes> RemoteBackend::Call(const Writer& request, bool* ambiguous) {
     Status verdict = Status::Ok();
     std::uint64_t echoed = 0;
     const Status parsed = ParseResponseHead(reader, &verdict, &echoed);
-    if (!parsed.ok()) {
-      // Malformed response: protocol desync, kill the connection.
+    if (!parsed.ok() || echoed != corr) {
+      // Delivered but untrustworthy: the demux routed it here by its
+      // correlation bytes, yet the head does not hold up. Protocol
+      // desync — poison the connection so the siblings re-home too.
       ambig = true;
-      last = parsed;
-      continue;
-    }
-    if (echoed != corr) {
-      // A well-formed response to some OTHER request: the byte stream is
-      // desynchronized. Our request's fate is unknown — drop the
-      // connection and retry on a fresh one.
-      ambig = true;
-      last = Error(ErrorCode::kIOError,
-                   "correlation mismatch: sent " + std::to_string(corr) +
-                       ", got " + std::to_string(echoed));
+      NoteFailure();
+      last = parsed.ok() ? Error(ErrorCode::kIOError,
+                                 "correlation mismatch: sent " +
+                                     std::to_string(corr) + ", got " +
+                                     std::to_string(echoed))
+                         : parsed;
+      conn->Poison(last);
       continue;
     }
 
-    const double ms =
-        static_cast<double>(MonotonicNanos() - start) * 1e-6;
-    {
-      const std::lock_guard<std::mutex> lock(mu_);
-      ++counters_.rpcs;
-      counters_.bytes_sent += request.bytes().size() + 4;
-      counters_.bytes_received += response.value().size() + 4;
-    }
-    GlobalNetAdd(NetCounters{1, 0, 0, request.bytes().size() + 4,
-                             response.value().size() + 4, 0, 0});
-    GlobalNetRecordLatencyMs(ms);
-    Checkin(std::move(transport));
-
+    NoteSuccess();
     if (ambiguous != nullptr) *ambiguous = ambig;
     // The server's verdict — success or not — is authoritative.
     NEXUS_RETURN_IF_ERROR(verdict);
@@ -181,11 +319,37 @@ Result<Bytes> RemoteBackend::Call(const Writer& request, bool* ambiguous) {
 }
 
 Status RemoteBackend::Ping() {
-  return Call(BeginRequest(Rpc::kPing)).status();
+  // Always probes with a v2 head: a v2 server sees a normal Ping (it
+  // ignores trailing bytes), while a v3 server reads the probe byte and
+  // answers with the version it will speak. No other RPC negotiates, so
+  // clients that never Ping stay lock-step v2 — and their fault-injection
+  // schedules stay exactly as long as before.
+  Writer req = BeginRequest(Rpc::kPing, NextCorrelationId(), 2);
+  req.U8(options_.max_protocol_version);
+  NEXUS_ASSIGN_OR_RETURN(Bytes payload, Call(req));
+  std::uint8_t negotiated = 2;
+  Reader reader(payload);
+  if (reader.Remaining() > 0) {
+    auto offered = reader.U8();
+    if (offered.ok() && offered.value() >= kMinProtocolVersion) {
+      negotiated = static_cast<std::uint8_t>(std::min<unsigned>(
+          offered.value(), options_.max_protocol_version));
+    }
+  }
+  peer_version_.store(negotiated, std::memory_order_release);
+  // Connections dialed before negotiation were created lock-step; widen
+  // them to the window the negotiated version allows.
+  std::vector<std::shared_ptr<MuxConnection>> conns;
+  {
+    const std::lock_guard<std::mutex> lock(pool_mu_);
+    conns = pool_;
+  }
+  for (const auto& conn : conns) conn->SetWindow(effective_window());
+  return Status::Ok();
 }
 
 Result<ServerStats> RemoteBackend::Stats() {
-  NEXUS_ASSIGN_OR_RETURN(Bytes payload, Call(BeginRequest(Rpc::kStats)));
+  NEXUS_ASSIGN_OR_RETURN(Bytes payload, Call(Req(Rpc::kStats)));
   Reader reader(payload);
   NEXUS_ASSIGN_OR_RETURN(ServerStats stats, DecodeServerStats(reader));
   if (!reader.AtEnd()) {
@@ -194,8 +358,29 @@ Result<ServerStats> RemoteBackend::Stats() {
   return stats;
 }
 
+// ---- whole-object ops -------------------------------------------------------
+
 Result<Bytes> RemoteBackend::Get(const std::string& name) {
-  Writer req = BeginRequest(Rpc::kGet);
+  if (auto entry = TakePrefetched(name)) {
+    auto response = entry->slot->Wait();
+    if (response.ok()) {
+      Reader reader(response.value());
+      Status verdict = Status::Ok();
+      std::uint64_t echoed = 0;
+      if (ParseResponseHead(reader, &verdict, &echoed).ok()) {
+        // A well-formed buffered response is as authoritative as a fresh
+        // one — a kNotFound verdict is a hit too, just a negative one.
+        trace::Span span("prefetch_hit", "net.prefetch");
+        AddPrefetchCounters(/*issued=*/0, /*hits=*/1, /*wasted_bytes=*/0);
+        NEXUS_RETURN_IF_ERROR(verdict);
+        NEXUS_ASSIGN_OR_RETURN(Bytes data, reader.Var(kMaxObjectBytes));
+        return data;
+      }
+    }
+    // The speculation failed in transit or arrived malformed: no hit, no
+    // retry — fall through to an ordinary demand fetch.
+  }
+  Writer req = Req(Rpc::kGet);
   req.Str(name);
   NEXUS_ASSIGN_OR_RETURN(Bytes payload, Call(req));
   Reader reader(payload);
@@ -207,14 +392,16 @@ Status RemoteBackend::Put(const std::string& name, ByteSpan data) {
   if (data.size() > kMaxObjectBytes) {
     return Error(ErrorCode::kInvalidArgument, "object too large: " + name);
   }
-  Writer req = BeginRequest(Rpc::kPut);
+  InvalidatePrefetch(name); // the buffered bytes are about to go stale
+  Writer req = Req(Rpc::kPut);
   req.Str(name);
   req.Var(data);
   return Call(req).status();
 }
 
 Status RemoteBackend::Delete(const std::string& name) {
-  Writer req = BeginRequest(Rpc::kDelete);
+  InvalidatePrefetch(name);
+  Writer req = Req(Rpc::kDelete);
   req.Str(name);
   bool ambiguous = false;
   const Status verdict = Call(req, &ambiguous).status();
@@ -228,7 +415,7 @@ Status RemoteBackend::Delete(const std::string& name) {
 }
 
 bool RemoteBackend::Exists(const std::string& name) {
-  Writer req = BeginRequest(Rpc::kExists);
+  Writer req = Req(Rpc::kExists);
   req.Str(name);
   auto payload = Call(req);
   // The StorageBackend contract cannot express transport failure here;
@@ -241,7 +428,7 @@ bool RemoteBackend::Exists(const std::string& name) {
 }
 
 std::vector<std::string> RemoteBackend::List(const std::string& prefix) {
-  Writer req = BeginRequest(Rpc::kList);
+  Writer req = Req(Rpc::kList);
   req.Str(prefix);
   auto payload = Call(req);
   std::vector<std::string> names;
@@ -261,9 +448,246 @@ std::vector<std::string> RemoteBackend::List(const std::string& prefix) {
   return names;
 }
 
+// ---- batch ops (wire v3) ----------------------------------------------------
+
+std::vector<Result<Bytes>> RemoteBackend::MultiGet(
+    const std::vector<std::string>& names) {
+  if (!peer_speaks_v3()) {
+    // v2 peer: the base-class loop of single Gets is the whole protocol.
+    return storage::StorageBackend::MultiGet(names);
+  }
+  std::vector<Result<Bytes>> results;
+  results.reserve(names.size());
+  for (std::size_t base = 0; base < names.size(); base += kMaxMultiEntries) {
+    const std::size_t n = std::min(kMaxMultiEntries, names.size() - base);
+    const std::vector<std::string> batch(names.begin() + base,
+                                         names.begin() + base + n);
+    Writer req = Req(Rpc::kMultiGet);
+    EncodeNameList(req, batch);
+    auto payload = Call(req);
+    if (!payload.ok()) {
+      for (std::size_t i = 0; i < n; ++i) results.push_back(payload.status());
+      continue;
+    }
+    Reader reader(payload.value());
+    auto entries = DecodeMultiGetEntries(reader);
+    const bool shape_ok = entries.ok() && reader.AtEnd() &&
+                          entries.value().size() == n;
+    if (!shape_ok) {
+      const Status bad =
+          entries.ok() ? Error(ErrorCode::kIOError,
+                               "malformed multi-get response shape")
+                       : entries.status();
+      for (std::size_t i = 0; i < n; ++i) results.push_back(bad);
+      continue;
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      MultiGetEntry& entry = entries.value()[i];
+      switch (entry.state) {
+        case MultiGetEntry::State::kOk:
+          results.push_back(std::move(entry.data));
+          break;
+        case MultiGetEntry::State::kError:
+          results.push_back(entry.error);
+          break;
+        case MultiGetEntry::State::kDeferred:
+          // The server hit its response-size budget before this name:
+          // fetch the straggler individually.
+          results.push_back(Get(batch[i]));
+          break;
+      }
+    }
+  }
+  return results;
+}
+
+std::vector<bool> RemoteBackend::MultiExists(
+    const std::vector<std::string>& names) {
+  if (!peer_speaks_v3()) {
+    return storage::StorageBackend::MultiExists(names);
+  }
+  std::vector<bool> results;
+  results.reserve(names.size());
+  for (std::size_t base = 0; base < names.size(); base += kMaxMultiEntries) {
+    const std::size_t n = std::min(kMaxMultiEntries, names.size() - base);
+    const std::vector<std::string> batch(names.begin() + base,
+                                         names.begin() + base + n);
+    Writer req = Req(Rpc::kMultiExists);
+    EncodeNameList(req, batch);
+    auto payload = Call(req);
+    // One u8 flag per requested name, in request order. Transport failure
+    // or a malformed shape degrades to "absent", same as Exists.
+    if (!payload.ok() || payload.value().size() != n) {
+      for (std::size_t i = 0; i < n; ++i) results.push_back(false);
+      continue;
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      results.push_back(payload.value()[i] != 0);
+    }
+  }
+  return results;
+}
+
+// ---- readahead --------------------------------------------------------------
+
+void RemoteBackend::Prefetch(const std::string& name) {
+  if (readahead_budget_ == 0 || effective_window() <= 1) return;
+
+  auto entry = std::make_shared<PrefetchEntry>();
+  {
+    const std::lock_guard<std::mutex> lock(prefetch_mu_);
+    if (prefetch_.contains(name)) return; // already buffered or in flight
+    if (prefetch_inflight_ >= options_.max_inflight_prefetches) return;
+    // Register BEFORE submitting so the delivery hook (demux thread) can
+    // find the entry no matter how fast the response races back.
+    prefetch_[name] = entry;
+    ++prefetch_inflight_;
+  }
+
+  // Speculation only rides spare capacity: an unbroken pooled connection
+  // with window room. Never dials, never blocks, never retries.
+  std::shared_ptr<MuxConnection> conn;
+  {
+    const std::lock_guard<std::mutex> lock(pool_mu_);
+    for (const auto& candidate : pool_) {
+      if (!candidate->broken() && candidate->inflight() < candidate->window()) {
+        conn = candidate;
+        break;
+      }
+    }
+  }
+  std::shared_ptr<MuxConnection::Slot> slot;
+  if (conn != nullptr) {
+    trace::Span span("prefetch_issue", "net.prefetch");
+    Writer req = Req(Rpc::kGet);
+    req.Str(name);
+    slot = conn->TrySubmit(
+        req.bytes(), [this, name, entry](const Status& failure,
+                                         std::size_t response_bytes) {
+          PrefetchDelivered(name, entry, failure.ok(), response_bytes);
+        });
+  }
+  if (slot == nullptr) {
+    // Window filled up (or no connection): withdraw the registration.
+    const std::lock_guard<std::mutex> lock(prefetch_mu_);
+    const auto it = prefetch_.find(name);
+    if (it != prefetch_.end() && it->second == entry) {
+      prefetch_.erase(it);
+      if (prefetch_inflight_ > 0) --prefetch_inflight_;
+    }
+    return;
+  }
+  {
+    const std::lock_guard<std::mutex> lock(prefetch_mu_);
+    entry->conn = conn;
+    entry->slot = std::move(slot);
+  }
+  AddPrefetchCounters(/*issued=*/1, /*hits=*/0, /*wasted_bytes=*/0);
+}
+
+void RemoteBackend::PrefetchDelivered(
+    const std::string& name, const std::shared_ptr<PrefetchEntry>& entry,
+    bool ok, std::size_t response_bytes) {
+  const std::lock_guard<std::mutex> lock(prefetch_mu_);
+  if (prefetch_inflight_ > 0) --prefetch_inflight_;
+  const auto it = prefetch_.find(name);
+  if (it == prefetch_.end() || it->second != entry) {
+    // Consumed or invalidated while in flight: the bytes were never
+    // buffered, so they drop silently (not counted as wasted).
+    return;
+  }
+  entry->done = true;
+  entry->ok = ok;
+  entry->bytes = response_bytes;
+  if (!ok) {
+    // Speculative traffic never retries; forget the failure quietly.
+    prefetch_.erase(it);
+    return;
+  }
+  prefetch_buffered_ += response_bytes;
+  prefetch_fifo_.push_back(name);
+  EvictOverBudgetLocked();
+  prefetch_peak_buffered_ =
+      std::max(prefetch_peak_buffered_, prefetch_buffered_);
+}
+
+std::shared_ptr<RemoteBackend::PrefetchEntry> RemoteBackend::TakePrefetched(
+    const std::string& name) {
+  const std::lock_guard<std::mutex> lock(prefetch_mu_);
+  const auto it = prefetch_.find(name);
+  if (it == prefetch_.end() || it->second->slot == nullptr) return nullptr;
+  auto entry = std::move(it->second);
+  prefetch_.erase(it);
+  if (entry->done) {
+    prefetch_fifo_.remove(name);
+    prefetch_buffered_ -= entry->bytes;
+  }
+  // In-flight entries: the delivery hook sees the map miss and skips
+  // accounting; the consumer Waits on the slot directly.
+  return entry;
+}
+
+void RemoteBackend::InvalidatePrefetch(const std::string& name) {
+  std::uint64_t wasted = 0;
+  {
+    const std::lock_guard<std::mutex> lock(prefetch_mu_);
+    const auto it = prefetch_.find(name);
+    if (it == prefetch_.end()) return;
+    if (it->second->done) {
+      prefetch_fifo_.remove(name);
+      prefetch_buffered_ -= it->second->bytes;
+      wasted = it->second->bytes;
+    }
+    // In-flight entries just leave the map; the delivery hook drops
+    // their bytes silently when they land.
+    prefetch_.erase(it);
+  }
+  if (wasted > 0) {
+    AddPrefetchCounters(/*issued=*/0, /*hits=*/0, wasted);
+  }
+}
+
+void RemoteBackend::EvictOverBudgetLocked() {
+  std::uint64_t wasted = 0;
+  while (prefetch_buffered_ > readahead_budget_ && !prefetch_fifo_.empty()) {
+    const std::string victim = prefetch_fifo_.front();
+    prefetch_fifo_.pop_front();
+    const auto it = prefetch_.find(victim);
+    if (it == prefetch_.end()) continue;
+    prefetch_buffered_ -= it->second->bytes;
+    wasted += it->second->bytes;
+    prefetch_.erase(it);
+  }
+  if (wasted > 0) {
+    trace::Span span("readahead_evict", "net.prefetch");
+    AddPrefetchCounters(/*issued=*/0, /*hits=*/0, wasted);
+  }
+}
+
+void RemoteBackend::AddPrefetchCounters(std::uint64_t issued,
+                                        std::uint64_t hits,
+                                        std::uint64_t wasted_bytes) {
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    counters_.prefetch_issued += issued;
+    counters_.prefetch_hits += hits;
+    counters_.prefetch_wasted_bytes += wasted_bytes;
+  }
+  NetCounters delta;
+  delta.prefetch_issued = issued;
+  delta.prefetch_hits = hits;
+  delta.prefetch_wasted_bytes = wasted_bytes;
+  GlobalNetAdd(delta);
+}
+
 NetCounters RemoteBackend::counters() const {
   const std::lock_guard<std::mutex> lock(mu_);
   return counters_;
+}
+
+std::size_t RemoteBackend::readahead_peak_buffered_bytes() const {
+  const std::lock_guard<std::mutex> lock(prefetch_mu_);
+  return prefetch_peak_buffered_;
 }
 
 // ---- streamed puts ----------------------------------------------------------
@@ -271,7 +695,9 @@ NetCounters RemoteBackend::counters() const {
 // Client half of the streaming RPC. Keeps every appended byte so a broken
 // connection can restart the stream from scratch on a fresh one — the
 // server publishes nothing before Commit, so a replay can never produce a
-// partial object, only delay the atomic publish.
+// partial object, only delay the atomic publish. The stream runs lock-step
+// on its own dedicated transport: its RPCs are stateful (the handle lives
+// on the server's connection), so it cannot share the multiplexed pool.
 class RemotePutStream final : public storage::StorageBackend::PutStream {
  public:
   RemotePutStream(RemoteBackend& backend, std::string name)
@@ -288,7 +714,7 @@ class RemotePutStream final : public storage::StorageBackend::PutStream {
     }
     nexus::Append(replay_, data);
     if (conn_ != nullptr) {
-      Writer req = BeginRequest(Rpc::kStreamAppend);
+      Writer req = Req(Rpc::kStreamAppend);
       req.U64(handle_);
       req.Var(data);
       Status verdict = Status::Ok();
@@ -306,12 +732,15 @@ class RemotePutStream final : public storage::StorageBackend::PutStream {
       return Error(ErrorCode::kInvalidArgument,
                    "commit on finished stream: " + name_);
     }
+    // The object named here is about to change (even an attempt with an
+    // unknown outcome may have published): drop any buffered speculation.
+    backend_.InvalidatePrefetch(name_);
     Status last = Error(ErrorCode::kIOError, "commit never attempted");
     for (int attempt = 0; attempt < backend_.options_.max_attempts;
          ++attempt) {
       if (attempt > 0) {
-        backend_.CountRetryAndReconnect();
-        backend_.Backoff(attempt);
+        backend_.CountRetry();
+        backend_.Backoff();
       }
       if (conn_ == nullptr) {
         const Status restarted = Restart();
@@ -320,7 +749,7 @@ class RemotePutStream final : public storage::StorageBackend::PutStream {
           continue;
         }
       }
-      Writer req = BeginRequest(Rpc::kStreamCommit);
+      Writer req = Req(Rpc::kStreamCommit);
       req.U64(handle_);
       Status verdict = Status::Ok();
       auto payload = Exchange(req, &verdict);
@@ -344,7 +773,7 @@ class RemotePutStream final : public storage::StorageBackend::PutStream {
     if (finished_) return;
     finished_ = true;
     if (conn_ != nullptr) {
-      Writer req = BeginRequest(Rpc::kStreamAbort);
+      Writer req = Req(Rpc::kStreamAbort);
       req.U64(handle_);
       Status verdict = Status::Ok();
       (void)Exchange(req, &verdict); // best effort; disconnect also aborts
@@ -354,11 +783,27 @@ class RemotePutStream final : public storage::StorageBackend::PutStream {
   }
 
  private:
+  /// Stream requests carry the backend's negotiated head version, like
+  /// every other RPC (the server accepts both on any connection).
+  Writer Req(Rpc rpc) const { return backend_.Req(rpc); }
+
   /// One request/response on the stream's dedicated connection. The OUTER
   /// result is transport/protocol health (error => drop the connection);
   /// on outer success `verdict` holds the server's authoritative answer
   /// and the returned bytes are the response payload after the head.
+  /// Feeds the backend's failure streak: a delivered well-formed response
+  /// resets it, a transport failure grows it.
   Result<Bytes> Exchange(const Writer& request, Status* verdict) {
+    auto exchanged = ExchangeInner(request, verdict);
+    if (exchanged.ok()) {
+      backend_.NoteSuccess();
+    } else {
+      backend_.NoteFailure();
+    }
+    return exchanged;
+  }
+
+  Result<Bytes> ExchangeInner(const Writer& request, Status* verdict) {
     const std::uint64_t corr = RequestCorrelation(request.bytes());
     trace::Span span(RpcName(RequestRpc(request.bytes())), "net.client");
     span.SetCorrelation(corr);
@@ -381,8 +826,11 @@ class RemotePutStream final : public storage::StorageBackend::PutStream {
       backend_.counters_.bytes_sent += request.bytes().size() + 4;
       backend_.counters_.bytes_received += response.size() + 4;
     }
-    GlobalNetAdd(NetCounters{1, 0, 0, request.bytes().size() + 4,
-                             response.size() + 4, 0, 0});
+    NetCounters delta;
+    delta.rpcs = 1;
+    delta.bytes_sent = request.bytes().size() + 4;
+    delta.bytes_received = response.size() + 4;
+    GlobalNetAdd(delta);
     GlobalNetRecordLatencyMs(ms);
     *verdict = std::move(server);
     return reader.Raw(reader.Remaining());
@@ -398,9 +846,14 @@ class RemotePutStream final : public storage::StorageBackend::PutStream {
   /// caller's retry budget decides whether to try again.
   Status Restart() {
     DropConnection();
-    NEXUS_ASSIGN_OR_RETURN(conn_, backend_.factory_());
+    auto dialed = backend_.factory_();
+    if (!dialed.ok()) {
+      backend_.NoteFailure();
+      return dialed.status();
+    }
+    conn_ = std::move(dialed).value();
 
-    Writer begin = BeginRequest(Rpc::kStreamBegin);
+    Writer begin = Req(Rpc::kStreamBegin);
     begin.Str(name_);
     Status verdict = Status::Ok();
     auto payload = Exchange(begin, &verdict);
@@ -420,7 +873,7 @@ class RemotePutStream final : public storage::StorageBackend::PutStream {
          off += kReplaySegmentBytes) {
       const std::size_t n =
           std::min(kReplaySegmentBytes, replay_.size() - off);
-      Writer append = BeginRequest(Rpc::kStreamAppend);
+      Writer append = Req(Rpc::kStreamAppend);
       append.U64(handle_);
       append.Var(ByteSpan(replay_.data() + off, n));
       Status segment_verdict = Status::Ok();
@@ -438,8 +891,8 @@ class RemotePutStream final : public storage::StorageBackend::PutStream {
     for (int attempt = 0; attempt < backend_.options_.max_attempts;
          ++attempt) {
       if (attempt > 0) {
-        backend_.CountRetryAndReconnect();
-        backend_.Backoff(attempt);
+        backend_.CountRetry();
+        backend_.Backoff();
       }
       const Status restarted = Restart();
       if (restarted.ok()) return Status::Ok();

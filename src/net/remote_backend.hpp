@@ -7,33 +7,50 @@
 // to an untrusted — and unreliable — server. Reliability policy lives
 // entirely here:
 //
-//   * connection pooling — RPCs borrow a pooled connection and return it
-//     on success; broken connections are discarded and redialed,
-//   * per-RPC deadlines — a stuck server surfaces as a deadline expiry,
-//     never a hung client,
-//   * bounded retries with exponential backoff + deterministic jitter —
-//     transport-level failures (timeout, reset, refused) are retried up
-//     to max_attempts on fresh connections; server VERDICTS inside a
-//     well-formed response are authoritative and never retried,
+//   * pipelined multiplexing — every pooled connection is a MuxConnection
+//     keeping up to `rpc_window` RPCs in flight, matched to their
+//     responses by correlation id (mux.hpp). Callers on different threads
+//     share connections instead of queueing behind each other,
+//   * per-REQUEST retries with exponential backoff + deterministic jitter
+//     — a transport failure fails every request on that connection at
+//     once, and each affected request independently retries on a fresh
+//     connection up to max_attempts. The backoff delay derives from a
+//     shared consecutive-failure streak that RESETS on any success, so
+//     one transient blip early in a connection's life doesn't inflate
+//     every later retry. Server VERDICTS inside a well-formed response
+//     are authoritative and never retried,
 //   * ambiguity resolution — all RPCs here are idempotent (Put/stream
 //     commit are last-writer-wins), so blind re-execution is safe. The
 //     one wrinkle is Delete: if an earlier attempt's outcome is unknown
-//     and the retry says kNotFound, the delete DID happen — report Ok.
+//     and the retry says kNotFound, the delete DID happen — report Ok,
+//   * version negotiation — requests go out with v2 heads and a window of
+//     1 until a Ping learns the peer speaks v3 (wire.hpp); then the
+//     window widens and MultiGet/MultiExists coalesce name fan-outs into
+//     one frame each way. v2 peers keep working, lock-step, forever,
+//   * chunk readahead — Prefetch(name) speculatively issues a Get through
+//     any spare window slot (never blocking, never retrying, never
+//     dialing). Completed prefetches are held under a byte budget with
+//     FIFO eviction and invalidated by writes; a later Get consumes the
+//     buffered response instead of crossing the wire.
 //
 // Streamed puts replay: the stream keeps the bytes appended so far, and a
 // transport failure at any point (including an ambiguous Commit) restarts
 // the whole stream — Begin, replayed segments, Commit — on a fresh
-// connection, preserving exactly-once-visible semantics because the
-// server publishes nothing until a Commit it fully received.
+// dedicated connection, preserving exactly-once-visible semantics because
+// the server publishes nothing until a Commit it fully received.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
+#include <list>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <string>
 #include <vector>
 
+#include "net/mux.hpp"
 #include "net/net_counters.hpp"
 #include "net/transport.hpp"
 #include "net/wire.hpp"
@@ -47,6 +64,11 @@ namespace nexus::net {
 using TransportFactory =
     std::function<Result<std::unique_ptr<Transport>>()>;
 
+/// Window size from NEXUS_RPC_WINDOW (default 8, clamped to [1, 256]).
+std::size_t DefaultRpcWindow();
+/// Readahead budget from NEXUS_READAHEAD_BUDGET (bytes; default 32 MiB).
+std::size_t DefaultReadaheadBudgetBytes();
+
 struct RemoteBackendOptions {
   int rpc_deadline_ms = 5000;
   int connect_deadline_ms = 5000;
@@ -56,17 +78,33 @@ struct RemoteBackendOptions {
   int backoff_cap_ms = 100;
   /// Seed for the backoff jitter (deterministic given the call sequence).
   std::uint64_t jitter_seed = 0x6e657875736e6574ull; // "nexusnet"
+  /// Connections kept in the pool. 0 = never pool: every RPC dials its
+  /// own connection (tests that need one fault schedule per RPC).
   std::size_t max_pooled_connections = 4;
   /// Injectable sleep so fault tests record backoff instead of waiting.
   std::function<void(int ms)> sleep_ms; // null => real sleep
+  /// Max in-flight RPCs per connection once the peer negotiated v3.
+  /// 0 = DefaultRpcWindow() (NEXUS_RPC_WINDOW).
+  std::size_t rpc_window = 0;
+  /// Highest wire version this client will speak — lowering it to 2
+  /// simulates a legacy client against a modern server.
+  std::uint8_t max_protocol_version = kProtocolVersion;
+  /// Ceiling on buffered prefetched ciphertext. 0 = default
+  /// (NEXUS_READAHEAD_BUDGET, 32 MiB). Prefetch is disabled entirely when
+  /// the negotiated window is 1 (nothing to overlap with).
+  std::size_t readahead_budget_bytes = 0;
+  /// Most speculative Gets in flight at once.
+  std::size_t max_inflight_prefetches = 8;
 };
 
 class RemoteBackend final : public storage::StorageBackend {
  public:
   RemoteBackend(TransportFactory factory, RemoteBackendOptions options = {});
+  ~RemoteBackend() override;
 
   /// TCP convenience: dials host:port eagerly once (a Ping) so a dead
-  /// server fails fast at construction instead of on the first Get.
+  /// server fails fast at construction instead of on the first Get — and
+  /// the Ping doubles as the wire-version negotiation.
   static Result<std::unique_ptr<RemoteBackend>> Connect(
       const std::string& host, std::uint16_t port,
       RemoteBackendOptions options = {});
@@ -78,8 +116,14 @@ class RemoteBackend final : public storage::StorageBackend {
   std::vector<std::string> List(const std::string& prefix) override;
   Result<std::unique_ptr<PutStream>> OpenPutStream(
       const std::string& name) override;
+  std::vector<Result<Bytes>> MultiGet(
+      const std::vector<std::string>& names) override;
+  std::vector<bool> MultiExists(const std::vector<std::string>& names) override;
+  void Prefetch(const std::string& name) override;
 
   /// Liveness probe through the full RPC machinery (retries included).
+  /// Also negotiates the wire version: the request carries this client's
+  /// max version, and a v3 server's reply names the version to use.
   Status Ping();
 
   /// Fetches the server's lifetime counters and per-op latency summary
@@ -87,34 +131,83 @@ class RemoteBackend final : public storage::StorageBackend {
   Result<ServerStats> Stats();
 
   [[nodiscard]] NetCounters counters() const;
+  /// Negotiated peer wire version (0 until the first Ping completes; a
+  /// peer that never confirmed v3 is treated as v2).
+  [[nodiscard]] std::uint8_t peer_version() const noexcept;
+  /// Highest number of buffered prefetched bytes ever held (post-
+  /// eviction) — the soak test pins this against the budget.
+  [[nodiscard]] std::size_t readahead_peak_buffered_bytes() const;
 
  private:
   friend class RemotePutStream;
 
-  struct Connection {
-    std::unique_ptr<Transport> transport;
+  /// One speculative Get: the slot completes with the full response
+  /// payload, accounted into the budget by the demux-thread hook.
+  struct PrefetchEntry {
+    std::shared_ptr<MuxConnection::Slot> slot;
+    std::shared_ptr<MuxConnection> conn; // keeps the slot's demux alive
+    std::size_t bytes = 0;               // response size once completed
+    bool done = false;
+    bool ok = false;
   };
 
-  /// One RPC with retry/reconnect/backoff. On a well-formed response,
-  /// returns the server's verdict in `server_status` and the result
-  /// payload reader position via the returned bytes (head consumed by
-  /// caller). Transport failure after all attempts surfaces as the
-  /// returned error. `ambiguous` (optional) reports whether any FAILED
-  /// attempt may have reached the server.
+  /// One RPC through the mux with per-request retry/reconnect/backoff.
+  /// On a well-formed response returns the payload after the verified
+  /// head; the server's verdict is authoritative. `ambiguous` (optional)
+  /// reports whether any FAILED attempt may have reached the server.
   Result<Bytes> Call(const Writer& request, bool* ambiguous = nullptr);
 
-  Result<std::unique_ptr<Transport>> Checkout(bool is_retry);
-  void Checkin(std::unique_ptr<Transport> transport);
-  void Backoff(int failed_attempts);
-  void CountRetryAndReconnect();
+  /// Starts a request with the negotiated head version.
+  Writer Req(Rpc rpc) const;
+  [[nodiscard]] std::uint8_t wire_version() const noexcept;
+  [[nodiscard]] bool peer_speaks_v3() const noexcept;
+  [[nodiscard]] std::size_t effective_window() const noexcept;
+
+  /// Returns a connection with window room, dialing a fresh one when the
+  /// pool has none to give. Counts a reconnect when `is_retry` dials.
+  Result<std::shared_ptr<MuxConnection>> AcquireConnection(bool is_retry);
+  std::shared_ptr<MuxConnection> NewConnection(
+      std::unique_ptr<Transport> transport);
+
+  /// Consecutive-failure streak driving the backoff delay.
+  void NoteFailure();
+  void NoteSuccess();
+  void Backoff();
+  void CountRetry();
+
+  // Readahead internals (all under prefetch_mu_).
+  void PrefetchDelivered(const std::string& name,
+                         const std::shared_ptr<PrefetchEntry>& entry, bool ok,
+                         std::size_t response_bytes);
+  std::shared_ptr<PrefetchEntry> TakePrefetched(const std::string& name);
+  void InvalidatePrefetch(const std::string& name);
+  void EvictOverBudgetLocked();
+  void AddPrefetchCounters(std::uint64_t issued, std::uint64_t hits,
+                           std::uint64_t wasted_bytes);
 
   TransportFactory factory_;
   RemoteBackendOptions options_;
+  std::size_t rpc_window_;
+  std::size_t readahead_budget_;
+
+  std::atomic<std::uint8_t> peer_version_{0}; // 0 = not yet negotiated
+  std::atomic<int> failure_streak_{0};
 
   mutable std::mutex mu_;
-  std::vector<std::unique_ptr<Transport>> idle_;
   std::uint64_t jitter_state_;
   NetCounters counters_;
+
+  mutable std::mutex prefetch_mu_;
+  std::map<std::string, std::shared_ptr<PrefetchEntry>> prefetch_;
+  std::list<std::string> prefetch_fifo_; // completed entries, oldest first
+  std::size_t prefetch_buffered_ = 0;
+  std::size_t prefetch_peak_buffered_ = 0;
+  std::size_t prefetch_inflight_ = 0;
+
+  // Declared LAST: connections (and their demux threads, which may still
+  // run delivery hooks touching the members above) die first.
+  mutable std::mutex pool_mu_;
+  std::vector<std::shared_ptr<MuxConnection>> pool_;
 };
 
 } // namespace nexus::net

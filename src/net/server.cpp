@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <arpa/inet.h>
 #include <cerrno>
+#include <condition_variable>
 #include <cstring>
+#include <functional>
 #include <map>
 #include <netinet/in.h>
 #include <sys/socket.h>
@@ -70,6 +72,13 @@ Result<std::unique_ptr<NexusdServer>> NexusdServer::Start(
   server->port_ = ntohs(addr.sin_port);
   server->pool_ = std::make_unique<parallel::ThreadPool>(
       std::max<std::size_t>(1, server->options_.workers));
+  if (server->options_.rpc_workers > 0) {
+    // Handlers live on their own pool: if they shared the connection
+    // pool, enough simultaneous connections would occupy every worker
+    // with readers and the handlers they wait on could never run.
+    server->rpc_pool_ =
+        std::make_unique<parallel::ThreadPool>(server->options_.rpc_workers);
+  }
   server->connections_ =
       std::make_unique<parallel::TaskGroup>(server->pool_.get());
   server->accept_thread_ = std::thread([s = server.get()] { s->AcceptLoop(); });
@@ -163,6 +172,19 @@ void NexusdServer::ServeConnection(int fd) {
   // clean "closed by peer" and ends the loop.
   TcpTransport transport(fd, /*io_deadline_ms=*/-1);
 
+  // Shared between this reader and its handler tasks on rpc_pool_.
+  struct ConnCtx {
+    std::mutex send_mu; // serializes whole response frames onto the fd
+    bool send_failed = false; // under send_mu; reader stops pulling
+    std::mutex mu;
+    std::condition_variable cv;
+    std::size_t inflight = 0; // handler tasks not yet finished
+  };
+  const auto ctx = std::make_shared<ConnCtx>();
+  // With no rpc pool the group executes inline on this thread: the serial
+  // and pipelined server share one code shape.
+  parallel::TaskGroup handlers(rpc_pool_.get());
+
   // In-flight put streams, scoped to this connection. Destruction aborts
   // whatever the client never committed (DiskPutStream removes its temp
   // file), so a dropped connection leaves the store untouched.
@@ -180,22 +202,46 @@ void NexusdServer::ServeConnection(int fd) {
     bool close_connection = false;
 
     std::uint64_t corr = 0;
-    auto rpc = ParseRequestHead(reader, &corr);
-    if (!rpc.ok()) {
-      // Malformed head: the byte stream cannot be trusted any more.
+    std::uint8_t version = kProtocolVersion;
+    auto rpc = ParseRequestHead(reader, &corr, &version);
+    if (!rpc.ok() || version > options_.max_protocol_version) {
+      // Malformed head — or a version this deployment was told not to
+      // speak (a max_protocol_version=2 nexusd is how interop tests stand
+      // up a "legacy" server; to it, a v3 head is as alien as garbage).
       const std::lock_guard<std::mutex> lock(mu_);
       ++stats_.protocol_errors;
       break;
     }
+    const auto op = static_cast<std::size_t>(rpc.value());
+    const std::size_t frame_bytes = frame.value().size();
 
-    // One span per served request, tagged with the client's correlation id
-    // so client-side and server-side spans can be matched up.
-    trace::Span span(RpcName(rpc.value()), "net.server");
-    span.SetCorrelation(corr);
+    // Stateless ops assign `execute` (argument decoding stays HERE, in
+    // arrival order, so a malformed frame kills the connection at a
+    // deterministic point in the stream); stream ops run inline below and
+    // fill `response` directly. Responses always echo the request's head
+    // version: a v2 client must never see a version byte it rejects.
+    std::function<Writer()> execute;
 
     switch (rpc.value()) {
       case Rpc::kPing: {
-        response = BeginResponse(Status::Ok(), corr);
+        // A v3 client appends a probe byte naming its own max version; a
+        // v2 client appends nothing. Only a probed v3 server answers with
+        // a version byte, so every other pairing stays byte-identical to
+        // the v2 exchange — negotiation is invisible to old peers.
+        std::uint8_t probe = 0;
+        if (reader.Remaining() > 0) {
+          auto p = reader.U8();
+          if (p.ok()) probe = p.value();
+        }
+        const bool advertise =
+            probe >= 3 && options_.max_protocol_version >= 3;
+        const std::uint8_t offer =
+            std::min(kProtocolVersion, options_.max_protocol_version);
+        execute = [corr, version, advertise, offer] {
+          Writer r = BeginResponse(Status::Ok(), corr, version);
+          if (advertise) r.U8(offer);
+          return r;
+        };
         break;
       }
       case Rpc::kGet: {
@@ -204,13 +250,13 @@ void NexusdServer::ServeConnection(int fd) {
           close_connection = true;
           break;
         }
-        auto data = backend_.Get(name.value());
-        if (data.ok()) {
-          response = BeginResponse(Status::Ok(), corr);
-          response.Var(data.value());
-        } else {
-          response = BeginResponse(data.status(), corr);
-        }
+        execute = [this, corr, version, name = std::move(name).value()] {
+          auto data = backend_.Get(name);
+          if (!data.ok()) return BeginResponse(data.status(), corr, version);
+          Writer r = BeginResponse(Status::Ok(), corr, version);
+          r.Var(data.value());
+          return r;
+        };
         break;
       }
       case Rpc::kPut: {
@@ -224,8 +270,10 @@ void NexusdServer::ServeConnection(int fd) {
           close_connection = true;
           break;
         }
-        response =
-            BeginResponse(backend_.Put(name.value(), data.value()), corr);
+        execute = [this, corr, version, name = std::move(name).value(),
+                   data = std::move(data).value()] {
+          return BeginResponse(backend_.Put(name, data), corr, version);
+        };
         break;
       }
       case Rpc::kDelete: {
@@ -234,7 +282,9 @@ void NexusdServer::ServeConnection(int fd) {
           close_connection = true;
           break;
         }
-        response = BeginResponse(backend_.Delete(name.value()), corr);
+        execute = [this, corr, version, name = std::move(name).value()] {
+          return BeginResponse(backend_.Delete(name), corr, version);
+        };
         break;
       }
       case Rpc::kExists: {
@@ -243,8 +293,11 @@ void NexusdServer::ServeConnection(int fd) {
           close_connection = true;
           break;
         }
-        response = BeginResponse(Status::Ok(), corr);
-        response.U8(backend_.Exists(name.value()) ? 1 : 0);
+        execute = [this, corr, version, name = std::move(name).value()] {
+          Writer r = BeginResponse(Status::Ok(), corr, version);
+          r.U8(backend_.Exists(name) ? 1 : 0);
+          return r;
+        };
         break;
       }
       case Rpc::kList: {
@@ -253,21 +306,89 @@ void NexusdServer::ServeConnection(int fd) {
           close_connection = true;
           break;
         }
-        const std::vector<std::string> names = backend_.List(prefix.value());
-        std::size_t payload = 0;
-        for (const auto& n : names) payload += n.size() + 4;
-        if (payload > kMaxObjectBytes) {
-          response = BeginResponse(
-              Error(ErrorCode::kOutOfRange, "listing exceeds frame bound"),
-              corr);
-        } else {
-          response = BeginResponse(Status::Ok(), corr);
-          response.U32(static_cast<std::uint32_t>(names.size()));
-          for (const auto& n : names) response.Str(n);
+        execute = [this, corr, version, prefix = std::move(prefix).value()] {
+          const std::vector<std::string> names = backend_.List(prefix);
+          std::size_t payload = 0;
+          for (const auto& n : names) payload += n.size() + 4;
+          if (payload > kMaxObjectBytes) {
+            return BeginResponse(
+                Error(ErrorCode::kOutOfRange, "listing exceeds frame bound"),
+                corr, version);
+          }
+          Writer r = BeginResponse(Status::Ok(), corr, version);
+          r.U32(static_cast<std::uint32_t>(names.size()));
+          for (const auto& n : names) r.Str(n);
+          return r;
+        };
+        break;
+      }
+      case Rpc::kMultiGet: {
+        auto names = DecodeNameList(reader);
+        if (!names.ok()) {
+          close_connection = true;
+          break;
         }
+        execute = [this, corr, version, names = std::move(names).value()] {
+          std::vector<Result<Bytes>> fetched = backend_.MultiGet(names);
+          // Budget the ENCODED payload at kMaxObjectBytes; from the first
+          // entry that would overflow, everything becomes deferred (one
+          // byte each, well inside the frame cap's slack) and the client
+          // re-fetches those names as single Gets.
+          std::vector<MultiGetEntry> entries;
+          entries.reserve(fetched.size());
+          std::size_t used = 4; // the entry-count u32
+          bool overflowed = false;
+          for (Result<Bytes>& result : fetched) {
+            MultiGetEntry entry; // defaults to kDeferred
+            if (!overflowed) {
+              const std::size_t cost =
+                  result.ok() ? 1 + 4 + result.value().size()
+                              : 1 + 1 + 4 + result.status().message().size();
+              if (used + cost > kMaxObjectBytes) {
+                overflowed = true;
+              } else if (result.ok()) {
+                used += cost;
+                entry.state = MultiGetEntry::State::kOk;
+                entry.data = std::move(result).value();
+              } else {
+                used += cost;
+                entry.state = MultiGetEntry::State::kError;
+                entry.error = result.status();
+              }
+            }
+            entries.push_back(std::move(entry));
+          }
+          Writer r = BeginResponse(Status::Ok(), corr, version);
+          EncodeMultiGetEntries(r, entries);
+          return r;
+        };
+        break;
+      }
+      case Rpc::kMultiExists: {
+        auto names = DecodeNameList(reader);
+        if (!names.ok()) {
+          close_connection = true;
+          break;
+        }
+        execute = [this, corr, version, names = std::move(names).value()] {
+          const std::vector<bool> flags = backend_.MultiExists(names);
+          Writer r = BeginResponse(Status::Ok(), corr, version);
+          for (const bool flag : flags) r.U8(flag ? 1 : 0);
+          return r;
+        };
+        break;
+      }
+      case Rpc::kStats: {
+        execute = [this, corr, version] {
+          Writer r = BeginResponse(Status::Ok(), corr, version);
+          EncodeServerStats(r, WireStats());
+          return r;
+        };
         break;
       }
       case Rpc::kStreamBegin: {
+        trace::Span span(RpcName(rpc.value()), "net.server");
+        span.SetCorrelation(corr);
         auto name = reader.Str();
         if (!name.ok()) {
           close_connection = true;
@@ -277,16 +398,18 @@ void NexusdServer::ServeConnection(int fd) {
         if (stream.ok()) {
           const std::uint64_t handle = next_stream_handle++;
           streams[handle] = std::move(stream).value();
-          response = BeginResponse(Status::Ok(), corr);
+          response = BeginResponse(Status::Ok(), corr, version);
           response.U64(handle);
           const std::lock_guard<std::mutex> lock(mu_);
           ++stats_.open_streams;
         } else {
-          response = BeginResponse(stream.status(), corr);
+          response = BeginResponse(stream.status(), corr, version);
         }
         break;
       }
       case Rpc::kStreamAppend: {
+        trace::Span span(RpcName(rpc.value()), "net.server");
+        span.SetCorrelation(corr);
         auto handle = reader.U64();
         if (!handle.ok()) {
           close_connection = true;
@@ -301,13 +424,16 @@ void NexusdServer::ServeConnection(int fd) {
         if (it == streams.end()) {
           response = BeginResponse(
               Error(ErrorCode::kInvalidArgument, "unknown stream handle"),
-              corr);
+              corr, version);
         } else {
-          response = BeginResponse(it->second->Append(segment.value()), corr);
+          response =
+              BeginResponse(it->second->Append(segment.value()), corr, version);
         }
         break;
       }
       case Rpc::kStreamCommit: {
+        trace::Span span(RpcName(rpc.value()), "net.server");
+        span.SetCorrelation(corr);
         auto handle = reader.U64();
         if (!handle.ok()) {
           close_connection = true;
@@ -317,9 +443,9 @@ void NexusdServer::ServeConnection(int fd) {
         if (it == streams.end()) {
           response = BeginResponse(
               Error(ErrorCode::kInvalidArgument, "unknown stream handle"),
-              corr);
+              corr, version);
         } else {
-          response = BeginResponse(it->second->Commit(), corr);
+          response = BeginResponse(it->second->Commit(), corr, version);
           streams.erase(it);
           const std::lock_guard<std::mutex> lock(mu_);
           --stats_.open_streams;
@@ -327,6 +453,8 @@ void NexusdServer::ServeConnection(int fd) {
         break;
       }
       case Rpc::kStreamAbort: {
+        trace::Span span(RpcName(rpc.value()), "net.server");
+        span.SetCorrelation(corr);
         auto handle = reader.U64();
         if (!handle.ok()) {
           close_connection = true;
@@ -336,19 +464,14 @@ void NexusdServer::ServeConnection(int fd) {
         if (it == streams.end()) {
           response = BeginResponse(
               Error(ErrorCode::kInvalidArgument, "unknown stream handle"),
-              corr);
+              corr, version);
         } else {
           it->second->Abort();
           streams.erase(it);
-          response = BeginResponse(Status::Ok(), corr);
+          response = BeginResponse(Status::Ok(), corr, version);
           const std::lock_guard<std::mutex> lock(mu_);
           --stats_.open_streams;
         }
-        break;
-      }
-      case Rpc::kStats: {
-        response = BeginResponse(Status::Ok(), corr);
-        EncodeServerStats(response, WireStats());
         break;
       }
     }
@@ -359,20 +482,78 @@ void NexusdServer::ServeConnection(int fd) {
       break;
     }
 
-    const auto op = static_cast<std::size_t>(rpc.value());
+    if (execute) {
+      // Backpressure: cap this connection's outstanding handlers so one
+      // client cannot queue unbounded work (and memory) behind a slow
+      // backend.
+      {
+        std::unique_lock<std::mutex> lock(ctx->mu);
+        ctx->cv.wait(lock, [&] {
+          return ctx->inflight < options_.max_inflight_per_connection;
+        });
+        ++ctx->inflight;
+      }
+      handlers.Submit([this, ctx, &transport, op, frame_bytes, corr,
+                       service_start_ns, name = RpcName(rpc.value()),
+                       execute = std::move(execute)](parallel::WorkerContext&) {
+        // One span per served request, tagged with the client's
+        // correlation id so client and server spans can be matched up.
+        trace::Span span(name, "net.server");
+        span.SetCorrelation(corr);
+        const Writer response = execute();
+        // Count BEFORE sending: a client that has the response in hand
+        // (and asks for Stats) must find it already reflected.
+        {
+          const std::lock_guard<std::mutex> lock(mu_);
+          ++stats_.rpcs_served;
+          stats_.bytes_received += frame_bytes + 4;
+          stats_.bytes_sent += response.bytes().size() + 4;
+          ++per_op_[op].count;
+          per_op_[op].bytes_in += frame_bytes;
+          per_op_[op].bytes_out += response.bytes().size();
+        }
+        {
+          const std::lock_guard<std::mutex> lock(ctx->send_mu);
+          if (!ctx->send_failed &&
+              !transport.SendFrame(response.bytes()).ok()) {
+            ctx->send_failed = true;
+          }
+        }
+        op_latency_ns_[op].Record(MonotonicNanos() - service_start_ns);
+        {
+          const std::lock_guard<std::mutex> lock(ctx->mu);
+          --ctx->inflight;
+        }
+        ctx->cv.notify_one();
+      });
+      const std::lock_guard<std::mutex> lock(ctx->send_mu);
+      if (ctx->send_failed) break; // peer is gone; stop pulling frames
+      continue;
+    }
+
+    // Inline (stream) path: same count-before-send ordering as always.
     {
       const std::lock_guard<std::mutex> lock(mu_);
       ++stats_.rpcs_served;
-      stats_.bytes_received += frame.value().size() + 4;
+      stats_.bytes_received += frame_bytes + 4;
       stats_.bytes_sent += response.bytes().size() + 4;
       ++per_op_[op].count;
-      per_op_[op].bytes_in += frame.value().size();
+      per_op_[op].bytes_in += frame_bytes;
       per_op_[op].bytes_out += response.bytes().size();
     }
-    const bool sent = transport.SendFrame(response.bytes()).ok();
+    bool sent;
+    {
+      const std::lock_guard<std::mutex> lock(ctx->send_mu);
+      sent = !ctx->send_failed && transport.SendFrame(response.bytes()).ok();
+      if (!sent) ctx->send_failed = true;
+    }
     op_latency_ns_[op].Record(MonotonicNanos() - service_start_ns);
     if (!sent) break;
   }
+
+  // Drain the handlers before the transport (their send target) and the
+  // stats teardown below.
+  handlers.WaitAll();
 
   {
     const std::lock_guard<std::mutex> lock(mu_);

@@ -1,11 +1,21 @@
 // nexusd server library: serves any StorageBackend over the wire protocol.
 //
 // One listener thread accepts TCP connections and hands each one to the
-// parallel::ThreadPool as a long-lived task; a worker owns the connection
-// for its lifetime (requests on one connection are processed in order,
-// which the streaming RPC relies on). The pool's worker count therefore
+// parallel::ThreadPool as a long-lived task; a worker owns the
+// connection's READER for its lifetime. The pool's worker count therefore
 // bounds the number of SIMULTANEOUSLY SERVED connections — further
 // accepted connections queue until a worker frees up.
+//
+// Within one connection, requests are pipelined: the reader thread parses
+// each frame in arrival order (framing errors must kill the connection
+// deterministically) and dispatches the stateless RPCs onto a SEPARATE
+// rpc pool, where each finished handler sends its own response — so
+// responses can leave out of order, matched back by correlation id on the
+// client's demux. The stream RPCs (Begin/Append/Commit/Abort) stay on the
+// reader thread: their handle table is connection state that the in-order
+// byte stream defines. A second pool (rather than the connection pool)
+// carries the handlers so a burst of connections can never deadlock
+// waiting for its own workers.
 //
 // The daemon is the paper's untrusted storage service: it sees only
 // ciphertext and opaque names, so it does no authentication and keeps no
@@ -35,6 +45,16 @@ struct NexusdOptions {
   std::uint16_t port = 0;
   /// Thread-pool workers == max concurrently served connections.
   std::size_t workers = 4;
+  /// Workers on the shared RPC-handler pool (all connections). 0 runs
+  /// every handler inline on its connection's reader thread — strictly
+  /// in-order replies, the pre-v3 behavior.
+  std::size_t rpc_workers = 4;
+  /// Most handler tasks one connection may have outstanding before its
+  /// reader stops pulling frames (per-connection backpressure).
+  std::size_t max_inflight_per_connection = 64;
+  /// Highest wire version this server will accept or advertise — set to 2
+  /// to stand up a legacy server for interop tests.
+  std::uint8_t max_protocol_version = kProtocolVersion;
 };
 
 class NexusdServer {
@@ -75,7 +95,7 @@ class NexusdServer {
  private:
   /// Dense per-RPC slot array; index = static_cast<std::size_t>(Rpc).
   static constexpr std::size_t kRpcSlots =
-      static_cast<std::size_t>(Rpc::kStats) + 1;
+      static_cast<std::size_t>(Rpc::kMultiExists) + 1;
 
   struct PerOpCounters {
     std::uint64_t count = 0;
@@ -94,6 +114,7 @@ class NexusdServer {
   int listen_fd_ = -1;
 
   std::unique_ptr<parallel::ThreadPool> pool_;
+  std::unique_ptr<parallel::ThreadPool> rpc_pool_; // null: inline handlers
   std::unique_ptr<parallel::TaskGroup> connections_;
   std::thread accept_thread_;
 

@@ -88,23 +88,29 @@ Result<std::unique_ptr<TcpTransport>> TcpTransport::Dial(
 TcpTransport::TcpTransport(int fd, int io_deadline_ms)
     : fd_(fd), io_deadline_ms_(io_deadline_ms) {
   const int one = 1;
-  ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
 }
 
 TcpTransport::~TcpTransport() { Close(); }
 
 void TcpTransport::Close() {
-  if (fd_ >= 0) {
-    ::close(fd_);
-    fd_ = -1;
-  }
+  const int fd = fd_.exchange(-1, std::memory_order_acq_rel);
+  if (fd >= 0) ::close(fd);
 }
 
-Status TcpTransport::WriteAll(const std::uint8_t* data, std::size_t len) {
+void TcpTransport::Shutdown() {
+  // shutdown(), not close(): the fd number stays ours, so a thread
+  // blocked in poll/read on it wakes with EOF instead of racing reuse.
+  const int fd = fd_.load(std::memory_order_acquire);
+  if (fd >= 0) ::shutdown(fd, SHUT_RDWR);
+}
+
+Status TcpTransport::WriteAll(int fd, const std::uint8_t* data,
+                              std::size_t len) {
   while (len > 0) {
     // MSG_NOSIGNAL: a peer reset yields EPIPE instead of killing the
     // process — resets are an expected, retryable event here.
-    const ssize_t n = ::send(fd_, data, len, MSG_NOSIGNAL);
+    const ssize_t n = ::send(fd, data, len, MSG_NOSIGNAL);
     if (n < 0) {
       if (errno == EINTR) continue;
       return Errno("send");
@@ -115,9 +121,9 @@ Status TcpTransport::WriteAll(const std::uint8_t* data, std::size_t len) {
   return Status::Ok();
 }
 
-Status TcpTransport::ReadAll(std::uint8_t* data, std::size_t len) {
+Status TcpTransport::ReadAll(int fd, std::uint8_t* data, std::size_t len) {
   while (len > 0) {
-    pollfd pfd{fd_, POLLIN, 0};
+    pollfd pfd{fd, POLLIN, 0};
     const int rc = ::poll(&pfd, 1, io_deadline_ms_ > 0 ? io_deadline_ms_ : -1);
     if (rc == 0) {
       return Error(ErrorCode::kIOError, "recv deadline exceeded");
@@ -126,7 +132,7 @@ Status TcpTransport::ReadAll(std::uint8_t* data, std::size_t len) {
       if (errno == EINTR) continue;
       return Errno("poll");
     }
-    const ssize_t n = ::read(fd_, data, len);
+    const ssize_t n = ::read(fd, data, len);
     if (n < 0) {
       if (errno == EINTR) continue;
       return Errno("recv");
@@ -141,20 +147,22 @@ Status TcpTransport::ReadAll(std::uint8_t* data, std::size_t len) {
 }
 
 Status TcpTransport::SendFrame(ByteSpan payload) {
-  if (fd_ < 0) return Error(ErrorCode::kIOError, "transport closed");
+  const int fd = fd_.load(std::memory_order_acquire);
+  if (fd < 0) return Error(ErrorCode::kIOError, "transport closed");
   if (payload.size() > kMaxFrameBytes) {
     return Error(ErrorCode::kInvalidArgument, "frame too large");
   }
   std::uint8_t prefix[4];
   EncodeLen(static_cast<std::uint32_t>(payload.size()), prefix);
-  NEXUS_RETURN_IF_ERROR(WriteAll(prefix, sizeof(prefix)));
-  return WriteAll(payload.data(), payload.size());
+  NEXUS_RETURN_IF_ERROR(WriteAll(fd, prefix, sizeof(prefix)));
+  return WriteAll(fd, payload.data(), payload.size());
 }
 
 Result<Bytes> TcpTransport::RecvFrame() {
-  if (fd_ < 0) return Error(ErrorCode::kIOError, "transport closed");
+  const int fd = fd_.load(std::memory_order_acquire);
+  if (fd < 0) return Error(ErrorCode::kIOError, "transport closed");
   std::uint8_t prefix[4];
-  NEXUS_RETURN_IF_ERROR(ReadAll(prefix, sizeof(prefix)));
+  NEXUS_RETURN_IF_ERROR(ReadAll(fd, prefix, sizeof(prefix)));
   const std::uint32_t len = DecodeLen(prefix);
   if (len > kMaxFrameBytes) {
     // Bound BEFORE allocating: a lying length cannot OOM the client.
@@ -162,18 +170,22 @@ Result<Bytes> TcpTransport::RecvFrame() {
                  "oversized frame (" + std::to_string(len) + " bytes)");
   }
   Bytes payload(len);
-  if (len > 0) NEXUS_RETURN_IF_ERROR(ReadAll(payload.data(), payload.size()));
+  if (len > 0)
+    NEXUS_RETURN_IF_ERROR(ReadAll(fd, payload.data(), payload.size()));
   return payload;
 }
 
 Status TcpTransport::SendTruncated(ByteSpan payload, std::size_t keep) {
-  if (fd_ < 0) return Error(ErrorCode::kIOError, "transport closed");
+  const int fd = fd_.load(std::memory_order_acquire);
+  if (fd < 0) return Error(ErrorCode::kIOError, "transport closed");
   std::uint8_t prefix[4];
   EncodeLen(static_cast<std::uint32_t>(payload.size()), prefix);
-  NEXUS_RETURN_IF_ERROR(WriteAll(prefix, sizeof(prefix)));
+  NEXUS_RETURN_IF_ERROR(WriteAll(fd, prefix, sizeof(prefix)));
   const std::size_t n = std::min(keep, payload.size());
-  const Status sent = WriteAll(payload.data(), n);
-  Close();
+  const Status sent = WriteAll(fd, payload.data(), n);
+  // Shutdown, not Close: the peer still observes torn-frame-then-FIN, but
+  // the fd survives for any thread currently blocked reading it.
+  Shutdown();
   return sent;
 }
 

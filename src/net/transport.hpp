@@ -11,6 +11,7 @@
 // wraps it for deterministic failure injection.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -30,6 +31,12 @@ class Transport {
   virtual Result<Bytes> RecvFrame() = 0;
   /// Hard-closes the connection; subsequent calls fail.
   virtual void Close() = 0;
+  /// Breaks the connection WITHOUT releasing the descriptor: any thread
+  /// blocked in SendFrame/RecvFrame fails promptly, and the fd stays
+  /// allocated until Close()/destruction. This is the only member safe to
+  /// call concurrently with in-flight I/O — the multiplexer uses it to
+  /// unblock its demux thread (a concurrent Close would race fd reuse).
+  virtual void Shutdown() { Close(); }
 };
 
 class TcpTransport final : public Transport {
@@ -51,17 +58,20 @@ class TcpTransport final : public Transport {
   Status SendFrame(ByteSpan payload) override;
   Result<Bytes> RecvFrame() override;
   void Close() override;
+  void Shutdown() override;
 
   /// Fault-injection seam: writes the frame's length prefix but only the
-  /// first `keep` payload bytes, then closes — the peer observes a torn
-  /// frame followed by EOF, exactly like a crash mid-write.
+  /// first `keep` payload bytes, then shuts the socket down — the peer
+  /// observes a torn frame followed by EOF, exactly like a crash mid-write.
   Status SendTruncated(ByteSpan payload, std::size_t keep);
 
  private:
-  Status WriteAll(const std::uint8_t* data, std::size_t len);
-  Status ReadAll(std::uint8_t* data, std::size_t len);
+  Status WriteAll(int fd, const std::uint8_t* data, std::size_t len);
+  Status ReadAll(int fd, std::uint8_t* data, std::size_t len);
 
-  int fd_ = -1;
+  // Atomic so Shutdown() can read it while another thread is mid-I/O;
+  // only Close() writes it (to -1), exactly once.
+  std::atomic<int> fd_{-1};
   int io_deadline_ms_ = 0;
 };
 

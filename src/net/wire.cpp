@@ -17,6 +17,8 @@ const char* RpcName(Rpc rpc) noexcept {
     case Rpc::kStreamCommit: return "stream_commit";
     case Rpc::kStreamAbort: return "stream_abort";
     case Rpc::kStats: return "stats";
+    case Rpc::kMultiGet: return "multi_get";
+    case Rpc::kMultiExists: return "multi_exists";
   }
   return "unknown";
 }
@@ -29,8 +31,12 @@ std::uint64_t NextCorrelationId() noexcept {
 Writer BeginRequest(Rpc rpc) { return BeginRequest(rpc, NextCorrelationId()); }
 
 Writer BeginRequest(Rpc rpc, std::uint64_t correlation) {
+  return BeginRequest(rpc, correlation, kProtocolVersion);
+}
+
+Writer BeginRequest(Rpc rpc, std::uint64_t correlation, std::uint8_t version) {
   Writer w;
-  w.U8(kProtocolVersion);
+  w.U8(version);
   w.U8(static_cast<std::uint8_t>(rpc));
   w.U64(correlation);
   return w;
@@ -51,26 +57,40 @@ std::uint64_t RequestCorrelation(ByteSpan request) noexcept {
   return v;
 }
 
-Result<Rpc> ParseRequestHead(Reader& reader, std::uint64_t* correlation) {
+std::uint64_t ResponseCorrelation(ByteSpan response) noexcept {
+  if (response.size() < 1 + 8) return 0;
+  std::uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) {
+    v = (v << 8) | response[1 + static_cast<std::size_t>(i)];
+  }
+  return v;
+}
+
+Result<Rpc> ParseRequestHead(Reader& reader, std::uint64_t* correlation,
+                             std::uint8_t* version_out) {
   NEXUS_ASSIGN_OR_RETURN(const std::uint8_t version, reader.U8());
-  if (version != kProtocolVersion) {
+  if (version < kMinProtocolVersion || version > kProtocolVersion) {
     return Error(ErrorCode::kInvalidArgument,
                  "unsupported protocol version " + std::to_string(version));
   }
   NEXUS_ASSIGN_OR_RETURN(const std::uint8_t rpc, reader.U8());
+  const auto max_rpc = version == 2 ? kMaxV2Rpc : Rpc::kMultiExists;
   if (rpc < static_cast<std::uint8_t>(Rpc::kPing) ||
-      rpc > static_cast<std::uint8_t>(Rpc::kStats)) {
+      rpc > static_cast<std::uint8_t>(max_rpc)) {
     return Error(ErrorCode::kInvalidArgument,
-                 "unknown rpc id " + std::to_string(rpc));
+                 "unknown rpc id " + std::to_string(rpc) + " for version " +
+                     std::to_string(version));
   }
   NEXUS_ASSIGN_OR_RETURN(const std::uint64_t corr, reader.U64());
   if (correlation != nullptr) *correlation = corr;
+  if (version_out != nullptr) *version_out = version;
   return static_cast<Rpc>(rpc);
 }
 
-Writer BeginResponse(const Status& status, std::uint64_t correlation) {
+Writer BeginResponse(const Status& status, std::uint64_t correlation,
+                     std::uint8_t version) {
   Writer w;
-  w.U8(kProtocolVersion);
+  w.U8(version);
   w.U64(correlation);
   w.U8(CodeToWire(status.code()));
   w.Str(status.message());
@@ -80,7 +100,7 @@ Writer BeginResponse(const Status& status, std::uint64_t correlation) {
 Status ParseResponseHead(Reader& reader, Status* verdict,
                          std::uint64_t* correlation) {
   NEXUS_ASSIGN_OR_RETURN(const std::uint8_t version, reader.U8());
-  if (version != kProtocolVersion) {
+  if (version < kMinProtocolVersion || version > kProtocolVersion) {
     return Error(ErrorCode::kInvalidArgument,
                  "unsupported protocol version " + std::to_string(version));
   }
@@ -145,7 +165,7 @@ Result<ServerStats> DecodeServerStats(Reader& reader) {
     RpcOpStats op;
     NEXUS_ASSIGN_OR_RETURN(op.rpc, reader.U8());
     if (op.rpc < static_cast<std::uint8_t>(Rpc::kPing) ||
-        op.rpc > static_cast<std::uint8_t>(Rpc::kStats)) {
+        op.rpc > static_cast<std::uint8_t>(Rpc::kMultiExists)) {
       return Error(ErrorCode::kInvalidArgument,
                    "stats entry with unknown rpc id " + std::to_string(op.rpc));
     }
@@ -157,6 +177,87 @@ Result<ServerStats> DecodeServerStats(Reader& reader) {
     stats.per_op.push_back(op);
   }
   return stats;
+}
+
+void EncodeNameList(Writer& writer, const std::vector<std::string>& names) {
+  writer.U32(static_cast<std::uint32_t>(names.size()));
+  for (const std::string& name : names) writer.Str(name);
+}
+
+Result<std::vector<std::string>> DecodeNameList(Reader& reader) {
+  NEXUS_ASSIGN_OR_RETURN(const std::uint32_t n, reader.U32());
+  if (n > kMaxMultiEntries) {
+    return Error(ErrorCode::kOutOfRange,
+                 "batch of " + std::to_string(n) + " names exceeds limit");
+  }
+  std::vector<std::string> names;
+  names.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    NEXUS_ASSIGN_OR_RETURN(std::string name, reader.Str());
+    names.push_back(std::move(name));
+  }
+  return names;
+}
+
+void EncodeMultiGetEntries(Writer& writer,
+                           const std::vector<MultiGetEntry>& entries) {
+  writer.U32(static_cast<std::uint32_t>(entries.size()));
+  for (const MultiGetEntry& entry : entries) {
+    writer.U8(static_cast<std::uint8_t>(entry.state));
+    switch (entry.state) {
+      case MultiGetEntry::State::kOk:
+        writer.Var(entry.data);
+        break;
+      case MultiGetEntry::State::kError:
+        writer.U8(CodeToWire(entry.error.code()));
+        writer.Str(entry.error.message());
+        break;
+      case MultiGetEntry::State::kDeferred:
+        break; // no body: the client re-fetches it as a single Get
+    }
+  }
+}
+
+Result<std::vector<MultiGetEntry>> DecodeMultiGetEntries(Reader& reader) {
+  NEXUS_ASSIGN_OR_RETURN(const std::uint32_t n, reader.U32());
+  if (n > kMaxMultiEntries) {
+    return Error(ErrorCode::kOutOfRange,
+                 "batch of " + std::to_string(n) + " entries exceeds limit");
+  }
+  std::vector<MultiGetEntry> entries;
+  entries.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    MultiGetEntry entry;
+    NEXUS_ASSIGN_OR_RETURN(const std::uint8_t state, reader.U8());
+    switch (state) {
+      case static_cast<std::uint8_t>(MultiGetEntry::State::kOk): {
+        entry.state = MultiGetEntry::State::kOk;
+        NEXUS_ASSIGN_OR_RETURN(entry.data, reader.Var(kMaxObjectBytes));
+        break;
+      }
+      case static_cast<std::uint8_t>(MultiGetEntry::State::kError): {
+        entry.state = MultiGetEntry::State::kError;
+        NEXUS_ASSIGN_OR_RETURN(const std::uint8_t code, reader.U8());
+        NEXUS_ASSIGN_OR_RETURN(std::string message, reader.Str());
+        const ErrorCode decoded = CodeFromWire(code);
+        if (decoded == ErrorCode::kOk) {
+          return Error(ErrorCode::kInvalidArgument,
+                       "multi-get error entry with ok code");
+        }
+        entry.error = Status(decoded, std::move(message));
+        break;
+      }
+      case static_cast<std::uint8_t>(MultiGetEntry::State::kDeferred): {
+        entry.state = MultiGetEntry::State::kDeferred;
+        break;
+      }
+      default:
+        return Error(ErrorCode::kInvalidArgument,
+                     "unknown multi-get entry state " + std::to_string(state));
+    }
+    entries.push_back(std::move(entry));
+  }
+  return entries;
 }
 
 } // namespace nexus::net

@@ -16,6 +16,17 @@
 // call treated as ambiguous), and both sides stamp it on their trace spans
 // so a client span can be matched to the server span that served it.
 //
+// Protocol v3 keeps the framing byte-identical and adds two batch RPCs
+// (MultiGet / MultiExists) plus out-of-order responses: since every
+// response already names its request via the correlation id, a v3 server
+// may answer the requests of one connection in any order, and a v3 client
+// may keep a whole window of them in flight. Version negotiation rides on
+// Ping: a v3 client appends its max version byte to the Ping arguments (v2
+// servers ignore trailing request bytes on Ping), and a v3 server appends
+// its negotiated version byte to the Ping response payload (v2 clients
+// never look at Ping results). An empty Ping payload therefore means "v2
+// peer": the client falls back to lock-step singles.
+//
 // The server is untrusted in the NEXUS threat model, so nothing here is
 // authenticated — the protocol only moves ciphertext and opaque object
 // names, and the enclave's MACs catch any tampering above this layer. What
@@ -26,6 +37,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "common/bytes.hpp"
@@ -34,7 +46,10 @@
 
 namespace nexus::net {
 
-inline constexpr std::uint8_t kProtocolVersion = 2;
+inline constexpr std::uint8_t kProtocolVersion = 3;
+/// Oldest peer version both sides still speak (v2 = correlation ids +
+/// Stats, lock-step only). Frames with older versions are rejected.
+inline constexpr std::uint8_t kMinProtocolVersion = 2;
 
 /// Largest object the protocol moves (bulk data chunks are ≤1 MiB today;
 /// whole journal records and streamed segments stay far below this).
@@ -58,7 +73,14 @@ enum class Rpc : std::uint8_t {
   kStreamCommit = 9,  // handle; object becomes visible atomically
   kStreamAbort = 10,  // handle; store untouched
   kStats = 11,        // -> ServerStats (counters, per-op latency)
+  // v3 batch ops: one frame each way for a whole fan-out of names.
+  kMultiGet = 12,     // name list -> per-name ok/error/deferred entries
+  kMultiExists = 13,  // name list -> per-name presence flags
 };
+
+/// Last RPC id a v2 peer understands; v2-version request heads carrying a
+/// later id are a protocol violation (a v2 client can never have sent one).
+inline constexpr Rpc kMaxV2Rpc = Rpc::kStats;
 
 /// Stable lowercase name for an RPC id ("get", "stream_begin", ...). Used
 /// as span names and in nexus-stat output.
@@ -76,21 +98,32 @@ std::uint64_t NextCorrelationId() noexcept;
 Writer BeginRequest(Rpc rpc);
 /// Same, with an explicit correlation id (tests, retransmissions).
 Writer BeginRequest(Rpc rpc, std::uint64_t correlation);
+/// Same, with an explicit head version (talking down to a v2 server).
+Writer BeginRequest(Rpc rpc, std::uint64_t correlation, std::uint8_t version);
 
 /// Reads the rpc id out of raw request bytes (0 if too short / pre-v2).
 Rpc RequestRpc(ByteSpan request) noexcept;
 /// Reads the correlation id out of raw request bytes (0 if too short).
 std::uint64_t RequestCorrelation(ByteSpan request) noexcept;
+/// Reads the correlation id out of raw RESPONSE bytes without validating
+/// the rest of the head (0 if too short — real ids start at 1). The demux
+/// thread uses this to route a frame before anyone decodes it.
+std::uint64_t ResponseCorrelation(ByteSpan response) noexcept;
 
 /// Parses (and validates) a request head; the reader is left at the first
 /// argument. When `correlation` is non-null it receives the request's
-/// correlation id.
+/// correlation id; when `version` is non-null, the head's version byte
+/// (within [kMinProtocolVersion, kProtocolVersion], or the head is
+/// rejected — as is a v2 head naming a v3-only rpc).
 Result<Rpc> ParseRequestHead(Reader& reader,
-                             std::uint64_t* correlation = nullptr);
+                             std::uint64_t* correlation = nullptr,
+                             std::uint8_t* version = nullptr);
 
 /// Starts a response carrying `status`, echoing the request's correlation
-/// id (OK responses append results).
-Writer BeginResponse(const Status& status, std::uint64_t correlation);
+/// id (OK responses append results). `version` must echo the REQUEST
+/// head's version so v2 clients never see a version byte they reject.
+Writer BeginResponse(const Status& status, std::uint64_t correlation,
+                     std::uint8_t version = kProtocolVersion);
 
 /// Parses a response head. The RETURNED Status is a protocol violation
 /// (malformed frame — treat the connection as broken); on success,
@@ -137,9 +170,34 @@ struct ServerStats {
 /// Upper bound on per_op rows a decoder accepts — there are only that many
 /// RPC ids, so anything larger is malformed.
 inline constexpr std::size_t kMaxStatsEntries =
-    static_cast<std::size_t>(Rpc::kStats);
+    static_cast<std::size_t>(Rpc::kMultiExists);
 
 void EncodeServerStats(Writer& writer, const ServerStats& stats);
 Result<ServerStats> DecodeServerStats(Reader& reader);
+
+// ---- Batch RPC payloads (v3) ------------------------------------------------
+
+/// Most names one MultiGet/MultiExists frame carries. Far above any real
+/// fan-out (a chunk table tops out in the hundreds) but small enough that
+/// a hostile count cannot force a large allocation.
+inline constexpr std::size_t kMaxMultiEntries = 4096;
+
+/// Request body shared by kMultiGet and kMultiExists: u32 count + names.
+void EncodeNameList(Writer& writer, const std::vector<std::string>& names);
+Result<std::vector<std::string>> DecodeNameList(Reader& reader);
+
+/// One per-name result inside a MultiGet response. The server fills data
+/// until the response would exceed the frame bound, then defers the rest;
+/// the client re-fetches deferred entries as single Gets.
+struct MultiGetEntry {
+  enum class State : std::uint8_t { kOk = 0, kError = 1, kDeferred = 2 };
+  State state = State::kDeferred;
+  Bytes data;                  // kOk only
+  Status error = Status::Ok(); // kError only (the per-name verdict)
+};
+
+void EncodeMultiGetEntries(Writer& writer,
+                           const std::vector<MultiGetEntry>& entries);
+Result<std::vector<MultiGetEntry>> DecodeMultiGetEntries(Reader& reader);
 
 } // namespace nexus::net

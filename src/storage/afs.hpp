@@ -42,6 +42,18 @@ class AfsServer {
   };
 
   Result<FetchResult> RpcFetch(const std::string& client, const std::string& path);
+  /// Batched fetch: the whole set travels as ONE round-trip (the per-RPC
+  /// overhead is charged once; transfer time covers the summed payload),
+  /// riding the backend's MultiGet so a remote store coalesces the fan-out
+  /// into one frame each way. Results are per-path — a missing object
+  /// fails its own slot, never the batch.
+  std::vector<Result<FetchResult>> RpcFetchMulti(
+      const std::string& client, const std::vector<std::string>& paths);
+  /// Readahead hint: asks the storage layer to start pulling `path` toward
+  /// the client. Speculative traffic overlaps client computation, so it is
+  /// free on the virtual clock and carries no reply; correctness never
+  /// depends on it.
+  void RpcPrefetchHint(const std::string& client, const std::string& path);
   Result<std::uint64_t> RpcStore(const std::string& client,
                                  const std::string& path, ByteSpan data);
   /// Store that only transfers `changed_bytes` over the wire (AFS fsync
@@ -154,6 +166,14 @@ class AfsClient {
   /// Whole-file fetch. Served from the local cache when the callback is
   /// still valid (zero cost), otherwise fetched from the server.
   Result<Bytes> Fetch(const std::string& path);
+  /// Batched fetch: cache-fresh paths are free local hits; all misses go
+  /// to the server as one RpcFetchMulti round-trip and are installed in
+  /// the cache. One result per input path, order preserved.
+  std::vector<Result<Bytes>> FetchMany(const std::vector<std::string>& paths);
+  /// Readahead hint. A no-op when the cached copy is still fresh;
+  /// otherwise forwards the hint to the server (and on to the backend's
+  /// async prefetch window). Never blocks, never charges the clock.
+  void Prefetch(const std::string& path);
   /// Fetch that also reports the server version stamp of the bytes.
   Result<AfsServer::FetchResult> FetchVersioned(const std::string& path);
   /// Whole-file store (the close() flush in open-to-close semantics).

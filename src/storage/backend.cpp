@@ -111,6 +111,22 @@ Result<std::unique_ptr<StorageBackend::PutStream>> StorageBackend::OpenPutStream
   return std::unique_ptr<PutStream>(new BufferedPutStream(*this, name));
 }
 
+std::vector<Result<Bytes>> StorageBackend::MultiGet(
+    const std::vector<std::string>& names) {
+  std::vector<Result<Bytes>> results;
+  results.reserve(names.size());
+  for (const std::string& name : names) results.push_back(Get(name));
+  return results;
+}
+
+std::vector<bool> StorageBackend::MultiExists(
+    const std::vector<std::string>& names) {
+  std::vector<bool> results;
+  results.reserve(names.size());
+  for (const std::string& name : names) results.push_back(Exists(name));
+  return results;
+}
+
 // ---- DiskBackend -----------------------------------------------------------
 
 // Escapes object names into flat, safe filenames: alphanumerics, '-', '_'

@@ -58,6 +58,19 @@ class StorageBackend {
   /// so a large streamed object never needs a second in-memory copy.
   virtual Result<std::unique_ptr<PutStream>> OpenPutStream(
       const std::string& name);
+
+  /// Batched Get: one result per name, same order. The default loops over
+  /// Get(); RemoteBackend overrides it with a single MultiGet round trip
+  /// when the peer speaks wire v3.
+  virtual std::vector<Result<Bytes>> MultiGet(
+      const std::vector<std::string>& names);
+  /// Batched Exists, same shape.
+  virtual std::vector<bool> MultiExists(const std::vector<std::string>& names);
+
+  /// Non-binding readahead hint: `name` is likely to be Get() soon. The
+  /// default does nothing; RemoteBackend speculatively fetches the object
+  /// through its async window so the later Get is served locally.
+  virtual void Prefetch(const std::string& name) { (void)name; }
 };
 
 /// Volatile in-memory store. Thread-safe per the contract above (one

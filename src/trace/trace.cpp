@@ -98,8 +98,15 @@ struct EnvInit {
 };
 
 EnvInit& Env() {
-  static EnvInit env;
-  return env;
+  // Intentionally leaked: DumpAtExit runs during process exit, AFTER
+  // function-local statics are destroyed (the atexit handler is
+  // registered inside EnvInit's constructor, so it fires later than a
+  // destructor registered when construction completes). A by-value
+  // static here would hand DumpAtExit a destroyed std::string — which
+  // HAPPENS to work for paths short enough for the small-string buffer
+  // and silently drops the dump for anything longer.
+  static EnvInit* env = new EnvInit;
+  return *env;
 }
 
 [[maybe_unused]] const EnvInit& g_env_init = Env();

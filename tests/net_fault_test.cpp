@@ -236,6 +236,60 @@ TEST(NetFault, StatsRpcRetriesThroughDroppedResponses) {
   EXPECT_GT(scenario.fault_stats().dropped_responses, 0u);
 }
 
+// The backoff streak RESETS on success: a transient blip early in the
+// run must not inflate the delay of an unrelated later retry. Ordinals
+// 0 and 1 (the first Put's first two attempts) drop the request, ordinal
+// 2 succeeds — which must zero the streak — then ordinal 3 (the second
+// Put's first attempt) drops again and ordinal 4 succeeds.
+TEST(NetFault, BackoffStreakResetsAfterSuccess) {
+  storage::MemBackend store;
+  NexusdOptions server_options;
+  server_options.workers = 8;
+  auto server = NexusdServer::Start(store, server_options).value();
+
+  const std::uint16_t port = server->port();
+  auto stats = std::make_shared<FaultStats>();
+  auto ordinal = std::make_shared<std::uint64_t>(0);
+  TransportFactory factory = [port, stats,
+                              ordinal]() -> Result<std::unique_ptr<Transport>> {
+    NEXUS_ASSIGN_OR_RETURN(std::unique_ptr<TcpTransport> tcp,
+                           TcpTransport::Dial("127.0.0.1", port, 2000, 2000));
+    const std::uint64_t n = (*ordinal)++;
+    FaultSpec spec;
+    if (n == 0 || n == 1 || n == 3) spec.drop_request = 1.0;
+    return std::unique_ptr<Transport>(
+        std::make_unique<FaultyTransport>(std::move(tcp), spec, n, stats));
+  };
+
+  SleepRecorder sleeps;
+  RemoteBackendOptions client;
+  client.max_attempts = 6;
+  client.backoff_base_ms = 5;
+  client.backoff_cap_ms = 100;
+  client.max_pooled_connections = 0; // one dial (one ordinal) per attempt
+  client.sleep_ms = sleeps.fn();
+  RemoteBackend remote(std::move(factory), client);
+
+  ASSERT_TRUE(remote.Put("a", Bytes{1}).ok()); // attempts 1,2 drop; 3 lands
+  ASSERT_TRUE(remote.Put("b", Bytes{2}).ok()); // attempt 1 drops; 2 lands
+
+  const auto recorded = [&] {
+    const std::lock_guard<std::mutex> lock(sleeps.mu);
+    return sleeps.sleeps_ms;
+  }();
+  ASSERT_EQ(recorded.size(), 3u);
+  // Second backoff of the first Put: streak 2, nominal 2*base, jitter in
+  // [0.5, 1.0) => [5, 9] ms.
+  EXPECT_GE(recorded[1], 5);
+  // First backoff of the SECOND Put: the successful third attempt of the
+  // first Put reset the streak, so this is streak 1 again — [2, 4] ms. An
+  // unreset streak of 3 would have slept at least 10 ms.
+  EXPECT_GE(recorded[2], 1);
+  EXPECT_LE(recorded[2], 4);
+  EXPECT_EQ(stats->dropped_requests, 3u);
+  server->Stop();
+}
+
 // Identical seeds replay identical schedules: fault tallies, retry
 // counters and backoff sequences all match between two runs.
 TEST(NetFault, FixedSeedReplaysExactSchedule) {

@@ -80,7 +80,7 @@ TEST(WireRequest, RejectsLegacyV1Frames) {
 }
 
 TEST(WireRequest, RejectsUnknownRpcId) {
-  for (const std::uint8_t id : {std::uint8_t{0}, std::uint8_t{12},
+  for (const std::uint8_t id : {std::uint8_t{0}, std::uint8_t{14},
                                 std::uint8_t{200}}) {
     Writer w;
     w.U8(kProtocolVersion);
@@ -88,6 +88,19 @@ TEST(WireRequest, RejectsUnknownRpcId) {
     w.U64(1);
     Reader r(w.bytes());
     EXPECT_FALSE(ParseRequestHead(r).ok()) << unsigned{id};
+  }
+}
+
+TEST(WireRequest, RejectsBatchRpcsOnV2Heads) {
+  // The batch ops exist only in v3: a v2 head naming them is malformed,
+  // not a forward-compatible surprise for an old server.
+  for (const Rpc rpc : {Rpc::kMultiGet, Rpc::kMultiExists}) {
+    Writer w = BeginRequest(rpc, 7, /*version=*/2);
+    Reader r(w.bytes());
+    EXPECT_FALSE(ParseRequestHead(r).ok()) << RpcName(rpc);
+    Writer v3 = BeginRequest(rpc, 7, /*version=*/3);
+    Reader r3(v3.bytes());
+    ASSERT_TRUE(ParseRequestHead(r3).ok()) << RpcName(rpc);
   }
 }
 
