@@ -8,7 +8,10 @@
 //  6. parallel chunk-crypto worker counts (modeled N-core scaling),
 //  7. the untrusted store in-process vs behind a loopback nexusd daemon,
 //  8. remote read pipelining — RPC window widths and chunk readahead vs
-//     the lock-step request/response baseline.
+//     the lock-step request/response baseline,
+//  9. the client object cache — cold vs warm sequential reads and a
+//     git-clone-shaped metadata workload over a loopback daemon.
+#include <algorithm>
 #include <cstdio>
 #include <cstdint>
 #include <filesystem>
@@ -16,6 +19,8 @@
 #include <vector>
 
 #include "bench_util.hpp"
+#include "cache/cache_counters.hpp"
+#include "cache/cached_backend.hpp"
 #include "net/net_counters.hpp"
 #include "net/remote_backend.hpp"
 #include "net/server.hpp"
@@ -449,6 +454,8 @@ void PipelineSweep() {
     double wall_s = 0;
     double modeled_s = 0;
     net::NetCounters net;
+    cache::CacheCounters cache;  // instance hits/waste
+    std::uint64_t prefetch_issued = 0;
   };
   std::vector<Row> rows;
   std::vector<Bytes> baseline; // the lock-step row's plaintext, in order
@@ -464,7 +471,14 @@ void PipelineSweep() {
     auto remote =
         net::RemoteBackend::Connect("127.0.0.1", daemon->port(), client_options);
     Abort(remote.status(), "connect nexusd");
-    net::RemoteBackend& client = *remote.value();
+    net::RemoteBackend& raw = *remote.value();
+    // Readahead lands in the cache tier now: RemoteBackend only fetches
+    // speculatively when a sink (the cache) is stacked on top of it.
+    cache::CacheOptions cache_options;
+    cache_options.mem_budget_bytes = 4u << 20;
+    cache_options.ttl_ms = 600000;
+    cache::CachedBackend client(std::move(remote).value(), cache_options);
+    cache::ResetGlobalCacheCounters();
 
     std::vector<Bytes> read_back;
     read_back.reserve(kObjects);
@@ -503,15 +517,17 @@ void PipelineSweep() {
       baseline = std::move(read_back);
     }
 
-    rows.push_back({&config, wall, modeled, client.counters()});
+    rows.push_back({&config, wall, modeled, raw.counters(), client.counters(),
+                    cache::GlobalCacheSnapshot().prefetch_issued});
     const Row& row = rows.back();
     std::printf("%-20s %9.3fs %11.4fs %12.2f %8llu %8llu %8llu\n",
                 config.label, row.wall_s, row.modeled_s,
                 static_cast<double>(kObjects * kObjectBytes) / (1 << 20) /
                     row.modeled_s,
                 static_cast<unsigned long long>(row.net.rpcs),
-                static_cast<unsigned long long>(row.net.prefetch_hits),
-                static_cast<unsigned long long>(row.net.prefetch_wasted_bytes));
+                static_cast<unsigned long long>(row.cache.prefetch_hits),
+                static_cast<unsigned long long>(
+                    row.cache.prefetch_wasted_bytes));
   }
 
   const double speedup = rows[0].modeled_s / rows[2].modeled_s;
@@ -530,6 +546,7 @@ void PipelineSweep() {
   // path end to end (and the plaintext must survive the trip).
   double enclave_wall = 0;
   net::NetCounters enclave_net;
+  cache::CacheCounters enclave_cache;
   {
     storage::MemBackend enclave_store;
     auto enclave_daemon =
@@ -540,11 +557,21 @@ void PipelineSweep() {
                                               enclave_daemon->port(),
                                               client_options);
     Abort(remote.status(), "connect nexusd");
-    auto setup = Setup::Nexus({}, {}, std::move(remote).value());
+    cache::CacheOptions cache_options;
+    cache_options.mem_budget_bytes = 8u << 20;
+    auto cached = std::make_unique<cache::CachedBackend>(
+        std::move(remote).value(), cache_options);
+    cache::CachedBackend* cache_tier = cached.get();
+    auto setup = Setup::Nexus({}, {}, std::move(cached));
     const Bytes content = setup->rng().Generate(4 << 20);
     Abort(setup->nexus()->WriteFile("big", content), "write");
     setup->FlushCaches();
+    // The cache tier still holds our own freshly written chunks; a COLD
+    // read must re-fetch them over the wire, so drain and drop it too.
+    Abort(cache_tier->Flush(), "writeback drain");
+    cache_tier->DropCleanEntries();
     net::ResetGlobalNetCounters();
+    cache::ResetGlobalCacheCounters();
     const std::uint64_t t0 = MonotonicNanos();
     auto back = setup->nexus()->ReadFile("big");
     Abort(back.status(), "read");
@@ -554,13 +581,15 @@ void PipelineSweep() {
             "verify");
     }
     enclave_net = net::GlobalNetSnapshot();
+    enclave_cache = cache::GlobalCacheSnapshot();
     setup.reset();
     enclave_daemon->Stop();
     std::printf("enclave cold read (4 MB, W=16): %.3fs wall, %llu rpcs, "
                 "%llu prefetches issued\n",
                 enclave_wall,
                 static_cast<unsigned long long>(enclave_net.rpcs),
-                static_cast<unsigned long long>(enclave_net.prefetch_issued));
+                static_cast<unsigned long long>(
+                    enclave_cache.prefetch_issued));
   }
   daemon->Stop();
 
@@ -585,9 +614,9 @@ void PipelineSweep() {
           static_cast<double>(kObjects * kObjectBytes) / (1 << 20) /
               r.modeled_s,
           static_cast<unsigned long long>(r.net.rpcs),
-          static_cast<unsigned long long>(r.net.prefetch_issued),
-          static_cast<unsigned long long>(r.net.prefetch_hits),
-          static_cast<unsigned long long>(r.net.prefetch_wasted_bytes),
+          static_cast<unsigned long long>(r.prefetch_issued),
+          static_cast<unsigned long long>(r.cache.prefetch_hits),
+          static_cast<unsigned long long>(r.cache.prefetch_wasted_bytes),
           i + 1 < rows.size() ? "," : "");
     }
     std::fprintf(json,
@@ -597,10 +626,152 @@ void PipelineSweep() {
                  "\"prefetch_issued\": %llu, \"prefetch_hits\": %llu}\n}\n",
                  speedup, enclave_wall,
                  static_cast<unsigned long long>(enclave_net.rpcs),
-                 static_cast<unsigned long long>(enclave_net.prefetch_issued),
-                 static_cast<unsigned long long>(enclave_net.prefetch_hits));
+                 static_cast<unsigned long long>(enclave_cache.prefetch_issued),
+                 static_cast<unsigned long long>(enclave_cache.prefetch_hits));
     std::fclose(json);
     std::printf("wrote BENCH_pipeline.json\n");
+  }
+}
+
+// Ablation 9: the client object cache end to end over a loopback nexusd.
+// Phase A re-reads a 2 MiB sequential working set cold vs warm — warm must
+// cost at least 5x fewer RPCs while returning byte-identical plaintext.
+// Phase B runs a git-clone-shaped metadata workload: a burst of small
+// object reads (clone), a warm rescan (status), and a commit loop that
+// rewrites a few hot metadata objects repeatedly so writeback coalescing
+// shows up as inner Puts saved. Emits BENCH_cache.json.
+void ObjectCacheAblation() {
+  PrintHeader("Ablation 9: client object cache (cold vs warm over nexusd)");
+  constexpr std::size_t kObjects = 256;
+  constexpr std::size_t kObjectBytes = 8192;
+
+  storage::MemBackend store;
+  crypto::HmacDrbg rng(AsBytes("object-cache"));
+  std::vector<std::string> names;
+  std::vector<Bytes> objects;
+  names.reserve(kObjects);
+  objects.reserve(kObjects);
+  for (std::size_t i = 0; i < kObjects; ++i) {
+    names.push_back("obj-" + std::to_string(1000 + i));
+    objects.push_back(rng.Generate(kObjectBytes));
+    Abort(store.Put(names.back(), objects.back()), "seed object");
+  }
+
+  net::NexusdOptions server_options;
+  server_options.workers = 8;
+  server_options.rpc_workers = 8;
+  auto daemon = net::NexusdServer::Start(store, server_options).value();
+
+  auto remote = net::RemoteBackend::Connect("127.0.0.1", daemon->port());
+  Abort(remote.status(), "connect nexusd");
+  net::RemoteBackend& raw = *remote.value();
+  cache::CacheOptions cache_options;
+  cache_options.mem_budget_bytes = 8u << 20;
+  cache_options.ttl_ms = 600000;
+  cache::CachedBackend client(std::move(remote).value(), cache_options);
+
+  // ---- phase A: cold vs warm sequential read
+  auto read_all = [&] {
+    for (std::size_t i = 0; i < kObjects; ++i) {
+      auto blob = client.Get(names[i]);
+      Abort(blob.status(), "sequential get");
+      if (blob.value() != objects[i]) {
+        Abort(Error(ErrorCode::kIntegrityViolation,
+                    "cached read returned different bytes"),
+              names[i].c_str());
+      }
+    }
+  };
+  const std::uint64_t rpcs_base = raw.counters().rpcs;
+  std::uint64_t t = MonotonicNanos();
+  read_all();
+  const double cold_s = static_cast<double>(MonotonicNanos() - t) * 1e-9;
+  const std::uint64_t cold_rpcs = raw.counters().rpcs - rpcs_base;
+  t = MonotonicNanos();
+  read_all();
+  const double warm_s = static_cast<double>(MonotonicNanos() - t) * 1e-9;
+  const std::uint64_t warm_rpcs = raw.counters().rpcs - rpcs_base - cold_rpcs;
+  const cache::CacheCounters seq = client.counters();
+  const double reduction = static_cast<double>(cold_rpcs) /
+                           static_cast<double>(std::max<std::uint64_t>(
+                               1, warm_rpcs));
+  std::printf("sequential 256 x 8 KiB: cold %.3fs / %llu rpcs, "
+              "warm %.3fs / %llu rpcs (%.0fx fewer), %llu mem hits\n",
+              cold_s, static_cast<unsigned long long>(cold_rpcs), warm_s,
+              static_cast<unsigned long long>(warm_rpcs), reduction,
+              static_cast<unsigned long long>(seq.mem_hits));
+  if (cold_rpcs < 5 * std::max<std::uint64_t>(1, warm_rpcs)) {
+    Abort(Error(ErrorCode::kInternal,
+                "cache regression: warm re-read saved fewer than 5x rpcs"),
+          "object cache");
+  }
+
+  // ---- phase B: git-clone-shaped metadata traffic
+  constexpr std::size_t kMeta = 200;
+  constexpr std::size_t kHot = 8;
+  constexpr std::size_t kCommitRounds = 10;
+  for (std::size_t i = 0; i < kMeta; ++i) {
+    Abort(store.Put("meta/" + std::to_string(i), rng.Generate(256)),
+          "seed metadata");
+  }
+  const std::uint64_t clone_base = raw.counters().rpcs;
+  for (std::size_t i = 0; i < kMeta; ++i) {
+    Abort(client.Get("meta/" + std::to_string(i)).status(), "clone read");
+  }
+  const std::uint64_t clone_rpcs = raw.counters().rpcs - clone_base;
+  for (std::size_t i = 0; i < kMeta; ++i) {
+    Abort(client.Get("meta/" + std::to_string(i)).status(), "status read");
+  }
+  const std::uint64_t status_rpcs = raw.counters().rpcs - clone_base -
+                                    clone_rpcs;
+  // Commit churn: every round rewrites the same few hot objects (index,
+  // refs, top dirnodes); only the LAST version of each must reach the
+  // store when the writeback queue drains at the end.
+  const cache::CacheCounters before_commit = client.counters();
+  for (std::size_t round = 0; round < kCommitRounds; ++round) {
+    for (std::size_t h = 0; h < kHot; ++h) {
+      Abort(client.Put("meta/" + std::to_string(h), rng.Generate(256)),
+            "commit write");
+    }
+  }
+  Abort(client.Flush(), "commit flush");
+  const cache::CacheCounters after_commit = client.counters();
+  const std::uint64_t flushed =
+      after_commit.writeback_objects - before_commit.writeback_objects;
+  const std::uint64_t commit_puts = kCommitRounds * kHot;
+  std::printf("metadata: clone %llu rpcs, status %llu rpcs; commit %llu "
+              "puts coalesced into %llu flushed objects\n",
+              static_cast<unsigned long long>(clone_rpcs),
+              static_cast<unsigned long long>(status_rpcs),
+              static_cast<unsigned long long>(commit_puts),
+              static_cast<unsigned long long>(flushed));
+  client.DropCleanEntries();
+  daemon->Stop();
+
+  std::FILE* json = std::fopen("BENCH_cache.json", "w");
+  if (json != nullptr) {
+    std::fprintf(
+        json,
+        "{\n  \"workload\": \"object_cache\",\n"
+        "  \"sequential_read\": {\"objects\": %zu, \"object_bytes\": %zu, "
+        "\"cold_s\": %.6f, \"cold_rpcs\": %llu, \"warm_s\": %.6f, "
+        "\"warm_rpcs\": %llu, \"rpc_reduction\": %.1f, "
+        "\"mem_hits\": %llu, \"misses\": %llu},\n"
+        "  \"metadata_clone\": {\"objects\": %zu, \"clone_rpcs\": %llu, "
+        "\"status_rpcs\": %llu, \"commit_puts\": %llu, "
+        "\"flushed_objects\": %llu, \"writeback_batches\": %llu}\n}\n",
+        kObjects, kObjectBytes, cold_s,
+        static_cast<unsigned long long>(cold_rpcs), warm_s,
+        static_cast<unsigned long long>(warm_rpcs), reduction,
+        static_cast<unsigned long long>(seq.mem_hits),
+        static_cast<unsigned long long>(seq.misses), kMeta,
+        static_cast<unsigned long long>(clone_rpcs),
+        static_cast<unsigned long long>(status_rpcs),
+        static_cast<unsigned long long>(commit_puts),
+        static_cast<unsigned long long>(flushed),
+        static_cast<unsigned long long>(after_commit.writeback_batches));
+    std::fclose(json);
+    std::printf("wrote BENCH_cache.json\n");
   }
 }
 
@@ -615,6 +786,7 @@ int Main() {
   ParallelCryptoSweep();
   NetworkAblation();
   PipelineSweep();
+  ObjectCacheAblation();
   return 0;
 }
 

@@ -1,0 +1,56 @@
+#include "cache/cache_counters.hpp"
+
+#include <algorithm>
+#include <mutex>
+
+namespace nexus::cache {
+
+namespace {
+
+struct GlobalCounters {
+  std::mutex mu;
+  CacheCounters totals;
+};
+
+GlobalCounters& Globals() {
+  static GlobalCounters g;
+  return g;
+}
+
+} // namespace
+
+CacheCounters GlobalCacheSnapshot() {
+  GlobalCounters& g = Globals();
+  const std::lock_guard<std::mutex> lock(g.mu);
+  return g.totals;
+}
+
+void ResetGlobalCacheCounters() {
+  GlobalCounters& g = Globals();
+  const std::lock_guard<std::mutex> lock(g.mu);
+  g.totals = CacheCounters{};
+}
+
+void AccumulateCacheCounters(CacheCounters& into, const CacheCounters& delta) {
+  into.mem_hits += delta.mem_hits;
+  into.disk_hits += delta.disk_hits;
+  into.misses += delta.misses;
+  into.evictions_mem += delta.evictions_mem;
+  into.evictions_disk += delta.evictions_disk;
+  into.writeback_batches += delta.writeback_batches;
+  into.writeback_objects += delta.writeback_objects;
+  into.dirty_bytes_high_water =
+      std::max(into.dirty_bytes_high_water, delta.dirty_bytes_high_water);
+  into.invalidations_received += delta.invalidations_received;
+  into.prefetch_issued += delta.prefetch_issued;
+  into.prefetch_hits += delta.prefetch_hits;
+  into.prefetch_wasted_bytes += delta.prefetch_wasted_bytes;
+}
+
+void GlobalCacheAdd(const CacheCounters& delta) {
+  GlobalCounters& g = Globals();
+  const std::lock_guard<std::mutex> lock(g.mu);
+  AccumulateCacheCounters(g.totals, delta);
+}
+
+} // namespace nexus::cache

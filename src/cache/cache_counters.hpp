@@ -1,0 +1,77 @@
+// Client object-cache traffic counters.
+//
+// Same shape as net::NetCounters: a plain aggregate with PR 4 delta
+// semantics (counters subtract, gauges keep the later snapshot) plus a
+// process-global mirror so ProfileSnapshot can report cache behavior
+// without threading a CachedBackend pointer through every layer. The PR 5
+// readahead counters (prefetch_issued/hits/wasted_bytes) live here now —
+// RemoteBackend's private FIFO is gone and speculative fetches land in the
+// cache — but ProfileSnapshot keeps the old net.* names alive as aliases.
+#pragma once
+
+#include <cstdint>
+
+namespace nexus::cache {
+
+struct CacheCounters {
+  // Read path.
+  std::uint64_t mem_hits = 0;
+  std::uint64_t disk_hits = 0;
+  std::uint64_t misses = 0;
+
+  // Capacity management.
+  std::uint64_t evictions_mem = 0;
+  std::uint64_t evictions_disk = 0;
+
+  // Write path.
+  std::uint64_t writeback_batches = 0;
+  std::uint64_t writeback_objects = 0;
+  std::uint64_t dirty_bytes_high_water = 0; // gauge
+
+  // Coherence.
+  std::uint64_t invalidations_received = 0;
+
+  // Speculative readahead (owned here since the cache unification; issued
+  // is counted by RemoteBackend when a speculative Get actually departs,
+  // hits/wasted by the cache when the prefetched entry is consumed or
+  // evicted unread).
+  std::uint64_t prefetch_issued = 0;
+  std::uint64_t prefetch_hits = 0;
+  std::uint64_t prefetch_wasted_bytes = 0;
+
+  /// Delta between two snapshots: counters subtract; the high-water gauge
+  /// keeps the later snapshot's value.
+  friend CacheCounters operator-(const CacheCounters& a,
+                                 const CacheCounters& b) {
+    CacheCounters out;
+    out.mem_hits = a.mem_hits - b.mem_hits;
+    out.disk_hits = a.disk_hits - b.disk_hits;
+    out.misses = a.misses - b.misses;
+    out.evictions_mem = a.evictions_mem - b.evictions_mem;
+    out.evictions_disk = a.evictions_disk - b.evictions_disk;
+    out.writeback_batches = a.writeback_batches - b.writeback_batches;
+    out.writeback_objects = a.writeback_objects - b.writeback_objects;
+    out.dirty_bytes_high_water = a.dirty_bytes_high_water;
+    out.invalidations_received =
+        a.invalidations_received - b.invalidations_received;
+    out.prefetch_issued = a.prefetch_issued - b.prefetch_issued;
+    out.prefetch_hits = a.prefetch_hits - b.prefetch_hits;
+    out.prefetch_wasted_bytes =
+        a.prefetch_wasted_bytes - b.prefetch_wasted_bytes;
+    return out;
+  }
+};
+
+/// Folds `delta` into `into`: counters accumulate, the high-water gauge
+/// takes the maximum. Shared by instance counters and the global mirror.
+void AccumulateCacheCounters(CacheCounters& into, const CacheCounters& delta);
+
+/// Process-wide totals across every cache instance (and RemoteBackend's
+/// prefetch submissions). Thread-safe.
+[[nodiscard]] CacheCounters GlobalCacheSnapshot();
+void ResetGlobalCacheCounters();
+/// Folds `delta` into the global totals; the high-water gauge takes the
+/// maximum instead of accumulating.
+void GlobalCacheAdd(const CacheCounters& delta);
+
+} // namespace nexus::cache

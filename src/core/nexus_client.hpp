@@ -166,6 +166,12 @@ class NexusClient {
         ps.worker_busy_seconds, ps.critical_path_seconds,
         ps.saved_seconds};
     snap.net = net::GlobalNetSnapshot();
+    snap.cache = cache::GlobalCacheSnapshot();
+    // PR 5 reported readahead effectiveness under net.*; the cache layer
+    // owns those counters now, so keep the old names aliased.
+    snap.net.prefetch_issued = snap.cache.prefetch_issued;
+    snap.net.prefetch_hits = snap.cache.prefetch_hits;
+    snap.net.prefetch_wasted_bytes = snap.cache.prefetch_wasted_bytes;
     {
       const trace::Histogram& ecalls = trace::GlobalHistogram("ecall");
       snap.ecall_latency = LatencySummary{

@@ -14,6 +14,7 @@
 
 #include <cstdint>
 
+#include "cache/cache_counters.hpp"
 #include "net/net_counters.hpp"
 #include "storage/sim_clock.hpp"
 
@@ -104,6 +105,10 @@ struct ProfileSnapshot {
   /// Real-network RPC counters (process-global, nonzero only when the run
   /// talks to nexusd through a RemoteBackend). Percentiles are gauges.
   net::NetCounters net;
+  /// Object-cache counters (process-global, nonzero only when a
+  /// cache::CachedBackend fronts the storage). `dirty_bytes_high_water`
+  /// is a gauge.
+  cache::CacheCounters cache;
   /// Wall-time distribution of every timed ecall (process-global
   /// trace::GlobalHistogram("ecall")).
   LatencySummary ecall_latency;
@@ -124,6 +129,7 @@ struct ProfileSnapshot {
         a.journal - b.journal,
         a.parallel - b.parallel,
         a.net - b.net,
+        a.cache - b.cache,
         a.ecall_latency - b.ecall_latency,
         a.journal_commit_latency - b.journal_commit_latency,
         a.trace_spans - b.trace_spans,

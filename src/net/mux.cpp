@@ -22,8 +22,9 @@ void MuxConnection::Complete(Slot& slot, Status failure, Bytes response) {
     slot.response = std::move(response);
   }
   // Hook first, completion flag second: by the time any waiter observes
-  // `done`, readahead accounting for this slot has already happened.
-  if (slot.on_done) slot.on_done(slot.failure, slot.response.size());
+  // `done`, the hook's accounting (and any prefetch cache insert) for this
+  // slot has already happened.
+  if (slot.on_done) slot.on_done(slot.failure, slot.response);
   {
     const std::lock_guard<std::mutex> lock(slot.mu);
     slot.done = true;

@@ -51,12 +51,11 @@ class MuxConnection {
     /// later failure leaves the RPC's outcome unknown (ambiguous).
     std::atomic<bool> sent{false};
     /// Invoked on the completing thread after the outcome is decided and
-    /// strictly before any waiter wakes: `failure` is Ok on delivery,
-    /// `response_bytes` the delivered frame size (0 on failure). Readahead
-    /// does its budget accounting here so a consumer that observes the
-    /// slot done also observes the bytes accounted.
-    std::function<void(const Status& failure, std::size_t response_bytes)>
-        on_done;
+    /// strictly before any waiter wakes: `failure` is Ok on delivery (and
+    /// `response` the delivered frame, empty on failure). Prefetch parses
+    /// the frame right here so a consumer that observes the slot done also
+    /// observes the object already in the cache.
+    std::function<void(const Status& failure, const Bytes& response)> on_done;
 
     /// Blocks until the slot completes; returns the full response payload
     /// or the transport failure.
@@ -90,7 +89,7 @@ class MuxConnection {
   MuxConnection& operator=(const MuxConnection&) = delete;
 
   using CompletionHook =
-      std::function<void(const Status& failure, std::size_t response_bytes)>;
+      std::function<void(const Status& failure, const Bytes& response)>;
 
   /// Sends `request` (a complete request frame) and returns its slot.
   /// Blocks while the window is full; returns nullptr if the connection

@@ -75,6 +75,36 @@ int main(int argc, char** argv) {
   std::printf("  bytes         %llu in, %llu out\n",
               static_cast<unsigned long long>(s.bytes_received),
               static_cast<unsigned long long>(s.bytes_sent));
+  std::printf("  leases        %llu sessions, %llu granted, %llu broken, "
+              "%llu invalidations, %llu break timeouts\n",
+              static_cast<unsigned long long>(s.lease_sessions),
+              static_cast<unsigned long long>(s.leases_granted),
+              static_cast<unsigned long long>(s.leases_broken),
+              static_cast<unsigned long long>(s.invalidations_sent),
+              static_cast<unsigned long long>(s.lease_break_timeouts));
+  // Object-cache effectiveness (non-zero when the daemon runs --cache-*).
+  const unsigned long long mem_hits = s.cache_mem_hits;
+  const unsigned long long disk_hits = s.cache_disk_hits;
+  const unsigned long long misses = s.cache_misses;
+  const unsigned long long lookups = mem_hits + disk_hits + misses;
+  if (lookups > 0) {
+    std::printf("  cache         %-10s %12s %8s\n", "tier", "hits", "rate");
+    std::printf("  cache         %-10s %12llu %7.1f%%\n", "mem", mem_hits,
+                100.0 * static_cast<double>(mem_hits) /
+                    static_cast<double>(lookups));
+    std::printf("  cache         %-10s %12llu %7.1f%%\n", "disk", disk_hits,
+                100.0 * static_cast<double>(disk_hits) /
+                    static_cast<double>(lookups));
+    std::printf("  cache         %-10s %12llu %7.1f%%\n", "miss", misses,
+                100.0 * static_cast<double>(misses) /
+                    static_cast<double>(lookups));
+    std::printf("  cache         %llu evictions, %llu writeback batches, "
+                "%llu invalidations, dirty high-water %llu bytes\n",
+                static_cast<unsigned long long>(s.cache_evictions),
+                static_cast<unsigned long long>(s.cache_writeback_batches),
+                static_cast<unsigned long long>(s.cache_invalidations),
+                static_cast<unsigned long long>(s.cache_dirty_high_water));
+  }
   std::printf("  %-13s %10s %12s %12s %10s %10s\n", "op", "count", "bytes_in",
               "bytes_out", "p50_ms", "p99_ms");
   for (const nexus::net::RpcOpStats& op : s.per_op) {

@@ -6,7 +6,13 @@
 // authentication and no SGX — all security machinery lives in the clients.
 //
 //   nexusd [--mem | --root DIR] [--bind ADDR] [--port N] [--workers N]
-//          [--rpc-workers N]
+//          [--rpc-workers N] [--cache-mem BYTES] [--cache-disk BYTES]
+//          [--cache-dir DIR]
+//
+// The --cache-* flags front the backend with cache::CachedBackend — useful
+// when --root points at slow storage (NFS, a FUSE mount): the daemon then
+// serves repeat reads from local memory/disk. The cache holds the same
+// opaque ciphertext as the backend, so the security posture is unchanged.
 //
 // Prints "nexusd listening on ADDR:PORT" once serving (port 0 picks an
 // ephemeral port; scripts parse this line), then runs until SIGINT or
@@ -19,6 +25,7 @@
 #include <memory>
 #include <string>
 
+#include "cache/cached_backend.hpp"
 #include "net/server.hpp"
 #include "storage/backend.hpp"
 
@@ -27,7 +34,8 @@ namespace {
 void Usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--mem | --root DIR] [--bind ADDR] [--port N] "
-               "[--workers N] [--rpc-workers N]\n",
+               "[--workers N] [--rpc-workers N] [--cache-mem BYTES] "
+               "[--cache-disk BYTES] [--cache-dir DIR]\n",
                argv0);
 }
 
@@ -40,6 +48,8 @@ int main(int argc, char** argv) {
   NexusdOptions options;
   bool use_mem = true;
   std::string root;
+  bool use_cache = false;
+  nexus::cache::CacheOptions cache_options;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -63,6 +73,17 @@ int main(int argc, char** argv) {
       options.workers = static_cast<std::size_t>(std::atoi(next()));
     } else if (arg == "--rpc-workers") {
       options.rpc_workers = static_cast<std::size_t>(std::atoi(next()));
+    } else if (arg == "--cache-mem") {
+      use_cache = true;
+      cache_options.mem_budget_bytes =
+          static_cast<std::size_t>(std::strtoull(next(), nullptr, 10));
+    } else if (arg == "--cache-disk") {
+      use_cache = true;
+      cache_options.disk_budget_bytes =
+          static_cast<std::size_t>(std::strtoull(next(), nullptr, 10));
+    } else if (arg == "--cache-dir") {
+      use_cache = true;
+      cache_options.disk_dir = next();
     } else {
       Usage(argv[0]);
       return 2;
@@ -81,6 +102,10 @@ int main(int argc, char** argv) {
     }
     backend = std::make_unique<nexus::storage::DiskBackend>(
         std::move(disk).value());
+  }
+  if (use_cache) {
+    backend = std::make_unique<nexus::cache::CachedBackend>(std::move(backend),
+                                                            cache_options);
   }
 
   // Block the shutdown signals in every thread (workers inherit the mask),

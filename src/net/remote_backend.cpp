@@ -4,7 +4,9 @@
 #include <chrono>
 #include <cstdlib>
 #include <thread>
+#include <utility>
 
+#include "cache/cache_counters.hpp"
 #include "common/clock.hpp"
 #include "trace/trace.hpp"
 
@@ -61,20 +63,20 @@ RemoteBackend::RemoteBackend(TransportFactory factory,
       jitter_state_(options.jitter_seed) {}
 
 RemoteBackend::~RemoteBackend() {
-  // Tear down every connection FIRST: their demux threads run delivery
-  // and readahead hooks that touch this object's counters and cache.
+  // Silence the callback channel first: after this no invalidation or
+  // channel-down callback can fire against a half-dead backend.
+  lease_shutdown_.store(true, std::memory_order_release);
+  {
+    const std::lock_guard<std::mutex> lock(lease_mu_);
+    if (lease_transport_ != nullptr) lease_transport_->Shutdown();
+  }
+  if (lease_thread_.joinable()) lease_thread_.join();
+  // Then tear down every connection: their demux threads run delivery and
+  // prefetch hooks that touch this object's counters and sink.
   std::vector<std::shared_ptr<MuxConnection>> conns;
   {
     const std::lock_guard<std::mutex> lock(pool_mu_);
     conns.swap(pool_);
-  }
-  {
-    const std::lock_guard<std::mutex> lock(prefetch_mu_);
-    for (auto& [name, entry] : prefetch_) {
-      conns.push_back(std::move(entry->conn));
-    }
-    prefetch_.clear();
-    prefetch_fifo_.clear();
   }
   conns.clear(); // joins each demux thread still referencing this object
 }
@@ -89,6 +91,17 @@ Result<std::unique_ptr<RemoteBackend>> RemoteBackend::Connect(
                            TcpTransport::Dial(host, port, connect_ms, rpc_ms));
     return std::unique_ptr<Transport>(std::move(t));
   };
+  if (!options.lease_transport_factory) {
+    // The callback channel sits idle in RecvFrame between pushes, so it
+    // must dial WITHOUT an I/O deadline — the data-path deadline would
+    // kill a perfectly healthy subscription.
+    options.lease_transport_factory = [host, port, connect_ms]()
+        -> Result<std::unique_ptr<Transport>> {
+      NEXUS_ASSIGN_OR_RETURN(std::unique_ptr<TcpTransport> t,
+                             TcpTransport::Dial(host, port, connect_ms, -1));
+      return std::unique_ptr<Transport>(std::move(t));
+    };
+  }
   auto backend =
       std::make_unique<RemoteBackend>(std::move(factory), options);
   // The eager Ping doubles as version negotiation: after it, the pooled
@@ -156,7 +169,12 @@ bool RemoteBackend::peer_speaks_v3() const noexcept {
   return options_.max_protocol_version >= 3 && peer_version() >= 3;
 }
 
+bool RemoteBackend::peer_speaks_v4() const noexcept {
+  return options_.max_protocol_version >= 4 && peer_version() >= 4;
+}
+
 std::uint8_t RemoteBackend::wire_version() const noexcept {
+  if (peer_speaks_v4()) return 4;
   return peer_speaks_v3() ? std::uint8_t{3} : std::uint8_t{2};
 }
 
@@ -164,6 +182,10 @@ std::size_t RemoteBackend::effective_window() const noexcept {
   // Until a Ping proves the peer speaks v3, stay lock-step: a window of 1
   // over v2 heads is exactly the wire behavior every v2 server expects.
   return peer_speaks_v3() ? rpc_window_ : 1;
+}
+
+std::uint64_t RemoteBackend::lease_session() const noexcept {
+  return lease_session_.load(std::memory_order_acquire);
 }
 
 Writer RemoteBackend::Req(Rpc rpc) const {
@@ -195,6 +217,17 @@ std::shared_ptr<MuxConnection> RemoteBackend::NewConnection(
   };
   return std::make_shared<MuxConnection>(std::move(transport),
                                          effective_window(), std::move(hook));
+}
+
+void RemoteBackend::AttachLease(MuxConnection& conn) {
+  const std::uint64_t sid = lease_session();
+  if (sid == 0 || !peer_speaks_v4()) return;
+  Writer req = Req(Rpc::kLeaseAttach);
+  req.U64(sid);
+  auto slot = conn.Submit(req.bytes());
+  // Best effort: an unattached connection still works, the server just
+  // cannot tell our own writes from a stranger's (we self-invalidate).
+  if (slot != nullptr) (void)slot->Wait();
 }
 
 Result<std::shared_ptr<MuxConnection>> RemoteBackend::AcquireConnection(
@@ -239,6 +272,9 @@ Result<std::shared_ptr<MuxConnection>> RemoteBackend::AcquireConnection(
     GlobalNetAdd(delta);
   }
   auto conn = NewConnection(std::move(fresh));
+  // Tie the data connection to the lease session BEFORE publishing it so
+  // RPCs racing onto it are already recognizable as ours.
+  AttachLease(*conn);
   {
     const std::lock_guard<std::mutex> lock(pool_mu_);
     if (pool_.size() < options_.max_pooled_connections) pool_.push_back(conn);
@@ -320,7 +356,7 @@ Result<Bytes> RemoteBackend::Call(const Writer& request, bool* ambiguous) {
 
 Status RemoteBackend::Ping() {
   // Always probes with a v2 head: a v2 server sees a normal Ping (it
-  // ignores trailing bytes), while a v3 server reads the probe byte and
+  // ignores trailing bytes), while a v3+ server reads the probe byte and
   // answers with the version it will speak. No other RPC negotiates, so
   // clients that never Ping stay lock-step v2 — and their fault-injection
   // schedules stay exactly as long as before.
@@ -361,30 +397,27 @@ Result<ServerStats> RemoteBackend::Stats() {
 // ---- whole-object ops -------------------------------------------------------
 
 Result<Bytes> RemoteBackend::Get(const std::string& name) {
-  if (auto entry = TakePrefetched(name)) {
-    auto response = entry->slot->Wait();
-    if (response.ok()) {
-      Reader reader(response.value());
-      Status verdict = Status::Ok();
-      std::uint64_t echoed = 0;
-      if (ParseResponseHead(reader, &verdict, &echoed).ok()) {
-        // A well-formed buffered response is as authoritative as a fresh
-        // one — a kNotFound verdict is a hit too, just a negative one.
-        trace::Span span("prefetch_hit", "net.prefetch");
-        AddPrefetchCounters(/*issued=*/0, /*hits=*/1, /*wasted_bytes=*/0);
-        NEXUS_RETURN_IF_ERROR(verdict);
-        NEXUS_ASSIGN_OR_RETURN(Bytes data, reader.Var(kMaxObjectBytes));
-        return data;
-      }
-    }
-    // The speculation failed in transit or arrived malformed: no hit, no
-    // retry — fall through to an ordinary demand fetch.
-  }
+  return GetLeased(name, nullptr);
+}
+
+Result<Bytes> RemoteBackend::GetLeased(const std::string& name,
+                                       bool* lease_granted) {
+  if (lease_granted != nullptr) *lease_granted = false;
+  const bool v4 = peer_speaks_v4();
   Writer req = Req(Rpc::kGet);
   req.Str(name);
+  // v4 Gets carry a want-lease byte; the server only registers a holder
+  // (and pays the break protocol later) when the caller will track it.
+  if (v4) req.U8(lease_granted != nullptr ? 1 : 0);
   NEXUS_ASSIGN_OR_RETURN(Bytes payload, Call(req));
   Reader reader(payload);
   NEXUS_ASSIGN_OR_RETURN(Bytes data, reader.Var(kMaxObjectBytes));
+  if (v4 && reader.Remaining() > 0) {
+    auto flag = reader.U8();
+    if (flag.ok() && lease_granted != nullptr) {
+      *lease_granted = flag.value() != 0;
+    }
+  }
   return data;
 }
 
@@ -392,7 +425,6 @@ Status RemoteBackend::Put(const std::string& name, ByteSpan data) {
   if (data.size() > kMaxObjectBytes) {
     return Error(ErrorCode::kInvalidArgument, "object too large: " + name);
   }
-  InvalidatePrefetch(name); // the buffered bytes are about to go stale
   Writer req = Req(Rpc::kPut);
   req.Str(name);
   req.Var(data);
@@ -400,7 +432,6 @@ Status RemoteBackend::Put(const std::string& name, ByteSpan data) {
 }
 
 Status RemoteBackend::Delete(const std::string& name) {
-  InvalidatePrefetch(name);
   Writer req = Req(Rpc::kDelete);
   req.Str(name);
   bool ambiguous = false;
@@ -530,18 +561,23 @@ std::vector<bool> RemoteBackend::MultiExists(
 
 // ---- readahead --------------------------------------------------------------
 
+void RemoteBackend::SetPrefetchSink(PrefetchSink sink) {
+  const std::lock_guard<std::mutex> lock(prefetch_mu_);
+  sink_ = std::move(sink);
+}
+
 void RemoteBackend::Prefetch(const std::string& name) {
   if (readahead_budget_ == 0 || effective_window() <= 1) return;
-
-  auto entry = std::make_shared<PrefetchEntry>();
+  PrefetchSink sink;
   {
     const std::lock_guard<std::mutex> lock(prefetch_mu_);
-    if (prefetch_.contains(name)) return; // already buffered or in flight
-    if (prefetch_inflight_ >= options_.max_inflight_prefetches) return;
-    // Register BEFORE submitting so the delivery hook (demux thread) can
-    // find the entry no matter how fast the response races back.
-    prefetch_[name] = entry;
-    ++prefetch_inflight_;
+    if (!sink_) return; // nowhere for the bytes to land
+    if (prefetch_inflight_.contains(name)) return;
+    if (prefetch_inflight_.size() >= options_.max_inflight_prefetches) return;
+    // Register BEFORE submitting so a duplicate hint arriving while the
+    // speculation is in flight stays a no-op.
+    prefetch_inflight_.insert(name);
+    sink = sink_;
   }
 
   // Speculation only rides spare capacity: an unbroken pooled connection
@@ -561,133 +597,134 @@ void RemoteBackend::Prefetch(const std::string& name) {
     trace::Span span("prefetch_issue", "net.prefetch");
     Writer req = Req(Rpc::kGet);
     req.Str(name);
+    if (peer_speaks_v4()) req.U8(0); // speculation never takes a lease
+    const std::uint64_t corr = RequestCorrelation(req.bytes());
     slot = conn->TrySubmit(
-        req.bytes(), [this, name, entry](const Status& failure,
-                                         std::size_t response_bytes) {
-          PrefetchDelivered(name, entry, failure.ok(), response_bytes);
+        req.bytes(), [this, name, sink, corr](const Status& failure,
+                                              const Bytes& response) {
+          OnPrefetchDone(name, sink, corr, failure, response);
         });
   }
   if (slot == nullptr) {
     // Window filled up (or no connection): withdraw the registration.
     const std::lock_guard<std::mutex> lock(prefetch_mu_);
-    const auto it = prefetch_.find(name);
-    if (it != prefetch_.end() && it->second == entry) {
-      prefetch_.erase(it);
-      if (prefetch_inflight_ > 0) --prefetch_inflight_;
-    }
+    prefetch_inflight_.erase(name);
     return;
   }
+  cache::CacheCounters delta;
+  delta.prefetch_issued = 1;
+  cache::GlobalCacheAdd(delta);
+}
+
+void RemoteBackend::OnPrefetchDone(const std::string& name,
+                                   const PrefetchSink& sink,
+                                   std::uint64_t correlation,
+                                   const Status& failure,
+                                   const Bytes& response) {
   {
     const std::lock_guard<std::mutex> lock(prefetch_mu_);
-    entry->conn = conn;
-    entry->slot = std::move(slot);
+    prefetch_inflight_.erase(name);
   }
-  AddPrefetchCounters(/*issued=*/1, /*hits=*/0, /*wasted_bytes=*/0);
-}
-
-void RemoteBackend::PrefetchDelivered(
-    const std::string& name, const std::shared_ptr<PrefetchEntry>& entry,
-    bool ok, std::size_t response_bytes) {
-  const std::lock_guard<std::mutex> lock(prefetch_mu_);
-  if (prefetch_inflight_ > 0) --prefetch_inflight_;
-  const auto it = prefetch_.find(name);
-  if (it == prefetch_.end() || it->second != entry) {
-    // Consumed or invalidated while in flight: the bytes were never
-    // buffered, so they drop silently (not counted as wasted).
+  // Speculative traffic never retries; transport failures drop silently.
+  if (!failure.ok()) return;
+  Reader reader(response);
+  Status verdict = Status::Ok();
+  std::uint64_t echoed = 0;
+  if (!ParseResponseHead(reader, &verdict, &echoed).ok() ||
+      echoed != correlation) {
+    return; // malformed speculation: the demand path will re-fetch
+  }
+  if (!verdict.ok()) {
+    // A well-formed negative verdict (kNotFound) is a real answer — the
+    // sink decides whether it is cacheable.
+    sink(name, Result<Bytes>(verdict), false);
     return;
   }
-  entry->done = true;
-  entry->ok = ok;
-  entry->bytes = response_bytes;
-  if (!ok) {
-    // Speculative traffic never retries; forget the failure quietly.
-    prefetch_.erase(it);
-    return;
-  }
-  prefetch_buffered_ += response_bytes;
-  prefetch_fifo_.push_back(name);
-  EvictOverBudgetLocked();
-  prefetch_peak_buffered_ =
-      std::max(prefetch_peak_buffered_, prefetch_buffered_);
+  auto data = reader.Var(kMaxObjectBytes);
+  if (!data.ok()) return;
+  sink(name, std::move(data), false);
 }
 
-std::shared_ptr<RemoteBackend::PrefetchEntry> RemoteBackend::TakePrefetched(
-    const std::string& name) {
-  const std::lock_guard<std::mutex> lock(prefetch_mu_);
-  const auto it = prefetch_.find(name);
-  if (it == prefetch_.end() || it->second->slot == nullptr) return nullptr;
-  auto entry = std::move(it->second);
-  prefetch_.erase(it);
-  if (entry->done) {
-    prefetch_fifo_.remove(name);
-    prefetch_buffered_ -= entry->bytes;
-  }
-  // In-flight entries: the delivery hook sees the map miss and skips
-  // accounting; the consumer Waits on the slot directly.
-  return entry;
-}
+// ---- lease subscription (wire v4) -------------------------------------------
 
-void RemoteBackend::InvalidatePrefetch(const std::string& name) {
-  std::uint64_t wasted = 0;
+bool RemoteBackend::SubscribeInvalidations(InvalidationListener on_invalidate,
+                                           ChannelDownHandler on_channel_down) {
+  if (!peer_speaks_v4()) return false;
   {
-    const std::lock_guard<std::mutex> lock(prefetch_mu_);
-    const auto it = prefetch_.find(name);
-    if (it == prefetch_.end()) return;
-    if (it->second->done) {
-      prefetch_fifo_.remove(name);
-      prefetch_buffered_ -= it->second->bytes;
-      wasted = it->second->bytes;
+    const std::lock_guard<std::mutex> lock(lease_mu_);
+    if (lease_thread_.joinable()) return false; // already subscribed
+    const TransportFactory& dial = options_.lease_transport_factory
+                                       ? options_.lease_transport_factory
+                                       : factory_;
+    auto dialed = dial();
+    if (!dialed.ok()) return false;
+    std::unique_ptr<Transport> transport = std::move(dialed).value();
+
+    // Lock-step subscription handshake on the dedicated connection.
+    Writer req = BeginRequest(Rpc::kLeaseSubscribe, NextCorrelationId(), 4);
+    const std::uint64_t corr = RequestCorrelation(req.bytes());
+    if (!transport->SendFrame(req.bytes()).ok()) return false;
+    auto response = transport->RecvFrame();
+    if (!response.ok()) return false;
+    Reader reader(response.value());
+    Status verdict = Status::Ok();
+    std::uint64_t echoed = 0;
+    if (!ParseResponseHead(reader, &verdict, &echoed).ok() ||
+        echoed != corr || !verdict.ok()) {
+      return false;
     }
-    // In-flight entries just leave the map; the delivery hook drops
-    // their bytes silently when they land.
-    prefetch_.erase(it);
-  }
-  if (wasted > 0) {
-    AddPrefetchCounters(/*issued=*/0, /*hits=*/0, wasted);
-  }
-}
+    auto sid = reader.U64();
+    if (!sid.ok() || sid.value() == 0) return false;
 
-void RemoteBackend::EvictOverBudgetLocked() {
-  std::uint64_t wasted = 0;
-  while (prefetch_buffered_ > readahead_budget_ && !prefetch_fifo_.empty()) {
-    const std::string victim = prefetch_fifo_.front();
-    prefetch_fifo_.pop_front();
-    const auto it = prefetch_.find(victim);
-    if (it == prefetch_.end()) continue;
-    prefetch_buffered_ -= it->second->bytes;
-    wasted += it->second->bytes;
-    prefetch_.erase(it);
+    lease_session_.store(sid.value(), std::memory_order_release);
+    lease_transport_ = std::move(transport);
+    lease_listener_ = std::move(on_invalidate);
+    lease_on_down_ = std::move(on_channel_down);
+    lease_thread_ = std::thread([this] { LeaseCallbackLoop(); });
   }
-  if (wasted > 0) {
-    trace::Span span("readahead_evict", "net.prefetch");
-    AddPrefetchCounters(/*issued=*/0, /*hits=*/0, wasted);
-  }
-}
-
-void RemoteBackend::AddPrefetchCounters(std::uint64_t issued,
-                                        std::uint64_t hits,
-                                        std::uint64_t wasted_bytes) {
+  // Tie the connections dialed before the subscription (Connect's Ping
+  // connection at least) to the session so their writes are already
+  // recognizable as ours.
+  std::vector<std::shared_ptr<MuxConnection>> conns;
   {
-    const std::lock_guard<std::mutex> lock(mu_);
-    counters_.prefetch_issued += issued;
-    counters_.prefetch_hits += hits;
-    counters_.prefetch_wasted_bytes += wasted_bytes;
+    const std::lock_guard<std::mutex> lock(pool_mu_);
+    conns = pool_;
   }
-  NetCounters delta;
-  delta.prefetch_issued = issued;
-  delta.prefetch_hits = hits;
-  delta.prefetch_wasted_bytes = wasted_bytes;
-  GlobalNetAdd(delta);
+  for (const auto& conn : conns) AttachLease(*conn);
+  return true;
+}
+
+void RemoteBackend::LeaseCallbackLoop() {
+  // The server originates request-format kInvalidate frames here; each is
+  // acked with an ordinary response frame AFTER the listener ran, so a
+  // server waiting on the ack knows the cache entry is already gone.
+  for (;;) {
+    auto frame = lease_transport_->RecvFrame();
+    if (!frame.ok()) break;
+    Reader reader(frame.value());
+    std::uint64_t corr = 0;
+    auto rpc = ParseRequestHead(reader, &corr);
+    if (!rpc.ok() || rpc.value() != Rpc::kInvalidate) break;
+    auto names = DecodeNameList(reader);
+    if (!names.ok()) break;
+    {
+      trace::Span span("cache.invalidate_push", "net.lease");
+      span.SetCorrelation(corr);
+      if (lease_listener_) lease_listener_(names.value());
+    }
+    Writer ack = BeginResponse(Status::Ok(), corr, 4);
+    if (!lease_transport_->SendFrame(ack.bytes()).ok()) break;
+  }
+  lease_session_.store(0, std::memory_order_release);
+  if (!lease_shutdown_.load(std::memory_order_acquire)) {
+    // Real channel loss (not our own destructor): leases are void now.
+    if (lease_on_down_) lease_on_down_();
+  }
 }
 
 NetCounters RemoteBackend::counters() const {
   const std::lock_guard<std::mutex> lock(mu_);
   return counters_;
-}
-
-std::size_t RemoteBackend::readahead_peak_buffered_bytes() const {
-  const std::lock_guard<std::mutex> lock(prefetch_mu_);
-  return prefetch_peak_buffered_;
 }
 
 // ---- streamed puts ----------------------------------------------------------
@@ -732,9 +769,6 @@ class RemotePutStream final : public storage::StorageBackend::PutStream {
       return Error(ErrorCode::kInvalidArgument,
                    "commit on finished stream: " + name_);
     }
-    // The object named here is about to change (even an attempt with an
-    // unknown outcome may have published): drop any buffered speculation.
-    backend_.InvalidatePrefetch(name_);
     Status last = Error(ErrorCode::kIOError, "commit never attempted");
     for (int attempt = 0; attempt < backend_.options_.max_attempts;
          ++attempt) {
@@ -852,6 +886,21 @@ class RemotePutStream final : public storage::StorageBackend::PutStream {
       return dialed.status();
     }
     conn_ = std::move(dialed).value();
+
+    // Tie the stream connection to the lease session so the commit does
+    // not invalidate the writer's own cache. A server verdict error
+    // (stale session) is benign — the stream works unattached.
+    const std::uint64_t sid = backend_.lease_session();
+    if (sid != 0 && backend_.peer_speaks_v4()) {
+      Writer attach = Req(Rpc::kLeaseAttach);
+      attach.U64(sid);
+      Status attach_verdict = Status::Ok();
+      auto acked = Exchange(attach, &attach_verdict);
+      if (!acked.ok()) {
+        DropConnection();
+        return acked.status();
+      }
+    }
 
     Writer begin = Req(Rpc::kStreamBegin);
     begin.Str(name_);

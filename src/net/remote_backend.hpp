@@ -24,14 +24,22 @@
 //     one wrinkle is Delete: if an earlier attempt's outcome is unknown
 //     and the retry says kNotFound, the delete DID happen — report Ok,
 //   * version negotiation — requests go out with v2 heads and a window of
-//     1 until a Ping learns the peer speaks v3 (wire.hpp); then the
+//     1 until a Ping learns the peer speaks v3/v4 (wire.hpp); then the
 //     window widens and MultiGet/MultiExists coalesce name fan-outs into
 //     one frame each way. v2 peers keep working, lock-step, forever,
 //   * chunk readahead — Prefetch(name) speculatively issues a Get through
 //     any spare window slot (never blocking, never retrying, never
-//     dialing). Completed prefetches are held under a byte budget with
-//     FIFO eviction and invalidated by writes; a later Get consumes the
-//     buffered response instead of crossing the wire.
+//     dialing) and delivers the parsed object to the registered
+//     PrefetchSink on the demux thread. The cache layer (cache/
+//     cached_backend.hpp) owns buffering, budgets and eviction; this
+//     backend holds no prefetched bytes of its own,
+//   * lease coherence (wire v4) — SubscribeInvalidations dials a
+//     dedicated callback connection, registers a lease session, and
+//     pumps server-pushed kInvalidate frames to the listener, acking
+//     each. GetLeased asks the server for a read lease on the fetched
+//     object; pooled data connections (and stream connections) attach
+//     themselves to the session so the server can skip invalidating the
+//     writer's own cache. Pre-v4 peers simply never grant leases.
 //
 // Streamed puts replay: the stream keeps the bytes appended so far, and a
 // transport failure at any point (including an ambiguous Commit) restarts
@@ -43,11 +51,11 @@
 #include <atomic>
 #include <cstdint>
 #include <functional>
-#include <list>
-#include <map>
 #include <memory>
 #include <mutex>
+#include <set>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "net/mux.hpp"
@@ -86,15 +94,24 @@ struct RemoteBackendOptions {
   /// Max in-flight RPCs per connection once the peer negotiated v3.
   /// 0 = DefaultRpcWindow() (NEXUS_RPC_WINDOW).
   std::size_t rpc_window = 0;
-  /// Highest wire version this client will speak — lowering it to 2
-  /// simulates a legacy client against a modern server.
+  /// Highest wire version this client will speak — lowering it simulates
+  /// a legacy client against a modern server (2 = lock-step singles,
+  /// 3 = batches but no leases).
   std::uint8_t max_protocol_version = kProtocolVersion;
-  /// Ceiling on buffered prefetched ciphertext. 0 = default
-  /// (NEXUS_READAHEAD_BUDGET, 32 MiB). Prefetch is disabled entirely when
-  /// the negotiated window is 1 (nothing to overlap with).
+  /// Readahead gate: 0 = default (NEXUS_READAHEAD_BUDGET, 32 MiB) and an
+  /// EXPLICIT NEXUS_READAHEAD_BUDGET=0 disables speculation entirely. The
+  /// byte budget itself is enforced by the cache tier that consumes the
+  /// deliveries; prefetch is also off while the negotiated window is 1
+  /// (nothing to overlap with).
   std::size_t readahead_budget_bytes = 0;
   /// Most speculative Gets in flight at once.
   std::size_t max_inflight_prefetches = 8;
+  /// Dials the dedicated lease-callback connection. Null uses the main
+  /// factory — fine for tests; Connect() installs a deadline-free dialer
+  /// here because the callback channel blocks in RecvFrame indefinitely
+  /// between pushes. Fault tests substitute a dropping transport to
+  /// exercise lost invalidations.
+  TransportFactory lease_transport_factory;
 };
 
 class RemoteBackend final : public storage::StorageBackend {
@@ -110,6 +127,8 @@ class RemoteBackend final : public storage::StorageBackend {
       RemoteBackendOptions options = {});
 
   Result<Bytes> Get(const std::string& name) override;
+  Result<Bytes> GetLeased(const std::string& name,
+                          bool* lease_granted) override;
   Status Put(const std::string& name, ByteSpan data) override;
   Status Delete(const std::string& name) override;
   bool Exists(const std::string& name) override;
@@ -120,10 +139,13 @@ class RemoteBackend final : public storage::StorageBackend {
       const std::vector<std::string>& names) override;
   std::vector<bool> MultiExists(const std::vector<std::string>& names) override;
   void Prefetch(const std::string& name) override;
+  void SetPrefetchSink(PrefetchSink sink) override;
+  bool SubscribeInvalidations(InvalidationListener on_invalidate,
+                              ChannelDownHandler on_channel_down) override;
 
   /// Liveness probe through the full RPC machinery (retries included).
   /// Also negotiates the wire version: the request carries this client's
-  /// max version, and a v3 server's reply names the version to use.
+  /// max version, and a v3+ server's reply names the version to use.
   Status Ping();
 
   /// Fetches the server's lifetime counters and per-op latency summary
@@ -134,22 +156,11 @@ class RemoteBackend final : public storage::StorageBackend {
   /// Negotiated peer wire version (0 until the first Ping completes; a
   /// peer that never confirmed v3 is treated as v2).
   [[nodiscard]] std::uint8_t peer_version() const noexcept;
-  /// Highest number of buffered prefetched bytes ever held (post-
-  /// eviction) — the soak test pins this against the budget.
-  [[nodiscard]] std::size_t readahead_peak_buffered_bytes() const;
+  /// Lease session id on the server (0 = not subscribed / channel down).
+  [[nodiscard]] std::uint64_t lease_session() const noexcept;
 
  private:
   friend class RemotePutStream;
-
-  /// One speculative Get: the slot completes with the full response
-  /// payload, accounted into the budget by the demux-thread hook.
-  struct PrefetchEntry {
-    std::shared_ptr<MuxConnection::Slot> slot;
-    std::shared_ptr<MuxConnection> conn; // keeps the slot's demux alive
-    std::size_t bytes = 0;               // response size once completed
-    bool done = false;
-    bool ok = false;
-  };
 
   /// One RPC through the mux with per-request retry/reconnect/backoff.
   /// On a well-formed response returns the payload after the verified
@@ -161,6 +172,7 @@ class RemoteBackend final : public storage::StorageBackend {
   Writer Req(Rpc rpc) const;
   [[nodiscard]] std::uint8_t wire_version() const noexcept;
   [[nodiscard]] bool peer_speaks_v3() const noexcept;
+  [[nodiscard]] bool peer_speaks_v4() const noexcept;
   [[nodiscard]] std::size_t effective_window() const noexcept;
 
   /// Returns a connection with window room, dialing a fresh one when the
@@ -168,6 +180,9 @@ class RemoteBackend final : public storage::StorageBackend {
   Result<std::shared_ptr<MuxConnection>> AcquireConnection(bool is_retry);
   std::shared_ptr<MuxConnection> NewConnection(
       std::unique_ptr<Transport> transport);
+  /// Best-effort kLeaseAttach on a fresh data connection (no-op when no
+  /// session is live or the peer predates v4).
+  void AttachLease(MuxConnection& conn);
 
   /// Consecutive-failure streak driving the backoff delay.
   void NoteFailure();
@@ -175,15 +190,13 @@ class RemoteBackend final : public storage::StorageBackend {
   void Backoff();
   void CountRetry();
 
-  // Readahead internals (all under prefetch_mu_).
-  void PrefetchDelivered(const std::string& name,
-                         const std::shared_ptr<PrefetchEntry>& entry, bool ok,
-                         std::size_t response_bytes);
-  std::shared_ptr<PrefetchEntry> TakePrefetched(const std::string& name);
-  void InvalidatePrefetch(const std::string& name);
-  void EvictOverBudgetLocked();
-  void AddPrefetchCounters(std::uint64_t issued, std::uint64_t hits,
-                           std::uint64_t wasted_bytes);
+  /// Demux-thread landing of a speculative Get: parses the response and
+  /// hands the object to the sink.
+  void OnPrefetchDone(const std::string& name, const PrefetchSink& sink,
+                      std::uint64_t correlation, const Status& failure,
+                      const Bytes& response);
+  /// Pumps server-pushed kInvalidate frames until the channel dies.
+  void LeaseCallbackLoop();
 
   TransportFactory factory_;
   RemoteBackendOptions options_;
@@ -198,11 +211,18 @@ class RemoteBackend final : public storage::StorageBackend {
   NetCounters counters_;
 
   mutable std::mutex prefetch_mu_;
-  std::map<std::string, std::shared_ptr<PrefetchEntry>> prefetch_;
-  std::list<std::string> prefetch_fifo_; // completed entries, oldest first
-  std::size_t prefetch_buffered_ = 0;
-  std::size_t prefetch_peak_buffered_ = 0;
-  std::size_t prefetch_inflight_ = 0;
+  PrefetchSink sink_;                          // under prefetch_mu_
+  std::set<std::string> prefetch_inflight_;    // names being speculated
+
+  // Lease-callback channel. The listener/handler are written once under
+  // lease_mu_ before the thread starts and read by it without locking.
+  std::mutex lease_mu_;
+  std::unique_ptr<Transport> lease_transport_;
+  std::thread lease_thread_;
+  InvalidationListener lease_listener_;
+  ChannelDownHandler lease_on_down_;
+  std::atomic<std::uint64_t> lease_session_{0};
+  std::atomic<bool> lease_shutdown_{false};
 
   // Declared LAST: connections (and their demux threads, which may still
   // run delivery hooks touching the members above) die first.

@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <arpa/inet.h>
 #include <cerrno>
+#include <chrono>
 #include <condition_variable>
+#include <cstdlib>
 #include <cstring>
 #include <functional>
 #include <map>
@@ -11,6 +13,7 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include "cache/cache_counters.hpp"
 #include "common/clock.hpp"
 #include "net/transport.hpp"
 #include "net/wire.hpp"
@@ -36,6 +39,13 @@ Result<std::unique_ptr<NexusdServer>> NexusdServer::Start(
     storage::StorageBackend& backend, NexusdOptions options) {
   auto server = std::unique_ptr<NexusdServer>(
       new NexusdServer(backend, std::move(options)));
+
+  server->lease_break_ms_ = server->options_.lease_break_ms;
+  if (server->lease_break_ms_ <= 0) {
+    const char* env = std::getenv("NEXUS_LEASE_BREAK_MS");
+    const int v = (env != nullptr && *env != '\0') ? std::atoi(env) : 0;
+    server->lease_break_ms_ = v > 0 ? v : 1000;
+  }
 
   const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd < 0) return Errno("socket");
@@ -98,13 +108,28 @@ void NexusdServer::Stop() {
     for (const int fd : live_fds_) ::shutdown(fd, SHUT_RDWR);
   }
   if (accept_thread_.joinable()) accept_thread_.join();
+  // Connections drain first: every lease thread is spawned (and recorded)
+  // by a ServeConnection, so after WaitAll the vector is complete.
   if (connections_) connections_->WaitAll();
+  std::vector<std::thread> acks;
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    acks.swap(lease_threads_);
+  }
+  for (std::thread& t : acks) t.join();
 }
 
 NexusdServer::Stats NexusdServer::stats() const {
-  const std::lock_guard<std::mutex> lock(mu_);
-  Stats out = stats_;
-  out.active_connections = live_fds_.size();
+  Stats out;
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    out = stats_;
+    out.active_connections = live_fds_.size();
+  }
+  {
+    const std::lock_guard<std::mutex> lock(lease_mu_);
+    out.lease_sessions = sessions_.size();
+  }
   return out;
 }
 
@@ -120,6 +145,10 @@ ServerStats NexusdServer::WireStats() const {
     out.streams_aborted_on_disconnect = stats_.streams_aborted_on_disconnect;
     out.bytes_received = stats_.bytes_received;
     out.bytes_sent = stats_.bytes_sent;
+    out.leases_granted = stats_.leases_granted;
+    out.leases_broken = stats_.leases_broken;
+    out.invalidations_sent = stats_.invalidations_sent;
+    out.lease_break_timeouts = stats_.lease_break_timeouts;
     for (std::size_t i = static_cast<std::size_t>(Rpc::kPing); i < kRpcSlots;
          ++i) {
       if (per_op_[i].count == 0) continue;
@@ -131,6 +160,20 @@ ServerStats NexusdServer::WireStats() const {
       out.per_op.push_back(row);
     }
   }
+  {
+    const std::lock_guard<std::mutex> lock(lease_mu_);
+    out.lease_sessions = sessions_.size();
+  }
+  // Process-wide object-cache counters: non-zero when this daemon fronts
+  // its backend with cache::CachedBackend (nexusd --cache-mem).
+  const cache::CacheCounters cc = cache::GlobalCacheSnapshot();
+  out.cache_mem_hits = cc.mem_hits;
+  out.cache_disk_hits = cc.disk_hits;
+  out.cache_misses = cc.misses;
+  out.cache_evictions = cc.evictions_mem + cc.evictions_disk;
+  out.cache_writeback_batches = cc.writeback_batches;
+  out.cache_invalidations = cc.invalidations_received;
+  out.cache_dirty_high_water = cc.dirty_bytes_high_water;
   // Histograms are internally synchronized; read them outside mu_.
   for (RpcOpStats& row : out.per_op) {
     const trace::Histogram& h = op_latency_ns_[row.rpc];
@@ -167,10 +210,183 @@ void NexusdServer::AcceptLoop() {
   }
 }
 
+// ---- lease machinery --------------------------------------------------------
+
+std::shared_ptr<NexusdServer::LeaseSession> NexusdServer::FindSession(
+    std::uint64_t sid) {
+  const std::lock_guard<std::mutex> lock(lease_mu_);
+  const auto it = sessions_.find(sid);
+  return it == sessions_.end() ? nullptr : it->second;
+}
+
+bool NexusdServer::PreGrantLease(const std::string& name, std::uint64_t sid,
+                                 std::uint64_t* version_before) {
+  const std::lock_guard<std::mutex> lock(lease_mu_);
+  if (!sessions_.contains(sid)) return false;
+  // Register as a holder BEFORE the backend read: a mutation finishing
+  // after this point collects (and invalidates) this session, so even a
+  // read that returns just-overwritten bytes gets its invalidation.
+  *version_before = object_version_[name];
+  holders_[name].insert(sid);
+  return true;
+}
+
+bool NexusdServer::PostGrantLease(const std::string& name, std::uint64_t sid,
+                                  std::uint64_t version_before, bool read_ok) {
+  bool granted = false;
+  {
+    const std::lock_guard<std::mutex> lock(lease_mu_);
+    const auto h = holders_.find(name);
+    const bool still_held = h != holders_.end() && h->second.contains(sid);
+    if (read_ok && still_held && sessions_.contains(sid) &&
+        object_version_[name] == version_before) {
+      granted = true;
+    } else if (still_held) {
+      // Denied (version moved, read failed, or session died): withdraw
+      // the registration so the holder set stays exact.
+      h->second.erase(sid);
+      if (h->second.empty()) holders_.erase(h);
+    }
+  }
+  if (granted) {
+    const std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.leases_granted;
+  }
+  return granted;
+}
+
+void NexusdServer::BeginMutation(const std::string& name) {
+  const std::lock_guard<std::mutex> lock(lease_mu_);
+  ++object_version_[name];
+}
+
+void NexusdServer::FinishMutation(const std::string& name,
+                                  std::uint64_t writer_sid) {
+  std::vector<std::shared_ptr<LeaseSession>> targets;
+  {
+    const std::lock_guard<std::mutex> lock(lease_mu_);
+    const auto h = holders_.find(name);
+    if (h == holders_.end()) return;
+    for (const std::uint64_t sid : h->second) {
+      if (sid == writer_sid) continue; // the writer invalidates itself
+      const auto s = sessions_.find(sid);
+      if (s != sessions_.end()) targets.push_back(s->second);
+    }
+    holders_.erase(h);
+  }
+  if (targets.empty()) return;
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    stats_.leases_broken += targets.size();
+  }
+
+  trace::Span span("cache.lease_break", "net.server");
+  // Push to every holder first, then collect acks — the ack waits overlap
+  // instead of serializing full round trips.
+  struct Push {
+    std::shared_ptr<LeaseSession> session;
+    std::uint64_t corr = 0;
+  };
+  std::vector<Push> pushes;
+  pushes.reserve(targets.size());
+  std::uint64_t sent = 0;
+  for (const auto& session : targets) {
+    Push push{session, NextCorrelationId()};
+    Writer frame = BeginRequest(Rpc::kInvalidate, push.corr, 4);
+    EncodeNameList(frame, {name});
+    bool delivered = false;
+    {
+      const std::lock_guard<std::mutex> lock(session->mu);
+      if (!session->dead && session->channel != nullptr) {
+        // Register the pending ack BEFORE sending: the client's ack can
+        // race back faster than this thread resumes.
+        session->pending_acks.insert(push.corr);
+        delivered = session->channel->SendFrame(frame.bytes()).ok();
+        if (!delivered) session->pending_acks.erase(push.corr);
+      }
+    }
+    if (delivered) {
+      ++sent;
+      pushes.push_back(std::move(push));
+    }
+  }
+  if (sent > 0) {
+    const std::lock_guard<std::mutex> lock(mu_);
+    stats_.invalidations_sent += sent;
+  }
+
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(lease_break_ms_);
+  for (const Push& push : pushes) {
+    std::unique_lock<std::mutex> lock(push.session->mu);
+    const bool acked = push.session->cv.wait_until(lock, deadline, [&] {
+      return push.session->dead ||
+             !push.session->pending_acks.contains(push.corr);
+    });
+    if (acked) continue;
+    // The holder never answered: kill its session so the break completes
+    // in bounded time. Its reader observes the shutdown, tears the
+    // session down, and the client's channel-down path demotes every
+    // leased entry to TTL — staleness stays bounded either way.
+    push.session->dead = true;
+    if (push.session->channel != nullptr) push.session->channel->Shutdown();
+    lock.unlock();
+    push.session->cv.notify_all();
+    const std::lock_guard<std::mutex> stats_lock(mu_);
+    ++stats_.lease_break_timeouts;
+  }
+}
+
+void NexusdServer::AckLoop(TcpTransport& transport,
+                           const std::shared_ptr<LeaseSession>& session) {
+  // After kLeaseSubscribe the connection inverts: the server originates
+  // request-format kInvalidate frames (FinishMutation) and the client
+  // answers with response frames, which are all this loop ever reads.
+  for (;;) {
+    auto frame = transport.RecvFrame();
+    if (!frame.ok()) break; // disconnect, reset, Stop(), or break timeout
+    const std::uint64_t corr = ResponseCorrelation(frame.value());
+    if (corr == 0) break; // not a response frame: protocol violation
+    {
+      const std::lock_guard<std::mutex> lock(session->mu);
+      session->pending_acks.erase(corr);
+    }
+    session->cv.notify_all();
+  }
+}
+
+void NexusdServer::CleanupSession(
+    const std::shared_ptr<LeaseSession>& session) {
+  {
+    const std::lock_guard<std::mutex> lock(lease_mu_);
+    sessions_.erase(session->id);
+    for (auto it = holders_.begin(); it != holders_.end();) {
+      it->second.erase(session->id);
+      if (it->second.empty()) {
+        it = holders_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  {
+    const std::lock_guard<std::mutex> lock(session->mu);
+    session->dead = true;
+    session->channel = nullptr;
+    session->pending_acks.clear();
+  }
+  session->cv.notify_all(); // writers waiting on acks see `dead`
+}
+
+// ---- the serve loop ---------------------------------------------------------
+
 void NexusdServer::ServeConnection(int fd) {
   // Block-forever reads: Stop() shutdown()s the fd, which surfaces as a
-  // clean "closed by peer" and ends the loop.
-  TcpTransport transport(fd, /*io_deadline_ms=*/-1);
+  // clean "closed by peer" and ends the loop. Heap-owned so a connection
+  // that becomes a lease subscription can hand its transport to the
+  // dedicated ack thread.
+  auto owned = std::make_unique<TcpTransport>(fd, /*io_deadline_ms=*/-1);
+  TcpTransport& transport = *owned;
 
   // Shared between this reader and its handler tasks on rpc_pool_.
   struct ConnCtx {
@@ -187,10 +403,20 @@ void NexusdServer::ServeConnection(int fd) {
 
   // In-flight put streams, scoped to this connection. Destruction aborts
   // whatever the client never committed (DiskPutStream removes its temp
-  // file), so a dropped connection leaves the store untouched.
-  std::map<std::uint64_t, std::unique_ptr<storage::StorageBackend::PutStream>>
-      streams;
+  // file), so a dropped connection leaves the store untouched. The name
+  // rides along so Commit can run the lease-break protocol.
+  struct OpenStream {
+    std::unique_ptr<storage::StorageBackend::PutStream> stream;
+    std::string name;
+  };
+  std::map<std::uint64_t, OpenStream> streams;
   std::uint64_t next_stream_handle = 1;
+
+  // v4 connection state: the lease session this data connection belongs
+  // to (kLeaseAttach), and the session this connection BECAME the
+  // invalidation channel of (kLeaseSubscribe).
+  std::uint64_t attached_session = 0;
+  std::shared_ptr<LeaseSession> subscription;
 
   for (;;) {
     auto frame = transport.RecvFrame();
@@ -224,8 +450,8 @@ void NexusdServer::ServeConnection(int fd) {
 
     switch (rpc.value()) {
       case Rpc::kPing: {
-        // A v3 client appends a probe byte naming its own max version; a
-        // v2 client appends nothing. Only a probed v3 server answers with
+        // A v3+ client appends a probe byte naming its own max version; a
+        // v2 client appends nothing. Only a probed v3+ server answers with
         // a version byte, so every other pairing stays byte-identical to
         // the v2 exchange — negotiation is invisible to old peers.
         std::uint8_t probe = 0;
@@ -235,8 +461,8 @@ void NexusdServer::ServeConnection(int fd) {
         }
         const bool advertise =
             probe >= 3 && options_.max_protocol_version >= 3;
-        const std::uint8_t offer =
-            std::min(kProtocolVersion, options_.max_protocol_version);
+        const std::uint8_t offer = std::min(
+            {kProtocolVersion, options_.max_protocol_version, probe});
         execute = [corr, version, advertise, offer] {
           Writer r = BeginResponse(Status::Ok(), corr, version);
           if (advertise) r.U8(offer);
@@ -250,11 +476,24 @@ void NexusdServer::ServeConnection(int fd) {
           close_connection = true;
           break;
         }
-        execute = [this, corr, version, name = std::move(name).value()] {
+        // v4 Gets carry a trailing want-lease byte (absent = 0).
+        std::uint8_t want_lease = 0;
+        if (version >= 4 && reader.Remaining() > 0) {
+          auto w = reader.U8();
+          if (w.ok()) want_lease = w.value();
+        }
+        const std::uint64_t sid = attached_session;
+        execute = [this, corr, version, sid, want_lease,
+                   name = std::move(name).value()] {
+          std::uint64_t v0 = 0;
+          bool granted = version >= 4 && want_lease != 0 && sid != 0 &&
+                         PreGrantLease(name, sid, &v0);
           auto data = backend_.Get(name);
+          if (granted) granted = PostGrantLease(name, sid, v0, data.ok());
           if (!data.ok()) return BeginResponse(data.status(), corr, version);
           Writer r = BeginResponse(Status::Ok(), corr, version);
           r.Var(data.value());
+          if (version >= 4) r.U8(granted ? 1 : 0);
           return r;
         };
         break;
@@ -270,9 +509,13 @@ void NexusdServer::ServeConnection(int fd) {
           close_connection = true;
           break;
         }
-        execute = [this, corr, version, name = std::move(name).value(),
+        const std::uint64_t sid = attached_session;
+        execute = [this, corr, version, sid, name = std::move(name).value(),
                    data = std::move(data).value()] {
-          return BeginResponse(backend_.Put(name, data), corr, version);
+          BeginMutation(name);
+          const Status verdict = backend_.Put(name, data);
+          FinishMutation(name, sid);
+          return BeginResponse(verdict, corr, version);
         };
         break;
       }
@@ -282,8 +525,13 @@ void NexusdServer::ServeConnection(int fd) {
           close_connection = true;
           break;
         }
-        execute = [this, corr, version, name = std::move(name).value()] {
-          return BeginResponse(backend_.Delete(name), corr, version);
+        const std::uint64_t sid = attached_session;
+        execute = [this, corr, version, sid,
+                   name = std::move(name).value()] {
+          BeginMutation(name);
+          const Status verdict = backend_.Delete(name);
+          FinishMutation(name, sid);
+          return BeginResponse(verdict, corr, version);
         };
         break;
       }
@@ -386,6 +634,56 @@ void NexusdServer::ServeConnection(int fd) {
         };
         break;
       }
+      case Rpc::kLeaseSubscribe: {
+        // This connection becomes the session's invalidation channel: the
+        // response below is the LAST ordinary reply on it; afterwards the
+        // reader switches to the ack loop.
+        trace::Span span(RpcName(rpc.value()), "net.server");
+        span.SetCorrelation(corr);
+        if (subscription != nullptr) {
+          close_connection = true; // double-subscribe: protocol error
+          break;
+        }
+        auto session = std::make_shared<LeaseSession>();
+        {
+          const std::lock_guard<std::mutex> lock(lease_mu_);
+          session->id = next_session_id_++;
+          sessions_[session->id] = session;
+        }
+        {
+          const std::lock_guard<std::mutex> lock(session->mu);
+          session->channel = &transport;
+        }
+        subscription = session;
+        response = BeginResponse(Status::Ok(), corr, version);
+        response.U64(session->id);
+        break;
+      }
+      case Rpc::kLeaseAttach: {
+        trace::Span span(RpcName(rpc.value()), "net.server");
+        span.SetCorrelation(corr);
+        auto sid = reader.U64();
+        if (!sid.ok()) {
+          close_connection = true;
+          break;
+        }
+        // Inline (not pooled): attachment must order before the Gets and
+        // Puts pipelined behind it on this connection.
+        if (FindSession(sid.value()) != nullptr) {
+          attached_session = sid.value();
+          response = BeginResponse(Status::Ok(), corr, version);
+        } else {
+          response = BeginResponse(
+              Error(ErrorCode::kNotFound, "unknown lease session"), corr,
+              version);
+        }
+        break;
+      }
+      case Rpc::kInvalidate: {
+        // Server-originated only; a client sending it is desynchronized.
+        close_connection = true;
+        break;
+      }
       case Rpc::kStreamBegin: {
         trace::Span span(RpcName(rpc.value()), "net.server");
         span.SetCorrelation(corr);
@@ -397,7 +695,8 @@ void NexusdServer::ServeConnection(int fd) {
         auto stream = backend_.OpenPutStream(name.value());
         if (stream.ok()) {
           const std::uint64_t handle = next_stream_handle++;
-          streams[handle] = std::move(stream).value();
+          streams[handle] =
+              OpenStream{std::move(stream).value(), std::move(name).value()};
           response = BeginResponse(Status::Ok(), corr, version);
           response.U64(handle);
           const std::lock_guard<std::mutex> lock(mu_);
@@ -426,8 +725,8 @@ void NexusdServer::ServeConnection(int fd) {
               Error(ErrorCode::kInvalidArgument, "unknown stream handle"),
               corr, version);
         } else {
-          response =
-              BeginResponse(it->second->Append(segment.value()), corr, version);
+          response = BeginResponse(it->second.stream->Append(segment.value()),
+                                   corr, version);
         }
         break;
       }
@@ -445,7 +744,13 @@ void NexusdServer::ServeConnection(int fd) {
               Error(ErrorCode::kInvalidArgument, "unknown stream handle"),
               corr, version);
         } else {
-          response = BeginResponse(it->second->Commit(), corr, version);
+          // Commit publishes a new object atomically: same lease-break
+          // protocol as Put, bracketing the backend call.
+          const std::string name = it->second.name;
+          BeginMutation(name);
+          const Status verdict = it->second.stream->Commit();
+          FinishMutation(name, attached_session);
+          response = BeginResponse(verdict, corr, version);
           streams.erase(it);
           const std::lock_guard<std::mutex> lock(mu_);
           --stats_.open_streams;
@@ -466,7 +771,7 @@ void NexusdServer::ServeConnection(int fd) {
               Error(ErrorCode::kInvalidArgument, "unknown stream handle"),
               corr, version);
         } else {
-          it->second->Abort();
+          it->second.stream->Abort();
           streams.erase(it);
           response = BeginResponse(Status::Ok(), corr, version);
           const std::lock_guard<std::mutex> lock(mu_);
@@ -549,11 +854,40 @@ void NexusdServer::ServeConnection(int fd) {
     }
     op_latency_ns_[op].Record(MonotonicNanos() - service_start_ns);
     if (!sent) break;
+
+    if (subscription != nullptr) {
+      // The subscribe reply is out; from here the connection carries only
+      // server pushes and client acks. Subscriptions live as long as the
+      // client, so the ack loop moves to a dedicated thread: pool workers
+      // (options_.workers) stay available for data connections instead of
+      // being pinned by every subscriber.
+      std::thread ack([this, fd, channel = std::move(owned),
+                       session = std::move(subscription)] {
+        AckLoop(*channel, session);
+        CleanupSession(session);
+        const std::lock_guard<std::mutex> lock(mu_);
+        live_fds_.erase(std::remove(live_fds_.begin(), live_fds_.end(), fd),
+                        live_fds_.end());
+        // `channel` closes the fd on thread exit.
+      });
+      handlers.WaitAll();
+      {
+        const std::lock_guard<std::mutex> lock(mu_);
+        lease_threads_.push_back(std::move(ack));
+        stats_.streams_aborted_on_disconnect += streams.size();
+        stats_.open_streams -= streams.size();
+      }
+      return; // fd teardown now belongs to the ack thread
+    }
   }
 
   // Drain the handlers before the transport (their send target) and the
   // stats teardown below.
   handlers.WaitAll();
+
+  // Reachable with a live session only when the subscribe reply itself
+  // failed to send (the success path detaches above).
+  if (subscription != nullptr) CleanupSession(subscription);
 
   {
     const std::lock_guard<std::mutex> lock(mu_);

@@ -17,16 +17,33 @@
 // carries the handlers so a burst of connections can never deadlock
 // waiting for its own workers.
 //
+// Wire v4 adds lease-based cache coherence. A client turns one connection
+// into its invalidation channel with kLeaseSubscribe (the response names a
+// session id; from then on the SERVER originates kInvalidate frames on it
+// and the client acks each with a response frame), and ties its data
+// connections to the session with kLeaseAttach. A v4 Get asking for a
+// lease registers the session as a holder of that object BEFORE the
+// backend read and re-validates the object's version after it — a
+// concurrent mutation between the two denies the lease, so a granted
+// lease always covers the exact bytes returned. Mutations bump the
+// version first, apply, then break every holder except the writer's own
+// session: push the invalidation, wait for the ack up to lease_break_ms,
+// and kill the session on timeout — an unresponsive client can delay a
+// writer only briefly and can never hold stale data past its TTL.
+//
 // The daemon is the paper's untrusted storage service: it sees only
 // ciphertext and opaque names, so it does no authentication and keeps no
-// per-client state beyond in-flight put streams. Those streams are scoped
-// to their connection and aborted when it dies — a client crash or
-// mid-stream reset can never leave a partially visible object (the
-// backend's PutStream publishes atomically at Commit).
+// per-client state beyond in-flight put streams and lease sessions. Those
+// streams are scoped to their connection and aborted when it dies — a
+// client crash or mid-stream reset can never leave a partially visible
+// object (the backend's PutStream publishes atomically at Commit).
 #pragma once
 
+#include <condition_variable>
 #include <cstdint>
+#include <map>
 #include <memory>
+#include <set>
 #include <string>
 #include <thread>
 #include <vector>
@@ -39,11 +56,15 @@
 
 namespace nexus::net {
 
+class TcpTransport;
+
 struct NexusdOptions {
   std::string bind_address = "127.0.0.1";
   /// 0 picks an ephemeral port; read the actual one from port().
   std::uint16_t port = 0;
-  /// Thread-pool workers == max concurrently served connections.
+  /// Thread-pool workers == max concurrently served DATA connections.
+  /// Lease subscription channels (kLeaseSubscribe) migrate to their own
+  /// dedicated threads and do not count against this bound.
   std::size_t workers = 4;
   /// Workers on the shared RPC-handler pool (all connections). 0 runs
   /// every handler inline on its connection's reader thread — strictly
@@ -55,6 +76,10 @@ struct NexusdOptions {
   /// Highest wire version this server will accept or advertise — set to 2
   /// to stand up a legacy server for interop tests.
   std::uint8_t max_protocol_version = kProtocolVersion;
+  /// How long a mutation waits for a lease holder's invalidation ack
+  /// before killing the holder's session. 0 = NEXUS_LEASE_BREAK_MS or
+  /// 1000 ms.
+  int lease_break_ms = 0;
 };
 
 class NexusdServer {
@@ -84,18 +109,25 @@ class NexusdServer {
     std::uint64_t bytes_sent = 0;
     std::uint64_t active_connections = 0; // gauge
     std::uint64_t open_streams = 0;       // gauge
+    // v4 lease coherence.
+    std::uint64_t lease_sessions = 0; // gauge
+    std::uint64_t leases_granted = 0;
+    std::uint64_t leases_broken = 0;
+    std::uint64_t invalidations_sent = 0;
+    std::uint64_t lease_break_timeouts = 0;
   };
   [[nodiscard]] Stats stats() const;
 
   /// Snapshot served over Rpc::kStats: stats() plus one row per RPC id
   /// actually served, with p50/p99 service latency from the per-op
-  /// histograms.
+  /// histograms, plus the process-wide object-cache counters (non-zero
+  /// when this daemon fronts its backend with cache::CachedBackend).
   [[nodiscard]] ServerStats WireStats() const;
 
  private:
   /// Dense per-RPC slot array; index = static_cast<std::size_t>(Rpc).
   static constexpr std::size_t kRpcSlots =
-      static_cast<std::size_t>(Rpc::kMultiExists) + 1;
+      static_cast<std::size_t>(Rpc::kInvalidate) + 1;
 
   struct PerOpCounters {
     std::uint64_t count = 0;
@@ -103,20 +135,64 @@ class NexusdServer {
     std::uint64_t bytes_out = 0;
   };
 
+  /// One subscribed client. `channel` points at the subscription
+  /// connection's transport while its reader thread is alive (nulled at
+  /// cleanup); pushes serialize on `mu` and the reader erases acked
+  /// correlation ids from `pending_acks`.
+  struct LeaseSession {
+    std::uint64_t id = 0;
+    std::mutex mu;
+    std::condition_variable cv;
+    TcpTransport* channel = nullptr; // under mu
+    std::set<std::uint64_t> pending_acks; // under mu
+    bool dead = false;                    // under mu
+  };
+
   NexusdServer(storage::StorageBackend& backend, NexusdOptions options);
 
   void AcceptLoop();
   void ServeConnection(int fd);
 
+  // Lease machinery (registry under lease_mu_; never hold lease_mu_
+  // while touching a session's channel).
+  [[nodiscard]] std::shared_ptr<LeaseSession> FindSession(std::uint64_t sid);
+  /// Registers `sid` as a holder of `name` before the backend read;
+  /// reports the object version the grant is conditioned on.
+  bool PreGrantLease(const std::string& name, std::uint64_t sid,
+                     std::uint64_t* version_before);
+  /// Confirms the grant after the read: the object version must be
+  /// unchanged and the holder still registered (a concurrent mutation
+  /// clears both). Deregisters on denial or failed reads.
+  bool PostGrantLease(const std::string& name, std::uint64_t sid,
+                      std::uint64_t version_before, bool read_ok);
+  /// Bumps the object's version BEFORE the backend mutation so any read
+  /// racing the mutation fails its PostGrant validation.
+  void BeginMutation(const std::string& name);
+  /// Breaks every holder except the writer's own session: pushes the
+  /// invalidation, waits for acks up to lease_break_ms_, kills sessions
+  /// that never answer.
+  void FinishMutation(const std::string& name, std::uint64_t writer_sid);
+  /// Reads invalidation acks off a subscription connection until it dies.
+  void AckLoop(TcpTransport& transport,
+               const std::shared_ptr<LeaseSession>& session);
+  /// Tears a session out of the registry and wakes any waiting writers.
+  void CleanupSession(const std::shared_ptr<LeaseSession>& session);
+
   storage::StorageBackend& backend_;
   NexusdOptions options_;
   std::uint16_t port_ = 0;
   int listen_fd_ = -1;
+  int lease_break_ms_ = 1000;
 
   std::unique_ptr<parallel::ThreadPool> pool_;
   std::unique_ptr<parallel::ThreadPool> rpc_pool_; // null: inline handlers
   std::unique_ptr<parallel::TaskGroup> connections_;
   std::thread accept_thread_;
+  /// One thread per lease subscription channel (ack loops). Subscriptions
+  /// live as long as their client, so they move OFF the connection pool —
+  /// otherwise every subscriber would pin a `workers` slot forever and
+  /// starve data connections. Joined in Stop(), under mu_ until swapped.
+  std::vector<std::thread> lease_threads_;
 
   mutable std::mutex mu_;
   std::vector<int> live_fds_; // shutdown() on Stop unblocks workers
@@ -124,6 +200,16 @@ class NexusdServer {
   Stats stats_;                     // open_streams maintained, active derived
   PerOpCounters per_op_[kRpcSlots]; // under mu_
   trace::Histogram op_latency_ns_[kRpcSlots]; // internally synchronized
+
+  // Lease registry. Lock order: lease_mu_ before mu_ (counter updates),
+  // never after a session's mu.
+  mutable std::mutex lease_mu_;
+  std::uint64_t next_session_id_ = 1;
+  std::map<std::uint64_t, std::shared_ptr<LeaseSession>> sessions_;
+  std::map<std::string, std::set<std::uint64_t>> holders_;
+  /// Monotonic per-object mutation counter; entries persist for the
+  /// server's lifetime (names are few and short at this repo's scale).
+  std::map<std::string, std::uint64_t> object_version_;
 };
 
 } // namespace nexus::net

@@ -19,6 +19,9 @@ const char* RpcName(Rpc rpc) noexcept {
     case Rpc::kStats: return "stats";
     case Rpc::kMultiGet: return "multi_get";
     case Rpc::kMultiExists: return "multi_exists";
+    case Rpc::kLeaseSubscribe: return "lease_subscribe";
+    case Rpc::kLeaseAttach: return "lease_attach";
+    case Rpc::kInvalidate: return "invalidate";
   }
   return "unknown";
 }
@@ -74,7 +77,9 @@ Result<Rpc> ParseRequestHead(Reader& reader, std::uint64_t* correlation,
                  "unsupported protocol version " + std::to_string(version));
   }
   NEXUS_ASSIGN_OR_RETURN(const std::uint8_t rpc, reader.U8());
-  const auto max_rpc = version == 2 ? kMaxV2Rpc : Rpc::kMultiExists;
+  const auto max_rpc = version == 2   ? kMaxV2Rpc
+                       : version == 3 ? kMaxV3Rpc
+                                      : Rpc::kInvalidate;
   if (rpc < static_cast<std::uint8_t>(Rpc::kPing) ||
       rpc > static_cast<std::uint8_t>(max_rpc)) {
     return Error(ErrorCode::kInvalidArgument,
@@ -134,6 +139,18 @@ void EncodeServerStats(Writer& writer, const ServerStats& stats) {
   writer.U64(stats.streams_aborted_on_disconnect);
   writer.U64(stats.bytes_received);
   writer.U64(stats.bytes_sent);
+  writer.U64(stats.lease_sessions);
+  writer.U64(stats.leases_granted);
+  writer.U64(stats.leases_broken);
+  writer.U64(stats.invalidations_sent);
+  writer.U64(stats.lease_break_timeouts);
+  writer.U64(stats.cache_mem_hits);
+  writer.U64(stats.cache_disk_hits);
+  writer.U64(stats.cache_misses);
+  writer.U64(stats.cache_evictions);
+  writer.U64(stats.cache_writeback_batches);
+  writer.U64(stats.cache_invalidations);
+  writer.U64(stats.cache_dirty_high_water);
   writer.U32(static_cast<std::uint32_t>(stats.per_op.size()));
   for (const RpcOpStats& op : stats.per_op) {
     writer.U8(op.rpc);
@@ -155,6 +172,18 @@ Result<ServerStats> DecodeServerStats(Reader& reader) {
   NEXUS_ASSIGN_OR_RETURN(stats.streams_aborted_on_disconnect, reader.U64());
   NEXUS_ASSIGN_OR_RETURN(stats.bytes_received, reader.U64());
   NEXUS_ASSIGN_OR_RETURN(stats.bytes_sent, reader.U64());
+  NEXUS_ASSIGN_OR_RETURN(stats.lease_sessions, reader.U64());
+  NEXUS_ASSIGN_OR_RETURN(stats.leases_granted, reader.U64());
+  NEXUS_ASSIGN_OR_RETURN(stats.leases_broken, reader.U64());
+  NEXUS_ASSIGN_OR_RETURN(stats.invalidations_sent, reader.U64());
+  NEXUS_ASSIGN_OR_RETURN(stats.lease_break_timeouts, reader.U64());
+  NEXUS_ASSIGN_OR_RETURN(stats.cache_mem_hits, reader.U64());
+  NEXUS_ASSIGN_OR_RETURN(stats.cache_disk_hits, reader.U64());
+  NEXUS_ASSIGN_OR_RETURN(stats.cache_misses, reader.U64());
+  NEXUS_ASSIGN_OR_RETURN(stats.cache_evictions, reader.U64());
+  NEXUS_ASSIGN_OR_RETURN(stats.cache_writeback_batches, reader.U64());
+  NEXUS_ASSIGN_OR_RETURN(stats.cache_invalidations, reader.U64());
+  NEXUS_ASSIGN_OR_RETURN(stats.cache_dirty_high_water, reader.U64());
   NEXUS_ASSIGN_OR_RETURN(const std::uint32_t n, reader.U32());
   if (n > kMaxStatsEntries) {
     return Error(ErrorCode::kOutOfRange,
@@ -165,7 +194,7 @@ Result<ServerStats> DecodeServerStats(Reader& reader) {
     RpcOpStats op;
     NEXUS_ASSIGN_OR_RETURN(op.rpc, reader.U8());
     if (op.rpc < static_cast<std::uint8_t>(Rpc::kPing) ||
-        op.rpc > static_cast<std::uint8_t>(Rpc::kMultiExists)) {
+        op.rpc > static_cast<std::uint8_t>(Rpc::kInvalidate)) {
       return Error(ErrorCode::kInvalidArgument,
                    "stats entry with unknown rpc id " + std::to_string(op.rpc));
     }

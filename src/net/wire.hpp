@@ -27,6 +27,18 @@
 // never look at Ping results). An empty Ping payload therefore means "v2
 // peer": the client falls back to lock-step singles.
 //
+// Protocol v4 adds client-cache coherence: the server grants per-object
+// read leases on Get (a trailing flag byte on v4 Get responses) and pushes
+// invalidation callbacks when another client mutates a leased object. The
+// callbacks ride a dedicated subscription connection: the client sends
+// kLeaseSubscribe once (response carries a u64 session id), after which the
+// SERVER originates request-format kInvalidate frames on that connection
+// and the client answers each with an ordinary response frame (the ack).
+// Pooled data connections tie themselves to the session with kLeaseAttach
+// so the server can skip invalidating the writer's own cache. v3 peers
+// negotiate down exactly as before — none of the three new RPC ids is
+// valid in a pre-v4 request head.
+//
 // The server is untrusted in the NEXUS threat model, so nothing here is
 // authenticated — the protocol only moves ciphertext and opaque object
 // names, and the enclave's MACs catch any tampering above this layer. What
@@ -46,7 +58,7 @@
 
 namespace nexus::net {
 
-inline constexpr std::uint8_t kProtocolVersion = 3;
+inline constexpr std::uint8_t kProtocolVersion = 4;
 /// Oldest peer version both sides still speak (v2 = correlation ids +
 /// Stats, lock-step only). Frames with older versions are rejected.
 inline constexpr std::uint8_t kMinProtocolVersion = 2;
@@ -76,11 +88,19 @@ enum class Rpc : std::uint8_t {
   // v3 batch ops: one frame each way for a whole fan-out of names.
   kMultiGet = 12,     // name list -> per-name ok/error/deferred entries
   kMultiExists = 13,  // name list -> per-name presence flags
+  // v4 cache-coherence ops.
+  kLeaseSubscribe = 14, // -> u64 session id; connection becomes the
+                        //    server-push invalidation channel
+  kLeaseAttach = 15,    // u64 session id; ties a data connection to it
+  kInvalidate = 16,     // SERVER-sent on the subscription channel: name
+                        //    list whose leases are revoked; client acks
 };
 
 /// Last RPC id a v2 peer understands; v2-version request heads carrying a
 /// later id are a protocol violation (a v2 client can never have sent one).
 inline constexpr Rpc kMaxV2Rpc = Rpc::kStats;
+/// Same bound for v3 heads — the lease RPCs require a v4 head.
+inline constexpr Rpc kMaxV3Rpc = Rpc::kMultiExists;
 
 /// Stable lowercase name for an RPC id ("get", "stream_begin", ...). Used
 /// as span names and in nexus-stat output.
@@ -162,6 +182,21 @@ struct ServerStats {
   std::uint64_t streams_aborted_on_disconnect = 0;
   std::uint64_t bytes_received = 0;
   std::uint64_t bytes_sent = 0;
+  // v4 lease/coherence counters.
+  std::uint64_t lease_sessions = 0; // gauge
+  std::uint64_t leases_granted = 0;
+  std::uint64_t leases_broken = 0;
+  std::uint64_t invalidations_sent = 0;
+  std::uint64_t lease_break_timeouts = 0;
+  // Object-cache counters mirrored by a cache-enabled nexusd (zero when
+  // the daemon runs without --cache-mem).
+  std::uint64_t cache_mem_hits = 0;
+  std::uint64_t cache_disk_hits = 0;
+  std::uint64_t cache_misses = 0;
+  std::uint64_t cache_evictions = 0;
+  std::uint64_t cache_writeback_batches = 0;
+  std::uint64_t cache_invalidations = 0;
+  std::uint64_t cache_dirty_high_water = 0; // gauge
   std::vector<RpcOpStats> per_op; // ascending rpc id, served ops only
 
   bool operator==(const ServerStats&) const = default;
@@ -170,7 +205,7 @@ struct ServerStats {
 /// Upper bound on per_op rows a decoder accepts — there are only that many
 /// RPC ids, so anything larger is malformed.
 inline constexpr std::size_t kMaxStatsEntries =
-    static_cast<std::size_t>(Rpc::kMultiExists);
+    static_cast<std::size_t>(Rpc::kInvalidate);
 
 void EncodeServerStats(Writer& writer, const ServerStats& stats);
 Result<ServerStats> DecodeServerStats(Reader& reader);

@@ -328,12 +328,23 @@ bool DiskBackend::Exists(const std::string& name) {
 }
 
 std::vector<std::string> DiskBackend::List(const std::string& prefix) {
+  // The store directory is not exclusively ours: crashed Puts leave
+  // ".%tmp-" files, the client cache's disk tier keeps dot-prefixed
+  // metadata beside a DiskBackend-backed store, and operators drop stray
+  // files and directories in by hand. Anything that is not a regular file
+  // holding a canonically escaped object name is skipped, never an error.
   std::vector<std::string> out;
   std::error_code ec;
   for (const auto& entry : std::filesystem::directory_iterator(root_, ec)) {
+    std::error_code stat_ec;
+    if (!entry.is_regular_file(stat_ec) || stat_ec) continue;
     const std::string file = entry.path().filename().string();
-    if (file.starts_with(".%tmp-")) continue; // leftover of a crashed Put
+    if (file.empty() || file.front() == '.') continue; // temp/cache/hidden
     const std::string name = UnescapeName(file);
+    // A file EscapeName could not have produced (bad escapes, characters a
+    // writer would have escaped) is foreign — listing it would fabricate an
+    // object name Get() can't serve.
+    if (EscapeName(name) != file) continue;
     if (name.starts_with(prefix)) out.push_back(name);
   }
   std::sort(out.begin(), out.end());

@@ -7,6 +7,7 @@
 #pragma once
 
 #include <atomic>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -69,8 +70,51 @@ class StorageBackend {
 
   /// Non-binding readahead hint: `name` is likely to be Get() soon. The
   /// default does nothing; RemoteBackend speculatively fetches the object
-  /// through its async window so the later Get is served locally.
+  /// through its async window and delivers the result to the registered
+  /// PrefetchSink (the cache layer) so the later Get is served locally.
   virtual void Prefetch(const std::string& name) { (void)name; }
+
+  /// Where speculative Prefetch results land. `leased` mirrors GetLeased's
+  /// flag for backends that grant read leases. May be invoked from a
+  /// backend-internal thread (RemoteBackend delivers on its demux thread),
+  /// so sinks must be thread-safe and must not call back into the backend.
+  using PrefetchSink =
+      std::function<void(const std::string& name, Result<Bytes> object,
+                         bool leased)>;
+  /// Registers the sink Prefetch deliveries flow into. Backends without
+  /// async prefetch ignore it (their Prefetch is already a no-op).
+  virtual void SetPrefetchSink(PrefetchSink sink) { (void)sink; }
+
+  /// Get that also reports whether the backend granted a read lease on the
+  /// object (server-pushed invalidation will arrive through the
+  /// SubscribeInvalidations channel when another client mutates it). Plain
+  /// stores are local and never grant leases.
+  virtual Result<Bytes> GetLeased(const std::string& name,
+                                  bool* lease_granted) {
+    if (lease_granted != nullptr) *lease_granted = false;
+    return Get(name);
+  }
+
+  /// Durability/ordering barrier: drains any buffered writes into stable
+  /// storage. Plain stores are synchronous already, so the default is a
+  /// no-op; the client cache overrides it to flush its writeback queue.
+  virtual Status Flush() { return Status::Ok(); }
+
+  /// Multi-client coherence hooks. `on_invalidate` is called (from a
+  /// backend-internal thread) with object names another client mutated;
+  /// `on_channel_down` fires once if the invalidation channel dies, after
+  /// which no further callbacks arrive and cached data must be aged out by
+  /// TTL instead. Returns false when the backend (or its peer) cannot push
+  /// invalidations — the caller falls back to write-through + TTL.
+  using InvalidationListener =
+      std::function<void(const std::vector<std::string>& names)>;
+  using ChannelDownHandler = std::function<void()>;
+  virtual bool SubscribeInvalidations(InvalidationListener on_invalidate,
+                                      ChannelDownHandler on_channel_down) {
+    (void)on_invalidate;
+    (void)on_channel_down;
+    return false;
+  }
 };
 
 /// Volatile in-memory store. Thread-safe per the contract above (one

@@ -6,6 +6,7 @@
 // categories (e.g. "metadata I/O" vs "data I/O" in Table 5a).
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <string>
 #include <unordered_map>
@@ -15,12 +16,18 @@ namespace nexus::storage {
 class SimClock {
  public:
   /// Advances virtual time; attributed to the active account, if any.
+  /// Only the simulation's driving thread advances, but Now() is read
+  /// concurrently (tracer spans on pool workers timestamp against the
+  /// registered sim clock), so the counter itself is atomic.
   void Advance(double seconds) noexcept {
-    now_seconds_ += seconds;
+    now_seconds_.store(now_seconds_.load(std::memory_order_relaxed) + seconds,
+                       std::memory_order_relaxed);
     if (active_account_ != nullptr) *active_account_ += seconds;
   }
 
-  [[nodiscard]] double Now() const noexcept { return now_seconds_; }
+  [[nodiscard]] double Now() const noexcept {
+    return now_seconds_.load(std::memory_order_relaxed);
+  }
 
   /// Named accumulator for attributing time.
   [[nodiscard]] double Account(const std::string& name) const {
@@ -48,7 +55,7 @@ class SimClock {
   };
 
  private:
-  double now_seconds_ = 0.0;
+  std::atomic<double> now_seconds_{0.0};
   double* active_account_ = nullptr;
   std::unordered_map<std::string, double> accounts_;
 };

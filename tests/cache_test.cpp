@@ -1,0 +1,395 @@
+// CachedBackend unit tests against a local counting inner store: hit
+// serving without inner contact, TTL expiry, writeback coalescing and
+// batching, the journal write barrier, disk-tier persistence across
+// restart (including crash recovery and MAC tampering), and budget-driven
+// eviction. Lease-path behavior against a real nexusd lives in
+// cache_coherence_test.cpp.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "cache/cached_backend.hpp"
+#include "common/bytes.hpp"
+#include "storage/backend.hpp"
+
+namespace nexus {
+namespace {
+
+using cache::CacheOptions;
+using cache::CachedBackend;
+
+Bytes Blob(char fill, std::size_t n) {
+  return Bytes(n, static_cast<std::uint8_t>(fill));
+}
+
+// Forwards to a SHARED MemBackend (so a test can outlive one cache
+// instance and hand the same store to the next) while counting every
+// inner-store contact and recording mutation order.
+class CountingBackend final : public storage::StorageBackend {
+ public:
+  explicit CountingBackend(std::shared_ptr<storage::MemBackend> store)
+      : store_(std::move(store)) {}
+
+  Result<Bytes> Get(const std::string& name) override {
+    ++gets_;
+    return store_->Get(name);
+  }
+  Status Put(const std::string& name, ByteSpan data) override {
+    ++puts_;
+    {
+      const std::lock_guard<std::mutex> lock(mu_);
+      put_order_.push_back(name);
+    }
+    return store_->Put(name, data);
+  }
+  Status Delete(const std::string& name) override {
+    ++deletes_;
+    return store_->Delete(name);
+  }
+  bool Exists(const std::string& name) override {
+    ++exists_;
+    return store_->Exists(name);
+  }
+  std::vector<std::string> List(const std::string& prefix) override {
+    return store_->List(prefix);
+  }
+
+  std::atomic<int> gets_{0};
+  std::atomic<int> puts_{0};
+  std::atomic<int> deletes_{0};
+  std::atomic<int> exists_{0};
+  std::vector<std::string> put_order() const {
+    const std::lock_guard<std::mutex> lock(mu_);
+    return put_order_;
+  }
+
+ private:
+  std::shared_ptr<storage::MemBackend> store_;
+  mutable std::mutex mu_;
+  std::vector<std::string> put_order_;
+};
+
+struct Harness {
+  std::shared_ptr<storage::MemBackend> store =
+      std::make_shared<storage::MemBackend>();
+  CountingBackend* inner = nullptr; // owned by the cache
+  std::shared_ptr<std::atomic<std::uint64_t>> clock_ms =
+      std::make_shared<std::atomic<std::uint64_t>>(1);
+
+  std::unique_ptr<CachedBackend> MakeCache(CacheOptions options = {}) {
+    auto counting = std::make_unique<CountingBackend>(store);
+    inner = counting.get();
+    options.now_ms = [clock = clock_ms] { return clock->load(); };
+    return std::make_unique<CachedBackend>(std::move(counting), options);
+  }
+};
+
+std::filesystem::path FreshDir(const std::string& tag) {
+  const auto dir = std::filesystem::temp_directory_path() /
+                   ("nexus-cache-" + tag + "-" + std::to_string(::getpid()));
+  std::filesystem::remove_all(dir);
+  return dir;
+}
+
+// ---- read path --------------------------------------------------------------
+
+TEST(CacheTest, RepeatReadServedWithoutInnerContact) {
+  Harness h;
+  auto cache = h.MakeCache();
+  EXPECT_FALSE(cache->lease_mode()); // local inner cannot push invalidations
+
+  ASSERT_TRUE(cache->Put("a", Blob('a', 100)).ok());
+  // TTL mode caches our own write; both reads are memory hits.
+  EXPECT_EQ(cache->Get("a").value(), Blob('a', 100));
+  EXPECT_EQ(cache->Get("a").value(), Blob('a', 100));
+  EXPECT_EQ(h.inner->gets_.load(), 0);
+  const auto counters = cache->counters();
+  EXPECT_EQ(counters.mem_hits, 2u);
+  EXPECT_EQ(counters.misses, 0u);
+}
+
+TEST(CacheTest, TtlExpiryRefetchesFromInner) {
+  Harness h;
+  CacheOptions options;
+  options.ttl_ms = 50;
+  auto cache = h.MakeCache(options);
+
+  ASSERT_TRUE(cache->Put("a", Blob('a', 64)).ok());
+  EXPECT_EQ(cache->Get("a").value(), Blob('a', 64));
+  EXPECT_EQ(h.inner->gets_.load(), 0);
+
+  h.clock_ms->fetch_add(51); // past the TTL
+  EXPECT_EQ(cache->Get("a").value(), Blob('a', 64));
+  EXPECT_EQ(h.inner->gets_.load(), 1); // expired entry went back to the wire
+  EXPECT_EQ(cache->counters().misses, 1u);
+}
+
+TEST(CacheTest, MultiGetServesHitsAndFillsMisses) {
+  Harness h;
+  auto cache = h.MakeCache();
+  ASSERT_TRUE(h.store->Put("x", Blob('x', 10)).ok());
+  ASSERT_TRUE(h.store->Put("y", Blob('y', 20)).ok());
+  ASSERT_TRUE(cache->Put("z", Blob('z', 30)).ok());
+
+  const auto results = cache->MultiGet({"x", "y", "z", "missing"});
+  ASSERT_EQ(results.size(), 4u);
+  EXPECT_EQ(results[0].value(), Blob('x', 10));
+  EXPECT_EQ(results[1].value(), Blob('y', 20));
+  EXPECT_EQ(results[2].value(), Blob('z', 30));
+  EXPECT_EQ(results[3].status().code(), ErrorCode::kNotFound);
+
+  // x and y are installed now: a second batch touches the inner store only
+  // for the name that does not exist anywhere.
+  const int gets_before = h.inner->gets_.load();
+  const auto again = cache->MultiGet({"x", "y", "z", "missing"});
+  EXPECT_EQ(again[0].value(), Blob('x', 10));
+  EXPECT_EQ(h.inner->gets_.load(), gets_before + 1);
+}
+
+// ---- writeback --------------------------------------------------------------
+
+TEST(CacheTest, WritebackCoalescesRepeatedPuts) {
+  Harness h;
+  CacheOptions options;
+  options.writeback = CacheOptions::Writeback::kOn;
+  auto cache = h.MakeCache(options);
+
+  // Ten writes to one name coalesce to ONE inner Put at flush time.
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(cache->Put("hot", Blob('h', 100 + i)).ok());
+  }
+  EXPECT_EQ(h.inner->puts_.load(), 0);
+  EXPECT_GT(cache->dirty_bytes(), 0u);
+
+  ASSERT_TRUE(cache->Flush().ok());
+  EXPECT_EQ(h.inner->puts_.load(), 1);
+  EXPECT_EQ(cache->dirty_bytes(), 0u);
+  EXPECT_EQ(h.store->Get("hot").value(), Blob('h', 109)); // last write won
+
+  const auto counters = cache->counters();
+  EXPECT_EQ(counters.writeback_objects, 1u);
+  EXPECT_GE(counters.writeback_batches, 1u);
+  EXPECT_GT(counters.dirty_bytes_high_water, 0u);
+}
+
+TEST(CacheTest, WritebackFlushesInBatches) {
+  Harness h;
+  CacheOptions options;
+  options.writeback = CacheOptions::Writeback::kOn;
+  options.writeback_batch_objects = 4;
+  auto cache = h.MakeCache(options);
+
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(cache->Put("obj" + std::to_string(i), Blob('o', 64)).ok());
+  }
+  ASSERT_TRUE(cache->Flush().ok());
+  EXPECT_EQ(h.inner->puts_.load(), 10);
+  const auto counters = cache->counters();
+  EXPECT_EQ(counters.writeback_objects, 10u);
+  EXPECT_EQ(counters.writeback_batches, 3u); // 4 + 4 + 2
+}
+
+TEST(CacheTest, JournalBarrierDrainsDirtyDataFirst) {
+  Harness h;
+  CacheOptions options;
+  options.writeback = CacheOptions::Writeback::kOn;
+  auto cache = h.MakeCache(options);
+
+  // PR 1 ordering: a journal record must never reach the store ahead of
+  // the data writes it assumes are durable. The nxj/ Put is a barrier.
+  ASSERT_TRUE(cache->Put("data/1", Blob('d', 64)).ok());
+  ASSERT_TRUE(cache->Put("data/2", Blob('e', 64)).ok());
+  EXPECT_EQ(h.inner->puts_.load(), 0); // both parked in the queue
+  ASSERT_TRUE(cache->Put("nxj/record-1", Blob('j', 32)).ok());
+
+  const auto order = h.inner->put_order();
+  ASSERT_EQ(order.size(), 3u);
+  EXPECT_EQ(order[0], "data/1");
+  EXPECT_EQ(order[1], "data/2");
+  EXPECT_EQ(order[2], "nxj/record-1"); // barrier last, after the drain
+}
+
+TEST(CacheTest, StreamCommitToBarrierNameDrainsFirst) {
+  Harness h;
+  CacheOptions options;
+  options.writeback = CacheOptions::Writeback::kOn;
+  auto cache = h.MakeCache(options);
+
+  ASSERT_TRUE(cache->Put("data/1", Blob('d', 64)).ok());
+  auto stream = cache->OpenPutStream("nxj/record-2");
+  ASSERT_TRUE(stream.ok());
+  ASSERT_TRUE(stream.value()->Append(Blob('j', 16)).ok());
+  ASSERT_TRUE(stream.value()->Commit().ok());
+
+  const auto order = h.inner->put_order();
+  ASSERT_GE(order.size(), 1u);
+  EXPECT_EQ(order[0], "data/1"); // drained before the stream published
+  EXPECT_TRUE(h.store->Exists("nxj/record-2"));
+}
+
+TEST(CacheTest, DeleteOfUnflushedObjectNeverReachesInner) {
+  Harness h;
+  CacheOptions options;
+  options.writeback = CacheOptions::Writeback::kOn;
+  auto cache = h.MakeCache(options);
+
+  ASSERT_TRUE(cache->Put("ephemeral", Blob('e', 64)).ok());
+  // The object only ever existed in the writeback queue: Delete is Ok even
+  // though the inner store reports kNotFound.
+  EXPECT_TRUE(cache->Delete("ephemeral").ok());
+  ASSERT_TRUE(cache->Flush().ok());
+  EXPECT_FALSE(h.store->Exists("ephemeral"));
+}
+
+// ---- eviction ---------------------------------------------------------------
+
+TEST(CacheTest, EvictionKeepsMemoryUnderBudget) {
+  Harness h;
+  CacheOptions options;
+  options.mem_budget_bytes = 4096;
+  auto cache = h.MakeCache(options);
+
+  for (int i = 0; i < 16; ++i) {
+    ASSERT_TRUE(h.store->Put("o" + std::to_string(i), Blob('o', 1024)).ok());
+  }
+  for (int i = 0; i < 16; ++i) {
+    EXPECT_EQ(cache->Get("o" + std::to_string(i)).value(), Blob('o', 1024));
+  }
+  EXPECT_LE(cache->mem_bytes(), 4096u);
+  EXPECT_GE(cache->counters().evictions_mem, 12u);
+}
+
+TEST(CacheTest, DirtyEntriesArePinnedAgainstEviction) {
+  Harness h;
+  CacheOptions options;
+  options.writeback = CacheOptions::Writeback::kOn;
+  options.mem_budget_bytes = 2048;
+  auto cache = h.MakeCache(options);
+
+  // Four dirty KiBs exceed the budget, but unflushed bytes must never be
+  // dropped — the budget yields instead.
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(cache->Put("d" + std::to_string(i), Blob('d', 1024)).ok());
+  }
+  EXPECT_EQ(cache->dirty_bytes(), 4096u);
+  ASSERT_TRUE(cache->Flush().ok());
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_TRUE(h.store->Exists("d" + std::to_string(i)));
+  }
+}
+
+// ---- disk tier --------------------------------------------------------------
+
+TEST(CacheTest, DiskTierSurvivesRestartAndServesHitsWithoutInner) {
+  Harness h;
+  const auto dir = FreshDir("restart");
+  CacheOptions options;
+  options.mem_budget_bytes = 2048; // force demotion of clean entries
+  options.disk_dir = dir.string();
+
+  {
+    auto cache = h.MakeCache(options);
+    for (int i = 0; i < 8; ++i) {
+      ASSERT_TRUE(cache->Put("r" + std::to_string(i), Blob('r', 1024)).ok());
+    }
+    // Destructor flushes and persists the MAC'd index.
+  }
+
+  auto cache = h.MakeCache(options);
+  int disk_served = 0;
+  for (int i = 0; i < 8; ++i) {
+    const std::string name = "r" + std::to_string(i);
+    const int gets_before = h.inner->gets_.load();
+    auto got = cache->Get(name);
+    ASSERT_TRUE(got.ok()) << name;
+    EXPECT_EQ(got.value(), Blob('r', 1024));
+    if (h.inner->gets_.load() == gets_before) ++disk_served;
+  }
+  EXPECT_GT(disk_served, 0); // restart-surviving hits, no inner contact
+  EXPECT_GT(cache->counters().disk_hits, 0u);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(CacheTest, CrashOrphanedDataFilesAreDiscardedOnLoad) {
+  Harness h;
+  const auto dir = FreshDir("orphan");
+  CacheOptions options;
+  options.mem_budget_bytes = 1024;
+  options.disk_dir = dir.string();
+
+  {
+    auto cache = h.MakeCache(options);
+    ASSERT_TRUE(cache->Put("kept", Blob('k', 900)).ok());
+    ASSERT_TRUE(cache->Put("evictor", Blob('e', 900)).ok()); // demotes "kept"
+  }
+  // Simulate a crash between a data-file write and the index update: a
+  // file the (MAC-verified) index cannot account for appears in the dir.
+  const auto orphan = dir / storage::EscapeName("orphan-object");
+  std::ofstream(orphan, std::ios::binary) << "stale bytes from a dead write";
+  ASSERT_TRUE(std::filesystem::exists(orphan));
+
+  auto cache = h.MakeCache(options);
+  EXPECT_FALSE(std::filesystem::exists(orphan)); // recovery deleted it
+  // The inner store stays the source of truth for the orphan's name.
+  EXPECT_EQ(cache->Get("orphan-object").status().code(), ErrorCode::kNotFound);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(CacheTest, TamperedIndexDiscardsDiskTier) {
+  Harness h;
+  const auto dir = FreshDir("tamper");
+  CacheOptions options;
+  options.mem_budget_bytes = 1024;
+  options.disk_dir = dir.string();
+
+  {
+    auto cache = h.MakeCache(options);
+    ASSERT_TRUE(cache->Put("a", Blob('a', 900)).ok());
+    ASSERT_TRUE(cache->Put("b", Blob('b', 900)).ok());
+  }
+  // Flip one payload byte; the MAC check must reject the whole index.
+  const auto index_path = dir / ".cache-index";
+  ASSERT_TRUE(std::filesystem::exists(index_path));
+  {
+    std::fstream f(index_path, std::ios::binary | std::ios::in | std::ios::out);
+    f.seekp(40); // inside the payload, past the 32-byte MAC
+    f.put('\x7f');
+  }
+
+  auto cache = h.MakeCache(options);
+  EXPECT_EQ(cache->counters().disk_hits, 0u);
+  // Reads still succeed — straight from the inner store.
+  const int gets_before = h.inner->gets_.load();
+  EXPECT_EQ(cache->Get("a").value(), Blob('a', 900));
+  EXPECT_EQ(h.inner->gets_.load(), gets_before + 1);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(CacheTest, DropCleanEntriesKeepsDirtyData) {
+  Harness h;
+  CacheOptions options;
+  options.writeback = CacheOptions::Writeback::kOn;
+  auto cache = h.MakeCache(options);
+
+  ASSERT_TRUE(h.store->Put("clean", Blob('c', 64)).ok());
+  EXPECT_EQ(cache->Get("clean").value(), Blob('c', 64));
+  ASSERT_TRUE(cache->Put("dirty", Blob('d', 64)).ok());
+
+  cache->DropCleanEntries();
+  const int gets_before = h.inner->gets_.load();
+  EXPECT_EQ(cache->Get("clean").value(), Blob('c', 64)); // refetched
+  EXPECT_EQ(h.inner->gets_.load(), gets_before + 1);
+  EXPECT_EQ(cache->Get("dirty").value(), Blob('d', 64)); // still local truth
+  ASSERT_TRUE(cache->Flush().ok());
+  EXPECT_TRUE(h.store->Exists("dirty"));
+}
+
+} // namespace
+} // namespace nexus

@@ -167,10 +167,12 @@ TEST_F(NetE2eTest, ClientAndServerSpansShareCorrelationIds) {
   ASSERT_TRUE(fs().ReadFile("traced").ok());
 
   // Quiesce both sides so every span (client and server, all worker
-  // threads) is flushed before the snapshot.
-  world_.reset();
+  // threads) is flushed before the snapshot. Server first: its workers
+  // timestamp spans against the world's sim clock, so the clock must
+  // outlive them.
   server_->Stop();
   server_.reset();
+  world_.reset();
 
   const auto spans = trace::TraceSnapshot();
   std::vector<const trace::SpanRecord*> client_spans;

@@ -1,6 +1,6 @@
 // Pipelined RPC multiplexing: out-of-order responses, windowed failure
-// isolation, correlation-desync handling, readahead budgeting, and v2/v3
-// interop — all against a live loopback nexusd.
+// isolation, correlation-desync handling, readahead through the cache
+// tier, and v2/v3 interop — all against a live loopback nexusd.
 //
 // These tests pin the PROTOCOL-level behaviors the mux introduced: a v3
 // connection resolves responses by correlation id rather than arrival
@@ -22,6 +22,8 @@
 #include <thread>
 #include <vector>
 
+#include "cache/cache_counters.hpp"
+#include "cache/cached_backend.hpp"
 #include "common/bytes.hpp"
 #include "net/fault.hpp"
 #include "net/remote_backend.hpp"
@@ -346,7 +348,11 @@ TEST(NetMux, ConcurrentWindowSoak) {
   options.readahead_budget_bytes = kBudget;
   auto remote = RemoteBackend::Connect("127.0.0.1", server->port(), options);
   ASSERT_TRUE(remote.ok()) << remote.status().ToString();
-  RemoteBackend& client = *remote.value();
+  RemoteBackend* raw = remote.value().get();
+  cache::CacheOptions cache_options;
+  cache_options.mem_budget_bytes = kBudget;
+  cache::CachedBackend client(std::move(remote).value(), cache_options);
+  EXPECT_TRUE(client.lease_mode()); // loopback v4: soak covers leases too
 
   constexpr int kThreads = 8;
   constexpr int kOpsPerThread = 40;
@@ -407,16 +413,18 @@ TEST(NetMux, ConcurrentWindowSoak) {
   }
   for (auto& t : threads) t.join();
 
-  const net::NetCounters counters = client.counters();
+  const net::NetCounters counters = raw->counters();
   EXPECT_EQ(counters.retries, 0u); // loopback is clean
   EXPECT_GT(counters.rpcs, 0u);
-  EXPECT_LE(client.readahead_peak_buffered_bytes(), kBudget);
+  EXPECT_LE(client.mem_bytes(), kBudget);
+  ASSERT_TRUE(client.Flush().ok()); // drain writeback before Stop
   server->Stop();
 }
 
 // ---- readahead budget ------------------------------------------------------
 
 TEST(NetMux, ReadaheadEvictionStaysUnderBudget) {
+  cache::ResetGlobalCacheCounters();
   storage::MemBackend backend;
   const std::size_t kObject = 4096;
   for (char c : {'w', 'x', 'y', 'z'}) {
@@ -424,17 +432,18 @@ TEST(NetMux, ReadaheadEvictionStaysUnderBudget) {
   }
   auto server = NexusdServer::Start(backend).value();
 
-  // Budget fits ONE buffered 4 KiB response but not two: completing four
-  // prefetches must evict FIFO-oldest entries as wasted bytes.
+  // Cache budget fits TWO buffered 4 KiB objects but not four: completing
+  // four prefetches must evict LRU-oldest entries as wasted bytes.
   constexpr std::size_t kBudget = 8192;
   RemoteBackendOptions options;
   options.rpc_window = 8;
   options.max_pooled_connections = 1;
-  options.readahead_budget_bytes = kBudget;
   auto remote = RemoteBackend::Connect("127.0.0.1", server->port(), options);
   ASSERT_TRUE(remote.ok()) << remote.status().ToString();
-  RemoteBackend& client = *remote.value();
-  ASSERT_EQ(client.peer_version(), net::kProtocolVersion);
+  ASSERT_EQ(remote.value()->peer_version(), net::kProtocolVersion);
+  cache::CacheOptions cache_options;
+  cache_options.mem_budget_bytes = kBudget;
+  cache::CachedBackend client(std::move(remote).value(), cache_options);
 
   for (char c : {'w', 'x', 'y', 'z'}) client.Prefetch(std::string(1, c));
 
@@ -443,26 +452,26 @@ TEST(NetMux, ReadaheadEvictionStaysUnderBudget) {
   const auto deadline =
       std::chrono::steady_clock::now() + std::chrono::seconds(5);
   while (std::chrono::steady_clock::now() < deadline) {
-    const net::NetCounters counters = client.counters();
-    if (counters.prefetch_issued >= 4 && counters.prefetch_wasted_bytes > 0) {
+    if (cache::GlobalCacheSnapshot().prefetch_issued >= 4 &&
+        client.counters().prefetch_wasted_bytes > 0) {
       break;
     }
     std::this_thread::sleep_for(std::chrono::milliseconds(1));
   }
 
-  net::NetCounters counters = client.counters();
-  EXPECT_EQ(counters.prefetch_issued, 4u);
-  EXPECT_GE(counters.prefetch_wasted_bytes, kObject); // >= one whole object
-  EXPECT_LE(client.readahead_peak_buffered_bytes(), kBudget);
+  EXPECT_EQ(cache::GlobalCacheSnapshot().prefetch_issued, 4u);
+  EXPECT_GE(client.counters().prefetch_wasted_bytes, kObject); // one object
+  EXPECT_LE(client.mem_bytes(), kBudget);
 
   // Every demand read is still correct — evicted entries just fall back to
-  // the wire — and at least the surviving entry serves as a hit.
-  for (char c : {'w', 'x', 'y', 'z'}) {
+  // the wire — and at least one surviving entry serves as a hit. Read
+  // newest-first: the LRU keeps the LAST prefetches, and refilling an
+  // evicted name would itself evict a survivor before it was read.
+  for (char c : {'z', 'y', 'x', 'w'}) {
     EXPECT_EQ(client.Get(std::string(1, c)).value(), Blob(c, kObject));
   }
-  counters = client.counters();
-  EXPECT_GE(counters.prefetch_hits, 1u);
-  EXPECT_LE(client.readahead_peak_buffered_bytes(), kBudget);
+  EXPECT_GE(client.counters().prefetch_hits, 1u);
+  EXPECT_LE(client.mem_bytes(), kBudget);
   server->Stop();
 }
 

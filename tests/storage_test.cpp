@@ -249,6 +249,38 @@ TEST(DiskNameEscaping, ListPrefixMatchesLogicalNamesAcrossEscapedBoundaries) {
   std::filesystem::remove_all(dir);
 }
 
+TEST(DiskNameEscaping, ListSkipsForeignAndTemporaryFiles) {
+  // The store directory is shared territory: crashed Puts leave temp
+  // files, the cache's disk tier keeps dot-prefixed metadata beside a
+  // disk-backed store, and operators drop stray files in by hand. List
+  // must report exactly the canonical objects and nothing else.
+  const std::filesystem::path dir =
+      std::filesystem::temp_directory_path() /
+      ("nexus-foreign-" + std::to_string(::getpid()));
+  std::filesystem::remove_all(dir);
+  {
+    DiskBackend backend = DiskBackend::Open(dir.string()).value();
+    ASSERT_TRUE(backend.Put("keep/me", Bytes{1}).ok());
+    ASSERT_TRUE(backend.Put("keep2", Bytes{2}).ok());
+
+    // Foreign droppings: a subdirectory, hidden metadata, an in-flight
+    // temp file, a file with an invalid escape sequence, and a file whose
+    // characters a writer would have escaped (non-canonical spelling).
+    std::filesystem::create_directory(dir / "subdir");
+    for (const std::string foreign :
+         {".cache-index", ".%tmp-123", "bad%zq", "not%2Gescaped"}) {
+      std::ofstream(dir / foreign) << "junk";
+    }
+    std::ofstream(dir / "subdir" / "nested") << "junk";
+
+    const auto names = backend.List("");
+    ASSERT_EQ(names.size(), 2u);
+    EXPECT_EQ(names[0], "keep/me");
+    EXPECT_EQ(names[1], "keep2");
+  }
+  std::filesystem::remove_all(dir);
+}
+
 // ---- DiskBackend atomic Put -------------------------------------------------
 
 class DiskBackendAtomicityTest : public ::testing::Test {
