@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5c_gitclone.dir/bench_fig5c_gitclone.cpp.o"
+  "CMakeFiles/bench_fig5c_gitclone.dir/bench_fig5c_gitclone.cpp.o.d"
+  "bench_fig5c_gitclone"
+  "bench_fig5c_gitclone.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5c_gitclone.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

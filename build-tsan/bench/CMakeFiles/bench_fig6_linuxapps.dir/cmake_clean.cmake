@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_linuxapps.dir/bench_fig6_linuxapps.cpp.o"
+  "CMakeFiles/bench_fig6_linuxapps.dir/bench_fig6_linuxapps.cpp.o.d"
+  "bench_fig6_linuxapps"
+  "bench_fig6_linuxapps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_linuxapps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

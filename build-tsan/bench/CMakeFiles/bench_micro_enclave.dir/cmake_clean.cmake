@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_enclave.dir/bench_micro_enclave.cpp.o"
+  "CMakeFiles/bench_micro_enclave.dir/bench_micro_enclave.cpp.o.d"
+  "bench_micro_enclave"
+  "bench_micro_enclave.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_enclave.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

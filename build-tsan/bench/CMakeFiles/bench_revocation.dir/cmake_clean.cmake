@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_revocation.dir/bench_revocation.cpp.o"
+  "CMakeFiles/bench_revocation.dir/bench_revocation.cpp.o.d"
+  "bench_revocation"
+  "bench_revocation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_revocation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sharing.dir/bench_sharing.cpp.o"
+  "CMakeFiles/bench_sharing.dir/bench_sharing.cpp.o.d"
+  "bench_sharing"
+  "bench_sharing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sharing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_db.dir/bench_table2_db.cpp.o"
+  "CMakeFiles/bench_table2_db.dir/bench_table2_db.cpp.o.d"
+  "bench_table2_db"
+  "bench_table2_db.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_db.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

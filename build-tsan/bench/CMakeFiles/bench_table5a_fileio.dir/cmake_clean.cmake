@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table5a_fileio.dir/bench_table5a_fileio.cpp.o"
+  "CMakeFiles/bench_table5a_fileio.dir/bench_table5a_fileio.cpp.o.d"
+  "bench_table5a_fileio"
+  "bench_table5a_fileio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5a_fileio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table5b_dirops.dir/bench_table5b_dirops.cpp.o"
+  "CMakeFiles/bench_table5b_dirops.dir/bench_table5b_dirops.cpp.o.d"
+  "bench_table5b_dirops"
+  "bench_table5b_dirops.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5b_dirops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/backup_restore.dir/backup_restore.cpp.o"
+  "CMakeFiles/backup_restore.dir/backup_restore.cpp.o.d"
+  "backup_restore"
+  "backup_restore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/backup_restore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

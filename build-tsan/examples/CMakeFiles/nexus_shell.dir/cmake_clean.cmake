@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nexus_shell.dir/nexus_shell.cpp.o"
+  "CMakeFiles/nexus_shell.dir/nexus_shell.cpp.o.d"
+  "nexus_shell"
+  "nexus_shell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nexus_shell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/team_acl.dir/team_acl.cpp.o"
+  "CMakeFiles/team_acl.dir/team_acl.cpp.o.d"
+  "team_acl"
+  "team_acl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/team_acl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

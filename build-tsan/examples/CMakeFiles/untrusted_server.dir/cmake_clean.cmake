@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/untrusted_server.dir/untrusted_server.cpp.o"
+  "CMakeFiles/untrusted_server.dir/untrusted_server.cpp.o.d"
+  "untrusted_server"
+  "untrusted_server.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/untrusted_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build-tsan/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("trace")
+subdirs("parallel")
+subdirs("crypto")
+subdirs("sgx")
+subdirs("journal")
+subdirs("storage")
+subdirs("cache")
+subdirs("net")
+subdirs("enclave")
+subdirs("core")
+subdirs("vfs")
+subdirs("baseline")
+subdirs("workloads")

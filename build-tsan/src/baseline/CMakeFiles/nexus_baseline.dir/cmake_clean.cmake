@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nexus_baseline.dir/pure_crypto_fs.cpp.o"
+  "CMakeFiles/nexus_baseline.dir/pure_crypto_fs.cpp.o.d"
+  "libnexus_baseline.a"
+  "libnexus_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nexus_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

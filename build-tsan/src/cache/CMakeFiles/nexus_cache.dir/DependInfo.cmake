@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cache/cache_counters.cpp" "src/cache/CMakeFiles/nexus_cache.dir/cache_counters.cpp.o" "gcc" "src/cache/CMakeFiles/nexus_cache.dir/cache_counters.cpp.o.d"
+  "/root/repo/src/cache/cached_backend.cpp" "src/cache/CMakeFiles/nexus_cache.dir/cached_backend.cpp.o" "gcc" "src/cache/CMakeFiles/nexus_cache.dir/cached_backend.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/common/CMakeFiles/nexus_common.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/storage/CMakeFiles/nexus_storage.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/crypto/CMakeFiles/nexus_crypto.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/trace/CMakeFiles/nexus_trace.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nexus_cache.dir/cache_counters.cpp.o"
+  "CMakeFiles/nexus_cache.dir/cache_counters.cpp.o.d"
+  "CMakeFiles/nexus_cache.dir/cached_backend.cpp.o"
+  "CMakeFiles/nexus_cache.dir/cached_backend.cpp.o.d"
+  "libnexus_cache.a"
+  "libnexus_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nexus_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nexus_common.dir/base64.cpp.o"
+  "CMakeFiles/nexus_common.dir/base64.cpp.o.d"
+  "CMakeFiles/nexus_common.dir/hex.cpp.o"
+  "CMakeFiles/nexus_common.dir/hex.cpp.o.d"
+  "CMakeFiles/nexus_common.dir/log.cpp.o"
+  "CMakeFiles/nexus_common.dir/log.cpp.o.d"
+  "CMakeFiles/nexus_common.dir/result.cpp.o"
+  "CMakeFiles/nexus_common.dir/result.cpp.o.d"
+  "CMakeFiles/nexus_common.dir/serial.cpp.o"
+  "CMakeFiles/nexus_common.dir/serial.cpp.o.d"
+  "CMakeFiles/nexus_common.dir/uuid.cpp.o"
+  "CMakeFiles/nexus_common.dir/uuid.cpp.o.d"
+  "libnexus_common.a"
+  "libnexus_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nexus_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nexus_core.dir/fsck.cpp.o"
+  "CMakeFiles/nexus_core.dir/fsck.cpp.o.d"
+  "CMakeFiles/nexus_core.dir/metadata_store.cpp.o"
+  "CMakeFiles/nexus_core.dir/metadata_store.cpp.o.d"
+  "CMakeFiles/nexus_core.dir/nexus_client.cpp.o"
+  "CMakeFiles/nexus_core.dir/nexus_client.cpp.o.d"
+  "libnexus_core.a"
+  "libnexus_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nexus_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nexus_crypto.dir/aes.cpp.o"
+  "CMakeFiles/nexus_crypto.dir/aes.cpp.o.d"
+  "CMakeFiles/nexus_crypto.dir/aesni.cpp.o"
+  "CMakeFiles/nexus_crypto.dir/aesni.cpp.o.d"
+  "CMakeFiles/nexus_crypto.dir/ed25519.cpp.o"
+  "CMakeFiles/nexus_crypto.dir/ed25519.cpp.o.d"
+  "CMakeFiles/nexus_crypto.dir/fe25519.cpp.o"
+  "CMakeFiles/nexus_crypto.dir/fe25519.cpp.o.d"
+  "CMakeFiles/nexus_crypto.dir/gcm.cpp.o"
+  "CMakeFiles/nexus_crypto.dir/gcm.cpp.o.d"
+  "CMakeFiles/nexus_crypto.dir/gcm_siv.cpp.o"
+  "CMakeFiles/nexus_crypto.dir/gcm_siv.cpp.o.d"
+  "CMakeFiles/nexus_crypto.dir/hmac.cpp.o"
+  "CMakeFiles/nexus_crypto.dir/hmac.cpp.o.d"
+  "CMakeFiles/nexus_crypto.dir/rng.cpp.o"
+  "CMakeFiles/nexus_crypto.dir/rng.cpp.o.d"
+  "CMakeFiles/nexus_crypto.dir/sha256.cpp.o"
+  "CMakeFiles/nexus_crypto.dir/sha256.cpp.o.d"
+  "CMakeFiles/nexus_crypto.dir/sha512.cpp.o"
+  "CMakeFiles/nexus_crypto.dir/sha512.cpp.o.d"
+  "CMakeFiles/nexus_crypto.dir/x25519.cpp.o"
+  "CMakeFiles/nexus_crypto.dir/x25519.cpp.o.d"
+  "libnexus_crypto.a"
+  "libnexus_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nexus_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

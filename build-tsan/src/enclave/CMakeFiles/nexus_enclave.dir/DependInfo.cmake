@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/enclave/metadata.cpp" "src/enclave/CMakeFiles/nexus_enclave.dir/metadata.cpp.o" "gcc" "src/enclave/CMakeFiles/nexus_enclave.dir/metadata.cpp.o.d"
+  "/root/repo/src/enclave/metadata_codec.cpp" "src/enclave/CMakeFiles/nexus_enclave.dir/metadata_codec.cpp.o" "gcc" "src/enclave/CMakeFiles/nexus_enclave.dir/metadata_codec.cpp.o.d"
+  "/root/repo/src/enclave/nexus_enclave.cpp" "src/enclave/CMakeFiles/nexus_enclave.dir/nexus_enclave.cpp.o" "gcc" "src/enclave/CMakeFiles/nexus_enclave.dir/nexus_enclave.cpp.o.d"
+  "/root/repo/src/enclave/nexus_enclave_sharing.cpp" "src/enclave/CMakeFiles/nexus_enclave.dir/nexus_enclave_sharing.cpp.o" "gcc" "src/enclave/CMakeFiles/nexus_enclave.dir/nexus_enclave_sharing.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/common/CMakeFiles/nexus_common.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/crypto/CMakeFiles/nexus_crypto.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/sgx/CMakeFiles/nexus_sgx.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/journal/CMakeFiles/nexus_journal.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/parallel/CMakeFiles/nexus_parallel.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/trace/CMakeFiles/nexus_trace.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nexus_enclave.dir/metadata.cpp.o"
+  "CMakeFiles/nexus_enclave.dir/metadata.cpp.o.d"
+  "CMakeFiles/nexus_enclave.dir/metadata_codec.cpp.o"
+  "CMakeFiles/nexus_enclave.dir/metadata_codec.cpp.o.d"
+  "CMakeFiles/nexus_enclave.dir/nexus_enclave.cpp.o"
+  "CMakeFiles/nexus_enclave.dir/nexus_enclave.cpp.o.d"
+  "CMakeFiles/nexus_enclave.dir/nexus_enclave_sharing.cpp.o"
+  "CMakeFiles/nexus_enclave.dir/nexus_enclave_sharing.cpp.o.d"
+  "libnexus_enclave.a"
+  "libnexus_enclave.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nexus_enclave.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

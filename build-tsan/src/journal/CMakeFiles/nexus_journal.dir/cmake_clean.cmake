@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nexus_journal.dir/journal.cpp.o"
+  "CMakeFiles/nexus_journal.dir/journal.cpp.o.d"
+  "libnexus_journal.a"
+  "libnexus_journal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nexus_journal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nexus-stat.dir/nexus_stat.cpp.o"
+  "CMakeFiles/nexus-stat.dir/nexus_stat.cpp.o.d"
+  "nexus-stat"
+  "nexus-stat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nexus-stat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nexus_net.dir/fault.cpp.o"
+  "CMakeFiles/nexus_net.dir/fault.cpp.o.d"
+  "CMakeFiles/nexus_net.dir/mux.cpp.o"
+  "CMakeFiles/nexus_net.dir/mux.cpp.o.d"
+  "CMakeFiles/nexus_net.dir/net_counters.cpp.o"
+  "CMakeFiles/nexus_net.dir/net_counters.cpp.o.d"
+  "CMakeFiles/nexus_net.dir/remote_backend.cpp.o"
+  "CMakeFiles/nexus_net.dir/remote_backend.cpp.o.d"
+  "CMakeFiles/nexus_net.dir/server.cpp.o"
+  "CMakeFiles/nexus_net.dir/server.cpp.o.d"
+  "CMakeFiles/nexus_net.dir/transport.cpp.o"
+  "CMakeFiles/nexus_net.dir/transport.cpp.o.d"
+  "CMakeFiles/nexus_net.dir/wire.cpp.o"
+  "CMakeFiles/nexus_net.dir/wire.cpp.o.d"
+  "libnexus_net.a"
+  "libnexus_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nexus_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

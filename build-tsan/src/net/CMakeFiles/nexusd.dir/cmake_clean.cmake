@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nexusd.dir/nexusd.cpp.o"
+  "CMakeFiles/nexusd.dir/nexusd.cpp.o.d"
+  "nexusd"
+  "nexusd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nexusd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nexus_parallel.dir/thread_pool.cpp.o"
+  "CMakeFiles/nexus_parallel.dir/thread_pool.cpp.o.d"
+  "libnexus_parallel.a"
+  "libnexus_parallel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nexus_parallel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nexus_sgx.dir/attestation.cpp.o"
+  "CMakeFiles/nexus_sgx.dir/attestation.cpp.o.d"
+  "CMakeFiles/nexus_sgx.dir/enclave.cpp.o"
+  "CMakeFiles/nexus_sgx.dir/enclave.cpp.o.d"
+  "CMakeFiles/nexus_sgx.dir/measurement.cpp.o"
+  "CMakeFiles/nexus_sgx.dir/measurement.cpp.o.d"
+  "libnexus_sgx.a"
+  "libnexus_sgx.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nexus_sgx.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

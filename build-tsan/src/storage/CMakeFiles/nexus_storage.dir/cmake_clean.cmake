@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nexus_storage.dir/afs.cpp.o"
+  "CMakeFiles/nexus_storage.dir/afs.cpp.o.d"
+  "CMakeFiles/nexus_storage.dir/backend.cpp.o"
+  "CMakeFiles/nexus_storage.dir/backend.cpp.o.d"
+  "libnexus_storage.a"
+  "libnexus_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nexus_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nexus_trace.dir/histogram.cpp.o"
+  "CMakeFiles/nexus_trace.dir/histogram.cpp.o.d"
+  "CMakeFiles/nexus_trace.dir/trace.cpp.o"
+  "CMakeFiles/nexus_trace.dir/trace.cpp.o.d"
+  "libnexus_trace.a"
+  "libnexus_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nexus_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

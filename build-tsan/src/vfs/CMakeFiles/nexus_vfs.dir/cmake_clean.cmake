@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nexus_vfs.dir/afs_passthrough_fs.cpp.o"
+  "CMakeFiles/nexus_vfs.dir/afs_passthrough_fs.cpp.o.d"
+  "CMakeFiles/nexus_vfs.dir/nexus_fs.cpp.o"
+  "CMakeFiles/nexus_vfs.dir/nexus_fs.cpp.o.d"
+  "CMakeFiles/nexus_vfs.dir/vfs.cpp.o"
+  "CMakeFiles/nexus_vfs.dir/vfs.cpp.o.d"
+  "libnexus_vfs.a"
+  "libnexus_vfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nexus_vfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

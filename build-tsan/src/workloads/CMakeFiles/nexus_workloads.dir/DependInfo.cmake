@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/fsutils.cpp" "src/workloads/CMakeFiles/nexus_workloads.dir/fsutils.cpp.o" "gcc" "src/workloads/CMakeFiles/nexus_workloads.dir/fsutils.cpp.o.d"
+  "/root/repo/src/workloads/minikv.cpp" "src/workloads/CMakeFiles/nexus_workloads.dir/minikv.cpp.o" "gcc" "src/workloads/CMakeFiles/nexus_workloads.dir/minikv.cpp.o.d"
+  "/root/repo/src/workloads/minisql.cpp" "src/workloads/CMakeFiles/nexus_workloads.dir/minisql.cpp.o" "gcc" "src/workloads/CMakeFiles/nexus_workloads.dir/minisql.cpp.o.d"
+  "/root/repo/src/workloads/treegen.cpp" "src/workloads/CMakeFiles/nexus_workloads.dir/treegen.cpp.o" "gcc" "src/workloads/CMakeFiles/nexus_workloads.dir/treegen.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/common/CMakeFiles/nexus_common.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/vfs/CMakeFiles/nexus_vfs.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/core/CMakeFiles/nexus_core.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/enclave/CMakeFiles/nexus_enclave.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/sgx/CMakeFiles/nexus_sgx.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/journal/CMakeFiles/nexus_journal.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/net/CMakeFiles/nexus_net.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/parallel/CMakeFiles/nexus_parallel.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/cache/CMakeFiles/nexus_cache.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/storage/CMakeFiles/nexus_storage.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/trace/CMakeFiles/nexus_trace.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/crypto/CMakeFiles/nexus_crypto.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

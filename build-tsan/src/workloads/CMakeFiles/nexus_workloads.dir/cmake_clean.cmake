@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nexus_workloads.dir/fsutils.cpp.o"
+  "CMakeFiles/nexus_workloads.dir/fsutils.cpp.o.d"
+  "CMakeFiles/nexus_workloads.dir/minikv.cpp.o"
+  "CMakeFiles/nexus_workloads.dir/minikv.cpp.o.d"
+  "CMakeFiles/nexus_workloads.dir/minisql.cpp.o"
+  "CMakeFiles/nexus_workloads.dir/minisql.cpp.o.d"
+  "CMakeFiles/nexus_workloads.dir/treegen.cpp.o"
+  "CMakeFiles/nexus_workloads.dir/treegen.cpp.o.d"
+  "libnexus_workloads.a"
+  "libnexus_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nexus_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

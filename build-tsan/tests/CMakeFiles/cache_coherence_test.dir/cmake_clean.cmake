@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cache_coherence_test.dir/cache_coherence_test.cpp.o"
+  "CMakeFiles/cache_coherence_test.dir/cache_coherence_test.cpp.o.d"
+  "cache_coherence_test"
+  "cache_coherence_test.pdb"
+  "cache_coherence_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cache_coherence_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crash_consistency_test.dir/crash_consistency_test.cpp.o"
+  "CMakeFiles/crash_consistency_test.dir/crash_consistency_test.cpp.o.d"
+  "crash_consistency_test"
+  "crash_consistency_test.pdb"
+  "crash_consistency_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crash_consistency_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crypto_sweep_test.dir/crypto_sweep_test.cpp.o"
+  "CMakeFiles/crypto_sweep_test.dir/crypto_sweep_test.cpp.o.d"
+  "crypto_sweep_test"
+  "crypto_sweep_test.pdb"
+  "crypto_sweep_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crypto_sweep_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

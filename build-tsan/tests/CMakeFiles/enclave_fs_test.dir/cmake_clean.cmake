@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/enclave_fs_test.dir/enclave_fs_test.cpp.o"
+  "CMakeFiles/enclave_fs_test.dir/enclave_fs_test.cpp.o.d"
+  "enclave_fs_test"
+  "enclave_fs_test.pdb"
+  "enclave_fs_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/enclave_fs_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/encrypt_range_test.dir/encrypt_range_test.cpp.o"
+  "CMakeFiles/encrypt_range_test.dir/encrypt_range_test.cpp.o.d"
+  "encrypt_range_test"
+  "encrypt_range_test.pdb"
+  "encrypt_range_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/encrypt_range_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

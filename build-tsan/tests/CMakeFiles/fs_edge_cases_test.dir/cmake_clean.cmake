@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fs_edge_cases_test.dir/fs_edge_cases_test.cpp.o"
+  "CMakeFiles/fs_edge_cases_test.dir/fs_edge_cases_test.cpp.o.d"
+  "fs_edge_cases_test"
+  "fs_edge_cases_test.pdb"
+  "fs_edge_cases_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fs_edge_cases_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fsck_test.dir/fsck_test.cpp.o"
+  "CMakeFiles/fsck_test.dir/fsck_test.cpp.o.d"
+  "fsck_test"
+  "fsck_test.pdb"
+  "fsck_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fsck_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

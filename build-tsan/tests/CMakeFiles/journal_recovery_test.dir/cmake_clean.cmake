@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/journal_recovery_test.dir/journal_recovery_test.cpp.o"
+  "CMakeFiles/journal_recovery_test.dir/journal_recovery_test.cpp.o.d"
+  "journal_recovery_test"
+  "journal_recovery_test.pdb"
+  "journal_recovery_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/journal_recovery_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/metadata_type_sweep_test.dir/metadata_type_sweep_test.cpp.o"
+  "CMakeFiles/metadata_type_sweep_test.dir/metadata_type_sweep_test.cpp.o.d"
+  "metadata_type_sweep_test"
+  "metadata_type_sweep_test.pdb"
+  "metadata_type_sweep_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/metadata_type_sweep_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

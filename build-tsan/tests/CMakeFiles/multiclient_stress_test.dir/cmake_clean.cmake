@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multiclient_stress_test.dir/multiclient_stress_test.cpp.o"
+  "CMakeFiles/multiclient_stress_test.dir/multiclient_stress_test.cpp.o.d"
+  "multiclient_stress_test"
+  "multiclient_stress_test.pdb"
+  "multiclient_stress_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multiclient_stress_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

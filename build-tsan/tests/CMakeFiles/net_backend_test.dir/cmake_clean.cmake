@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/net_backend_test.dir/net_backend_test.cpp.o"
+  "CMakeFiles/net_backend_test.dir/net_backend_test.cpp.o.d"
+  "net_backend_test"
+  "net_backend_test.pdb"
+  "net_backend_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/net_backend_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

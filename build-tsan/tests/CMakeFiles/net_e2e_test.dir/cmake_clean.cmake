@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/net_e2e_test.dir/net_e2e_test.cpp.o"
+  "CMakeFiles/net_e2e_test.dir/net_e2e_test.cpp.o.d"
+  "net_e2e_test"
+  "net_e2e_test.pdb"
+  "net_e2e_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/net_e2e_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

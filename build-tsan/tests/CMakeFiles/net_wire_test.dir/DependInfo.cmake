@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/net_wire_test.cpp" "tests/CMakeFiles/net_wire_test.dir/net_wire_test.cpp.o" "gcc" "tests/CMakeFiles/net_wire_test.dir/net_wire_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/net/CMakeFiles/nexus_net.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/cache/CMakeFiles/nexus_cache.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/storage/CMakeFiles/nexus_storage.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/crypto/CMakeFiles/nexus_crypto.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/parallel/CMakeFiles/nexus_parallel.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/trace/CMakeFiles/nexus_trace.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/common/CMakeFiles/nexus_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

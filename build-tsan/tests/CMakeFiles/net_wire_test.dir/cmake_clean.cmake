@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/net_wire_test.dir/net_wire_test.cpp.o"
+  "CMakeFiles/net_wire_test.dir/net_wire_test.cpp.o.d"
+  "net_wire_test"
+  "net_wire_test.pdb"
+  "net_wire_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/net_wire_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parallel_crypto_test.dir/parallel_crypto_test.cpp.o"
+  "CMakeFiles/parallel_crypto_test.dir/parallel_crypto_test.cpp.o.d"
+  "parallel_crypto_test"
+  "parallel_crypto_test.pdb"
+  "parallel_crypto_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parallel_crypto_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

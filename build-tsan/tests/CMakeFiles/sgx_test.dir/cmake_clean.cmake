@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sgx_test.dir/sgx_test.cpp.o"
+  "CMakeFiles/sgx_test.dir/sgx_test.cpp.o.d"
+  "sgx_test"
+  "sgx_test.pdb"
+  "sgx_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sgx_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trace_histogram_test.dir/trace_histogram_test.cpp.o"
+  "CMakeFiles/trace_histogram_test.dir/trace_histogram_test.cpp.o.d"
+  "trace_histogram_test"
+  "trace_histogram_test.pdb"
+  "trace_histogram_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trace_histogram_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vfs_test.dir/vfs_test.cpp.o"
+  "CMakeFiles/vfs_test.dir/vfs_test.cpp.o.d"
+  "vfs_test"
+  "vfs_test.pdb"
+  "vfs_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vfs_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
