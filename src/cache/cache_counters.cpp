@@ -45,6 +45,7 @@ void AccumulateCacheCounters(CacheCounters& into, const CacheCounters& delta) {
   into.prefetch_issued += delta.prefetch_issued;
   into.prefetch_hits += delta.prefetch_hits;
   into.prefetch_wasted_bytes += delta.prefetch_wasted_bytes;
+  into.prefetch_joined += delta.prefetch_joined;
 }
 
 void GlobalCacheAdd(const CacheCounters& delta) {

@@ -38,6 +38,9 @@ struct CacheCounters {
   std::uint64_t prefetch_issued = 0;
   std::uint64_t prefetch_hits = 0;
   std::uint64_t prefetch_wasted_bytes = 0;
+  // Demand Gets that joined an in-flight prefetch RPC instead of
+  // re-issuing it (counted by RemoteBackend at the join).
+  std::uint64_t prefetch_joined = 0;
 
   /// Delta between two snapshots: counters subtract; the high-water gauge
   /// keeps the later snapshot's value.
@@ -58,6 +61,7 @@ struct CacheCounters {
     out.prefetch_hits = a.prefetch_hits - b.prefetch_hits;
     out.prefetch_wasted_bytes =
         a.prefetch_wasted_bytes - b.prefetch_wasted_bytes;
+    out.prefetch_joined = a.prefetch_joined - b.prefetch_joined;
     return out;
   }
 };

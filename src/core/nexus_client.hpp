@@ -172,6 +172,7 @@ class NexusClient {
     snap.net.prefetch_issued = snap.cache.prefetch_issued;
     snap.net.prefetch_hits = snap.cache.prefetch_hits;
     snap.net.prefetch_wasted_bytes = snap.cache.prefetch_wasted_bytes;
+    snap.net.prefetch_joined = snap.cache.prefetch_joined;
     {
       const trace::Histogram& ecalls = trace::GlobalHistogram("ecall");
       snap.ecall_latency = LatencySummary{

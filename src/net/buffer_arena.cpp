@@ -1,0 +1,67 @@
+#include "net/buffer_arena.hpp"
+
+namespace nexus::net {
+
+struct ArenaState {
+  std::mutex mu;
+  std::size_t slab_bytes = 0;
+  std::size_t max_free = 0;
+  std::vector<std::unique_ptr<BufferArena::Slab>> free;
+  BufferArena::Stats stats;
+};
+
+void BufferArena::Releaser::operator()(Slab* slab) const {
+  if (slab == nullptr) return;
+  if (state_ == nullptr) {
+    delete slab;
+    return;
+  }
+  std::lock_guard<std::mutex> lock(state_->mu);
+  if (state_->stats.slabs_in_use > 0) --state_->stats.slabs_in_use;
+  if (state_->free.size() < state_->max_free) {
+    slab->size = 0;
+    state_->free.emplace_back(slab);
+  } else {
+    delete slab;
+  }
+}
+
+BufferArena::BufferArena(std::size_t slab_bytes, std::size_t max_free_slabs)
+    : slab_bytes_(slab_bytes), state_(std::make_shared<ArenaState>()) {
+  state_->slab_bytes = slab_bytes;
+  state_->max_free = max_free_slabs;
+  state_->stats.slab_bytes = slab_bytes;
+}
+
+BufferArena::SlabPtr BufferArena::Acquire() {
+  std::lock_guard<std::mutex> lock(state_->mu);
+  ++state_->stats.acquires;
+  ++state_->stats.slabs_in_use;
+  if (state_->stats.slabs_in_use > state_->stats.slabs_high_water) {
+    state_->stats.slabs_high_water = state_->stats.slabs_in_use;
+  }
+  Slab* slab = nullptr;
+  if (!state_->free.empty()) {
+    slab = state_->free.back().release();
+    state_->free.pop_back();
+    ++state_->stats.recycled;
+  } else {
+    slab = new Slab();
+    slab->buf.resize(slab_bytes_);
+    ++state_->stats.slabs_allocated;
+  }
+  slab->size = 0;
+  return SlabPtr(slab, Releaser(state_));
+}
+
+void BufferArena::NoteOversize() {
+  std::lock_guard<std::mutex> lock(state_->mu);
+  ++state_->stats.oversize_frames;
+}
+
+BufferArena::Stats BufferArena::stats() const {
+  std::lock_guard<std::mutex> lock(state_->mu);
+  return state_->stats;
+}
+
+} // namespace nexus::net

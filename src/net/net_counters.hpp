@@ -25,6 +25,9 @@ struct NetCounters {
   std::uint64_t prefetch_issued = 0;
   std::uint64_t prefetch_hits = 0;
   std::uint64_t prefetch_wasted_bytes = 0;
+  // Demand reads that found their object already in flight as a
+  // speculative readahead and waited on that RPC instead of duplicating it.
+  std::uint64_t prefetch_joined = 0;
   // Latency of successful RPC attempts (send -> response decoded), from a
   // process-wide log-bucket histogram (trace::Histogram). Gauges, not
   // counters: a delta keeps the later snapshot's value, mirroring
@@ -42,6 +45,7 @@ struct NetCounters {
     out.prefetch_issued = a.prefetch_issued - b.prefetch_issued;
     out.prefetch_hits = a.prefetch_hits - b.prefetch_hits;
     out.prefetch_wasted_bytes = a.prefetch_wasted_bytes - b.prefetch_wasted_bytes;
+    out.prefetch_joined = a.prefetch_joined - b.prefetch_joined;
     out.rpc_p50_ms = a.rpc_p50_ms; // gauges keep the later snapshot
     out.rpc_p99_ms = a.rpc_p99_ms;
     return out;

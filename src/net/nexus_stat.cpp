@@ -105,6 +105,22 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(s.cache_invalidations),
                 static_cast<unsigned long long>(s.cache_dirty_high_water));
   }
+  // Event-loop health (zero on a worker-per-connection daemon).
+  if (s.epoll_wakeups > 0 || s.arena_slabs_high_water > 0) {
+    std::printf("  reactor       %llu wakeups, dispatch p50 %.3f ms, "
+                "p99 %.3f ms\n",
+                static_cast<unsigned long long>(s.epoll_wakeups),
+                s.loop_dispatch_p50_ms, s.loop_dispatch_p99_ms);
+    std::printf("  arena         %llu slabs in use, high-water %llu, "
+                "%llu oversize frames\n",
+                static_cast<unsigned long long>(s.arena_slabs_in_use),
+                static_cast<unsigned long long>(s.arena_slabs_high_water),
+                static_cast<unsigned long long>(s.arena_oversize_frames));
+  }
+  if (s.resident_threads > 0) {
+    std::printf("  threads       %llu resident\n",
+                static_cast<unsigned long long>(s.resident_threads));
+  }
   std::printf("  %-13s %10s %12s %12s %10s %10s\n", "op", "count", "bytes_in",
               "bytes_out", "p50_ms", "p99_ms");
   for (const nexus::net::RpcOpStats& op : s.per_op) {

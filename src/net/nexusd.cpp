@@ -6,8 +6,13 @@
 // authentication and no SGX — all security machinery lives in the clients.
 //
 //   nexusd [--mem | --root DIR] [--bind ADDR] [--port N] [--workers N]
-//          [--rpc-workers N] [--cache-mem BYTES] [--cache-disk BYTES]
-//          [--cache-dir DIR]
+//          [--rpc-workers N] [--serve-mode reactor|threads]
+//          [--cache-mem BYTES] [--cache-disk BYTES] [--cache-dir DIR]
+//
+// --serve-mode picks the connection/thread layout: `reactor` (default) is
+// the event-driven epoll loop — thousands of idle connections cost no
+// threads; `threads` restores the legacy worker-per-connection pool where
+// --workers bounds the concurrently served connections.
 //
 // The --cache-* flags front the backend with cache::CachedBackend — useful
 // when --root points at slow storage (NFS, a FUSE mount): the daemon then
@@ -34,7 +39,8 @@ namespace {
 void Usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--mem | --root DIR] [--bind ADDR] [--port N] "
-               "[--workers N] [--rpc-workers N] [--cache-mem BYTES] "
+               "[--workers N] [--rpc-workers N] "
+               "[--serve-mode reactor|threads] [--cache-mem BYTES] "
                "[--cache-disk BYTES] [--cache-dir DIR]\n",
                argv0);
 }
@@ -73,6 +79,17 @@ int main(int argc, char** argv) {
       options.workers = static_cast<std::size_t>(std::atoi(next()));
     } else if (arg == "--rpc-workers") {
       options.rpc_workers = static_cast<std::size_t>(std::atoi(next()));
+    } else if (arg == "--serve-mode") {
+      const std::string mode = next();
+      if (mode == "reactor") {
+        options.serve_mode = nexus::net::ServeMode::kReactor;
+      } else if (mode == "threads") {
+        options.serve_mode = nexus::net::ServeMode::kThreadPerConnection;
+      } else {
+        std::fprintf(stderr, "nexusd: unknown serve mode '%s'\n", mode.c_str());
+        Usage(argv[0]);
+        return 2;
+      }
     } else if (arg == "--cache-mem") {
       use_cache = true;
       cache_options.mem_budget_bytes =
@@ -123,9 +140,13 @@ int main(int argc, char** argv) {
     return 1;
   }
 
-  std::printf("nexusd listening on %s:%u (%s, %zu workers)\n",
+  const bool reactor_mode =
+      options.serve_mode == nexus::net::ServeMode::kReactor;
+  std::printf("nexusd listening on %s:%u (%s, %s, %zu rpc workers)\n",
               options.bind_address.c_str(), server.value()->port(),
-              use_mem ? "mem" : root.c_str(), options.workers);
+              use_mem ? "mem" : root.c_str(),
+              reactor_mode ? "reactor" : "thread-per-connection",
+              options.rpc_workers);
   std::fflush(stdout);
 
   int sig = 0;

@@ -403,6 +403,40 @@ Result<Bytes> RemoteBackend::Get(const std::string& name) {
 Result<Bytes> RemoteBackend::GetLeased(const std::string& name,
                                        bool* lease_granted) {
   if (lease_granted != nullptr) *lease_granted = false;
+  // A demand read for a name already being speculated JOINS the in-flight
+  // prefetch RPC instead of issuing a duplicate Get: the duplicate would
+  // race the prefetch delivery into the cache tier, where the second
+  // insert can evict a surviving entry. The join never takes a lease
+  // (speculations ask for none) — the entry stays TTL-bounded, which only
+  // costs coherence freshness, never correctness.
+  std::shared_ptr<PrefetchFlight> flight;
+  {
+    const std::lock_guard<std::mutex> lock(prefetch_mu_);
+    const auto it = prefetch_inflight_.find(name);
+    if (it != prefetch_inflight_.end()) flight = it->second;
+  }
+  if (flight != nullptr) {
+    std::unique_lock<std::mutex> lock(flight->mu);
+    ++flight->waiters;
+    const bool done = flight->cv.wait_for(
+        lock, std::chrono::milliseconds(options_.rpc_deadline_ms + 1000),
+        [&] { return flight->done; });
+    --flight->waiters;
+    if (done && flight->verdict.ok() && flight->has_data) {
+      Bytes data = flight->data; // copied: other joiners may want it too
+      lock.unlock();
+      {
+        const std::lock_guard<std::mutex> count_lock(mu_);
+        ++counters_.prefetch_joined;
+      }
+      cache::CacheCounters delta;
+      delta.prefetch_joined = 1;
+      cache::GlobalCacheAdd(delta);
+      return data;
+    }
+    // Timed out, failed, withdrawn, or completed without retaining the
+    // bytes: fall through to an ordinary demand fetch.
+  }
   const bool v4 = peer_speaks_v4();
   Writer req = Req(Rpc::kGet);
   req.Str(name);
@@ -512,6 +546,8 @@ std::vector<Result<Bytes>> RemoteBackend::MultiGet(
       for (std::size_t i = 0; i < n; ++i) results.push_back(bad);
       continue;
     }
+    std::vector<std::size_t> deferred_slots; // indexes into `results`
+    std::vector<std::string> deferred_names;
     for (std::size_t i = 0; i < n; ++i) {
       MultiGetEntry& entry = entries.value()[i];
       switch (entry.state) {
@@ -522,11 +558,66 @@ std::vector<Result<Bytes>> RemoteBackend::MultiGet(
           results.push_back(entry.error);
           break;
         case MultiGetEntry::State::kDeferred:
-          // The server hit its response-size budget before this name:
-          // fetch the straggler individually.
-          results.push_back(Get(batch[i]));
+          // The server hit its response-size budget before this name.
+          deferred_slots.push_back(results.size());
+          deferred_names.push_back(batch[i]);
+          results.push_back(
+              Error(ErrorCode::kIOError, "multi-get entry unresolved"));
           break;
       }
+    }
+    // Re-fetch stragglers in follow-up BATCHES, not singles: each round
+    // packs another response-budget's worth, so a deferred tail of k
+    // objects costs ~(total bytes / budget) round trips instead of k.
+    while (!deferred_names.empty()) {
+      Writer follow = Req(Rpc::kMultiGet);
+      EncodeNameList(follow, deferred_names);
+      auto follow_payload = Call(follow);
+      if (!follow_payload.ok()) {
+        for (const std::size_t slot : deferred_slots) {
+          results[slot] = follow_payload.status();
+        }
+        break;
+      }
+      Reader follow_reader(follow_payload.value());
+      auto follow_entries = DecodeMultiGetEntries(follow_reader);
+      const bool follow_ok = follow_entries.ok() && follow_reader.AtEnd() &&
+                             follow_entries.value().size() ==
+                                 deferred_names.size();
+      std::vector<std::size_t> next_slots;
+      std::vector<std::string> next_names;
+      if (follow_ok) {
+        for (std::size_t i = 0; i < deferred_names.size(); ++i) {
+          MultiGetEntry& entry = follow_entries.value()[i];
+          switch (entry.state) {
+            case MultiGetEntry::State::kOk:
+              results[deferred_slots[i]] = std::move(entry.data);
+              break;
+            case MultiGetEntry::State::kError:
+              results[deferred_slots[i]] = entry.error;
+              break;
+            case MultiGetEntry::State::kDeferred:
+              next_slots.push_back(deferred_slots[i]);
+              next_names.push_back(deferred_names[i]);
+              break;
+          }
+        }
+      }
+      if (!follow_ok || next_names.size() == deferred_names.size()) {
+        // Malformed round, or zero progress (a first entry so large its
+        // encoding alone overflows the budget): single Gets have no
+        // response budget and always terminate.
+        const std::vector<std::size_t>& slots =
+            follow_ok ? next_slots : deferred_slots;
+        const std::vector<std::string>& strays =
+            follow_ok ? next_names : deferred_names;
+        for (std::size_t i = 0; i < strays.size(); ++i) {
+          results[slots[i]] = Get(strays[i]);
+        }
+        break;
+      }
+      deferred_slots = std::move(next_slots);
+      deferred_names = std::move(next_names);
     }
   }
   return results;
@@ -566,9 +657,26 @@ void RemoteBackend::SetPrefetchSink(PrefetchSink sink) {
   sink_ = std::move(sink);
 }
 
+void RemoteBackend::FinishFlight(const std::shared_ptr<PrefetchFlight>& flight,
+                                 Status verdict, const Bytes* data) {
+  {
+    const std::lock_guard<std::mutex> lock(flight->mu);
+    flight->done = true;
+    flight->verdict = std::move(verdict);
+    // The copy is paid only when a demand read is actually parked on this
+    // speculation; the common case hands the bytes to the sink alone.
+    if (data != nullptr && flight->waiters > 0) {
+      flight->data = *data;
+      flight->has_data = true;
+    }
+  }
+  flight->cv.notify_all();
+}
+
 void RemoteBackend::Prefetch(const std::string& name) {
   if (readahead_budget_ == 0 || effective_window() <= 1) return;
   PrefetchSink sink;
+  std::shared_ptr<PrefetchFlight> flight;
   {
     const std::lock_guard<std::mutex> lock(prefetch_mu_);
     if (!sink_) return; // nowhere for the bytes to land
@@ -576,7 +684,8 @@ void RemoteBackend::Prefetch(const std::string& name) {
     if (prefetch_inflight_.size() >= options_.max_inflight_prefetches) return;
     // Register BEFORE submitting so a duplicate hint arriving while the
     // speculation is in flight stays a no-op.
-    prefetch_inflight_.insert(name);
+    flight = std::make_shared<PrefetchFlight>();
+    prefetch_inflight_[name] = flight;
     sink = sink_;
   }
 
@@ -606,9 +715,14 @@ void RemoteBackend::Prefetch(const std::string& name) {
         });
   }
   if (slot == nullptr) {
-    // Window filled up (or no connection): withdraw the registration.
-    const std::lock_guard<std::mutex> lock(prefetch_mu_);
-    prefetch_inflight_.erase(name);
+    // Window filled up (or no connection): withdraw the registration and
+    // release any demand read that latched onto it in the meantime.
+    {
+      const std::lock_guard<std::mutex> lock(prefetch_mu_);
+      prefetch_inflight_.erase(name);
+    }
+    FinishFlight(flight, Error(ErrorCode::kIOError, "speculation withdrawn"),
+                 nullptr);
     return;
   }
   cache::CacheCounters delta;
@@ -621,28 +735,56 @@ void RemoteBackend::OnPrefetchDone(const std::string& name,
                                    std::uint64_t correlation,
                                    const Status& failure,
                                    const Bytes& response) {
+  std::shared_ptr<PrefetchFlight> flight;
   {
     const std::lock_guard<std::mutex> lock(prefetch_mu_);
-    prefetch_inflight_.erase(name);
+    const auto it = prefetch_inflight_.find(name);
+    if (it != prefetch_inflight_.end()) {
+      flight = std::move(it->second);
+      prefetch_inflight_.erase(it);
+    }
   }
-  // Speculative traffic never retries; transport failures drop silently.
-  if (!failure.ok()) return;
+  // Speculative traffic never retries; transport failures drop silently —
+  // but a joined demand read must still be released to re-fetch.
+  if (!failure.ok()) {
+    if (flight != nullptr) FinishFlight(flight, failure, nullptr);
+    return;
+  }
   Reader reader(response);
   Status verdict = Status::Ok();
   std::uint64_t echoed = 0;
   if (!ParseResponseHead(reader, &verdict, &echoed).ok() ||
       echoed != correlation) {
-    return; // malformed speculation: the demand path will re-fetch
+    // Malformed speculation: the demand path re-fetches.
+    if (flight != nullptr) {
+      FinishFlight(flight, Error(ErrorCode::kIOError, "malformed speculation"),
+                   nullptr);
+    }
+    return;
   }
   if (!verdict.ok()) {
     // A well-formed negative verdict (kNotFound) is a real answer — the
-    // sink decides whether it is cacheable.
+    // sink decides whether it is cacheable, and a joiner surfaces it
+    // directly.
     sink(name, Result<Bytes>(verdict), false);
+    if (flight != nullptr) FinishFlight(flight, verdict, nullptr);
     return;
   }
   auto data = reader.Var(kMaxObjectBytes);
-  if (!data.ok()) return;
-  sink(name, std::move(data), false);
+  if (!data.ok()) {
+    if (flight != nullptr) {
+      FinishFlight(flight, Error(ErrorCode::kIOError, "malformed speculation"),
+                   nullptr);
+    }
+    return;
+  }
+  Bytes body = std::move(data).value();
+  // Wake joiners first (copying the bytes only if someone waits), then
+  // move the bytes to the sink. If a woken joiner re-inserts before the
+  // sink delivery lands, the cache tier's "demand path won the race"
+  // check makes the delivery a no-op — never a double insert.
+  if (flight != nullptr) FinishFlight(flight, Status::Ok(), &body);
+  sink(name, Result<Bytes>(std::move(body)), false);
 }
 
 // ---- lease subscription (wire v4) -------------------------------------------

@@ -49,11 +49,12 @@
 #pragma once
 
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <memory>
 #include <mutex>
-#include <set>
 #include <string>
 #include <thread>
 #include <vector>
@@ -210,9 +211,31 @@ class RemoteBackend final : public storage::StorageBackend {
   std::uint64_t jitter_state_;
   NetCounters counters_;
 
+  /// One speculative Get in flight. A demand read for the same name JOINS
+  /// the speculation (waits on `cv`) instead of issuing a duplicate RPC —
+  /// the duplicate would race the prefetch delivery into the cache tier
+  /// and could evict a surviving entry with its second insert. The result
+  /// bytes are copied in only when a joiner is actually waiting.
+  struct PrefetchFlight {
+    std::mutex mu;
+    std::condition_variable cv;
+    std::size_t waiters = 0;  // under mu
+    bool done = false;        // under mu
+    Status verdict = Status::Ok(); // under mu, valid once done
+    // A joiner that registered too late to be seen at completion finds
+    // has_data false (despite an ok verdict) and falls back to a demand
+    // fetch — which the sink delivery has usually made a cache hit anyway.
+    bool has_data = false; // under mu
+    Bytes data;            // under mu, valid when done && has_data
+  };
+  /// Completes a flight and wakes its joiners (never under prefetch_mu_).
+  static void FinishFlight(const std::shared_ptr<PrefetchFlight>& flight,
+                           Status verdict, const Bytes* data);
+
   mutable std::mutex prefetch_mu_;
   PrefetchSink sink_;                          // under prefetch_mu_
-  std::set<std::string> prefetch_inflight_;    // names being speculated
+  std::map<std::string, std::shared_ptr<PrefetchFlight>>
+      prefetch_inflight_;                      // names being speculated
 
   // Lease-callback channel. The listener/handler are written once under
   // lease_mu_ before the thread starts and read by it without locking.

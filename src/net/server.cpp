@@ -7,14 +7,19 @@
 #include <condition_variable>
 #include <cstdlib>
 #include <cstring>
+#include <deque>
+#include <fcntl.h>
 #include <functional>
 #include <map>
 #include <netinet/in.h>
+#include <netinet/tcp.h>
 #include <sys/socket.h>
+#include <sys/uio.h>
 #include <unistd.h>
 
 #include "cache/cache_counters.hpp"
 #include "common/clock.hpp"
+#include "net/reactor.hpp"
 #include "net/transport.hpp"
 #include "net/wire.hpp"
 #include "trace/trace.hpp"
@@ -27,7 +32,140 @@ Status Errno(const std::string& what) {
   return Error(ErrorCode::kIOError, what + ": " + std::strerror(errno));
 }
 
+/// Get/MultiGet bodies at or below this stay inline in the coalesced
+/// response segment; larger bodies ride as their own scatter/gather part,
+/// uncopied until the socket write.
+constexpr std::size_t kInlineBodyBytes = 4096;
+
+Status SetNonBlocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) != 0) {
+    return Errno("fcntl(O_NONBLOCK)");
+  }
+  return Status::Ok();
+}
+
 } // namespace
+
+// ---- protocol-engine types --------------------------------------------------
+
+/// Response payload as scatter/gather segments. Small replies are one
+/// Writer's bytes; large object bodies ride as their own part so framing
+/// never copies them into a contiguous buffer — the transport's sendmsg
+/// (legacy mode) or the reactor's send queue keeps them separate all the
+/// way to the socket.
+struct NexusdServer::WireReply {
+  std::vector<Bytes> parts;
+  std::size_t payload_bytes = 0;
+
+  WireReply() = default;
+  explicit WireReply(Writer&& w) { Add(std::move(w)); }
+
+  void Add(Writer&& w) { Add(std::move(w).Take()); }
+  void Add(Bytes&& b) {
+    payload_bytes += b.size();
+    parts.push_back(std::move(b));
+  }
+
+  [[nodiscard]] std::vector<ByteSpan> Spans() const {
+    std::vector<ByteSpan> out;
+    out.reserve(parts.size());
+    for (const Bytes& p : parts) {
+      if (!p.empty()) out.emplace_back(p.data(), p.size());
+    }
+    return out;
+  }
+};
+
+/// One decoded request frame, classified for dispatch.
+struct NexusdServer::Dispatch {
+  enum class Kind {
+    kStateless,     // runs on the rpc pool; replies may leave out of order
+    kOrdered,       // per-connection FIFO, one at a time (stream ops)
+    kImmediate,     // decoded AND executed in arrival order; reply attached
+    kProtocolError, // malformed frame: kill the connection
+  };
+  Kind kind = Kind::kProtocolError;
+  std::size_t op = 0;
+  std::uint64_t corr = 0;
+  const char* name = "";
+  std::function<WireReply()> execute; // kStateless / kOrdered
+  WireReply response;                 // kImmediate
+  bool subscribed = false; // kImmediate: connection became a lease channel
+};
+
+/// Per-connection protocol state shared by both serve modes.
+struct NexusdServer::ConnState {
+  /// In-flight put streams, scoped to the connection. Destruction aborts
+  /// whatever the client never committed (DiskPutStream removes its temp
+  /// file), so a dropped connection leaves the store untouched. The name
+  /// rides along so Commit can run the lease-break protocol.
+  struct OpenStream {
+    std::unique_ptr<storage::StorageBackend::PutStream> stream;
+    std::string name;
+  };
+
+  std::mutex stream_mu; // ordered handlers vs. connection teardown
+  std::map<std::uint64_t, OpenStream> streams; // under stream_mu
+  std::uint64_t next_stream_handle = 1;        // under stream_mu
+
+  // v4 connection state, decode-thread only: the lease session this data
+  // connection belongs to (kLeaseAttach), and the session this connection
+  // BECAME the invalidation channel of (kLeaseSubscribe).
+  std::uint64_t attached_session = 0;
+  std::shared_ptr<LeaseSession> subscription;
+};
+
+/// One reactor-mode connection.
+struct NexusdServer::RConn {
+  int fd = -1;
+
+  // ---- loop thread only -----------------------------------------------------
+  BufferArena::SlabPtr in;  // input slab; frames parse in place
+  std::size_t in_begin = 0; // parse cursor into `in`
+  Bytes big;                // oversize-frame bypass buffer (heap)
+  std::size_t big_filled = 0;
+  std::size_t big_need = 0; // payload bytes expected; 0 = not in big mode
+  std::uint32_t interest = Reactor::kRead; // what the reactor is armed for
+  bool finalized = false;
+  bool migrated = false; // fd ownership moved to a lease-channel transport
+  ConnState proto;
+
+  std::mutex mu;
+  std::size_t inflight = 0; // handler tasks not yet finished
+  struct Ordered {
+    Dispatch d;
+    std::size_t frame_bytes = 0;
+    std::uint64_t start_ns = 0;
+  };
+  std::deque<Ordered> ordered;  // stream-op FIFO, under mu
+  bool ordered_running = false; // under mu: a drainer task exists
+  bool paused = false;          // under mu: backpressure, stop reading
+  bool maintain_posted = false; // under mu
+  bool draining = false; // under mu: EOF / protocol error — finish sends
+  bool migrating = false; // under mu: subscribe reply pending, then migrate
+  bool dead = false;      // under mu: hard failure — drop everything
+
+  std::mutex send_mu;
+  bool send_failed = false; // under send_mu
+  /// One queued chunk of outgoing bytes: either an arena slab holding any
+  /// number of coalesced small frames, or the scatter/gather parts of one
+  /// large frame (its length prefix is parts[0]).
+  struct OutBuf {
+    BufferArena::SlabPtr slab;
+    std::vector<Bytes> parts;
+    std::size_t size = 0; // total valid bytes
+    std::size_t off = 0;  // bytes already written to the socket
+  };
+  std::deque<OutBuf> outq; // under send_mu
+  bool arm_posted = false; // under send_mu: a maintain pass is scheduled
+
+  ~RConn() {
+    if (fd >= 0 && !migrated) ::close(fd);
+  }
+};
+
+// ---- lifecycle --------------------------------------------------------------
 
 NexusdServer::NexusdServer(storage::StorageBackend& backend,
                            NexusdOptions options)
@@ -66,7 +204,9 @@ Result<std::unique_ptr<NexusdServer>> NexusdServer::Start(
     ::close(fd);
     return err;
   }
-  if (::listen(fd, 64) != 0) {
+  // A connection storm is the reactor's reason to exist: give the kernel
+  // queue room for one before the loop gets around to accepting.
+  if (::listen(fd, 1024) != 0) {
     const Status err = Errno("listen");
     ::close(fd);
     return err;
@@ -80,8 +220,6 @@ Result<std::unique_ptr<NexusdServer>> NexusdServer::Start(
 
   server->listen_fd_ = fd;
   server->port_ = ntohs(addr.sin_port);
-  server->pool_ = std::make_unique<parallel::ThreadPool>(
-      std::max<std::size_t>(1, server->options_.workers));
   if (server->options_.rpc_workers > 0) {
     // Handlers live on their own pool: if they shared the connection
     // pool, enough simultaneous connections would occupy every worker
@@ -89,6 +227,25 @@ Result<std::unique_ptr<NexusdServer>> NexusdServer::Start(
     server->rpc_pool_ =
         std::make_unique<parallel::ThreadPool>(server->options_.rpc_workers);
   }
+
+  if (server->options_.serve_mode == ServeMode::kReactor) {
+    auto reactor = std::make_unique<Reactor>();
+    if (reactor->ok() && SetNonBlocking(fd).ok()) {
+      server->reactor_ = std::move(reactor);
+      NexusdServer* s = server.get();
+      const Status added = server->reactor_->Add(
+          fd, Reactor::kRead, [s](std::uint32_t) { s->ReactorAccept(); });
+      if (!added.ok()) return added;
+      server->loop_thread_ = std::thread([s] { s->reactor_->Run(); });
+      return server;
+    }
+    // No event queue and no wake pipe (or the listener refused
+    // O_NONBLOCK): serve the old way rather than not at all.
+    server->options_.serve_mode = ServeMode::kThreadPerConnection;
+  }
+
+  server->pool_ = std::make_unique<parallel::ThreadPool>(
+      std::max<std::size_t>(1, server->options_.workers));
   server->connections_ =
       std::make_unique<parallel::TaskGroup>(server->pool_.get());
   server->accept_thread_ = std::thread([s = server.get()] { s->AcceptLoop(); });
@@ -99,17 +256,58 @@ void NexusdServer::Stop() {
   {
     const std::lock_guard<std::mutex> lock(mu_);
     stopping_ = true;
-    if (listen_fd_ >= 0) {
+    if (reactor_ == nullptr && listen_fd_ >= 0) {
       ::shutdown(listen_fd_, SHUT_RDWR);
       ::close(listen_fd_);
       listen_fd_ = -1;
     }
-    // Unblock every worker parked in a read on a live connection.
+    // Unblock every thread parked in I/O on a live connection.
     for (const int fd : live_fds_) ::shutdown(fd, SHUT_RDWR);
+  }
+  if (reactor_ != nullptr) {
+    if (!loop_thread_.joinable()) {
+      // Start() failed before the loop thread launched.
+      const std::lock_guard<std::mutex> lock(mu_);
+      if (listen_fd_ >= 0) {
+        ::close(listen_fd_);
+        listen_fd_ = -1;
+      }
+    } else {
+      reactor_->Post([this] {
+        int lfd;
+        {
+          const std::lock_guard<std::mutex> lock(mu_);
+          lfd = listen_fd_;
+          listen_fd_ = -1;
+        }
+        if (lfd >= 0) {
+          reactor_->Remove(lfd);
+          ::close(lfd);
+        }
+        std::vector<std::shared_ptr<RConn>> conns;
+        conns.reserve(rconns_.size());
+        for (const auto& [cfd, conn] : rconns_) conns.push_back(conn);
+        for (const auto& conn : conns) {
+          ReactorTeardown(conn, /*drain=*/false);
+          ReactorMaintain(conn);
+        }
+      });
+      // Handler tasks never block on connection I/O (replies are
+      // nonblocking enqueues) and lease breaks are bounded by
+      // lease_break_ms_, so the drain always completes.
+      {
+        std::unique_lock<std::mutex> lock(mu_);
+        drain_cv_.wait(lock, [this] {
+          return reactor_conns_ == 0 && reactor_tasks_ == 0;
+        });
+      }
+      reactor_->Stop();
+      loop_thread_.join();
+    }
   }
   if (accept_thread_.joinable()) accept_thread_.join();
   // Connections drain first: every lease thread is spawned (and recorded)
-  // by a ServeConnection, so after WaitAll the vector is complete.
+  // by a connection, so after the drain the vector is complete.
   if (connections_) connections_->WaitAll();
   std::vector<std::thread> acks;
   {
@@ -118,6 +316,8 @@ void NexusdServer::Stop() {
   }
   for (std::thread& t : acks) t.join();
 }
+
+// ---- stats ------------------------------------------------------------------
 
 NexusdServer::Stats NexusdServer::stats() const {
   Stats out;
@@ -149,6 +349,14 @@ ServerStats NexusdServer::WireStats() const {
     out.leases_broken = stats_.leases_broken;
     out.invalidations_sent = stats_.invalidations_sent;
     out.lease_break_timeouts = stats_.lease_break_timeouts;
+    // Gauge of threads this daemon is resident with: the loop (or the
+    // legacy accept thread + connection workers), the rpc pool, and one
+    // thread per lease channel. The c10k bench pins this flat while the
+    // connection count climbs.
+    out.resident_threads =
+        (reactor_ != nullptr ? 1
+                             : 1 + std::max<std::size_t>(1, options_.workers)) +
+        options_.rpc_workers + lease_threads_.size();
     for (std::size_t i = static_cast<std::size_t>(Rpc::kPing); i < kRpcSlots;
          ++i) {
       if (per_op_[i].count == 0) continue;
@@ -163,6 +371,16 @@ ServerStats NexusdServer::WireStats() const {
   {
     const std::lock_guard<std::mutex> lock(lease_mu_);
     out.lease_sessions = sessions_.size();
+  }
+  if (reactor_ != nullptr) {
+    const Reactor::Stats rs = reactor_->stats();
+    out.epoll_wakeups = rs.wakeups;
+    const BufferArena::Stats as = arena_.stats();
+    out.arena_slabs_in_use = as.slabs_in_use;
+    out.arena_slabs_high_water = as.slabs_high_water;
+    out.arena_oversize_frames = as.oversize_frames;
+    out.loop_dispatch_p50_ms = reactor_->dispatch_latency().PercentileMs(0.50);
+    out.loop_dispatch_p99_ms = reactor_->dispatch_latency().PercentileMs(0.99);
   }
   // Process-wide object-cache counters: non-zero when this daemon fronts
   // its backend with cache::CachedBackend (nexusd --cache-mem).
@@ -182,6 +400,21 @@ ServerStats NexusdServer::WireStats() const {
   }
   return out;
 }
+
+void NexusdServer::CountOp(std::size_t op, std::uint64_t bytes_in,
+                           std::uint64_t bytes_out) {
+  // Count BEFORE sending: a client that has the response in hand (and
+  // asks for Stats) must find it already reflected.
+  const std::lock_guard<std::mutex> lock(mu_);
+  ++stats_.rpcs_served;
+  stats_.bytes_received += bytes_in + kFramePrefixBytes;
+  stats_.bytes_sent += bytes_out + kFramePrefixBytes;
+  ++per_op_[op].count;
+  per_op_[op].bytes_in += bytes_in;
+  per_op_[op].bytes_out += bytes_out;
+}
+
+// ---- legacy accept loop -----------------------------------------------------
 
 void NexusdServer::AcceptLoop() {
   for (;;) {
@@ -378,7 +611,403 @@ void NexusdServer::CleanupSession(
   session->cv.notify_all(); // writers waiting on acks see `dead`
 }
 
-// ---- the serve loop ---------------------------------------------------------
+// ---- the protocol engine ----------------------------------------------------
+
+NexusdServer::Dispatch NexusdServer::DecodeFrame(
+    ByteSpan frame, ConnState& state, TcpTransport* subscribe_channel) {
+  using Kind = Dispatch::Kind;
+  Dispatch d; // defaults to kProtocolError
+
+  Reader reader(frame);
+  std::uint64_t corr = 0;
+  std::uint8_t version = kProtocolVersion;
+  auto rpc = ParseRequestHead(reader, &corr, &version);
+  if (!rpc.ok() || version > options_.max_protocol_version) {
+    // Malformed head — or a version this deployment was told not to
+    // speak (a max_protocol_version=2 nexusd is how interop tests stand
+    // up a "legacy" server; to it, a v3 head is as alien as garbage).
+    return d;
+  }
+  d.op = static_cast<std::size_t>(rpc.value());
+  d.corr = corr;
+  d.name = RpcName(rpc.value());
+
+  // Argument decoding stays HERE, in arrival order, so a malformed frame
+  // kills the connection at a deterministic point in the stream. The
+  // closures own copies of their arguments — the frame bytes (an arena
+  // slab in reactor mode) are dead the moment this function returns.
+  // Responses always echo the request head's version: a v2 client must
+  // never see a version byte it rejects.
+  switch (rpc.value()) {
+    case Rpc::kPing: {
+      // A v3+ client appends a probe byte naming its own max version; a
+      // v2 client appends nothing. Only a probed v3+ server answers with
+      // a version byte, so every other pairing stays byte-identical to
+      // the v2 exchange — negotiation is invisible to old peers.
+      std::uint8_t probe = 0;
+      if (reader.Remaining() > 0) {
+        auto p = reader.U8();
+        if (p.ok()) probe = p.value();
+      }
+      const bool advertise = probe >= 3 && options_.max_protocol_version >= 3;
+      const std::uint8_t offer =
+          std::min({kProtocolVersion, options_.max_protocol_version, probe});
+      d.kind = Kind::kStateless;
+      d.execute = [corr, version, advertise, offer] {
+        Writer r = BeginResponse(Status::Ok(), corr, version);
+        if (advertise) r.U8(offer);
+        return WireReply(std::move(r));
+      };
+      break;
+    }
+    case Rpc::kGet: {
+      auto name = reader.Str();
+      if (!name.ok()) break;
+      // v4 Gets carry a trailing want-lease byte (absent = 0).
+      std::uint8_t want_lease = 0;
+      if (version >= 4 && reader.Remaining() > 0) {
+        auto w = reader.U8();
+        if (w.ok()) want_lease = w.value();
+      }
+      const std::uint64_t sid = state.attached_session;
+      d.kind = Kind::kStateless;
+      d.execute = [this, corr, version, sid, want_lease,
+                   name = std::move(name).value()] {
+        std::uint64_t v0 = 0;
+        bool granted = version >= 4 && want_lease != 0 && sid != 0 &&
+                       PreGrantLease(name, sid, &v0);
+        auto data = backend_.Get(name);
+        if (granted) granted = PostGrantLease(name, sid, v0, data.ok());
+        if (!data.ok()) {
+          return WireReply(BeginResponse(data.status(), corr, version));
+        }
+        Bytes body = std::move(data).value();
+        Writer head = BeginResponse(Status::Ok(), corr, version);
+        head.U32(static_cast<std::uint32_t>(body.size())); // Var(body)...
+        if (body.size() <= kInlineBodyBytes) {
+          head.Raw(body); // ...small: inline
+          if (version >= 4) head.U8(granted ? 1 : 0);
+          return WireReply(std::move(head));
+        }
+        WireReply reply(std::move(head)); // ...large: own segment, no copy
+        reply.Add(std::move(body));
+        if (version >= 4) {
+          Writer tail;
+          tail.U8(granted ? 1 : 0);
+          reply.Add(std::move(tail));
+        }
+        return reply;
+      };
+      break;
+    }
+    case Rpc::kPut: {
+      auto name = reader.Str();
+      if (!name.ok()) break;
+      auto data = reader.Var(kMaxObjectBytes);
+      if (!data.ok()) break;
+      const std::uint64_t sid = state.attached_session;
+      d.kind = Kind::kStateless;
+      d.execute = [this, corr, version, sid, name = std::move(name).value(),
+                   data = std::move(data).value()] {
+        BeginMutation(name);
+        const Status verdict = backend_.Put(name, data);
+        FinishMutation(name, sid);
+        return WireReply(BeginResponse(verdict, corr, version));
+      };
+      break;
+    }
+    case Rpc::kDelete: {
+      auto name = reader.Str();
+      if (!name.ok()) break;
+      const std::uint64_t sid = state.attached_session;
+      d.kind = Kind::kStateless;
+      d.execute = [this, corr, version, sid, name = std::move(name).value()] {
+        BeginMutation(name);
+        const Status verdict = backend_.Delete(name);
+        FinishMutation(name, sid);
+        return WireReply(BeginResponse(verdict, corr, version));
+      };
+      break;
+    }
+    case Rpc::kExists: {
+      auto name = reader.Str();
+      if (!name.ok()) break;
+      d.kind = Kind::kStateless;
+      d.execute = [this, corr, version, name = std::move(name).value()] {
+        Writer r = BeginResponse(Status::Ok(), corr, version);
+        r.U8(backend_.Exists(name) ? 1 : 0);
+        return WireReply(std::move(r));
+      };
+      break;
+    }
+    case Rpc::kList: {
+      auto prefix = reader.Str();
+      if (!prefix.ok()) break;
+      d.kind = Kind::kStateless;
+      d.execute = [this, corr, version, prefix = std::move(prefix).value()] {
+        const std::vector<std::string> names = backend_.List(prefix);
+        std::size_t payload = 0;
+        for (const auto& n : names) payload += n.size() + 4;
+        if (payload > kMaxObjectBytes) {
+          return WireReply(BeginResponse(
+              Error(ErrorCode::kOutOfRange, "listing exceeds frame bound"),
+              corr, version));
+        }
+        Writer r = BeginResponse(Status::Ok(), corr, version);
+        r.U32(static_cast<std::uint32_t>(names.size()));
+        for (const auto& n : names) r.Str(n);
+        return WireReply(std::move(r));
+      };
+      break;
+    }
+    case Rpc::kMultiGet: {
+      auto names = DecodeNameList(reader);
+      if (!names.ok()) break;
+      d.kind = Kind::kStateless;
+      d.execute = [this, corr, version, names = std::move(names).value()] {
+        std::vector<Result<Bytes>> fetched = backend_.MultiGet(names);
+        // Budget the ENCODED payload at kMaxObjectBytes; from the first
+        // entry that would overflow, everything becomes deferred (one
+        // byte each, well inside the frame cap's slack) and the client
+        // re-fetches those names in follow-up batches. The encoding below
+        // is EncodeMultiGetEntries byte for byte, except that large
+        // bodies become their own scatter/gather segments instead of
+        // being copied into one contiguous response.
+        WireReply reply;
+        Writer seg = BeginResponse(Status::Ok(), corr, version);
+        seg.U32(static_cast<std::uint32_t>(fetched.size()));
+        std::size_t used = 4; // the entry-count u32
+        bool overflowed = false;
+        for (Result<Bytes>& result : fetched) {
+          auto entry_state = MultiGetEntry::State::kDeferred;
+          if (!overflowed) {
+            const std::size_t cost =
+                result.ok() ? 1 + 4 + result.value().size()
+                            : 1 + 1 + 4 + result.status().message().size();
+            if (used + cost > kMaxObjectBytes) {
+              overflowed = true;
+            } else {
+              used += cost;
+              entry_state = result.ok() ? MultiGetEntry::State::kOk
+                                        : MultiGetEntry::State::kError;
+            }
+          }
+          seg.U8(static_cast<std::uint8_t>(entry_state));
+          switch (entry_state) {
+            case MultiGetEntry::State::kOk: {
+              Bytes body = std::move(result).value();
+              seg.U32(static_cast<std::uint32_t>(body.size()));
+              if (body.size() <= kInlineBodyBytes) {
+                seg.Raw(body);
+              } else {
+                reply.Add(std::move(seg)); // flush the coalesced segment
+                reply.Add(std::move(body)); // the body rides uncopied
+                seg = Writer();
+              }
+              break;
+            }
+            case MultiGetEntry::State::kError:
+              seg.U8(CodeToWire(result.status().code()));
+              seg.Str(result.status().message());
+              break;
+            case MultiGetEntry::State::kDeferred:
+              break;
+          }
+        }
+        if (!seg.bytes().empty()) reply.Add(std::move(seg));
+        return reply;
+      };
+      break;
+    }
+    case Rpc::kMultiExists: {
+      auto names = DecodeNameList(reader);
+      if (!names.ok()) break;
+      d.kind = Kind::kStateless;
+      d.execute = [this, corr, version, names = std::move(names).value()] {
+        const std::vector<bool> flags = backend_.MultiExists(names);
+        Writer r = BeginResponse(Status::Ok(), corr, version);
+        for (const bool flag : flags) r.U8(flag ? 1 : 0);
+        return WireReply(std::move(r));
+      };
+      break;
+    }
+    case Rpc::kStats: {
+      d.kind = Kind::kStateless;
+      d.execute = [this, corr, version] {
+        Writer r = BeginResponse(Status::Ok(), corr, version);
+        EncodeServerStats(r, WireStats());
+        return WireReply(std::move(r));
+      };
+      break;
+    }
+    case Rpc::kLeaseSubscribe: {
+      // This connection becomes the session's invalidation channel: the
+      // attached response is the LAST ordinary reply on it; afterwards
+      // the connection carries only server pushes and client acks.
+      trace::Span span(d.name, "net.server");
+      span.SetCorrelation(corr);
+      if (state.subscription != nullptr) break; // double-subscribe
+      auto session = std::make_shared<LeaseSession>();
+      {
+        const std::lock_guard<std::mutex> lock(lease_mu_);
+        session->id = next_session_id_++;
+        sessions_[session->id] = session;
+      }
+      if (subscribe_channel != nullptr) {
+        // Thread-per-connection: the reader thread that decoded us owns
+        // the transport for the session's whole life, so the push channel
+        // binds right here. The reactor binds it at migration instead.
+        const std::lock_guard<std::mutex> lock(session->mu);
+        session->channel = subscribe_channel;
+      }
+      state.subscription = session;
+      Writer r = BeginResponse(Status::Ok(), corr, version);
+      r.U64(session->id);
+      d.response = WireReply(std::move(r));
+      d.subscribed = true;
+      d.kind = Kind::kImmediate;
+      break;
+    }
+    case Rpc::kLeaseAttach: {
+      trace::Span span(d.name, "net.server");
+      span.SetCorrelation(corr);
+      auto sid = reader.U64();
+      if (!sid.ok()) break;
+      // Immediate (not pooled): attachment must order before the Gets
+      // and Puts pipelined behind it on this connection.
+      Writer r = FindSession(sid.value()) != nullptr
+                     ? BeginResponse(Status::Ok(), corr, version)
+                     : BeginResponse(
+                           Error(ErrorCode::kNotFound, "unknown lease session"),
+                           corr, version);
+      if (FindSession(sid.value()) != nullptr) {
+        state.attached_session = sid.value();
+      }
+      d.response = WireReply(std::move(r));
+      d.kind = Kind::kImmediate;
+      break;
+    }
+    case Rpc::kInvalidate: {
+      // Server-originated only; a client sending it is desynchronized.
+      break;
+    }
+    case Rpc::kStreamBegin: {
+      auto name = reader.Str();
+      if (!name.ok()) break;
+      ConnState* st = &state;
+      d.kind = Kind::kOrdered;
+      d.execute = [this, st, corr, version, name = std::move(name).value()] {
+        auto stream = backend_.OpenPutStream(name);
+        if (!stream.ok()) {
+          return WireReply(BeginResponse(stream.status(), corr, version));
+        }
+        std::uint64_t handle;
+        {
+          const std::lock_guard<std::mutex> lock(st->stream_mu);
+          handle = st->next_stream_handle++;
+          st->streams[handle] =
+              ConnState::OpenStream{std::move(stream).value(), name};
+        }
+        {
+          const std::lock_guard<std::mutex> lock(mu_);
+          ++stats_.open_streams;
+        }
+        Writer r = BeginResponse(Status::Ok(), corr, version);
+        r.U64(handle);
+        return WireReply(std::move(r));
+      };
+      break;
+    }
+    case Rpc::kStreamAppend: {
+      auto handle = reader.U64();
+      if (!handle.ok()) break;
+      auto segment = reader.Var(kMaxObjectBytes);
+      if (!segment.ok()) break;
+      ConnState* st = &state;
+      d.kind = Kind::kOrdered;
+      d.execute = [this, st, corr, version, handle = handle.value(),
+                   segment = std::move(segment).value()] {
+        const std::lock_guard<std::mutex> lock(st->stream_mu);
+        const auto it = st->streams.find(handle);
+        if (it == st->streams.end()) {
+          return WireReply(BeginResponse(
+              Error(ErrorCode::kInvalidArgument, "unknown stream handle"),
+              corr, version));
+        }
+        return WireReply(
+            BeginResponse(it->second.stream->Append(segment), corr, version));
+      };
+      break;
+    }
+    case Rpc::kStreamCommit: {
+      auto handle = reader.U64();
+      if (!handle.ok()) break;
+      ConnState* st = &state;
+      const std::uint64_t sid = state.attached_session;
+      d.kind = Kind::kOrdered;
+      d.execute = [this, st, corr, version, sid, handle = handle.value()] {
+        std::unique_lock<std::mutex> lock(st->stream_mu);
+        const auto it = st->streams.find(handle);
+        if (it == st->streams.end()) {
+          return WireReply(BeginResponse(
+              Error(ErrorCode::kInvalidArgument, "unknown stream handle"),
+              corr, version));
+        }
+        const std::string name = it->second.name;
+        auto stream = std::move(it->second.stream);
+        st->streams.erase(it);
+        lock.unlock();
+        // Commit publishes a new object atomically: same lease-break
+        // protocol as Put, bracketing the backend call.
+        BeginMutation(name);
+        const Status verdict = stream->Commit();
+        FinishMutation(name, sid);
+        {
+          const std::lock_guard<std::mutex> stats_lock(mu_);
+          --stats_.open_streams;
+        }
+        return WireReply(BeginResponse(verdict, corr, version));
+      };
+      break;
+    }
+    case Rpc::kStreamAbort: {
+      auto handle = reader.U64();
+      if (!handle.ok()) break;
+      ConnState* st = &state;
+      d.kind = Kind::kOrdered;
+      d.execute = [this, st, corr, version, handle = handle.value()] {
+        std::unique_lock<std::mutex> lock(st->stream_mu);
+        const auto it = st->streams.find(handle);
+        if (it == st->streams.end()) {
+          return WireReply(BeginResponse(
+              Error(ErrorCode::kInvalidArgument, "unknown stream handle"),
+              corr, version));
+        }
+        auto stream = std::move(it->second.stream);
+        st->streams.erase(it);
+        lock.unlock();
+        stream->Abort();
+        {
+          const std::lock_guard<std::mutex> stats_lock(mu_);
+          --stats_.open_streams;
+        }
+        return WireReply(BeginResponse(Status::Ok(), corr, version));
+      };
+      break;
+    }
+  }
+  return d;
+}
+
+NexusdServer::WireReply NexusdServer::RunHandler(const Dispatch& d) {
+  // One span per served request, tagged with the client's correlation id
+  // so client and server spans can be matched up.
+  trace::Span span(d.name, "net.server");
+  span.SetCorrelation(d.corr);
+  return d.execute();
+}
+
+// ---- the thread-per-connection serve loop -----------------------------------
 
 void NexusdServer::ServeConnection(int fd) {
   // Block-forever reads: Stop() shutdown()s the fd, which surfaces as a
@@ -401,393 +1030,23 @@ void NexusdServer::ServeConnection(int fd) {
   // and pipelined server share one code shape.
   parallel::TaskGroup handlers(rpc_pool_.get());
 
-  // In-flight put streams, scoped to this connection. Destruction aborts
-  // whatever the client never committed (DiskPutStream removes its temp
-  // file), so a dropped connection leaves the store untouched. The name
-  // rides along so Commit can run the lease-break protocol.
-  struct OpenStream {
-    std::unique_ptr<storage::StorageBackend::PutStream> stream;
-    std::string name;
-  };
-  std::map<std::uint64_t, OpenStream> streams;
-  std::uint64_t next_stream_handle = 1;
-
-  // v4 connection state: the lease session this data connection belongs
-  // to (kLeaseAttach), and the session this connection BECAME the
-  // invalidation channel of (kLeaseSubscribe).
-  std::uint64_t attached_session = 0;
-  std::shared_ptr<LeaseSession> subscription;
+  ConnState state;
 
   for (;;) {
     auto frame = transport.RecvFrame();
     if (!frame.ok()) break; // disconnect, reset, or Stop()
     const std::uint64_t service_start_ns = MonotonicNanos();
-
-    Reader reader(frame.value());
-    Writer response;
-    bool close_connection = false;
-
-    std::uint64_t corr = 0;
-    std::uint8_t version = kProtocolVersion;
-    auto rpc = ParseRequestHead(reader, &corr, &version);
-    if (!rpc.ok() || version > options_.max_protocol_version) {
-      // Malformed head — or a version this deployment was told not to
-      // speak (a max_protocol_version=2 nexusd is how interop tests stand
-      // up a "legacy" server; to it, a v3 head is as alien as garbage).
-      const std::lock_guard<std::mutex> lock(mu_);
-      ++stats_.protocol_errors;
-      break;
-    }
-    const auto op = static_cast<std::size_t>(rpc.value());
     const std::size_t frame_bytes = frame.value().size();
 
-    // Stateless ops assign `execute` (argument decoding stays HERE, in
-    // arrival order, so a malformed frame kills the connection at a
-    // deterministic point in the stream); stream ops run inline below and
-    // fill `response` directly. Responses always echo the request's head
-    // version: a v2 client must never see a version byte it rejects.
-    std::function<Writer()> execute;
+    Dispatch d = DecodeFrame(frame.value(), state, &transport);
 
-    switch (rpc.value()) {
-      case Rpc::kPing: {
-        // A v3+ client appends a probe byte naming its own max version; a
-        // v2 client appends nothing. Only a probed v3+ server answers with
-        // a version byte, so every other pairing stays byte-identical to
-        // the v2 exchange — negotiation is invisible to old peers.
-        std::uint8_t probe = 0;
-        if (reader.Remaining() > 0) {
-          auto p = reader.U8();
-          if (p.ok()) probe = p.value();
-        }
-        const bool advertise =
-            probe >= 3 && options_.max_protocol_version >= 3;
-        const std::uint8_t offer = std::min(
-            {kProtocolVersion, options_.max_protocol_version, probe});
-        execute = [corr, version, advertise, offer] {
-          Writer r = BeginResponse(Status::Ok(), corr, version);
-          if (advertise) r.U8(offer);
-          return r;
-        };
-        break;
-      }
-      case Rpc::kGet: {
-        auto name = reader.Str();
-        if (!name.ok()) {
-          close_connection = true;
-          break;
-        }
-        // v4 Gets carry a trailing want-lease byte (absent = 0).
-        std::uint8_t want_lease = 0;
-        if (version >= 4 && reader.Remaining() > 0) {
-          auto w = reader.U8();
-          if (w.ok()) want_lease = w.value();
-        }
-        const std::uint64_t sid = attached_session;
-        execute = [this, corr, version, sid, want_lease,
-                   name = std::move(name).value()] {
-          std::uint64_t v0 = 0;
-          bool granted = version >= 4 && want_lease != 0 && sid != 0 &&
-                         PreGrantLease(name, sid, &v0);
-          auto data = backend_.Get(name);
-          if (granted) granted = PostGrantLease(name, sid, v0, data.ok());
-          if (!data.ok()) return BeginResponse(data.status(), corr, version);
-          Writer r = BeginResponse(Status::Ok(), corr, version);
-          r.Var(data.value());
-          if (version >= 4) r.U8(granted ? 1 : 0);
-          return r;
-        };
-        break;
-      }
-      case Rpc::kPut: {
-        auto name = reader.Str();
-        if (!name.ok()) {
-          close_connection = true;
-          break;
-        }
-        auto data = reader.Var(kMaxObjectBytes);
-        if (!data.ok()) {
-          close_connection = true;
-          break;
-        }
-        const std::uint64_t sid = attached_session;
-        execute = [this, corr, version, sid, name = std::move(name).value(),
-                   data = std::move(data).value()] {
-          BeginMutation(name);
-          const Status verdict = backend_.Put(name, data);
-          FinishMutation(name, sid);
-          return BeginResponse(verdict, corr, version);
-        };
-        break;
-      }
-      case Rpc::kDelete: {
-        auto name = reader.Str();
-        if (!name.ok()) {
-          close_connection = true;
-          break;
-        }
-        const std::uint64_t sid = attached_session;
-        execute = [this, corr, version, sid,
-                   name = std::move(name).value()] {
-          BeginMutation(name);
-          const Status verdict = backend_.Delete(name);
-          FinishMutation(name, sid);
-          return BeginResponse(verdict, corr, version);
-        };
-        break;
-      }
-      case Rpc::kExists: {
-        auto name = reader.Str();
-        if (!name.ok()) {
-          close_connection = true;
-          break;
-        }
-        execute = [this, corr, version, name = std::move(name).value()] {
-          Writer r = BeginResponse(Status::Ok(), corr, version);
-          r.U8(backend_.Exists(name) ? 1 : 0);
-          return r;
-        };
-        break;
-      }
-      case Rpc::kList: {
-        auto prefix = reader.Str();
-        if (!prefix.ok()) {
-          close_connection = true;
-          break;
-        }
-        execute = [this, corr, version, prefix = std::move(prefix).value()] {
-          const std::vector<std::string> names = backend_.List(prefix);
-          std::size_t payload = 0;
-          for (const auto& n : names) payload += n.size() + 4;
-          if (payload > kMaxObjectBytes) {
-            return BeginResponse(
-                Error(ErrorCode::kOutOfRange, "listing exceeds frame bound"),
-                corr, version);
-          }
-          Writer r = BeginResponse(Status::Ok(), corr, version);
-          r.U32(static_cast<std::uint32_t>(names.size()));
-          for (const auto& n : names) r.Str(n);
-          return r;
-        };
-        break;
-      }
-      case Rpc::kMultiGet: {
-        auto names = DecodeNameList(reader);
-        if (!names.ok()) {
-          close_connection = true;
-          break;
-        }
-        execute = [this, corr, version, names = std::move(names).value()] {
-          std::vector<Result<Bytes>> fetched = backend_.MultiGet(names);
-          // Budget the ENCODED payload at kMaxObjectBytes; from the first
-          // entry that would overflow, everything becomes deferred (one
-          // byte each, well inside the frame cap's slack) and the client
-          // re-fetches those names as single Gets.
-          std::vector<MultiGetEntry> entries;
-          entries.reserve(fetched.size());
-          std::size_t used = 4; // the entry-count u32
-          bool overflowed = false;
-          for (Result<Bytes>& result : fetched) {
-            MultiGetEntry entry; // defaults to kDeferred
-            if (!overflowed) {
-              const std::size_t cost =
-                  result.ok() ? 1 + 4 + result.value().size()
-                              : 1 + 1 + 4 + result.status().message().size();
-              if (used + cost > kMaxObjectBytes) {
-                overflowed = true;
-              } else if (result.ok()) {
-                used += cost;
-                entry.state = MultiGetEntry::State::kOk;
-                entry.data = std::move(result).value();
-              } else {
-                used += cost;
-                entry.state = MultiGetEntry::State::kError;
-                entry.error = result.status();
-              }
-            }
-            entries.push_back(std::move(entry));
-          }
-          Writer r = BeginResponse(Status::Ok(), corr, version);
-          EncodeMultiGetEntries(r, entries);
-          return r;
-        };
-        break;
-      }
-      case Rpc::kMultiExists: {
-        auto names = DecodeNameList(reader);
-        if (!names.ok()) {
-          close_connection = true;
-          break;
-        }
-        execute = [this, corr, version, names = std::move(names).value()] {
-          const std::vector<bool> flags = backend_.MultiExists(names);
-          Writer r = BeginResponse(Status::Ok(), corr, version);
-          for (const bool flag : flags) r.U8(flag ? 1 : 0);
-          return r;
-        };
-        break;
-      }
-      case Rpc::kStats: {
-        execute = [this, corr, version] {
-          Writer r = BeginResponse(Status::Ok(), corr, version);
-          EncodeServerStats(r, WireStats());
-          return r;
-        };
-        break;
-      }
-      case Rpc::kLeaseSubscribe: {
-        // This connection becomes the session's invalidation channel: the
-        // response below is the LAST ordinary reply on it; afterwards the
-        // reader switches to the ack loop.
-        trace::Span span(RpcName(rpc.value()), "net.server");
-        span.SetCorrelation(corr);
-        if (subscription != nullptr) {
-          close_connection = true; // double-subscribe: protocol error
-          break;
-        }
-        auto session = std::make_shared<LeaseSession>();
-        {
-          const std::lock_guard<std::mutex> lock(lease_mu_);
-          session->id = next_session_id_++;
-          sessions_[session->id] = session;
-        }
-        {
-          const std::lock_guard<std::mutex> lock(session->mu);
-          session->channel = &transport;
-        }
-        subscription = session;
-        response = BeginResponse(Status::Ok(), corr, version);
-        response.U64(session->id);
-        break;
-      }
-      case Rpc::kLeaseAttach: {
-        trace::Span span(RpcName(rpc.value()), "net.server");
-        span.SetCorrelation(corr);
-        auto sid = reader.U64();
-        if (!sid.ok()) {
-          close_connection = true;
-          break;
-        }
-        // Inline (not pooled): attachment must order before the Gets and
-        // Puts pipelined behind it on this connection.
-        if (FindSession(sid.value()) != nullptr) {
-          attached_session = sid.value();
-          response = BeginResponse(Status::Ok(), corr, version);
-        } else {
-          response = BeginResponse(
-              Error(ErrorCode::kNotFound, "unknown lease session"), corr,
-              version);
-        }
-        break;
-      }
-      case Rpc::kInvalidate: {
-        // Server-originated only; a client sending it is desynchronized.
-        close_connection = true;
-        break;
-      }
-      case Rpc::kStreamBegin: {
-        trace::Span span(RpcName(rpc.value()), "net.server");
-        span.SetCorrelation(corr);
-        auto name = reader.Str();
-        if (!name.ok()) {
-          close_connection = true;
-          break;
-        }
-        auto stream = backend_.OpenPutStream(name.value());
-        if (stream.ok()) {
-          const std::uint64_t handle = next_stream_handle++;
-          streams[handle] =
-              OpenStream{std::move(stream).value(), std::move(name).value()};
-          response = BeginResponse(Status::Ok(), corr, version);
-          response.U64(handle);
-          const std::lock_guard<std::mutex> lock(mu_);
-          ++stats_.open_streams;
-        } else {
-          response = BeginResponse(stream.status(), corr, version);
-        }
-        break;
-      }
-      case Rpc::kStreamAppend: {
-        trace::Span span(RpcName(rpc.value()), "net.server");
-        span.SetCorrelation(corr);
-        auto handle = reader.U64();
-        if (!handle.ok()) {
-          close_connection = true;
-          break;
-        }
-        auto segment = reader.Var(kMaxObjectBytes);
-        if (!segment.ok()) {
-          close_connection = true;
-          break;
-        }
-        const auto it = streams.find(handle.value());
-        if (it == streams.end()) {
-          response = BeginResponse(
-              Error(ErrorCode::kInvalidArgument, "unknown stream handle"),
-              corr, version);
-        } else {
-          response = BeginResponse(it->second.stream->Append(segment.value()),
-                                   corr, version);
-        }
-        break;
-      }
-      case Rpc::kStreamCommit: {
-        trace::Span span(RpcName(rpc.value()), "net.server");
-        span.SetCorrelation(corr);
-        auto handle = reader.U64();
-        if (!handle.ok()) {
-          close_connection = true;
-          break;
-        }
-        const auto it = streams.find(handle.value());
-        if (it == streams.end()) {
-          response = BeginResponse(
-              Error(ErrorCode::kInvalidArgument, "unknown stream handle"),
-              corr, version);
-        } else {
-          // Commit publishes a new object atomically: same lease-break
-          // protocol as Put, bracketing the backend call.
-          const std::string name = it->second.name;
-          BeginMutation(name);
-          const Status verdict = it->second.stream->Commit();
-          FinishMutation(name, attached_session);
-          response = BeginResponse(verdict, corr, version);
-          streams.erase(it);
-          const std::lock_guard<std::mutex> lock(mu_);
-          --stats_.open_streams;
-        }
-        break;
-      }
-      case Rpc::kStreamAbort: {
-        trace::Span span(RpcName(rpc.value()), "net.server");
-        span.SetCorrelation(corr);
-        auto handle = reader.U64();
-        if (!handle.ok()) {
-          close_connection = true;
-          break;
-        }
-        const auto it = streams.find(handle.value());
-        if (it == streams.end()) {
-          response = BeginResponse(
-              Error(ErrorCode::kInvalidArgument, "unknown stream handle"),
-              corr, version);
-        } else {
-          it->second.stream->Abort();
-          streams.erase(it);
-          response = BeginResponse(Status::Ok(), corr, version);
-          const std::lock_guard<std::mutex> lock(mu_);
-          --stats_.open_streams;
-        }
-        break;
-      }
-    }
-
-    if (close_connection) {
+    if (d.kind == Dispatch::Kind::kProtocolError) {
       const std::lock_guard<std::mutex> lock(mu_);
       ++stats_.protocol_errors;
       break;
     }
 
-    if (execute) {
+    if (d.kind == Dispatch::Kind::kStateless) {
       // Backpressure: cap this connection's outstanding handlers so one
       // client cannot queue unbounded work (and memory) behind a slow
       // backend.
@@ -798,33 +1057,18 @@ void NexusdServer::ServeConnection(int fd) {
         });
         ++ctx->inflight;
       }
-      handlers.Submit([this, ctx, &transport, op, frame_bytes, corr,
-                       service_start_ns, name = RpcName(rpc.value()),
-                       execute = std::move(execute)](parallel::WorkerContext&) {
-        // One span per served request, tagged with the client's
-        // correlation id so client and server spans can be matched up.
-        trace::Span span(name, "net.server");
-        span.SetCorrelation(corr);
-        const Writer response = execute();
-        // Count BEFORE sending: a client that has the response in hand
-        // (and asks for Stats) must find it already reflected.
-        {
-          const std::lock_guard<std::mutex> lock(mu_);
-          ++stats_.rpcs_served;
-          stats_.bytes_received += frame_bytes + 4;
-          stats_.bytes_sent += response.bytes().size() + 4;
-          ++per_op_[op].count;
-          per_op_[op].bytes_in += frame_bytes;
-          per_op_[op].bytes_out += response.bytes().size();
-        }
+      handlers.Submit([this, ctx, &transport, frame_bytes, service_start_ns,
+                       d = std::move(d)](parallel::WorkerContext&) {
+        WireReply reply = RunHandler(d);
+        CountOp(d.op, frame_bytes, reply.payload_bytes);
         {
           const std::lock_guard<std::mutex> lock(ctx->send_mu);
           if (!ctx->send_failed &&
-              !transport.SendFrame(response.bytes()).ok()) {
+              !transport.SendFrameParts(reply.Spans()).ok()) {
             ctx->send_failed = true;
           }
         }
-        op_latency_ns_[op].Record(MonotonicNanos() - service_start_ns);
+        op_latency_ns_[d.op].Record(MonotonicNanos() - service_start_ns);
         {
           const std::lock_guard<std::mutex> lock(ctx->mu);
           --ctx->inflight;
@@ -836,33 +1080,30 @@ void NexusdServer::ServeConnection(int fd) {
       continue;
     }
 
-    // Inline (stream) path: same count-before-send ordering as always.
-    {
-      const std::lock_guard<std::mutex> lock(mu_);
-      ++stats_.rpcs_served;
-      stats_.bytes_received += frame_bytes + 4;
-      stats_.bytes_sent += response.bytes().size() + 4;
-      ++per_op_[op].count;
-      per_op_[op].bytes_in += frame_bytes;
-      per_op_[op].bytes_out += response.bytes().size();
-    }
+    // Inline path: ordered (stream) ops execute right here on the reader
+    // — they are connection state the in-order byte stream defines — and
+    // immediate ops already carry their reply from decode.
+    WireReply reply = d.kind == Dispatch::Kind::kOrdered
+                          ? RunHandler(d)
+                          : std::move(d.response);
+    CountOp(d.op, frame_bytes, reply.payload_bytes);
     bool sent;
     {
       const std::lock_guard<std::mutex> lock(ctx->send_mu);
-      sent = !ctx->send_failed && transport.SendFrame(response.bytes()).ok();
+      sent = !ctx->send_failed && transport.SendFrameParts(reply.Spans()).ok();
       if (!sent) ctx->send_failed = true;
     }
-    op_latency_ns_[op].Record(MonotonicNanos() - service_start_ns);
+    op_latency_ns_[d.op].Record(MonotonicNanos() - service_start_ns);
     if (!sent) break;
 
-    if (subscription != nullptr) {
+    if (d.subscribed) {
       // The subscribe reply is out; from here the connection carries only
       // server pushes and client acks. Subscriptions live as long as the
       // client, so the ack loop moves to a dedicated thread: pool workers
       // (options_.workers) stay available for data connections instead of
       // being pinned by every subscriber.
       std::thread ack([this, fd, channel = std::move(owned),
-                       session = std::move(subscription)] {
+                       session = state.subscription] {
         AckLoop(*channel, session);
         CleanupSession(session);
         const std::lock_guard<std::mutex> lock(mu_);
@@ -871,11 +1112,16 @@ void NexusdServer::ServeConnection(int fd) {
         // `channel` closes the fd on thread exit.
       });
       handlers.WaitAll();
+      std::size_t aborted;
+      {
+        const std::lock_guard<std::mutex> lock(state.stream_mu);
+        aborted = state.streams.size();
+      }
       {
         const std::lock_guard<std::mutex> lock(mu_);
         lease_threads_.push_back(std::move(ack));
-        stats_.streams_aborted_on_disconnect += streams.size();
-        stats_.open_streams -= streams.size();
+        stats_.streams_aborted_on_disconnect += aborted;
+        stats_.open_streams -= aborted;
       }
       return; // fd teardown now belongs to the ack thread
     }
@@ -887,16 +1133,666 @@ void NexusdServer::ServeConnection(int fd) {
 
   // Reachable with a live session only when the subscribe reply itself
   // failed to send (the success path detaches above).
-  if (subscription != nullptr) CleanupSession(subscription);
+  if (state.subscription != nullptr) CleanupSession(state.subscription);
 
+  std::size_t aborted;
+  {
+    const std::lock_guard<std::mutex> lock(state.stream_mu);
+    aborted = state.streams.size();
+  }
   {
     const std::lock_guard<std::mutex> lock(mu_);
-    stats_.streams_aborted_on_disconnect += streams.size();
-    stats_.open_streams -= streams.size();
+    stats_.streams_aborted_on_disconnect += aborted;
+    stats_.open_streams -= aborted;
     live_fds_.erase(std::remove(live_fds_.begin(), live_fds_.end(), fd),
                     live_fds_.end());
   }
-  // `transport` closes the fd; `streams` aborts anything uncommitted.
+  // `transport` closes the fd; `state.streams` aborts anything uncommitted.
+}
+
+// ---- the reactor ------------------------------------------------------------
+
+void NexusdServer::ReactorAccept() {
+  for (;;) {
+    int listen_fd;
+    {
+      const std::lock_guard<std::mutex> lock(mu_);
+      listen_fd = listen_fd_;
+    }
+    if (listen_fd < 0) return;
+    const int fd = ::accept(listen_fd, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      return; // EAGAIN: the backlog is drained (or the listener is dying)
+    }
+    if (!SetNonBlocking(fd).ok()) {
+      ::close(fd);
+      continue;
+    }
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+
+    auto conn = std::make_shared<RConn>();
+    conn->fd = fd;
+    {
+      const std::lock_guard<std::mutex> lock(mu_);
+      if (stopping_) return; // conn's destructor closes the fd
+      ++stats_.connections_accepted;
+      live_fds_.push_back(fd);
+      ++reactor_conns_;
+    }
+    rconns_[fd] = conn;
+    const Status added = reactor_->Add(
+        fd, Reactor::kRead,
+        [this, conn](std::uint32_t ready) { ReactorOnEvent(conn, ready); });
+    if (!added.ok()) {
+      rconns_.erase(fd);
+      {
+        const std::lock_guard<std::mutex> lock(mu_);
+        live_fds_.erase(std::remove(live_fds_.begin(), live_fds_.end(), fd),
+                        live_fds_.end());
+        --reactor_conns_;
+      }
+      drain_cv_.notify_all();
+      // conn's destructor closes the fd
+    }
+  }
+}
+
+void NexusdServer::ReactorOnEvent(const std::shared_ptr<RConn>& conn,
+                                  std::uint32_t ready) {
+  if (conn->finalized) return;
+  if (ready & Reactor::kError) {
+    ReactorTeardown(conn, /*drain=*/false);
+  } else {
+    if (ready & Reactor::kWrite) {
+      const std::lock_guard<std::mutex> lock(conn->send_mu);
+      FlushSendQueue(*conn);
+    }
+    if (ready & Reactor::kRead) ReactorOnReadable(conn);
+  }
+  ReactorMaintain(conn);
+}
+
+void NexusdServer::ReactorOnReadable(const std::shared_ptr<RConn>& conn) {
+  RConn& c = *conn;
+  // Bounded reads per invocation: a firehose connection cannot starve the
+  // rest of the loop. Level-triggered readiness re-reports leftovers.
+  for (int budget = 8; budget > 0;) {
+    {
+      const std::lock_guard<std::mutex> lock(c.mu);
+      if (c.dead || c.draining || c.migrating || c.paused) return;
+    }
+
+    if (c.big_need > 0) {
+      // Oversize frame: its payload streams straight into the dedicated
+      // heap buffer, bypassing the arena.
+      const std::size_t want = c.big_need - c.big_filled;
+      const ssize_t n = ::read(c.fd, c.big.data() + c.big_filled, want);
+      --budget;
+      if (n == 0) {
+        ReactorTeardown(conn, /*drain=*/true);
+        return;
+      }
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+        ReactorTeardown(conn, /*drain=*/false);
+        return;
+      }
+      c.big_filled += static_cast<std::size_t>(n);
+      if (c.big_filled < c.big_need) continue;
+      Bytes frame = std::move(c.big);
+      c.big = Bytes{};
+      c.big_filled = 0;
+      c.big_need = 0;
+      if (!ReactorHandleFrame(conn, ByteSpan(frame.data(), frame.size()))) {
+        return;
+      }
+      continue;
+    }
+
+    // Parse what is already buffered FIRST: resuming after backpressure
+    // must re-process leftovers before asking the socket for more.
+    ReactorParseBuffered(conn);
+    {
+      const std::lock_guard<std::mutex> lock(c.mu);
+      if (c.dead || c.draining || c.migrating || c.paused) return;
+    }
+    if (c.big_need > 0) continue; // the parser switched to big mode
+
+    if (c.in == nullptr) {
+      c.in = arena_.Acquire();
+      c.in_begin = 0;
+    }
+    if (c.in_begin > 0 && c.in->size == c.in->capacity()) {
+      // Slide the partial frame to the slab front to regain room.
+      std::memmove(c.in->data(), c.in->data() + c.in_begin,
+                   c.in->size - c.in_begin);
+      c.in->size -= c.in_begin;
+      c.in_begin = 0;
+    }
+    if (c.in->size == c.in->capacity()) {
+      // A full slab with no complete frame and no big-mode switch cannot
+      // happen (the parser flips to big mode whenever the pending frame
+      // exceeds the slab); treat it as corruption.
+      ReactorTeardown(conn, /*drain=*/false);
+      return;
+    }
+    const ssize_t n =
+        ::read(c.fd, c.in->data() + c.in->size, c.in->capacity() - c.in->size);
+    --budget;
+    if (n == 0) {
+      ReactorTeardown(conn, /*drain=*/true);
+      return;
+    }
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        // Hand an empty slab back to the arena between events.
+        if (c.in != nullptr && c.in->size == c.in_begin) {
+          c.in.reset();
+          c.in_begin = 0;
+        }
+        return;
+      }
+      ReactorTeardown(conn, /*drain=*/false);
+      return;
+    }
+    c.in->size += static_cast<std::size_t>(n);
+    // Parse BEFORE the budget check can end the loop. Exiting with a
+    // complete frame buffered in the slab would strand it: the socket may
+    // now be empty, so level-triggered readiness never fires again and
+    // the frame sits unserved until the peer gives up (observed as a
+    // rare multi-second stall on lock-step connections whose next
+    // request lands exactly on the final budgeted read).
+    ReactorParseBuffered(conn);
+  }
+}
+
+void NexusdServer::ReactorParseBuffered(const std::shared_ptr<RConn>& conn) {
+  RConn& c = *conn;
+  while (c.in != nullptr) {
+    {
+      const std::lock_guard<std::mutex> lock(c.mu);
+      if (c.dead || c.draining || c.migrating || c.paused) return;
+    }
+    const std::size_t avail = c.in->size - c.in_begin;
+    if (avail < kFramePrefixBytes) break;
+    const std::uint32_t len = DecodeFrameLength(c.in->data() + c.in_begin);
+    if (len > kMaxFrameBytes) {
+      // Same bound (and same silence) as TcpTransport::RecvFrame: the
+      // byte stream is garbage — kill it without a protocol_errors tick.
+      ReactorTeardown(conn, /*drain=*/false);
+      return;
+    }
+    const std::size_t total = kFramePrefixBytes + len;
+    if (total > c.in->capacity()) {
+      // Oversize frame: move the payload bytes gathered so far to a heap
+      // buffer and stream the rest into it. Everything buffered belongs
+      // to this frame (total > capacity >= buffered).
+      arena_.NoteOversize();
+      c.big.resize(len);
+      const std::size_t have = avail - kFramePrefixBytes;
+      std::memcpy(c.big.data(), c.in->data() + c.in_begin + kFramePrefixBytes,
+                  have);
+      c.big_filled = have;
+      c.big_need = len;
+      c.in.reset();
+      c.in_begin = 0;
+      return;
+    }
+    if (avail < total) break; // partial frame: wait for more bytes
+    const ByteSpan frame(c.in->data() + c.in_begin + kFramePrefixBytes, len);
+    c.in_begin += total;
+    if (!ReactorHandleFrame(conn, frame)) return;
+  }
+  if (c.in != nullptr && c.in_begin == c.in->size) {
+    c.in.reset(); // fully parsed: recycle the slab now
+    c.in_begin = 0;
+  }
+}
+
+bool NexusdServer::ReactorHandleFrame(const std::shared_ptr<RConn>& conn,
+                                      ByteSpan frame) {
+  RConn& c = *conn;
+  const std::uint64_t start_ns = MonotonicNanos();
+  const std::size_t frame_bytes = frame.size();
+  Dispatch d = DecodeFrame(frame, c.proto, /*subscribe_channel=*/nullptr);
+
+  if (d.kind == Dispatch::Kind::kProtocolError) {
+    {
+      const std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.protocol_errors;
+    }
+    // Soft teardown: in-flight handlers still get their replies out, as
+    // they do in thread-per-connection mode.
+    ReactorTeardown(conn, /*drain=*/true);
+    return false;
+  }
+
+  if (d.kind == Dispatch::Kind::kImmediate) {
+    CountOp(d.op, frame_bytes, d.response.payload_bytes);
+    SendReply(conn, std::move(d.response));
+    op_latency_ns_[d.op].Record(MonotonicNanos() - start_ns);
+    if (d.subscribed) {
+      const std::lock_guard<std::mutex> lock(c.mu);
+      c.migrating = true; // no more reads; migrate once idle and flushed
+      return false;
+    }
+    return true;
+  }
+
+  ReactorDispatch(conn, std::move(d), frame_bytes, start_ns);
+  const std::lock_guard<std::mutex> lock(c.mu);
+  return !c.paused;
+}
+
+void NexusdServer::ReactorDispatch(const std::shared_ptr<RConn>& conn,
+                                   Dispatch d, std::size_t frame_bytes,
+                                   std::uint64_t start_ns) {
+  RConn& c = *conn;
+  if (d.kind == Dispatch::Kind::kOrdered) {
+    bool start_runner = false;
+    {
+      const std::lock_guard<std::mutex> lock(c.mu);
+      ++c.inflight;
+      if (c.inflight >= options_.max_inflight_per_connection) c.paused = true;
+      c.ordered.push_back(RConn::Ordered{std::move(d), frame_bytes, start_ns});
+      if (!c.ordered_running) {
+        c.ordered_running = true;
+        start_runner = true;
+      }
+    }
+    if (start_runner) {
+      {
+        const std::lock_guard<std::mutex> lock(mu_);
+        ++reactor_tasks_;
+      }
+      if (rpc_pool_ != nullptr) {
+        rpc_pool_->Post([this, conn](parallel::WorkerContext&) {
+          ReactorRunOrdered(conn);
+          OnTaskExit();
+        });
+      } else {
+        ReactorRunOrdered(conn);
+        OnTaskExit();
+      }
+    }
+    return;
+  }
+
+  {
+    const std::lock_guard<std::mutex> lock(c.mu);
+    ++c.inflight;
+    // Backpressure decision rides the SAME critical section as the
+    // increment: a handler finishing in between still observes `paused`
+    // and schedules the resume.
+    if (c.inflight >= options_.max_inflight_per_connection) c.paused = true;
+  }
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    ++reactor_tasks_;
+  }
+  auto task = [this, conn, d = std::move(d), frame_bytes, start_ns] {
+    ReactorExecute(conn, d, frame_bytes, start_ns);
+    OnHandlerDone(conn);
+    OnTaskExit();
+  };
+  if (rpc_pool_ != nullptr) {
+    rpc_pool_->Post([task = std::move(task)](parallel::WorkerContext&) {
+      task();
+    });
+  } else {
+    // rpc_workers=0: handlers run inline on the loop thread — strictly
+    // in-order replies, the pre-v3 behavior.
+    task();
+  }
+}
+
+void NexusdServer::ReactorRunOrdered(const std::shared_ptr<RConn>& conn) {
+  RConn& c = *conn;
+  for (;;) {
+    RConn::Ordered item;
+    {
+      const std::lock_guard<std::mutex> lock(c.mu);
+      if (c.ordered.empty()) {
+        c.ordered_running = false;
+        return;
+      }
+      item = std::move(c.ordered.front());
+      c.ordered.pop_front();
+    }
+    ReactorExecute(conn, item.d, item.frame_bytes, item.start_ns);
+    OnHandlerDone(conn);
+  }
+}
+
+void NexusdServer::ReactorExecute(const std::shared_ptr<RConn>& conn,
+                                  const Dispatch& d, std::size_t frame_bytes,
+                                  std::uint64_t start_ns) {
+  WireReply reply = RunHandler(d);
+  CountOp(d.op, frame_bytes, reply.payload_bytes);
+  SendReply(conn, std::move(reply));
+  op_latency_ns_[d.op].Record(MonotonicNanos() - start_ns);
+}
+
+void NexusdServer::OnHandlerDone(const std::shared_ptr<RConn>& conn) {
+  RConn& c = *conn;
+  bool post = false;
+  {
+    const std::lock_guard<std::mutex> lock(c.mu);
+    --c.inflight;
+    const bool idle = c.inflight == 0 && c.ordered.empty();
+    const bool resumable = c.paused && !c.dead && !c.draining &&
+                           !c.migrating &&
+                           c.inflight < options_.max_inflight_per_connection;
+    const bool settled = idle && (c.dead || c.draining || c.migrating);
+    if ((resumable || settled) && !c.maintain_posted) {
+      c.maintain_posted = true;
+      post = true;
+    }
+  }
+  if (post) PostMaintain(conn);
+}
+
+void NexusdServer::OnTaskExit() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  --reactor_tasks_;
+  if (reactor_tasks_ == 0) drain_cv_.notify_all();
+}
+
+void NexusdServer::PostMaintain(const std::shared_ptr<RConn>& conn) {
+  reactor_->Post([this, conn] { ReactorMaintain(conn); });
+}
+
+bool NexusdServer::SendReply(const std::shared_ptr<RConn>& conn,
+                             WireReply reply) {
+  RConn& c = *conn;
+  const std::size_t frame_total = kFramePrefixBytes + reply.payload_bytes;
+  bool want_maintain = false;
+  {
+    const std::lock_guard<std::mutex> lock(c.send_mu);
+    if (c.send_failed) return false;
+    if (frame_total <= arena_.slab_bytes()) {
+      // Small frame: coalesce into the tail slab so bursts of replies
+      // leave in one sendmsg.
+      BufferArena::Slab* tail = nullptr;
+      if (!c.outq.empty() && c.outq.back().slab != nullptr &&
+          c.outq.back().slab->size + frame_total <=
+              c.outq.back().slab->capacity()) {
+        tail = c.outq.back().slab.get();
+      } else {
+        RConn::OutBuf buf;
+        buf.slab = arena_.Acquire();
+        c.outq.push_back(std::move(buf));
+        tail = c.outq.back().slab.get();
+      }
+      EncodeFrameLength(static_cast<std::uint32_t>(reply.payload_bytes),
+                        tail->data() + tail->size);
+      tail->size += kFramePrefixBytes;
+      for (const Bytes& part : reply.parts) {
+        std::memcpy(tail->data() + tail->size, part.data(), part.size());
+        tail->size += part.size();
+      }
+      c.outq.back().size = tail->size;
+    } else {
+      // Large frame: the prefix and every segment ride as-is; sendmsg
+      // gathers them with no coalescing copy.
+      RConn::OutBuf buf;
+      Bytes prefix(kFramePrefixBytes);
+      EncodeFrameLength(static_cast<std::uint32_t>(reply.payload_bytes),
+                        prefix.data());
+      buf.parts.reserve(reply.parts.size() + 1);
+      buf.parts.push_back(std::move(prefix));
+      for (Bytes& part : reply.parts) {
+        if (!part.empty()) buf.parts.push_back(std::move(part));
+      }
+      buf.size = frame_total;
+      c.outq.push_back(std::move(buf));
+    }
+    // Opportunistic flush: most replies leave right here, on the handler
+    // thread, with no loop round trip.
+    FlushSendQueue(c);
+    want_maintain = (!c.outq.empty() || c.send_failed) && !c.arm_posted;
+    if (want_maintain) c.arm_posted = true;
+  }
+  if (want_maintain) PostMaintain(conn);
+  return true;
+}
+
+bool NexusdServer::FlushSendQueue(RConn& c) {
+  while (!c.outq.empty()) {
+    if (c.send_failed) {
+      c.outq.clear();
+      return true;
+    }
+    // Gather up to 64 segments across the queued buffers.
+    iovec iov[64];
+    int iovcnt = 0;
+    for (auto it = c.outq.begin(); it != c.outq.end() && iovcnt < 64; ++it) {
+      std::size_t skip = it->off;
+      if (it->slab != nullptr) {
+        iov[iovcnt].iov_base = it->slab->data() + skip;
+        iov[iovcnt].iov_len = it->slab->size - skip;
+        ++iovcnt;
+      } else {
+        for (const Bytes& part : it->parts) {
+          if (iovcnt >= 64) break;
+          if (skip >= part.size()) {
+            skip -= part.size();
+            continue;
+          }
+          iov[iovcnt].iov_base =
+              const_cast<std::uint8_t*>(part.data()) + skip;
+          iov[iovcnt].iov_len = part.size() - skip;
+          skip = 0;
+          ++iovcnt;
+        }
+      }
+    }
+    msghdr msg{};
+    msg.msg_iov = iov;
+    msg.msg_iovlen = static_cast<std::size_t>(iovcnt);
+    const ssize_t n = ::sendmsg(c.fd, &msg, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return false;
+      c.send_failed = true; // peer is gone; the maintain pass tears down
+      c.outq.clear();
+      return true;
+    }
+    std::size_t advanced = static_cast<std::size_t>(n);
+    while (advanced > 0 && !c.outq.empty()) {
+      RConn::OutBuf& front = c.outq.front();
+      const std::size_t remaining = front.size - front.off;
+      if (advanced >= remaining) {
+        advanced -= remaining;
+        c.outq.pop_front(); // releases the slab back to the arena
+      } else {
+        front.off += advanced;
+        advanced = 0;
+      }
+    }
+  }
+  return true;
+}
+
+void NexusdServer::ReactorMaintain(const std::shared_ptr<RConn>& conn) {
+  RConn& c = *conn;
+  // Two passes: the first may resume a paused connection (which parses
+  // and reads), the second settles interest afterwards. A connection that
+  // pauses again schedules its own next maintain via OnHandlerDone.
+  for (int pass = 0; pass < 2; ++pass) {
+    if (c.finalized) return;
+
+    bool failed, flushed, pending;
+    {
+      const std::lock_guard<std::mutex> lock(c.send_mu);
+      c.arm_posted = false;
+      if (!c.send_failed) FlushSendQueue(c);
+      failed = c.send_failed;
+      pending = !c.outq.empty();
+      flushed = !failed && !pending;
+    }
+    if (failed) ReactorTeardown(conn, /*drain=*/false);
+
+    bool finish = false, migrate = false, resume = false, reads_off;
+    {
+      const std::lock_guard<std::mutex> lock(c.mu);
+      c.maintain_posted = false;
+      if (c.paused && !c.dead && !c.draining && !c.migrating &&
+          c.inflight < options_.max_inflight_per_connection) {
+        c.paused = false;
+        resume = true;
+      }
+      reads_off = c.paused || c.dead || c.draining || c.migrating;
+      const bool idle = c.inflight == 0 && c.ordered.empty();
+      if (idle) {
+        if (c.dead) {
+          finish = true;
+        } else if (c.draining && flushed) {
+          finish = true;
+        } else if (c.migrating && flushed) {
+          migrate = true;
+        }
+      }
+    }
+    if (finish) {
+      ReactorFinalize(conn);
+      return;
+    }
+    if (migrate) {
+      ReactorMigrate(conn);
+      return;
+    }
+
+    std::uint32_t interest = 0;
+    if (!reads_off) interest |= Reactor::kRead;
+    if (pending) interest |= Reactor::kWrite;
+    if (interest != c.interest) {
+      c.interest = interest;
+      if (!reactor_->Modify(c.fd, interest).ok()) {
+        // Registry refused the update: the connection can never be woken
+        // for the interest it needs, so it cannot make progress.
+        ReactorTeardown(conn, /*drain=*/false);
+        continue; // let the finalize check run with the new dead flag
+      }
+    }
+
+    if (!resume) return;
+    ReactorOnReadable(conn); // re-parse leftovers, then pull fresh bytes
+  }
+}
+
+void NexusdServer::ReactorTeardown(const std::shared_ptr<RConn>& conn,
+                                   bool drain) {
+  RConn& c = *conn;
+  if (c.finalized) return;
+  {
+    const std::lock_guard<std::mutex> lock(c.mu);
+    if (drain) {
+      c.draining = true; // stop reading; queued replies still go out
+    } else {
+      c.dead = true;
+    }
+  }
+  if (!drain) {
+    {
+      const std::lock_guard<std::mutex> lock(c.send_mu);
+      c.send_failed = true;
+      c.outq.clear();
+    }
+    ::shutdown(c.fd, SHUT_RDWR);
+  }
+  // Input buffers are dead weight from here.
+  c.in.reset();
+  c.in_begin = 0;
+  c.big = Bytes{};
+  c.big_filled = 0;
+  c.big_need = 0;
+}
+
+void NexusdServer::ReactorFinalize(const std::shared_ptr<RConn>& conn) {
+  RConn& c = *conn;
+  if (c.finalized) return;
+  c.finalized = true;
+  reactor_->Remove(c.fd);
+  rconns_.erase(c.fd);
+  ::shutdown(c.fd, SHUT_RDWR);
+  std::map<std::uint64_t, ConnState::OpenStream> streams;
+  {
+    const std::lock_guard<std::mutex> lock(c.proto.stream_mu);
+    streams.swap(c.proto.streams);
+  }
+  const std::size_t aborted = streams.size();
+  streams.clear(); // destructors abort anything uncommitted
+  if (c.proto.subscription != nullptr) {
+    // Reachable only when the subscribe reply never made it out (the
+    // success path migrates instead of finalizing).
+    CleanupSession(c.proto.subscription);
+    c.proto.subscription.reset();
+  }
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    stats_.streams_aborted_on_disconnect += aborted;
+    stats_.open_streams -= aborted;
+    live_fds_.erase(std::remove(live_fds_.begin(), live_fds_.end(), c.fd),
+                    live_fds_.end());
+    --reactor_conns_;
+  }
+  drain_cv_.notify_all();
+  // The fd closes when the last shared_ptr reference drops (RConn dtor).
+}
+
+void NexusdServer::ReactorMigrate(const std::shared_ptr<RConn>& conn) {
+  RConn& c = *conn;
+  if (c.finalized) return;
+  c.finalized = true;
+  reactor_->Remove(c.fd);
+  rconns_.erase(c.fd);
+  c.in.reset();
+  c.in_begin = 0;
+
+  // The invalidation channel lives on a dedicated ack thread with the
+  // blocking framed transport — exactly the thread-per-connection shape,
+  // so FinishMutation's push/ack protocol is one code path for both
+  // modes. Restore blocking I/O before the handoff.
+  const int flags = ::fcntl(c.fd, F_GETFL, 0);
+  if (flags >= 0) ::fcntl(c.fd, F_SETFL, flags & ~O_NONBLOCK);
+  c.migrated = true; // the transport owns the fd now
+  auto channel = std::make_unique<TcpTransport>(c.fd, /*io_deadline_ms=*/-1);
+  std::shared_ptr<LeaseSession> session = std::move(c.proto.subscription);
+  {
+    const std::lock_guard<std::mutex> lock(session->mu);
+    if (!session->dead) session->channel = channel.get();
+  }
+
+  std::map<std::uint64_t, ConnState::OpenStream> streams;
+  {
+    const std::lock_guard<std::mutex> lock(c.proto.stream_mu);
+    streams.swap(c.proto.streams);
+  }
+  const std::size_t aborted = streams.size();
+  streams.clear();
+
+  const int fd = c.fd; // stays in live_fds_ so Stop() unblocks the channel
+  std::thread ack([this, fd, channel = std::move(channel), session] {
+    AckLoop(*channel, session);
+    CleanupSession(session);
+    const std::lock_guard<std::mutex> lock(mu_);
+    live_fds_.erase(std::remove(live_fds_.begin(), live_fds_.end(), fd),
+                    live_fds_.end());
+    // `channel` closes the fd on thread exit.
+  });
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    lease_threads_.push_back(std::move(ack));
+    stats_.streams_aborted_on_disconnect += aborted;
+    stats_.open_streams -= aborted;
+    --reactor_conns_;
+  }
+  drain_cv_.notify_all();
 }
 
 } // namespace nexus::net

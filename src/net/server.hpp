@@ -1,21 +1,36 @@
 // nexusd server library: serves any StorageBackend over the wire protocol.
 //
-// One listener thread accepts TCP connections and hands each one to the
-// parallel::ThreadPool as a long-lived task; a worker owns the
-// connection's READER for its lifetime. The pool's worker count therefore
-// bounds the number of SIMULTANEOUSLY SERVED connections — further
-// accepted connections queue until a worker frees up.
+// Two serve modes share one protocol engine (DecodeFrame in server.cpp):
 //
-// Within one connection, requests are pipelined: the reader thread parses
-// each frame in arrival order (framing errors must kill the connection
-// deterministically) and dispatches the stateless RPCs onto a SEPARATE
+//  * kReactor (default) — event-driven. A single loop thread owns an
+//    epoll/poll Reactor over the nonblocking listener and every DATA
+//    connection. Request bytes land in pooled BufferArena slabs and frames
+//    are parsed in place; handlers run on the shared rpc pool and stage
+//    their responses into a per-connection scatter/gather send queue
+//    (small replies coalesce into arena slabs, large MultiGet bodies stay
+//    zero-copy), flushed with sendmsg and drained by EPOLLOUT when a
+//    socket pushes back. Idle connections cost one registration, not a
+//    thread, so the daemon holds thousands of clients at a flat resident
+//    thread count (see BENCH_c10k.json).
+//
+//  * kThreadPerConnection — the original worker-per-connection layout: one
+//    listener thread accepts and hands each connection to the
+//    parallel::ThreadPool as a long-lived task whose worker owns the
+//    connection's READER for its lifetime. The pool's worker count bounds
+//    the number of SIMULTANEOUSLY SERVED connections. Kept as the
+//    benchmark baseline and as a fallback where the reactor cannot start.
+//
+// Within one connection, requests are pipelined: frames are parsed in
+// arrival order (framing errors must kill the connection
+// deterministically) and the stateless RPCs dispatch onto the SEPARATE
 // rpc pool, where each finished handler sends its own response — so
 // responses can leave out of order, matched back by correlation id on the
-// client's demux. The stream RPCs (Begin/Append/Commit/Abort) stay on the
-// reader thread: their handle table is connection state that the in-order
-// byte stream defines. A second pool (rather than the connection pool)
-// carries the handlers so a burst of connections can never deadlock
-// waiting for its own workers.
+// client's demux. The stream RPCs (Begin/Append/Commit/Abort) are
+// connection state that the in-order byte stream defines: the legacy mode
+// runs them inline on the reader thread, the reactor funnels them through
+// a per-connection ordered queue (one in flight at a time, FIFO). The rpc
+// pool is distinct from the connection pool so a burst of connections can
+// never deadlock waiting for its own workers.
 //
 // Wire v4 adds lease-based cache coherence. A client turns one connection
 // into its invalidation channel with kLeaseSubscribe (the response names a
@@ -49,6 +64,7 @@
 #include <vector>
 
 #include "common/result.hpp"
+#include "net/buffer_arena.hpp"
 #include "net/wire.hpp"
 #include "parallel/thread_pool.hpp"
 #include "storage/backend.hpp"
@@ -57,14 +73,25 @@
 namespace nexus::net {
 
 class TcpTransport;
+class Reactor;
+
+/// How nexusd maps connections onto threads (header comment above).
+enum class ServeMode {
+  kReactor,
+  kThreadPerConnection,
+};
 
 struct NexusdOptions {
   std::string bind_address = "127.0.0.1";
   /// 0 picks an ephemeral port; read the actual one from port().
   std::uint16_t port = 0;
-  /// Thread-pool workers == max concurrently served DATA connections.
-  /// Lease subscription channels (kLeaseSubscribe) migrate to their own
-  /// dedicated threads and do not count against this bound.
+  /// Event-driven by default; kThreadPerConnection restores the legacy
+  /// worker-per-connection layout (and is the C10k bench baseline).
+  ServeMode serve_mode = ServeMode::kReactor;
+  /// kThreadPerConnection only: pool workers == max concurrently served
+  /// DATA connections (the reactor has no such bound). Lease subscription
+  /// channels (kLeaseSubscribe) migrate to their own dedicated threads and
+  /// do not count against this bound.
   std::size_t workers = 4;
   /// Workers on the shared RPC-handler pool (all connections). 0 runs
   /// every handler inline on its connection's reader thread — strictly
@@ -148,10 +175,52 @@ class NexusdServer {
     bool dead = false;                    // under mu
   };
 
+  // Protocol-engine types shared by both serve modes; defined in
+  // server.cpp (they drag in transport/reactor internals).
+  struct ConnState; // per-connection protocol state (streams, session)
+  struct WireReply; // response payload as scatter/gather segments
+  struct Dispatch;  // one decoded request frame + its handler closure
+  struct RConn;     // reactor-mode connection
+
   NexusdServer(storage::StorageBackend& backend, NexusdOptions options);
 
   void AcceptLoop();
   void ServeConnection(int fd);
+
+  /// Decodes one request frame against `state` and classifies it for
+  /// dispatch. `subscribe_channel` is non-null in thread-per-connection
+  /// mode, where a kLeaseSubscribe can bind the session's push channel at
+  /// decode time (the reactor binds it at migration instead).
+  Dispatch DecodeFrame(ByteSpan frame, ConnState& state,
+                       TcpTransport* subscribe_channel);
+  /// Runs a dispatch's handler under its server span.
+  WireReply RunHandler(const Dispatch& d);
+  /// Counters a response must bump BEFORE it is sent (net_e2e contract).
+  void CountOp(std::size_t op, std::uint64_t bytes_in,
+               std::uint64_t bytes_out);
+
+  // Reactor mode (all loop-thread-only unless noted).
+  void ReactorAccept();
+  void ReactorOnEvent(const std::shared_ptr<RConn>& conn, std::uint32_t ready);
+  void ReactorOnReadable(const std::shared_ptr<RConn>& conn);
+  void ReactorParseBuffered(const std::shared_ptr<RConn>& conn);
+  bool ReactorHandleFrame(const std::shared_ptr<RConn>& conn, ByteSpan frame);
+  void ReactorDispatch(const std::shared_ptr<RConn>& conn, Dispatch d,
+                       std::size_t frame_bytes, std::uint64_t start_ns);
+  void ReactorRunOrdered(const std::shared_ptr<RConn>& conn); // any thread
+  void ReactorExecute(const std::shared_ptr<RConn>& conn, const Dispatch& d,
+                      std::size_t frame_bytes,
+                      std::uint64_t start_ns);               // any thread
+  void OnHandlerDone(const std::shared_ptr<RConn>& conn);    // any thread
+  void OnTaskExit(); // any thread: one rpc-pool task retired
+  bool SendReply(const std::shared_ptr<RConn>& conn,
+                 WireReply reply);  // any thread
+  bool FlushSendQueue(RConn& conn); // any thread; callers hold send_mu
+  void PostMaintain(const std::shared_ptr<RConn>& conn); // any thread
+  void ReactorMaintain(const std::shared_ptr<RConn>& conn);
+  void ReactorTeardown(const std::shared_ptr<RConn>& conn, bool drain);
+  void ReactorFinalize(const std::shared_ptr<RConn>& conn);
+  void ReactorMigrate(const std::shared_ptr<RConn>& conn);
 
   // Lease machinery (registry under lease_mu_; never hold lease_mu_
   // while touching a session's channel).
@@ -188,6 +257,15 @@ class NexusdServer {
   std::unique_ptr<parallel::ThreadPool> rpc_pool_; // null: inline handlers
   std::unique_ptr<parallel::TaskGroup> connections_;
   std::thread accept_thread_;
+
+  // Reactor mode.
+  std::unique_ptr<Reactor> reactor_;
+  std::thread loop_thread_;
+  BufferArena arena_;
+  std::map<int, std::shared_ptr<RConn>> rconns_; // loop thread only
+  std::size_t reactor_conns_ = 0; // under mu_: rconns_ not yet finalized
+  std::size_t reactor_tasks_ = 0; // under mu_: handler tasks in flight
+  std::condition_variable drain_cv_; // with mu_; Stop() waits for zero
   /// One thread per lease subscription channel (ack loops). Subscriptions
   /// live as long as their client, so they move OFF the connection pool —
   /// otherwise every subscriber would pin a `workers` slot forever and

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <arpa/inet.h>
+#include <sys/uio.h>
 #include <cerrno>
 #include <cstring>
 #include <fcntl.h>
@@ -19,20 +20,6 @@ namespace {
 
 Status Errno(const std::string& what) {
   return Error(ErrorCode::kIOError, what + ": " + std::strerror(errno));
-}
-
-void EncodeLen(std::uint32_t len, std::uint8_t out[4]) {
-  out[0] = static_cast<std::uint8_t>(len);
-  out[1] = static_cast<std::uint8_t>(len >> 8);
-  out[2] = static_cast<std::uint8_t>(len >> 16);
-  out[3] = static_cast<std::uint8_t>(len >> 24);
-}
-
-std::uint32_t DecodeLen(const std::uint8_t in[4]) {
-  return static_cast<std::uint32_t>(in[0]) |
-         static_cast<std::uint32_t>(in[1]) << 8 |
-         static_cast<std::uint32_t>(in[2]) << 16 |
-         static_cast<std::uint32_t>(in[3]) << 24;
 }
 
 } // namespace
@@ -153,7 +140,7 @@ Status TcpTransport::SendFrame(ByteSpan payload) {
     return Error(ErrorCode::kInvalidArgument, "frame too large");
   }
   std::uint8_t prefix[4];
-  EncodeLen(static_cast<std::uint32_t>(payload.size()), prefix);
+  EncodeFrameLength(static_cast<std::uint32_t>(payload.size()), prefix);
   NEXUS_RETURN_IF_ERROR(WriteAll(fd, prefix, sizeof(prefix)));
   return WriteAll(fd, payload.data(), payload.size());
 }
@@ -163,7 +150,7 @@ Result<Bytes> TcpTransport::RecvFrame() {
   if (fd < 0) return Error(ErrorCode::kIOError, "transport closed");
   std::uint8_t prefix[4];
   NEXUS_RETURN_IF_ERROR(ReadAll(fd, prefix, sizeof(prefix)));
-  const std::uint32_t len = DecodeLen(prefix);
+  const std::uint32_t len = DecodeFrameLength(prefix);
   if (len > kMaxFrameBytes) {
     // Bound BEFORE allocating: a lying length cannot OOM the client.
     return Error(ErrorCode::kIOError,
@@ -175,11 +162,68 @@ Result<Bytes> TcpTransport::RecvFrame() {
   return payload;
 }
 
+Status TcpTransport::SendFrameParts(const std::vector<ByteSpan>& parts) {
+  const int fd = fd_.load(std::memory_order_acquire);
+  if (fd < 0) return Error(ErrorCode::kIOError, "transport closed");
+  std::size_t total = 0;
+  for (const ByteSpan& part : parts) total += part.size();
+  if (total > kMaxFrameBytes) {
+    return Error(ErrorCode::kInvalidArgument, "frame too large");
+  }
+  std::uint8_t prefix[kFramePrefixBytes];
+  EncodeFrameLength(static_cast<std::uint32_t>(total), prefix);
+
+  std::vector<iovec> iov;
+  iov.reserve(parts.size() + 1);
+  iov.push_back(iovec{prefix, sizeof(prefix)});
+  for (const ByteSpan& part : parts) {
+    if (part.empty()) continue;
+    iov.push_back(iovec{const_cast<std::uint8_t*>(part.data()), part.size()});
+  }
+
+  // Loop over partial writes, advancing through the iovec array. IOV_MAX
+  // bounds one sendmsg; remaining segments go in the next call.
+  std::size_t idx = 0;
+  std::size_t off = 0; // bytes of iov[idx] already written
+  while (idx < iov.size()) {
+    msghdr msg{};
+    iovec batch[64];
+    std::size_t n_iov = 0;
+    for (std::size_t i = idx; i < iov.size() && n_iov < 64; ++i, ++n_iov) {
+      batch[n_iov] = iov[i];
+      if (i == idx) {
+        batch[n_iov].iov_base = static_cast<std::uint8_t*>(batch[n_iov].iov_base) + off;
+        batch[n_iov].iov_len -= off;
+      }
+    }
+    msg.msg_iov = batch;
+    msg.msg_iovlen = n_iov;
+    const ssize_t sent = ::sendmsg(fd, &msg, MSG_NOSIGNAL);
+    if (sent < 0) {
+      if (errno == EINTR) continue;
+      return Errno("sendmsg");
+    }
+    std::size_t advanced = static_cast<std::size_t>(sent);
+    while (advanced > 0 && idx < iov.size()) {
+      const std::size_t left = iov[idx].iov_len - off;
+      if (advanced >= left) {
+        advanced -= left;
+        ++idx;
+        off = 0;
+      } else {
+        off += advanced;
+        advanced = 0;
+      }
+    }
+  }
+  return Status::Ok();
+}
+
 Status TcpTransport::SendTruncated(ByteSpan payload, std::size_t keep) {
   const int fd = fd_.load(std::memory_order_acquire);
   if (fd < 0) return Error(ErrorCode::kIOError, "transport closed");
   std::uint8_t prefix[4];
-  EncodeLen(static_cast<std::uint32_t>(payload.size()), prefix);
+  EncodeFrameLength(static_cast<std::uint32_t>(payload.size()), prefix);
   NEXUS_RETURN_IF_ERROR(WriteAll(fd, prefix, sizeof(prefix)));
   const std::size_t n = std::min(keep, payload.size());
   const Status sent = WriteAll(fd, payload.data(), n);

@@ -151,6 +151,13 @@ void EncodeServerStats(Writer& writer, const ServerStats& stats) {
   writer.U64(stats.cache_writeback_batches);
   writer.U64(stats.cache_invalidations);
   writer.U64(stats.cache_dirty_high_water);
+  writer.U64(stats.epoll_wakeups);
+  writer.U64(stats.arena_slabs_in_use);
+  writer.U64(stats.arena_slabs_high_water);
+  writer.U64(stats.arena_oversize_frames);
+  writer.U64(stats.resident_threads);
+  writer.F64(stats.loop_dispatch_p50_ms);
+  writer.F64(stats.loop_dispatch_p99_ms);
   writer.U32(static_cast<std::uint32_t>(stats.per_op.size()));
   for (const RpcOpStats& op : stats.per_op) {
     writer.U8(op.rpc);
@@ -184,6 +191,13 @@ Result<ServerStats> DecodeServerStats(Reader& reader) {
   NEXUS_ASSIGN_OR_RETURN(stats.cache_writeback_batches, reader.U64());
   NEXUS_ASSIGN_OR_RETURN(stats.cache_invalidations, reader.U64());
   NEXUS_ASSIGN_OR_RETURN(stats.cache_dirty_high_water, reader.U64());
+  NEXUS_ASSIGN_OR_RETURN(stats.epoll_wakeups, reader.U64());
+  NEXUS_ASSIGN_OR_RETURN(stats.arena_slabs_in_use, reader.U64());
+  NEXUS_ASSIGN_OR_RETURN(stats.arena_slabs_high_water, reader.U64());
+  NEXUS_ASSIGN_OR_RETURN(stats.arena_oversize_frames, reader.U64());
+  NEXUS_ASSIGN_OR_RETURN(stats.resident_threads, reader.U64());
+  NEXUS_ASSIGN_OR_RETURN(stats.loop_dispatch_p50_ms, reader.F64());
+  NEXUS_ASSIGN_OR_RETURN(stats.loop_dispatch_p99_ms, reader.F64());
   NEXUS_ASSIGN_OR_RETURN(const std::uint32_t n, reader.U32());
   if (n > kMaxStatsEntries) {
     return Error(ErrorCode::kOutOfRange,

@@ -70,6 +70,24 @@ inline constexpr std::size_t kMaxObjectBytes = 64u << 20;
 /// length prefix above this is a protocol violation, not an allocation.
 inline constexpr std::size_t kMaxFrameBytes = kMaxObjectBytes + (1u << 16);
 
+/// Wire length prefix: 4 bytes, little-endian. Shared by the blocking
+/// transport and the reactor's in-slab frame parser.
+inline constexpr std::size_t kFramePrefixBytes = 4;
+
+inline void EncodeFrameLength(std::uint32_t len, std::uint8_t out[4]) noexcept {
+  out[0] = static_cast<std::uint8_t>(len);
+  out[1] = static_cast<std::uint8_t>(len >> 8);
+  out[2] = static_cast<std::uint8_t>(len >> 16);
+  out[3] = static_cast<std::uint8_t>(len >> 24);
+}
+
+inline std::uint32_t DecodeFrameLength(const std::uint8_t in[4]) noexcept {
+  return static_cast<std::uint32_t>(in[0]) |
+         static_cast<std::uint32_t>(in[1]) << 8 |
+         static_cast<std::uint32_t>(in[2]) << 16 |
+         static_cast<std::uint32_t>(in[3]) << 24;
+}
+
 /// RPC surface: the StorageBackend interface verbatim, plus the segmented
 /// OpenPutStream as a four-message streaming RPC, a Ping for liveness, and
 /// a Stats introspection call (nexus-stat).
@@ -197,6 +215,15 @@ struct ServerStats {
   std::uint64_t cache_writeback_batches = 0;
   std::uint64_t cache_invalidations = 0;
   std::uint64_t cache_dirty_high_water = 0; // gauge
+  // Event-loop / buffer-arena health (zero on a worker-per-connection
+  // daemon: the legacy mode has no loop and no arena).
+  std::uint64_t epoll_wakeups = 0;
+  std::uint64_t arena_slabs_in_use = 0;    // gauge
+  std::uint64_t arena_slabs_high_water = 0;
+  std::uint64_t arena_oversize_frames = 0; // frames that bypassed the arena
+  std::uint64_t resident_threads = 0;      // gauge: loop + pools + channels
+  double loop_dispatch_p50_ms = 0; // per-wakeup dispatch latency
+  double loop_dispatch_p99_ms = 0;
   std::vector<RpcOpStats> per_op; // ascending rpc id, served ops only
 
   bool operator==(const ServerStats&) const = default;

@@ -47,6 +47,10 @@ PoolStats ThreadPool::stats() const {
   return stats_;
 }
 
+void ThreadPool::Post(Task fn) {
+  Enqueue(Submission{std::move(fn), nullptr, 0});
+}
+
 void ThreadPool::Enqueue(Submission s) {
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -93,7 +97,9 @@ void ThreadPool::WorkerMain(std::size_t index) {
         task.fn(ctx);
       }
       const double cpu = ThreadCpuSeconds() - cpu0;
-      task.group->OnComplete(task.slot, index, cpu);
+      if (task.group != nullptr) {
+        task.group->OnComplete(task.slot, index, cpu);
+      }
       lock.lock();
       continue;
     }

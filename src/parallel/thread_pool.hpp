@@ -75,6 +75,13 @@ class ThreadPool {
   }
   [[nodiscard]] PoolStats stats() const;
 
+  /// Fire-and-forget: schedules `fn` with no join group. The caller owns
+  /// completion tracking (the event-driven nexusd keeps its own in-flight
+  /// counters — a per-connection TaskGroup would grow its done-bitmap
+  /// without bound over a long-lived connection and force a blocking
+  /// WaitAll on the event loop).
+  void Post(Task fn);
+
  private:
   friend class TaskGroup;
 

@@ -430,7 +430,13 @@ TEST(NetMux, ReadaheadEvictionStaysUnderBudget) {
   for (char c : {'w', 'x', 'y', 'z'}) {
     ASSERT_TRUE(backend.Put(std::string(1, c), Blob(c, kObject)).ok());
   }
-  auto server = NexusdServer::Start(backend).value();
+  // Strictly in-order replies: this test reasons about WHICH prefetched
+  // entries the LRU keeps, so prefetch deliveries must land in issue
+  // order. Pooled handlers may legally reorder replies (v3), which would
+  // leave a different pair resident.
+  NexusdOptions server_options;
+  server_options.rpc_workers = 0;
+  auto server = NexusdServer::Start(backend, server_options).value();
 
   // Cache budget fits TWO buffered 4 KiB objects but not four: completing
   // four prefetches must evict LRU-oldest entries as wasted bytes.
