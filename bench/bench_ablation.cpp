@@ -12,7 +12,9 @@
 //  9. the client object cache — cold vs warm sequential reads and a
 //     git-clone-shaped metadata workload over a loopback daemon,
 // 10. connection scaling — the legacy thread-per-connection daemon vs the
-//     event-driven epoll reactor at a flat thread count.
+//     event-driven epoll reactor at a flat thread count,
+// 11. cluster scaling — quorum put/get throughput against 1/2/4 nexusd
+//     shards plus the failover latency tail when a replica dies mid-run.
 #include <sys/resource.h>
 
 #include <algorithm>
@@ -25,6 +27,7 @@
 #include "bench_util.hpp"
 #include "cache/cache_counters.hpp"
 #include "cache/cached_backend.hpp"
+#include "cluster/cluster_backend.hpp"
 #include "net/net_counters.hpp"
 #include "net/remote_backend.hpp"
 #include "net/server.hpp"
@@ -946,6 +949,169 @@ void C10kAblation() {
   }
 }
 
+// Ablation 11: the sharded nexusd cluster. Phase A measures quorum
+// put/get throughput against 1, 2, and 4 loopback shards (R = min(2, N),
+// majority quorums) over a 512 x 4 KiB working set — more shards spread
+// both the key space and the replica fan-out. Phase B samples per-Get
+// latency on a 3-shard R=2 cluster while one shard is killed mid-run: the
+// before/after percentiles and the worst single stall bound the client-
+// visible failover cost (first touch of a dead shard eats the connect
+// timeout; after ejection the tail collapses back). Emits
+// BENCH_cluster.json.
+void ClusterAblation() {
+  PrintHeader("Ablation 11: sharded cluster (throughput vs shards, failover tail)");
+  constexpr std::size_t kObjects = 512;
+  constexpr std::size_t kObjectBytes = 4096;
+  const double mib = static_cast<double>(kObjects * kObjectBytes) /
+                     (1024.0 * 1024.0);
+
+  // One loopback nexusd fleet + cluster client per row.
+  struct Fleet {
+    std::vector<std::unique_ptr<storage::MemBackend>> stores;
+    std::vector<std::unique_ptr<net::NexusdServer>> servers;
+    std::unique_ptr<cluster::ClusterBackend> cluster;
+
+    explicit Fleet(std::size_t shards) {
+      std::vector<cluster::ShardSpec> specs;
+      for (std::size_t i = 0; i < shards; ++i) {
+        stores.push_back(std::make_unique<storage::MemBackend>());
+        net::NexusdOptions options;
+        options.workers = 8;
+        servers.push_back(
+            net::NexusdServer::Start(*stores.back(), options).value());
+        const std::uint16_t port = servers.back()->port();
+        specs.push_back(cluster::ShardSpec{
+            "127.0.0.1:" + std::to_string(port),
+            [port]() -> Result<std::unique_ptr<storage::StorageBackend>> {
+              net::RemoteBackendOptions client;
+              client.max_attempts = 2;
+              client.backoff_base_ms = 1;
+              client.backoff_cap_ms = 5;
+              client.connect_deadline_ms = 250; // bounds the failover stall
+              NEXUS_ASSIGN_OR_RETURN(auto remote, net::RemoteBackend::Connect(
+                                                      "127.0.0.1", port, client));
+              return std::unique_ptr<storage::StorageBackend>(std::move(remote));
+            }});
+      }
+      cluster::ClusterOptions options;
+      options.replication = std::min<std::size_t>(2, shards);
+      options.eject_after = 2;
+      options.background_rebalance = false;
+      cluster = cluster::ClusterBackend::Create(std::move(specs), options)
+                    .value();
+    }
+    void Kill(std::size_t i) { servers[i].reset(); }
+  };
+
+  crypto::HmacDrbg rng(AsBytes("cluster-ablation"));
+  std::vector<Bytes> objects;
+  objects.reserve(kObjects);
+  for (std::size_t i = 0; i < kObjects; ++i) {
+    objects.push_back(rng.Generate(kObjectBytes));
+  }
+
+  // ---- phase A: throughput vs shard count
+  struct Row {
+    std::size_t shards = 0;
+    std::size_t replication = 0;
+    double put_s = 0, get_s = 0;
+  };
+  std::vector<Row> rows;
+  std::printf("%-8s %6s %12s %12s %12s %12s\n", "shards", "R", "put wall",
+              "put MiB/s", "get wall", "get MiB/s");
+  for (const std::size_t shards : {1u, 2u, 4u}) {
+    Fleet fleet(shards);
+    cluster::ClusterBackend& c = *fleet.cluster;
+    std::uint64_t t = MonotonicNanos();
+    for (std::size_t i = 0; i < kObjects; ++i) {
+      Abort(c.Put("o" + std::to_string(i), objects[i]), "cluster put");
+    }
+    const double put_s = static_cast<double>(MonotonicNanos() - t) * 1e-9;
+    t = MonotonicNanos();
+    for (std::size_t i = 0; i < kObjects; ++i) {
+      auto got = c.Get("o" + std::to_string(i));
+      Abort(got.status(), "cluster get");
+      if (got.value() != objects[i]) {
+        Abort(Error(ErrorCode::kIntegrityViolation,
+                    "cluster read returned different bytes"),
+              "cluster get");
+      }
+    }
+    const double get_s = static_cast<double>(MonotonicNanos() - t) * 1e-9;
+    rows.push_back(Row{shards, c.replication(), put_s, get_s});
+    std::printf("%-8zu %6zu %11.3fs %12.1f %11.3fs %12.1f\n", shards,
+                c.replication(), put_s, mib / put_s, get_s, mib / get_s);
+  }
+
+  // ---- phase B: failover tail on a 3-shard R=2 cluster
+  constexpr std::size_t kFailoverObjects = 128;
+  constexpr std::size_t kRounds = 6;       // read sweeps over the set
+  constexpr std::size_t kKillRound = 2;    // shard dies entering this sweep
+  Fleet fleet(3);
+  cluster::ClusterBackend& c = *fleet.cluster;
+  for (std::size_t i = 0; i < kFailoverObjects; ++i) {
+    Abort(c.Put("f" + std::to_string(i), objects[i]), "failover seed");
+  }
+  std::vector<double> before_ms, after_ms;
+  for (std::size_t round = 0; round < kRounds; ++round) {
+    if (round == kKillRound) fleet.Kill(1);
+    for (std::size_t i = 0; i < kFailoverObjects; ++i) {
+      const std::uint64_t t0 = MonotonicNanos();
+      Abort(c.Get("f" + std::to_string(i)).status(), "failover get");
+      const double ms = static_cast<double>(MonotonicNanos() - t0) * 1e-6;
+      (round < kKillRound ? before_ms : after_ms).push_back(ms);
+    }
+  }
+  auto percentile = [](std::vector<double> v, double p) {
+    std::sort(v.begin(), v.end());
+    return v[std::min(v.size() - 1,
+                      static_cast<std::size_t>(p * static_cast<double>(v.size())))];
+  };
+  const double before_p50 = percentile(before_ms, 0.50);
+  const double before_p99 = percentile(before_ms, 0.99);
+  const double after_p50 = percentile(after_ms, 0.50);
+  const double after_p99 = percentile(after_ms, 0.99);
+  const double worst_ms = *std::max_element(after_ms.begin(), after_ms.end());
+  const cluster::ClusterCounters counters = c.counters();
+  std::printf("failover (3 shards, R=2, kill 1 mid-run): healthy p50 %.3f ms "
+              "p99 %.3f ms; degraded p50 %.3f ms p99 %.3f ms, worst stall "
+              "%.1f ms, %llu failovers, 0 failed ops\n",
+              before_p50, before_p99, after_p50, after_p99, worst_ms,
+              static_cast<unsigned long long>(counters.failovers));
+  if (counters.quorum_failures != 0) {
+    Abort(Error(ErrorCode::kInternal, "failover run lost client operations"),
+          "cluster failover");
+  }
+
+  std::FILE* json = std::fopen("BENCH_cluster.json", "w");
+  if (json != nullptr) {
+    std::fprintf(json,
+                 "{\n  \"workload\": \"cluster\",\n  \"objects\": %zu,\n"
+                 "  \"object_bytes\": %zu,\n  \"throughput\": [\n",
+                 kObjects, kObjectBytes);
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      const Row& r = rows[i];
+      std::fprintf(json,
+                   "    {\"shards\": %zu, \"replication\": %zu, "
+                   "\"put_s\": %.6f, \"put_mib_s\": %.2f, "
+                   "\"get_s\": %.6f, \"get_mib_s\": %.2f}%s\n",
+                   r.shards, r.replication, r.put_s, mib / r.put_s, r.get_s,
+                   mib / r.get_s, i + 1 < rows.size() ? "," : "");
+    }
+    std::fprintf(json,
+                 "  ],\n  \"failover\": {\"shards\": 3, \"replication\": 2, "
+                 "\"healthy_p50_ms\": %.4f, \"healthy_p99_ms\": %.4f, "
+                 "\"degraded_p50_ms\": %.4f, \"degraded_p99_ms\": %.4f, "
+                 "\"worst_stall_ms\": %.2f, \"failovers\": %llu, "
+                 "\"quorum_failures\": %llu}\n}\n",
+                 before_p50, before_p99, after_p50, after_p99, worst_ms,
+                 static_cast<unsigned long long>(counters.failovers),
+                 static_cast<unsigned long long>(counters.quorum_failures));
+    std::fclose(json);
+    std::printf("wrote BENCH_cluster.json\n");
+  }
+}
+
 } // namespace
 
 int Main() {
@@ -959,6 +1125,7 @@ int Main() {
   PipelineSweep();
   ObjectCacheAblation();
   C10kAblation();
+  ClusterAblation();
   return 0;
 }
 

@@ -17,7 +17,12 @@ namespace {
 constexpr std::uint32_t kIndexMagic = 0x4e584331; // "NXC1"
 constexpr std::size_t kMacBytes = 32;
 constexpr std::uint32_t kMaxIndexEntries = 1u << 20;
-constexpr unsigned kIndexPersistEvery = 32; // disk mutations between persists
+// Log records between full-index compactions. Every mutation in between
+// costs one O(record) append instead of an O(index) rewrite.
+constexpr unsigned kLogCompactEvery = 1024;
+// Log record ops.
+constexpr std::uint8_t kLogInsert = 1;
+constexpr std::uint8_t kLogRemove = 2;
 
 std::uint64_t EnvU64(const char* name, std::uint64_t fallback) {
   const char* raw = std::getenv(name);
@@ -353,6 +358,13 @@ Result<Bytes> CachedBackend::Get(const std::string& name) {
   return fetched;
 }
 
+std::vector<Result<Bytes>> CachedBackend::MultiGetLeased(
+    const std::vector<std::string>& names, std::vector<bool>* leased) {
+  // The cache is the lease tracker; callers above it get plain results.
+  if (leased != nullptr) leased->assign(names.size(), false);
+  return MultiGet(names);
+}
+
 std::vector<Result<Bytes>> CachedBackend::MultiGet(
     const std::vector<std::string>& names) {
   std::unordered_map<std::size_t, Bytes> served;
@@ -390,7 +402,10 @@ std::vector<Result<Bytes>> CachedBackend::MultiGet(
     std::vector<std::string> missing;
     missing.reserve(miss_idx.size());
     for (const std::size_t i : miss_idx) missing.push_back(names[i]);
-    fetched = inner_->MultiGet(missing);
+    // One batched round for the whole miss set, asking for leases (wire
+    // v5 grants them per entry; older peers leave every flag false).
+    std::vector<bool> lease_flags;
+    fetched = inner_->MultiGetLeased(missing, &lease_flags);
     const std::lock_guard<std::mutex> lock(mu_);
     for (std::size_t j = 0; j < miss_idx.size() && j < fetched.size(); ++j) {
       if (!fetched[j].ok()) continue;
@@ -400,9 +415,12 @@ std::vector<Result<Bytes>> CachedBackend::MultiGet(
           it != entries_.end() && it->second.state == Entry::State::kDirty;
       if (inval_seq_[name] != miss_seq[j] || dirty_meanwhile) continue;
       if (it != entries_.end()) RemoveEntryLocked(name, /*demote=*/false);
-      // Batch fetches carry no lease flag — installed TTL-clean.
-      InsertCleanLocked(name, fetched[j].value(), Entry::State::kClean, NowMs(),
-                        /*prefetched=*/false);
+      const bool entry_leased =
+          j < lease_flags.size() && lease_flags[j] && channel_up_;
+      InsertCleanLocked(name, fetched[j].value(),
+                        entry_leased ? Entry::State::kLeased
+                                     : Entry::State::kClean,
+                        NowMs(), /*prefetched=*/false);
     }
   }
   std::vector<Result<Bytes>> out;
@@ -555,17 +573,32 @@ Status CachedBackend::Put(const std::string& name, ByteSpan data) {
   if (IsWriteThroughName(name)) {
     NEXUS_RETURN_IF_ERROR(DrainDirty());
   }
-  const Status st = inner_->Put(name, data);
+  std::uint64_t seq_before = 0;
+  if (lease_mode_) {
+    const std::lock_guard<std::mutex> lock(mu_);
+    seq_before = inval_seq_[name];
+  }
+  bool write_lease = false;
+  const Status st = lease_mode_ ? inner_->PutLeased(name, data, &write_lease)
+                                : inner_->Put(name, data);
   if (!st.ok()) return st;
   const std::lock_guard<std::mutex> lock(mu_);
   DiskRemoveLocked(name);
   RemoveEntryLocked(name, /*demote=*/false);
+  const bool fresh = inval_seq_[name] == seq_before;
   ++inval_seq_[name];
   if (!lease_mode_) {
     // TTL mode: our own write is the freshest value we can know; cache it
-    // for the staleness window. In lease mode we hold no lease on written
-    // names, so the entry is dropped and the next read re-leases.
+    // for the staleness window.
     InsertCleanLocked(name, ToBytes(data), Entry::State::kClean, NowMs(),
+                      /*prefetched=*/false);
+  } else if (write_lease && channel_up_ && fresh) {
+    // The server granted a WRITE lease (wire v5): we keep our own bytes
+    // and will be invalidated only when ANOTHER client mutates the name —
+    // not by our own write. `fresh` guards the race where a concurrent
+    // writer's invalidation arrived between our Put and this insert: the
+    // grant was already broken, so installing would retain stale bytes.
+    InsertCleanLocked(name, ToBytes(data), Entry::State::kLeased, NowMs(),
                       /*prefetched=*/false);
   }
   return Status::Ok();
@@ -645,7 +678,9 @@ Status CachedBackend::FlushOneBatch() {
     std::string name;
     Bytes data;
     std::uint64_t gen = 0;
+    std::uint64_t seq = 0;
     bool flushed = false;
+    bool leased = false;
   };
   std::vector<Item> batch;
   {
@@ -655,7 +690,9 @@ Status CachedBackend::FlushOneBatch() {
       Entry& entry = entries_.at(name);
       if (entry.flushing) continue; // another flusher owns it
       entry.flushing = true;
-      batch.push_back(Item{name, entry.data, entry.dirty_gen, false});
+      batch.push_back(
+          Item{name, entry.data, entry.dirty_gen, inval_seq_[name], false,
+               false});
     }
   }
   if (batch.empty()) {
@@ -664,7 +701,10 @@ Status CachedBackend::FlushOneBatch() {
   trace::Span span("cache.writeback_flush", "cache");
   Status first_error = Status::Ok();
   for (Item& item : batch) {
-    const Status st = inner_->Put(item.name, item.data);
+    const Status st = lease_mode_
+                          ? inner_->PutLeased(item.name, item.data,
+                                              &item.leased)
+                          : inner_->Put(item.name, item.data);
     if (st.ok()) {
       item.flushed = true;
     } else if (first_error.ok()) {
@@ -689,16 +729,26 @@ Status CachedBackend::FlushOneBatch() {
       ++d.writeback_objects;
       dirty_queue_.erase(entry.dirty_it);
       dirty_bytes_ -= entry.data.size();
-      if (lease_mode_) {
-        // We hold no lease on names we wrote, so a retained copy could go
-        // stale silently. Drop it; the next read re-fetches under a lease.
-        mem_bytes_ -= entry.data.size();
-        lru_.erase(entry.lru_it);
-        entries_.erase(it);
-      } else {
+      if (!lease_mode_) {
         entry.state = Entry::State::kClean;
         entry.stamp_ms = NowMs();
         entry.dirty_it = dirty_queue_.end();
+      } else if (item.leased && channel_up_ &&
+                 inval_seq_[item.name] == item.seq) {
+        // The flush earned a WRITE lease (wire v5): the entry stays
+        // resident under it. The seq check rejects the race where another
+        // writer's invalidation landed mid-flush — the grant is already
+        // broken then, and keeping the copy would retain stale bytes.
+        entry.state = Entry::State::kLeased;
+        entry.stamp_ms = NowMs();
+        entry.dirty_it = dirty_queue_.end();
+      } else {
+        // No write lease (v4 peer, channel down, or broken mid-flush): a
+        // retained copy could go stale silently. Drop it; the next read
+        // re-fetches under a lease.
+        mem_bytes_ -= entry.data.size();
+        lru_.erase(entry.lru_it);
+        entries_.erase(it);
       }
     }
     AccumulateCacheCounters(counters_, d);
@@ -839,9 +889,7 @@ void CachedBackend::DiskInsertLocked(const std::string& name, ByteSpan data,
     GlobalCacheAdd(d);
     DiskRemoveLocked(victim);
   }
-  if (++disk_mutations_since_persist_ >= kIndexPersistEvery) {
-    PersistDiskIndexLocked();
-  }
+  AppendDiskLogLocked(kLogInsert, name, data.size());
 }
 
 void CachedBackend::DiskRemoveLocked(const std::string& name) {
@@ -853,7 +901,36 @@ void CachedBackend::DiskRemoveLocked(const std::string& name) {
   disk_entries_.erase(it);
   std::error_code ec;
   std::filesystem::remove(DiskPathFor(name), ec);
-  ++disk_mutations_since_persist_;
+  AppendDiskLogLocked(kLogRemove, name, 0);
+}
+
+void CachedBackend::AppendDiskLogLocked(std::uint8_t op,
+                                        const std::string& name,
+                                        std::uint64_t size) {
+  // One record: [u32 body length][body][32-byte HMAC(body)]. A torn or
+  // corrupt record ends the load-time replay — everything before it
+  // stands, and any data file past it is swept as an orphan.
+  IndexWriter body;
+  body.out.push_back(op);
+  body.U64(size);
+  body.Str(name);
+  const auto mac = crypto::HmacSha256(disk_mac_key_, body.out);
+  IndexWriter record;
+  record.U32(static_cast<std::uint32_t>(body.out.size()));
+  Append(record.out, body.out);
+  Append(record.out, ByteSpan(mac.data(), mac.size()));
+  {
+    std::ofstream log(options_.disk_dir + "/.cache-log",
+                      std::ios::binary | std::ios::app);
+    if (log) {
+      log.write(reinterpret_cast<const char*>(record.out.data()),
+                static_cast<std::streamsize>(record.out.size()));
+      log.flush();
+    }
+  }
+  if (++disk_log_records_ >= kLogCompactEvery) {
+    PersistDiskIndexLocked(); // compaction: full base rewrite + log reset
+  }
 }
 
 Result<Bytes> CachedBackend::DiskReadLocked(const std::string& name) {
@@ -886,7 +963,12 @@ void CachedBackend::PersistDiskIndexLocked() {
   Append(file, payload.out);
   WriteFileAtomic(options_.disk_dir + "/.cache-index.tmp",
                   options_.disk_dir + "/.cache-index", file);
-  disk_mutations_since_persist_ = 0;
+  // The base image now covers every mutation the log recorded: truncate
+  // it. (Order matters: a crash between rename and truncate replays log
+  // records that are already in the base, which is idempotent.)
+  std::ofstream(options_.disk_dir + "/.cache-log",
+                std::ios::binary | std::ios::trunc);
+  disk_log_records_ = 0;
 }
 
 void CachedBackend::LoadDiskTierLocked() {
@@ -935,6 +1017,56 @@ void CachedBackend::LoadDiskTierLocked() {
           disk_entries_.emplace(name, entry);
         }
       }
+    }
+  }
+
+  // Replay the mutation log on top of the base image, in order. Each
+  // record carries its own MAC; the first torn or corrupt record ends the
+  // replay (everything past it is unaccounted and swept below). Inserts
+  // move the name to the MRU front — the log is chronological, so the
+  // final order is the true recency order.
+  if (auto log = ReadWholeFile(options_.disk_dir + "/.cache-log"); log.ok()) {
+    const ByteSpan raw(log.value());
+    std::size_t pos = 0;
+    while (pos + 4 <= raw.size()) {
+      IndexReader len_reader{raw.subspan(pos, 4)};
+      const std::uint32_t body_len = len_reader.U32();
+      if (body_len == 0 || body_len > (1u << 16) ||
+          pos + 4 + body_len + kMacBytes > raw.size()) {
+        break; // torn tail
+      }
+      const ByteSpan body = raw.subspan(pos + 4, body_len);
+      const ByteSpan mac = raw.subspan(pos + 4 + body_len, kMacBytes);
+      const auto expect = crypto::HmacSha256(disk_mac_key_, body);
+      if (!std::equal(mac.begin(), mac.end(), expect.begin(), expect.end())) {
+        break; // corrupt record: nothing after it can be trusted
+      }
+      pos += 4 + body_len + kMacBytes;
+      if (body.empty()) break;
+      const std::uint8_t op = body[0];
+      IndexReader body_reader{body.subspan(1)};
+      const std::uint64_t size = body_reader.U64();
+      const std::string name = body_reader.Str();
+      if (body_reader.failed) break;
+      const auto it = disk_entries_.find(name);
+      if (it != disk_entries_.end()) {
+        disk_bytes_ -= it->second.size;
+        disk_lru_.erase(it->second.lru_it);
+        disk_entries_.erase(it);
+      }
+      if (op == kLogInsert) {
+        std::error_code ec;
+        const auto on_disk = std::filesystem::file_size(DiskPathFor(name), ec);
+        if (ec || on_disk != size) continue; // file lost or torn: skip
+        disk_lru_.push_front(name);
+        DiskEntry entry;
+        entry.size = size;
+        entry.stamp_ms = now; // same fresh-TTL rule as base entries
+        entry.lru_it = disk_lru_.begin();
+        disk_bytes_ += entry.size;
+        disk_entries_.emplace(name, entry);
+      }
+      // kLogRemove (and unknown ops): the erase above is the whole effect.
     }
   }
 

@@ -25,13 +25,19 @@
 //            loads, lease-less mode); valid for ttl_ms after the stamp.
 //
 // The disk tier keeps one file per object (names percent-escaped like
-// DiskBackend) plus a MAC'd ".cache-index" updated crash-safely via
-// temp+rename. On load, entries whose file is missing/short and files the
-// index does not name are discarded — after a crash between a data write
-// and the index update, the inner store is the source of truth. The MAC
-// (key in ".cache-key" beside the index) only detects corruption; it
-// carries no authority. `disk_dir` must be a directory dedicated to this
-// cache: recovery deletes files it cannot account for.
+// DiskBackend) plus a MAC'd ".cache-index" base image updated crash-safely
+// via temp+rename, and a ".cache-log" of per-record-MAC'd insert/remove
+// mutations appended between base rewrites. A full rewrite (compaction)
+// happens only every kLogCompactEvery mutations or at Flush; in between,
+// each mutation costs one O(record) append instead of an O(index) rewrite.
+// On load the base is replayed first, then the log in order (a corrupt or
+// torn record ends the replay — everything before it stands); entries
+// whose file is missing/short and files neither base nor log name are
+// discarded — after a crash between a data write and the log append, the
+// inner store is the source of truth. The MAC (key in ".cache-key" beside
+// the index) only detects corruption; it carries no authority. `disk_dir`
+// must be a directory dedicated to this cache: recovery deletes files it
+// cannot account for.
 #pragma once
 
 #include <cstdint>
@@ -98,6 +104,9 @@ class CachedBackend final : public storage::StorageBackend {
       const std::string& name) override;
   std::vector<Result<Bytes>> MultiGet(
       const std::vector<std::string>& names) override;
+  std::vector<Result<Bytes>> MultiGetLeased(
+      const std::vector<std::string>& names,
+      std::vector<bool>* leased) override;
   std::vector<bool> MultiExists(const std::vector<std::string>& names) override;
   /// Forwards the hint unless the object is already cached.
   void Prefetch(const std::string& name) override;
@@ -153,6 +162,10 @@ class CachedBackend final : public storage::StorageBackend {
   // Disk tier.
   void LoadDiskTierLocked();
   void PersistDiskIndexLocked();
+  /// Appends one MAC'd insert/remove record to ".cache-log"; triggers a
+  /// compaction (full base rewrite + log truncate) every kLogCompactEvery.
+  void AppendDiskLogLocked(std::uint8_t op, const std::string& name,
+                           std::uint64_t size);
   void DiskInsertLocked(const std::string& name, ByteSpan data,
                         std::uint64_t stamp_ms);
   void DiskRemoveLocked(const std::string& name);
@@ -199,7 +212,7 @@ class CachedBackend final : public storage::StorageBackend {
   std::list<std::string> disk_lru_; // MRU at front
   std::size_t disk_bytes_ = 0;
   Bytes disk_mac_key_;
-  unsigned disk_mutations_since_persist_ = 0;
+  unsigned disk_log_records_ = 0; // appended since the last compaction
   std::uint64_t disk_temp_seq_ = 0;
 
   CacheCounters counters_;

@@ -1,0 +1,969 @@
+#include "cluster/cluster_backend.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <random>
+#include <set>
+#include <unordered_map>
+
+#include "common/serial.hpp"
+#include "net/transport.hpp"
+#include "trace/trace.hpp"
+
+namespace nexus::cluster {
+
+namespace {
+
+// "NXE1": replica envelope, version 1.
+constexpr std::uint32_t kEnvelopeMagic = 0x3145584e;
+constexpr std::uint8_t kFlagTombstone = 0x01;
+
+std::uint64_t WallMs() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count());
+}
+
+std::uint64_t MonotonicNs() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+std::size_t EnvReplication() {
+  const char* env = std::getenv("NEXUS_REPLICATION");
+  if (env != nullptr && *env != '\0') {
+    const long parsed = std::strtol(env, nullptr, 10);
+    if (parsed >= 1 && parsed <= 64) return static_cast<std::size_t>(parsed);
+  }
+  return 2;
+}
+
+} // namespace
+
+// ---- envelope codec ---------------------------------------------------------
+
+Bytes EncodeEnvelope(const Envelope& env) {
+  Writer w;
+  w.U32(kEnvelopeMagic);
+  w.U8(env.tombstone ? kFlagTombstone : 0);
+  w.U64(env.version);
+  w.U64(env.writer);
+  w.Var(env.payload);
+  return std::move(w).Take();
+}
+
+Result<Envelope> DecodeEnvelope(ByteSpan data) {
+  Reader r(data);
+  NEXUS_ASSIGN_OR_RETURN(const std::uint32_t magic, r.U32());
+  if (magic != kEnvelopeMagic) {
+    return Error(ErrorCode::kIntegrityViolation, "bad envelope magic");
+  }
+  NEXUS_ASSIGN_OR_RETURN(const std::uint8_t flags, r.U8());
+  if ((flags & ~kFlagTombstone) != 0) {
+    return Error(ErrorCode::kIntegrityViolation, "unknown envelope flags");
+  }
+  Envelope env;
+  env.tombstone = (flags & kFlagTombstone) != 0;
+  NEXUS_ASSIGN_OR_RETURN(env.version, r.U64());
+  NEXUS_ASSIGN_OR_RETURN(env.writer, r.U64());
+  NEXUS_ASSIGN_OR_RETURN(env.payload, r.Var(net::kMaxObjectBytes));
+  if (!r.AtEnd()) {
+    return Error(ErrorCode::kIntegrityViolation, "trailing envelope bytes");
+  }
+  return env;
+}
+
+bool EnvelopeNewer(const Envelope& a, const Envelope& b) {
+  if (a.version != b.version) return a.version > b.version;
+  return a.writer > b.writer;
+}
+
+// ---- endpoint parsing -------------------------------------------------------
+
+std::vector<std::string> ParseEndpointList(const std::string& endpoints) {
+  std::vector<std::string> out;
+  std::string cur;
+  for (const char c : endpoints) {
+    if (c == ',') {
+      if (!cur.empty()) out.push_back(cur);
+      cur.clear();
+    } else if (c != ' ' && c != '\t' && c != '\n') {
+      cur.push_back(c);
+    }
+  }
+  if (!cur.empty()) out.push_back(cur);
+  return out;
+}
+
+bool SplitHostPort(const std::string& endpoint, std::string* host,
+                   std::uint16_t* port) {
+  const std::size_t colon = endpoint.rfind(':');
+  if (colon == std::string::npos || colon == 0 ||
+      colon + 1 == endpoint.size()) {
+    return false;
+  }
+  const long parsed = std::strtol(endpoint.c_str() + colon + 1, nullptr, 10);
+  if (parsed < 1 || parsed > 65535) return false;
+  *host = endpoint.substr(0, colon);
+  *port = static_cast<std::uint16_t>(parsed);
+  return true;
+}
+
+// ---- buffered put stream ----------------------------------------------------
+
+// Streamed puts buffer client-side and commit through the quorum Put, so
+// the atomicity story ("readers see old or new, never a prefix") holds
+// per replica exactly as it does for a plain Put.
+class ClusterPutStream final : public storage::StorageBackend::PutStream {
+ public:
+  ClusterPutStream(ClusterBackend& parent, std::string name)
+      : parent_(parent), name_(std::move(name)) {}
+
+  Status Append(ByteSpan data) override {
+    if (buf_.size() + data.size() > net::kMaxObjectBytes) {
+      return Error(ErrorCode::kInvalidArgument, "streamed object too large");
+    }
+    nexus::Append(buf_, data);
+    return Status::Ok();
+  }
+
+  Status Commit() override {
+    return parent_.Put(name_, ByteSpan(buf_.data(), buf_.size()));
+  }
+
+  void Abort() override { buf_.clear(); }
+
+ private:
+  ClusterBackend& parent_;
+  std::string name_;
+  Bytes buf_;
+};
+
+// ---- construction -----------------------------------------------------------
+
+ClusterBackend::ClusterBackend(ClusterOptions options, std::size_t replication,
+                               std::size_t write_quorum,
+                               std::size_t read_quorum)
+    : options_(std::move(options)),
+      replication_(replication),
+      write_quorum_(write_quorum),
+      read_quorum_(read_quorum) {
+  if (!options_.now_ms) options_.now_ms = WallMs;
+  if (options_.writer_id != 0) {
+    writer_id_ = options_.writer_id;
+  } else {
+    std::random_device rd;
+    writer_id_ = (static_cast<std::uint64_t>(rd()) << 32) ^ rd();
+    if (writer_id_ == 0) writer_id_ = 1;
+  }
+  // Hybrid logical clock seed: wall ms shifted to leave 2^20 draws per
+  // tick. A client with a slow clock still orders correctly against live
+  // peers because every decoded envelope advances the clock past it.
+  version_clock_.store(options_.now_ms() << 20, std::memory_order_relaxed);
+}
+
+Result<std::unique_ptr<ClusterBackend>> ClusterBackend::Create(
+    std::vector<ShardSpec> shards, ClusterOptions options) {
+  if (shards.empty()) {
+    return Error(ErrorCode::kInvalidArgument, "cluster needs at least 1 shard");
+  }
+  std::size_t replication =
+      options.replication != 0 ? options.replication : EnvReplication();
+  replication = std::min(replication, shards.size());
+  const std::size_t write_quorum = options.write_quorum != 0
+                                       ? options.write_quorum
+                                       : replication / 2 + 1;
+  const std::size_t read_quorum =
+      options.read_quorum != 0 ? options.read_quorum : replication / 2 + 1;
+  if (write_quorum > shards.size() || read_quorum > shards.size()) {
+    return Error(ErrorCode::kInvalidArgument,
+                 "quorum larger than the shard count");
+  }
+
+  auto cluster = std::unique_ptr<ClusterBackend>(new ClusterBackend(
+      std::move(options), replication, write_quorum, read_quorum));
+  cluster->ring_ = HashRing(cluster->options_.vnodes);
+  for (ShardSpec& spec : shards) {
+    if (spec.id.empty() || !spec.factory) {
+      return Error(ErrorCode::kInvalidArgument, "shard needs an id + factory");
+    }
+    if (cluster->shards_.contains(spec.id)) {
+      return Error(ErrorCode::kInvalidArgument,
+                   "duplicate shard id: " + spec.id);
+    }
+    NEXUS_ASSIGN_OR_RETURN(auto backend, spec.factory());
+    auto shard = std::make_shared<Shard>();
+    shard->id = spec.id;
+    shard->backend = std::move(backend);
+    cluster->ring_.AddNode(spec.id);
+    cluster->shards_.emplace(spec.id, std::move(shard));
+  }
+  if (cluster->options_.background_rebalance) {
+    cluster->rebalance_thread_ =
+        std::thread([c = cluster.get()] { c->RebalanceLoop(); });
+  }
+  return cluster;
+}
+
+Result<std::unique_ptr<ClusterBackend>> ClusterBackend::Connect(
+    const std::string& endpoints, ClusterOptions options,
+    net::RemoteBackendOptions remote) {
+  std::string spec = endpoints;
+  if (spec.empty()) {
+    const char* env = std::getenv("NEXUS_CLUSTER");
+    if (env != nullptr) spec = env;
+  }
+  const std::vector<std::string> list = ParseEndpointList(spec);
+  if (list.empty()) {
+    return Error(ErrorCode::kInvalidArgument,
+                 "no cluster endpoints (NEXUS_CLUSTER empty)");
+  }
+  std::vector<ShardSpec> shards;
+  shards.reserve(list.size());
+  for (const std::string& endpoint : list) {
+    std::string host;
+    std::uint16_t port = 0;
+    if (!SplitHostPort(endpoint, &host, &port)) {
+      return Error(ErrorCode::kInvalidArgument,
+                   "malformed endpoint: " + endpoint);
+    }
+    shards.push_back(ShardSpec{
+        endpoint,
+        [host, port, remote]() -> Result<std::unique_ptr<storage::StorageBackend>> {
+          // Lazy construction, best-effort negotiation: a shard that is
+          // down when the client starts must still JOIN the ring (it gets
+          // ejected on first failed RPC and reinstated by the health
+          // prober), so the eager-Ping Connect() path is wrong here. A
+          // shard that misses this Ping just runs v2 lock-step until the
+          // process reconnects — correct, merely unbatched.
+          net::RemoteBackendOptions client = remote;
+          const int connect_ms = client.connect_deadline_ms;
+          const int rpc_ms = client.rpc_deadline_ms;
+          auto backend = std::make_unique<net::RemoteBackend>(
+              [host, port, connect_ms,
+               rpc_ms]() -> Result<std::unique_ptr<net::Transport>> {
+                NEXUS_ASSIGN_OR_RETURN(
+                    std::unique_ptr<net::TcpTransport> t,
+                    net::TcpTransport::Dial(host, port, connect_ms, rpc_ms));
+                return std::unique_ptr<net::Transport>(std::move(t));
+              },
+              client);
+          (void)backend->Ping();
+          return std::unique_ptr<storage::StorageBackend>(std::move(backend));
+        }});
+  }
+  return Create(std::move(shards), std::move(options));
+}
+
+ClusterBackend::~ClusterBackend() {
+  {
+    const std::lock_guard<std::mutex> lock(rebalance_mu_);
+    shutdown_ = true;
+  }
+  rebalance_cv_.notify_all();
+  if (rebalance_thread_.joinable()) rebalance_thread_.join();
+}
+
+// ---- versions ---------------------------------------------------------------
+
+std::uint64_t ClusterBackend::DrawVersion() {
+  return version_clock_.fetch_add(1, std::memory_order_relaxed) + 1;
+}
+
+void ClusterBackend::ObserveVersion(std::uint64_t version) {
+  std::uint64_t cur = version_clock_.load(std::memory_order_relaxed);
+  while (cur < version && !version_clock_.compare_exchange_weak(
+                              cur, version, std::memory_order_relaxed)) {
+  }
+}
+
+// ---- health -----------------------------------------------------------------
+
+bool ClusterBackend::ShardAvailable(Shard& shard) {
+  const std::lock_guard<std::mutex> lock(shard.mu);
+  if (!shard.ejected) return true;
+  if (shard.probing) return false; // someone else holds the half-open slot
+  if (options_.now_ms() < shard.eject_until_ms) return false;
+  shard.probing = true;
+  return true;
+}
+
+void ClusterBackend::RecordShardOutcome(Shard& shard, bool transport_ok) {
+  bool ejected_now = false;
+  bool reinstated_now = false;
+  {
+    const std::lock_guard<std::mutex> lock(shard.mu);
+    if (transport_ok) {
+      shard.consecutive_failures = 0;
+      shard.backoff_level = 0;
+      if (shard.ejected) {
+        shard.ejected = false;
+        shard.probing = false;
+        reinstated_now = true;
+      }
+    } else if (shard.ejected) {
+      // A half-open probe failed: back off harder before the next one.
+      shard.probing = false;
+      shard.backoff_level = std::min(shard.backoff_level + 1, 16);
+      std::uint64_t delay =
+          static_cast<std::uint64_t>(options_.reinstate_backoff_base_ms)
+          << shard.backoff_level;
+      delay = std::min(
+          delay, static_cast<std::uint64_t>(options_.reinstate_backoff_cap_ms));
+      shard.eject_until_ms = options_.now_ms() + delay;
+    } else {
+      ++shard.consecutive_failures;
+      if (shard.consecutive_failures >= options_.eject_after) {
+        shard.ejected = true;
+        shard.probing = false;
+        shard.backoff_level = 0;
+        shard.eject_until_ms =
+            options_.now_ms() +
+            static_cast<std::uint64_t>(options_.reinstate_backoff_base_ms);
+        ++shard.eject_episodes;
+        ejected_now = true;
+      }
+    }
+  }
+  if (ejected_now) Bump(&ClusterCounters::shards_ejected);
+  if (reinstated_now) Bump(&ClusterCounters::shards_reinstated);
+}
+
+// ---- per-shard RPC wrappers -------------------------------------------------
+
+Result<Bytes> ClusterBackend::ShardGet(const ShardPtr& shard,
+                                       const std::string& name) {
+  Bump(&ClusterCounters::shard_rpcs);
+  const std::uint64_t t0 = MonotonicNs();
+  Result<Bytes> res = shard->backend->Get(name);
+  trace::GlobalHistogram("cluster.rpc").Record(MonotonicNs() - t0);
+  const bool transport_ok = res.ok() || res.status().code() != ErrorCode::kIOError;
+  if (!transport_ok) Bump(&ClusterCounters::shard_failures);
+  RecordShardOutcome(*shard, transport_ok);
+  return res;
+}
+
+Status ClusterBackend::ShardPut(const ShardPtr& shard, const std::string& name,
+                                ByteSpan data) {
+  Bump(&ClusterCounters::shard_rpcs);
+  const std::uint64_t t0 = MonotonicNs();
+  const Status st = shard->backend->Put(name, data);
+  trace::GlobalHistogram("cluster.rpc").Record(MonotonicNs() - t0);
+  const bool transport_ok = st.ok() || st.code() != ErrorCode::kIOError;
+  if (!transport_ok) Bump(&ClusterCounters::shard_failures);
+  RecordShardOutcome(*shard, transport_ok);
+  return st;
+}
+
+Status ClusterBackend::ShardDelete(const ShardPtr& shard,
+                                   const std::string& name) {
+  Bump(&ClusterCounters::shard_rpcs);
+  const std::uint64_t t0 = MonotonicNs();
+  const Status st = shard->backend->Delete(name);
+  trace::GlobalHistogram("cluster.rpc").Record(MonotonicNs() - t0);
+  const bool transport_ok = st.ok() || st.code() != ErrorCode::kIOError;
+  if (!transport_ok) Bump(&ClusterCounters::shard_failures);
+  RecordShardOutcome(*shard, transport_ok);
+  return st;
+}
+
+std::vector<Result<Bytes>> ClusterBackend::ShardMultiGet(
+    const ShardPtr& shard, const std::vector<std::string>& names) {
+  Bump(&ClusterCounters::shard_rpcs);
+  const std::uint64_t t0 = MonotonicNs();
+  std::vector<Result<Bytes>> res = shard->backend->MultiGet(names);
+  trace::GlobalHistogram("cluster.rpc").Record(MonotonicNs() - t0);
+  // A transport failure fails the whole batch; a healthy server answers
+  // per name. Treat "every entry kIOError" as the transport case.
+  bool transport_ok = names.empty();
+  for (const auto& r : res) {
+    if (r.ok() || r.status().code() != ErrorCode::kIOError) {
+      transport_ok = true;
+      break;
+    }
+  }
+  if (!transport_ok) Bump(&ClusterCounters::shard_failures);
+  RecordShardOutcome(*shard, transport_ok);
+  return res;
+}
+
+Result<std::vector<std::string>> ClusterBackend::ShardList(
+    const ShardPtr& shard, const std::string& prefix) {
+  Bump(&ClusterCounters::shard_rpcs);
+  const std::uint64_t t0 = MonotonicNs();
+  // List has no error channel on the StorageBackend surface; RemoteBackend
+  // returns an empty vector on transport failure. Probe liveness with
+  // Exists on a name no store holds, so a dead shard is detected and an
+  // empty-but-healthy shard is not misdiagnosed.
+  std::vector<std::string> names = shard->backend->List(prefix);
+  bool transport_ok = true;
+  if (names.empty()) {
+    const Result<Bytes> probe =
+        shard->backend->Get("\x01nexus-cluster-liveness-probe");
+    transport_ok =
+        probe.ok() || probe.status().code() != ErrorCode::kIOError;
+  }
+  trace::GlobalHistogram("cluster.rpc").Record(MonotonicNs() - t0);
+  if (!transport_ok) {
+    Bump(&ClusterCounters::shard_failures);
+    RecordShardOutcome(*shard, false);
+    return Error(ErrorCode::kIOError, "shard unreachable during List");
+  }
+  RecordShardOutcome(*shard, true);
+  return names;
+}
+
+// ---- placement --------------------------------------------------------------
+
+std::vector<ClusterBackend::ShardPtr> ClusterBackend::PreferenceList(
+    const std::string& name) const {
+  const std::lock_guard<std::mutex> lock(membership_mu_);
+  const std::vector<std::string> ids =
+      ring_.Successors(name, shards_.size());
+  std::vector<ShardPtr> out;
+  out.reserve(ids.size());
+  for (const std::string& id : ids) {
+    const auto it = shards_.find(id);
+    if (it != shards_.end()) out.push_back(it->second);
+  }
+  return out;
+}
+
+std::mutex& ClusterBackend::StripeFor(const std::string& name) {
+  return stripes_[HashRing::HashPoint(name) % stripes_.size()];
+}
+
+// ---- quorum machinery -------------------------------------------------------
+
+std::vector<ClusterBackend::ReadHit> ClusterBackend::QuorumRead(
+    const std::string& name, bool count_failover) {
+  const std::vector<ShardPtr> prefs = PreferenceList(name);
+  const std::size_t needed = std::min(read_quorum_, prefs.size());
+  std::vector<ReadHit> hits;
+  for (std::size_t i = 0; i < prefs.size() && hits.size() < needed; ++i) {
+    Shard& shard = *prefs[i];
+    if (!ShardAvailable(shard)) continue;
+    Result<Bytes> res = ShardGet(prefs[i], name);
+    ReadHit hit;
+    hit.shard = prefs[i];
+    if (res.ok()) {
+      Result<Envelope> env = DecodeEnvelope(
+          ByteSpan(res.value().data(), res.value().size()));
+      if (env.ok()) {
+        ObserveVersion(env.value().version);
+        hit.envelope = std::move(env).value();
+      }
+      // A corrupt replica stays a hit with no envelope: the shard
+      // answered, and read-repair will overwrite the damage.
+    } else if (res.status().code() == ErrorCode::kNotFound) {
+      // Valid empty answer.
+    } else {
+      continue; // transport failure: slide to the next successor
+    }
+    if (count_failover && i >= replication_) {
+      Bump(&ClusterCounters::failovers);
+    }
+    hits.push_back(std::move(hit));
+  }
+  if (hits.size() < needed) hits.clear();
+  return hits;
+}
+
+std::optional<Envelope> ClusterBackend::BestOf(
+    const std::vector<ReadHit>& hits) {
+  std::optional<Envelope> best;
+  for (const ReadHit& hit : hits) {
+    if (!hit.envelope) continue;
+    if (!best || EnvelopeNewer(*hit.envelope, *best)) best = hit.envelope;
+  }
+  return best;
+}
+
+void ClusterBackend::RepairLocked(const std::string& name,
+                                  const Envelope& best,
+                                  const std::vector<ReadHit>& hits) {
+  Bytes encoded;
+  for (const ReadHit& hit : hits) {
+    const bool stale =
+        !hit.envelope || EnvelopeNewer(best, *hit.envelope);
+    if (!stale) continue;
+    // Re-check under the stripe lock: the replica may have caught up (or
+    // moved past `best`) since the unlocked quorum read sampled it.
+    const Result<Bytes> cur = ShardGet(hit.shard, name);
+    if (cur.ok()) {
+      const Result<Envelope> cur_env = DecodeEnvelope(
+          ByteSpan(cur.value().data(), cur.value().size()));
+      if (cur_env.ok() && !EnvelopeNewer(best, cur_env.value())) continue;
+    } else if (cur.status().code() != ErrorCode::kNotFound) {
+      continue; // unreachable right now; the rebalancer will catch it
+    }
+    if (encoded.empty()) encoded = EncodeEnvelope(best);
+    if (ShardPut(hit.shard, name, ByteSpan(encoded.data(), encoded.size()))
+            .ok()) {
+      Bump(&ClusterCounters::read_repairs);
+    }
+  }
+}
+
+Status ClusterBackend::QuorumWriteLocked(const std::string& name,
+                                         const Bytes& encoded) {
+  const std::vector<ShardPtr> prefs = PreferenceList(name);
+  const std::size_t needed = std::min(write_quorum_, prefs.size());
+  if (needed == 0) {
+    return Error(ErrorCode::kIOError, "cluster has no shards");
+  }
+  std::size_t acks = 0;
+  for (std::size_t i = 0; i < prefs.size() && acks < needed; ++i) {
+    Shard& shard = *prefs[i];
+    if (!ShardAvailable(shard)) continue;
+    const Status st =
+        ShardPut(prefs[i], name, ByteSpan(encoded.data(), encoded.size()));
+    if (!st.ok()) continue;
+    ++acks;
+    if (i >= replication_) Bump(&ClusterCounters::failovers);
+  }
+  if (acks < needed) {
+    return Error(ErrorCode::kIOError,
+                 "write quorum not reached (" + std::to_string(acks) + "/" +
+                     std::to_string(needed) + " acks)");
+  }
+  return Status::Ok();
+}
+
+// ---- StorageBackend surface -------------------------------------------------
+
+Result<Bytes> ClusterBackend::Get(const std::string& name) {
+  const trace::Span span("cluster.get", "cluster");
+  Bump(&ClusterCounters::quorum_reads);
+  const std::vector<ReadHit> hits = QuorumRead(name, /*count_failover=*/true);
+  if (hits.empty()) {
+    Bump(&ClusterCounters::quorum_failures);
+    return Error(ErrorCode::kIOError, "read quorum not reached: " + name);
+  }
+  const std::optional<Envelope> best = BestOf(hits);
+  if (!best || best->tombstone) {
+    return Error(ErrorCode::kNotFound, "object not found: " + name);
+  }
+  bool divergent = false;
+  for (const ReadHit& hit : hits) {
+    if (!hit.envelope || EnvelopeNewer(*best, *hit.envelope)) {
+      divergent = true;
+      break;
+    }
+  }
+  if (divergent) {
+    const std::lock_guard<std::mutex> lock(StripeFor(name));
+    RepairLocked(name, *best, hits);
+  }
+  return best->payload;
+}
+
+Status ClusterBackend::Put(const std::string& name, ByteSpan data) {
+  const trace::Span span("cluster.put", "cluster");
+  Bump(&ClusterCounters::quorum_writes);
+  Envelope env;
+  env.version = DrawVersion();
+  env.writer = writer_id_;
+  env.payload = ToBytes(data);
+  const Bytes encoded = EncodeEnvelope(env);
+  const std::lock_guard<std::mutex> lock(StripeFor(name));
+  const Status st = QuorumWriteLocked(name, encoded);
+  if (!st.ok()) Bump(&ClusterCounters::quorum_failures);
+  return st;
+}
+
+Status ClusterBackend::Delete(const std::string& name) {
+  const trace::Span span("cluster.delete", "cluster");
+  const std::lock_guard<std::mutex> lock(StripeFor(name));
+  // Quorum-read first so a delete of a missing object reports kNotFound
+  // (the StorageBackend contract) instead of silently planting a marker.
+  Bump(&ClusterCounters::quorum_reads);
+  const std::vector<ReadHit> hits = QuorumRead(name, /*count_failover=*/true);
+  if (hits.empty()) {
+    Bump(&ClusterCounters::quorum_failures);
+    return Error(ErrorCode::kIOError, "read quorum not reached: " + name);
+  }
+  const std::optional<Envelope> best = BestOf(hits);
+  if (!best || best->tombstone) {
+    return Error(ErrorCode::kNotFound, "object not found: " + name);
+  }
+  Envelope tomb;
+  tomb.tombstone = true;
+  tomb.version = DrawVersion();
+  tomb.writer = writer_id_;
+  Bump(&ClusterCounters::quorum_writes);
+  const Status st = QuorumWriteLocked(name, EncodeEnvelope(tomb));
+  if (!st.ok()) {
+    Bump(&ClusterCounters::quorum_failures);
+    return st;
+  }
+  Bump(&ClusterCounters::tombstones_written);
+  return Status::Ok();
+}
+
+bool ClusterBackend::Exists(const std::string& name) {
+  const trace::Span span("cluster.exists", "cluster");
+  Bump(&ClusterCounters::quorum_reads);
+  const std::vector<ReadHit> hits = QuorumRead(name, /*count_failover=*/false);
+  if (hits.empty()) {
+    Bump(&ClusterCounters::quorum_failures);
+    return false;
+  }
+  const std::optional<Envelope> best = BestOf(hits);
+  return best.has_value() && !best->tombstone;
+}
+
+std::vector<std::string> ClusterBackend::List(const std::string& prefix) {
+  const trace::Span span("cluster.list", "cluster");
+  std::vector<ShardPtr> all;
+  {
+    const std::lock_guard<std::mutex> lock(membership_mu_);
+    all.reserve(shards_.size());
+    for (const auto& [_, shard] : shards_) all.push_back(shard);
+  }
+  std::set<std::string> candidates;
+  for (const ShardPtr& shard : all) {
+    if (!ShardAvailable(*shard)) continue;
+    const Result<std::vector<std::string>> names = ShardList(shard, prefix);
+    if (!names.ok()) continue;
+    candidates.insert(names.value().begin(), names.value().end());
+  }
+  // Filter quorum-committed deletes: a name is listed only if its newest
+  // envelope is not a tombstone.
+  std::vector<std::string> out;
+  for (const std::string& name : candidates) {
+    const std::vector<ReadHit> hits =
+        QuorumRead(name, /*count_failover=*/false);
+    const std::optional<Envelope> best = BestOf(hits);
+    if (best && !best->tombstone) out.push_back(name);
+  }
+  return out;
+}
+
+std::vector<Result<Bytes>> ClusterBackend::MultiGet(
+    const std::vector<std::string>& names) {
+  const trace::Span span("cluster.multiget", "cluster");
+  // Per name: walk its preference list round by round, but BATCH all
+  // names that target the same shard in one MultiGet RPC per round.
+  struct PerName {
+    std::vector<ShardPtr> prefs;
+    std::vector<ReadHit> hits;
+    std::size_t next_pref = 0;
+    std::size_t needed = 0;
+    bool failover_seen = false;
+  };
+  std::vector<PerName> state(names.size());
+  std::size_t max_rounds = 0;
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    Bump(&ClusterCounters::quorum_reads);
+    state[i].prefs = PreferenceList(names[i]);
+    state[i].needed = std::min(read_quorum_, state[i].prefs.size());
+    max_rounds = std::max(max_rounds, state[i].prefs.size());
+  }
+  for (std::size_t round = 0; round < max_rounds; ++round) {
+    // shard -> indices into `names` probing that shard this round.
+    std::unordered_map<Shard*, std::vector<std::size_t>> batches;
+    std::unordered_map<Shard*, ShardPtr> keep_alive;
+    for (std::size_t i = 0; i < names.size(); ++i) {
+      PerName& s = state[i];
+      while (s.hits.size() < s.needed && s.next_pref < s.prefs.size()) {
+        const ShardPtr& shard = s.prefs[s.next_pref];
+        ++s.next_pref;
+        if (!ShardAvailable(*shard)) continue;
+        batches[shard.get()].push_back(i);
+        keep_alive.emplace(shard.get(), shard);
+        break; // one probe per name per round
+      }
+    }
+    if (batches.empty()) break;
+    for (auto& [shard_raw, indices] : batches) {
+      const ShardPtr shard = keep_alive[shard_raw];
+      std::vector<std::string> batch_names;
+      batch_names.reserve(indices.size());
+      for (const std::size_t i : indices) batch_names.push_back(names[i]);
+      const std::vector<Result<Bytes>> res = ShardMultiGet(shard, batch_names);
+      for (std::size_t j = 0; j < indices.size() && j < res.size(); ++j) {
+        PerName& s = state[indices[j]];
+        ReadHit hit;
+        hit.shard = shard;
+        if (res[j].ok()) {
+          Result<Envelope> env = DecodeEnvelope(
+              ByteSpan(res[j].value().data(), res[j].value().size()));
+          if (env.ok()) {
+            ObserveVersion(env.value().version);
+            hit.envelope = std::move(env).value();
+          }
+        } else if (res[j].status().code() != ErrorCode::kNotFound) {
+          continue; // transport failure: this round contributed nothing
+        }
+        if (s.next_pref > replication_ && !s.failover_seen) {
+          s.failover_seen = true;
+          Bump(&ClusterCounters::failovers);
+        }
+        s.hits.push_back(std::move(hit));
+      }
+    }
+  }
+  std::vector<Result<Bytes>> out;
+  out.reserve(names.size());
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    PerName& s = state[i];
+    if (s.hits.size() < s.needed || s.needed == 0) {
+      Bump(&ClusterCounters::quorum_failures);
+      out.emplace_back(
+          Error(ErrorCode::kIOError, "read quorum not reached: " + names[i]));
+      continue;
+    }
+    const std::optional<Envelope> best = BestOf(s.hits);
+    if (!best || best->tombstone) {
+      out.emplace_back(
+          Error(ErrorCode::kNotFound, "object not found: " + names[i]));
+      continue;
+    }
+    bool divergent = false;
+    for (const ReadHit& hit : s.hits) {
+      if (!hit.envelope || EnvelopeNewer(*best, *hit.envelope)) {
+        divergent = true;
+        break;
+      }
+    }
+    if (divergent) {
+      const std::lock_guard<std::mutex> lock(StripeFor(names[i]));
+      RepairLocked(names[i], *best, s.hits);
+    }
+    out.emplace_back(best->payload);
+  }
+  return out;
+}
+
+Result<std::unique_ptr<storage::StorageBackend::PutStream>>
+ClusterBackend::OpenPutStream(const std::string& name) {
+  return std::unique_ptr<PutStream>(
+      std::make_unique<ClusterPutStream>(*this, name));
+}
+
+// ---- membership -------------------------------------------------------------
+
+Status ClusterBackend::AddShard(ShardSpec spec) {
+  if (spec.id.empty() || !spec.factory) {
+    return Error(ErrorCode::kInvalidArgument, "shard needs an id + factory");
+  }
+  auto built = spec.factory();
+  if (!built.ok()) return built.status();
+  auto shard = std::make_shared<Shard>();
+  shard->id = spec.id;
+  shard->backend = std::move(built).value();
+  {
+    const std::lock_guard<std::mutex> lock(membership_mu_);
+    if (shards_.contains(spec.id)) {
+      return Error(ErrorCode::kAlreadyExists, "shard exists: " + spec.id);
+    }
+    ring_.AddNode(spec.id);
+    shards_.emplace(spec.id, std::move(shard));
+  }
+  {
+    const std::lock_guard<std::mutex> lock(rebalance_mu_);
+    rebalance_pending_ = true;
+  }
+  rebalance_cv_.notify_all();
+  return Status::Ok();
+}
+
+Status ClusterBackend::RemoveShard(const std::string& id) {
+  {
+    const std::lock_guard<std::mutex> lock(membership_mu_);
+    const auto it = shards_.find(id);
+    if (it == shards_.end()) {
+      return Error(ErrorCode::kNotFound, "no such shard: " + id);
+    }
+    ring_.RemoveNode(id);
+    shards_.erase(it);
+  }
+  {
+    const std::lock_guard<std::mutex> lock(rebalance_mu_);
+    rebalance_pending_ = true;
+  }
+  rebalance_cv_.notify_all();
+  return Status::Ok();
+}
+
+// ---- rebalancing ------------------------------------------------------------
+
+void ClusterBackend::RebalanceLoop() {
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(rebalance_mu_);
+      rebalance_cv_.wait(lock,
+                         [this] { return rebalance_pending_ || shutdown_; });
+      if (shutdown_) return;
+      rebalance_pending_ = false;
+    }
+    RebalancePass();
+  }
+}
+
+void ClusterBackend::RebalanceNow() { RebalancePass(); }
+
+void ClusterBackend::RebalancePass() {
+  const trace::Span span("cluster.rebalance", "cluster");
+  Bump(&ClusterCounters::rebalance_passes);
+  std::vector<ShardPtr> all;
+  {
+    const std::lock_guard<std::mutex> lock(membership_mu_);
+    all.reserve(shards_.size());
+    for (const auto& [_, shard] : shards_) all.push_back(shard);
+  }
+  std::set<std::string> every_name;
+  for (const ShardPtr& shard : all) {
+    if (!ShardAvailable(*shard)) continue;
+    const Result<std::vector<std::string>> names = ShardList(shard, "");
+    if (!names.ok()) continue;
+    every_name.insert(names.value().begin(), names.value().end());
+  }
+
+  for (const std::string& name : every_name) {
+    const std::lock_guard<std::mutex> lock(StripeFor(name));
+    // Sample every shard's replica under the stripe lock.
+    struct Replica {
+      ShardPtr shard;
+      std::optional<Envelope> envelope; // nullopt = shard has no replica
+    };
+    std::vector<Replica> replicas;
+    std::set<std::string> unreachable;
+    for (const ShardPtr& shard : all) {
+      bool in_ring = false;
+      {
+        const std::lock_guard<std::mutex> mlock(membership_mu_);
+        in_ring = shards_.contains(shard->id);
+      }
+      if (!in_ring) continue;
+      if (!ShardAvailable(*shard)) {
+        unreachable.insert(shard->id);
+        continue;
+      }
+      const Result<Bytes> res = ShardGet(shard, name);
+      if (res.ok()) {
+        Result<Envelope> env = DecodeEnvelope(
+            ByteSpan(res.value().data(), res.value().size()));
+        if (env.ok()) {
+          ObserveVersion(env.value().version);
+          replicas.push_back({shard, std::move(env).value()});
+        } else {
+          replicas.push_back({shard, std::nullopt}); // corrupt: overwrite
+        }
+      } else if (res.status().code() == ErrorCode::kNotFound) {
+        replicas.push_back({shard, std::nullopt});
+      } else {
+        unreachable.insert(shard->id);
+      }
+    }
+    std::optional<Envelope> best;
+    for (const Replica& r : replicas) {
+      if (r.envelope && (!best || EnvelopeNewer(*r.envelope, *best))) {
+        best = r.envelope;
+      }
+    }
+    if (!best) continue;
+
+    std::set<std::string> owners;
+    {
+      const std::lock_guard<std::mutex> mlock(membership_mu_);
+      const std::vector<std::string> ids =
+          ring_.Successors(name, replication_);
+      owners.insert(ids.begin(), ids.end());
+    }
+    const Bytes encoded = EncodeEnvelope(*best);
+    bool owners_converged = true;
+    for (const Replica& r : replicas) {
+      if (!owners.contains(r.shard->id)) continue;
+      const bool stale = !r.envelope || EnvelopeNewer(*best, *r.envelope);
+      if (!stale) continue;
+      if (ShardPut(r.shard, name, ByteSpan(encoded.data(), encoded.size()))
+              .ok()) {
+        Bump(&ClusterCounters::rebalance_objects_moved);
+      } else {
+        owners_converged = false;
+      }
+    }
+    for (const std::string& owner : owners) {
+      if (unreachable.contains(owner)) owners_converged = false;
+      bool sampled = false;
+      for (const Replica& r : replicas) {
+        if (r.shard->id == owner) sampled = true;
+      }
+      if (!sampled) owners_converged = false;
+    }
+    // Purge from non-owners only once every owner provably holds the
+    // newest envelope — otherwise a sloppy-quorum replica might be the
+    // sole survivor.
+    if (!owners_converged) continue;
+    for (const Replica& r : replicas) {
+      if (owners.contains(r.shard->id) || !r.envelope) continue;
+      if (ShardDelete(r.shard, name).ok()) {
+        Bump(&ClusterCounters::rebalance_objects_purged);
+      }
+    }
+  }
+}
+
+// ---- observability ----------------------------------------------------------
+
+void ClusterBackend::Bump(std::uint64_t ClusterCounters::* field,
+                          std::uint64_t n) {
+  {
+    const std::lock_guard<std::mutex> lock(counters_mu_);
+    counters_.*field += n;
+  }
+  ClusterCounters delta;
+  delta.*field = n;
+  GlobalClusterAdd(delta);
+}
+
+ClusterCounters ClusterBackend::counters() const {
+  ClusterCounters out;
+  {
+    const std::lock_guard<std::mutex> lock(counters_mu_);
+    out = counters_;
+  }
+  const trace::Histogram& latency = trace::GlobalHistogram("cluster.rpc");
+  if (latency.Count() > 0) {
+    out.shard_rpc_p50_ms = latency.PercentileMs(0.50);
+    out.shard_rpc_p99_ms = latency.PercentileMs(0.99);
+  }
+  return out;
+}
+
+std::vector<std::string> ClusterBackend::ShardIds() const {
+  const std::lock_guard<std::mutex> lock(membership_mu_);
+  std::vector<std::string> out;
+  out.reserve(shards_.size());
+  for (const auto& [id, _] : shards_) out.push_back(id);
+  return out;
+}
+
+std::vector<ClusterBackend::ShardHealth> ClusterBackend::Health() const {
+  std::vector<ShardPtr> all;
+  {
+    const std::lock_guard<std::mutex> lock(membership_mu_);
+    all.reserve(shards_.size());
+    for (const auto& [_, shard] : shards_) all.push_back(shard);
+  }
+  std::vector<ShardHealth> out;
+  out.reserve(all.size());
+  for (const ShardPtr& shard : all) {
+    const std::lock_guard<std::mutex> lock(shard->mu);
+    ShardHealth h;
+    h.id = shard->id;
+    h.ejected = shard->ejected;
+    h.consecutive_failures = shard->consecutive_failures;
+    h.eject_episodes = shard->eject_episodes;
+    out.push_back(std::move(h));
+  }
+  return out;
+}
+
+} // namespace nexus::cluster

@@ -1,0 +1,287 @@
+// ClusterBackend: a sharded, replicated StorageBackend over N nexusd
+// shards (DESIGN.md §11).
+//
+// This is a CLIENT-side subsystem, in keeping with the NeXUS thesis:
+// shards are plain untrusted nexusd object stores that never learn the
+// placement or replication policy; all coordination logic runs in the
+// client, below the crypto layer, so every replicated byte is already
+// ciphertext by the time it fans out. The layering is unchanged —
+// ClusterBackend IS a StorageBackend, so CachedBackend, the journal and
+// NexusClient compose over it exactly as they do over one RemoteBackend.
+//
+//   * Placement — a consistent-hash ring with virtual nodes (ring.hpp).
+//     An object's REPLICA SET is the first R distinct shards clockwise
+//     from its point; membership change moves only the arcs the changed
+//     shard covered.
+//   * Quorums — Put writes a versioned envelope to the replica set and
+//     needs W acks (default majority of R); Get reads until R_q shards
+//     answered and returns the envelope with the highest (version,
+//     writer) order. Writes that cannot reach an owner SLIDE DOWN the
+//     successor list (sloppy quorum): the next healthy successor absorbs
+//     the replica, a failover is counted, and read-repair / rebalancing
+//     drain it back once the owner returns. This is what lets a 3-shard
+//     R=2 cluster keep committing with W=2 while one shard is dead.
+//   * Versions — envelopes carry a hybrid logical clock (drawn from an
+//     atomic counter seeded with wall time, advanced past every version
+//     observed) plus a per-client writer id as tiebreak. Deletes are
+//     TOMBSTONE envelopes written through the same quorum path, so a
+//     resurrecting replica cannot undo a delete.
+//   * Repair — when a quorum read sees divergent replicas, the newest
+//     envelope is copied to the stale/missing ones under the object's
+//     stripe lock (checking again under the lock, never drawing a new
+//     version). A background rebalancer runs the same convergence over
+//     the whole keyspace after membership changes, then purges replicas
+//     from shards that no longer own them.
+//   * Health — consecutive transport failures (server verdicts do not
+//     count) eject a shard from candidate sets; a backoff-gated
+//     half-open probe reinstates it on the first success.
+//
+// Thread-safety: full StorageBackend contract. Mutations, read-repair and
+// the rebalancer serialize per object name on a stripe-lock array, so
+// last-writer-wins is decided by envelope order, not interleaving luck.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cluster/cluster_counters.hpp"
+#include "cluster/ring.hpp"
+#include "common/bytes.hpp"
+#include "common/result.hpp"
+#include "net/remote_backend.hpp"
+#include "storage/backend.hpp"
+
+namespace nexus::cluster {
+
+// ---- versioned replica envelope ---------------------------------------------
+
+/// What actually lands in a shard's object store: the caller's payload
+/// wrapped with the metadata replica convergence needs.
+struct Envelope {
+  bool tombstone = false;    // a quorum-committed delete marker
+  std::uint64_t version = 0; // hybrid logical clock draw
+  std::uint64_t writer = 0;  // writer id, total-order tiebreak
+  Bytes payload;             // empty for tombstones
+};
+
+Bytes EncodeEnvelope(const Envelope& env);
+Result<Envelope> DecodeEnvelope(ByteSpan data);
+/// Strict "a supersedes b" in last-writer-wins order: lexicographic on
+/// (version, writer).
+[[nodiscard]] bool EnvelopeNewer(const Envelope& a, const Envelope& b);
+
+// ---- configuration ----------------------------------------------------------
+
+/// One shard: a stable id (hashes onto the ring — reuse the id to reuse
+/// the placement) and a factory producing its backend. Production shards
+/// are RemoteBackends to nexusd daemons; tests inject MemBackends or
+/// fault-wrapped ones.
+struct ShardSpec {
+  std::string id;
+  std::function<Result<std::unique_ptr<storage::StorageBackend>>()> factory;
+};
+
+struct ClusterOptions {
+  /// Replicas per object. 0 = NEXUS_REPLICATION env (default 2). Clamped
+  /// to the shard count at placement time.
+  std::size_t replication = 0;
+  /// Write acks required. 0 = majority of replication (R/2 + 1).
+  std::size_t write_quorum = 0;
+  /// Shard answers required per read. 0 = majority of replication.
+  std::size_t read_quorum = 0;
+  /// Virtual nodes per shard on the ring.
+  std::size_t vnodes = 64;
+  /// Consecutive transport failures before a shard is ejected.
+  int eject_after = 3;
+  /// Reinstatement probe backoff: base * 2^episode, capped.
+  int reinstate_backoff_base_ms = 100;
+  int reinstate_backoff_cap_ms = 5000;
+  /// Version tiebreak identity. 0 = random per instance.
+  std::uint64_t writer_id = 0;
+  /// Injectable clock (ms, monotone-ish) for the health backoff and the
+  /// version-clock seed. Null = wall clock.
+  std::function<std::uint64_t()> now_ms;
+  /// Run the background rebalance thread (membership changes trigger
+  /// passes). Tests that want deterministic passes set false and call
+  /// RebalanceNow().
+  bool background_rebalance = true;
+};
+
+// ---- the backend ------------------------------------------------------------
+
+class ClusterBackend final : public storage::StorageBackend {
+ public:
+  /// Builds every shard via its factory. Fails if any factory fails or
+  /// fewer shards than the write quorum exist.
+  static Result<std::unique_ptr<ClusterBackend>> Create(
+      std::vector<ShardSpec> shards, ClusterOptions options = {});
+
+  /// TCP convenience: `endpoints` is "host:port,host:port,..."; empty
+  /// falls back to the NEXUS_CLUSTER env var. Each endpoint becomes a
+  /// RemoteBackend shard (the endpoint string is the shard id).
+  static Result<std::unique_ptr<ClusterBackend>> Connect(
+      const std::string& endpoints, ClusterOptions options = {},
+      net::RemoteBackendOptions remote = {});
+
+  ~ClusterBackend() override;
+
+  // StorageBackend surface. Leases and invalidation push are not offered
+  // at cluster level (every read already consults a quorum), so the cache
+  // tier above falls back to write-through + TTL exactly as it would over
+  // a pre-v4 server.
+  Result<Bytes> Get(const std::string& name) override;
+  Status Put(const std::string& name, ByteSpan data) override;
+  Status Delete(const std::string& name) override;
+  bool Exists(const std::string& name) override;
+  std::vector<std::string> List(const std::string& prefix) override;
+  std::vector<Result<Bytes>> MultiGet(
+      const std::vector<std::string>& names) override;
+  Result<std::unique_ptr<PutStream>> OpenPutStream(
+      const std::string& name) override;
+
+  // ---- membership -----------------------------------------------------------
+
+  /// Adds a shard: the ring changes immediately (new writes place onto
+  /// it) and a rebalance pass is scheduled to migrate the arcs it now
+  /// owns.
+  Status AddShard(ShardSpec spec);
+  /// Removes a shard from the ring (its backend is dropped). Objects it
+  /// held survive on their other replicas; the scheduled rebalance pass
+  /// restores full replication.
+  Status RemoveShard(const std::string& id);
+
+  /// One synchronous rebalance pass: for every object on any shard,
+  /// converge its ring owners onto the newest envelope, then purge
+  /// replicas from non-owners. Idempotent; safe under concurrent writes
+  /// (per-name stripe locks).
+  void RebalanceNow();
+
+  // ---- observability --------------------------------------------------------
+
+  [[nodiscard]] ClusterCounters counters() const;
+  [[nodiscard]] std::vector<std::string> ShardIds() const;
+
+  struct ShardHealth {
+    std::string id;
+    bool ejected = false;
+    int consecutive_failures = 0;
+    std::uint64_t eject_episodes = 0;
+  };
+  [[nodiscard]] std::vector<ShardHealth> Health() const;
+
+  [[nodiscard]] std::size_t replication() const noexcept { return replication_; }
+  [[nodiscard]] std::size_t write_quorum() const noexcept { return write_quorum_; }
+  [[nodiscard]] std::size_t read_quorum() const noexcept { return read_quorum_; }
+
+ private:
+  friend class ClusterPutStream;
+
+  struct Shard {
+    std::string id;
+    std::shared_ptr<storage::StorageBackend> backend;
+    mutable std::mutex mu; // guards the health fields below
+    int consecutive_failures = 0;
+    bool ejected = false;
+    bool probing = false;  // a half-open probe is in flight
+    int backoff_level = 0; // consecutive failed probes this episode
+    std::uint64_t eject_until_ms = 0;
+    std::uint64_t eject_episodes = 0;
+  };
+  using ShardPtr = std::shared_ptr<Shard>;
+
+  /// One shard's contribution to a quorum read: transport-ok response,
+  /// with the decoded envelope or nullopt for "shard has no replica".
+  struct ReadHit {
+    ShardPtr shard;
+    std::optional<Envelope> envelope;
+  };
+
+  ClusterBackend(ClusterOptions options, std::size_t replication,
+                 std::size_t write_quorum, std::size_t read_quorum);
+
+  // Versions.
+  std::uint64_t DrawVersion();
+  void ObserveVersion(std::uint64_t version);
+
+  // Health.
+  bool ShardAvailable(Shard& shard);
+  void RecordShardOutcome(Shard& shard, bool transport_ok);
+
+  // Shard RPC wrappers: time into the "cluster.rpc" histogram, bump
+  // rpc/failure counters, feed the health tracker.
+  Result<Bytes> ShardGet(const ShardPtr& shard, const std::string& name);
+  Status ShardPut(const ShardPtr& shard, const std::string& name,
+                  ByteSpan data);
+  Status ShardDelete(const ShardPtr& shard, const std::string& name);
+  std::vector<Result<Bytes>> ShardMultiGet(
+      const ShardPtr& shard, const std::vector<std::string>& names);
+  Result<std::vector<std::string>> ShardList(const ShardPtr& shard,
+                                             const std::string& prefix);
+
+  /// Extended successor list for `name`: EVERY shard in ring-successor
+  /// order (owners first, then the failover tail).
+  std::vector<ShardPtr> PreferenceList(const std::string& name) const;
+
+  /// Reads `name` until `read_quorum_` transport-ok answers (kNotFound is
+  /// a valid empty answer), sliding down the preference list past dead
+  /// shards. Returns the hits, or empty when quorum was unreachable.
+  std::vector<ReadHit> QuorumRead(const std::string& name,
+                                  bool count_failover);
+  /// Best (newest) envelope among hits; nullopt when no replica exists.
+  static std::optional<Envelope> BestOf(const std::vector<ReadHit>& hits);
+  /// Copies `best` onto responding replicas that were missing/stale.
+  /// Caller holds the name's stripe lock.
+  void RepairLocked(const std::string& name, const Envelope& best,
+                    const std::vector<ReadHit>& hits);
+  /// Envelope quorum-write used by Put / Delete / read-repair commit.
+  Status QuorumWriteLocked(const std::string& name, const Bytes& encoded);
+
+  std::mutex& StripeFor(const std::string& name);
+
+  void Bump(std::uint64_t ClusterCounters::* field, std::uint64_t n = 1);
+
+  void RebalanceLoop();
+  void RebalancePass();
+
+  ClusterOptions options_;
+  const std::size_t replication_;
+  const std::size_t write_quorum_;
+  const std::size_t read_quorum_;
+  std::uint64_t writer_id_ = 0;
+  std::atomic<std::uint64_t> version_clock_{0};
+
+  mutable std::mutex membership_mu_; // guards ring_ + shards_
+  HashRing ring_;
+  std::map<std::string, ShardPtr> shards_;
+
+  std::array<std::mutex, 64> stripes_;
+
+  mutable std::mutex counters_mu_;
+  ClusterCounters counters_;
+
+  // Rebalance thread: woken by membership changes, exits on shutdown.
+  std::mutex rebalance_mu_;
+  std::condition_variable rebalance_cv_;
+  bool rebalance_pending_ = false;
+  bool shutdown_ = false;
+  std::thread rebalance_thread_;
+};
+
+/// Splits "host:port,host:port" (whitespace tolerated) into endpoint
+/// strings; exposed for nexus-stat's --cluster mode.
+std::vector<std::string> ParseEndpointList(const std::string& endpoints);
+/// Splits one "host:port". Returns false on malformed input.
+bool SplitHostPort(const std::string& endpoint, std::string* host,
+                   std::uint16_t* port);
+
+} // namespace nexus::cluster

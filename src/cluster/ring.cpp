@@ -1,0 +1,79 @@
+#include "cluster/ring.hpp"
+
+#include <algorithm>
+
+#include "common/bytes.hpp"
+#include "crypto/sha256.hpp"
+
+namespace nexus::cluster {
+
+std::uint64_t HashRing::HashPoint(const std::string& key) {
+  const auto digest = crypto::Sha256::Hash(
+      ByteSpan(reinterpret_cast<const std::uint8_t*>(key.data()), key.size()));
+  std::uint64_t point = 0;
+  for (int i = 7; i >= 0; --i) {
+    point = (point << 8) | digest[static_cast<std::size_t>(i)];
+  }
+  return point;
+}
+
+void HashRing::AddNode(const std::string& id) {
+  if (nodes_.contains(id)) return;
+  nodes_.emplace(id, vnodes_);
+  for (std::size_t i = 0; i < vnodes_; ++i) {
+    // Vnode key: id + "#" + index. A hash collision between two vnodes is
+    // resolved deterministically by map insertion order (first wins) —
+    // astronomically rare and harmless either way.
+    ring_.emplace(HashPoint(id + "#" + std::to_string(i)), id);
+  }
+}
+
+void HashRing::RemoveNode(const std::string& id) {
+  const auto it = nodes_.find(id);
+  if (it == nodes_.end()) return;
+  nodes_.erase(it);
+  for (auto rit = ring_.begin(); rit != ring_.end();) {
+    if (rit->second == id) {
+      rit = ring_.erase(rit);
+    } else {
+      ++rit;
+    }
+  }
+}
+
+std::vector<std::string> HashRing::Successors(const std::string& name,
+                                              std::size_t r) const {
+  std::vector<std::string> out;
+  if (ring_.empty() || r == 0) return out;
+  out.reserve(std::min(r, nodes_.size()));
+  const std::uint64_t point = HashPoint(name);
+  // Walk clockwise from the object's point, wrapping once; collect the
+  // first r distinct shard ids.
+  auto it = ring_.lower_bound(point);
+  for (std::size_t steps = 0; steps < ring_.size() && out.size() < r;
+       ++steps, ++it) {
+    if (it == ring_.end()) it = ring_.begin();
+    if (std::find(out.begin(), out.end(), it->second) == out.end()) {
+      out.push_back(it->second);
+    }
+  }
+  return out;
+}
+
+std::string HashRing::Owner(const std::string& name) const {
+  const auto owners = Successors(name, 1);
+  return owners.empty() ? std::string() : owners.front();
+}
+
+bool HashRing::Contains(const std::string& id) const {
+  return nodes_.contains(id);
+}
+
+std::vector<std::string> HashRing::Nodes() const {
+  std::vector<std::string> out;
+  out.reserve(nodes_.size());
+  for (const auto& [id, _] : nodes_) out.push_back(id);
+  return out;
+}
+
+} // namespace nexus::cluster

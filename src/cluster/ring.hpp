@@ -1,0 +1,54 @@
+// Consistent-hash ring with virtual nodes (DESIGN.md §11).
+//
+// Object names and shard vnodes hash onto one 64-bit circle; an object's
+// owners are the first R DISTINCT shards clockwise from the object's
+// point. Virtual nodes (default 64 per shard) smooth the load split and —
+// the property everything else leans on — keep placement STABLE across
+// membership change: adding or removing one shard only moves the keys in
+// the arcs that shard's vnodes cover, ~1/N of the space, so rebalancing
+// migrates a bounded slice instead of reshuffling the world.
+//
+// The ring is a value type: ClusterBackend snapshots it under its own
+// lock, and the rebalancer diffs an old ring against a new one to find
+// the objects whose owner set changed.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace nexus::cluster {
+
+class HashRing {
+ public:
+  /// `vnodes` points per shard; more = smoother split, bigger ring map.
+  explicit HashRing(std::size_t vnodes = 64) : vnodes_(vnodes) {}
+
+  /// Adds a shard id (no-op if present).
+  void AddNode(const std::string& id);
+  /// Removes a shard id (no-op if absent).
+  void RemoveNode(const std::string& id);
+
+  /// The first `r` DISTINCT shards clockwise from `name`'s point, in
+  /// successor order (owner first). Fewer when the ring has fewer shards.
+  [[nodiscard]] std::vector<std::string> Successors(const std::string& name,
+                                                    std::size_t r) const;
+  /// Successors(name, 1)[0]; empty string on an empty ring.
+  [[nodiscard]] std::string Owner(const std::string& name) const;
+
+  [[nodiscard]] bool Contains(const std::string& id) const;
+  [[nodiscard]] std::size_t NodeCount() const { return nodes_.size(); }
+  [[nodiscard]] std::vector<std::string> Nodes() const;
+
+  /// Stable 64-bit point for a key (first 8 little-endian bytes of
+  /// SHA-256) — exposed so tests can pin the placement function.
+  [[nodiscard]] static std::uint64_t HashPoint(const std::string& key);
+
+ private:
+  std::size_t vnodes_;
+  std::map<std::uint64_t, std::string> ring_; // point -> shard id
+  std::map<std::string, std::size_t> nodes_;  // id -> vnode count
+};
+
+} // namespace nexus::cluster

@@ -167,6 +167,7 @@ class NexusClient {
         ps.saved_seconds};
     snap.net = net::GlobalNetSnapshot();
     snap.cache = cache::GlobalCacheSnapshot();
+    snap.cluster = cluster::GlobalClusterSnapshot();
     // PR 5 reported readahead effectiveness under net.*; the cache layer
     // owns those counters now, so keep the old names aliased.
     snap.net.prefetch_issued = snap.cache.prefetch_issued;

@@ -15,6 +15,7 @@
 #include <cstdint>
 
 #include "cache/cache_counters.hpp"
+#include "cluster/cluster_counters.hpp"
 #include "net/net_counters.hpp"
 #include "storage/sim_clock.hpp"
 
@@ -109,6 +110,10 @@ struct ProfileSnapshot {
   /// cache::CachedBackend fronts the storage). `dirty_bytes_high_water`
   /// is a gauge.
   cache::CacheCounters cache;
+  /// Cluster-client quorum/replication counters (process-global, nonzero
+  /// only when a cluster::ClusterBackend fans writes across shards). The
+  /// latency fields are gauges.
+  cluster::ClusterCounters cluster;
   /// Wall-time distribution of every timed ecall (process-global
   /// trace::GlobalHistogram("ecall")).
   LatencySummary ecall_latency;
@@ -130,6 +135,7 @@ struct ProfileSnapshot {
         a.parallel - b.parallel,
         a.net - b.net,
         a.cache - b.cache,
+        a.cluster - b.cluster,
         a.ecall_latency - b.ecall_latency,
         a.journal_commit_latency - b.journal_commit_latency,
         a.trace_spans - b.trace_spans,

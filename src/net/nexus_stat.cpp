@@ -1,21 +1,89 @@
-// nexus-stat: one-shot introspection client for a running nexusd.
+// nexus-stat: one-shot introspection client for running nexusd daemons.
 //
 //   nexus-stat [--host ADDR] --port N
+//   nexus-stat --cluster HOST:PORT,HOST:PORT,...   (or NEXUS_CLUSTER env)
 //
-// Issues a Stats RPC through the normal RemoteBackend machinery (so it
-// exercises the same retry/deadline path as real clients) and prints the
-// daemon's lifetime counters plus per-op count/bytes/p50/p99 rows.
+// Single-daemon mode issues a Stats RPC through the normal RemoteBackend
+// machinery (so it exercises the same retry/deadline path as real
+// clients) and prints the daemon's lifetime counters plus per-op
+// count/bytes/p50/p99 rows. Cluster mode fans the same Stats RPC to
+// every shard and prints one row per shard — unreachable shards are
+// reported, not fatal — followed by an aggregate row summing the fleet.
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <vector>
 
+#include "cluster/cluster_backend.hpp"
 #include "net/remote_backend.hpp"
 #include "net/wire.hpp"
 
 namespace {
 
 void Usage(const char* argv0) {
-  std::fprintf(stderr, "usage: %s [--host ADDR] --port N\n", argv0);
+  std::fprintf(stderr,
+               "usage: %s [--host ADDR] --port N\n"
+               "       %s --cluster HOST:PORT,... (empty list reads "
+               "NEXUS_CLUSTER)\n",
+               argv0, argv0);
+}
+
+int ClusterMode(const std::string& endpoints) {
+  const std::vector<std::string> list =
+      nexus::cluster::ParseEndpointList(endpoints);
+  if (list.empty()) {
+    std::fprintf(stderr,
+                 "nexus-stat: no cluster endpoints (set NEXUS_CLUSTER or pass "
+                 "--cluster HOST:PORT,...)\n");
+    return 2;
+  }
+  std::printf("cluster %zu shards\n", list.size());
+  std::printf("  %-22s %12s %14s %14s %8s  %s\n", "shard", "rpcs", "bytes_in",
+              "bytes_out", "conns", "status");
+  nexus::net::ServerStats total;
+  std::size_t reachable = 0;
+  for (const std::string& endpoint : list) {
+    std::string host;
+    std::uint16_t port = 0;
+    if (!nexus::cluster::SplitHostPort(endpoint, &host, &port)) {
+      std::printf("  %-22s %12s %14s %14s %8s  malformed endpoint\n",
+                  endpoint.c_str(), "-", "-", "-", "-");
+      continue;
+    }
+    auto backend = nexus::net::RemoteBackend::Connect(host, port);
+    if (!backend.ok()) {
+      std::printf("  %-22s %12s %14s %14s %8s  unreachable\n", endpoint.c_str(),
+                  "-", "-", "-", "-");
+      continue;
+    }
+    auto stats = backend.value()->Stats();
+    if (!stats.ok()) {
+      std::printf("  %-22s %12s %14s %14s %8s  stats rpc failed\n",
+                  endpoint.c_str(), "-", "-", "-", "-");
+      continue;
+    }
+    const nexus::net::ServerStats& s = stats.value();
+    std::printf("  %-22s %12llu %14llu %14llu %8llu  ok\n", endpoint.c_str(),
+                static_cast<unsigned long long>(s.rpcs_served),
+                static_cast<unsigned long long>(s.bytes_received),
+                static_cast<unsigned long long>(s.bytes_sent),
+                static_cast<unsigned long long>(s.active_connections));
+    total.rpcs_served += s.rpcs_served;
+    total.bytes_received += s.bytes_received;
+    total.bytes_sent += s.bytes_sent;
+    total.active_connections += s.active_connections;
+    total.connections_accepted += s.connections_accepted;
+    total.protocol_errors += s.protocol_errors;
+    ++reachable;
+  }
+  std::printf("  %-22s %12llu %14llu %14llu %8llu  aggregate (%zu/%zu "
+              "reachable)\n",
+              "TOTAL", static_cast<unsigned long long>(total.rpcs_served),
+              static_cast<unsigned long long>(total.bytes_received),
+              static_cast<unsigned long long>(total.bytes_sent),
+              static_cast<unsigned long long>(total.active_connections),
+              reachable, list.size());
+  return reachable == 0 ? 1 : 0;
 }
 
 } // namespace
@@ -23,6 +91,8 @@ void Usage(const char* argv0) {
 int main(int argc, char** argv) {
   std::string host = "127.0.0.1";
   int port = 0;
+  bool cluster_mode = false;
+  std::string cluster_endpoints;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -37,10 +107,20 @@ int main(int argc, char** argv) {
       host = next();
     } else if (arg == "--port") {
       port = std::atoi(next());
+    } else if (arg == "--cluster") {
+      cluster_mode = true;
+      if (i + 1 < argc && argv[i + 1][0] != '-') cluster_endpoints = next();
     } else {
       Usage(argv[0]);
       return 2;
     }
+  }
+  if (cluster_mode) {
+    if (cluster_endpoints.empty()) {
+      const char* env = std::getenv("NEXUS_CLUSTER");
+      if (env != nullptr) cluster_endpoints = env;
+    }
+    return ClusterMode(cluster_endpoints);
   }
   if (port <= 0 || port > 65535) {
     Usage(argv[0]);

@@ -173,7 +173,12 @@ bool RemoteBackend::peer_speaks_v4() const noexcept {
   return options_.max_protocol_version >= 4 && peer_version() >= 4;
 }
 
+bool RemoteBackend::peer_speaks_v5() const noexcept {
+  return options_.max_protocol_version >= 5 && peer_version() >= 5;
+}
+
 std::uint8_t RemoteBackend::wire_version() const noexcept {
+  if (peer_speaks_v5()) return 5;
   if (peer_speaks_v4()) return 4;
   return peer_speaks_v3() ? std::uint8_t{3} : std::uint8_t{2};
 }
@@ -456,13 +461,32 @@ Result<Bytes> RemoteBackend::GetLeased(const std::string& name,
 }
 
 Status RemoteBackend::Put(const std::string& name, ByteSpan data) {
+  return PutLeased(name, data, nullptr);
+}
+
+Status RemoteBackend::PutLeased(const std::string& name, ByteSpan data,
+                                bool* lease_granted) {
+  if (lease_granted != nullptr) *lease_granted = false;
   if (data.size() > kMaxObjectBytes) {
     return Error(ErrorCode::kInvalidArgument, "object too large: " + name);
   }
+  const bool v5 = peer_speaks_v5();
   Writer req = Req(Rpc::kPut);
   req.Str(name);
   req.Var(data);
-  return Call(req).status();
+  // v5 Puts carry a want-write-lease byte; as with Get, the server only
+  // registers a holder when the caller will track the grant.
+  if (v5) req.U8(lease_granted != nullptr ? 1 : 0);
+  auto payload = Call(req);
+  if (!payload.ok()) return payload.status();
+  if (v5 && lease_granted != nullptr) {
+    Reader reader(payload.value());
+    if (reader.Remaining() > 0) {
+      auto flag = reader.U8();
+      if (flag.ok()) *lease_granted = flag.value() != 0;
+    }
+  }
+  return Status::Ok();
 }
 
 Status RemoteBackend::Delete(const std::string& name) {
@@ -517,10 +541,20 @@ std::vector<std::string> RemoteBackend::List(const std::string& prefix) {
 
 std::vector<Result<Bytes>> RemoteBackend::MultiGet(
     const std::vector<std::string>& names) {
+  return MultiGetLeased(names, nullptr);
+}
+
+std::vector<Result<Bytes>> RemoteBackend::MultiGetLeased(
+    const std::vector<std::string>& names, std::vector<bool>* leased) {
+  if (leased != nullptr) leased->assign(names.size(), false);
   if (!peer_speaks_v3()) {
     // v2 peer: the base-class loop of single Gets is the whole protocol.
     return storage::StorageBackend::MultiGet(names);
   }
+  // Leases on batch fills need the v5 per-entry granted flags; against a
+  // v4-or-older peer the caller falls back to TTL-clean installs.
+  const bool want_lease = leased != nullptr && peer_speaks_v5();
+  const std::uint8_t wv = wire_version();
   std::vector<Result<Bytes>> results;
   results.reserve(names.size());
   for (std::size_t base = 0; base < names.size(); base += kMaxMultiEntries) {
@@ -529,13 +563,14 @@ std::vector<Result<Bytes>> RemoteBackend::MultiGet(
                                          names.begin() + base + n);
     Writer req = Req(Rpc::kMultiGet);
     EncodeNameList(req, batch);
+    if (wv >= 5) req.U8(want_lease ? 1 : 0);
     auto payload = Call(req);
     if (!payload.ok()) {
       for (std::size_t i = 0; i < n; ++i) results.push_back(payload.status());
       continue;
     }
     Reader reader(payload.value());
-    auto entries = DecodeMultiGetEntries(reader);
+    auto entries = DecodeMultiGetEntries(reader, wv);
     const bool shape_ok = entries.ok() && reader.AtEnd() &&
                           entries.value().size() == n;
     if (!shape_ok) {
@@ -552,6 +587,7 @@ std::vector<Result<Bytes>> RemoteBackend::MultiGet(
       MultiGetEntry& entry = entries.value()[i];
       switch (entry.state) {
         case MultiGetEntry::State::kOk:
+          if (want_lease) (*leased)[results.size()] = entry.leased;
           results.push_back(std::move(entry.data));
           break;
         case MultiGetEntry::State::kError:
@@ -572,6 +608,7 @@ std::vector<Result<Bytes>> RemoteBackend::MultiGet(
     while (!deferred_names.empty()) {
       Writer follow = Req(Rpc::kMultiGet);
       EncodeNameList(follow, deferred_names);
+      if (wv >= 5) follow.U8(want_lease ? 1 : 0);
       auto follow_payload = Call(follow);
       if (!follow_payload.ok()) {
         for (const std::size_t slot : deferred_slots) {
@@ -580,7 +617,7 @@ std::vector<Result<Bytes>> RemoteBackend::MultiGet(
         break;
       }
       Reader follow_reader(follow_payload.value());
-      auto follow_entries = DecodeMultiGetEntries(follow_reader);
+      auto follow_entries = DecodeMultiGetEntries(follow_reader, wv);
       const bool follow_ok = follow_entries.ok() && follow_reader.AtEnd() &&
                              follow_entries.value().size() ==
                                  deferred_names.size();
@@ -591,6 +628,7 @@ std::vector<Result<Bytes>> RemoteBackend::MultiGet(
           MultiGetEntry& entry = follow_entries.value()[i];
           switch (entry.state) {
             case MultiGetEntry::State::kOk:
+              if (want_lease) (*leased)[deferred_slots[i]] = entry.leased;
               results[deferred_slots[i]] = std::move(entry.data);
               break;
             case MultiGetEntry::State::kError:
@@ -612,7 +650,13 @@ std::vector<Result<Bytes>> RemoteBackend::MultiGet(
         const std::vector<std::string>& strays =
             follow_ok ? next_names : deferred_names;
         for (std::size_t i = 0; i < strays.size(); ++i) {
-          results[slots[i]] = Get(strays[i]);
+          if (want_lease) {
+            bool granted = false;
+            results[slots[i]] = GetLeased(strays[i], &granted);
+            (*leased)[slots[i]] = granted;
+          } else {
+            results[slots[i]] = Get(strays[i]);
+          }
         }
         break;
       }

@@ -131,6 +131,8 @@ class RemoteBackend final : public storage::StorageBackend {
   Result<Bytes> GetLeased(const std::string& name,
                           bool* lease_granted) override;
   Status Put(const std::string& name, ByteSpan data) override;
+  Status PutLeased(const std::string& name, ByteSpan data,
+                   bool* lease_granted) override;
   Status Delete(const std::string& name) override;
   bool Exists(const std::string& name) override;
   std::vector<std::string> List(const std::string& prefix) override;
@@ -138,6 +140,9 @@ class RemoteBackend final : public storage::StorageBackend {
       const std::string& name) override;
   std::vector<Result<Bytes>> MultiGet(
       const std::vector<std::string>& names) override;
+  std::vector<Result<Bytes>> MultiGetLeased(
+      const std::vector<std::string>& names,
+      std::vector<bool>* leased) override;
   std::vector<bool> MultiExists(const std::vector<std::string>& names) override;
   void Prefetch(const std::string& name) override;
   void SetPrefetchSink(PrefetchSink sink) override;
@@ -173,6 +178,7 @@ class RemoteBackend final : public storage::StorageBackend {
   Writer Req(Rpc rpc) const;
   [[nodiscard]] std::uint8_t wire_version() const noexcept;
   [[nodiscard]] bool peer_speaks_v3() const noexcept;
+  [[nodiscard]] bool peer_speaks_v5() const noexcept;
   [[nodiscard]] bool peer_speaks_v4() const noexcept;
   [[nodiscard]] std::size_t effective_window() const noexcept;
 

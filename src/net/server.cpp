@@ -488,26 +488,55 @@ bool NexusdServer::PostGrantLease(const std::string& name, std::uint64_t sid,
   return granted;
 }
 
-void NexusdServer::BeginMutation(const std::string& name) {
+std::uint64_t NexusdServer::BeginMutation(const std::string& name,
+                                          std::uint64_t writer_sid,
+                                          bool want_lease) {
   const std::lock_guard<std::mutex> lock(lease_mu_);
-  ++object_version_[name];
+  const std::uint64_t version = ++object_version_[name];
+  if (want_lease && writer_sid != 0 && sessions_.contains(writer_sid)) {
+    // Register the writer as a holder BEFORE the backend write, exactly
+    // like PreGrantLease does for reads: any overlapping mutation either
+    // bumps the version (denying the grant) or erases this registration
+    // through its own FinishMutation — a stale write lease cannot survive.
+    holders_[name].insert(writer_sid);
+  }
+  return version;
 }
 
-void NexusdServer::FinishMutation(const std::string& name,
-                                  std::uint64_t writer_sid) {
+bool NexusdServer::FinishMutation(const std::string& name,
+                                  std::uint64_t writer_sid,
+                                  std::uint64_t version_at_begin,
+                                  bool want_lease, bool write_ok) {
   std::vector<std::shared_ptr<LeaseSession>> targets;
+  bool granted = false;
   {
     const std::lock_guard<std::mutex> lock(lease_mu_);
     const auto h = holders_.find(name);
-    if (h == holders_.end()) return;
+    if (h == holders_.end()) return false;
+    const bool writer_registered =
+        writer_sid != 0 && h->second.contains(writer_sid);
+    granted = want_lease && write_ok && writer_registered &&
+              sessions_.contains(writer_sid) &&
+              object_version_[name] == version_at_begin;
     for (const std::uint64_t sid : h->second) {
       if (sid == writer_sid) continue; // the writer invalidates itself
       const auto s = sessions_.find(sid);
       if (s != sessions_.end()) targets.push_back(s->second);
     }
-    holders_.erase(h);
+    if (granted) {
+      // The writer keeps its registration: it now holds a write lease
+      // and will be invalidated only by OTHER sessions' mutations.
+      h->second.clear();
+      h->second.insert(writer_sid);
+    } else {
+      holders_.erase(h);
+    }
   }
-  if (targets.empty()) return;
+  if (granted) {
+    const std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.leases_granted;
+  }
+  if (targets.empty()) return granted;
   {
     const std::lock_guard<std::mutex> lock(mu_);
     stats_.leases_broken += targets.size();
@@ -568,6 +597,7 @@ void NexusdServer::FinishMutation(const std::string& name,
     const std::lock_guard<std::mutex> stats_lock(mu_);
     ++stats_.lease_break_timeouts;
   }
+  return granted;
 }
 
 void NexusdServer::AckLoop(TcpTransport& transport,
@@ -705,14 +735,25 @@ NexusdServer::Dispatch NexusdServer::DecodeFrame(
       if (!name.ok()) break;
       auto data = reader.Var(kMaxObjectBytes);
       if (!data.ok()) break;
+      // v5 Puts carry a trailing want-write-lease byte (absent = 0).
+      std::uint8_t want_lease = 0;
+      if (version >= 5 && reader.Remaining() > 0) {
+        auto w = reader.U8();
+        if (w.ok()) want_lease = w.value();
+      }
       const std::uint64_t sid = state.attached_session;
       d.kind = Kind::kStateless;
-      d.execute = [this, corr, version, sid, name = std::move(name).value(),
+      d.execute = [this, corr, version, sid, want_lease,
+                   name = std::move(name).value(),
                    data = std::move(data).value()] {
-        BeginMutation(name);
+        const bool want = version >= 5 && want_lease != 0 && sid != 0;
+        const std::uint64_t v0 = BeginMutation(name, sid, want);
         const Status verdict = backend_.Put(name, data);
-        FinishMutation(name, sid);
-        return WireReply(BeginResponse(verdict, corr, version));
+        const bool granted =
+            FinishMutation(name, sid, v0, want, verdict.ok());
+        Writer r = BeginResponse(verdict, corr, version);
+        if (version >= 5 && verdict.ok()) r.U8(granted ? 1 : 0);
+        return WireReply(std::move(r));
       };
       break;
     }
@@ -763,8 +804,24 @@ NexusdServer::Dispatch NexusdServer::DecodeFrame(
     case Rpc::kMultiGet: {
       auto names = DecodeNameList(reader);
       if (!names.ok()) break;
+      // v5 MultiGets carry a trailing want-lease byte (absent = 0).
+      std::uint8_t want_lease = 0;
+      if (version >= 5 && reader.Remaining() > 0) {
+        auto w = reader.U8();
+        if (w.ok()) want_lease = w.value();
+      }
+      const std::uint64_t sid = state.attached_session;
       d.kind = Kind::kStateless;
-      d.execute = [this, corr, version, names = std::move(names).value()] {
+      d.execute = [this, corr, version, sid, want_lease,
+                   names = std::move(names).value()] {
+        const bool want = version >= 5 && want_lease != 0 && sid != 0;
+        std::vector<std::uint64_t> v0(names.size(), 0);
+        std::vector<char> pre(names.size(), 0);
+        if (want) {
+          for (std::size_t i = 0; i < names.size(); ++i) {
+            pre[i] = PreGrantLease(names[i], sid, &v0[i]) ? 1 : 0;
+          }
+        }
         std::vector<Result<Bytes>> fetched = backend_.MultiGet(names);
         // Budget the ENCODED payload at kMaxObjectBytes; from the first
         // entry that would overflow, everything becomes deferred (one
@@ -778,11 +835,13 @@ NexusdServer::Dispatch NexusdServer::DecodeFrame(
         seg.U32(static_cast<std::uint32_t>(fetched.size()));
         std::size_t used = 4; // the entry-count u32
         bool overflowed = false;
-        for (Result<Bytes>& result : fetched) {
+        for (std::size_t i = 0; i < fetched.size(); ++i) {
+          Result<Bytes>& result = fetched[i];
+          const std::size_t lease_byte = version >= 5 ? 1 : 0;
           auto entry_state = MultiGetEntry::State::kDeferred;
           if (!overflowed) {
             const std::size_t cost =
-                result.ok() ? 1 + 4 + result.value().size()
+                result.ok() ? 1 + 4 + result.value().size() + lease_byte
                             : 1 + 1 + 4 + result.status().message().size();
             if (used + cost > kMaxObjectBytes) {
               overflowed = true;
@@ -791,6 +850,14 @@ NexusdServer::Dispatch NexusdServer::DecodeFrame(
               entry_state = result.ok() ? MultiGetEntry::State::kOk
                                         : MultiGetEntry::State::kError;
             }
+          }
+          // Confirm the pre-granted lease only for entries the client
+          // actually receives as kOk; deferred/error entries withdraw it.
+          bool granted = false;
+          if (want && pre[i] != 0) {
+            granted = PostGrantLease(
+                names[i], sid, v0[i],
+                entry_state == MultiGetEntry::State::kOk);
           }
           seg.U8(static_cast<std::uint8_t>(entry_state));
           switch (entry_state) {
@@ -804,6 +871,7 @@ NexusdServer::Dispatch NexusdServer::DecodeFrame(
                 reply.Add(std::move(body)); // the body rides uncopied
                 seg = Writer();
               }
+              if (version >= 5) seg.U8(granted ? 1 : 0);
               break;
             }
             case MultiGetEntry::State::kError:

@@ -235,12 +235,23 @@ class NexusdServer {
   bool PostGrantLease(const std::string& name, std::uint64_t sid,
                       std::uint64_t version_before, bool read_ok);
   /// Bumps the object's version BEFORE the backend mutation so any read
-  /// racing the mutation fails its PostGrant validation.
-  void BeginMutation(const std::string& name);
+  /// racing the mutation fails its PostGrant validation. When the writer
+  /// wants a WRITE lease (v5 Put), it is registered as a holder here —
+  /// mirroring PreGrantLease — and the bumped version is returned so
+  /// FinishMutation can confirm the grant only if no other mutation
+  /// interleaved.
+  std::uint64_t BeginMutation(const std::string& name,
+                              std::uint64_t writer_sid = 0,
+                              bool want_lease = false);
   /// Breaks every holder except the writer's own session: pushes the
   /// invalidation, waits for acks up to lease_break_ms_, kills sessions
-  /// that never answer.
-  void FinishMutation(const std::string& name, std::uint64_t writer_sid);
+  /// that never answer. Returns whether the writer's WRITE lease (asked
+  /// for at BeginMutation) was confirmed: the write must have succeeded
+  /// and the object version must still equal `version_at_begin` with the
+  /// writer still registered — any overlapping mutation denies the grant.
+  bool FinishMutation(const std::string& name, std::uint64_t writer_sid,
+                      std::uint64_t version_at_begin = 0,
+                      bool want_lease = false, bool write_ok = false);
   /// Reads invalidation acks off a subscription connection until it dies.
   void AckLoop(TcpTransport& transport,
                const std::shared_ptr<LeaseSession>& session);

@@ -243,13 +243,15 @@ Result<std::vector<std::string>> DecodeNameList(Reader& reader) {
 }
 
 void EncodeMultiGetEntries(Writer& writer,
-                           const std::vector<MultiGetEntry>& entries) {
+                           const std::vector<MultiGetEntry>& entries,
+                           std::uint8_t version) {
   writer.U32(static_cast<std::uint32_t>(entries.size()));
   for (const MultiGetEntry& entry : entries) {
     writer.U8(static_cast<std::uint8_t>(entry.state));
     switch (entry.state) {
       case MultiGetEntry::State::kOk:
         writer.Var(entry.data);
+        if (version >= 5) writer.U8(entry.leased ? 1 : 0);
         break;
       case MultiGetEntry::State::kError:
         writer.U8(CodeToWire(entry.error.code()));
@@ -261,7 +263,8 @@ void EncodeMultiGetEntries(Writer& writer,
   }
 }
 
-Result<std::vector<MultiGetEntry>> DecodeMultiGetEntries(Reader& reader) {
+Result<std::vector<MultiGetEntry>> DecodeMultiGetEntries(
+    Reader& reader, std::uint8_t version) {
   NEXUS_ASSIGN_OR_RETURN(const std::uint32_t n, reader.U32());
   if (n > kMaxMultiEntries) {
     return Error(ErrorCode::kOutOfRange,
@@ -276,6 +279,10 @@ Result<std::vector<MultiGetEntry>> DecodeMultiGetEntries(Reader& reader) {
       case static_cast<std::uint8_t>(MultiGetEntry::State::kOk): {
         entry.state = MultiGetEntry::State::kOk;
         NEXUS_ASSIGN_OR_RETURN(entry.data, reader.Var(kMaxObjectBytes));
+        if (version >= 5) {
+          NEXUS_ASSIGN_OR_RETURN(const std::uint8_t granted, reader.U8());
+          entry.leased = granted != 0;
+        }
         break;
       }
       case static_cast<std::uint8_t>(MultiGetEntry::State::kError): {

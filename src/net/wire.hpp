@@ -39,6 +39,15 @@
 // negotiate down exactly as before — none of the three new RPC ids is
 // valid in a pre-v4 request head.
 //
+// Protocol v5 adds a read/write distinction to leases: a v5 Put request
+// carries a trailing want-lease byte and an OK v5 Put response a trailing
+// granted byte, so a writer that also caches reads can keep its own copy
+// as a WRITE lease holder instead of dropping it on its own invalidation.
+// v5 MultiGet requests likewise carry a trailing want-lease byte and each
+// kOk entry in a v5 MultiGet response a per-entry granted byte, so batched
+// miss fills install under leases exactly like single Gets. The framing,
+// negotiation, and every other RPC are byte-identical to v4.
+//
 // The server is untrusted in the NEXUS threat model, so nothing here is
 // authenticated — the protocol only moves ciphertext and opaque object
 // names, and the enclave's MACs catch any tampering above this layer. What
@@ -58,7 +67,7 @@
 
 namespace nexus::net {
 
-inline constexpr std::uint8_t kProtocolVersion = 4;
+inline constexpr std::uint8_t kProtocolVersion = 5;
 /// Oldest peer version both sides still speak (v2 = correlation ids +
 /// Stats, lock-step only). Frames with older versions are rejected.
 inline constexpr std::uint8_t kMinProtocolVersion = 2;
@@ -256,10 +265,16 @@ struct MultiGetEntry {
   State state = State::kDeferred;
   Bytes data;                  // kOk only
   Status error = Status::Ok(); // kError only (the per-name verdict)
+  bool leased = false;         // kOk only, v5 frames only: lease granted
 };
 
+/// `version` selects the frame dialect: v5 appends a per-entry lease
+/// granted byte to kOk entries; pre-v5 encodes/decodes the v3 layout and
+/// leaves `leased` false.
 void EncodeMultiGetEntries(Writer& writer,
-                           const std::vector<MultiGetEntry>& entries);
-Result<std::vector<MultiGetEntry>> DecodeMultiGetEntries(Reader& reader);
+                           const std::vector<MultiGetEntry>& entries,
+                           std::uint8_t version = kProtocolVersion);
+Result<std::vector<MultiGetEntry>> DecodeMultiGetEntries(
+    Reader& reader, std::uint8_t version = kProtocolVersion);
 
 } // namespace nexus::net

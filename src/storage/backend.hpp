@@ -65,6 +65,15 @@ class StorageBackend {
   /// when the peer speaks wire v3.
   virtual std::vector<Result<Bytes>> MultiGet(
       const std::vector<std::string>& names);
+  /// Batched Get that also reports, per name, whether a read lease was
+  /// granted (wire v5). `leased` may be null; when non-null it is resized
+  /// to match `names` and filled alongside the results. The default
+  /// delegates to MultiGet with every flag false.
+  virtual std::vector<Result<Bytes>> MultiGetLeased(
+      const std::vector<std::string>& names, std::vector<bool>* leased) {
+    if (leased != nullptr) leased->assign(names.size(), false);
+    return MultiGet(names);
+  }
   /// Batched Exists, same shape.
   virtual std::vector<bool> MultiExists(const std::vector<std::string>& names);
 
@@ -93,6 +102,16 @@ class StorageBackend {
                                   bool* lease_granted) {
     if (lease_granted != nullptr) *lease_granted = false;
     return Get(name);
+  }
+
+  /// Put that also reports whether the backend granted the writer a WRITE
+  /// lease on the object (wire v5): the writer keeps its own copy cached
+  /// and will NOT receive an invalidation for its own mutation, only for
+  /// later mutations by others. Plain stores never grant leases.
+  virtual Status PutLeased(const std::string& name, ByteSpan data,
+                           bool* lease_granted) {
+    if (lease_granted != nullptr) *lease_granted = false;
+    return Put(name, data);
   }
 
   /// Durability/ordering barrier: drains any buffered writes into stable

@@ -354,5 +354,164 @@ TEST(CacheCoherence, TwoClientOpenToCloseSoak) {
   if (server) server->Stop();
 }
 
+// ---- wire v5: write leases --------------------------------------------------
+
+// The raw protocol surface: PutLeased grants a write lease only to a
+// client with a live lease session, and the grant registers the writer
+// as holder — a LATER mutation by someone else invalidates it.
+TEST(CacheCoherence, PutLeasedGrantsOnlyWithLeaseSession) {
+  storage::MemBackend backend;
+  auto server = NexusdServer::Start(backend).value();
+
+  auto loner = RemoteBackend::Connect("127.0.0.1", server->port()).value();
+  bool granted = true;
+  ASSERT_TRUE(loner->PutLeased("obj", Blob('x', 8), &granted).ok());
+  EXPECT_FALSE(granted); // no session, no lease
+
+  auto holder = RemoteBackend::Connect("127.0.0.1", server->port()).value();
+  std::mutex mu;
+  std::vector<std::string> invalidated;
+  ASSERT_TRUE(holder->SubscribeInvalidations(
+      [&](const std::vector<std::string>& names) {
+        const std::lock_guard<std::mutex> lock(mu);
+        invalidated.insert(invalidated.end(), names.begin(), names.end());
+      },
+      [] {}));
+  ASSERT_TRUE(holder->PutLeased("obj", Blob('y', 8), &granted).ok());
+  EXPECT_TRUE(granted); // subscribed writer gets a write lease
+
+  // The writer's own next mutation does not self-invalidate...
+  ASSERT_TRUE(holder->PutLeased("obj", Blob('z', 8), &granted).ok());
+  EXPECT_TRUE(granted);
+  {
+    const std::lock_guard<std::mutex> lock(mu);
+    EXPECT_TRUE(invalidated.empty());
+  }
+  // ...but another client's write breaks the holder's write lease.
+  ASSERT_TRUE(loner->Put("obj", Blob('w', 8)).ok());
+  ASSERT_TRUE(WaitFor([&] {
+    const std::lock_guard<std::mutex> lock(mu);
+    return !invalidated.empty();
+  }));
+  {
+    const std::lock_guard<std::mutex> lock(mu);
+    EXPECT_EQ(invalidated.front(), "obj");
+  }
+
+  holder.reset();
+  loner.reset();
+  server->Stop();
+}
+
+// MultiGetLeased reports a per-entry grant flag: hits from a subscribed
+// client come back leased, misses and unsubscribed clients do not.
+TEST(CacheCoherence, MultiGetLeasedReportsPerEntryGrants) {
+  storage::MemBackend backend;
+  ASSERT_TRUE(backend.Put("a", Blob('a', 16)).ok());
+  ASSERT_TRUE(backend.Put("b", Blob('b', 16)).ok());
+  auto server = NexusdServer::Start(backend).value();
+
+  auto client = RemoteBackend::Connect("127.0.0.1", server->port()).value();
+  std::vector<bool> leased;
+  auto results = client->MultiGetLeased({"a", "b", "missing"}, &leased);
+  ASSERT_EQ(results.size(), 3u);
+  EXPECT_TRUE(results[0].ok());
+  EXPECT_EQ(leased, (std::vector<bool>{false, false, false})); // no session
+
+  ASSERT_TRUE(client->SubscribeInvalidations(
+      [](const std::vector<std::string>&) {}, [] {}));
+  results = client->MultiGetLeased({"a", "b", "missing"}, &leased);
+  ASSERT_EQ(results.size(), 3u);
+  EXPECT_EQ(results[0].value(), Blob('a', 16));
+  EXPECT_EQ(results[1].value(), Blob('b', 16));
+  EXPECT_EQ(results[2].status().code(), ErrorCode::kNotFound);
+  ASSERT_EQ(leased.size(), 3u);
+  EXPECT_TRUE(leased[0]);
+  EXPECT_TRUE(leased[1]);
+  EXPECT_FALSE(leased[2]); // misses never grant
+
+  client.reset();
+  server->Stop();
+}
+
+// The cache-level payoff: after a write-through Put (or a flush), the
+// writer HOLDS a write lease, so its own copy stays resident and
+// re-reads are memory hits — no refetch, no TTL dependence.
+TEST(CacheCoherence, WriteLeaseKeepsWriterCopyWarm) {
+  storage::MemBackend backend;
+  auto server = NexusdServer::Start(backend).value();
+  Client writer = MakeClient(server->port());
+  Client other = MakeClient(server->port());
+  ASSERT_TRUE(writer.cache->lease_mode());
+
+  ASSERT_TRUE(writer.cache->Put("warm", Blob('1', 64)).ok());
+  ASSERT_TRUE(writer.cache->Flush().ok());
+
+  const auto before = writer.cache->counters();
+  EXPECT_EQ(writer.cache->Get("warm").value(), Blob('1', 64));
+  const auto after = writer.cache->counters();
+  EXPECT_EQ(after.mem_hits, before.mem_hits + 1); // served locally
+  EXPECT_EQ(after.misses, before.misses);
+
+  // Another client's write still invalidates the writer's copy.
+  ASSERT_TRUE(other.cache->Put("warm", Blob('2', 64)).ok());
+  ASSERT_TRUE(other.cache->Flush().ok());
+  ASSERT_TRUE(WaitFor([&] {
+    return writer.cache->counters().invalidations_received >= 1;
+  }));
+  EXPECT_EQ(writer.cache->Get("warm").value(), Blob('2', 64));
+
+  writer.cache.reset();
+  other.cache.reset();
+  server->Stop();
+}
+
+// Satellite: CachedBackend::MultiGet fills its miss set with ONE batched
+// leased round — and the batch-granted leases are real: a later write by
+// another client pushes an invalidation for a batch-fetched name.
+TEST(CacheCoherence, MultiGetMissesFillInOneBatchedLeasedRound) {
+  storage::MemBackend backend;
+  std::vector<std::string> names;
+  for (int i = 0; i < 6; ++i) {
+    names.push_back("batch" + std::to_string(i));
+    ASSERT_TRUE(backend.Put(names.back(), Blob('a' + i, 32)).ok());
+  }
+  auto server = NexusdServer::Start(backend).value();
+  Client reader = MakeClient(server->port());
+  Client writer = MakeClient(server->port());
+  ASSERT_TRUE(reader.cache->lease_mode());
+
+  const auto net_before = reader.remote->counters();
+  const auto results = reader.cache->MultiGet(names);
+  ASSERT_EQ(results.size(), names.size());
+  for (int i = 0; i < 6; ++i) {
+    EXPECT_EQ(results[i].value(), Blob('a' + i, 32)) << i;
+  }
+  // The whole miss set travelled as one kMultiGet exchange.
+  EXPECT_EQ(reader.remote->counters().rpcs, net_before.rpcs + 1);
+
+  // Batch-installed entries are leased, so re-reads stay local...
+  const auto cache_before = reader.cache->counters();
+  for (const std::string& name : names) {
+    EXPECT_EQ(reader.cache->Get(name).value(),
+              Blob('a' + (name.back() - '0'), 32));
+  }
+  EXPECT_EQ(reader.cache->counters().mem_hits,
+            cache_before.mem_hits + names.size());
+
+  // ...and the server really registered the leases: a foreign write to a
+  // batch-fetched name pushes an invalidation.
+  ASSERT_TRUE(writer.cache->Put("batch3", Blob('Z', 32)).ok());
+  ASSERT_TRUE(writer.cache->Flush().ok());
+  ASSERT_TRUE(WaitFor([&] {
+    return reader.cache->counters().invalidations_received >= 1;
+  }));
+  EXPECT_EQ(reader.cache->Get("batch3").value(), Blob('Z', 32));
+
+  reader.cache.reset();
+  writer.cache.reset();
+  server->Stop();
+}
+
 } // namespace
 } // namespace nexus

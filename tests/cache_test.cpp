@@ -372,6 +372,135 @@ TEST(CacheTest, TamperedIndexDiscardsDiskTier) {
   std::filesystem::remove_all(dir);
 }
 
+std::string FileBytes(const std::filesystem::path& path) {
+  std::ifstream f(path, std::ios::binary);
+  return std::string(std::istreambuf_iterator<char>(f),
+                     std::istreambuf_iterator<char>());
+}
+
+// Mutations between compactions land in the ".cache-log" append-log; the
+// base ".cache-index" is NOT rewritten per mutation. A clean shutdown
+// compacts: base absorbs the log and the log is truncated to empty.
+TEST(CacheTest, AppendLogAbsorbsMutationsWithoutBaseRewrite) {
+  Harness h;
+  const auto dir = FreshDir("append-log");
+  CacheOptions options;
+  options.mem_budget_bytes = 1024; // every Put demotes its predecessor
+  options.disk_dir = dir.string();
+
+  {
+    auto cache = h.MakeCache(options);
+    ASSERT_TRUE(cache->Put("a", Blob('a', 900)).ok());
+    ASSERT_TRUE(cache->Put("b", Blob('b', 900)).ok()); // demotes "a"
+  }
+  const auto index_path = dir / ".cache-index";
+  const auto log_path = dir / ".cache-log";
+  ASSERT_TRUE(std::filesystem::exists(index_path));
+  // Clean shutdown compacted: the log holds nothing the base doesn't.
+  EXPECT_EQ(std::filesystem::file_size(log_path), 0u);
+
+  {
+    auto cache = h.MakeCache(options);
+    const std::string base_before = FileBytes(index_path);
+    for (int i = 0; i < 40; ++i) {
+      ASSERT_TRUE(cache->Put("m" + std::to_string(i), Blob('m', 900)).ok());
+    }
+    // 40 demotions appended records; the base image was left alone.
+    EXPECT_EQ(FileBytes(index_path), base_before);
+    EXPECT_GT(std::filesystem::file_size(log_path), 0u);
+  }
+  // Destructor flush = compaction: base rewritten, log reset.
+  EXPECT_EQ(std::filesystem::file_size(log_path), 0u);
+  std::filesystem::remove_all(dir);
+}
+
+// A crash before compaction loses nothing: load-time replay folds the
+// append-log's insert/remove records onto the base image, so entries
+// only the log knows about are still served from disk.
+TEST(CacheTest, CrashBeforeCompactionReplaysAppendLog) {
+  Harness h;
+  const auto dir = FreshDir("log-replay");
+  const auto crash_dir = FreshDir("log-replay-crash");
+  CacheOptions options;
+  options.mem_budget_bytes = 1024;
+  options.disk_dir = dir.string();
+
+  {
+    auto cache = h.MakeCache(options);
+    ASSERT_TRUE(cache->Put("a", Blob('a', 900)).ok());
+    ASSERT_TRUE(cache->Put("b", Blob('b', 900)).ok()); // base gets "a"
+  }
+  {
+    auto cache = h.MakeCache(options);
+    for (int i = 0; i < 20; ++i) {
+      ASSERT_TRUE(cache->Put("m" + std::to_string(i), Blob('m', 900)).ok());
+    }
+    // Snapshot the dir BEFORE the destructor compacts — this is the
+    // exact on-disk state a crash would leave: stale base + live log.
+    std::filesystem::copy(dir, crash_dir,
+                          std::filesystem::copy_options::recursive);
+  }
+
+  Harness fresh; // empty inner store: any successful read proves a disk hit
+  CacheOptions crash_options = options;
+  crash_options.disk_dir = crash_dir.string();
+  auto cache = fresh.MakeCache(crash_options);
+  EXPECT_EQ(cache->Get("a").value(), Blob('a', 900));    // from the base
+  EXPECT_EQ(cache->Get("m10").value(), Blob('m', 900));  // from the log
+  EXPECT_EQ(fresh.inner->gets_.load(), 0);
+  EXPECT_GE(cache->counters().disk_hits, 2u);
+  std::filesystem::remove_all(dir);
+  std::filesystem::remove_all(crash_dir);
+}
+
+// A corrupt log record ends the replay at that record: everything the
+// base image holds stands, log-only entries after the tear are dropped
+// and their data files swept as orphans — reads fall back to the inner
+// store instead of serving unverified bytes.
+TEST(CacheTest, CorruptLogRecordEndsReplayAtBase) {
+  Harness h;
+  const auto dir = FreshDir("log-tamper");
+  const auto crash_dir = FreshDir("log-tamper-crash");
+  CacheOptions options;
+  options.mem_budget_bytes = 1024;
+  options.disk_dir = dir.string();
+
+  {
+    auto cache = h.MakeCache(options);
+    ASSERT_TRUE(cache->Put("a", Blob('a', 900)).ok());
+    ASSERT_TRUE(cache->Put("b", Blob('b', 900)).ok());
+  }
+  {
+    auto cache = h.MakeCache(options);
+    for (int i = 0; i < 10; ++i) {
+      ASSERT_TRUE(cache->Put("t" + std::to_string(i), Blob('t', 900)).ok());
+    }
+    std::filesystem::copy(dir, crash_dir,
+                          std::filesystem::copy_options::recursive);
+  }
+  // Flip a byte inside the FIRST record's body: its per-record MAC fails,
+  // so the replay trusts nothing in the log.
+  {
+    std::fstream f(crash_dir / ".cache-log",
+                   std::ios::binary | std::ios::in | std::ios::out);
+    f.seekp(5); // past the u32 length prefix, inside the body
+    f.put('\x7f');
+  }
+
+  Harness fresh;
+  CacheOptions crash_options = options;
+  crash_options.disk_dir = crash_dir.string();
+  auto cache = fresh.MakeCache(crash_options);
+  EXPECT_EQ(cache->Get("a").value(), Blob('a', 900)); // base entry stands
+  EXPECT_EQ(fresh.inner->gets_.load(), 0);
+  // Log-only entries are gone — and so are their (orphaned) data files.
+  EXPECT_EQ(cache->Get("t5").status().code(), ErrorCode::kNotFound);
+  EXPECT_FALSE(
+      std::filesystem::exists(crash_dir / storage::EscapeName("t5")));
+  std::filesystem::remove_all(dir);
+  std::filesystem::remove_all(crash_dir);
+}
+
 TEST(CacheTest, DropCleanEntriesKeepsDirtyData) {
   Harness h;
   CacheOptions options;

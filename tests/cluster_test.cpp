@@ -1,0 +1,584 @@
+// ClusterBackend unit + convergence tests over in-memory shards: ring
+// placement, envelope codec, quorum reads/writes with sloppy-quorum
+// failover, tombstone deletes, health ejection/reinstatement, read-repair
+// and rebalancing — including a rebalance-under-concurrent-writes soak.
+// Every shard is a MemBackend behind a deterministic kill switch, so no
+// sockets and no real clocks are involved.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <set>
+#include <thread>
+
+#include "cluster/cluster_backend.hpp"
+#include "cluster/ring.hpp"
+#include "storage/backend.hpp"
+
+namespace nexus::cluster {
+namespace {
+
+// A MemBackend behind a kill switch: while down, every operation fails
+// like a dead TCP peer (kIOError / empty), which is exactly what the
+// cluster's health tracker keys on.
+class SwitchableBackend final : public storage::StorageBackend {
+ public:
+  SwitchableBackend(std::shared_ptr<storage::MemBackend> inner,
+                    std::shared_ptr<std::atomic<bool>> down,
+                    std::shared_ptr<std::atomic<std::uint64_t>> calls)
+      : inner_(std::move(inner)), down_(std::move(down)),
+        calls_(std::move(calls)) {}
+
+  Result<Bytes> Get(const std::string& name) override {
+    calls_->fetch_add(1);
+    if (down_->load()) return Error(ErrorCode::kIOError, "shard down");
+    return inner_->Get(name);
+  }
+  Status Put(const std::string& name, ByteSpan data) override {
+    calls_->fetch_add(1);
+    if (down_->load()) return Error(ErrorCode::kIOError, "shard down");
+    return inner_->Put(name, data);
+  }
+  Status Delete(const std::string& name) override {
+    calls_->fetch_add(1);
+    if (down_->load()) return Error(ErrorCode::kIOError, "shard down");
+    return inner_->Delete(name);
+  }
+  bool Exists(const std::string& name) override {
+    calls_->fetch_add(1);
+    if (down_->load()) return false;
+    return inner_->Exists(name);
+  }
+  std::vector<std::string> List(const std::string& prefix) override {
+    calls_->fetch_add(1);
+    if (down_->load()) return {};
+    return inner_->List(prefix);
+  }
+
+ private:
+  std::shared_ptr<storage::MemBackend> inner_;
+  std::shared_ptr<std::atomic<bool>> down_;
+  std::shared_ptr<std::atomic<std::uint64_t>> calls_;
+};
+
+// One shard's test-side handles.
+struct TestShard {
+  std::string id;
+  std::shared_ptr<storage::MemBackend> mem =
+      std::make_shared<storage::MemBackend>();
+  std::shared_ptr<std::atomic<bool>> down =
+      std::make_shared<std::atomic<bool>>(false);
+  std::shared_ptr<std::atomic<std::uint64_t>> calls =
+      std::make_shared<std::atomic<std::uint64_t>>(0);
+
+  ShardSpec spec() const {
+    return ShardSpec{
+        id, [mem = mem, down = down, calls = calls]()
+                -> Result<std::unique_ptr<storage::StorageBackend>> {
+          return std::unique_ptr<storage::StorageBackend>(
+              std::make_unique<SwitchableBackend>(mem, down, calls));
+        }};
+  }
+};
+
+class ClusterFixture {
+ public:
+  explicit ClusterFixture(std::size_t n, ClusterOptions options = {}) {
+    for (std::size_t i = 0; i < n; ++i) {
+      TestShard shard;
+      shard.id = "shard-" + std::to_string(i);
+      shards_.push_back(std::move(shard));
+    }
+    std::vector<ShardSpec> specs;
+    for (const TestShard& s : shards_) specs.push_back(s.spec());
+    if (options.replication == 0) options.replication = 2;
+    if (options.writer_id == 0) options.writer_id = 7;
+    if (!options.now_ms) {
+      options.now_ms = [this] { return clock_.load(); }; // deterministic
+    }
+    options.background_rebalance = false; // tests drive RebalanceNow()
+    cluster_ = ClusterBackend::Create(std::move(specs), options).value();
+  }
+
+  ClusterBackend& cluster() { return *cluster_; }
+  TestShard& shard(std::size_t i) { return shards_[i]; }
+  std::size_t size() const { return shards_.size(); }
+  void AdvanceClock(std::uint64_t ms) { clock_.fetch_add(ms); }
+
+  /// How many shards' stores hold `name` (as a raw envelope object).
+  std::size_t ReplicaCount(const std::string& name) {
+    std::size_t n = 0;
+    for (TestShard& s : shards_) {
+      if (s.mem->Exists(name)) ++n;
+    }
+    return n;
+  }
+
+  /// Decodes shard i's replica of `name` (must exist and decode).
+  Envelope ReplicaEnvelope(std::size_t i, const std::string& name) {
+    const Bytes raw = shards_[i].mem->Get(name).value();
+    return DecodeEnvelope(ByteSpan(raw.data(), raw.size())).value();
+  }
+
+ private:
+  std::vector<TestShard> shards_;
+  std::atomic<std::uint64_t> clock_{1'000'000};
+  std::unique_ptr<ClusterBackend> cluster_;
+};
+
+// ---- ring -------------------------------------------------------------------
+
+TEST(HashRingTest, SpreadsKeysAcrossNodes) {
+  HashRing ring(64);
+  for (int i = 0; i < 4; ++i) ring.AddNode("node-" + std::to_string(i));
+  std::map<std::string, int> owned;
+  for (int k = 0; k < 1000; ++k) {
+    ++owned[ring.Owner("key-" + std::to_string(k))];
+  }
+  ASSERT_EQ(owned.size(), 4u); // every node owns something
+  for (const auto& [node, count] : owned) {
+    // With 64 vnodes the split stays within a loose band of fair share.
+    EXPECT_GT(count, 50) << node;
+    EXPECT_LT(count, 600) << node;
+  }
+}
+
+TEST(HashRingTest, MembershipChangeOnlyMovesTheLeavingNodesKeys) {
+  HashRing ring(64);
+  for (int i = 0; i < 4; ++i) ring.AddNode("node-" + std::to_string(i));
+  std::map<std::string, std::string> before;
+  for (int k = 0; k < 500; ++k) {
+    const std::string key = "key-" + std::to_string(k);
+    before[key] = ring.Owner(key);
+  }
+  ring.RemoveNode("node-2");
+  for (const auto& [key, owner] : before) {
+    if (owner == "node-2") continue;
+    EXPECT_EQ(ring.Owner(key), owner) << key; // placement is stable
+  }
+  // And adding it back restores the original placement exactly.
+  ring.AddNode("node-2");
+  for (const auto& [key, owner] : before) {
+    EXPECT_EQ(ring.Owner(key), owner) << key;
+  }
+}
+
+TEST(HashRingTest, SuccessorsAreDistinctAndOrdered) {
+  HashRing ring(32);
+  ring.AddNode("a");
+  ring.AddNode("b");
+  ring.AddNode("c");
+  const auto succ = ring.Successors("some-object", 3);
+  ASSERT_EQ(succ.size(), 3u);
+  EXPECT_EQ(std::set<std::string>(succ.begin(), succ.end()).size(), 3u);
+  // Asking for more than the ring holds caps at the node count.
+  EXPECT_EQ(ring.Successors("some-object", 10).size(), 3u);
+  EXPECT_EQ(succ.front(), ring.Owner("some-object"));
+}
+
+// ---- envelope ---------------------------------------------------------------
+
+TEST(EnvelopeTest, RoundTripsAndOrders) {
+  Envelope env;
+  env.version = 42;
+  env.writer = 9;
+  env.payload = Bytes{1, 2, 3};
+  const Bytes wire = EncodeEnvelope(env);
+  const Envelope back = DecodeEnvelope(ByteSpan(wire.data(), wire.size())).value();
+  EXPECT_FALSE(back.tombstone);
+  EXPECT_EQ(back.version, 42u);
+  EXPECT_EQ(back.writer, 9u);
+  EXPECT_EQ(back.payload, env.payload);
+
+  Envelope tomb;
+  tomb.tombstone = true;
+  tomb.version = 43;
+  const Bytes twire = EncodeEnvelope(tomb);
+  EXPECT_TRUE(DecodeEnvelope(ByteSpan(twire.data(), twire.size()))
+                  .value()
+                  .tombstone);
+
+  // (version, writer) lexicographic order.
+  Envelope a, b;
+  a.version = 5;
+  b.version = 4;
+  EXPECT_TRUE(EnvelopeNewer(a, b));
+  b.version = 5;
+  a.writer = 2;
+  b.writer = 1;
+  EXPECT_TRUE(EnvelopeNewer(a, b));
+  EXPECT_FALSE(EnvelopeNewer(b, a));
+  b.writer = 2;
+  EXPECT_FALSE(EnvelopeNewer(a, b)); // equal is not newer
+}
+
+TEST(EnvelopeTest, RejectsGarbage) {
+  EXPECT_FALSE(DecodeEnvelope(ByteSpan()).ok());
+  const Bytes junk{1, 2, 3, 4, 5, 6, 7, 8};
+  EXPECT_FALSE(DecodeEnvelope(ByteSpan(junk.data(), junk.size())).ok());
+  Envelope env;
+  env.payload = Bytes{1};
+  Bytes wire = EncodeEnvelope(env);
+  wire.push_back(0); // trailing byte
+  EXPECT_FALSE(DecodeEnvelope(ByteSpan(wire.data(), wire.size())).ok());
+}
+
+// ---- quorum backend contract ------------------------------------------------
+
+TEST(ClusterBackendTest, StorageContractOverThreeShards) {
+  ClusterFixture fx(3);
+  ClusterBackend& c = fx.cluster();
+  EXPECT_EQ(c.replication(), 2u);
+  EXPECT_EQ(c.write_quorum(), 2u);
+  EXPECT_EQ(c.read_quorum(), 2u);
+
+  EXPECT_EQ(c.Get("missing").status().code(), ErrorCode::kNotFound);
+  EXPECT_EQ(c.Delete("missing").code(), ErrorCode::kNotFound);
+  EXPECT_FALSE(c.Exists("missing"));
+
+  const Bytes data{10, 20, 30};
+  ASSERT_TRUE(c.Put("obj", ByteSpan(data.data(), data.size())).ok());
+  EXPECT_EQ(c.Get("obj").value(), data);
+  EXPECT_TRUE(c.Exists("obj"));
+  EXPECT_EQ(fx.ReplicaCount("obj"), 2u); // exactly R replicas placed
+
+  // Overwrite wins.
+  const Bytes data2{99};
+  ASSERT_TRUE(c.Put("obj", ByteSpan(data2.data(), data2.size())).ok());
+  EXPECT_EQ(c.Get("obj").value(), data2);
+
+  // Streamed put commits through the same quorum path.
+  auto stream = c.OpenPutStream("streamed").value();
+  ASSERT_TRUE(stream->Append(ByteSpan(data.data(), data.size())).ok());
+  ASSERT_TRUE(stream->Append(ByteSpan(data2.data(), data2.size())).ok());
+  ASSERT_TRUE(stream->Commit().ok());
+  EXPECT_EQ(c.Get("streamed").value(), Concat(data, data2));
+
+  // List sees both, sorted, and respects prefixes.
+  const auto all = c.List("");
+  ASSERT_EQ(all.size(), 2u);
+  EXPECT_EQ(all[0], "obj");
+  EXPECT_EQ(all[1], "streamed");
+  EXPECT_TRUE(c.List("zzz").empty());
+
+  // Delete is a quorum tombstone: gone from every read surface even
+  // though shard stores still hold the marker.
+  ASSERT_TRUE(c.Delete("obj").ok());
+  EXPECT_EQ(c.Get("obj").status().code(), ErrorCode::kNotFound);
+  EXPECT_FALSE(c.Exists("obj"));
+  EXPECT_EQ(c.List("").size(), 1u);
+  EXPECT_EQ(c.Delete("obj").code(), ErrorCode::kNotFound); // idempotent-ish
+  EXPECT_GE(fx.ReplicaCount("obj"), 2u); // tombstone is replicated
+
+  const ClusterCounters counters = c.counters();
+  EXPECT_GT(counters.quorum_writes, 0u);
+  EXPECT_GT(counters.quorum_reads, 0u);
+  EXPECT_GT(counters.tombstones_written, 0u);
+  EXPECT_EQ(counters.quorum_failures, 0u);
+}
+
+TEST(ClusterBackendTest, MultiGetMatchesGet) {
+  ClusterFixture fx(3);
+  ClusterBackend& c = fx.cluster();
+  for (int i = 0; i < 8; ++i) {
+    const Bytes data{static_cast<std::uint8_t>(i)};
+    ASSERT_TRUE(
+        c.Put("k" + std::to_string(i), ByteSpan(data.data(), data.size()))
+            .ok());
+  }
+  ASSERT_TRUE(c.Delete("k3").ok());
+  std::vector<std::string> names;
+  for (int i = 0; i < 8; ++i) names.push_back("k" + std::to_string(i));
+  names.push_back("never-existed");
+  const auto results = c.MultiGet(names);
+  ASSERT_EQ(results.size(), names.size());
+  for (int i = 0; i < 8; ++i) {
+    if (i == 3) {
+      EXPECT_EQ(results[i].status().code(), ErrorCode::kNotFound);
+    } else {
+      EXPECT_EQ(results[i].value(), Bytes{static_cast<std::uint8_t>(i)}) << i;
+    }
+  }
+  EXPECT_EQ(results.back().status().code(), ErrorCode::kNotFound);
+}
+
+// ---- sloppy quorum / failover ----------------------------------------------
+
+TEST(ClusterBackendTest, WritesSurviveOneDeadShard) {
+  ClusterFixture fx(3);
+  ClusterBackend& c = fx.cluster();
+  fx.shard(1).down->store(true);
+
+  // Every write must commit: owners that include the dead shard slide
+  // down to the third successor (sloppy quorum).
+  for (int i = 0; i < 40; ++i) {
+    const Bytes data{static_cast<std::uint8_t>(i), 7};
+    ASSERT_TRUE(
+        c.Put("key-" + std::to_string(i), ByteSpan(data.data(), data.size()))
+            .ok())
+        << i;
+  }
+  for (int i = 0; i < 40; ++i) {
+    EXPECT_EQ(c.Get("key-" + std::to_string(i)).value(),
+              (Bytes{static_cast<std::uint8_t>(i), 7}))
+        << i;
+  }
+  const ClusterCounters counters = c.counters();
+  EXPECT_EQ(counters.quorum_failures, 0u);
+  EXPECT_GT(counters.failovers, 0u); // some keys' owner sets hit shard-1
+  EXPECT_GT(counters.shard_failures, 0u);
+}
+
+TEST(ClusterBackendTest, QuorumFailureWhenTooManyShardsDead) {
+  ClusterOptions options;
+  options.eject_after = 1000000; // keep shards un-ejected: pure quorum math
+  ClusterFixture fx(3, options);
+  ClusterBackend& c = fx.cluster();
+  fx.shard(0).down->store(true);
+  fx.shard(1).down->store(true);
+  fx.shard(2).down->store(true);
+
+  const Bytes data{1};
+  const Status put = c.Put("k", ByteSpan(data.data(), data.size()));
+  EXPECT_FALSE(put.ok());
+  EXPECT_EQ(put.code(), ErrorCode::kIOError);
+  EXPECT_EQ(c.Get("k").status().code(), ErrorCode::kIOError);
+  EXPECT_GE(c.counters().quorum_failures, 2u);
+}
+
+// ---- health -----------------------------------------------------------------
+
+TEST(ClusterBackendTest, EjectionAndBackoffGatedReinstatement) {
+  ClusterOptions options;
+  options.replication = 1;
+  options.eject_after = 3;
+  options.reinstate_backoff_base_ms = 100;
+  ClusterFixture fx(1, options);
+  ClusterBackend& c = fx.cluster();
+  fx.shard(0).down->store(true);
+
+  const Bytes data{1};
+  // Three failed ops trip the ejection threshold.
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_FALSE(c.Put("k", ByteSpan(data.data(), data.size())).ok());
+  }
+  auto health = c.Health();
+  ASSERT_EQ(health.size(), 1u);
+  EXPECT_TRUE(health[0].ejected);
+  EXPECT_EQ(c.counters().shards_ejected, 1u);
+
+  // While ejected and inside the backoff window, ops fail WITHOUT
+  // touching the shard at all.
+  const std::uint64_t calls_before = fx.shard(0).calls->load();
+  EXPECT_FALSE(c.Put("k", ByteSpan(data.data(), data.size())).ok());
+  EXPECT_EQ(fx.shard(0).calls->load(), calls_before);
+
+  // A failed probe after the backoff expires doubles the wait.
+  fx.AdvanceClock(150);
+  EXPECT_FALSE(c.Put("k", ByteSpan(data.data(), data.size())).ok());
+  fx.AdvanceClock(150); // 100 * 2^1 = 200ms still pending
+  const std::uint64_t calls_mid = fx.shard(0).calls->load();
+  EXPECT_FALSE(c.Put("k", ByteSpan(data.data(), data.size())).ok());
+  EXPECT_EQ(fx.shard(0).calls->load(), calls_mid); // gated, no probe
+
+  // Shard recovers; once the backoff expires one probe reinstates it.
+  fx.shard(0).down->store(false);
+  fx.AdvanceClock(10'000);
+  EXPECT_TRUE(c.Put("k", ByteSpan(data.data(), data.size())).ok());
+  health = c.Health();
+  EXPECT_FALSE(health[0].ejected);
+  EXPECT_EQ(c.counters().shards_reinstated, 1u);
+  EXPECT_EQ(c.Get("k").value(), data);
+}
+
+// ---- read repair ------------------------------------------------------------
+
+TEST(ClusterBackendTest, ReadRepairConvergesAStaleReplica) {
+  ClusterFixture fx(3);
+  ClusterBackend& c = fx.cluster();
+
+  const Bytes v1{1};
+  ASSERT_TRUE(c.Put("obj", ByteSpan(v1.data(), v1.size())).ok());
+
+  // Find one shard holding the replica and wipe it behind the cluster's
+  // back (a restarted-empty shard).
+  std::size_t victim = fx.size();
+  for (std::size_t i = 0; i < fx.size(); ++i) {
+    if (fx.shard(i).mem->Exists("obj")) {
+      victim = i;
+      break;
+    }
+  }
+  ASSERT_LT(victim, fx.size());
+  ASSERT_TRUE(fx.shard(victim).mem->Delete("obj").ok());
+  ASSERT_EQ(fx.ReplicaCount("obj"), 1u);
+
+  // The quorum read sees the divergence and repairs it in place.
+  EXPECT_EQ(c.Get("obj").value(), v1);
+  EXPECT_EQ(fx.ReplicaCount("obj"), 2u);
+  EXPECT_GT(c.counters().read_repairs, 0u);
+  EXPECT_EQ(fx.ReplicaEnvelope(victim, "obj").payload, v1);
+
+  // Repair copies the envelope VERBATIM: same version on both replicas.
+  std::vector<Envelope> envs;
+  for (std::size_t i = 0; i < fx.size(); ++i) {
+    if (fx.shard(i).mem->Exists("obj")) {
+      envs.push_back(fx.ReplicaEnvelope(i, "obj"));
+    }
+  }
+  ASSERT_EQ(envs.size(), 2u);
+  EXPECT_EQ(envs[0].version, envs[1].version);
+  EXPECT_EQ(envs[0].writer, envs[1].writer);
+}
+
+// ---- rebalancing ------------------------------------------------------------
+
+TEST(ClusterBackendTest, AddShardMigratesItsArcsAndPurgesNonOwners) {
+  ClusterFixture fx(2);
+  ClusterBackend& c = fx.cluster();
+  for (int i = 0; i < 30; ++i) {
+    const Bytes data{static_cast<std::uint8_t>(i)};
+    ASSERT_TRUE(
+        c.Put("k" + std::to_string(i), ByteSpan(data.data(), data.size()))
+            .ok());
+  }
+  // With 2 shards and R=2 every object lives on both.
+  for (int i = 0; i < 30; ++i) {
+    ASSERT_EQ(fx.ReplicaCount("k" + std::to_string(i)), 2u);
+  }
+
+  TestShard extra;
+  extra.id = "shard-extra";
+  ASSERT_TRUE(c.AddShard(extra.spec()).ok());
+  c.RebalanceNow();
+
+  // Every object still reads back, still has exactly R replicas, and the
+  // new shard took over some arcs.
+  std::size_t on_extra = 0;
+  for (int i = 0; i < 30; ++i) {
+    const std::string name = "k" + std::to_string(i);
+    EXPECT_EQ(c.Get(name).value(), Bytes{static_cast<std::uint8_t>(i)}) << i;
+    std::size_t replicas = extra.mem->Exists(name) ? 1 : 0;
+    replicas += fx.ReplicaCount(name);
+    EXPECT_EQ(replicas, 2u) << name;
+    if (extra.mem->Exists(name)) ++on_extra;
+  }
+  EXPECT_GT(on_extra, 0u);
+  const ClusterCounters counters = c.counters();
+  EXPECT_GT(counters.rebalance_objects_moved, 0u);
+  EXPECT_GT(counters.rebalance_objects_purged, 0u);
+  EXPECT_GT(counters.rebalance_passes, 0u);
+}
+
+TEST(ClusterBackendTest, RemoveShardRestoresReplicationElsewhere) {
+  ClusterFixture fx(3);
+  ClusterBackend& c = fx.cluster();
+  for (int i = 0; i < 30; ++i) {
+    const Bytes data{static_cast<std::uint8_t>(i), 5};
+    ASSERT_TRUE(
+        c.Put("k" + std::to_string(i), ByteSpan(data.data(), data.size()))
+            .ok());
+  }
+  ASSERT_TRUE(c.RemoveShard("shard-2").ok());
+  c.RebalanceNow();
+  for (int i = 0; i < 30; ++i) {
+    const std::string name = "k" + std::to_string(i);
+    EXPECT_EQ(c.Get(name).value(),
+              (Bytes{static_cast<std::uint8_t>(i), 5}))
+        << i;
+    // Both surviving shards hold every object now (R=2 over 2 shards).
+    EXPECT_TRUE(fx.shard(0).mem->Exists(name)) << name;
+    EXPECT_TRUE(fx.shard(1).mem->Exists(name)) << name;
+  }
+  EXPECT_FALSE(c.RemoveShard("shard-2").ok()); // already gone
+}
+
+// Writers keep mutating while the migrator runs and membership changes:
+// nothing is lost, and the newest value always wins. (TSan-friendly: the
+// interesting races are real thread interleavings.)
+TEST(ClusterBackendTest, RebalanceUnderConcurrentWritesSoak) {
+  ClusterFixture fx(3);
+  ClusterBackend& c = fx.cluster();
+
+  constexpr int kWriters = 4;
+  constexpr int kKeysPerWriter = 8;
+  constexpr int kRounds = 25;
+  std::atomic<bool> stop{false};
+
+  std::thread migrator([&] {
+    TestShard extra;
+    extra.id = "soak-extra";
+    ASSERT_TRUE(c.AddShard(extra.spec()).ok());
+    while (!stop.load()) {
+      c.RebalanceNow();
+    }
+  });
+
+  std::vector<std::thread> writers;
+  for (int w = 0; w < kWriters; ++w) {
+    writers.emplace_back([&, w] {
+      for (int round = 1; round <= kRounds; ++round) {
+        for (int k = 0; k < kKeysPerWriter; ++k) {
+          const std::string name =
+              "soak-" + std::to_string(w) + "-" + std::to_string(k);
+          const Bytes data{static_cast<std::uint8_t>(round),
+                           static_cast<std::uint8_t>(w),
+                           static_cast<std::uint8_t>(k)};
+          ASSERT_TRUE(c.Put(name, ByteSpan(data.data(), data.size())).ok());
+        }
+      }
+    });
+  }
+  for (std::thread& t : writers) t.join();
+  stop.store(true);
+  migrator.join();
+  c.RebalanceNow(); // quiesced convergence pass
+
+  for (int w = 0; w < kWriters; ++w) {
+    for (int k = 0; k < kKeysPerWriter; ++k) {
+      const std::string name =
+          "soak-" + std::to_string(w) + "-" + std::to_string(k);
+      const Bytes expect{static_cast<std::uint8_t>(kRounds),
+                         static_cast<std::uint8_t>(w),
+                         static_cast<std::uint8_t>(k)};
+      EXPECT_EQ(c.Get(name).value(), expect) << name;
+    }
+  }
+  EXPECT_EQ(c.counters().quorum_failures, 0u);
+}
+
+// ---- endpoint parsing -------------------------------------------------------
+
+TEST(ClusterConfigTest, ParsesEndpointLists) {
+  const auto list = ParseEndpointList(" 127.0.0.1:7001, 127.0.0.1:7002 ,\n"
+                                      "example.test:9\n");
+  ASSERT_EQ(list.size(), 3u);
+  EXPECT_EQ(list[0], "127.0.0.1:7001");
+  EXPECT_EQ(list[2], "example.test:9");
+  EXPECT_TRUE(ParseEndpointList("").empty());
+
+  std::string host;
+  std::uint16_t port = 0;
+  ASSERT_TRUE(SplitHostPort("10.0.0.1:7005", &host, &port));
+  EXPECT_EQ(host, "10.0.0.1");
+  EXPECT_EQ(port, 7005);
+  EXPECT_FALSE(SplitHostPort("nohost", &host, &port));
+  EXPECT_FALSE(SplitHostPort(":70", &host, &port));
+  EXPECT_FALSE(SplitHostPort("h:", &host, &port));
+  EXPECT_FALSE(SplitHostPort("h:99999", &host, &port));
+}
+
+TEST(ClusterConfigTest, CreateValidatesItsInputs) {
+  EXPECT_FALSE(ClusterBackend::Create({}, {}).ok());
+  ClusterOptions options;
+  options.replication = 2;
+  options.write_quorum = 5; // larger than the shard count
+  TestShard s;
+  s.id = "only";
+  EXPECT_FALSE(ClusterBackend::Create({s.spec()}, options).ok());
+  EXPECT_FALSE(
+      ClusterBackend::Connect("definitely not an endpoint", {}, {}).ok());
+}
+
+} // namespace
+} // namespace nexus::cluster
