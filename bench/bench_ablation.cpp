@@ -14,14 +14,19 @@
 // 10. connection scaling — the legacy thread-per-connection daemon vs the
 //     event-driven epoll reactor at a flat thread count,
 // 11. cluster scaling — quorum put/get throughput against 1/2/4 nexusd
-//     shards plus the failover latency tail when a replica dies mid-run.
+//     shards plus the failover latency tail when a replica dies mid-run,
+// 12. the streamed cluster write path — streaming vs buffered replicated
+//     puts (client memory high-water), delta vs full rebalance after a
+//     membership change, and the hinted-handoff repair window.
 #include <sys/resource.h>
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstdint>
 #include <filesystem>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bench_util.hpp"
@@ -949,6 +954,71 @@ void C10kAblation() {
   }
 }
 
+// One loopback nexusd fleet + cluster client, shared by the cluster
+// ablations (11 and 12).
+struct ClusterFleet {
+  std::vector<std::unique_ptr<storage::MemBackend>> stores;
+  std::vector<std::unique_ptr<net::NexusdServer>> servers;
+  std::vector<std::uint16_t> ports;
+  std::unique_ptr<cluster::ClusterBackend> cluster;
+
+  static cluster::ShardSpec MakeSpec(std::uint16_t port) {
+    return cluster::ShardSpec{
+        "127.0.0.1:" + std::to_string(port),
+        [port]() -> Result<std::unique_ptr<storage::StorageBackend>> {
+          net::RemoteBackendOptions client;
+          client.max_attempts = 2;
+          client.backoff_base_ms = 1;
+          client.backoff_cap_ms = 5;
+          client.connect_deadline_ms = 250; // bounds the failover stall
+          NEXUS_ASSIGN_OR_RETURN(auto remote, net::RemoteBackend::Connect(
+                                                  "127.0.0.1", port, client));
+          return std::unique_ptr<storage::StorageBackend>(std::move(remote));
+        },
+        [](storage::StorageBackend& b) {
+          return static_cast<net::RemoteBackend&>(b).Ping();
+        }};
+  }
+
+  std::uint16_t StartServer() {
+    stores.push_back(std::make_unique<storage::MemBackend>());
+    net::NexusdOptions options;
+    options.workers = 8;
+    servers.push_back(
+        net::NexusdServer::Start(*stores.back(), options).value());
+    ports.push_back(servers.back()->port());
+    return ports.back();
+  }
+
+  explicit ClusterFleet(std::size_t shards, int reinstate_backoff_ms = 100) {
+    std::vector<cluster::ShardSpec> specs;
+    for (std::size_t i = 0; i < shards; ++i) {
+      specs.push_back(MakeSpec(StartServer()));
+    }
+    cluster::ClusterOptions options;
+    options.replication = std::min<std::size_t>(2, shards);
+    options.eject_after = 2;
+    options.reinstate_backoff_base_ms = reinstate_backoff_ms;
+    options.background_rebalance = false;
+    cluster =
+        cluster::ClusterBackend::Create(std::move(specs), options).value();
+  }
+
+  void Kill(std::size_t i) { servers[i].reset(); }
+  void RestartEmpty(std::size_t i) {
+    servers[i].reset();
+    stores[i] = std::make_unique<storage::MemBackend>();
+    net::NexusdOptions options;
+    options.workers = 8;
+    options.port = ports[i];
+    servers[i] = net::NexusdServer::Start(*stores[i], options).value();
+  }
+  /// Starts a fresh daemon and joins it to the ring (membership change).
+  void AddShardToRing() {
+    Abort(cluster->AddShard(MakeSpec(StartServer())), "add shard");
+  }
+};
+
 // Ablation 11: the sharded nexusd cluster. Phase A measures quorum
 // put/get throughput against 1, 2, and 4 loopback shards (R = min(2, N),
 // majority quorums) over a 512 x 4 KiB working set — more shards spread
@@ -964,44 +1034,7 @@ void ClusterAblation() {
   constexpr std::size_t kObjectBytes = 4096;
   const double mib = static_cast<double>(kObjects * kObjectBytes) /
                      (1024.0 * 1024.0);
-
-  // One loopback nexusd fleet + cluster client per row.
-  struct Fleet {
-    std::vector<std::unique_ptr<storage::MemBackend>> stores;
-    std::vector<std::unique_ptr<net::NexusdServer>> servers;
-    std::unique_ptr<cluster::ClusterBackend> cluster;
-
-    explicit Fleet(std::size_t shards) {
-      std::vector<cluster::ShardSpec> specs;
-      for (std::size_t i = 0; i < shards; ++i) {
-        stores.push_back(std::make_unique<storage::MemBackend>());
-        net::NexusdOptions options;
-        options.workers = 8;
-        servers.push_back(
-            net::NexusdServer::Start(*stores.back(), options).value());
-        const std::uint16_t port = servers.back()->port();
-        specs.push_back(cluster::ShardSpec{
-            "127.0.0.1:" + std::to_string(port),
-            [port]() -> Result<std::unique_ptr<storage::StorageBackend>> {
-              net::RemoteBackendOptions client;
-              client.max_attempts = 2;
-              client.backoff_base_ms = 1;
-              client.backoff_cap_ms = 5;
-              client.connect_deadline_ms = 250; // bounds the failover stall
-              NEXUS_ASSIGN_OR_RETURN(auto remote, net::RemoteBackend::Connect(
-                                                      "127.0.0.1", port, client));
-              return std::unique_ptr<storage::StorageBackend>(std::move(remote));
-            }});
-      }
-      cluster::ClusterOptions options;
-      options.replication = std::min<std::size_t>(2, shards);
-      options.eject_after = 2;
-      options.background_rebalance = false;
-      cluster = cluster::ClusterBackend::Create(std::move(specs), options)
-                    .value();
-    }
-    void Kill(std::size_t i) { servers[i].reset(); }
-  };
+  using Fleet = ClusterFleet;
 
   crypto::HmacDrbg rng(AsBytes("cluster-ablation"));
   std::vector<Bytes> objects;
@@ -1112,6 +1145,204 @@ void ClusterAblation() {
   }
 }
 
+// Ablation 12: the streamed cluster write path. Phase A races the
+// buffered quorum put against the streaming fan-out across object sizes
+// and reports each mode's client-side buffering high-water (the gauge the
+// O(window) bound pins — the streamed put must hold only the fixed
+// envelope header; sizes stop at 32 MiB, under the 64 MiB object cap).
+// Phase B prices a membership change: the arc-bounded delta pass an
+// AddShard queues vs the full every-shard scan, in wall time and copy/RPC
+// counters. Phase C measures the repair window for writes a dead shard
+// slept through: hinted-handoff drain vs a full rebalance pass. Emits
+// BENCH_stream.json; aborts if the streamed put buffers more than a
+// window's worth client-side.
+void StreamAblation() {
+  PrintHeader(
+      "Ablation 12: streaming puts, delta rebalance, hinted handoff");
+
+  // ---- phase A: streamed vs buffered put across object sizes
+  constexpr std::size_t kSegment = 256 * 1024;
+  crypto::HmacDrbg rng(AsBytes("stream-ablation"));
+  const Bytes segment = rng.Generate(kSegment);
+  struct SizeRow {
+    std::size_t mib = 0;
+    double buffered_s = 0, streamed_s = 0;
+    unsigned long long buffered_hw = 0, streamed_hw = 0;
+  };
+  std::vector<SizeRow> size_rows;
+  std::printf("%-10s %12s %14s %12s %14s\n", "object", "buffered",
+              "buffered peak", "streamed", "streamed peak");
+  for (const std::size_t mib : {1u, 8u, 32u}) {
+    const std::size_t segments = mib * 1024 * 1024 / kSegment;
+    SizeRow row;
+    row.mib = mib;
+    for (const bool streamed : {true, false}) {
+      ClusterFleet fleet(3);
+      cluster::ClusterBackend& c = *fleet.cluster;
+      const std::uint64_t t0 = MonotonicNanos();
+      auto stream = streamed ? c.OpenUnbufferedPutStream("obj")
+                             : c.OpenPutStream("obj");
+      Abort(stream.status(), "open put stream");
+      for (std::size_t s = 0; s < segments; ++s) {
+        Abort((*stream)->Append(segment), "append");
+      }
+      Abort((*stream)->Commit(), "commit");
+      const double wall =
+          static_cast<double>(MonotonicNanos() - t0) * 1e-9;
+      const unsigned long long high_water =
+          c.counters().stream_put_buffered_high_water_bytes;
+      if (c.counters().quorum_failures != 0) {
+        Abort(Error(ErrorCode::kInternal, "streamed put lost quorum"),
+              "stream put");
+      }
+      (streamed ? row.streamed_s : row.buffered_s) = wall;
+      (streamed ? row.streamed_hw : row.buffered_hw) = high_water;
+    }
+    std::printf("%3zu MiB    %10.3fs %13lluB %10.3fs %13lluB\n", mib,
+                row.buffered_s, row.buffered_hw, row.streamed_s,
+                row.streamed_hw);
+    size_rows.push_back(row);
+  }
+  for (const SizeRow& row : size_rows) {
+    // The acceptance bound: the streamed path's client-side buffering is
+    // the envelope header, not the object — reject anything past a frame.
+    if (row.streamed_hw > 4096) {
+      Abort(Error(ErrorCode::kInternal,
+                  "streamed put buffered O(object) client-side"),
+            "stream high-water");
+    }
+  }
+
+  // ---- phase B: rebalance cost after AddShard — delta pass vs full scan
+  constexpr std::size_t kRebalanceObjects = 512;
+  ClusterFleet grow(4);
+  {
+    cluster::ClusterBackend& c = *grow.cluster;
+    const Bytes small = rng.Generate(4096);
+    for (std::size_t i = 0; i < kRebalanceObjects; ++i) {
+      Abort(c.Put("o" + std::to_string(i), small), "rebalance seed");
+    }
+    grow.AddShardToRing();
+  }
+  cluster::ClusterBackend& gc = *grow.cluster;
+  const cluster::ClusterCounters before_delta = gc.counters();
+  std::uint64_t t = MonotonicNanos();
+  gc.RebalanceNow(); // consumes the queued membership delta
+  const double delta_s = static_cast<double>(MonotonicNanos() - t) * 1e-9;
+  const cluster::ClusterCounters delta_pass =
+      gc.counters() - before_delta;
+  const cluster::ClusterCounters before_full = gc.counters();
+  t = MonotonicNanos();
+  gc.RebalanceNow(); // no pending delta: full every-shard scan
+  const double full_s = static_cast<double>(MonotonicNanos() - t) * 1e-9;
+  const cluster::ClusterCounters full_pass = gc.counters() - before_full;
+  const double moved_fraction =
+      static_cast<double>(delta_pass.rebalance_objects_moved) /
+      static_cast<double>(kRebalanceObjects);
+  std::printf("rebalance after +1 shard (512 x 4 KiB): delta pass %.3fs "
+              "(%llu scanned, %llu moved = %.1f%% of ring, %llu KiB, "
+              "%llu rpcs); full pass %.3fs (%llu scanned, %llu rpcs)\n",
+              delta_s,
+              static_cast<unsigned long long>(
+                  delta_pass.rebalance_objects_scanned),
+              static_cast<unsigned long long>(
+                  delta_pass.rebalance_objects_moved),
+              100.0 * moved_fraction,
+              static_cast<unsigned long long>(
+                  delta_pass.rebalance_bytes_moved / 1024),
+              static_cast<unsigned long long>(delta_pass.shard_rpcs), full_s,
+              static_cast<unsigned long long>(
+                  full_pass.rebalance_objects_scanned),
+              static_cast<unsigned long long>(full_pass.shard_rpcs));
+
+  // ---- phase C: repair window for slid-past writes — handoff vs full
+  constexpr std::size_t kRepairObjects = 128;
+  struct RepairRow {
+    double wall_s = 0;
+    unsigned long long rpcs = 0, replayed = 0, moved = 0;
+  };
+  RepairRow with_handoff, without_handoff;
+  for (const bool handoff : {true, false}) {
+    ClusterFleet fleet(3, /*reinstate_backoff_ms=*/10);
+    cluster::ClusterBackend& c = *fleet.cluster;
+    const Bytes small = rng.Generate(4096);
+    fleet.Kill(1);
+    for (std::size_t i = 0; i < kRepairObjects; ++i) {
+      Abort(c.Put("r" + std::to_string(i), small), "repair seed");
+    }
+    fleet.RestartEmpty(1);
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    const cluster::ClusterCounters before = c.counters();
+    const std::uint64_t t0 = MonotonicNanos();
+    if (handoff) {
+      c.DrainHandoffNow();
+    } else {
+      c.RebalanceNow();
+    }
+    const double wall = static_cast<double>(MonotonicNanos() - t0) * 1e-9;
+    const cluster::ClusterCounters d = c.counters() - before;
+    RepairRow& row = handoff ? with_handoff : without_handoff;
+    row.wall_s = wall;
+    row.rpcs = d.shard_rpcs;
+    row.replayed = d.handoff_hints_replayed;
+    row.moved = d.rebalance_objects_moved;
+  }
+  std::printf("repair window (128 writes past a dead shard): handoff drain "
+              "%.3fs (%llu replayed, %llu rpcs); full rebalance %.3fs "
+              "(%llu moved, %llu rpcs)\n",
+              with_handoff.wall_s, with_handoff.replayed, with_handoff.rpcs,
+              without_handoff.wall_s, without_handoff.moved,
+              without_handoff.rpcs);
+
+  std::FILE* json = std::fopen("BENCH_stream.json", "w");
+  if (json != nullptr) {
+    std::fprintf(json,
+                 "{\n  \"workload\": \"stream\",\n  \"segment_bytes\": %zu,\n"
+                 "  \"put\": [\n",
+                 kSegment);
+    for (std::size_t i = 0; i < size_rows.size(); ++i) {
+      const SizeRow& r = size_rows[i];
+      const double object_mib = static_cast<double>(r.mib);
+      std::fprintf(
+          json,
+          "    {\"object_mib\": %zu, \"buffered_s\": %.6f, "
+          "\"buffered_mib_s\": %.2f, \"buffered_high_water_bytes\": %llu, "
+          "\"streamed_s\": %.6f, \"streamed_mib_s\": %.2f, "
+          "\"streamed_high_water_bytes\": %llu}%s\n",
+          r.mib, r.buffered_s, object_mib / r.buffered_s, r.buffered_hw,
+          r.streamed_s, object_mib / r.streamed_s, r.streamed_hw,
+          i + 1 < size_rows.size() ? "," : "");
+    }
+    std::fprintf(
+        json,
+        "  ],\n  \"rebalance\": {\"objects\": %zu, \"delta\": "
+        "{\"wall_s\": %.6f, \"scanned\": %llu, \"moved\": %llu, "
+        "\"moved_fraction\": %.4f, \"bytes_moved\": %llu, "
+        "\"shard_rpcs\": %llu}, \"full\": {\"wall_s\": %.6f, "
+        "\"scanned\": %llu, \"shard_rpcs\": %llu}},\n",
+        kRebalanceObjects, delta_s,
+        static_cast<unsigned long long>(
+            delta_pass.rebalance_objects_scanned),
+        static_cast<unsigned long long>(delta_pass.rebalance_objects_moved),
+        moved_fraction,
+        static_cast<unsigned long long>(delta_pass.rebalance_bytes_moved),
+        static_cast<unsigned long long>(delta_pass.shard_rpcs), full_s,
+        static_cast<unsigned long long>(full_pass.rebalance_objects_scanned),
+        static_cast<unsigned long long>(full_pass.shard_rpcs));
+    std::fprintf(
+        json,
+        "  \"repair\": {\"objects\": %zu, \"with_handoff\": "
+        "{\"wall_s\": %.6f, \"replayed\": %llu, \"shard_rpcs\": %llu}, "
+        "\"without_handoff\": {\"wall_s\": %.6f, \"moved\": %llu, "
+        "\"shard_rpcs\": %llu}}\n}\n",
+        kRepairObjects, with_handoff.wall_s, with_handoff.replayed,
+        with_handoff.rpcs, without_handoff.wall_s, without_handoff.moved,
+        without_handoff.rpcs);
+    std::fclose(json);
+    std::printf("wrote BENCH_stream.json\n");
+  }
+}
+
 } // namespace
 
 int Main() {
@@ -1126,6 +1357,7 @@ int Main() {
   ObjectCacheAblation();
   C10kAblation();
   ClusterAblation();
+  StreamAblation();
   return 0;
 }
 

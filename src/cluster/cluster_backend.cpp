@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdlib>
+#include <limits>
 #include <random>
 #include <set>
 #include <unordered_map>
@@ -18,6 +19,49 @@ namespace {
 // "NXE1": replica envelope, version 1.
 constexpr std::uint32_t kEnvelopeMagic = 0x3145584e;
 constexpr std::uint8_t kFlagTombstone = 0x01;
+// Payload is "all remaining bytes" (no length prefix) — the streamed
+// form, whose header goes out before the payload length is known.
+constexpr std::uint8_t kFlagStreamTail = 0x02;
+
+// Control-plane objects live under a prefix no caller name can start
+// with (names come from the VFS layer as printable paths); they are
+// invisible to List and never migrated by the rebalancer.
+constexpr char kControlPrefix = '\x01';
+// Handoff hint marker: kHandoffHintPrefix + owner_id + kHintSep +
+// object_name, stored on a shard that holds the payload under the real
+// name. The marker itself carries no payload.
+constexpr char kHintSep = '\x1f';
+
+bool IsControlName(const std::string& name) {
+  return !name.empty() && name.front() == kControlPrefix;
+}
+
+std::string HintName(const std::string& owner, const std::string& object) {
+  std::string out(kHandoffHintPrefix);
+  out += owner;
+  out += kHintSep;
+  out += object;
+  return out;
+}
+
+bool ParseHintName(const std::string& hint, std::string* owner,
+                   std::string* object) {
+  const std::size_t prefix = sizeof(kHandoffHintPrefix) - 1;
+  if (hint.size() <= prefix || hint.compare(0, prefix, kHandoffHintPrefix) != 0) {
+    return false;
+  }
+  // Shard ids (endpoints or test names) never contain the separator, so
+  // the FIRST one splits owner from object even if the object name has
+  // exotic bytes.
+  const std::size_t sep = hint.find(kHintSep, prefix);
+  if (sep == std::string::npos || sep + 1 >= hint.size()) return false;
+  *owner = hint.substr(prefix, sep - prefix);
+  *object = hint.substr(sep + 1);
+  return true;
+}
+
+/// How many names one rebalance/drain listing RPC may return.
+constexpr std::size_t kListBatch = 512;
 
 std::uint64_t WallMs() {
   return static_cast<std::uint64_t>(
@@ -56,6 +100,16 @@ Bytes EncodeEnvelope(const Envelope& env) {
   return std::move(w).Take();
 }
 
+Bytes EncodeEnvelopeStreamHeader(const Envelope& env) {
+  Writer w;
+  w.U32(kEnvelopeMagic);
+  w.U8(static_cast<std::uint8_t>((env.tombstone ? kFlagTombstone : 0) |
+                                 kFlagStreamTail));
+  w.U64(env.version);
+  w.U64(env.writer);
+  return std::move(w).Take();
+}
+
 Result<Envelope> DecodeEnvelope(ByteSpan data) {
   Reader r(data);
   NEXUS_ASSIGN_OR_RETURN(const std::uint32_t magic, r.U32());
@@ -63,13 +117,17 @@ Result<Envelope> DecodeEnvelope(ByteSpan data) {
     return Error(ErrorCode::kIntegrityViolation, "bad envelope magic");
   }
   NEXUS_ASSIGN_OR_RETURN(const std::uint8_t flags, r.U8());
-  if ((flags & ~kFlagTombstone) != 0) {
+  if ((flags & ~(kFlagTombstone | kFlagStreamTail)) != 0) {
     return Error(ErrorCode::kIntegrityViolation, "unknown envelope flags");
   }
   Envelope env;
   env.tombstone = (flags & kFlagTombstone) != 0;
   NEXUS_ASSIGN_OR_RETURN(env.version, r.U64());
   NEXUS_ASSIGN_OR_RETURN(env.writer, r.U64());
+  if ((flags & kFlagStreamTail) != 0) {
+    NEXUS_ASSIGN_OR_RETURN(env.payload, r.Raw(r.Remaining()));
+    return env;
+  }
   NEXUS_ASSIGN_OR_RETURN(env.payload, r.Var(net::kMaxObjectBytes));
   if (!r.AtEnd()) {
     return Error(ErrorCode::kIntegrityViolation, "trailing envelope bytes");
@@ -113,14 +171,17 @@ bool SplitHostPort(const std::string& endpoint, std::string* host,
   return true;
 }
 
-// ---- buffered put stream ----------------------------------------------------
+// ---- put streams ------------------------------------------------------------
 
-// Streamed puts buffer client-side and commit through the quorum Put, so
-// the atomicity story ("readers see old or new, never a prefix") holds
-// per replica exactly as it does for a plain Put.
-class ClusterPutStream final : public storage::StorageBackend::PutStream {
+// Default streamed put: buffers client-side and commits through the
+// quorum Put, so the atomicity story ("readers see old or new, never a
+// prefix") holds per replica exactly as it does for a plain Put — and a
+// mid-stream transport blip costs nothing, the buffered bytes just go
+// out on the retry. The price is O(object) client memory.
+class BufferedClusterPutStream final
+    : public storage::StorageBackend::PutStream {
  public:
-  ClusterPutStream(ClusterBackend& parent, std::string name)
+  BufferedClusterPutStream(ClusterBackend& parent, std::string name)
       : parent_(parent), name_(std::move(name)) {}
 
   Status Append(ByteSpan data) override {
@@ -128,6 +189,8 @@ class ClusterPutStream final : public storage::StorageBackend::PutStream {
       return Error(ErrorCode::kInvalidArgument, "streamed object too large");
     }
     nexus::Append(buf_, data);
+    parent_.GaugeMax(&ClusterCounters::stream_put_buffered_high_water_bytes,
+                     buf_.size());
     return Status::Ok();
   }
 
@@ -141,6 +204,209 @@ class ClusterPutStream final : public storage::StorageBackend::PutStream {
   ClusterBackend& parent_;
   std::string name_;
   Bytes buf_;
+};
+
+// Streaming replicated put (OpenUnbufferedPutStream): every appended
+// segment fans out immediately to one pipelined wire stream per replica,
+// so the client retains only the envelope header — peak memory is the
+// in-flight window of the underlying mux streams, independent of object
+// size — and upload overlaps whatever is producing the bytes.
+//
+// Placement mirrors QuorumWriteLocked's sloppy quorum at STREAM-OPEN
+// time: unavailable owners are slid past onto the next successors (a
+// failover is counted). A replica stream that dies mid-put is aborted
+// and dropped; the put continues while at least write_quorum streams
+// survive, fails fast otherwise. Quorum is evaluated at Commit, under
+// the object's stripe lock; owners that missed the stream — slid past
+// at open, lost mid-put, or failed at commit — get a durable handoff
+// hint on a committed replica, which holds the full payload.
+class StreamingClusterPutStream final
+    : public storage::StorageBackend::PutStream {
+ public:
+  StreamingClusterPutStream(ClusterBackend& parent, std::string name)
+      : parent_(parent), name_(std::move(name)) {}
+
+  ~StreamingClusterPutStream() override {
+    if (!finished_) Abort();
+  }
+
+  Status Append(ByteSpan data) override {
+    if (finished_) {
+      return Error(ErrorCode::kInvalidArgument,
+                   "append on finished stream: " + name_);
+    }
+    if (!begun_) NEXUS_RETURN_IF_ERROR(Begin());
+    if (header_.size() + total_bytes_ + data.size() > net::kMaxObjectBytes) {
+      return Error(ErrorCode::kInvalidArgument, "streamed object too large");
+    }
+    total_bytes_ += data.size();
+    FanOut(data);
+    if (replicas_.size() < needed_) {
+      finished_ = true;
+      AbortReplicas();
+      parent_.Bump(&ClusterCounters::quorum_failures);
+      return Error(ErrorCode::kIOError,
+                   "write quorum lost mid-stream: " + name_);
+    }
+    // The cluster layer itself holds only the header; the segment is
+    // caller-owned and the wire streams retain nothing after send.
+    parent_.GaugeMax(&ClusterCounters::stream_put_buffered_high_water_bytes,
+                     header_.size());
+    return Status::Ok();
+  }
+
+  Status Commit() override {
+    if (finished_) {
+      return Error(ErrorCode::kInvalidArgument,
+                   "commit on finished stream: " + name_);
+    }
+    if (!begun_) {
+      // Zero-byte object: open the replica streams now.
+      const Status begun = Begin();
+      if (!begun.ok()) {
+        finished_ = true;
+        return begun;
+      }
+    }
+    finished_ = true;
+    const std::lock_guard<std::mutex> lock(parent_.StripeFor(name_));
+    std::size_t acks = 0;
+    std::set<std::string> committed;
+    ClusterBackend::ShardPtr first_committed;
+    for (Replica& r : replicas_) {
+      parent_.Bump(&ClusterCounters::shard_rpcs);
+      const Status st = r.stream->Commit();
+      const bool transport_ok = st.ok() || st.code() != ErrorCode::kIOError;
+      if (!transport_ok) parent_.Bump(&ClusterCounters::shard_failures);
+      parent_.RecordShardOutcome(*r.shard, transport_ok);
+      if (!st.ok()) {
+        parent_.Bump(&ClusterCounters::stream_put_replica_aborts);
+        continue;
+      }
+      ++acks;
+      committed.insert(r.shard->id);
+      if (first_committed == nullptr) first_committed = r.shard;
+    }
+    replicas_.clear();
+    if (acks < needed_) {
+      parent_.Bump(&ClusterCounters::quorum_failures);
+      return Error(ErrorCode::kIOError,
+                   "write quorum not reached (" + std::to_string(acks) + "/" +
+                       std::to_string(needed_) + " acks)");
+    }
+    // Sloppy-quorum debt: every true owner that did not commit gets a
+    // durable hint beside a replica that did, so the handoff drainer can
+    // replay the write once the owner returns — no read has to stumble
+    // on the divergence first.
+    for (const std::string& owner : owner_ids_) {
+      if (committed.contains(owner)) continue;
+      parent_.RecordHint(first_committed, owner, name_);
+    }
+    parent_.Bump(&ClusterCounters::stream_puts);
+    return Status::Ok();
+  }
+
+  void Abort() override {
+    if (finished_) return;
+    finished_ = true;
+    AbortReplicas();
+  }
+
+ private:
+  struct Replica {
+    ClusterBackend::ShardPtr shard;
+    std::unique_ptr<storage::StorageBackend::PutStream> stream;
+  };
+
+  /// Draws the version, encodes the stream header and opens up to R
+  /// replica streams along the preference list, sliding past unavailable
+  /// shards exactly like the buffered quorum write.
+  Status Begin() {
+    begun_ = true;
+    parent_.Bump(&ClusterCounters::quorum_writes);
+    Envelope env;
+    env.version = parent_.DrawVersion();
+    env.writer = parent_.writer_id_;
+    header_ = EncodeEnvelopeStreamHeader(env);
+
+    const std::vector<ClusterBackend::ShardPtr> prefs =
+        parent_.PreferenceList(name_);
+    needed_ = std::min(parent_.write_quorum_, prefs.size());
+    if (needed_ == 0) {
+      parent_.Bump(&ClusterCounters::quorum_failures);
+      return Error(ErrorCode::kIOError, "cluster has no shards");
+    }
+    const std::size_t owner_count = std::min(parent_.replication_, prefs.size());
+    const std::size_t target = owner_count;
+    for (std::size_t i = 0; i < prefs.size() && replicas_.size() < target;
+         ++i) {
+      ClusterBackend::Shard& shard = *prefs[i];
+      if (i < owner_count) owner_ids_.push_back(shard.id);
+      if (!parent_.ShardAvailable(shard)) continue;
+      parent_.Bump(&ClusterCounters::shard_rpcs);
+      auto opened = shard.backend->OpenUnbufferedPutStream(name_);
+      if (!opened.ok()) {
+        parent_.Bump(&ClusterCounters::shard_failures);
+        parent_.RecordShardOutcome(shard, false);
+        continue;
+      }
+      // The header append is where a remote stream actually dials, so
+      // its verdict is the shard's health signal.
+      const Status st = opened.value()->Append(
+          ByteSpan(header_.data(), header_.size()));
+      const bool transport_ok = st.ok() || st.code() != ErrorCode::kIOError;
+      if (!transport_ok) parent_.Bump(&ClusterCounters::shard_failures);
+      parent_.RecordShardOutcome(shard, transport_ok);
+      if (!st.ok()) continue;
+      if (i >= parent_.replication_) {
+        parent_.Bump(&ClusterCounters::failovers);
+      }
+      replicas_.push_back({prefs[i], std::move(opened).value()});
+    }
+    if (replicas_.size() < needed_) {
+      AbortReplicas();
+      parent_.Bump(&ClusterCounters::quorum_failures);
+      return Error(ErrorCode::kIOError,
+                   "write quorum not reached at stream open: " + name_);
+    }
+    return Status::Ok();
+  }
+
+  /// Appends one segment to every live replica stream, dropping (and
+  /// aborting) the ones that fail. Segment sends overlap via each
+  /// stream's pipelined window; a slow replica only stalls the fan-out
+  /// once its window fills.
+  void FanOut(ByteSpan data) {
+    for (auto it = replicas_.begin(); it != replicas_.end();) {
+      parent_.Bump(&ClusterCounters::shard_rpcs);
+      const Status st = it->stream->Append(data);
+      if (st.ok()) {
+        ++it;
+        continue;
+      }
+      const bool transport_ok = st.code() != ErrorCode::kIOError;
+      if (!transport_ok) parent_.Bump(&ClusterCounters::shard_failures);
+      parent_.RecordShardOutcome(*it->shard, transport_ok);
+      parent_.Bump(&ClusterCounters::stream_put_replica_aborts);
+      it->stream->Abort();
+      it = replicas_.erase(it);
+    }
+  }
+
+  void AbortReplicas() {
+    for (Replica& r : replicas_) r.stream->Abort();
+    replicas_.clear();
+  }
+
+  ClusterBackend& parent_;
+  std::string name_;
+  Bytes header_;
+  std::vector<Replica> replicas_;
+  std::vector<std::string> owner_ids_; // true ring owners at Begin()
+  std::size_t needed_ = 0;
+  std::size_t total_bytes_ = 0;
+  bool begun_ = false;
+  bool finished_ = false;
 };
 
 // ---- construction -----------------------------------------------------------
@@ -199,6 +465,7 @@ Result<std::unique_ptr<ClusterBackend>> ClusterBackend::Create(
     auto shard = std::make_shared<Shard>();
     shard->id = spec.id;
     shard->backend = std::move(backend);
+    shard->revive = std::move(spec.revive);
     cluster->ring_.AddNode(spec.id);
     cluster->shards_.emplace(spec.id, std::move(shard));
   }
@@ -254,6 +521,13 @@ Result<std::unique_ptr<ClusterBackend>> ClusterBackend::Connect(
               client);
           (void)backend->Ping();
           return std::unique_ptr<storage::StorageBackend>(std::move(backend));
+        },
+        // Reinstatement hook: a shard that missed the construction-time
+        // Ping (dead at client start) would otherwise speak v2 lock-step
+        // until the process restarts. Re-Ping renegotiates the protocol
+        // and re-widens the connection windows.
+        [](storage::StorageBackend& b) {
+          return static_cast<net::RemoteBackend&>(b).Ping();
         }});
   }
   return Create(std::move(shards), std::move(options));
@@ -303,6 +577,7 @@ void ClusterBackend::RecordShardOutcome(Shard& shard, bool transport_ok) {
       if (shard.ejected) {
         shard.ejected = false;
         shard.probing = false;
+        shard.needs_revive = shard.revive != nullptr;
         reinstated_now = true;
       }
     } else if (shard.ejected) {
@@ -330,7 +605,16 @@ void ClusterBackend::RecordShardOutcome(Shard& shard, bool transport_ok) {
     }
   }
   if (ejected_now) Bump(&ClusterCounters::shards_ejected);
-  if (reinstated_now) Bump(&ClusterCounters::shards_reinstated);
+  if (reinstated_now) {
+    Bump(&ClusterCounters::shards_reinstated);
+    // Hand the follow-up work (revive hook, handoff drain) to the
+    // maintenance thread — this path runs inside hot RPC wrappers.
+    {
+      const std::lock_guard<std::mutex> lock(rebalance_mu_);
+      maintenance_pending_ = true;
+    }
+    rebalance_cv_.notify_all();
+  }
 }
 
 // ---- per-shard RPC wrappers -------------------------------------------------
@@ -415,6 +699,32 @@ Result<std::vector<std::string>> ClusterBackend::ShardList(
   }
   RecordShardOutcome(*shard, true);
   return names;
+}
+
+Result<storage::StorageBackend::ListPage> ClusterBackend::ShardListPage(
+    const ShardPtr& shard, const std::string& prefix,
+    const std::string& start_after, std::size_t limit) {
+  Bump(&ClusterCounters::shard_rpcs);
+  const std::uint64_t t0 = MonotonicNs();
+  storage::StorageBackend::ListPage page =
+      shard->backend->ListSome(prefix, start_after, limit);
+  // Same blind spot as ShardList: an empty final page and a dead shard
+  // look alike, so disambiguate with the liveness probe.
+  bool transport_ok = true;
+  if (page.names.empty() && !page.more) {
+    const Result<Bytes> probe =
+        shard->backend->Get("\x01nexus-cluster-liveness-probe");
+    transport_ok =
+        probe.ok() || probe.status().code() != ErrorCode::kIOError;
+  }
+  trace::GlobalHistogram("cluster.rpc").Record(MonotonicNs() - t0);
+  if (!transport_ok) {
+    Bump(&ClusterCounters::shard_failures);
+    RecordShardOutcome(*shard, false);
+    return Error(ErrorCode::kIOError, "shard unreachable during ListSome");
+  }
+  RecordShardOutcome(*shard, true);
+  return page;
 }
 
 // ---- placement --------------------------------------------------------------
@@ -516,20 +826,40 @@ Status ClusterBackend::QuorumWriteLocked(const std::string& name,
   if (needed == 0) {
     return Error(ErrorCode::kIOError, "cluster has no shards");
   }
+  const std::size_t owner_count = std::min(replication_, prefs.size());
   std::size_t acks = 0;
+  ShardPtr first_acked;
+  std::vector<std::string> missed_owners;
   for (std::size_t i = 0; i < prefs.size() && acks < needed; ++i) {
     Shard& shard = *prefs[i];
-    if (!ShardAvailable(shard)) continue;
+    if (!ShardAvailable(shard)) {
+      if (i < owner_count) missed_owners.push_back(shard.id);
+      continue;
+    }
     const Status st =
         ShardPut(prefs[i], name, ByteSpan(encoded.data(), encoded.size()));
-    if (!st.ok()) continue;
+    if (!st.ok()) {
+      if (i < owner_count) missed_owners.push_back(shard.id);
+      continue;
+    }
     ++acks;
+    if (first_acked == nullptr) first_acked = prefs[i];
     if (i >= replication_) Bump(&ClusterCounters::failovers);
   }
   if (acks < needed) {
     return Error(ErrorCode::kIOError,
                  "write quorum not reached (" + std::to_string(acks) + "/" +
                      std::to_string(needed) + " acks)");
+  }
+  // Sloppy-quorum debt: an owner we TRIED and missed gets a durable hint
+  // beside an acked replica (which holds the payload under the real
+  // name), so the handoff drainer replays the write once the owner
+  // returns. Owners past the early-quorum cutoff were never attempted —
+  // that is ordinary under-replication, the rebalancer's job.
+  if (first_acked != nullptr && !IsControlName(name)) {
+    for (const std::string& owner : missed_owners) {
+      RecordHint(first_acked, owner, name);
+    }
   }
   return Status::Ok();
 }
@@ -630,7 +960,11 @@ std::vector<std::string> ClusterBackend::List(const std::string& prefix) {
     if (!ShardAvailable(*shard)) continue;
     const Result<std::vector<std::string>> names = ShardList(shard, prefix);
     if (!names.ok()) continue;
-    candidates.insert(names.value().begin(), names.value().end());
+    for (const std::string& name : names.value()) {
+      // Control-plane objects (handoff hints, probes) are not data.
+      if (IsControlName(name)) continue;
+      candidates.insert(name);
+    }
   }
   // Filter quorum-committed deletes: a name is listed only if its newest
   // envelope is not a tombstone.
@@ -743,7 +1077,13 @@ std::vector<Result<Bytes>> ClusterBackend::MultiGet(
 Result<std::unique_ptr<storage::StorageBackend::PutStream>>
 ClusterBackend::OpenPutStream(const std::string& name) {
   return std::unique_ptr<PutStream>(
-      std::make_unique<ClusterPutStream>(*this, name));
+      std::make_unique<BufferedClusterPutStream>(*this, name));
+}
+
+Result<std::unique_ptr<storage::StorageBackend::PutStream>>
+ClusterBackend::OpenUnbufferedPutStream(const std::string& name) {
+  return std::unique_ptr<PutStream>(
+      std::make_unique<StreamingClusterPutStream>(*this, name));
 }
 
 // ---- membership -------------------------------------------------------------
@@ -757,35 +1097,45 @@ Status ClusterBackend::AddShard(ShardSpec spec) {
   auto shard = std::make_shared<Shard>();
   shard->id = spec.id;
   shard->backend = std::move(built).value();
+  shard->revive = std::move(spec.revive);
+  std::vector<MovedArc> delta;
   {
     const std::lock_guard<std::mutex> lock(membership_mu_);
     if (shards_.contains(spec.id)) {
       return Error(ErrorCode::kAlreadyExists, "shard exists: " + spec.id);
     }
+    const HashRing before = ring_;
     ring_.AddNode(spec.id);
+    // Diff the snapshots while both are in hand: the scheduled pass is
+    // then bounded to the arcs this shard actually took over (~1/N of
+    // the circle), not the whole keyspace.
+    delta = DiffRings(before, ring_, replication_);
     shards_.emplace(spec.id, std::move(shard));
   }
   {
     const std::lock_guard<std::mutex> lock(rebalance_mu_);
-    rebalance_pending_ = true;
+    pending_deltas_.push_back(std::move(delta));
   }
   rebalance_cv_.notify_all();
   return Status::Ok();
 }
 
 Status ClusterBackend::RemoveShard(const std::string& id) {
+  std::vector<MovedArc> delta;
   {
     const std::lock_guard<std::mutex> lock(membership_mu_);
     const auto it = shards_.find(id);
     if (it == shards_.end()) {
       return Error(ErrorCode::kNotFound, "no such shard: " + id);
     }
+    const HashRing before = ring_;
     ring_.RemoveNode(id);
+    delta = DiffRings(before, ring_, replication_);
     shards_.erase(it);
   }
   {
     const std::lock_guard<std::mutex> lock(rebalance_mu_);
-    rebalance_pending_ = true;
+    pending_deltas_.push_back(std::move(delta));
   }
   rebalance_cv_.notify_all();
   return Status::Ok();
@@ -795,118 +1145,348 @@ Status ClusterBackend::RemoveShard(const std::string& id) {
 
 void ClusterBackend::RebalanceLoop() {
   for (;;) {
+    bool full = false;
+    bool maintenance = false;
+    std::vector<std::vector<MovedArc>> deltas;
     {
       std::unique_lock<std::mutex> lock(rebalance_mu_);
-      rebalance_cv_.wait(lock,
-                         [this] { return rebalance_pending_ || shutdown_; });
+      rebalance_cv_.wait(lock, [this] {
+        return rebalance_pending_ || maintenance_pending_ ||
+               !pending_deltas_.empty() || shutdown_;
+      });
       if (shutdown_) return;
+      full = rebalance_pending_;
+      maintenance = maintenance_pending_;
       rebalance_pending_ = false;
+      maintenance_pending_ = false;
+      deltas.swap(pending_deltas_);
     }
-    RebalancePass();
+    if (maintenance) {
+      ReviveShards();
+      DrainHandoffPass();
+    }
+    for (const std::vector<MovedArc>& delta : deltas) {
+      DeltaRebalancePass(delta);
+    }
+    if (full) RebalancePass();
   }
 }
 
-void ClusterBackend::RebalanceNow() { RebalancePass(); }
+void ClusterBackend::RebalanceNow() {
+  ReviveShards();
+  std::vector<std::vector<MovedArc>> deltas;
+  {
+    const std::lock_guard<std::mutex> lock(rebalance_mu_);
+    deltas.swap(pending_deltas_);
+  }
+  if (deltas.empty()) {
+    RebalancePass();
+    return;
+  }
+  for (const std::vector<MovedArc>& delta : deltas) {
+    DeltaRebalancePass(delta);
+  }
+}
+
+void ClusterBackend::DrainHandoffNow() {
+  ReviveShards();
+  DrainHandoffPass();
+}
+
+std::vector<ClusterBackend::ShardPtr> ClusterBackend::SnapshotShards() const {
+  const std::lock_guard<std::mutex> lock(membership_mu_);
+  std::vector<ShardPtr> all;
+  all.reserve(shards_.size());
+  for (const auto& [_, shard] : shards_) all.push_back(shard);
+  return all;
+}
 
 void ClusterBackend::RebalancePass() {
   const trace::Span span("cluster.rebalance", "cluster");
   Bump(&ClusterCounters::rebalance_passes);
-  std::vector<ShardPtr> all;
-  {
-    const std::lock_guard<std::mutex> lock(membership_mu_);
-    all.reserve(shards_.size());
-    for (const auto& [_, shard] : shards_) all.push_back(shard);
-  }
-  std::set<std::string> every_name;
+  const std::vector<ShardPtr> all = SnapshotShards();
+  // Page through each shard's listing in bounded batches — a huge shard
+  // never materializes its whole listing in one frame — converging each
+  // new name as it appears. The dedup set is the only O(names) state.
+  std::set<std::string> done;
   for (const ShardPtr& shard : all) {
     if (!ShardAvailable(*shard)) continue;
-    const Result<std::vector<std::string>> names = ShardList(shard, "");
-    if (!names.ok()) continue;
-    every_name.insert(names.value().begin(), names.value().end());
+    std::string cursor;
+    for (;;) {
+      const Result<storage::StorageBackend::ListPage> page =
+          ShardListPage(shard, "", cursor, kListBatch);
+      if (!page.ok() || page.value().names.empty()) break;
+      cursor = page.value().names.back();
+      for (const std::string& name : page.value().names) {
+        if (IsControlName(name)) continue;
+        if (!done.insert(name).second) continue;
+        Bump(&ClusterCounters::rebalance_objects_scanned);
+        ConvergeName(name, all);
+      }
+      if (!page.value().more) break;
+    }
   }
+}
 
-  for (const std::string& name : every_name) {
-    const std::lock_guard<std::mutex> lock(StripeFor(name));
-    // Sample every shard's replica under the stripe lock.
-    struct Replica {
-      ShardPtr shard;
-      std::optional<Envelope> envelope; // nullopt = shard has no replica
-    };
-    std::vector<Replica> replicas;
-    std::set<std::string> unreachable;
-    for (const ShardPtr& shard : all) {
-      bool in_ring = false;
-      {
-        const std::lock_guard<std::mutex> mlock(membership_mu_);
-        in_ring = shards_.contains(shard->id);
-      }
-      if (!in_ring) continue;
-      if (!ShardAvailable(*shard)) {
-        unreachable.insert(shard->id);
-        continue;
-      }
-      const Result<Bytes> res = ShardGet(shard, name);
-      if (res.ok()) {
-        Result<Envelope> env = DecodeEnvelope(
-            ByteSpan(res.value().data(), res.value().size()));
-        if (env.ok()) {
-          ObserveVersion(env.value().version);
-          replicas.push_back({shard, std::move(env).value()});
-        } else {
-          replicas.push_back({shard, std::nullopt}); // corrupt: overwrite
-        }
-      } else if (res.status().code() == ErrorCode::kNotFound) {
-        replicas.push_back({shard, std::nullopt});
-      } else {
-        unreachable.insert(shard->id);
-      }
-    }
-    std::optional<Envelope> best;
-    for (const Replica& r : replicas) {
-      if (r.envelope && (!best || EnvelopeNewer(*r.envelope, *best))) {
-        best = r.envelope;
-      }
-    }
-    if (!best) continue;
+void ClusterBackend::DeltaRebalancePass(const std::vector<MovedArc>& arcs) {
+  const trace::Span span("cluster.rebalance.delta", "cluster");
+  Bump(&ClusterCounters::rebalance_delta_passes);
+  if (arcs.empty()) return;
 
-    std::set<std::string> owners;
+  // Normalize the (begin, end] arcs into sorted inclusive [lo, hi]
+  // intervals (wrap arcs split at zero) for binary-search membership.
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> intervals;
+  intervals.reserve(arcs.size() + 1);
+  for (const MovedArc& arc : arcs) {
+    if (arc.begin < arc.end) {
+      intervals.emplace_back(arc.begin + 1, arc.end);
+    } else {
+      if (arc.begin != std::numeric_limits<std::uint64_t>::max()) {
+        intervals.emplace_back(arc.begin + 1,
+                               std::numeric_limits<std::uint64_t>::max());
+      }
+      intervals.emplace_back(0, arc.end);
+    }
+  }
+  std::sort(intervals.begin(), intervals.end());
+  const auto in_moved_arc = [&intervals](std::uint64_t point) {
+    auto it = std::upper_bound(
+        intervals.begin(), intervals.end(),
+        std::make_pair(point, std::numeric_limits<std::uint64_t>::max()));
+    if (it == intervals.begin()) return false;
+    --it;
+    return point <= it->second;
+  };
+
+  // Only the shards that owned or received the moved arcs can hold (or
+  // need) the affected objects — list those, not the whole cluster.
+  std::set<std::string> source_ids;
+  for (const MovedArc& arc : arcs) {
+    source_ids.insert(arc.from.begin(), arc.from.end());
+    source_ids.insert(arc.to.begin(), arc.to.end());
+  }
+  const std::vector<ShardPtr> all = SnapshotShards();
+  std::set<std::string> done;
+  for (const ShardPtr& shard : all) {
+    if (!source_ids.contains(shard->id)) continue;
+    if (!ShardAvailable(*shard)) continue;
+    std::string cursor;
+    for (;;) {
+      const Result<storage::StorageBackend::ListPage> page =
+          ShardListPage(shard, "", cursor, kListBatch);
+      if (!page.ok() || page.value().names.empty()) break;
+      cursor = page.value().names.back();
+      for (const std::string& name : page.value().names) {
+        if (IsControlName(name)) continue;
+        if (!done.insert(name).second) continue;
+        Bump(&ClusterCounters::rebalance_objects_scanned);
+        // The O(moved) bound: names outside the moved arcs kept their
+        // owner set, so they get no copy (or even read) RPC at all.
+        if (!in_moved_arc(HashRing::HashPoint(name))) continue;
+        ConvergeName(name, all);
+      }
+      if (!page.value().more) break;
+    }
+  }
+}
+
+void ClusterBackend::ConvergeName(const std::string& name,
+                                  const std::vector<ShardPtr>& all) {
+  const std::lock_guard<std::mutex> lock(StripeFor(name));
+  // Sample every shard's replica under the stripe lock.
+  struct Replica {
+    ShardPtr shard;
+    std::optional<Envelope> envelope; // nullopt = shard has no replica
+  };
+  std::vector<Replica> replicas;
+  std::set<std::string> unreachable;
+  for (const ShardPtr& shard : all) {
+    bool in_ring = false;
     {
       const std::lock_guard<std::mutex> mlock(membership_mu_);
-      const std::vector<std::string> ids =
-          ring_.Successors(name, replication_);
-      owners.insert(ids.begin(), ids.end());
+      in_ring = shards_.contains(shard->id);
     }
-    const Bytes encoded = EncodeEnvelope(*best);
-    bool owners_converged = true;
-    for (const Replica& r : replicas) {
-      if (!owners.contains(r.shard->id)) continue;
-      const bool stale = !r.envelope || EnvelopeNewer(*best, *r.envelope);
-      if (!stale) continue;
-      if (ShardPut(r.shard, name, ByteSpan(encoded.data(), encoded.size()))
-              .ok()) {
-        Bump(&ClusterCounters::rebalance_objects_moved);
+    if (!in_ring) continue;
+    if (!ShardAvailable(*shard)) {
+      unreachable.insert(shard->id);
+      continue;
+    }
+    const Result<Bytes> res = ShardGet(shard, name);
+    if (res.ok()) {
+      Result<Envelope> env = DecodeEnvelope(
+          ByteSpan(res.value().data(), res.value().size()));
+      if (env.ok()) {
+        ObserveVersion(env.value().version);
+        replicas.push_back({shard, std::move(env).value()});
       } else {
-        owners_converged = false;
+        replicas.push_back({shard, std::nullopt}); // corrupt: overwrite
       }
+    } else if (res.status().code() == ErrorCode::kNotFound) {
+      replicas.push_back({shard, std::nullopt});
+    } else {
+      unreachable.insert(shard->id);
     }
-    for (const std::string& owner : owners) {
-      if (unreachable.contains(owner)) owners_converged = false;
-      bool sampled = false;
-      for (const Replica& r : replicas) {
-        if (r.shard->id == owner) sampled = true;
-      }
-      if (!sampled) owners_converged = false;
+  }
+  std::optional<Envelope> best;
+  for (const Replica& r : replicas) {
+    if (r.envelope && (!best || EnvelopeNewer(*r.envelope, *best))) {
+      best = r.envelope;
     }
-    // Purge from non-owners only once every owner provably holds the
-    // newest envelope — otherwise a sloppy-quorum replica might be the
-    // sole survivor.
-    if (!owners_converged) continue;
+  }
+  if (!best) return;
+
+  std::set<std::string> owners;
+  {
+    const std::lock_guard<std::mutex> mlock(membership_mu_);
+    const std::vector<std::string> ids =
+        ring_.Successors(name, replication_);
+    owners.insert(ids.begin(), ids.end());
+  }
+  const Bytes encoded = EncodeEnvelope(*best);
+  bool owners_converged = true;
+  for (const Replica& r : replicas) {
+    if (!owners.contains(r.shard->id)) continue;
+    const bool stale = !r.envelope || EnvelopeNewer(*best, *r.envelope);
+    if (!stale) continue;
+    if (ShardPut(r.shard, name, ByteSpan(encoded.data(), encoded.size()))
+            .ok()) {
+      Bump(&ClusterCounters::rebalance_objects_moved);
+      Bump(&ClusterCounters::rebalance_bytes_moved, encoded.size());
+    } else {
+      owners_converged = false;
+    }
+  }
+  for (const std::string& owner : owners) {
+    if (unreachable.contains(owner)) owners_converged = false;
+    bool sampled = false;
     for (const Replica& r : replicas) {
-      if (owners.contains(r.shard->id) || !r.envelope) continue;
-      if (ShardDelete(r.shard, name).ok()) {
-        Bump(&ClusterCounters::rebalance_objects_purged);
-      }
+      if (r.shard->id == owner) sampled = true;
     }
+    if (!sampled) owners_converged = false;
+  }
+  // Purge from non-owners only once every owner provably holds the
+  // newest envelope — otherwise a sloppy-quorum replica might be the
+  // sole survivor.
+  if (!owners_converged) return;
+  for (const Replica& r : replicas) {
+    if (owners.contains(r.shard->id) || !r.envelope) continue;
+    if (ShardDelete(r.shard, name).ok()) {
+      Bump(&ClusterCounters::rebalance_objects_purged);
+    }
+  }
+}
+
+// ---- hinted handoff ---------------------------------------------------------
+
+void ClusterBackend::RecordHint(const ShardPtr& holder,
+                                const std::string& owner,
+                                const std::string& name) {
+  // The marker is empty: the payload already sits on `holder` under the
+  // real name, and the drainer re-reads it at replay time anyway (it may
+  // have been superseded by then).
+  if (ShardPut(holder, HintName(owner, name), ByteSpan()).ok()) {
+    Bump(&ClusterCounters::handoff_hints_recorded);
+  }
+}
+
+void ClusterBackend::DrainHandoffPass() {
+  const trace::Span span("cluster.handoff", "cluster");
+  const std::vector<ShardPtr> all = SnapshotShards();
+  for (const ShardPtr& holder : all) {
+    if (!ShardAvailable(*holder)) continue;
+    std::string cursor;
+    for (;;) {
+      const Result<storage::StorageBackend::ListPage> page =
+          ShardListPage(holder, kHandoffHintPrefix, cursor, kListBatch);
+      if (!page.ok() || page.value().names.empty()) break;
+      cursor = page.value().names.back();
+      for (const std::string& hint : page.value().names) {
+        std::string owner_id;
+        std::string object;
+        if (!ParseHintName(hint, &owner_id, &object)) {
+          if (ShardDelete(holder, hint).ok()) {
+            Bump(&ClusterCounters::handoff_hints_dropped);
+          }
+          continue;
+        }
+        ShardPtr owner;
+        {
+          const std::lock_guard<std::mutex> lock(membership_mu_);
+          const auto it = shards_.find(owner_id);
+          if (it != shards_.end()) owner = it->second;
+        }
+        if (owner == nullptr) {
+          // The owner left the ring; placement changed and the delta
+          // rebalance for that membership change covers the object.
+          if (ShardDelete(holder, hint).ok()) {
+            Bump(&ClusterCounters::handoff_hints_dropped);
+          }
+          continue;
+        }
+        if (!ShardAvailable(*owner)) continue; // still down: keep the hint
+        bool drained = false;
+        {
+          const std::lock_guard<std::mutex> lock(StripeFor(object));
+          const Result<Bytes> held = ShardGet(holder, object);
+          if (!held.ok()) {
+            // Purged or unreachable; either way nothing to replay now.
+            drained = held.status().code() == ErrorCode::kNotFound;
+            if (drained) Bump(&ClusterCounters::handoff_hints_dropped);
+          } else {
+            const Result<Envelope> env = DecodeEnvelope(
+                ByteSpan(held.value().data(), held.value().size()));
+            if (!env.ok()) {
+              drained = true; // corrupt stand-in replica: hint is useless
+              Bump(&ClusterCounters::handoff_hints_dropped);
+            } else {
+              // Replay only if the owner is missing or strictly older —
+              // the write may have been superseded since the hint.
+              bool replay = true;
+              const Result<Bytes> cur = ShardGet(owner, object);
+              if (cur.ok()) {
+                const Result<Envelope> cur_env = DecodeEnvelope(
+                    ByteSpan(cur.value().data(), cur.value().size()));
+                if (cur_env.ok() &&
+                    !EnvelopeNewer(env.value(), cur_env.value())) {
+                  replay = false; // owner already has this or newer
+                  drained = true;
+                  Bump(&ClusterCounters::handoff_hints_dropped);
+                }
+              } else if (cur.status().code() != ErrorCode::kNotFound) {
+                replay = false; // owner flapped mid-drain: retry later
+              }
+              if (replay &&
+                  ShardPut(owner, object,
+                           ByteSpan(held.value().data(), held.value().size()))
+                      .ok()) {
+                drained = true;
+                Bump(&ClusterCounters::handoff_hints_replayed);
+              }
+            }
+          }
+        }
+        if (drained) (void)ShardDelete(holder, hint);
+      }
+      if (!page.value().more) break;
+    }
+  }
+}
+
+// ---- reinstatement revive ---------------------------------------------------
+
+void ClusterBackend::ReviveShards() {
+  for (const ShardPtr& shard : SnapshotShards()) {
+    bool need = false;
+    {
+      const std::lock_guard<std::mutex> lock(shard->mu);
+      need = shard->needs_revive && shard->revive != nullptr;
+      shard->needs_revive = false;
+    }
+    if (!need) continue;
+    const Status st = shard->revive(*shard->backend);
+    // Feed the health tracker: a revive that cannot even Ping means the
+    // reinstatement was premature.
+    RecordShardOutcome(*shard, st.ok() || st.code() != ErrorCode::kIOError);
   }
 }
 
@@ -921,6 +1501,17 @@ void ClusterBackend::Bump(std::uint64_t ClusterCounters::* field,
   ClusterCounters delta;
   delta.*field = n;
   GlobalClusterAdd(delta);
+}
+
+void ClusterBackend::GaugeMax(std::uint64_t ClusterCounters::* field,
+                              std::uint64_t value) {
+  {
+    const std::lock_guard<std::mutex> lock(counters_mu_);
+    if (counters_.*field < value) counters_.*field = value;
+  }
+  ClusterCounters delta;
+  delta.*field = value;
+  GlobalClusterAdd(delta); // the accumulator keeps the max for gauges
 }
 
 ClusterCounters ClusterBackend::counters() const {

@@ -75,10 +75,22 @@ struct Envelope {
 };
 
 Bytes EncodeEnvelope(const Envelope& env);
+/// Header-only encoding for STREAMED envelopes: same fields, but the
+/// payload is "all remaining bytes" (flagged, no length prefix), so the
+/// header can hit the wire before the payload length is known. An object
+/// streamed as header + raw appends decodes through the same
+/// DecodeEnvelope as a buffered one. `env.payload` is ignored.
+Bytes EncodeEnvelopeStreamHeader(const Envelope& env);
 Result<Envelope> DecodeEnvelope(ByteSpan data);
 /// Strict "a supersedes b" in last-writer-wins order: lexicographic on
 /// (version, writer).
 [[nodiscard]] bool EnvelopeNewer(const Envelope& a, const Envelope& b);
+
+/// Name prefix under which handoff hint markers are stored on shards.
+/// Lives in the control-plane namespace (leading 0x01 byte) that List
+/// and the rebalancer never treat as data; exposed so nexus-stat can
+/// report pending hints per shard.
+inline constexpr char kHandoffHintPrefix[] = "\x01nxh/";
 
 // ---- configuration ----------------------------------------------------------
 
@@ -89,6 +101,12 @@ Result<Envelope> DecodeEnvelope(ByteSpan data);
 struct ShardSpec {
   std::string id;
   std::function<Result<std::unique_ptr<storage::StorageBackend>>()> factory;
+  /// Optional health-restore hook, run on the maintenance thread after
+  /// the shard's first successful RPC ends an eject episode. Connect()
+  /// points this at RemoteBackend::Ping so a shard that was down when the
+  /// client started renegotiates the protocol on reinstatement instead of
+  /// speaking v2 lock-step forever.
+  std::function<Status(storage::StorageBackend&)> revive;
 };
 
 struct ClusterOptions {
@@ -148,23 +166,37 @@ class ClusterBackend final : public storage::StorageBackend {
       const std::vector<std::string>& names) override;
   Result<std::unique_ptr<PutStream>> OpenPutStream(
       const std::string& name) override;
+  /// Streaming replicated put: each appended segment fans out to every
+  /// replica's pipelined wire stream immediately, so client memory stays
+  /// O(in-flight window) instead of O(object) and upload overlaps the
+  /// producer. Quorum is evaluated at Commit (straggler replica streams
+  /// are aborted); an owner that missed the stream gets a handoff hint.
+  Result<std::unique_ptr<PutStream>> OpenUnbufferedPutStream(
+      const std::string& name) override;
 
   // ---- membership -----------------------------------------------------------
 
   /// Adds a shard: the ring changes immediately (new writes place onto
-  /// it) and a rebalance pass is scheduled to migrate the arcs it now
-  /// owns.
+  /// it) and a DELTA rebalance pass — bounded to the ring arcs whose
+  /// owner set changed — is scheduled to migrate them.
   Status AddShard(ShardSpec spec);
   /// Removes a shard from the ring (its backend is dropped). Objects it
-  /// held survive on their other replicas; the scheduled rebalance pass
-  /// restores full replication.
+  /// held survive on their other replicas; the scheduled delta pass
+  /// restores full replication for the moved arcs.
   Status RemoveShard(const std::string& id);
 
-  /// One synchronous rebalance pass: for every object on any shard,
-  /// converge its ring owners onto the newest envelope, then purge
-  /// replicas from non-owners. Idempotent; safe under concurrent writes
-  /// (per-name stripe locks).
+  /// One synchronous rebalance pass. Pending membership deltas are
+  /// consumed first (each pass bounded to the moved arcs); with no delta
+  /// queued, a full pass converges every object on any shard onto its
+  /// ring owners and purges non-owner replicas. Idempotent; safe under
+  /// concurrent writes (per-name stripe locks).
   void RebalanceNow();
+
+  /// One synchronous hinted-handoff drain: replays every durable hint
+  /// marker whose target owner is reachable, then deletes the hint.
+  /// Runs automatically on the maintenance thread after a shard is
+  /// reinstated; exposed for deterministic tests.
+  void DrainHandoffNow();
 
   // ---- observability --------------------------------------------------------
 
@@ -184,16 +216,19 @@ class ClusterBackend final : public storage::StorageBackend {
   [[nodiscard]] std::size_t read_quorum() const noexcept { return read_quorum_; }
 
  private:
-  friend class ClusterPutStream;
+  friend class BufferedClusterPutStream;
+  friend class StreamingClusterPutStream;
 
   struct Shard {
     std::string id;
     std::shared_ptr<storage::StorageBackend> backend;
+    std::function<Status(storage::StorageBackend&)> revive;
     mutable std::mutex mu; // guards the health fields below
     int consecutive_failures = 0;
     bool ejected = false;
     bool probing = false;  // a half-open probe is in flight
     int backoff_level = 0; // consecutive failed probes this episode
+    bool needs_revive = false; // reinstated; revive hook not yet run
     std::uint64_t eject_until_ms = 0;
     std::uint64_t eject_episodes = 0;
   };
@@ -227,6 +262,12 @@ class ClusterBackend final : public storage::StorageBackend {
       const ShardPtr& shard, const std::vector<std::string>& names);
   Result<std::vector<std::string>> ShardList(const ShardPtr& shard,
                                              const std::string& prefix);
+  /// Bounded-batch listing (wire v6 kListPage when the shard speaks it);
+  /// the rebalancer and handoff drainer page with this so a huge shard
+  /// never materializes its whole listing in one frame.
+  Result<storage::StorageBackend::ListPage> ShardListPage(
+      const ShardPtr& shard, const std::string& prefix,
+      const std::string& start_after, std::size_t limit);
 
   /// Extended successor list for `name`: EVERY shard in ring-successor
   /// order (owners first, then the failover tail).
@@ -249,9 +290,27 @@ class ClusterBackend final : public storage::StorageBackend {
   std::mutex& StripeFor(const std::string& name);
 
   void Bump(std::uint64_t ClusterCounters::* field, std::uint64_t n = 1);
+  /// Monotone gauge update (instance and global mirror keep the max).
+  void GaugeMax(std::uint64_t ClusterCounters::* field, std::uint64_t value);
+
+  [[nodiscard]] std::vector<ShardPtr> SnapshotShards() const;
+
+  /// Leaves a durable hint marker on `holder` (which holds the payload
+  /// under the real name) recording that `owner` missed the write.
+  void RecordHint(const ShardPtr& holder, const std::string& owner,
+                  const std::string& name);
 
   void RebalanceLoop();
   void RebalancePass();
+  /// Arc-bounded pass after a membership change: lists only the shards
+  /// that held the moved arcs and converges only names hashing into them.
+  void DeltaRebalancePass(const std::vector<MovedArc>& arcs);
+  /// Converges one name: newest envelope onto every ring owner, then
+  /// purge from non-owners once the owners provably hold it.
+  void ConvergeName(const std::string& name, const std::vector<ShardPtr>& all);
+  /// Runs pending revive hooks for shards reinstated since the last pass.
+  void ReviveShards();
+  void DrainHandoffPass();
 
   ClusterOptions options_;
   const std::size_t replication_;
@@ -269,10 +328,13 @@ class ClusterBackend final : public storage::StorageBackend {
   mutable std::mutex counters_mu_;
   ClusterCounters counters_;
 
-  // Rebalance thread: woken by membership changes, exits on shutdown.
+  // Rebalance/maintenance thread: woken by membership changes (queued
+  // ring deltas) and shard reinstatements (revive + handoff drain).
   std::mutex rebalance_mu_;
   std::condition_variable rebalance_cv_;
-  bool rebalance_pending_ = false;
+  bool rebalance_pending_ = false;   // full pass requested
+  bool maintenance_pending_ = false; // revive hooks + handoff drain
+  std::vector<std::vector<MovedArc>> pending_deltas_;
   bool shutdown_ = false;
   std::thread rebalance_thread_;
 };

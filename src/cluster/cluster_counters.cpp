@@ -33,6 +33,19 @@ void AccumulateClusterCounters(ClusterCounters& into,
   into.rebalance_passes += delta.rebalance_passes;
   into.rebalance_objects_moved += delta.rebalance_objects_moved;
   into.rebalance_objects_purged += delta.rebalance_objects_purged;
+  into.rebalance_delta_passes += delta.rebalance_delta_passes;
+  into.rebalance_objects_scanned += delta.rebalance_objects_scanned;
+  into.rebalance_bytes_moved += delta.rebalance_bytes_moved;
+  into.handoff_hints_recorded += delta.handoff_hints_recorded;
+  into.handoff_hints_replayed += delta.handoff_hints_replayed;
+  into.handoff_hints_dropped += delta.handoff_hints_dropped;
+  into.stream_puts += delta.stream_puts;
+  into.stream_put_replica_aborts += delta.stream_put_replica_aborts;
+  if (delta.stream_put_buffered_high_water_bytes >
+      into.stream_put_buffered_high_water_bytes) {
+    into.stream_put_buffered_high_water_bytes =
+        delta.stream_put_buffered_high_water_bytes;
+  }
   into.shards_ejected += delta.shards_ejected;
   into.shards_reinstated += delta.shards_reinstated;
   if (delta.shard_rpc_p50_ms != 0) into.shard_rpc_p50_ms = delta.shard_rpc_p50_ms;

@@ -30,6 +30,23 @@ struct ClusterCounters {
   std::uint64_t rebalance_objects_moved = 0;
   std::uint64_t rebalance_objects_purged = 0;
 
+  // Delta rebalancing (arc-bounded passes after a membership change).
+  std::uint64_t rebalance_delta_passes = 0;
+  std::uint64_t rebalance_objects_scanned = 0; // names listed/examined
+  std::uint64_t rebalance_bytes_moved = 0;     // payload bytes copied
+
+  // Hinted handoff (sloppy-quorum writes owed to an ejected owner).
+  std::uint64_t handoff_hints_recorded = 0;
+  std::uint64_t handoff_hints_replayed = 0;
+  std::uint64_t handoff_hints_dropped = 0; // superseded or unreadable
+
+  // Streaming replicated puts.
+  std::uint64_t stream_puts = 0;
+  std::uint64_t stream_put_replica_aborts = 0; // replica streams lost mid-put
+  // High-water mark of bytes a single streamed put held buffered
+  // client-side (gauge) — the number the O(window) memory bound pins.
+  std::uint64_t stream_put_buffered_high_water_bytes = 0;
+
   // Health tracking.
   std::uint64_t shards_ejected = 0;
   std::uint64_t shards_reinstated = 0;
@@ -56,6 +73,22 @@ struct ClusterCounters {
         a.rebalance_objects_moved - b.rebalance_objects_moved;
     out.rebalance_objects_purged =
         a.rebalance_objects_purged - b.rebalance_objects_purged;
+    out.rebalance_delta_passes =
+        a.rebalance_delta_passes - b.rebalance_delta_passes;
+    out.rebalance_objects_scanned =
+        a.rebalance_objects_scanned - b.rebalance_objects_scanned;
+    out.rebalance_bytes_moved = a.rebalance_bytes_moved - b.rebalance_bytes_moved;
+    out.handoff_hints_recorded =
+        a.handoff_hints_recorded - b.handoff_hints_recorded;
+    out.handoff_hints_replayed =
+        a.handoff_hints_replayed - b.handoff_hints_replayed;
+    out.handoff_hints_dropped =
+        a.handoff_hints_dropped - b.handoff_hints_dropped;
+    out.stream_puts = a.stream_puts - b.stream_puts;
+    out.stream_put_replica_aborts =
+        a.stream_put_replica_aborts - b.stream_put_replica_aborts;
+    out.stream_put_buffered_high_water_bytes =
+        a.stream_put_buffered_high_water_bytes; // gauge keeps the later
     out.shards_ejected = a.shards_ejected - b.shards_ejected;
     out.shards_reinstated = a.shards_reinstated - b.shards_reinstated;
     out.shard_rpc_p50_ms = a.shard_rpc_p50_ms; // gauges keep the later

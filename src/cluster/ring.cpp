@@ -43,12 +43,16 @@ void HashRing::RemoveNode(const std::string& id) {
 
 std::vector<std::string> HashRing::Successors(const std::string& name,
                                               std::size_t r) const {
+  return SuccessorsAt(HashPoint(name), r);
+}
+
+std::vector<std::string> HashRing::SuccessorsAt(std::uint64_t point,
+                                                std::size_t r) const {
   std::vector<std::string> out;
   if (ring_.empty() || r == 0) return out;
   out.reserve(std::min(r, nodes_.size()));
-  const std::uint64_t point = HashPoint(name);
-  // Walk clockwise from the object's point, wrapping once; collect the
-  // first r distinct shard ids.
+  // Walk clockwise from the point, wrapping once; collect the first r
+  // distinct shard ids.
   auto it = ring_.lower_bound(point);
   for (std::size_t steps = 0; steps < ring_.size() && out.size() < r;
        ++steps, ++it) {
@@ -57,6 +61,13 @@ std::vector<std::string> HashRing::Successors(const std::string& name,
       out.push_back(it->second);
     }
   }
+  return out;
+}
+
+std::vector<std::uint64_t> HashRing::Points() const {
+  std::vector<std::uint64_t> out;
+  out.reserve(ring_.size());
+  for (const auto& [point, _] : ring_) out.push_back(point);
   return out;
 }
 
@@ -74,6 +85,55 @@ std::vector<std::string> HashRing::Nodes() const {
   out.reserve(nodes_.size());
   for (const auto& [id, _] : nodes_) out.push_back(id);
   return out;
+}
+
+namespace {
+
+/// Owner-set equality ignoring order: a preference-list reshuffle that
+/// keeps the same shards holding the data moves no bytes.
+bool SameOwners(std::vector<std::string> a, std::vector<std::string> b) {
+  std::sort(a.begin(), a.end());
+  std::sort(b.begin(), b.end());
+  return a == b;
+}
+
+} // namespace
+
+std::vector<MovedArc> DiffRings(const HashRing& before, const HashRing& after,
+                                std::size_t r) {
+  std::vector<MovedArc> moved;
+  // Owner sets are constant between adjacent points of the UNION of both
+  // rings: within one such arc neither ring has a vnode, so lower_bound
+  // lands on the same successor for every key in the arc.
+  std::vector<std::uint64_t> points = before.Points();
+  const std::vector<std::uint64_t> after_points = after.Points();
+  points.insert(points.end(), after_points.begin(), after_points.end());
+  std::sort(points.begin(), points.end());
+  points.erase(std::unique(points.begin(), points.end()), points.end());
+  if (points.empty()) return moved;
+  for (std::size_t j = 0; j < points.size(); ++j) {
+    const std::uint64_t begin = points[j];
+    const std::uint64_t end = points[(j + 1) % points.size()];
+    // Every key in (begin, end] resolves at `end` (or past it, when end
+    // is only the other ring's point) — probing the single point `end`
+    // gives the arc's owners under each ring.
+    MovedArc arc;
+    arc.begin = begin;
+    arc.end = end;
+    arc.from = before.SuccessorsAt(end, r);
+    arc.to = after.SuccessorsAt(end, r);
+    if (SameOwners(arc.from, arc.to)) continue;
+    // Vnode runs owned by one shard produce long stretches of identical
+    // change; merge them so callers iterate O(changed arcs), not
+    // O(vnodes).
+    if (!moved.empty() && moved.back().end == begin &&
+        moved.back().from == arc.from && moved.back().to == arc.to) {
+      moved.back().end = end;
+    } else {
+      moved.push_back(std::move(arc));
+    }
+  }
+  return moved;
 }
 
 } // namespace nexus::cluster

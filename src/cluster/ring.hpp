@@ -41,6 +41,17 @@ class HashRing {
   [[nodiscard]] std::size_t NodeCount() const { return nodes_.size(); }
   [[nodiscard]] std::vector<std::string> Nodes() const;
 
+  /// The first `r` DISTINCT shards clockwise from an arbitrary ring
+  /// point (inclusive) — Successors without the name hash, used by the
+  /// delta rebalancer to evaluate owner sets arc by arc.
+  [[nodiscard]] std::vector<std::string> SuccessorsAt(std::uint64_t point,
+                                                      std::size_t r) const;
+
+  /// All vnode points, sorted ascending. The owner set of every key is
+  /// constant between two adjacent points, so a ring diff only needs to
+  /// probe one point per arc.
+  [[nodiscard]] std::vector<std::uint64_t> Points() const;
+
   /// Stable 64-bit point for a key (first 8 little-endian bytes of
   /// SHA-256) — exposed so tests can pin the placement function.
   [[nodiscard]] static std::uint64_t HashPoint(const std::string& key);
@@ -50,5 +61,29 @@ class HashRing {
   std::map<std::uint64_t, std::string> ring_; // point -> shard id
   std::map<std::string, std::size_t> nodes_;  // id -> vnode count
 };
+
+/// One arc of the hash circle whose owner set changed between two ring
+/// snapshots. The arc is (begin, end] — exclusive begin, inclusive end,
+/// matching lower_bound placement: a key at a vnode point is served by
+/// that vnode. begin >= end wraps through zero (begin == end is the full
+/// circle). Keys hashing into the arc were owned by `from` under the old
+/// ring and by `to` under the new one (the lists usually overlap — only
+/// the difference needs copying).
+struct MovedArc {
+  std::uint64_t begin = 0;
+  std::uint64_t end = 0;
+  std::vector<std::string> from; // owners under the old ring
+  std::vector<std::string> to;   // owners under the new ring
+};
+
+/// Diffs two ring snapshots at replication factor `r`: returns the arcs
+/// whose owner set changed, walking the union of both rings' vnode
+/// points (owner sets are constant between adjacent union points).
+/// Adjacent arcs with identical from/to sets are merged. Adding or
+/// removing one shard of N yields arcs covering ~1/N of the circle — the
+/// bound that makes delta rebalancing O(moved) instead of O(everything).
+[[nodiscard]] std::vector<MovedArc> DiffRings(const HashRing& before,
+                                              const HashRing& after,
+                                              std::size_t r);
 
 } // namespace nexus::cluster

@@ -42,6 +42,7 @@ int ClusterMode(const std::string& endpoints) {
               "bytes_out", "conns", "status");
   nexus::net::ServerStats total;
   std::size_t reachable = 0;
+  unsigned long long hints_pending = 0;
   for (const std::string& endpoint : list) {
     std::string host;
     std::uint16_t port = 0;
@@ -75,7 +76,20 @@ int ClusterMode(const std::string& endpoints) {
     total.connections_accepted += s.connections_accepted;
     total.protocol_errors += s.protocol_errors;
     ++reachable;
+    // Count handoff-hint markers parked on this shard (sloppy-quorum
+    // writes still owed to an ejected owner). Paged so a shard holding a
+    // backlog never forces a full listing into this one-shot client.
+    std::string cursor;
+    for (;;) {
+      const nexus::storage::StorageBackend::ListPage page =
+          backend.value()->ListSome(
+          nexus::cluster::kHandoffHintPrefix, cursor, 256);
+      hints_pending += page.names.size();
+      if (!page.more || page.names.empty()) break;
+      cursor = page.names.back();
+    }
   }
+  std::printf("  handoff hints pending: %llu\n", hints_pending);
   std::printf("  %-22s %12llu %14llu %14llu %8llu  aggregate (%zu/%zu "
               "reachable)\n",
               "TOTAL", static_cast<unsigned long long>(total.rpcs_served),

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdlib>
+#include <deque>
 #include <thread>
 #include <utility>
 
@@ -177,7 +178,12 @@ bool RemoteBackend::peer_speaks_v5() const noexcept {
   return options_.max_protocol_version >= 5 && peer_version() >= 5;
 }
 
+bool RemoteBackend::peer_speaks_v6() const noexcept {
+  return options_.max_protocol_version >= 6 && peer_version() >= 6;
+}
+
 std::uint8_t RemoteBackend::wire_version() const noexcept {
+  if (peer_speaks_v6()) return 6;
   if (peer_speaks_v5()) return 5;
   if (peer_speaks_v4()) return 4;
   return peer_speaks_v3() ? std::uint8_t{3} : std::uint8_t{2};
@@ -535,6 +541,44 @@ std::vector<std::string> RemoteBackend::List(const std::string& prefix) {
     names.push_back(std::move(name).value());
   }
   return names;
+}
+
+storage::StorageBackend::ListPage RemoteBackend::ListSome(
+    const std::string& prefix, const std::string& start_after,
+    std::size_t limit) {
+  if (!peer_speaks_v6()) {
+    // Pre-v6 peer: fetch the full listing and slice locally.
+    return storage::StorageBackend::ListSome(prefix, start_after, limit);
+  }
+  ListPage page;
+  if (limit == 0) return page;
+  // The server treats limits above kMaxMultiEntries as a protocol error;
+  // clamp here so callers can pass any bound they like.
+  const std::uint32_t capped = static_cast<std::uint32_t>(
+      std::min<std::size_t>(limit, kMaxMultiEntries));
+  Writer req = Req(Rpc::kListPage);
+  req.Str(prefix);
+  req.Str(start_after);
+  req.U32(capped);
+  auto payload = Call(req);
+  // Same degradation as List(): an unreachable server reads as an empty
+  // page with no continuation.
+  if (!payload.ok()) return page;
+  Reader reader(payload.value());
+  auto count = reader.U32();
+  if (!count.ok() || count.value() > capped) return page;
+  page.names.reserve(count.value());
+  for (std::uint32_t i = 0; i < count.value(); ++i) {
+    auto name = reader.Str();
+    if (!name.ok()) {
+      page.names.clear();
+      return page;
+    }
+    page.names.push_back(std::move(name).value());
+  }
+  auto more = reader.U8();
+  page.more = more.ok() && more.value() != 0;
+  return page;
 }
 
 // ---- batch ops (wire v3) ----------------------------------------------------
@@ -1144,9 +1188,225 @@ class RemotePutStream final : public storage::StorageBackend::PutStream {
   bool finished_ = false;
 };
 
+// Pipelined client half of the streaming RPC for callers that cannot
+// afford O(object) client memory. Runs on its own dedicated mux
+// connection — stream handles are per-connection server state, so the
+// pooled connections cannot carry them — and keeps only the in-flight
+// window's verdict slots alive: each segment's request frame is written
+// to the socket inside Submit and never retained, so peak client memory
+// is one segment plus a window of small verdicts, independent of object
+// size. The price of dropping the replay buffer is that a broken
+// connection is FINAL: there is nothing to rebuild a fresh stream from,
+// so failure is reported to the caller and redundancy is the caller's
+// job (the cluster layer absorbs a lost replica through its quorum).
+//
+// Every append verdict is collected BEFORE the commit frame goes out.
+// The server executes per-connection stream ops in FIFO order but
+// leaves a failed stream open, so a commit pipelined behind an
+// unverified append could publish a truncated object.
+class MuxPutStream final : public storage::StorageBackend::PutStream {
+ public:
+  MuxPutStream(RemoteBackend& backend, std::string name)
+      : backend_(backend), name_(std::move(name)) {}
+
+  ~MuxPutStream() override {
+    if (!finished_) Abort();
+  }
+
+  Status Append(ByteSpan data) override {
+    if (finished_) {
+      return Error(ErrorCode::kInvalidArgument,
+                   "append on finished stream: " + name_);
+    }
+    if (broken_) {
+      return Error(ErrorCode::kIOError,
+                   "append on broken stream: " + name_);
+    }
+    if (conn_ == nullptr) NEXUS_RETURN_IF_ERROR(Begin());
+    // Retire the oldest appends until the new one fits in the window —
+    // this, not Submit's own blocking, is what bounds client memory and
+    // surfaces a rejected segment before more bytes chase it.
+    while (inflight_.size() >= conn_->window()) {
+      NEXUS_RETURN_IF_ERROR(DrainOldest());
+    }
+    Writer req = backend_.Req(Rpc::kStreamAppend);
+    req.U64(handle_);
+    req.Var(data);
+    auto slot = conn_->Submit(req.bytes());
+    if (slot == nullptr) {
+      backend_.NoteFailure();
+      return FailStream(Error(ErrorCode::kIOError,
+                              "stream connection broke mid-append: " + name_));
+    }
+    inflight_.push_back(std::move(slot));
+    return Status::Ok();
+  }
+
+  Status Commit() override {
+    if (finished_) {
+      return Error(ErrorCode::kInvalidArgument,
+                   "commit on finished stream: " + name_);
+    }
+    if (broken_) {
+      finished_ = true;
+      return Error(ErrorCode::kIOError,
+                   "commit on broken stream: " + name_);
+    }
+    if (conn_ == nullptr) {
+      // Zero-byte object: open the stream now so Commit has a handle.
+      const Status begun = Begin();
+      if (!begun.ok()) {
+        finished_ = true;
+        return begun;
+      }
+    }
+    while (!inflight_.empty()) {
+      const Status drained = DrainOldest();
+      if (!drained.ok()) {
+        finished_ = true;
+        return drained;
+      }
+    }
+    Writer req = backend_.Req(Rpc::kStreamCommit);
+    req.U64(handle_);
+    auto slot = conn_->Submit(req.bytes());
+    finished_ = true;
+    if (slot == nullptr) {
+      backend_.NoteFailure();
+      return FailStream(Error(ErrorCode::kIOError,
+                              "stream connection broke on commit: " + name_));
+    }
+    Status verdict = Status::Ok();
+    auto payload = WaitResponse(*slot, &verdict);
+    conn_.reset();
+    if (!payload.ok()) return payload.status();
+    return verdict;
+  }
+
+  void Abort() override {
+    if (finished_) return;
+    finished_ = true;
+    if (broken_ || conn_ == nullptr) return;
+    // Collect outstanding verdicts so the abort lands last in FIFO
+    // order, then fire it best effort — disconnect also aborts the
+    // server-side stream, so a failure here leaks nothing.
+    while (!inflight_.empty()) {
+      if (!DrainOldest().ok()) return; // FailStream dropped the connection
+    }
+    Writer req = backend_.Req(Rpc::kStreamAbort);
+    req.U64(handle_);
+    auto slot = conn_->Submit(req.bytes());
+    if (slot != nullptr) (void)slot->Wait();
+    conn_.reset();
+  }
+
+ private:
+  /// Dial + lease attach + lock-step StreamBegin. Any failure marks the
+  /// stream broken — there is no retry budget, because a later retry
+  /// could not replay segments already handed to a previous connection.
+  Status Begin() {
+    auto dialed = backend_.factory_();
+    if (!dialed.ok()) {
+      backend_.NoteFailure();
+      broken_ = true;
+      return dialed.status();
+    }
+    conn_ = backend_.NewConnection(std::move(dialed).value());
+    // Same best-effort session tie as pooled connections: the commit
+    // must not invalidate the writer's own cache.
+    backend_.AttachLease(*conn_);
+    Writer begin = backend_.Req(Rpc::kStreamBegin);
+    begin.Str(name_);
+    auto slot = conn_->Submit(begin.bytes());
+    if (slot == nullptr) {
+      backend_.NoteFailure();
+      return FailStream(Error(ErrorCode::kIOError,
+                              "stream connection broke on begin: " + name_));
+    }
+    Status verdict = Status::Ok();
+    auto payload = WaitResponse(*slot, &verdict);
+    if (!payload.ok()) return FailStream(payload.status());
+    if (!verdict.ok()) return FailStream(verdict);
+    Reader reader(payload.value());
+    auto handle = reader.U64();
+    if (!handle.ok()) {
+      return FailStream(
+          Error(ErrorCode::kIOError, "malformed stream-begin response"));
+    }
+    handle_ = handle.value();
+    return Status::Ok();
+  }
+
+  /// Blocks on one slot. The OUTER result is transport/protocol health;
+  /// on outer success `verdict` holds the server's authoritative answer
+  /// and the bytes are the payload after the head. Delivery counters are
+  /// already handled by the mux delivery hook; this only feeds the
+  /// backend's failure streak.
+  Result<Bytes> WaitResponse(MuxConnection::Slot& slot, Status* verdict) {
+    const std::uint64_t corr = slot.correlation;
+    auto delivered = slot.Wait();
+    if (!delivered.ok()) {
+      backend_.NoteFailure();
+      return delivered.status();
+    }
+    Reader reader(delivered.value());
+    Status server = Status::Ok();
+    std::uint64_t echoed = 0;
+    const Status head = ParseResponseHead(reader, &server, &echoed);
+    if (!head.ok() || echoed != corr) {
+      // The demux routed this frame here by its correlation id, so a
+      // mismatch or unparsable head means the byte stream itself can no
+      // longer be trusted for ANY request on the connection.
+      conn_->Poison(Error(ErrorCode::kIOError,
+                          "malformed response on stream connection"));
+      backend_.NoteFailure();
+      if (!head.ok()) return head;
+      return Error(ErrorCode::kIOError,
+                   "correlation mismatch on stream connection");
+    }
+    backend_.NoteSuccess();
+    *verdict = std::move(server);
+    return reader.Raw(reader.Remaining());
+  }
+
+  /// Retires the oldest in-flight append: waits for its verdict and
+  /// fails the stream on either a transport loss or a server rejection.
+  Status DrainOldest() {
+    auto slot = std::move(inflight_.front());
+    inflight_.pop_front();
+    Status verdict = Status::Ok();
+    auto payload = WaitResponse(*slot, &verdict);
+    if (!payload.ok()) return FailStream(payload.status());
+    if (!verdict.ok()) return FailStream(verdict);
+    return Status::Ok();
+  }
+
+  /// A failed stream is final. Drop the connection (disconnect aborts
+  /// the server-side stream) and report the loss to the caller.
+  Status FailStream(Status reason) {
+    broken_ = true;
+    inflight_.clear();
+    conn_.reset();
+    return reason;
+  }
+
+  RemoteBackend& backend_;
+  std::string name_;
+  std::shared_ptr<MuxConnection> conn_;
+  std::deque<std::shared_ptr<MuxConnection::Slot>> inflight_;
+  std::uint64_t handle_ = 0;
+  bool broken_ = false;
+  bool finished_ = false;
+};
+
 Result<std::unique_ptr<storage::StorageBackend::PutStream>>
 RemoteBackend::OpenPutStream(const std::string& name) {
   return std::unique_ptr<PutStream>(new RemotePutStream(*this, name));
+}
+
+Result<std::unique_ptr<storage::StorageBackend::PutStream>>
+RemoteBackend::OpenUnbufferedPutStream(const std::string& name) {
+  return std::unique_ptr<PutStream>(new MuxPutStream(*this, name));
 }
 
 } // namespace nexus::net

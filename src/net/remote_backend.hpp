@@ -136,7 +136,20 @@ class RemoteBackend final : public storage::StorageBackend {
   Status Delete(const std::string& name) override;
   bool Exists(const std::string& name) override;
   std::vector<std::string> List(const std::string& prefix) override;
+  /// One kListPage round trip against a v6 peer; pre-v6 peers fall back
+  /// to the base-class slice over List().
+  ListPage ListSome(const std::string& prefix, const std::string& start_after,
+                    std::size_t limit) override;
   Result<std::unique_ptr<PutStream>> OpenPutStream(
+      const std::string& name) override;
+  /// Pipelined multi-append stream on a dedicated mux connection: keeps up
+  /// to the negotiated window of segments in flight and retains NOTHING
+  /// after a segment hits the socket, so client memory is O(window), not
+  /// O(object). No replay buffer means a transport failure mid-stream
+  /// fails the stream permanently — callers with their own redundancy
+  /// (the cluster's quorum commit) take this; everyone else keeps the
+  /// replaying OpenPutStream.
+  Result<std::unique_ptr<PutStream>> OpenUnbufferedPutStream(
       const std::string& name) override;
   std::vector<Result<Bytes>> MultiGet(
       const std::vector<std::string>& names) override;
@@ -167,6 +180,7 @@ class RemoteBackend final : public storage::StorageBackend {
 
  private:
   friend class RemotePutStream;
+  friend class MuxPutStream;
 
   /// One RPC through the mux with per-request retry/reconnect/backoff.
   /// On a well-formed response returns the payload after the verified
@@ -180,6 +194,7 @@ class RemoteBackend final : public storage::StorageBackend {
   [[nodiscard]] bool peer_speaks_v3() const noexcept;
   [[nodiscard]] bool peer_speaks_v5() const noexcept;
   [[nodiscard]] bool peer_speaks_v4() const noexcept;
+  [[nodiscard]] bool peer_speaks_v6() const noexcept;
   [[nodiscard]] std::size_t effective_window() const noexcept;
 
   /// Returns a connection with window room, dialing a fresh one when the

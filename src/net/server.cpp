@@ -801,6 +801,28 @@ NexusdServer::Dispatch NexusdServer::DecodeFrame(
       };
       break;
     }
+    case Rpc::kListPage: {
+      auto prefix = reader.Str();
+      if (!prefix.ok()) break;
+      auto start_after = reader.Str();
+      if (!start_after.ok()) break;
+      auto limit = reader.U32();
+      if (!limit.ok()) break;
+      if (limit.value() == 0 || limit.value() > kMaxMultiEntries) break;
+      d.kind = Kind::kStateless;
+      d.execute = [this, corr, version, prefix = std::move(prefix).value(),
+                   start_after = std::move(start_after).value(),
+                   limit = limit.value()] {
+        const storage::StorageBackend::ListPage page =
+            backend_.ListSome(prefix, start_after, limit);
+        Writer r = BeginResponse(Status::Ok(), corr, version);
+        r.U32(static_cast<std::uint32_t>(page.names.size()));
+        for (const auto& n : page.names) r.Str(n);
+        r.U8(page.more ? 1 : 0);
+        return WireReply(std::move(r));
+      };
+      break;
+    }
     case Rpc::kMultiGet: {
       auto names = DecodeNameList(reader);
       if (!names.ok()) break;

@@ -154,7 +154,7 @@ class NexusdServer {
  private:
   /// Dense per-RPC slot array; index = static_cast<std::size_t>(Rpc).
   static constexpr std::size_t kRpcSlots =
-      static_cast<std::size_t>(Rpc::kInvalidate) + 1;
+      static_cast<std::size_t>(Rpc::kListPage) + 1;
 
   struct PerOpCounters {
     std::uint64_t count = 0;

@@ -22,6 +22,7 @@ const char* RpcName(Rpc rpc) noexcept {
     case Rpc::kLeaseSubscribe: return "lease_subscribe";
     case Rpc::kLeaseAttach: return "lease_attach";
     case Rpc::kInvalidate: return "invalidate";
+    case Rpc::kListPage: return "list_page";
   }
   return "unknown";
 }
@@ -79,7 +80,8 @@ Result<Rpc> ParseRequestHead(Reader& reader, std::uint64_t* correlation,
   NEXUS_ASSIGN_OR_RETURN(const std::uint8_t rpc, reader.U8());
   const auto max_rpc = version == 2   ? kMaxV2Rpc
                        : version == 3 ? kMaxV3Rpc
-                                      : Rpc::kInvalidate;
+                       : version <= 5 ? kMaxV5Rpc
+                                      : Rpc::kListPage;
   if (rpc < static_cast<std::uint8_t>(Rpc::kPing) ||
       rpc > static_cast<std::uint8_t>(max_rpc)) {
     return Error(ErrorCode::kInvalidArgument,
@@ -208,7 +210,7 @@ Result<ServerStats> DecodeServerStats(Reader& reader) {
     RpcOpStats op;
     NEXUS_ASSIGN_OR_RETURN(op.rpc, reader.U8());
     if (op.rpc < static_cast<std::uint8_t>(Rpc::kPing) ||
-        op.rpc > static_cast<std::uint8_t>(Rpc::kInvalidate)) {
+        op.rpc > static_cast<std::uint8_t>(Rpc::kListPage)) {
       return Error(ErrorCode::kInvalidArgument,
                    "stats entry with unknown rpc id " + std::to_string(op.rpc));
     }

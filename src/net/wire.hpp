@@ -48,6 +48,13 @@
 // miss fills install under leases exactly like single Gets. The framing,
 // negotiation, and every other RPC are byte-identical to v4.
 //
+// Protocol v6 adds bounded-batch listing: kListPage carries a prefix, an
+// exclusive start-after cursor and a page limit, and the response is one
+// sorted page of names plus a truncation flag, so an enumeration of a
+// million-object shard costs O(page) memory on both sides instead of one
+// kList frame holding every name. kListPage requires a v6 request head;
+// pre-v6 peers keep using kList and nothing else changes.
+//
 // The server is untrusted in the NEXUS threat model, so nothing here is
 // authenticated — the protocol only moves ciphertext and opaque object
 // names, and the enclave's MACs catch any tampering above this layer. What
@@ -67,7 +74,7 @@
 
 namespace nexus::net {
 
-inline constexpr std::uint8_t kProtocolVersion = 5;
+inline constexpr std::uint8_t kProtocolVersion = 6;
 /// Oldest peer version both sides still speak (v2 = correlation ids +
 /// Stats, lock-step only). Frames with older versions are rejected.
 inline constexpr std::uint8_t kMinProtocolVersion = 2;
@@ -121,6 +128,9 @@ enum class Rpc : std::uint8_t {
   kLeaseAttach = 15,    // u64 session id; ties a data connection to it
   kInvalidate = 16,     // SERVER-sent on the subscription channel: name
                         //    list whose leases are revoked; client acks
+  // v6 bounded-batch listing.
+  kListPage = 17,       // prefix, start-after cursor, u32 limit -> one
+                        //    sorted page of names + u8 truncated flag
 };
 
 /// Last RPC id a v2 peer understands; v2-version request heads carrying a
@@ -128,6 +138,8 @@ enum class Rpc : std::uint8_t {
 inline constexpr Rpc kMaxV2Rpc = Rpc::kStats;
 /// Same bound for v3 heads — the lease RPCs require a v4 head.
 inline constexpr Rpc kMaxV3Rpc = Rpc::kMultiExists;
+/// Same bound for v4/v5 heads — kListPage requires a v6 head.
+inline constexpr Rpc kMaxV5Rpc = Rpc::kInvalidate;
 
 /// Stable lowercase name for an RPC id ("get", "stream_begin", ...). Used
 /// as span names and in nexus-stat output.
@@ -241,7 +253,7 @@ struct ServerStats {
 /// Upper bound on per_op rows a decoder accepts — there are only that many
 /// RPC ids, so anything larger is malformed.
 inline constexpr std::size_t kMaxStatsEntries =
-    static_cast<std::size_t>(Rpc::kInvalidate);
+    static_cast<std::size_t>(Rpc::kListPage);
 
 void EncodeServerStats(Writer& writer, const ServerStats& stats);
 Result<ServerStats> DecodeServerStats(Reader& reader);

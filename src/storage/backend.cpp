@@ -111,6 +111,20 @@ Result<std::unique_ptr<StorageBackend::PutStream>> StorageBackend::OpenPutStream
   return std::unique_ptr<PutStream>(new BufferedPutStream(*this, name));
 }
 
+StorageBackend::ListPage StorageBackend::ListSome(
+    const std::string& prefix, const std::string& start_after,
+    std::size_t limit) {
+  ListPage page;
+  if (limit == 0) return page;
+  const std::vector<std::string> all = List(prefix);
+  auto it = std::upper_bound(all.begin(), all.end(), start_after);
+  while (it != all.end() && page.names.size() < limit) {
+    page.names.push_back(*it++);
+  }
+  page.more = it != all.end();
+  return page;
+}
+
 std::vector<Result<Bytes>> StorageBackend::MultiGet(
     const std::vector<std::string>& names) {
   std::vector<Result<Bytes>> results;

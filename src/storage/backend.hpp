@@ -60,6 +60,33 @@ class StorageBackend {
   virtual Result<std::unique_ptr<PutStream>> OpenPutStream(
       const std::string& name);
 
+  /// Opens a segmented Put that does NOT retain already-sent segments for
+  /// replay, so the caller's memory stays bounded by the in-flight window
+  /// rather than the object size. The trade is weaker failure recovery: a
+  /// transport-level failure mid-stream fails the stream permanently
+  /// instead of transparently restarting it (callers with their own
+  /// redundancy — a replicated cluster — prefer that). The default is the
+  /// plain OpenPutStream; RemoteBackend overrides it with a pipelined
+  /// multi-append stream over its RPC mux.
+  virtual Result<std::unique_ptr<PutStream>> OpenUnbufferedPutStream(
+      const std::string& name) {
+    return OpenPutStream(name);
+  }
+
+  /// One bounded page of a listing: the first `limit` names greater than
+  /// `start_after` (exclusive cursor) that carry `prefix`, sorted; `more`
+  /// is set when the listing was truncated — pass the last returned name
+  /// back as `start_after` to continue. The default materializes List()
+  /// and slices it; backends with native paging (RemoteBackend over wire
+  /// v6) override it so a million-object enumeration never materializes
+  /// whole on either side.
+  struct ListPage {
+    std::vector<std::string> names;
+    bool more = false;
+  };
+  virtual ListPage ListSome(const std::string& prefix,
+                            const std::string& start_after, std::size_t limit);
+
   /// Batched Get: one result per name, same order. The default loops over
   /// Get(); RemoteBackend overrides it with a single MultiGet round trip
   /// when the peer speaks wire v3.

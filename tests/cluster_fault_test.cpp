@@ -5,9 +5,13 @@
 // shard restarts empty on its old port.
 #include <gtest/gtest.h>
 
+#include <sys/resource.h>
+
+#include <chrono>
 #include <cstdlib>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "cluster/cluster_backend.hpp"
@@ -56,7 +60,8 @@ class NexusdCluster {
  public:
   explicit NexusdCluster(std::size_t n, FaultSpec spec = {},
                          std::uint64_t seed = 1,
-                         std::size_t faulty_shard = SIZE_MAX) {
+                         std::size_t faulty_shard = SIZE_MAX,
+                         ClusterOptions cluster_options = FastClusterOptions()) {
     stats_ = std::make_shared<FaultStats>();
     std::vector<ShardSpec> specs;
     for (std::size_t i = 0; i < n; ++i) {
@@ -87,9 +92,15 @@ class NexusdCluster {
             RemoteBackendOptions client = FastClientOptions();
             return std::unique_ptr<storage::StorageBackend>(
                 std::make_unique<RemoteBackend>(transport, client));
+          },
+          // Same revive hook ClusterBackend::Connect installs: re-Ping so
+          // a shard that came back renegotiates its wire version.
+          [](storage::StorageBackend& b) {
+            return static_cast<RemoteBackend&>(b).Ping();
           }});
     }
-    cluster_ = ClusterBackend::Create(std::move(specs), FastClusterOptions())
+    cluster_ = ClusterBackend::Create(std::move(specs),
+                                      std::move(cluster_options))
                    .value();
   }
 
@@ -258,6 +269,112 @@ TEST(ClusterFault, ShardRestartingEmptyIsHealedByRepairAndRebalance) {
   EXPECT_EQ(c.counters().quorum_failures, 0u);
 }
 
+// ---- streaming replicated puts under faults ---------------------------------
+
+// Deterministic payload generator shared by the streaming fault tests so
+// byte-identical readback can be checked without holding a second copy.
+std::uint8_t StreamByte(std::size_t i) {
+  return static_cast<std::uint8_t>((i * 1315423911u) >> 13);
+}
+
+// Kill -9 one replica while a streaming put is mid-flight: with R=3 the
+// put still commits by quorum, the readback is byte-identical, and the
+// killed owner's missed write drains back to it through hinted handoff —
+// with zero read-repair involvement.
+TEST(ClusterFault, KillReplicaMidStreamingPutCommitsQuorumAndDrainsHint) {
+  ClusterOptions options = FastClusterOptions();
+  options.replication = 3; // every shard owns every key
+  NexusdCluster fx(3, {}, /*seed=*/1, /*faulty_shard=*/SIZE_MAX, options);
+  ClusterBackend& c = fx.cluster();
+
+  constexpr std::size_t kSegment = 64 * 1024;
+  Bytes seg(kSegment);
+  std::size_t off = 0;
+  const auto fill = [&] {
+    for (std::size_t j = 0; j < kSegment; ++j) seg[j] = StreamByte(off++);
+  };
+
+  auto stream = c.OpenUnbufferedPutStream("streamed").value();
+  for (int i = 0; i < 4; ++i) {
+    fill();
+    ASSERT_TRUE(stream->Append(ByteSpan(seg.data(), seg.size())).ok()) << i;
+  }
+  fx.KillShard(1); // SIGKILL-equivalent: sockets die mid-stream
+  for (int i = 4; i < 16; ++i) {
+    fill();
+    ASSERT_TRUE(stream->Append(ByteSpan(seg.data(), seg.size())).ok()) << i;
+  }
+  ASSERT_TRUE(stream->Commit().ok());
+
+  const auto got = c.Get("streamed");
+  ASSERT_TRUE(got.ok()) << got.status().ToString();
+  ASSERT_EQ(got.value().size(), off);
+  for (std::size_t j = 0; j < off; ++j) {
+    ASSERT_EQ(got.value()[j], StreamByte(j)) << j;
+  }
+
+  const ClusterCounters counters = c.counters();
+  EXPECT_EQ(counters.quorum_failures, 0u);
+  EXPECT_GT(counters.stream_put_replica_aborts, 0u);
+  EXPECT_GT(counters.handoff_hints_recorded, 0u);
+
+  // The killed shard restarts EMPTY on its old port; the handoff drainer
+  // replays the write it slept through.
+  fx.RestartShardEmpty(1);
+  std::this_thread::sleep_for(std::chrono::milliseconds(100)); // backoff
+  c.DrainHandoffNow();
+  EXPECT_GT(c.counters().handoff_hints_replayed, 0u);
+  EXPECT_TRUE(fx.store(1).Exists("streamed"));
+  EXPECT_EQ(c.counters().read_repairs, 0u);
+}
+
+// Deterministic FaultyTransport schedule swallowing responses on one
+// replica — including stream Begin/Append/Commit verdicts. Every put
+// still commits exactly through the two clean shards, readback stays
+// byte-identical, and a drain settles any hints the ambiguity recorded
+// (a commit the server applied but the client could not see dedupes as
+// "owner already has this version").
+TEST(ClusterFault, SwallowedStreamVerdictsStayExactAndDrainClean) {
+  FaultSpec spec;
+  spec.drop_response = 0.35;
+  ClusterOptions options = FastClusterOptions();
+  options.replication = 3;
+  NexusdCluster fx(3, spec, /*seed=*/5, /*faulty_shard=*/2, options);
+  ClusterBackend& c = fx.cluster();
+
+  constexpr std::size_t kSegment = 8 * 1024;
+  constexpr int kObjects = 10;
+  constexpr int kSegments = 4;
+  Bytes seg(kSegment);
+  for (int i = 0; i < kObjects; ++i) {
+    auto stream =
+        c.OpenUnbufferedPutStream("s-" + std::to_string(i)).value();
+    for (int k = 0; k < kSegments; ++k) {
+      const std::size_t base = (i * kSegments + k) * kSegment;
+      for (std::size_t j = 0; j < kSegment; ++j) {
+        seg[j] = StreamByte(base + j);
+      }
+      ASSERT_TRUE(stream->Append(ByteSpan(seg.data(), seg.size())).ok())
+          << i << "/" << k;
+    }
+    ASSERT_TRUE(stream->Commit().ok()) << i;
+  }
+  EXPECT_GT(fx.fault_stats().dropped_responses.load(), 0u);
+
+  c.DrainHandoffNow();
+  for (int i = 0; i < kObjects; ++i) {
+    const auto got = c.Get("s-" + std::to_string(i));
+    ASSERT_TRUE(got.ok()) << i << ": " << got.status().ToString();
+    ASSERT_EQ(got.value().size(), std::size_t{kSegments} * kSegment) << i;
+    for (std::size_t j = 0; j < got.value().size(); ++j) {
+      ASSERT_EQ(got.value()[j],
+                StreamByte(i * kSegments * kSegment + j))
+          << i << "@" << j;
+    }
+  }
+  EXPECT_EQ(c.counters().quorum_failures, 0u);
+}
+
 // ---- CI loopback smoke (env-gated) ------------------------------------------
 //
 // Driven by the CI "cluster smoke" step against REAL nexusd binaries:
@@ -318,6 +435,78 @@ TEST(ClusterSmokeEnv, ReadbackPhase) {
   }
   // ...and read EVERYTHING back byte-identical, including the phase-1
   // objects whose preference lists crossed the dead shard.
+  for (int i = 0; i < 60; ++i) {
+    const auto got = c.Get("smoke-" + std::to_string(i));
+    ASSERT_TRUE(got.ok()) << i << ": " << got.status().ToString();
+    EXPECT_EQ(got.value(), SmokePayload(i)) << i;
+  }
+  EXPECT_EQ(c.counters().quorum_failures, 0u);
+}
+
+// Streams one large object through OpenUnbufferedPutStream and pins the
+// client's peak RSS: the put must stay O(window), not O(object). CI sets
+// NEXUS_SMOKE_RSS_CAP_MB as a hard cap; the byte-identical readback runs
+// AFTER the RSS sample so the Get's materialization cannot mask a
+// buffering regression in the put path.
+TEST(ClusterSmokeEnv, StreamingPutUnderMemoryCap) {
+  if (std::getenv("NEXUS_CLUSTER") == nullptr) {
+    GTEST_SKIP() << "NEXUS_CLUSTER not set";
+  }
+  auto cluster = ClusterBackend::Connect("", SmokeOptions(),
+                                         FastClientOptions());
+  ASSERT_TRUE(cluster.ok()) << cluster.status().ToString();
+  ClusterBackend& c = **cluster;
+
+  constexpr std::size_t kSegment = 256 * 1024;
+  constexpr std::size_t kSegments = 192; // 48 MiB object
+  Bytes seg(kSegment);
+  auto stream = c.OpenUnbufferedPutStream("smoke-large").value();
+  for (std::size_t k = 0; k < kSegments; ++k) {
+    for (std::size_t j = 0; j < kSegment; ++j) {
+      seg[j] = StreamByte(k * kSegment + j);
+    }
+    ASSERT_TRUE(stream->Append(ByteSpan(seg.data(), seg.size())).ok()) << k;
+  }
+  ASSERT_TRUE(stream->Commit().ok());
+
+  struct rusage ru {};
+  ASSERT_EQ(getrusage(RUSAGE_SELF, &ru), 0);
+  const long peak_mb = ru.ru_maxrss / 1024; // ru_maxrss is KiB on Linux
+  std::printf("streaming put peak RSS: %ld MB\n", peak_mb);
+  if (const char* cap = std::getenv("NEXUS_SMOKE_RSS_CAP_MB")) {
+    EXPECT_LE(peak_mb, std::atol(cap))
+        << "streamed put exceeded the client memory cap";
+  }
+
+  const auto got = c.Get("smoke-large");
+  ASSERT_TRUE(got.ok()) << got.status().ToString();
+  ASSERT_EQ(got.value().size(), kSegments * kSegment);
+  for (std::size_t j = 0; j < got.value().size(); ++j) {
+    ASSERT_EQ(got.value()[j], StreamByte(j)) << j;
+  }
+  EXPECT_EQ(c.counters().quorum_failures, 0u);
+}
+
+// Runs after CI restarts the killed shard: drains the handoff hints the
+// ReadbackPhase writes parked on the survivors. The follow-up
+// `nexus-stat --cluster` grep for "handoff hints pending: 0" proves the
+// fleet is hint-free afterwards.
+TEST(ClusterSmokeEnv, HandoffDrainPhase) {
+  if (std::getenv("NEXUS_CLUSTER") == nullptr) {
+    GTEST_SKIP() << "NEXUS_CLUSTER not set";
+  }
+  auto cluster = ClusterBackend::Connect("", SmokeOptions(),
+                                         FastClientOptions());
+  ASSERT_TRUE(cluster.ok()) << cluster.status().ToString();
+  ClusterBackend& c = **cluster;
+  c.DrainHandoffNow();
+  const ClusterCounters counters = c.counters();
+  // The kill window covered writes whose owner sets include the dead
+  // shard, so there must have been hints to settle (replayed to the
+  // returned owner, or dropped as superseded).
+  EXPECT_GT(counters.handoff_hints_replayed + counters.handoff_hints_dropped,
+            0u);
+  // Everything still reads back byte-identical after the drain.
   for (int i = 0; i < 60; ++i) {
     const auto got = c.Get("smoke-" + std::to_string(i));
     ASSERT_TRUE(got.ok()) << i << ": " << got.status().ToString();

@@ -6,6 +6,7 @@
 // sockets and no real clocks are involved.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <memory>
 #include <set>
@@ -54,6 +55,14 @@ class SwitchableBackend final : public storage::StorageBackend {
     if (down_->load()) return {};
     return inner_->List(prefix);
   }
+  Result<std::unique_ptr<PutStream>> OpenPutStream(
+      const std::string& name) override {
+    // Fail at OPEN when down, like a dead TCP peer refusing the dial —
+    // the streaming cluster put keys its slide-past on exactly that.
+    calls_->fetch_add(1);
+    if (down_->load()) return Error(ErrorCode::kIOError, "shard down");
+    return inner_->OpenPutStream(name);
+  }
 
  private:
   std::shared_ptr<storage::MemBackend> inner_;
@@ -73,11 +82,13 @@ struct TestShard {
 
   ShardSpec spec() const {
     return ShardSpec{
-        id, [mem = mem, down = down, calls = calls]()
-                -> Result<std::unique_ptr<storage::StorageBackend>> {
+        id,
+        [mem = mem, down = down, calls = calls]()
+            -> Result<std::unique_ptr<storage::StorageBackend>> {
           return std::unique_ptr<storage::StorageBackend>(
               std::make_unique<SwitchableBackend>(mem, down, calls));
-        }};
+        },
+        /*revive=*/{}};
   }
 };
 
@@ -176,6 +187,44 @@ TEST(HashRingTest, SuccessorsAreDistinctAndOrdered) {
   EXPECT_EQ(succ.front(), ring.Owner("some-object"));
 }
 
+TEST(HashRingTest, DiffRingsPinsExactlyTheKeysWhoseOwnersChanged) {
+  HashRing before(32);
+  for (int i = 0; i < 4; ++i) before.AddNode("node-" + std::to_string(i));
+  HashRing after = before;
+  after.AddNode("node-new");
+
+  // An identical ring moves nothing.
+  EXPECT_TRUE(DiffRings(before, before, 2).empty());
+
+  const std::vector<MovedArc> moved = DiffRings(before, after, 2);
+  ASSERT_FALSE(moved.empty());
+  for (const MovedArc& arc : moved) {
+    EXPECT_NE(std::set<std::string>(arc.from.begin(), arc.from.end()),
+              std::set<std::string>(arc.to.begin(), arc.to.end()));
+  }
+
+  // The arcs are a precise characterization: a key's hash point lands in
+  // some moved arc if and only if its owner SET changed.
+  const auto contains = [](const MovedArc& arc, std::uint64_t p) {
+    if (arc.begin == arc.end) return true; // full circle
+    if (arc.begin < arc.end) return p > arc.begin && p <= arc.end;
+    return p > arc.begin || p <= arc.end; // wraps through zero
+  };
+  for (int k = 0; k < 400; ++k) {
+    const std::string key = "key-" + std::to_string(k);
+    const std::uint64_t point = HashRing::HashPoint(key);
+    bool in_arc = false;
+    for (const MovedArc& arc : moved) {
+      if (contains(arc, point)) in_arc = true;
+    }
+    const auto b = before.Successors(key, 2);
+    const auto a = after.Successors(key, 2);
+    const bool changed = std::set<std::string>(b.begin(), b.end()) !=
+                         std::set<std::string>(a.begin(), a.end());
+    EXPECT_EQ(in_arc, changed) << key;
+  }
+}
+
 // ---- envelope ---------------------------------------------------------------
 
 TEST(EnvelopeTest, RoundTripsAndOrders) {
@@ -210,6 +259,31 @@ TEST(EnvelopeTest, RoundTripsAndOrders) {
   EXPECT_FALSE(EnvelopeNewer(b, a));
   b.writer = 2;
   EXPECT_FALSE(EnvelopeNewer(a, b)); // equal is not newer
+}
+
+TEST(EnvelopeTest, StreamHeaderPlusRawPayloadDecodes) {
+  // The streaming put emits the envelope header BEFORE the payload length
+  // is known: header + raw payload bytes must decode like the buffered
+  // encoding.
+  Envelope env;
+  env.version = 77;
+  env.writer = 9;
+  env.payload = Bytes{10, 20, 30, 40, 50};
+  Bytes wire = EncodeEnvelopeStreamHeader(env);
+  const std::size_t header_size = wire.size();
+  wire.insert(wire.end(), env.payload.begin(), env.payload.end());
+  const Envelope back =
+      DecodeEnvelope(ByteSpan(wire.data(), wire.size())).value();
+  EXPECT_FALSE(back.tombstone);
+  EXPECT_EQ(back.version, 77u);
+  EXPECT_EQ(back.writer, 9u);
+  EXPECT_EQ(back.payload, env.payload);
+
+  // A header with nothing after it is a valid zero-byte object.
+  const Bytes bare(wire.begin(), wire.begin() + header_size);
+  EXPECT_TRUE(DecodeEnvelope(ByteSpan(bare.data(), bare.size()))
+                  .value()
+                  .payload.empty());
 }
 
 TEST(EnvelopeTest, RejectsGarbage) {
@@ -467,7 +541,10 @@ TEST(ClusterBackendTest, AddShardMigratesItsArcsAndPurgesNonOwners) {
   const ClusterCounters counters = c.counters();
   EXPECT_GT(counters.rebalance_objects_moved, 0u);
   EXPECT_GT(counters.rebalance_objects_purged, 0u);
-  EXPECT_GT(counters.rebalance_passes, 0u);
+  // A membership change now runs an arc-bounded delta pass, not a full
+  // scan of every shard.
+  EXPECT_GT(counters.rebalance_delta_passes, 0u);
+  EXPECT_EQ(counters.rebalance_passes, 0u);
 }
 
 TEST(ClusterBackendTest, RemoveShardRestoresReplicationElsewhere) {
@@ -491,6 +568,204 @@ TEST(ClusterBackendTest, RemoveShardRestoresReplicationElsewhere) {
     EXPECT_TRUE(fx.shard(1).mem->Exists(name)) << name;
   }
   EXPECT_FALSE(c.RemoveShard("shard-2").ok()); // already gone
+}
+
+// ---- streaming replicated puts ---------------------------------------------
+
+TEST(ClusterBackendTest, StreamingPutReplicatesAndBoundsClientBuffering) {
+  ClusterFixture fx(3);
+  ClusterBackend& c = fx.cluster();
+
+  auto stream = c.OpenUnbufferedPutStream("big").value();
+  Bytes expect;
+  for (int seg = 0; seg < 16; ++seg) {
+    const Bytes chunk(4096, static_cast<std::uint8_t>(seg));
+    ASSERT_TRUE(stream->Append(ByteSpan(chunk.data(), chunk.size())).ok())
+        << seg;
+    expect.insert(expect.end(), chunk.begin(), chunk.end());
+  }
+  ASSERT_TRUE(stream->Commit().ok());
+
+  EXPECT_EQ(c.Get("big").value(), expect);
+  EXPECT_EQ(fx.ReplicaCount("big"), 2u);
+  const ClusterCounters counters = c.counters();
+  EXPECT_EQ(counters.stream_puts, 1u);
+  EXPECT_EQ(counters.quorum_failures, 0u);
+  EXPECT_EQ(counters.handoff_hints_recorded, 0u);
+  // The O(window) bound: across a 64 KiB object the cluster layer never
+  // buffered more than the fixed-size envelope header.
+  EXPECT_GT(counters.stream_put_buffered_high_water_bytes, 0u);
+  EXPECT_LT(counters.stream_put_buffered_high_water_bytes, 64u);
+
+  // A zero-byte streamed object commits too.
+  auto empty = c.OpenUnbufferedPutStream("empty").value();
+  ASSERT_TRUE(empty->Commit().ok());
+  EXPECT_EQ(c.Get("empty").value(), Bytes{});
+
+  // An aborted stream leaves no trace.
+  auto aborted = c.OpenUnbufferedPutStream("aborted").value();
+  const Bytes junk{1, 2, 3};
+  ASSERT_TRUE(aborted->Append(ByteSpan(junk.data(), junk.size())).ok());
+  aborted->Abort();
+  EXPECT_EQ(c.Get("aborted").status().code(), ErrorCode::kNotFound);
+}
+
+// ---- hinted handoff ---------------------------------------------------------
+
+TEST(ClusterBackendTest, HandoffHintsDrainToTheReturnedOwner) {
+  ClusterOptions options;
+  options.eject_after = 2;
+  options.reinstate_backoff_base_ms = 10;
+  ClusterFixture fx(3, options);
+  ClusterBackend& c = fx.cluster();
+  fx.shard(1).down->store(true);
+
+  // Streamed writes slide past the dead owner (sloppy quorum) and leave
+  // a durable hint for it beside a committed replica.
+  for (int i = 0; i < 40; ++i) {
+    const Bytes data{static_cast<std::uint8_t>(i), 42};
+    auto stream = c.OpenUnbufferedPutStream("h-" + std::to_string(i)).value();
+    ASSERT_TRUE(stream->Append(ByteSpan(data.data(), data.size())).ok()) << i;
+    ASSERT_TRUE(stream->Commit().ok()) << i;
+  }
+  const ClusterCounters after_writes = c.counters();
+  EXPECT_EQ(after_writes.quorum_failures, 0u);
+  EXPECT_GT(after_writes.failovers, 0u);
+  EXPECT_GT(after_writes.handoff_hints_recorded, 0u);
+
+  // Hint markers live in the control namespace: invisible to List.
+  for (const std::string& name : c.List("")) {
+    EXPECT_EQ(name.rfind("h-", 0), 0u) << name;
+  }
+
+  // The shard returns; the drainer replays everything it missed, with
+  // zero read-repair involvement.
+  fx.shard(1).down->store(false);
+  fx.AdvanceClock(60'000);
+  c.DrainHandoffNow();
+
+  const ClusterCounters after_drain = c.counters();
+  EXPECT_GT(after_drain.handoff_hints_replayed, 0u);
+  EXPECT_EQ(after_drain.read_repairs, 0u);
+  for (std::size_t s = 0; s < fx.size(); ++s) {
+    EXPECT_TRUE(fx.shard(s).mem->List(kHandoffHintPrefix).empty()) << s;
+  }
+
+  // Owner convergence: every key the returned shard owns is on it now
+  // (mirror ring: same vnode count, same ids as the fixture's cluster).
+  HashRing ring(64);
+  for (int s = 0; s < 3; ++s) ring.AddNode("shard-" + std::to_string(s));
+  for (int i = 0; i < 40; ++i) {
+    const std::string name = "h-" + std::to_string(i);
+    const std::vector<std::string> owners = ring.Successors(name, 2);
+    if (std::find(owners.begin(), owners.end(), "shard-1") != owners.end()) {
+      EXPECT_TRUE(fx.shard(1).mem->Exists(name)) << name;
+    }
+    EXPECT_EQ(c.Get(name).value(), (Bytes{static_cast<std::uint8_t>(i), 42}))
+        << name;
+  }
+  EXPECT_EQ(c.counters().read_repairs, 0u);
+}
+
+// ---- delta rebalancing ------------------------------------------------------
+
+TEST(ClusterBackendTest, DeltaRebalanceTouchesOnlyMovedArcs) {
+  ClusterFixture fx(3);
+  ClusterBackend& c = fx.cluster();
+  constexpr int kKeys = 80;
+  for (int i = 0; i < kKeys; ++i) {
+    const Bytes data{static_cast<std::uint8_t>(i), 1};
+    ASSERT_TRUE(
+        c.Put("k" + std::to_string(i), ByteSpan(data.data(), data.size()))
+            .ok());
+  }
+
+  // Mirror the cluster's ring to compute, independently, which keys the
+  // new shard changes the owner set of.
+  HashRing before(64);
+  for (int s = 0; s < 3; ++s) before.AddNode("shard-" + std::to_string(s));
+  HashRing after = before;
+  after.AddNode("shard-extra");
+  std::set<std::string> moved;
+  for (int i = 0; i < kKeys; ++i) {
+    const std::string name = "k" + std::to_string(i);
+    const auto b = before.Successors(name, 2);
+    const auto a = after.Successors(name, 2);
+    if (std::set<std::string>(b.begin(), b.end()) !=
+        std::set<std::string>(a.begin(), a.end())) {
+      moved.insert(name);
+    }
+  }
+  ASSERT_FALSE(moved.empty());
+  ASSERT_LT(moved.size(), static_cast<std::size_t>(kKeys)); // some untouched
+
+  TestShard extra;
+  extra.id = "shard-extra";
+  ASSERT_TRUE(c.AddShard(extra.spec()).ok());
+  c.RebalanceNow();
+
+  const ClusterCounters counters = c.counters();
+  EXPECT_EQ(counters.rebalance_delta_passes, 1u);
+  EXPECT_EQ(counters.rebalance_passes, 0u);
+  // The counter pin: copy RPCs were issued ONLY for keys in moved arcs —
+  // one copy each, onto the new shard — and an untouched key never even
+  // landed there.
+  EXPECT_EQ(counters.rebalance_objects_moved, moved.size());
+  EXPECT_GT(counters.rebalance_bytes_moved, 0u);
+  for (int i = 0; i < kKeys; ++i) {
+    const std::string name = "k" + std::to_string(i);
+    EXPECT_EQ(extra.mem->Exists(name), moved.contains(name)) << name;
+  }
+  // And placement stays correct for every key.
+  for (int i = 0; i < kKeys; ++i) {
+    EXPECT_EQ(c.Get("k" + std::to_string(i)).value(),
+              (Bytes{static_cast<std::uint8_t>(i), 1}))
+        << i;
+  }
+}
+
+// ---- reinstatement revive ---------------------------------------------------
+
+TEST(ClusterBackendTest, ReinstatementSchedulesTheReviveHook) {
+  TestShard s;
+  s.id = "only";
+  ShardSpec spec = s.spec();
+  auto revived = std::make_shared<std::atomic<int>>(0);
+  spec.revive = [revived](storage::StorageBackend&) {
+    revived->fetch_add(1);
+    return Status::Ok();
+  };
+  ClusterOptions options;
+  options.replication = 1;
+  options.writer_id = 7;
+  options.eject_after = 2;
+  options.reinstate_backoff_base_ms = 10;
+  options.background_rebalance = false;
+  std::atomic<std::uint64_t> clock{1'000'000};
+  options.now_ms = [&clock] { return clock.load(); };
+  auto cluster = ClusterBackend::Create({spec}, options);
+  ASSERT_TRUE(cluster.ok());
+  ClusterBackend& c = **cluster;
+
+  const Bytes data{5};
+  ASSERT_TRUE(c.Put("k", ByteSpan(data.data(), data.size())).ok());
+  s.down->store(true);
+  EXPECT_FALSE(c.Put("k", ByteSpan(data.data(), data.size())).ok());
+  EXPECT_FALSE(c.Put("k", ByteSpan(data.data(), data.size())).ok());
+  EXPECT_EQ(c.counters().shards_ejected, 1u);
+
+  s.down->store(false);
+  clock.fetch_add(60'000);
+  ASSERT_TRUE(c.Put("k", ByteSpan(data.data(), data.size())).ok());
+  EXPECT_EQ(c.counters().shards_reinstated, 1u);
+  // The hook is queued for the maintenance pass, not run inline on the
+  // reinstating op's thread.
+  EXPECT_EQ(revived->load(), 0);
+  c.RebalanceNow();
+  EXPECT_EQ(revived->load(), 1);
+  // One-shot: the next pass does not re-run it.
+  c.RebalanceNow();
+  EXPECT_EQ(revived->load(), 1);
 }
 
 // Writers keep mutating while the migrator runs and membership changes:

@@ -80,9 +80,9 @@ TEST(WireRequest, RejectsLegacyV1Frames) {
 }
 
 TEST(WireRequest, RejectsUnknownRpcId) {
-  // 17 is the first id past the v4 lease RPCs — the new "one past the
-  // end" probe; bump it when the RPC table grows again.
-  for (const std::uint8_t id : {std::uint8_t{0}, std::uint8_t{17},
+  // 18 is the first id past the v6 paged-listing RPC — the new "one past
+  // the end" probe; bump it when the RPC table grows again.
+  for (const std::uint8_t id : {std::uint8_t{0}, std::uint8_t{18},
                                 std::uint8_t{200}}) {
     Writer w;
     w.U8(kProtocolVersion);
